@@ -1,0 +1,137 @@
+//! Criterion microbenchmarks of the linear-algebra kernels, including the
+//! measurement that justifies the cost model's kernel classes: one batched
+//! width-`k` sampled Gram (BLAS-3-like) vs `k²/2` independent sparse dot
+//! products (BLAS-1) over the same data.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use datagen::{powerlaw_sparse, uniform_sparse};
+use sparsela::gram::{sampled_cross, sampled_gram, sampled_gram_parallel};
+use sparsela::{vecops, DenseMatrix};
+use std::hint::black_box;
+use xrng::{rng_from_seed, sample_without_replacement};
+
+fn bench_sampled_gram(c: &mut Criterion) {
+    let a = uniform_sparse(20_000, 4_000, 0.01, 1).to_csc();
+    let mut rng = rng_from_seed(2);
+    let mut group = c.benchmark_group("sampled_gram");
+    for width in [1usize, 8, 32, 128] {
+        let sel = sample_without_replacement(&mut rng, 4_000, width);
+        let nnz: usize = sel.iter().map(|&j| a.col_nnz(j)).sum();
+        group.throughput(Throughput::Elements((nnz * width) as u64));
+        group.bench_with_input(BenchmarkId::new("batched", width), &sel, |b, sel| {
+            b.iter(|| black_box(sampled_gram(&a, sel)));
+        });
+        // The BLAS-1 alternative: the same pairwise products as k²
+        // independent merge-based sparse dots.
+        group.bench_with_input(BenchmarkId::new("pairwise_dots", width), &sel, |b, sel| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for (i, &ci) in sel.iter().enumerate() {
+                    for &cj in &sel[i..] {
+                        acc += a.col(ci).dot_sparse(&a.col(cj));
+                    }
+                }
+                black_box(acc)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_parallel_gram(c: &mut Criterion) {
+    // Shared-memory within-rank parallelism: same bitwise result. Whether
+    // threads help is a memory-bandwidth question — the scatter-dot kernel
+    // streams the selected columns' nonzeros, so on a bandwidth-saturated
+    // host extra threads buy little (measure, don't assume).
+    let a = uniform_sparse(40_000, 6_000, 0.01, 11).to_csc();
+    let mut rng = rng_from_seed(12);
+    let sel = sample_without_replacement(&mut rng, 6_000, 256);
+    let mut group = c.benchmark_group("sampled_gram_256");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| black_box(sampled_gram_parallel(&a, &sel, t)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_sampled_cross(c: &mut Criterion) {
+    let a = powerlaw_sparse(20_000, 4_000, 0.01, 0.9, 3).to_csc();
+    let v1: Vec<f64> = (0..20_000).map(|i| (i as f64).sin()).collect();
+    let v2: Vec<f64> = (0..20_000).map(|i| (i as f64).cos()).collect();
+    let mut rng = rng_from_seed(4);
+    let sel = sample_without_replacement(&mut rng, 4_000, 64);
+    c.bench_function("sampled_cross/64x2", |b| {
+        b.iter(|| black_box(sampled_cross(&a, &sel, &[&v1, &v2])));
+    });
+}
+
+fn bench_spmv(c: &mut Criterion) {
+    let csr = powerlaw_sparse(50_000, 10_000, 0.002, 1.0, 5);
+    let csc = csr.to_csc();
+    let x: Vec<f64> = (0..10_000).map(|i| (i as f64).sin()).collect();
+    let mut group = c.benchmark_group("spmv");
+    group.throughput(Throughput::Elements(csr.nnz() as u64));
+    group.bench_function("csr", |b| b.iter(|| black_box(csr.spmv(&x))));
+    group.bench_function("csc", |b| b.iter(|| black_box(csc.spmv(&x))));
+    group.finish();
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut rng = rng_from_seed(6);
+    let n = 192;
+    let a = DenseMatrix::from_vec(n, n, (0..n * n).map(|_| rng.next_gaussian()).collect());
+    let b = DenseMatrix::from_vec(n, n, (0..n * n).map(|_| rng.next_gaussian()).collect());
+    let mut group = c.benchmark_group("gemm_192");
+    group.throughput(Throughput::Elements((2 * n * n * n) as u64));
+    group.bench_function("blocked", |bch| bch.iter(|| black_box(a.matmul(&b))));
+    group.bench_function("naive", |bch| bch.iter(|| black_box(a.matmul_naive(&b))));
+    group.finish();
+}
+
+fn bench_eig(c: &mut Criterion) {
+    let mut rng = rng_from_seed(7);
+    let mut group = c.benchmark_group("max_eigenvalue");
+    for n in [2usize, 8, 32] {
+        let m = DenseMatrix::from_vec(
+            n + 4,
+            n,
+            (0..(n + 4) * n).map(|_| rng.next_gaussian()).collect(),
+        )
+        .gram();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &m, |b, m| {
+            b.iter(|| black_box(sparsela::eig::max_eigenvalue(m)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_vecops(c: &mut Criterion) {
+    let x: Vec<f64> = (0..100_000).map(|i| (i as f64).sin()).collect();
+    let y: Vec<f64> = (0..100_000).map(|i| (i as f64).cos()).collect();
+    let mut group = c.benchmark_group("vecops_100k");
+    group.throughput(Throughput::Elements(100_000));
+    group.bench_function("dot", |b| b.iter(|| black_box(vecops::dot(&x, &y))));
+    group.bench_function("nrm2", |b| b.iter(|| black_box(vecops::nrm2(&x))));
+    group.bench_function("axpy", |b| {
+        let mut z = y.clone();
+        b.iter(|| {
+            vecops::axpy(0.5, &x, &mut z);
+            black_box(z[0])
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sampled_gram,
+    bench_parallel_gram,
+    bench_sampled_cross,
+    bench_spmv,
+    bench_gemm,
+    bench_eig,
+    bench_vecops
+);
+criterion_main!(benches);

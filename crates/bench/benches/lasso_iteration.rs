@@ -1,0 +1,76 @@
+//! Wall-clock cost of the Lasso solvers on the host machine: classical
+//! accBCD vs SA-accBCD at several s, at fixed total iteration count. This
+//! measures the *computation* side of the SA trade-off for real (the
+//! s-fold Gram growth vs batching efficiency); the communication side is
+//! the simulator's business.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use datagen::{planted_regression, uniform_sparse};
+use saco::prox::Lasso;
+use saco::seq::{acc_bcd, bcd, sa_accbcd, sa_bcd};
+use saco::LassoConfig;
+use sparsela::io::Dataset;
+use std::hint::black_box;
+
+fn problem() -> Dataset {
+    let a = uniform_sparse(5_000, 2_000, 0.01, 42);
+    planted_regression(a, 20, 0.1, 42).dataset
+}
+
+fn cfg(mu: usize, s: usize, iters: usize) -> LassoConfig {
+    LassoConfig {
+        mu,
+        s,
+        lambda: 0.5,
+        seed: 7,
+        max_iters: iters,
+        trace_every: 0,
+        rel_tol: None,
+    ..Default::default()
+    }
+}
+
+fn bench_acc_family(c: &mut Criterion) {
+    let ds = problem();
+    let iters = 512;
+    let mut group = c.benchmark_group("accbcd_512iters_mu4");
+    group.throughput(Throughput::Elements(iters as u64));
+    group.bench_function("classical", |b| {
+        b.iter(|| black_box(acc_bcd(&ds, &Lasso::new(0.5), &cfg(4, 1, iters))));
+    });
+    for s in [4usize, 16, 64] {
+        group.bench_with_input(BenchmarkId::new("sa", s), &s, |b, &s| {
+            b.iter(|| black_box(sa_accbcd(&ds, &Lasso::new(0.5), &cfg(4, s, iters))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_plain_family(c: &mut Criterion) {
+    let ds = problem();
+    let iters = 512;
+    let mut group = c.benchmark_group("bcd_512iters_mu4");
+    group.bench_function("classical", |b| {
+        b.iter(|| black_box(bcd(&ds, &Lasso::new(0.5), &cfg(4, 1, iters))));
+    });
+    for s in [16usize, 64] {
+        group.bench_with_input(BenchmarkId::new("sa", s), &s, |b, &s| {
+            b.iter(|| black_box(sa_bcd(&ds, &Lasso::new(0.5), &cfg(4, s, iters))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_cd_vs_bcd(c: &mut Criterion) {
+    let ds = problem();
+    let mut group = c.benchmark_group("block_size_sweep_512iters");
+    for mu in [1usize, 2, 8, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(mu), &mu, |b, &mu| {
+            b.iter(|| black_box(acc_bcd(&ds, &Lasso::new(0.5), &cfg(mu, 1, 512))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_acc_family, bench_plain_family, bench_cd_vs_bcd);
+criterion_main!(benches);

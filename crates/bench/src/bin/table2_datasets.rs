@@ -1,0 +1,50 @@
+//! Tables II & IV: the dataset inventory — paper dimensions vs the
+//! synthetic stand-ins this reproduction generates (see DESIGN.md §3 for
+//! the substitution rationale).
+
+use datagen::{PaperDataset, Task};
+use saco_bench::print_table;
+
+fn main() {
+    let mut lasso_rows = Vec::new();
+    let mut svm_rows = Vec::new();
+    for ds in PaperDataset::ALL {
+        let info = ds.info();
+        // Generate at default scale to report the *actual* achieved shape.
+        let g = ds.generate(1.0, 12345);
+        let nnz_pct = 100.0 * g.dataset.a.density();
+        let row = vec![
+            info.name.to_string(),
+            format!("{}", info.paper_features),
+            format!("{}", info.paper_points),
+            format!("{}", info.paper_nnz_pct),
+            format!("{}", g.dataset.num_features()),
+            format!("{}", g.dataset.num_points()),
+            format!("{nnz_pct:.4}"),
+            format!("{:?}", info.structure),
+            if info.density_note.is_empty() {
+                "—".to_string()
+            } else {
+                info.density_note.to_string()
+            },
+        ];
+        match info.task {
+            Task::Regression => lasso_rows.push(row),
+            Task::Classification => svm_rows.push(row),
+        }
+    }
+    let header = [
+        "name",
+        "paper features",
+        "paper points",
+        "paper nnz%",
+        "repro features",
+        "repro points",
+        "repro nnz%",
+        "structure",
+        "note",
+    ];
+    print_table("Table II — Lasso datasets (paper vs reproduction)", &header, &lasso_rows);
+    print_table("Table IV — SVM datasets (paper vs reproduction)", &header, &svm_rows);
+    println!("(leu is used for both tables; classification labels are generated on demand)");
+}

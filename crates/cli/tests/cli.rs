@@ -1,0 +1,158 @@
+//! End-to-end tests of the `saco` binary: generate → info → train → path,
+//! exactly as a user would drive it.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn saco() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_saco"))
+}
+
+fn tmpfile(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("saco_cli_test_{}_{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn generate_info_lasso_roundtrip() {
+    let data = tmpfile("leu.svm");
+    let out = saco()
+        .args(["generate", "--dataset", "leu", "--out"])
+        .arg(&data)
+        .output()
+        .expect("run generate");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("38 × 7129"));
+
+    let out = saco().args(["info", "--data"]).arg(&data).output().expect("run info");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("features:  7129"), "{text}");
+    assert!(text.contains("σ range"), "σ estimate missing: {text}");
+
+    let weights = tmpfile("w.txt");
+    let out = saco()
+        .args(["lasso", "--data"])
+        .arg(&data)
+        .args(["--acc", "--iters", "1500", "--lambda-frac", "0.2", "--out"])
+        .arg(&weights)
+        .output()
+        .expect("run lasso");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let n_weights = std::fs::read_to_string(&weights)
+        .expect("weights written")
+        .lines()
+        .count();
+    assert_eq!(n_weights, 7129);
+
+    let _ = std::fs::remove_file(&data);
+    let _ = std::fs::remove_file(&weights);
+}
+
+#[test]
+fn svm_trains_on_generated_classification_data() {
+    let data = tmpfile("w1a.svm");
+    assert!(saco()
+        .args(["generate", "--dataset", "w1a", "--out"])
+        .arg(&data)
+        .status()
+        .expect("generate")
+        .success());
+    let out = saco()
+        .args(["svm", "--data"])
+        .arg(&data)
+        .args(["--loss", "l2", "--iters", "20000", "--gap-tol", "0.5"])
+        .output()
+        .expect("run svm");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("duality gap"), "{text}");
+    assert!(text.contains("training accuracy"), "{text}");
+    let _ = std::fs::remove_file(&data);
+}
+
+#[test]
+fn path_lists_lambdas_and_selects_support() {
+    let data = tmpfile("path.svm");
+    assert!(saco()
+        .args(["generate", "--dataset", "covtype", "--scale", "0.02", "--out"])
+        .arg(&data)
+        .status()
+        .expect("generate")
+        .success());
+    let out = saco()
+        .args(["path", "--data"])
+        .arg(&data)
+        .args(["--num", "6", "--ratio", "0.05", "--iters", "800", "--select-support", "10"])
+        .output()
+        .expect("run path");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.matches('\n').count() >= 7, "{text}");
+    assert!(text.contains("selected λ"), "{text}");
+    let _ = std::fs::remove_file(&data);
+}
+
+#[test]
+fn simulate_reports_costs() {
+    let data = tmpfile("sim.svm");
+    assert!(saco()
+        .args(["generate", "--dataset", "news20", "--scale", "0.05", "--out"])
+        .arg(&data)
+        .status()
+        .expect("generate")
+        .success());
+    let out = saco()
+        .args(["simulate", "--data"])
+        .arg(&data)
+        .args(["--p", "512", "--s", "16", "--acc", "--iters", "500"])
+        .output()
+        .expect("run simulate");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("running time"), "{text}");
+    assert!(text.contains("messages"), "{text}");
+    let _ = std::fs::remove_file(&data);
+}
+
+#[test]
+fn helpful_errors() {
+    // unknown subcommand
+    let out = saco().arg("frobnicate").output().expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown subcommand"));
+    // missing required option
+    let out = saco().arg("lasso").output().expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--data"));
+    // unknown dataset lists choices
+    let out = saco()
+        .args(["generate", "--dataset", "nope", "--out", "/tmp/x"])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("choose from"));
+}
+
+#[test]
+fn cv_prints_lambda_table() {
+    let data = tmpfile("cv.svm");
+    assert!(saco()
+        .args(["generate", "--dataset", "covtype", "--scale", "0.02", "--out"])
+        .arg(&data)
+        .status()
+        .expect("generate")
+        .success());
+    let out = saco()
+        .args(["cv", "--data"])
+        .arg(&data)
+        .args(["--folds", "3", "--num", "5", "--iters", "400"])
+        .output()
+        .expect("run cv");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("best λ"), "{text}");
+    assert!(text.contains("1-SE λ"), "{text}");
+    let _ = std::fs::remove_file(&data);
+}

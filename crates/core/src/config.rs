@@ -1,0 +1,186 @@
+//! Solver configuration types.
+
+/// Which hinge loss the SVM uses (§V eq. 11; naming follows the paper's
+/// SVM-L1 / SVM-L2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SvmLoss {
+    /// `max(1 − bᵢAᵢx, 0)` — the non-smooth hinge.
+    L1,
+    /// `max(1 − bᵢAᵢx, 0)²` — the smoothed (squared) hinge.
+    L2,
+}
+
+/// How the solvers draw their µ coordinates each iteration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BlockSampling {
+    /// µ coordinates uniformly without replacement (Alg. 1 line 5) —
+    /// the paper's scheme and the default.
+    Coordinates,
+    /// Whole contiguous groups of the given size, so that a sampled block
+    /// is a union of groups. Required for the Group Lasso proximal
+    /// operator to be exact (µ must be a multiple of `group_size`, and the
+    /// feature count a multiple too).
+    AlignedGroups {
+        /// Size of each contiguous group.
+        group_size: usize,
+    },
+}
+
+/// Configuration for the proximal least-squares solvers (CD/BCD/accCD/
+/// accBCD and their SA variants).
+#[derive(Clone, Debug)]
+pub struct LassoConfig {
+    /// Block size µ (µ = 1 gives CD / accCD).
+    pub mu: usize,
+    /// Recurrence-unrolling depth `s` (used by the SA solvers; `s = 1`
+    /// makes an SA solver coincide with its classical counterpart).
+    pub s: usize,
+    /// Regularization weight λ (kept here for convenience; the regularizer
+    /// object is authoritative for the penalty actually applied).
+    pub lambda: f64,
+    /// RNG seed. SA correctness requires the same seed on all ranks.
+    pub seed: u64,
+    /// Iteration budget H.
+    pub max_iters: usize,
+    /// Record a trace point every this many iterations (0 = only first and
+    /// last).
+    pub trace_every: usize,
+    /// Optional termination: stop when the objective improves by less than
+    /// this relative amount between consecutive trace points.
+    pub rel_tol: Option<f64>,
+    /// Coordinate-sampling scheme (see [`BlockSampling`]).
+    pub sampling: BlockSampling,
+}
+
+impl Default for LassoConfig {
+    fn default() -> Self {
+        Self {
+            mu: 1,
+            s: 1,
+            lambda: 0.1,
+            seed: 42,
+            max_iters: 1000,
+            trace_every: 10,
+            rel_tol: None,
+            sampling: BlockSampling::Coordinates,
+        }
+    }
+}
+
+impl LassoConfig {
+    /// Validate invariants against a problem of `n` features.
+    ///
+    /// # Panics
+    /// Panics if µ = 0, µ > n, s = 0, or group-aligned sampling is
+    /// requested with incompatible µ / n.
+    pub fn validate(&self, n: usize) {
+        assert!(self.mu >= 1, "block size µ must be ≥ 1");
+        assert!(self.mu <= n, "block size µ = {} exceeds feature count {n}", self.mu);
+        assert!(self.s >= 1, "unrolling parameter s must be ≥ 1");
+        assert!(self.max_iters >= 1, "need at least one iteration");
+        if let BlockSampling::AlignedGroups { group_size } = self.sampling {
+            assert!(group_size >= 1, "group size must be ≥ 1");
+            assert!(
+                self.mu.is_multiple_of(group_size),
+                "µ = {} is not a multiple of the group size {group_size}",
+                self.mu
+            );
+            assert!(
+                n.is_multiple_of(group_size),
+                "feature count {n} is not a multiple of the group size {group_size}"
+            );
+        }
+    }
+
+    /// The paper's `q = ⌈n/µ⌉` (Alg. 1 line 3).
+    pub fn q(&self, n: usize) -> f64 {
+        (n as f64 / self.mu as f64).ceil()
+    }
+}
+
+/// Configuration for the dual SVM solvers (Alg. 3 / Alg. 4).
+#[derive(Clone, Debug)]
+pub struct SvmConfig {
+    /// Which hinge loss.
+    pub loss: SvmLoss,
+    /// Penalty λ (the paper sets λ = 1 in §VI).
+    pub lambda: f64,
+    /// Recurrence-unrolling depth `s` for SA-SVM.
+    pub s: usize,
+    /// RNG seed (replicated on all ranks).
+    pub seed: u64,
+    /// Iteration budget H.
+    pub max_iters: usize,
+    /// Record the duality gap every this many iterations (0 = only first
+    /// and last). Gap evaluation costs an SpMV, so keep it coarse.
+    pub trace_every: usize,
+    /// Optional termination on duality gap (Table V uses 1e-1).
+    pub gap_tol: Option<f64>,
+}
+
+impl Default for SvmConfig {
+    fn default() -> Self {
+        Self {
+            loss: SvmLoss::L1,
+            lambda: 1.0,
+            s: 1,
+            seed: 42,
+            max_iters: 10_000,
+            trace_every: 500,
+            gap_tol: None,
+        }
+    }
+}
+
+impl SvmConfig {
+    /// Validate invariants.
+    ///
+    /// # Panics
+    /// Panics if λ ≤ 0 or s = 0.
+    pub fn validate(&self) {
+        assert!(self.lambda > 0.0, "lambda must be positive");
+        assert!(self.s >= 1, "unrolling parameter s must be ≥ 1");
+        assert!(self.max_iters >= 1, "need at least one iteration");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        LassoConfig::default().validate(10);
+        SvmConfig::default().validate();
+    }
+
+    #[test]
+    fn q_is_ceiling() {
+        let cfg = LassoConfig {
+            mu: 8,
+            ..Default::default()
+        };
+        assert_eq!(cfg.q(64), 8.0);
+        assert_eq!(cfg.q(65), 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds feature count")]
+    fn mu_too_large_rejected() {
+        LassoConfig {
+            mu: 11,
+            ..Default::default()
+        }
+        .validate(10);
+    }
+
+    #[test]
+    #[should_panic(expected = "s must be")]
+    fn zero_s_rejected() {
+        LassoConfig {
+            s: 0,
+            ..Default::default()
+        }
+        .validate(10);
+    }
+}

@@ -1,0 +1,198 @@
+//! The paper's Table I: closed-form critical-path costs of accBCD vs
+//! SA-accBCD.
+//!
+//! | algorithm | Ops (F) | Memory (M) | Latency (L) | Message size (W) |
+//! |---|---|---|---|---|
+//! | accBCD | `O(Hµ²fm/P + Hµ³)` | `O((fmn+m)/P + µ² + n)` | `O(H log P)` | `O(Hµ² log P)` |
+//! | SA-accBCD | `O(Hµ²sfm/P + Hµ³)` | `O((fmn+m)/P + µ²s² + n)` | `O((H/s) log P)` | `O(Hsµ² log P)` |
+//!
+//! `H` = iterations, `f` = nnz density, `m×n` = data shape, `P` = ranks,
+//! `µ` = block size, `s` = unrolling depth. These are the asymptotic
+//! formulas the simulator's measured counters are validated against
+//! (`tests/cost_model.rs`), and what the `table1_costs` binary prints.
+
+/// Inputs to the Table I formulas.
+#[derive(Clone, Copy, Debug)]
+pub struct CostInputs {
+    /// Iterations `H`.
+    pub h: u64,
+    /// Block size µ.
+    pub mu: u64,
+    /// Unrolling depth s (1 for the classical algorithm).
+    pub s: u64,
+    /// Density `f = nnz/(mn)` ∈ (0, 1].
+    pub f: f64,
+    /// Data points m.
+    pub m: u64,
+    /// Features n.
+    pub n: u64,
+    /// Ranks P.
+    pub p: u64,
+}
+
+/// The four Table I quantities (in flops / words / messages, not seconds).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TableOneCosts {
+    /// Arithmetic operations along the critical path, `F`.
+    pub flops: f64,
+    /// Words of memory per processor, `M`.
+    pub memory: f64,
+    /// Messages along the critical path, `L`.
+    pub latency: f64,
+    /// Words moved along the critical path, `W`.
+    pub bandwidth: f64,
+}
+
+fn log2p(p: u64) -> f64 {
+    (p.max(1) as f64).log2().max(1.0)
+}
+
+/// Table I, row "accBCD" (`s = 1` semantics; the `s` field is ignored).
+pub fn accbcd_costs(c: &CostInputs) -> TableOneCosts {
+    let (h, mu, f, m, n, p) = (
+        c.h as f64, c.mu as f64, c.f, c.m as f64, c.n as f64, c.p as f64,
+    );
+    TableOneCosts {
+        flops: h * mu * mu * f * m / p + h * mu * mu * mu,
+        memory: (f * m * n + m) / p + mu * mu + n,
+        latency: h * log2p(c.p),
+        bandwidth: h * mu * mu * log2p(c.p),
+    }
+}
+
+/// Table I, row "SA-accBCD".
+pub fn sa_accbcd_costs(c: &CostInputs) -> TableOneCosts {
+    let (h, mu, s, f, m, n, p) = (
+        c.h as f64, c.mu as f64, c.s as f64, c.f, c.m as f64, c.n as f64, c.p as f64,
+    );
+    TableOneCosts {
+        flops: h * mu * mu * s * f * m / p + h * mu * mu * mu,
+        memory: (f * m * n + m) / p + mu * mu * s * s + n,
+        latency: (h / s) * log2p(c.p),
+        bandwidth: h * s * mu * mu * log2p(c.p),
+    }
+}
+
+/// Analogous critical-path costs for dual CD SVM (Alg. 3): per iteration
+/// one row Gram scalar and one dot product (`O(f·n)` flops at density `f`
+/// over the local `n/P` columns), one `O(log P)` allreduce of `O(1)` words.
+pub fn svm_costs(c: &CostInputs) -> TableOneCosts {
+    let (h, f, m, n, p) = (c.h as f64, c.f, c.m as f64, c.n as f64, c.p as f64);
+    TableOneCosts {
+        flops: h * f * n / p,
+        memory: (f * m * n + m) / p + n / p,
+        latency: h * log2p(c.p),
+        bandwidth: h * log2p(c.p),
+    }
+}
+
+/// SA-SVM (Alg. 4): per outer iteration an `s × s` Gram (`O(s²fn/P)`
+/// flops, `s²` words) in one allreduce.
+pub fn sa_svm_costs(c: &CostInputs) -> TableOneCosts {
+    let (h, s, f, m, n, p) = (c.h as f64, c.s as f64, c.f, c.m as f64, c.n as f64, c.p as f64);
+    TableOneCosts {
+        flops: h * s * f * n / p,
+        memory: (f * m * n + m) / p + n / p + s * s,
+        latency: (h / s) * log2p(c.p),
+        bandwidth: h * s * log2p(c.p),
+    }
+}
+
+/// Predicted speedup of SA over classical from the α-β model alone (the
+/// first-order story of §III: "If the latency cost is the dominant term
+/// then SA-accBCD can attain s-fold speedup").
+pub fn predicted_comm_speedup(c: &CostInputs, alpha: f64, beta: f64) -> f64 {
+    let classic = accbcd_costs(c);
+    let sa = sa_accbcd_costs(c);
+    let t_classic = alpha * classic.latency + beta * classic.bandwidth;
+    let t_sa = alpha * sa.latency + beta * sa.bandwidth;
+    t_classic / t_sa
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> CostInputs {
+        CostInputs {
+            h: 1000,
+            mu: 8,
+            s: 16,
+            f: 0.01,
+            m: 100_000,
+            n: 10_000,
+            p: 1024,
+        }
+    }
+
+    #[test]
+    fn sa_reduces_latency_by_s() {
+        let c = base();
+        let classic = accbcd_costs(&c);
+        let sa = sa_accbcd_costs(&c);
+        assert!((classic.latency / sa.latency - c.s as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sa_increases_bandwidth_and_flops_by_s() {
+        let c = base();
+        let classic = accbcd_costs(&c);
+        let sa = sa_accbcd_costs(&c);
+        assert!((sa.bandwidth / classic.bandwidth - c.s as f64).abs() < 1e-9);
+        // flops ratio approaches s as the Gram term dominates the µ³ term
+        let ratio = sa.flops / classic.flops;
+        assert!(ratio > 1.0 && ratio <= c.s as f64 + 1e-9, "flops ratio {ratio}");
+    }
+
+    #[test]
+    fn sa_memory_grows_with_s_squared() {
+        let mut c = base();
+        let m1 = sa_accbcd_costs(&c).memory;
+        c.s *= 2;
+        let m2 = sa_accbcd_costs(&c).memory;
+        let gram1 = (c.mu * c.mu * (c.s / 2) * (c.s / 2)) as f64;
+        let gram2 = (c.mu * c.mu * c.s * c.s) as f64;
+        assert!((m2 - m1 - (gram2 - gram1)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn comm_speedup_peaks_at_moderate_s() {
+        // With α ≫ β the comm speedup grows with s, then bandwidth wins.
+        let alpha = 8.0e-6;
+        let beta = 5.0e-8;
+        let mut best = (0u64, 0.0f64);
+        let mut last = f64::INFINITY;
+        let mut declined = false;
+        for s in [1u64, 2, 4, 8, 16, 32, 64, 128, 256, 512] {
+            let c = CostInputs { s, mu: 1, ..base() };
+            let sp = predicted_comm_speedup(&c, alpha, beta);
+            if sp > best.1 {
+                best = (s, sp);
+            }
+            if sp < last {
+                declined = true;
+            }
+            last = sp;
+        }
+        assert!(best.1 > 2.0, "peak speedup {}", best.1);
+        assert!(declined, "speedup should eventually decline with s");
+        assert!(best.0 > 1 && best.0 < 512, "peak at s = {}", best.0);
+    }
+
+    #[test]
+    fn svm_variants_mirror_the_tradeoff() {
+        let c = base();
+        let classic = svm_costs(&c);
+        let sa = sa_svm_costs(&c);
+        assert!((classic.latency / sa.latency - c.s as f64).abs() < 1e-9);
+        assert!((sa.bandwidth / classic.bandwidth - c.s as f64).abs() < 1e-9);
+        assert!(sa.memory > classic.memory);
+    }
+
+    #[test]
+    fn single_rank_latency_floor() {
+        // log2p clamps at 1 so costs stay meaningful for P = 1.
+        let c = CostInputs { p: 1, ..base() };
+        assert!(accbcd_costs(&c).latency > 0.0);
+    }
+}

@@ -1,0 +1,253 @@
+//! K-fold cross-validation for regularization selection.
+//!
+//! The paper fixes λ by a rule (`100·σ_min`, or λ = 1 for SVM); a
+//! downstream user of this library wants λ chosen by held-out error. This
+//! module provides the standard machinery: deterministic fold assignment,
+//! per-fold warm-started λ paths, and the one-standard-error rule.
+
+use crate::config::LassoConfig;
+use crate::path::lasso_path;
+use crate::prox::Regularizer;
+use sparsela::io::Dataset;
+use sparsela::CsrMatrix;
+use xrng::rng_from_seed;
+
+/// Cross-validation outcome for one λ.
+#[derive(Clone, Debug)]
+pub struct CvPoint {
+    /// The regularization weight.
+    pub lambda: f64,
+    /// Mean held-out MSE across folds.
+    pub mean_mse: f64,
+    /// Standard error of the fold MSEs.
+    pub std_error: f64,
+}
+
+/// A completed cross-validation sweep.
+#[derive(Clone, Debug)]
+pub struct CvResult {
+    /// One entry per λ, largest λ first.
+    pub points: Vec<CvPoint>,
+}
+
+impl CvResult {
+    /// The λ minimizing mean held-out MSE.
+    pub fn best_lambda(&self) -> f64 {
+        self.points
+            .iter()
+            .min_by(|a, b| a.mean_mse.partial_cmp(&b.mean_mse).expect("finite MSEs"))
+            .expect("nonempty CV result")
+            .lambda
+    }
+
+    /// The one-standard-error rule: the *largest* λ whose mean MSE is
+    /// within one standard error of the minimum — the conventional choice
+    /// for a sparser, more conservative model.
+    pub fn lambda_1se(&self) -> f64 {
+        let best = self
+            .points
+            .iter()
+            .min_by(|a, b| a.mean_mse.partial_cmp(&b.mean_mse).expect("finite MSEs"))
+            .expect("nonempty CV result");
+        let cutoff = best.mean_mse + best.std_error;
+        self.points
+            .iter()
+            .filter(|p| p.mean_mse <= cutoff)
+            .map(|p| p.lambda)
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+/// Deterministic fold assignment: a seeded shuffle of row indices split
+/// into `k` near-equal parts. Returns `fold_of[row] ∈ [0, k)`.
+pub fn assign_folds(m: usize, k: usize, seed: u64) -> Vec<usize> {
+    assert!(k >= 2, "need at least 2 folds");
+    assert!(m >= k, "need at least one row per fold");
+    let mut order: Vec<usize> = (0..m).collect();
+    let mut rng = rng_from_seed(seed ^ 0xF01D_F01D);
+    xrng::shuffle(&mut rng, &mut order);
+    let mut fold_of = vec![0usize; m];
+    for (pos, &row) in order.iter().enumerate() {
+        fold_of[row] = pos % k;
+    }
+    fold_of
+}
+
+/// Split a dataset into (train, test) by fold id. Rows keep their relative
+/// order within each part.
+pub fn split_fold(ds: &Dataset, fold_of: &[usize], fold: usize) -> (Dataset, Dataset) {
+    assert_eq!(fold_of.len(), ds.a.rows(), "fold map length mismatch");
+    let mut train_rows = Vec::new();
+    let mut test_rows = Vec::new();
+    for (i, &f) in fold_of.iter().enumerate() {
+        if f == fold {
+            test_rows.push(i);
+        } else {
+            train_rows.push(i);
+        }
+    }
+    (gather_rows(ds, &train_rows), gather_rows(ds, &test_rows))
+}
+
+fn gather_rows(ds: &Dataset, rows: &[usize]) -> Dataset {
+    let mut indptr = Vec::with_capacity(rows.len() + 1);
+    let mut indices = Vec::new();
+    let mut values = Vec::new();
+    let mut b = Vec::with_capacity(rows.len());
+    indptr.push(0);
+    for &i in rows {
+        let r = ds.a.row(i);
+        indices.extend_from_slice(r.indices);
+        values.extend_from_slice(r.values);
+        indptr.push(indices.len());
+        b.push(ds.b[i]);
+    }
+    Dataset {
+        a: CsrMatrix::from_parts(rows.len(), ds.a.cols(), indptr, indices, values),
+        b,
+    }
+}
+
+/// Held-out mean squared error of a linear model.
+pub fn mse(ds: &Dataset, x: &[f64]) -> f64 {
+    if ds.a.rows() == 0 {
+        return 0.0;
+    }
+    let pred = ds.a.spmv(x);
+    pred.iter()
+        .zip(&ds.b)
+        .map(|(p, y)| (p - y) * (p - y))
+        .sum::<f64>()
+        / ds.a.rows() as f64
+}
+
+/// K-fold cross-validated λ path: for each fold, fit a warm-started path
+/// on the training part and evaluate every λ's model on the held-out part.
+///
+/// `cfg.max_iters` is the per-segment budget (as in
+/// [`lasso_path`](crate::path::lasso_path)); `num_lambdas` and `ratio`
+/// define the geometric λ grid **relative to each training fold's own
+/// λ_max** — grids are aligned across folds by index, which is the
+/// standard glmnet-style convention.
+pub fn cross_validate_lasso<R: Regularizer, F: Fn(f64) -> R + Copy>(
+    ds: &Dataset,
+    cfg: &LassoConfig,
+    k: usize,
+    num_lambdas: usize,
+    ratio: f64,
+    make_reg: F,
+) -> CvResult {
+    let m = ds.a.rows();
+    let fold_of = assign_folds(m, k, cfg.seed);
+    // fold_mse[l][f] = held-out MSE of λ index l on fold f
+    let mut fold_mse = vec![Vec::with_capacity(k); num_lambdas];
+    let mut lambda_sum = vec![0.0f64; num_lambdas];
+    for fold in 0..k {
+        let (train, test) = split_fold(ds, &fold_of, fold);
+        let path = lasso_path(&train, cfg, num_lambdas, ratio, make_reg);
+        for (l, p) in path.points.iter().enumerate() {
+            fold_mse[l].push(mse(&test, &p.x));
+            lambda_sum[l] += p.lambda;
+        }
+    }
+    let points = (0..num_lambdas)
+        .map(|l| {
+            let mses = &fold_mse[l];
+            let mean = mses.iter().sum::<f64>() / k as f64;
+            let var = mses.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
+                / (k.saturating_sub(1)).max(1) as f64;
+            CvPoint {
+                lambda: lambda_sum[l] / k as f64,
+                mean_mse: mean,
+                std_error: (var / k as f64).sqrt(),
+            }
+        })
+        .collect();
+    CvResult { points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prox::Lasso;
+    use datagen::{planted_regression, uniform_sparse};
+
+    fn problem(seed: u64) -> Dataset {
+        let a = uniform_sparse(240, 60, 0.2, seed);
+        planted_regression(a, 5, 0.2, seed).dataset
+    }
+
+    #[test]
+    fn folds_partition_rows_evenly() {
+        let fold_of = assign_folds(103, 5, 7);
+        assert_eq!(fold_of.len(), 103);
+        let mut counts = [0usize; 5];
+        for &f in &fold_of {
+            assert!(f < 5);
+            counts[f] += 1;
+        }
+        let (mn, mx) = (counts.iter().min().expect("k>0"), counts.iter().max().expect("k>0"));
+        assert!(mx - mn <= 1, "{counts:?}");
+        // deterministic
+        assert_eq!(fold_of, assign_folds(103, 5, 7));
+        assert_ne!(fold_of, assign_folds(103, 5, 8));
+    }
+
+    #[test]
+    fn split_fold_preserves_all_rows() {
+        let ds = problem(1);
+        let fold_of = assign_folds(ds.a.rows(), 4, 9);
+        let mut total_test = 0;
+        for fold in 0..4 {
+            let (train, test) = split_fold(&ds, &fold_of, fold);
+            assert_eq!(train.a.rows() + test.a.rows(), ds.a.rows());
+            assert_eq!(train.a.nnz() + test.a.nnz(), ds.a.nnz());
+            total_test += test.a.rows();
+        }
+        assert_eq!(total_test, ds.a.rows());
+    }
+
+    #[test]
+    fn cv_curve_is_u_shaped_enough_to_pick_interior_lambda() {
+        // On planted data with noise, held-out MSE should be worse at
+        // λ ≈ λ_max (underfit: x = 0) than at the CV-chosen λ.
+        let ds = problem(3);
+        let cfg = LassoConfig {
+            mu: 4,
+            s: 8,
+            max_iters: 800,
+            trace_every: 0,
+            seed: 11,
+            ..Default::default()
+        };
+        let cv = cross_validate_lasso(&ds, &cfg, 4, 8, 0.01, Lasso::new);
+        assert_eq!(cv.points.len(), 8);
+        let first = &cv.points[0]; // λ ≈ λ_max: x = 0, MSE = Var(b)
+        let best = cv
+            .points
+            .iter()
+            .map(|p| p.mean_mse)
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            best < 0.5 * first.mean_mse,
+            "CV never beat the null model: best {best} vs null {}",
+            first.mean_mse
+        );
+        // 1-SE λ is at least the best λ (more regularized)
+        assert!(cv.lambda_1se() >= cv.best_lambda());
+    }
+
+    #[test]
+    fn mse_of_perfect_model_is_noise_level() {
+        let a = uniform_sparse(200, 40, 0.3, 5);
+        let reg = planted_regression(a, 4, 0.1, 5);
+        let e = mse(&reg.dataset, &reg.x_star);
+        assert!(e < 0.05, "MSE of the planted model should be ≈ σ² = 0.01, got {e}");
+    }
+
+    #[test]
+    fn empty_test_part_is_handled() {
+        let ds = problem(7);
+        assert_eq!(mse(&gather_rows(&ds, &[]), &vec![0.0; 60]), 0.0);
+    }
+}

@@ -1,0 +1,504 @@
+//! Distributed (SA-)accBCD and (SA-)BCD for proximal least-squares.
+//!
+//! Layout (§IV-B / Fig. 1): `A` is 1D-row partitioned — each rank holds a
+//! contiguous block of data points, stored CSC so that gathering sampled
+//! *columns* is cheap. Vectors in the partitioned dimension (`ỹ`, `z̃`,
+//! both in `R^m`) are partitioned conformally; vectors in `R^n` (`y`, `z`,
+//! the iterate `x`) and all scalars are replicated. One `allreduce` per
+//! outer iteration carries the packed symmetric Gram block, the cross
+//! products, and (at trace boundaries) the piggybacked residual norm.
+
+use crate::config::LassoConfig;
+use crate::dist::charges;
+use crate::dist::{pack_symmetric, unpack_symmetric};
+use crate::prox::Regularizer;
+use crate::seq::{block_lipschitz, theta_next};
+use crate::trace::{ConvergenceTrace, SolveResult};
+use datagen::{balanced_partition, block_partition, Partition};
+use mpisim::{Comm, KernelClass};
+use sparsela::gram::{sampled_cross, sampled_gram};
+use sparsela::io::Dataset;
+use sparsela::CscMatrix;
+use xrng::rng_from_seed;
+
+/// One rank's share of a row-partitioned Lasso problem.
+#[derive(Clone, Debug)]
+pub struct LassoRankData {
+    /// Local row block of `A` in CSC (all `n` columns, local rows).
+    pub csc: CscMatrix,
+    /// Local slice of the labels `b`.
+    pub b: Vec<f64>,
+}
+
+impl LassoRankData {
+    /// Split a dataset into `p` row blocks. `balanced` splits by nnz
+    /// (fixing the stragglers of §VI); otherwise by row count.
+    pub fn split(ds: &Dataset, p: usize, balanced: bool) -> (Partition, Vec<LassoRankData>) {
+        let m = ds.a.rows();
+        let part = if balanced {
+            let weights: Vec<u64> = ds.a.row_nnz_counts().iter().map(|&c| c as u64).collect();
+            balanced_partition(&weights, p)
+        } else {
+            block_partition(m, p)
+        };
+        let csc = ds.a.to_csc();
+        let blocks = (0..p)
+            .map(|r| {
+                let range = part.range(r);
+                LassoRankData {
+                    csc: csc.row_block(range.start, range.end),
+                    b: ds.b[range].to_vec(),
+                }
+            })
+            .collect();
+        (part, blocks)
+    }
+
+    fn local_nnz_of(&self, coords: &[usize]) -> u64 {
+        coords.iter().map(|&c| self.csc.col_nnz(c) as u64).sum()
+    }
+}
+
+/// Distributed SA-accBCD (Algorithm 2 over MPI-style ranks). `cfg.s = 1`
+/// is classical accBCD (Algorithm 1); µ = 1 gives (SA-)accCD.
+///
+/// Every rank returns the same replicated result (up to the bit: the
+/// reductions are deterministic trees).
+pub fn dist_sa_accbcd<R: Regularizer>(
+    comm: &mut Comm,
+    data: &LassoRankData,
+    reg: &R,
+    cfg: &LassoConfig,
+) -> SolveResult {
+    let n = data.csc.cols();
+    cfg.validate(n);
+    let m_loc = data.csc.rows();
+    assert_eq!(data.b.len(), m_loc, "local label slice mismatch");
+    let mu = cfg.mu;
+    let q = cfg.q(n);
+    let mut rng = rng_from_seed(cfg.seed);
+
+    let mut theta = mu as f64 / n as f64;
+    let mut y = vec![0.0; n];
+    let mut z = vec![0.0; n];
+    let mut ytilde = vec![0.0; m_loc];
+    let mut ztilde: Vec<f64> = data.b.iter().map(|b| -b).collect();
+
+    let mut trace = ConvergenceTrace::new();
+    // Initial objective: ½‖b‖² globally (x = 0).
+    let b_sq = comm.allreduce_scalar(sparsela::vecops::nrm2_sq(&ztilde));
+    trace.push(0, 0.5 * b_sq, comm.clock());
+
+    let objective = |comm: &mut Comm,
+                     theta: f64,
+                     y: &[f64],
+                     z: &[f64],
+                     resid_global_sq: f64|
+     -> f64 {
+        let t2 = theta * theta;
+        let x: Vec<f64> = y.iter().zip(z).map(|(yi, zi)| t2 * yi + zi).collect();
+        comm.charge_flops(KernelClass::Vector, 2 * n as u64, n as u64);
+        0.5 * resid_global_sq + reg.value(&x)
+    };
+
+    let mut h = 0usize;
+    while h < cfg.max_iters {
+        let s_block = cfg.s.min(cfg.max_iters - h);
+        let width = s_block * mu;
+        // Replicated sampling (same seed on every rank).
+        let mut sel = Vec::with_capacity(width);
+        for _ in 0..s_block {
+            sel.extend(crate::seq::sample_block(&mut rng, n, mu, cfg.sampling));
+        }
+        let mut thetas = Vec::with_capacity(s_block + 1);
+        thetas.push(theta);
+        for j in 0..s_block {
+            thetas.push(theta_next(thetas[j]));
+        }
+
+        // Local reductions contributions: Gram + cross.
+        let local_nnz = data.local_nnz_of(&sel);
+        let gram_loc = sampled_gram(&data.csc, &sel);
+        let cross_loc = sampled_cross(&data.csc, &sel, &[&ytilde, &ztilde]);
+        let class = charges::gram_class(width as u64);
+        let ws = charges::gram_working_set(width as u64, local_nnz);
+        comm.charge_flops(class, charges::gram_flops(local_nnz, width as u64), ws);
+        comm.charge_flops(class, charges::cross_flops(local_nnz, 2), ws);
+
+        // Should this outer iteration emit a trace point? (The residual
+        // norm contribution piggybacks on the main allreduce.)
+        let traced = cfg.trace_every > 0
+            && (h / cfg.trace_every) != ((h + s_block).min(cfg.max_iters) / cfg.trace_every);
+        let mut buf = Vec::new();
+        pack_symmetric(&gram_loc, &mut buf);
+        for k in 0..width {
+            buf.push(cross_loc.get(k, 0));
+            buf.push(cross_loc.get(k, 1));
+        }
+        if traced {
+            let t2 = thetas[0] * thetas[0];
+            let resid_contrib: f64 = ytilde
+                .iter()
+                .zip(&ztilde)
+                .map(|(yt, zt)| {
+                    let r = t2 * yt + zt;
+                    r * r
+                })
+                .sum();
+            comm.charge_flops(KernelClass::Vector, 3 * m_loc as u64, m_loc as u64);
+            buf.push(resid_contrib);
+        }
+
+        // The one synchronization of the outer iteration (plus its
+        // fixed software cost: packing, call setup).
+        comm.charge_flops(KernelClass::Vector, charges::OUTER_OVERHEAD_FLOPS, 64);
+        comm.allreduce_sum(&mut buf);
+
+        let (gram, mut pos) = unpack_symmetric(&buf, 0, width);
+        let cross_base = pos;
+        pos += 2 * width;
+        if traced {
+            let resid_global = buf[pos];
+            let f = objective(comm, thetas[0], &y, &z, resid_global);
+            trace.push(h, f, comm.clock());
+        }
+
+        // Inner loop: replicated recurrences (eqs. 3–5) + local updates.
+        let mut deltas = vec![0.0f64; width];
+        for j in 1..=s_block {
+            let off = (j - 1) * mu;
+            let coords = &sel[off..off + mu];
+            let gjj = gram.diag_block(off, off + mu);
+            let v = block_lipschitz(&gjj);
+            let theta_prev = thetas[j - 1];
+            let t2 = theta_prev * theta_prev;
+            h += 1;
+            comm.charge_flops(
+                KernelClass::Vector,
+                charges::subproblem_flops(mu as u64)
+                    + charges::sa_correction_flops(j as u64, mu as u64),
+                (mu * mu) as u64,
+            );
+            if v > 0.0 {
+                let eta = 1.0 / (q * theta_prev * v);
+                let mut cand = Vec::with_capacity(mu);
+                for a in 0..mu {
+                    let row = off + a;
+                    let mut r = t2 * buf[cross_base + 2 * row] + buf[cross_base + 2 * row + 1];
+                    for t in 1..j {
+                        let tp = thetas[t - 1];
+                        let coef = t2 * (1.0 - q * tp) / (tp * tp) - 1.0;
+                        if coef != 0.0 {
+                            let toff = (t - 1) * mu;
+                            let mut corr = 0.0;
+                            for b in 0..mu {
+                                corr += gram.get(row, toff + b) * deltas[toff + b];
+                            }
+                            r -= coef * corr;
+                        }
+                    }
+                    cand.push(z[coords[a]] - eta * r);
+                }
+                reg.prox_block(&mut cand, coords, eta);
+                let ycoef = (1.0 - q * theta_prev) / t2;
+                let block_nnz = data.local_nnz_of(coords);
+                for (a, &c) in coords.iter().enumerate() {
+                    let dz = cand[a] - z[c];
+                    deltas[off + a] = dz;
+                    if dz != 0.0 {
+                        z[c] += dz;
+                        y[c] -= ycoef * dz;
+                        let col = data.csc.col(c);
+                        col.axpy_into(dz, &mut ztilde);
+                        col.axpy_into(-ycoef * dz, &mut ytilde);
+                    }
+                }
+                comm.charge_flops(
+                    KernelClass::Vector,
+                    charges::lasso_update_flops(block_nnz, mu as u64),
+                    block_nnz + mu as u64,
+                );
+            }
+        }
+        theta = thetas[s_block];
+    }
+
+    // Final objective with a dedicated scalar reduction.
+    let t2 = theta * theta;
+    let resid_contrib: f64 = ytilde
+        .iter()
+        .zip(&ztilde)
+        .map(|(yt, zt)| {
+            let r = t2 * yt + zt;
+            r * r
+        })
+        .sum();
+    comm.charge_flops(KernelClass::Vector, 3 * m_loc as u64, m_loc as u64);
+    let resid_global = comm.allreduce_scalar(resid_contrib);
+    let x: Vec<f64> = y.iter().zip(&z).map(|(yi, zi)| t2 * yi + zi).collect();
+    trace.push(h, 0.5 * resid_global + reg.value(&x), comm.clock());
+    SolveResult { x, trace, iters: h }
+}
+
+/// Distributed SA-BCD (non-accelerated). `cfg.s = 1` is classical BCD;
+/// µ = 1 gives (SA-)CD.
+pub fn dist_sa_bcd<R: Regularizer>(
+    comm: &mut Comm,
+    data: &LassoRankData,
+    reg: &R,
+    cfg: &LassoConfig,
+) -> SolveResult {
+    let n = data.csc.cols();
+    cfg.validate(n);
+    let m_loc = data.csc.rows();
+    assert_eq!(data.b.len(), m_loc, "local label slice mismatch");
+    let mu = cfg.mu;
+    let mut rng = rng_from_seed(cfg.seed);
+
+    let mut x = vec![0.0; n];
+    let mut residual: Vec<f64> = data.b.iter().map(|b| -b).collect();
+
+    let mut trace = ConvergenceTrace::new();
+    let b_sq = comm.allreduce_scalar(sparsela::vecops::nrm2_sq(&residual));
+    trace.push(0, 0.5 * b_sq, comm.clock());
+
+    let mut h = 0usize;
+    while h < cfg.max_iters {
+        let s_block = cfg.s.min(cfg.max_iters - h);
+        let width = s_block * mu;
+        let mut sel = Vec::with_capacity(width);
+        for _ in 0..s_block {
+            sel.extend(crate::seq::sample_block(&mut rng, n, mu, cfg.sampling));
+        }
+
+        let local_nnz = data.local_nnz_of(&sel);
+        let gram_loc = sampled_gram(&data.csc, &sel);
+        let cross_loc = sampled_cross(&data.csc, &sel, &[&residual]);
+        let class = charges::gram_class(width as u64);
+        let ws = charges::gram_working_set(width as u64, local_nnz);
+        comm.charge_flops(class, charges::gram_flops(local_nnz, width as u64), ws);
+        comm.charge_flops(class, charges::cross_flops(local_nnz, 1), ws);
+
+        let traced = cfg.trace_every > 0
+            && (h / cfg.trace_every) != ((h + s_block).min(cfg.max_iters) / cfg.trace_every);
+        let mut buf = Vec::new();
+        pack_symmetric(&gram_loc, &mut buf);
+        for k in 0..width {
+            buf.push(cross_loc.get(k, 0));
+        }
+        if traced {
+            buf.push(sparsela::vecops::nrm2_sq(&residual));
+            comm.charge_flops(KernelClass::Vector, 2 * m_loc as u64, m_loc as u64);
+        }
+
+        comm.charge_flops(KernelClass::Vector, charges::OUTER_OVERHEAD_FLOPS, 64);
+        comm.allreduce_sum(&mut buf);
+
+        let (gram, mut pos) = unpack_symmetric(&buf, 0, width);
+        let cross_base = pos;
+        pos += width;
+        if traced {
+            let resid_global = buf[pos];
+            comm.charge_flops(KernelClass::Vector, n as u64, n as u64);
+            trace.push(h, 0.5 * resid_global + reg.value(&x), comm.clock());
+        }
+
+        let mut deltas = vec![0.0f64; width];
+        for j in 1..=s_block {
+            let off = (j - 1) * mu;
+            let coords = &sel[off..off + mu];
+            let gjj = gram.diag_block(off, off + mu);
+            let lip = block_lipschitz(&gjj);
+            h += 1;
+            comm.charge_flops(
+                KernelClass::Vector,
+                charges::subproblem_flops(mu as u64)
+                    + charges::sa_correction_flops(j as u64, mu as u64),
+                (mu * mu) as u64,
+            );
+            if lip > 0.0 {
+                let eta = 1.0 / lip;
+                let mut cand = Vec::with_capacity(mu);
+                for a in 0..mu {
+                    let row = off + a;
+                    let mut grad = buf[cross_base + row];
+                    for t in 1..j {
+                        let toff = (t - 1) * mu;
+                        for b in 0..mu {
+                            grad += gram.get(row, toff + b) * deltas[toff + b];
+                        }
+                    }
+                    cand.push(x[coords[a]] - eta * grad);
+                }
+                reg.prox_block(&mut cand, coords, eta);
+                let block_nnz = data.local_nnz_of(coords);
+                for (a, &c) in coords.iter().enumerate() {
+                    let dx = cand[a] - x[c];
+                    deltas[off + a] = dx;
+                    if dx != 0.0 {
+                        x[c] += dx;
+                        data.csc.col(c).axpy_into(dx, &mut residual);
+                    }
+                }
+                comm.charge_flops(
+                    KernelClass::Vector,
+                    charges::lasso_update_flops(block_nnz, mu as u64) / 2,
+                    block_nnz + mu as u64,
+                );
+            }
+        }
+    }
+
+    let resid_global = comm.allreduce_scalar(sparsela::vecops::nrm2_sq(&residual));
+    trace.push(h, 0.5 * resid_global + reg.value(&x), comm.clock());
+    SolveResult { x, trace, iters: h }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prox::Lasso;
+    use crate::seq;
+    use datagen::{planted_regression, uniform_sparse};
+    use mpisim::{CostModel, ThreadMachine};
+
+    fn problem(seed: u64) -> Dataset {
+        let a = uniform_sparse(120, 60, 0.15, seed);
+        planted_regression(a, 5, 0.05, seed).dataset
+    }
+
+    fn cfg(mu: usize, s: usize, iters: usize) -> LassoConfig {
+        LassoConfig {
+            mu,
+            s,
+            lambda: 0.05,
+            seed: 11,
+            max_iters: iters,
+            trace_every: 32,
+            rel_tol: None,
+        ..Default::default()
+        }
+    }
+
+    fn run_dist(
+        ds: &Dataset,
+        p: usize,
+        c: &LassoConfig,
+        acc: bool,
+    ) -> Vec<SolveResult> {
+        let (_, blocks) = LassoRankData::split(ds, p, false);
+        let reg = Lasso::new(c.lambda);
+        ThreadMachine::run(p, CostModel::cray_xc30(), |comm| {
+            let data = &blocks[comm.rank()];
+            if acc {
+                dist_sa_accbcd(comm, data, &reg, c)
+            } else {
+                dist_sa_bcd(comm, data, &reg, c)
+            }
+        })
+        .into_iter()
+        .map(|(r, _)| r)
+        .collect()
+    }
+
+    #[test]
+    fn all_ranks_agree_bitwise() {
+        let ds = problem(1);
+        let results = run_dist(&ds, 4, &cfg(4, 8, 96), true);
+        for r in &results[1..] {
+            assert_eq!(r.x, results[0].x, "replicated iterates must agree");
+        }
+    }
+
+    #[test]
+    fn acc_distributed_matches_sequential() {
+        let ds = problem(2);
+        for p in [1usize, 2, 5] {
+            for s in [1usize, 8] {
+                let c = cfg(4, s, 160);
+                let seq_res = seq::sa_accbcd(&ds, &Lasso::new(c.lambda), &c);
+                let dist_res = &run_dist(&ds, p, &c, true)[0];
+                let rel = (seq_res.final_value() - dist_res.final_value()).abs()
+                    / seq_res.final_value();
+                assert!(rel < 1e-10, "p={p} s={s}: rel err {rel}");
+            }
+        }
+    }
+
+    #[test]
+    fn plain_distributed_matches_sequential() {
+        let ds = problem(3);
+        for p in [2usize, 4] {
+            for s in [1usize, 16] {
+                let c = cfg(2, s, 128);
+                let seq_res = seq::sa_bcd(&ds, &Lasso::new(c.lambda), &c);
+                let dist_res = &run_dist(&ds, p, &c, false)[0];
+                let rel = (seq_res.final_value() - dist_res.final_value()).abs()
+                    / seq_res.final_value();
+                assert!(rel < 1e-10, "p={p} s={s}: rel err {rel}");
+            }
+        }
+    }
+
+    #[test]
+    fn sa_uses_fewer_messages_and_less_time() {
+        let ds = problem(4);
+        let p = 8;
+        let (_, blocks) = LassoRankData::split(&ds, p, false);
+        let run = |s: usize| {
+            let c = LassoConfig {
+                trace_every: 0,
+                ..cfg(1, s, 128)
+            };
+            let reg = Lasso::new(c.lambda);
+            let (_, report) = ThreadMachine::run_report(p, CostModel::cray_xc30(), |comm| {
+                dist_sa_accbcd(comm, &blocks[comm.rank()], &reg, &c)
+            });
+            report
+        };
+        let classic = run(1);
+        let sa = run(16);
+        assert!(
+            sa.critical.messages < classic.critical.messages / 8,
+            "SA messages {} vs classic {}",
+            sa.critical.messages,
+            classic.critical.messages
+        );
+        assert!(
+            sa.running_time() < classic.running_time(),
+            "SA time {} vs classic {}",
+            sa.running_time(),
+            classic.running_time()
+        );
+        assert!(
+            sa.critical.words > classic.critical.words,
+            "SA must move more words ({} vs {})",
+            sa.critical.words,
+            classic.critical.words
+        );
+    }
+
+    #[test]
+    fn balanced_split_covers_all_rows() {
+        let ds = problem(5);
+        let (part, blocks) = LassoRankData::split(&ds, 3, true);
+        assert_eq!(part.domain(), 120);
+        let total_rows: usize = blocks.iter().map(|b| b.csc.rows()).sum();
+        assert_eq!(total_rows, 120);
+        let total_nnz: usize = blocks.iter().map(|b| b.csc.nnz()).sum();
+        assert_eq!(total_nnz, ds.a.nnz());
+    }
+
+    #[test]
+    fn trace_times_are_monotone() {
+        let ds = problem(6);
+        let results = run_dist(&ds, 4, &cfg(2, 4, 64), true);
+        for r in &results {
+            let pts = r.trace.points();
+            for w in pts.windows(2) {
+                assert!(w[1].time >= w[0].time, "simulated time must not regress");
+            }
+            assert!(pts.last().expect("nonempty").time > 0.0);
+        }
+    }
+}

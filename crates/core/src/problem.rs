@@ -1,0 +1,228 @@
+//! Objective functions: proximal least-squares and the SVM primal/dual
+//! pair with its duality gap.
+
+use crate::config::SvmLoss;
+use crate::prox::Regularizer;
+use sparsela::io::Dataset;
+use sparsela::{vecops, CsrMatrix};
+
+/// Proximal least-squares objective `½‖Ax − b‖₂² + g(x)` (§III; the Lasso
+/// case is `g(x) = λ‖x‖₁`).
+pub fn lasso_objective<R: Regularizer>(ds: &Dataset, reg: &R, x: &[f64]) -> f64 {
+    let r = ds.a.spmv(x);
+    let res_sq: f64 = r.iter().zip(&ds.b).map(|(ri, bi)| (ri - bi) * (ri - bi)).sum();
+    0.5 * res_sq + reg.value(x)
+}
+
+/// Objective from an already-maintained residual `r = Ax − b` (the solvers
+/// carry the residual, so tracing costs O(m + n), not an SpMV).
+pub fn lasso_objective_from_residual<R: Regularizer>(residual: &[f64], reg: &R, x: &[f64]) -> f64 {
+    0.5 * vecops::nrm2_sq(residual) + reg.value(x)
+}
+
+/// The linear SVM problem of §V: data `A ∈ R^{m×n}`, binary labels
+/// `b ∈ {−1,+1}^m`, penalty λ, and loss `max(1 − bᵢAᵢx, 0)` (L1) or its
+/// square (L2). Solved in the dual (eq. 12–13):
+///
+/// ```text
+/// min_α ½ αᵀ(Q + γI)α − eᵀα,   0 ≤ αᵢ ≤ ν
+/// ```
+///
+/// with `Qᵢⱼ = bᵢbⱼAᵢAⱼᵀ`; SVM-L1: γ = 0, ν = λ; SVM-L2: γ = 1/(2λ),
+/// ν = ∞.
+#[derive(Clone, Debug)]
+pub struct SvmProblem {
+    /// Which hinge loss.
+    pub loss: SvmLoss,
+    /// Penalty parameter λ (the `C` of Hsieh et al.).
+    pub lambda: f64,
+}
+
+impl SvmProblem {
+    /// A new SVM problem description.
+    pub fn new(loss: SvmLoss, lambda: f64) -> Self {
+        assert!(lambda > 0.0, "lambda must be positive");
+        Self { loss, lambda }
+    }
+
+    /// The dual diagonal shift γ.
+    pub fn gamma(&self) -> f64 {
+        match self.loss {
+            SvmLoss::L1 => 0.0,
+            SvmLoss::L2 => 0.5 / self.lambda,
+        }
+    }
+
+    /// The dual box bound ν (∞ for L2).
+    pub fn nu(&self) -> f64 {
+        match self.loss {
+            SvmLoss::L1 => self.lambda,
+            SvmLoss::L2 => f64::INFINITY,
+        }
+    }
+
+    /// Primal objective `P(x) = ½‖x‖² + λ Σᵢ loss(AᵢX, bᵢ)`.
+    pub fn primal_objective(&self, a: &CsrMatrix, b: &[f64], x: &[f64]) -> f64 {
+        assert_eq!(a.rows(), b.len(), "labels/rows mismatch");
+        let margins = a.spmv(x);
+        let loss_sum: f64 = margins
+            .iter()
+            .zip(b)
+            .map(|(m, bi)| {
+                let xi = (1.0 - bi * m).max(0.0);
+                match self.loss {
+                    SvmLoss::L1 => xi,
+                    SvmLoss::L2 => xi * xi,
+                }
+            })
+            .sum();
+        0.5 * vecops::nrm2_sq(x) + self.lambda * loss_sum
+    }
+
+    /// Dual objective `D(α) = ½αᵀQ̄α − eᵀα`, evaluated cheaply from the
+    /// maintained primal iterate `x = Σ bᵢαᵢAᵢᵀ`, since
+    /// `αᵀQα = ‖x‖²` and the diagonal shift contributes `γ‖α‖²`.
+    pub fn dual_objective(&self, x: &[f64], alpha: &[f64]) -> f64 {
+        0.5 * (vecops::nrm2_sq(x) + self.gamma() * vecops::nrm2_sq(alpha))
+            - alpha.iter().sum::<f64>()
+    }
+
+    /// Duality gap `P(x) + D(α)` — the convergence criterion of §VI
+    /// ("duality gap is a stronger criterion than the relative objective
+    /// error"). Nonnegative up to round-off; zero at the optimum because
+    /// primal and dual linear SVM are strongly dual.
+    pub fn duality_gap(&self, a: &CsrMatrix, b: &[f64], x: &[f64], alpha: &[f64]) -> f64 {
+        self.primal_objective(a, b, x) + self.dual_objective(x, alpha)
+    }
+
+    /// Recover the primal iterate from a dual point: `x = Σᵢ bᵢαᵢAᵢᵀ`.
+    pub fn primal_from_dual(&self, a: &CsrMatrix, b: &[f64], alpha: &[f64]) -> Vec<f64> {
+        assert_eq!(a.rows(), alpha.len(), "alpha length mismatch");
+        let mut x = vec![0.0; a.cols()];
+        for i in 0..a.rows() {
+            let w = b[i] * alpha[i];
+            if w != 0.0 {
+                a.row(i).axpy_into(w, &mut x);
+            }
+        }
+        x
+    }
+
+    /// Classification accuracy of `x` on a labeled set.
+    pub fn accuracy(&self, a: &CsrMatrix, b: &[f64], x: &[f64]) -> f64 {
+        let margins = a.spmv(x);
+        let correct = margins
+            .iter()
+            .zip(b)
+            .filter(|(m, bi)| m.signum() == **bi || (**bi == 1.0 && **m == 0.0))
+            .count();
+        correct as f64 / b.len().max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prox::Lasso;
+    use sparsela::DenseMatrix;
+
+    fn toy() -> (CsrMatrix, Vec<f64>) {
+        let a = CsrMatrix::from_dense(&DenseMatrix::from_rows(&[
+            &[1.0, 0.0],
+            &[0.0, 1.0],
+            &[-1.0, -1.0],
+        ]));
+        let b = vec![1.0, 1.0, -1.0];
+        (a, b)
+    }
+
+    #[test]
+    fn lasso_objective_zero_solution() {
+        let (a, b) = toy();
+        let ds = Dataset { a, b };
+        let reg = Lasso::new(0.5);
+        let x = vec![0.0, 0.0];
+        let f = lasso_objective(&ds, &reg, &x);
+        assert!((f - 1.5).abs() < 1e-15); // ½(1+1+1)
+    }
+
+    #[test]
+    fn objective_from_residual_matches() {
+        let (a, b) = toy();
+        let ds = Dataset { a, b };
+        let reg = Lasso::new(0.3);
+        let x = vec![0.5, -0.25];
+        let mut r = ds.a.spmv(&x);
+        for (ri, bi) in r.iter_mut().zip(&ds.b) {
+            *ri -= bi;
+        }
+        assert!(
+            (lasso_objective(&ds, &reg, &x) - lasso_objective_from_residual(&r, &reg, &x)).abs()
+                < 1e-14
+        );
+    }
+
+    #[test]
+    fn gamma_nu_by_loss() {
+        let p1 = SvmProblem::new(SvmLoss::L1, 2.0);
+        assert_eq!(p1.gamma(), 0.0);
+        assert_eq!(p1.nu(), 2.0);
+        let p2 = SvmProblem::new(SvmLoss::L2, 2.0);
+        assert_eq!(p2.gamma(), 0.25);
+        assert_eq!(p2.nu(), f64::INFINITY);
+    }
+
+    #[test]
+    fn duality_gap_nonnegative_at_random_points() {
+        let (a, b) = toy();
+        let prob = SvmProblem::new(SvmLoss::L1, 1.0);
+        let mut rng = xrng::rng_from_seed(3);
+        for _ in 0..200 {
+            let alpha: Vec<f64> = (0..3).map(|_| rng.next_f64() * prob.nu()).collect();
+            let x = prob.primal_from_dual(&a, &b, &alpha);
+            let gap = prob.duality_gap(&a, &b, &x, &alpha);
+            assert!(gap >= -1e-12, "gap {gap} negative");
+        }
+    }
+
+    #[test]
+    fn duality_gap_nonnegative_l2() {
+        let (a, b) = toy();
+        let prob = SvmProblem::new(SvmLoss::L2, 1.0);
+        let mut rng = xrng::rng_from_seed(4);
+        for _ in 0..200 {
+            let alpha: Vec<f64> = (0..3).map(|_| rng.next_f64() * 3.0).collect();
+            let x = prob.primal_from_dual(&a, &b, &alpha);
+            let gap = prob.duality_gap(&a, &b, &x, &alpha);
+            assert!(gap >= -1e-12, "gap {gap} negative");
+        }
+    }
+
+    #[test]
+    fn dual_objective_matches_explicit_quadratic() {
+        let (a, b) = toy();
+        let prob = SvmProblem::new(SvmLoss::L2, 0.5);
+        let alpha = vec![0.2, 0.4, 0.1];
+        let x = prob.primal_from_dual(&a, &b, &alpha);
+        // explicit: ½ αᵀ(Q+γI)α − Σα with Qij = bibj Ai·Aj
+        let d = a.to_dense();
+        let mut quad = 0.0;
+        for i in 0..3 {
+            for j in 0..3 {
+                let dot: f64 = (0..2).map(|k| d.get(i, k) * d.get(j, k)).sum();
+                quad += alpha[i] * alpha[j] * b[i] * b[j] * dot;
+            }
+            quad += prob.gamma() * alpha[i] * alpha[i];
+        }
+        let explicit = 0.5 * quad - alpha.iter().sum::<f64>();
+        assert!((prob.dual_objective(&x, &alpha) - explicit).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accuracy_on_separable_toy() {
+        let (a, b) = toy();
+        let prob = SvmProblem::new(SvmLoss::L1, 1.0);
+        let x = vec![1.0, 1.0]; // classifies all three points correctly
+        assert_eq!(prob.accuracy(&a, &b, &x), 1.0);
+    }
+}

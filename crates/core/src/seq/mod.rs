@@ -1,0 +1,159 @@
+//! Sequential reference implementations of all eight methods.
+//!
+//! These are the ground truth the distributed and simulated variants are
+//! tested against, and what generates the paper's MATLAB-style numerics
+//! experiments (Fig. 2, Table III, Fig. 5):
+//!
+//! * [`bcd`] — non-accelerated block coordinate descent (CD for µ = 1).
+//! * [`acc_bcd`] — Algorithm 1, accelerated BCD (accCD for µ = 1).
+//! * [`sa_bcd`] — SA variant of `bcd` by s-step recurrence unrolling.
+//! * [`sa_accbcd`] — Algorithm 2, SA accelerated BCD (eqs. 3–9).
+//! * [`svm`] — Algorithm 3, dual coordinate descent for linear SVM.
+//! * [`sa_svm`] — Algorithm 4, SA dual coordinate descent (eqs. 14–15).
+//!
+//! All of them draw coordinates from the workspace RNG seeded by the
+//! config, with *identical draw sequences* between an algorithm and its SA
+//! variant — the property that makes the SA ≡ non-SA equivalence testable
+//! to round-off.
+
+mod accbcd;
+mod bcd;
+mod sa_accbcd;
+mod sa_bcd;
+mod sa_svm;
+pub(crate) mod svm;
+
+pub use accbcd::acc_bcd;
+pub use bcd::bcd;
+pub use sa_accbcd::sa_accbcd;
+pub use sa_bcd::sa_bcd;
+pub use sa_svm::sa_svm;
+pub use svm::svm;
+
+/// Draw one µ-coordinate block according to the configured sampling
+/// scheme: plain without-replacement coordinates (the paper's Alg. 1
+/// line 5), or whole aligned groups (for exact Group Lasso proximal
+/// steps). All solvers — sequential, distributed, simulated — share this
+/// function so their RNG streams coincide.
+pub(crate) fn sample_block(
+    rng: &mut xrng::Rng,
+    n: usize,
+    mu: usize,
+    sampling: crate::config::BlockSampling,
+) -> Vec<usize> {
+    match sampling {
+        crate::config::BlockSampling::Coordinates => {
+            xrng::sample_without_replacement(rng, n, mu)
+        }
+        crate::config::BlockSampling::AlignedGroups { group_size } => {
+            let groups = xrng::sample_without_replacement(rng, n / group_size, mu / group_size);
+            let mut coords = Vec::with_capacity(mu);
+            for g in groups {
+                coords.extend(g * group_size..(g + 1) * group_size);
+            }
+            coords
+        }
+    }
+}
+
+/// The θ recurrence shared by Alg. 1 line 18 and Alg. 2 line 9:
+/// `θ₊ = (√(θ⁴ + 4θ²) − θ²)/2`.
+#[inline]
+pub(crate) fn theta_next(theta: f64) -> f64 {
+    let t2 = theta * theta;
+    0.5 * ((t2 * t2 + 4.0 * t2).sqrt() - t2)
+}
+
+/// Largest eigenvalue of a sampled µ×µ Gram block — the "optimal Lipschitz
+/// constant" of Alg. 1 line 10 — with the µ = 1 fast path (the Gram matrix
+/// is the scalar ‖column‖²).
+#[inline]
+pub(crate) fn block_lipschitz(g: &sparsela::DenseMatrix) -> f64 {
+    if g.rows() == 1 {
+        g.get(0, 0)
+    } else {
+        sparsela::eig::max_eigenvalue(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theta_recurrence_decreases_and_stays_positive() {
+        let mut theta = 0.5f64;
+        for _ in 0..10_000 {
+            let next = theta_next(theta);
+            assert!(next > 0.0, "theta must stay positive");
+            assert!(next < theta, "theta must decrease");
+            theta = next;
+        }
+        // θ_h decays like O(1/h) for accelerated methods
+        assert!(theta < 1e-3, "theta after 10k iters: {theta}");
+    }
+
+    #[test]
+    fn theta_fixed_point_is_zero() {
+        assert!(theta_next(0.0).abs() < 1e-300);
+    }
+}
+
+#[cfg(test)]
+mod sampling_tests {
+    use super::sample_block;
+    use crate::config::BlockSampling;
+    use xrng::rng_from_seed;
+
+    #[test]
+    fn coordinate_sampling_is_plain_without_replacement() {
+        let mut rng = rng_from_seed(1);
+        let s = sample_block(&mut rng, 100, 8, BlockSampling::Coordinates);
+        assert_eq!(s.len(), 8);
+        let mut sorted = s.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 8);
+    }
+
+    #[test]
+    fn aligned_sampling_returns_whole_groups() {
+        let mut rng = rng_from_seed(2);
+        for _ in 0..100 {
+            let s = sample_block(
+                &mut rng,
+                40,
+                8,
+                BlockSampling::AlignedGroups { group_size: 4 },
+            );
+            assert_eq!(s.len(), 8);
+            // coordinates come in runs of whole groups
+            for chunk in s.chunks(4) {
+                let g = chunk[0] / 4;
+                assert_eq!(chunk, (g * 4..(g + 1) * 4).collect::<Vec<_>>());
+            }
+            // the two groups are distinct
+            assert_ne!(s[0] / 4, s[4] / 4);
+        }
+    }
+
+    #[test]
+    fn aligned_sampling_covers_all_groups_uniformly() {
+        let mut rng = rng_from_seed(3);
+        let mut counts = [0u32; 10];
+        let trials = 20_000;
+        for _ in 0..trials {
+            let s = sample_block(
+                &mut rng,
+                20,
+                2,
+                BlockSampling::AlignedGroups { group_size: 2 },
+            );
+            counts[s[0] / 2] += 1;
+        }
+        for &c in &counts {
+            let p = c as f64 / trials as f64;
+            assert!((p - 0.1).abs() < 0.02, "group marginal {p}");
+        }
+    }
+}

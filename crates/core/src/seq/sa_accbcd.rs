@@ -1,0 +1,251 @@
+//! Algorithm 2: Synchronization-Avoiding accelerated BCD (SA-accBCD).
+//!
+//! The recurrence unrolling of §III: every outer iteration samples `s`
+//! blocks up front, computes **one** `sµ × sµ` Gram matrix
+//! `G = YᵀY` and **one** cross product `Yᵀ[ỹ z̃]` (lines 10–12 — the only
+//! communication in the distributed setting), then runs `s` inner
+//! iterations whose residual-gradients are reconstructed from `G` and the
+//! accumulated `Δz`s via eq. (3):
+//!
+//! ```text
+//! r_{sk+j} = θ²ỹ′ + z̃′ − Σ_{t<j} (θ²_{sk+j−1}(1−qθ_{sk+t−1})/θ²_{sk+t−1} − 1)·G_{j,t}·Δz_{sk+t}
+//! ```
+//!
+//! No fresh `AᵀA` or `Aᵀ(θ²ỹ + z̃)` products are formed inside the inner
+//! loop — that is the whole point. In exact arithmetic the iterates equal
+//! Algorithm 1's; the `sa_equivalence` tests check this to round-off.
+
+use crate::config::LassoConfig;
+use crate::prox::Regularizer;
+use crate::seq::accbcd::implicit_objective;
+use crate::seq::{block_lipschitz, theta_next};
+use crate::trace::{ConvergenceTrace, SolveResult};
+use sparsela::gram::{sampled_cross, sampled_gram};
+use sparsela::io::Dataset;
+use xrng::rng_from_seed;
+
+/// Solve `min_x ½‖Ax − b‖² + g(x)` with Algorithm 2 (SA-accBCD;
+/// SA-accCD for µ = 1). With `cfg.s = 1` this coincides with Algorithm 1.
+pub fn sa_accbcd<R: Regularizer>(ds: &Dataset, reg: &R, cfg: &LassoConfig) -> SolveResult {
+    let (m, n) = (ds.a.rows(), ds.a.cols());
+    cfg.validate(n);
+    assert_eq!(ds.b.len(), m, "label length mismatch");
+    let csc = ds.a.to_csc();
+    let mut rng = rng_from_seed(cfg.seed);
+    let q = cfg.q(n);
+    let mu = cfg.mu;
+
+    let mut theta = mu as f64 / n as f64;
+    let mut y = vec![0.0; n];
+    let mut z = vec![0.0; n];
+    let mut ytilde = vec![0.0; m];
+    let mut ztilde: Vec<f64> = ds.b.iter().map(|b| -b).collect();
+
+    let mut trace = ConvergenceTrace::new();
+    trace.push(0, implicit_objective(theta, &y, &z, &ytilde, &ztilde, reg), 0.0);
+    let mut last_traced = trace.initial_value();
+
+    let mut h = 0usize;
+    'outer: while h < cfg.max_iters {
+        let s_block = cfg.s.min(cfg.max_iters - h);
+        // Lines 6–8: draw all s blocks up front (identical RNG stream to
+        // Algorithm 1, which draws the same sets one iteration at a time).
+        let mut sel = Vec::with_capacity(s_block * mu);
+        for _ in 0..s_block {
+            sel.extend(crate::seq::sample_block(&mut rng, n, mu, cfg.sampling));
+        }
+        // Line 9: the θ sequence for the whole block, computed up front.
+        let mut thetas = Vec::with_capacity(s_block + 1);
+        thetas.push(theta);
+        for j in 0..s_block {
+            thetas.push(theta_next(thetas[j]));
+        }
+        // Lines 10–12: the one-shot Gram and cross products (the
+        // communication step in the distributed setting).
+        let gram = sampled_gram(&csc, &sel);
+        let cross = sampled_cross(&csc, &sel, &[&ytilde, &ztilde]);
+
+        // Inner loop (lines 13–22): recurrences only.
+        let mut deltas = vec![0.0f64; s_block * mu]; // Δz_{sk+t}, flat
+        for j in 1..=s_block {
+            let off = (j - 1) * mu;
+            let coords = &sel[off..off + mu];
+            // Line 14: v = λmax of the j-th diagonal µ×µ block of G.
+            let gjj = gram.diag_block(off, off + mu);
+            let v = block_lipschitz(&gjj);
+            let theta_prev = thetas[j - 1];
+            let t2 = theta_prev * theta_prev;
+            h += 1;
+            if v > 0.0 {
+                // Line 15.
+                let eta = 1.0 / (q * theta_prev * v);
+                // Line 16, eq. (3): r from ỹ′, z̃′ and Gram corrections.
+                let mut cand = Vec::with_capacity(mu);
+                for a in 0..mu {
+                    let row = off + a;
+                    let mut r = t2 * cross.get(row, 0) + cross.get(row, 1);
+                    for t in 1..j {
+                        let tp = thetas[t - 1];
+                        let coef = t2 * (1.0 - q * tp) / (tp * tp) - 1.0;
+                        if coef != 0.0 {
+                            let toff = (t - 1) * mu;
+                            let mut corr = 0.0;
+                            for b in 0..mu {
+                                corr += gram.get(row, toff + b) * deltas[toff + b];
+                            }
+                            r -= coef * corr;
+                        }
+                    }
+                    // Lines 17–18, eqs. (4)–(5): the overlap terms
+                    // Σ IᵀI Δz are exactly the running value of z at these
+                    // coordinates, which we maintain in place (line 19).
+                    cand.push(z[coords[a]] - eta * r);
+                }
+                reg.prox_block(&mut cand, coords, eta);
+                // Lines 19–22: replicated/local vector updates.
+                let ycoef = (1.0 - q * theta_prev) / t2;
+                for (a, &c) in coords.iter().enumerate() {
+                    let dz = cand[a] - z[c];
+                    deltas[off + a] = dz;
+                    if dz != 0.0 {
+                        z[c] += dz;
+                        y[c] -= ycoef * dz;
+                        let col = csc.col(c);
+                        col.axpy_into(dz, &mut ztilde);
+                        col.axpy_into(-ycoef * dz, &mut ytilde);
+                    }
+                }
+            }
+            if (cfg.trace_every > 0 && h.is_multiple_of(cfg.trace_every)) || h == cfg.max_iters {
+                let f = implicit_objective(thetas[j], &y, &z, &ytilde, &ztilde, reg);
+                trace.push(h, f, 0.0);
+                if let Some(tol) = cfg.rel_tol {
+                    if (last_traced - f).abs() <= tol * last_traced.abs().max(1e-300) {
+                        theta = thetas[j];
+                        break 'outer;
+                    }
+                }
+                last_traced = f;
+            }
+        }
+        theta = thetas[s_block];
+    }
+
+    let t2 = theta * theta;
+    let x: Vec<f64> = y.iter().zip(&z).map(|(yi, zi)| t2 * yi + zi).collect();
+    SolveResult { x, trace, iters: h }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prox::Lasso;
+    use crate::seq::acc_bcd;
+    use datagen::{planted_regression, uniform_sparse};
+
+    fn problem(seed: u64) -> datagen::RegressionData {
+        let a = uniform_sparse(150, 80, 0.15, seed);
+        planted_regression(a, 6, 0.05, seed)
+    }
+
+    fn cfg(mu: usize, s: usize, iters: usize, seed: u64) -> LassoConfig {
+        LassoConfig {
+            mu,
+            s,
+            lambda: 0.05,
+            seed,
+            max_iters: iters,
+            trace_every: 25,
+            rel_tol: None,
+        ..Default::default()
+        }
+    }
+
+    #[test]
+    fn s_equals_one_matches_acc_bcd_exactly() {
+        let reg = problem(1);
+        let c = cfg(4, 1, 300, 2);
+        let lasso = Lasso::new(c.lambda);
+        let a = acc_bcd(&reg.dataset, &lasso, &c);
+        let b = sa_accbcd(&reg.dataset, &lasso, &c);
+        // identical computation graph up to benign reassociation
+        for (p, q) in a.trace.points().iter().zip(b.trace.points()) {
+            assert!(
+                (p.value - q.value).abs() < 1e-10 * p.value.abs().max(1.0),
+                "iter {}: {} vs {}",
+                p.iter,
+                p.value,
+                q.value
+            );
+        }
+    }
+
+    #[test]
+    fn sa_matches_classical_along_the_whole_trace() {
+        // The central claim: "the convergence rates and behavior of the
+        // standard accelerated BCD algorithm is the same (in exact
+        // arithmetic)" — same seed ⇒ same iterates to round-off.
+        let reg = problem(3);
+        for s in [2usize, 5, 16, 64] {
+            let c = cfg(4, s, 320, 4);
+            let lasso = Lasso::new(c.lambda);
+            let a = acc_bcd(&reg.dataset, &lasso, &c);
+            let b = sa_accbcd(&reg.dataset, &lasso, &c);
+            assert_eq!(a.trace.len(), b.trace.len());
+            for (p, q) in a.trace.points().iter().zip(b.trace.points()) {
+                let rel = (p.value - q.value).abs() / p.value.abs().max(1e-300);
+                assert!(rel < 1e-9, "s={s} iter {}: rel err {rel}", p.iter);
+            }
+            // final iterates agree coordinate-wise
+            for (xa, xb) in a.x.iter().zip(&b.x) {
+                assert!((xa - xb).abs() < 1e-8, "s={s}: {xa} vs {xb}");
+            }
+        }
+    }
+
+    #[test]
+    fn sa_cd_variant_matches_too() {
+        let reg = problem(5);
+        let c = cfg(1, 32, 640, 6);
+        let lasso = Lasso::new(c.lambda);
+        let a = acc_bcd(&reg.dataset, &lasso, &c);
+        let b = sa_accbcd(&reg.dataset, &lasso, &c);
+        let rel = a.relative_error_vs(&b);
+        assert!(rel < 1e-10, "relative objective error {rel}");
+    }
+
+    #[test]
+    fn partial_final_block_is_handled() {
+        // H = 100 with s = 64 leaves a 36-iteration tail block.
+        let reg = problem(7);
+        let c = cfg(2, 64, 100, 8);
+        let lasso = Lasso::new(c.lambda);
+        let res = sa_accbcd(&reg.dataset, &lasso, &c);
+        assert_eq!(res.iters, 100);
+        let reference = acc_bcd(&reg.dataset, &lasso, &c);
+        let rel = res.relative_error_vs(&reference);
+        assert!(rel < 1e-10, "relative error {rel}");
+    }
+
+    #[test]
+    fn huge_s_is_numerically_stable() {
+        // The paper tests s = 1000 and finds errors at machine precision
+        // (Table III).
+        let reg = problem(9);
+        let c = LassoConfig {
+            mu: 1,
+            s: 1000,
+            lambda: 0.05,
+            seed: 10,
+            max_iters: 1000,
+            trace_every: 0,
+            rel_tol: None,
+        ..Default::default()
+        };
+        let lasso = Lasso::new(c.lambda);
+        let a = acc_bcd(&reg.dataset, &lasso, &c);
+        let b = sa_accbcd(&reg.dataset, &lasso, &c);
+        let rel = a.relative_error_vs(&b);
+        assert!(rel < 1e-12, "relative objective error {rel} at s=1000");
+    }
+}

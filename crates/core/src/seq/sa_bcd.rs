@@ -1,0 +1,259 @@
+//! Synchronization-avoiding *non-accelerated* BCD (the paper's SA-BCD /
+//! SA-CD curves in Figures 2–3).
+//!
+//! The same s-step unrolling as Algorithm 2 applied to plain block
+//! coordinate descent: with the residual frozen at the outer boundary,
+//! the inner block gradients are
+//!
+//! ```text
+//! ∇_{sk+j} = A_{sk+j}ᵀ r̃_sk + Σ_{t<j} G_{j,t} Δx_{sk+t}
+//! ```
+//!
+//! so one `sµ × sµ` Gram + one `Yᵀr̃` cross product serve `s` iterations.
+
+use crate::config::LassoConfig;
+use crate::problem::lasso_objective_from_residual;
+use crate::prox::Regularizer;
+use crate::seq::block_lipschitz;
+use crate::trace::{ConvergenceTrace, SolveResult};
+use sparsela::gram::{sampled_cross, sampled_gram};
+use sparsela::io::Dataset;
+use xrng::rng_from_seed;
+
+/// Solve `min_x ½‖Ax − b‖² + g(x)` with s-step SA-BCD (SA-CD for µ = 1).
+/// With `cfg.s = 1` this coincides with classical BCD.
+pub fn sa_bcd<R: Regularizer>(ds: &Dataset, reg: &R, cfg: &LassoConfig) -> SolveResult {
+    let (m, n) = (ds.a.rows(), ds.a.cols());
+    cfg.validate(n);
+    assert_eq!(ds.b.len(), m, "label length mismatch");
+    let csc = ds.a.to_csc();
+    let mut rng = rng_from_seed(cfg.seed);
+    let mu = cfg.mu;
+
+    let mut x = vec![0.0; n];
+    let mut residual: Vec<f64> = ds.b.iter().map(|b| -b).collect();
+
+    let mut trace = ConvergenceTrace::new();
+    trace.push(0, lasso_objective_from_residual(&residual, reg, &x), 0.0);
+    let mut last_traced = trace.initial_value();
+
+    let mut h = 0usize;
+    'outer: while h < cfg.max_iters {
+        let s_block = cfg.s.min(cfg.max_iters - h);
+        let mut sel = Vec::with_capacity(s_block * mu);
+        for _ in 0..s_block {
+            sel.extend(crate::seq::sample_block(&mut rng, n, mu, cfg.sampling));
+        }
+        // One communication round's worth of reductions.
+        let gram = sampled_gram(&csc, &sel);
+        let cross = sampled_cross(&csc, &sel, &[&residual]);
+
+        let mut deltas = vec![0.0f64; s_block * mu];
+        for j in 1..=s_block {
+            let off = (j - 1) * mu;
+            let coords = &sel[off..off + mu];
+            let gjj = gram.diag_block(off, off + mu);
+            let lip = block_lipschitz(&gjj);
+            h += 1;
+            if lip > 0.0 {
+                let eta = 1.0 / lip;
+                let mut cand = Vec::with_capacity(mu);
+                for a in 0..mu {
+                    let row = off + a;
+                    let mut grad = cross.get(row, 0);
+                    for t in 1..j {
+                        let toff = (t - 1) * mu;
+                        for b in 0..mu {
+                            grad += gram.get(row, toff + b) * deltas[toff + b];
+                        }
+                    }
+                    // x is maintained in place, so x[c] already carries the
+                    // Σ IᵀI Δx overlap corrections of eq. (4)'s analogue.
+                    cand.push(x[coords[a]] - eta * grad);
+                }
+                reg.prox_block(&mut cand, coords, eta);
+                for (a, &c) in coords.iter().enumerate() {
+                    let dx = cand[a] - x[c];
+                    deltas[off + a] = dx;
+                    if dx != 0.0 {
+                        x[c] += dx;
+                        csc.col(c).axpy_into(dx, &mut residual);
+                    }
+                }
+            }
+            if (cfg.trace_every > 0 && h.is_multiple_of(cfg.trace_every)) || h == cfg.max_iters {
+                let f = lasso_objective_from_residual(&residual, reg, &x);
+                trace.push(h, f, 0.0);
+                if let Some(tol) = cfg.rel_tol {
+                    if (last_traced - f).abs() <= tol * last_traced.abs().max(1e-300) {
+                        break 'outer;
+                    }
+                }
+                last_traced = f;
+            }
+        }
+    }
+    SolveResult { x, trace, iters: h }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prox::{GroupLasso, Lasso};
+    use crate::seq::bcd;
+    use datagen::{planted_regression, uniform_sparse};
+
+    fn problem(seed: u64) -> datagen::RegressionData {
+        let a = uniform_sparse(150, 80, 0.15, seed);
+        planted_regression(a, 6, 0.05, seed)
+    }
+
+    fn cfg(mu: usize, s: usize, iters: usize, seed: u64) -> LassoConfig {
+        LassoConfig {
+            mu,
+            s,
+            lambda: 0.05,
+            seed,
+            max_iters: iters,
+            trace_every: 25,
+            rel_tol: None,
+        ..Default::default()
+        }
+    }
+
+    #[test]
+    fn sa_matches_classical_bcd_along_trace() {
+        let reg = problem(1);
+        for s in [2usize, 8, 32, 100] {
+            let c = cfg(4, s, 400, 2);
+            let lasso = Lasso::new(c.lambda);
+            let a = bcd(&reg.dataset, &lasso, &c);
+            let b = sa_bcd(&reg.dataset, &lasso, &c);
+            assert_eq!(a.trace.len(), b.trace.len());
+            for (p, q) in a.trace.points().iter().zip(b.trace.points()) {
+                let rel = (p.value - q.value).abs() / p.value.abs().max(1e-300);
+                assert!(rel < 1e-9, "s={s} iter {}: rel err {rel}", p.iter);
+            }
+        }
+    }
+
+    #[test]
+    fn sa_cd_matches_cd() {
+        let reg = problem(3);
+        let c = cfg(1, 64, 1280, 4);
+        let lasso = Lasso::new(c.lambda);
+        let a = bcd(&reg.dataset, &lasso, &c);
+        let b = sa_bcd(&reg.dataset, &lasso, &c);
+        let rel = a.relative_error_vs(&b);
+        assert!(rel < 1e-10, "relative objective error {rel}");
+    }
+
+    #[test]
+    fn monotone_descent_at_trace_points() {
+        let reg = problem(5);
+        let c = cfg(4, 16, 800, 6);
+        let res = sa_bcd(&reg.dataset, &Lasso::new(c.lambda), &c);
+        for w in res.trace.points().windows(2) {
+            assert!(w[1].value <= w[0].value + 1e-10);
+        }
+    }
+
+    #[test]
+    fn group_lasso_with_aligned_blocks() {
+        // µ = group size and aligned sampling is approximated by whole-µ
+        // blocks; the run must still descend.
+        let reg = problem(7);
+        let c = cfg(4, 8, 400, 8);
+        let gl = GroupLasso::uniform(0.05, 80, 4);
+        let res = sa_bcd(&reg.dataset, &gl, &c);
+        assert!(res.final_value() < res.trace.initial_value());
+    }
+
+    #[test]
+    fn zero_matrix_is_a_noop() {
+        use sparsela::io::Dataset;
+        use sparsela::CsrMatrix;
+        let ds = Dataset {
+            a: CsrMatrix::zeros(10, 5),
+            b: vec![1.0; 10],
+        };
+        let c = cfg(2, 4, 20, 9);
+        let res = sa_bcd(&ds, &Lasso::new(0.1), &c);
+        assert!(res.x.iter().all(|&v| v == 0.0));
+        assert_eq!(res.final_value(), res.trace.initial_value());
+    }
+}
+
+#[cfg(test)]
+mod aligned_group_tests {
+    use super::*;
+    use crate::config::BlockSampling;
+    use crate::prox::GroupLasso;
+    use crate::seq::bcd;
+    use datagen::{planted_regression, uniform_sparse};
+
+    /// With group-aligned sampling the Group Lasso prox is exact, so the
+    /// solution must be group-sparse: no group partially selected.
+    #[test]
+    fn aligned_sampling_gives_group_sparse_solutions() {
+        let a = uniform_sparse(400, 80, 0.3, 71);
+        let reg = planted_regression(a, 8, 0.05, 71);
+        let gl = GroupLasso::uniform(3.0, 80, 4);
+        let c = LassoConfig {
+            mu: 4,
+            s: 8,
+            lambda: 3.0,
+            seed: 72,
+            max_iters: 4000,
+            trace_every: 0,
+            rel_tol: None,
+            sampling: BlockSampling::AlignedGroups { group_size: 4 },
+        };
+        let res = sa_bcd(&reg.dataset, &gl, &c);
+        for g in 0..20 {
+            let cnt = (0..4).filter(|k| res.x[g * 4 + k].abs() > 1e-10).count();
+            assert!(
+                cnt == 0 || cnt == 4,
+                "group {g} partially selected ({cnt}/4 coordinates)"
+            );
+        }
+        assert!(res.final_value() < res.trace.initial_value());
+    }
+
+    /// SA ≡ classical must hold under aligned sampling too (same stream).
+    #[test]
+    fn sa_equivalence_holds_under_aligned_sampling() {
+        let a = uniform_sparse(200, 64, 0.2, 73);
+        let reg = planted_regression(a, 6, 0.05, 73);
+        let gl = GroupLasso::uniform(0.5, 64, 4);
+        let c = LassoConfig {
+            mu: 8,
+            s: 16,
+            lambda: 0.5,
+            seed: 74,
+            max_iters: 320,
+            trace_every: 40,
+            rel_tol: None,
+            sampling: BlockSampling::AlignedGroups { group_size: 4 },
+        };
+        let classic = bcd(&reg.dataset, &gl, &c);
+        let sa = sa_bcd(&reg.dataset, &gl, &c);
+        for (p, q) in classic.trace.points().iter().zip(sa.trace.points()) {
+            let rel = (p.value - q.value).abs() / p.value.abs().max(1e-300);
+            assert!(rel < 1e-9, "iter {}: rel {rel}", p.iter);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple of the group size")]
+    fn misaligned_mu_is_rejected() {
+        let a = uniform_sparse(50, 64, 0.2, 75);
+        let reg = planted_regression(a, 4, 0.05, 75);
+        let c = LassoConfig {
+            mu: 6,
+            sampling: BlockSampling::AlignedGroups { group_size: 4 },
+            ..Default::default()
+        };
+        let _ = sa_bcd(&reg.dataset, &GroupLasso::uniform(0.5, 64, 4), &c);
+    }
+}

@@ -1,0 +1,192 @@
+//! Algorithm 4: Synchronization-Avoiding linear SVM (SA-SVM).
+//!
+//! The s-step unrolling of Algorithm 3 (§V): draw all `s` coordinates up
+//! front, compute one `s × s` Gram matrix `G = YᵀY + γIₛ` and one cross
+//! product `x′ = Yᵀx_sk` (lines 9–10, the only communication), then run
+//! `s` inner iterations from the recurrences of eqs. (14)–(15):
+//!
+//! ```text
+//! β_{sk+j} = Iᵀα_sk + Σ_{t<j} θ_{sk+t}·[i_{sk+t} = i_{sk+j}]
+//! g_{sk+j} = b_j·x′_j − 1 + γβ_{sk+j} + Σ_{t<j} θ_{sk+t}·b_j·b_t·G_{j,t}
+//! ```
+//!
+//! The step sizes `η_{sk+j}` fall out for free as `diag(G)` (line 11).
+
+use crate::config::SvmConfig;
+use crate::problem::SvmProblem;
+use crate::seq::svm::projected_step;
+use crate::trace::{ConvergenceTrace, SolveResult};
+use sparsela::gram::{sampled_cross, sampled_gram};
+use sparsela::io::Dataset;
+use xrng::rng_from_seed;
+
+/// Solve the dual SVM problem with Algorithm 4 (SA-SVM). With `cfg.s = 1`
+/// this coincides with Algorithm 3.
+pub fn sa_svm(ds: &Dataset, cfg: &SvmConfig) -> SolveResult {
+    cfg.validate();
+    let (m, n) = (ds.a.rows(), ds.a.cols());
+    assert_eq!(ds.b.len(), m, "label length mismatch");
+    debug_assert!(ds.b.iter().all(|&b| b == 1.0 || b == -1.0), "labels must be ±1");
+    let prob = SvmProblem::new(cfg.loss, cfg.lambda);
+    let (gamma, nu) = (prob.gamma(), prob.nu());
+    let mut rng = rng_from_seed(cfg.seed);
+
+    let mut alpha = vec![0.0f64; m];
+    let mut x = vec![0.0f64; n];
+
+    let mut trace = ConvergenceTrace::new();
+    trace.push(0, prob.duality_gap(&ds.a, &ds.b, &x, &alpha), 0.0);
+
+    let mut h = 0usize;
+    'outer: while h < cfg.max_iters {
+        let s_block = cfg.s.min(cfg.max_iters - h);
+        // Lines 5–7: the s sampled rows (same RNG stream as Alg. 3).
+        let sel: Vec<usize> = (0..s_block).map(|_| rng.next_index(m)).collect();
+        // Lines 9–11: G = YᵀY + γIₛ and x′ = Yᵀ·x_sk in one shot.
+        let mut gram = sampled_gram(&ds.a, &sel);
+        for j in 0..s_block {
+            gram.set(j, j, gram.get(j, j) + gamma);
+        }
+        let xprime = sampled_cross(&ds.a, &sel, &[&x]);
+
+        // Inner loop (lines 12–21): recurrences only. α is maintained in
+        // place, so α[i_j] carries eq. (14)'s β (initial value plus all
+        // matching prior θ's).
+        let mut thetas = vec![0.0f64; s_block];
+        for j in 1..=s_block {
+            let i = sel[j - 1];
+            let beta = alpha[i];
+            let eta = gram.get(j - 1, j - 1);
+            // eq. (15): gradient from x′ and Gram corrections.
+            let mut g = ds.b[i] * xprime.get(j - 1, 0) - 1.0 + gamma * beta;
+            for t in 1..j {
+                if thetas[t - 1] != 0.0 {
+                    g += thetas[t - 1] * ds.b[i] * ds.b[sel[t - 1]] * gram.get(j - 1, t - 1);
+                }
+            }
+            // Lines 15–19.
+            let theta = projected_step(beta, g, eta, nu);
+            thetas[j - 1] = theta;
+            // Lines 20–21 (local updates; no communication).
+            if theta != 0.0 {
+                alpha[i] += theta;
+                ds.a.row(i).axpy_into(theta * ds.b[i], &mut x);
+            }
+            h += 1;
+            if (cfg.trace_every > 0 && h.is_multiple_of(cfg.trace_every)) || h == cfg.max_iters {
+                let gap = prob.duality_gap(&ds.a, &ds.b, &x, &alpha);
+                trace.push(h, gap, 0.0);
+                if let Some(tol) = cfg.gap_tol {
+                    if gap <= tol {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+    }
+    SolveResult { x, trace, iters: h }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SvmLoss;
+    use crate::seq::svm;
+    use datagen::{binary_classification, dense_gaussian, powerlaw_sparse};
+    use sparsela::io::Dataset;
+
+    fn problem(seed: u64) -> Dataset {
+        let a = dense_gaussian(80, 20, seed);
+        binary_classification(a, 0.05, seed).dataset
+    }
+
+    fn cfg(loss: SvmLoss, s: usize, iters: usize, seed: u64) -> SvmConfig {
+        SvmConfig {
+            loss,
+            lambda: 1.0,
+            s,
+            seed,
+            max_iters: iters,
+            trace_every: 200,
+            gap_tol: None,
+        }
+    }
+
+    /// Duplicate-index handling is the subtle part of eq. (14): with
+    /// replacement sampling, the same coordinate can appear several times
+    /// within one s-block; the β recurrence must chain those updates.
+    #[test]
+    fn sa_matches_classical_with_duplicates_in_block() {
+        // m = 10 rows with s = 50 forces many duplicates per block.
+        let a = dense_gaussian(10, 6, 1);
+        let ds = binary_classification(a, 0.1, 1).dataset;
+        for loss in [SvmLoss::L1, SvmLoss::L2] {
+            let c = cfg(loss, 50, 600, 2);
+            let ref_res = svm(&ds, &c);
+            let sa_res = sa_svm(&ds, &c);
+            assert_eq!(ref_res.trace.len(), sa_res.trace.len());
+            let init = ref_res.trace.initial_value();
+            for (p, q) in ref_res.trace.points().iter().zip(sa_res.trace.points()) {
+                // Once the gap decays toward round-off of the primal scale,
+                // relative comparison is noise; floor the denominator at a
+                // fraction of the initial gap.
+                let denom = p.value.abs().max(1e-7 * init);
+                assert!(
+                    (p.value - q.value).abs() / denom < 1e-8,
+                    "{loss:?} iter {}: {} vs {}",
+                    p.iter,
+                    p.value,
+                    q.value
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sa_matches_classical_l1_and_l2() {
+        let ds = problem(3);
+        for loss in [SvmLoss::L1, SvmLoss::L2] {
+            for s in [4usize, 32, 500] {
+                let c = cfg(loss, s, 2000, 4);
+                let a = svm(&ds, &c);
+                let b = sa_svm(&ds, &c);
+                let rel = a.relative_error_vs(&b);
+                assert!(rel < 1e-8, "{loss:?} s={s}: rel gap err {rel}");
+            }
+        }
+    }
+
+    #[test]
+    fn s_500_is_numerically_stable() {
+        // Figure 5 uses s = 500 and shows overlapping curves.
+        let ds = problem(5);
+        let c = cfg(SvmLoss::L2, 500, 5000, 6);
+        let a = svm(&ds, &c);
+        let b = sa_svm(&ds, &c);
+        let rel = a.relative_error_vs(&b);
+        assert!(rel < 1e-9, "relative duality-gap error {rel}");
+        assert!(b.final_value() < 0.05 * b.trace.initial_value());
+    }
+
+    #[test]
+    fn sparse_powerlaw_data_works() {
+        let a = powerlaw_sparse(300, 100, 0.05, 1.0, 7);
+        let ds = binary_classification(a, 0.05, 7).dataset;
+        let c = cfg(SvmLoss::L1, 64, 6000, 8);
+        let a_res = svm(&ds, &c);
+        let b_res = sa_svm(&ds, &c);
+        let rel = a_res.relative_error_vs(&b_res);
+        assert!(rel < 1e-8, "rel err {rel}");
+    }
+
+    #[test]
+    fn gap_tolerance_stops_at_inner_iteration() {
+        let ds = problem(9);
+        let mut c = cfg(SvmLoss::L2, 128, 500_000, 10);
+        c.gap_tol = Some(1e-1);
+        c.trace_every = 128;
+        let res = sa_svm(&ds, &c);
+        assert!(res.iters < 500_000);
+        assert!(res.final_value() <= 1e-1);
+    }
+}

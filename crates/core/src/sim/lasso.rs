@@ -1,0 +1,420 @@
+//! Virtual-cluster (SA-)accBCD and (SA-)BCD: sequential numerics, exact
+//! per-rank cost attribution. Charge sequences mirror `dist::lasso` call
+//! for call — see the cross-engine test in `tests/cost_model.rs`.
+
+use crate::config::LassoConfig;
+use crate::dist::charges;
+use crate::prox::Regularizer;
+use crate::seq::{block_lipschitz, theta_next};
+use crate::sim::per_rank_sel_nnz;
+use crate::trace::{ConvergenceTrace, SolveResult};
+use datagen::{balanced_partition, block_partition, Partition};
+use mpisim::{CostModel, CostReport, KernelClass, VirtualCluster};
+use sparsela::gram::{sampled_cross, sampled_gram};
+use sparsela::io::Dataset;
+use xrng::rng_from_seed;
+
+fn row_partition(ds: &Dataset, p: usize, balanced: bool) -> Partition {
+    if balanced {
+        let weights: Vec<u64> = ds.a.row_nnz_counts().iter().map(|&c| c as u64).collect();
+        balanced_partition(&weights, p)
+    } else {
+        block_partition(ds.a.rows(), p)
+    }
+}
+
+/// Words in the packed allreduce payload of one outer iteration.
+fn payload_words(width: usize, nvecs: usize, traced: bool) -> u64 {
+    (width * (width + 1) / 2 + nvecs * width + usize::from(traced)) as u64
+}
+
+/// Simulated distributed SA-accBCD on `p` virtual ranks (row partition).
+/// Numerically identical to [`crate::seq::sa_accbcd`]; returns the solve
+/// result (trace times are simulated seconds) and the cost report.
+pub fn sim_sa_accbcd<R: Regularizer>(
+    ds: &Dataset,
+    reg: &R,
+    cfg: &LassoConfig,
+    p: usize,
+    model: CostModel,
+    balanced: bool,
+) -> (SolveResult, CostReport) {
+    let (m, n) = (ds.a.rows(), ds.a.cols());
+    cfg.validate(n);
+    let csc = ds.a.to_csc();
+    let part = row_partition(ds, p, balanced);
+    let rows_of = |r: usize| part.range(r).len() as u64;
+    let mut cluster = VirtualCluster::new(p, model);
+    let mut rng = rng_from_seed(cfg.seed);
+    let q = cfg.q(n);
+    let mu = cfg.mu;
+
+    let mut theta = mu as f64 / n as f64;
+    let mut y = vec![0.0; n];
+    let mut z = vec![0.0; n];
+    let mut ytilde = vec![0.0; m];
+    let mut ztilde: Vec<f64> = ds.b.iter().map(|b| -b).collect();
+
+    let mut trace = ConvergenceTrace::new();
+    cluster.allreduce(1);
+    trace.push(0, 0.5 * sparsela::vecops::nrm2_sq(&ztilde), cluster.time());
+
+    let mut rank_nnz = vec![0u64; p];
+    let mut block_nnz = vec![0u64; p];
+    let mut h = 0usize;
+    while h < cfg.max_iters {
+        let s_block = cfg.s.min(cfg.max_iters - h);
+        let width = s_block * mu;
+        let mut sel = Vec::with_capacity(width);
+        for _ in 0..s_block {
+            sel.extend(crate::seq::sample_block(&mut rng, n, mu, cfg.sampling));
+        }
+        let mut thetas = Vec::with_capacity(s_block + 1);
+        thetas.push(theta);
+        for j in 0..s_block {
+            thetas.push(theta_next(thetas[j]));
+        }
+
+        // Per-rank attribution of the sampled columns' nonzeros, then the
+        // same two kernel charges as the thread engine.
+        per_rank_sel_nnz(&csc, &sel, &part, &mut rank_nnz);
+        let class = charges::gram_class(width as u64);
+        cluster.charge_per_rank_ws(class, |r| {
+            (
+                charges::gram_flops(rank_nnz[r], width as u64),
+                charges::gram_working_set(width as u64, rank_nnz[r]),
+            )
+        });
+        cluster.charge_per_rank_ws(class, |r| {
+            (
+                charges::cross_flops(rank_nnz[r], 2),
+                charges::gram_working_set(width as u64, rank_nnz[r]),
+            )
+        });
+
+        let traced = cfg.trace_every > 0
+            && (h / cfg.trace_every) != ((h + s_block).min(cfg.max_iters) / cfg.trace_every);
+        if traced {
+            cluster.charge_per_rank_ws(KernelClass::Vector, |r| (3 * rows_of(r), rows_of(r)));
+        }
+        cluster.charge_uniform(KernelClass::Vector, charges::OUTER_OVERHEAD_FLOPS, 64);
+        cluster.allreduce(payload_words(width, 2, traced));
+
+        // The numerics, once, globally (bit-identical to seq::sa_accbcd).
+        let gram = sampled_gram(&csc, &sel);
+        let cross = sampled_cross(&csc, &sel, &[&ytilde, &ztilde]);
+        if traced {
+            let t2 = thetas[0] * thetas[0];
+            let resid_sq: f64 = ytilde
+                .iter()
+                .zip(&ztilde)
+                .map(|(yt, zt)| {
+                    let r = t2 * yt + zt;
+                    r * r
+                })
+                .sum();
+            let x: Vec<f64> = y.iter().zip(&z).map(|(yi, zi)| t2 * yi + zi).collect();
+            cluster.charge_uniform(KernelClass::Vector, 2 * n as u64, n as u64);
+            trace.push(h, 0.5 * resid_sq + reg.value(&x), cluster.time());
+        }
+
+        let mut deltas = vec![0.0f64; width];
+        for j in 1..=s_block {
+            let off = (j - 1) * mu;
+            let coords = &sel[off..off + mu];
+            let gjj = gram.diag_block(off, off + mu);
+            let v = block_lipschitz(&gjj);
+            let theta_prev = thetas[j - 1];
+            let t2 = theta_prev * theta_prev;
+            h += 1;
+            cluster.charge_uniform(
+                KernelClass::Vector,
+                charges::subproblem_flops(mu as u64)
+                    + charges::sa_correction_flops(j as u64, mu as u64),
+                (mu * mu) as u64,
+            );
+            if v > 0.0 {
+                let eta = 1.0 / (q * theta_prev * v);
+                let mut cand = Vec::with_capacity(mu);
+                for a in 0..mu {
+                    let row = off + a;
+                    let mut r = t2 * cross.get(row, 0) + cross.get(row, 1);
+                    for t in 1..j {
+                        let tp = thetas[t - 1];
+                        let coef = t2 * (1.0 - q * tp) / (tp * tp) - 1.0;
+                        if coef != 0.0 {
+                            let toff = (t - 1) * mu;
+                            let mut corr = 0.0;
+                            for b in 0..mu {
+                                corr += gram.get(row, toff + b) * deltas[toff + b];
+                            }
+                            r -= coef * corr;
+                        }
+                    }
+                    cand.push(z[coords[a]] - eta * r);
+                }
+                reg.prox_block(&mut cand, coords, eta);
+                let ycoef = (1.0 - q * theta_prev) / t2;
+                for (a, &c) in coords.iter().enumerate() {
+                    let dz = cand[a] - z[c];
+                    deltas[off + a] = dz;
+                    if dz != 0.0 {
+                        z[c] += dz;
+                        y[c] -= ycoef * dz;
+                        let col = csc.col(c);
+                        col.axpy_into(dz, &mut ztilde);
+                        col.axpy_into(-ycoef * dz, &mut ytilde);
+                    }
+                }
+                per_rank_sel_nnz(&csc, coords, &part, &mut block_nnz);
+                cluster.charge_per_rank_ws(KernelClass::Vector, |r| {
+                    (
+                        charges::lasso_update_flops(block_nnz[r], mu as u64),
+                        block_nnz[r] + mu as u64,
+                    )
+                });
+            }
+        }
+        theta = thetas[s_block];
+    }
+
+    cluster.charge_per_rank_ws(KernelClass::Vector, |r| (3 * rows_of(r), rows_of(r)));
+    cluster.allreduce(1);
+    let t2 = theta * theta;
+    let resid_sq: f64 = ytilde
+        .iter()
+        .zip(&ztilde)
+        .map(|(yt, zt)| {
+            let r = t2 * yt + zt;
+            r * r
+        })
+        .sum();
+    let x: Vec<f64> = y.iter().zip(&z).map(|(yi, zi)| t2 * yi + zi).collect();
+    trace.push(h, 0.5 * resid_sq + reg.value(&x), cluster.time());
+    (
+        SolveResult { x, trace, iters: h },
+        cluster.report(),
+    )
+}
+
+/// Simulated distributed SA-BCD (non-accelerated) on `p` virtual ranks.
+pub fn sim_sa_bcd<R: Regularizer>(
+    ds: &Dataset,
+    reg: &R,
+    cfg: &LassoConfig,
+    p: usize,
+    model: CostModel,
+    balanced: bool,
+) -> (SolveResult, CostReport) {
+    let n = ds.a.cols();
+    cfg.validate(n);
+    let csc = ds.a.to_csc();
+    let part = row_partition(ds, p, balanced);
+    let rows_of = |r: usize| part.range(r).len() as u64;
+    let mut cluster = VirtualCluster::new(p, model);
+    let mut rng = rng_from_seed(cfg.seed);
+    let mu = cfg.mu;
+
+    let mut x = vec![0.0; n];
+    let mut residual: Vec<f64> = ds.b.iter().map(|b| -b).collect();
+
+    let mut trace = ConvergenceTrace::new();
+    cluster.allreduce(1);
+    trace.push(0, 0.5 * sparsela::vecops::nrm2_sq(&residual), cluster.time());
+
+    let mut rank_nnz = vec![0u64; p];
+    let mut block_nnz = vec![0u64; p];
+    let mut h = 0usize;
+    while h < cfg.max_iters {
+        let s_block = cfg.s.min(cfg.max_iters - h);
+        let width = s_block * mu;
+        let mut sel = Vec::with_capacity(width);
+        for _ in 0..s_block {
+            sel.extend(crate::seq::sample_block(&mut rng, n, mu, cfg.sampling));
+        }
+
+        per_rank_sel_nnz(&csc, &sel, &part, &mut rank_nnz);
+        let class = charges::gram_class(width as u64);
+        cluster.charge_per_rank_ws(class, |r| {
+            (
+                charges::gram_flops(rank_nnz[r], width as u64),
+                charges::gram_working_set(width as u64, rank_nnz[r]),
+            )
+        });
+        cluster.charge_per_rank_ws(class, |r| {
+            (
+                charges::cross_flops(rank_nnz[r], 1),
+                charges::gram_working_set(width as u64, rank_nnz[r]),
+            )
+        });
+
+        let traced = cfg.trace_every > 0
+            && (h / cfg.trace_every) != ((h + s_block).min(cfg.max_iters) / cfg.trace_every);
+        if traced {
+            cluster.charge_per_rank_ws(KernelClass::Vector, |r| (2 * rows_of(r), rows_of(r)));
+        }
+        cluster.charge_uniform(KernelClass::Vector, charges::OUTER_OVERHEAD_FLOPS, 64);
+        cluster.allreduce(payload_words(width, 1, traced));
+
+        let gram = sampled_gram(&csc, &sel);
+        let cross = sampled_cross(&csc, &sel, &[&residual]);
+        if traced {
+            cluster.charge_uniform(KernelClass::Vector, n as u64, n as u64);
+            trace.push(
+                h,
+                0.5 * sparsela::vecops::nrm2_sq(&residual) + reg.value(&x),
+                cluster.time(),
+            );
+        }
+
+        let mut deltas = vec![0.0f64; width];
+        for j in 1..=s_block {
+            let off = (j - 1) * mu;
+            let coords = &sel[off..off + mu];
+            let gjj = gram.diag_block(off, off + mu);
+            let lip = block_lipschitz(&gjj);
+            h += 1;
+            cluster.charge_uniform(
+                KernelClass::Vector,
+                charges::subproblem_flops(mu as u64)
+                    + charges::sa_correction_flops(j as u64, mu as u64),
+                (mu * mu) as u64,
+            );
+            if lip > 0.0 {
+                let eta = 1.0 / lip;
+                let mut cand = Vec::with_capacity(mu);
+                for a in 0..mu {
+                    let row = off + a;
+                    let mut grad = cross.get(row, 0);
+                    for t in 1..j {
+                        let toff = (t - 1) * mu;
+                        for b in 0..mu {
+                            grad += gram.get(row, toff + b) * deltas[toff + b];
+                        }
+                    }
+                    cand.push(x[coords[a]] - eta * grad);
+                }
+                reg.prox_block(&mut cand, coords, eta);
+                for (a, &c) in coords.iter().enumerate() {
+                    let dx = cand[a] - x[c];
+                    deltas[off + a] = dx;
+                    if dx != 0.0 {
+                        x[c] += dx;
+                        csc.col(c).axpy_into(dx, &mut residual);
+                    }
+                }
+                per_rank_sel_nnz(&csc, coords, &part, &mut block_nnz);
+                cluster.charge_per_rank_ws(KernelClass::Vector, |r| {
+                    (
+                        charges::lasso_update_flops(block_nnz[r], mu as u64) / 2,
+                        block_nnz[r] + mu as u64,
+                    )
+                });
+            }
+        }
+    }
+
+    cluster.allreduce(1);
+    trace.push(
+        h,
+        0.5 * sparsela::vecops::nrm2_sq(&residual) + reg.value(&x),
+        cluster.time(),
+    );
+    (
+        SolveResult { x, trace, iters: h },
+        cluster.report(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prox::Lasso;
+    use crate::seq;
+    use datagen::{planted_regression, uniform_sparse};
+
+    fn problem(seed: u64) -> Dataset {
+        let a = uniform_sparse(120, 60, 0.15, seed);
+        planted_regression(a, 5, 0.05, seed).dataset
+    }
+
+    fn cfg(mu: usize, s: usize, iters: usize) -> LassoConfig {
+        LassoConfig {
+            mu,
+            s,
+            lambda: 0.05,
+            seed: 31,
+            max_iters: iters,
+            trace_every: 32,
+            rel_tol: None,
+        ..Default::default()
+        }
+    }
+
+    #[test]
+    fn numerics_match_sequential_solver_exactly() {
+        let ds = problem(1);
+        let c = cfg(4, 8, 128);
+        let lasso = Lasso::new(c.lambda);
+        let seq_res = seq::sa_accbcd(&ds, &lasso, &c);
+        let (sim_res, _) = sim_sa_accbcd(&ds, &lasso, &c, 64, CostModel::cray_xc30(), false);
+        // bit-identical: the simulated solver runs the same global numerics
+        assert_eq!(seq_res.x, sim_res.x);
+    }
+
+    #[test]
+    fn plain_bcd_numerics_match_too() {
+        let ds = problem(2);
+        let c = cfg(2, 16, 128);
+        let lasso = Lasso::new(c.lambda);
+        let seq_res = seq::sa_bcd(&ds, &lasso, &c);
+        let (sim_res, _) = sim_sa_bcd(&ds, &lasso, &c, 256, CostModel::cray_xc30(), true);
+        assert_eq!(seq_res.x, sim_res.x);
+    }
+
+    #[test]
+    fn sa_is_faster_in_simulated_time() {
+        let ds = problem(3);
+        let lasso = Lasso::new(0.05);
+        let mut c = cfg(1, 1, 256);
+        c.trace_every = 0;
+        let (_, classic) = sim_sa_accbcd(&ds, &lasso, &c, 1024, CostModel::cray_xc30(), false);
+        c.s = 16;
+        let (_, sa) = sim_sa_accbcd(&ds, &lasso, &c, 1024, CostModel::cray_xc30(), false);
+        assert!(
+            sa.running_time() < classic.running_time(),
+            "SA {} vs classic {}",
+            sa.running_time(),
+            classic.running_time()
+        );
+        // (iterations-or-outers + initial & final bookkeeping) × log₂P rounds
+        assert_eq!(classic.critical.messages, (256 + 2) * 10);
+        assert_eq!(sa.critical.messages, (256 / 16 + 2) * 10);
+    }
+
+    #[test]
+    fn latency_counter_matches_table_one() {
+        // L = (H/s)·⌈log₂P⌉ collectives-rounds, plus the 2 bookkeeping
+        // reductions (initial + final objective).
+        let ds = problem(4);
+        let lasso = Lasso::new(0.05);
+        let mut c = cfg(1, 8, 256);
+        c.trace_every = 0;
+        let p = 512; // log2 = 9
+        let (_, rep) = sim_sa_accbcd(&ds, &lasso, &c, p, CostModel::cray_xc30(), false);
+        let expected = (256 / 8 + 2) * 9;
+        assert_eq!(rep.critical.messages, expected as u64);
+    }
+
+    #[test]
+    fn large_p_runs_fast_enough_to_use() {
+        let ds = problem(5);
+        let lasso = Lasso::new(0.05);
+        let mut c = cfg(1, 32, 512);
+        c.trace_every = 128;
+        let (res, rep) = sim_sa_accbcd(&ds, &lasso, &c, 12_288, CostModel::cray_xc30(), false);
+        assert_eq!(res.iters, 512);
+        assert_eq!(rep.ranks, 12_288);
+        assert!(res.trace.final_time() > 0.0);
+    }
+}

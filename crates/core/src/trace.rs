@@ -1,0 +1,154 @@
+//! Convergence traces and solver results.
+
+/// One recorded point of a convergence trace.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TracePoint {
+    /// Iteration index `h` (inner iterations for SA solvers).
+    pub iter: usize,
+    /// The tracked value: Lasso objective, or SVM duality gap.
+    pub value: f64,
+    /// Simulated running time in seconds at this point (0 for purely
+    /// sequential runs with no machine attached).
+    pub time: f64,
+}
+
+/// A convergence trace: the series behind the paper's Figures 2, 3 and 5.
+#[derive(Clone, Debug, Default)]
+pub struct ConvergenceTrace {
+    points: Vec<TracePoint>,
+}
+
+impl ConvergenceTrace {
+    /// Empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a point (iterations must be nondecreasing).
+    pub fn push(&mut self, iter: usize, value: f64, time: f64) {
+        if let Some(last) = self.points.last() {
+            debug_assert!(iter >= last.iter, "trace iterations must be nondecreasing");
+        }
+        self.points.push(TracePoint { iter, value, time });
+    }
+
+    /// All recorded points.
+    pub fn points(&self) -> &[TracePoint] {
+        &self.points
+    }
+
+    /// Number of recorded points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Value at the first recorded point.
+    ///
+    /// # Panics
+    /// Panics on an empty trace.
+    pub fn initial_value(&self) -> f64 {
+        self.points.first().expect("empty trace").value
+    }
+
+    /// Value at the last recorded point.
+    ///
+    /// # Panics
+    /// Panics on an empty trace.
+    pub fn final_value(&self) -> f64 {
+        self.points.last().expect("empty trace").value
+    }
+
+    /// Simulated time at the last recorded point.
+    pub fn final_time(&self) -> f64 {
+        self.points.last().map_or(0.0, |p| p.time)
+    }
+
+    /// First simulated time at which the tracked value drops to `target`
+    /// or below (the paper's time-to-tolerance comparison in Table V);
+    /// `None` if never reached.
+    pub fn time_to_value(&self, target: f64) -> Option<f64> {
+        self.points.iter().find(|p| p.value <= target).map(|p| p.time)
+    }
+
+    /// First iteration at which the tracked value drops to `target` or
+    /// below.
+    pub fn iters_to_value(&self, target: f64) -> Option<usize> {
+        self.points.iter().find(|p| p.value <= target).map(|p| p.iter)
+    }
+}
+
+/// Result of a solver run.
+#[derive(Clone, Debug)]
+pub struct SolveResult {
+    /// The final primal iterate `x`.
+    pub x: Vec<f64>,
+    /// Convergence trace of the run.
+    pub trace: ConvergenceTrace,
+    /// Number of (inner) iterations actually executed.
+    pub iters: usize,
+}
+
+impl SolveResult {
+    /// Final value of the tracked quantity.
+    pub fn final_value(&self) -> f64 {
+        self.trace.final_value()
+    }
+
+    /// Relative difference of the final tracked value vs another run —
+    /// the paper's Table III metric `|f_nonSA − f_SA| / f_nonSA`.
+    pub fn relative_error_vs(&self, other: &SolveResult) -> f64 {
+        let a = self.final_value();
+        let b = other.final_value();
+        (a - b).abs() / b.abs().max(f64::MIN_POSITIVE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_query() {
+        let mut t = ConvergenceTrace::new();
+        t.push(0, 10.0, 0.0);
+        t.push(5, 4.0, 0.1);
+        t.push(10, 1.0, 0.2);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.initial_value(), 10.0);
+        assert_eq!(t.final_value(), 1.0);
+        assert_eq!(t.final_time(), 0.2);
+        assert_eq!(t.time_to_value(4.0), Some(0.1));
+        assert_eq!(t.iters_to_value(0.5), None);
+        assert_eq!(t.iters_to_value(2.0), Some(10));
+    }
+
+    #[test]
+    fn relative_error() {
+        let mk = |v: f64| {
+            let mut t = ConvergenceTrace::new();
+            t.push(0, v, 0.0);
+            SolveResult {
+                x: vec![],
+                trace: t,
+                iters: 0,
+            }
+        };
+        let a = mk(1.0);
+        let b = mk(1.0 + 1e-15);
+        assert!(a.relative_error_vs(&b) < 2e-15);
+        assert_eq!(mk(2.0).relative_error_vs(&mk(1.0)), 1.0);
+    }
+
+    #[test]
+    fn empty_trace_reports() {
+        let t = ConvergenceTrace::new();
+        assert!(t.is_empty());
+        assert_eq!(t.final_time(), 0.0);
+        assert_eq!(t.time_to_value(0.0), None);
+    }
+}

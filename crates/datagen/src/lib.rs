@@ -1,0 +1,36 @@
+//! `datagen` — synthetic dataset substrate.
+//!
+//! The paper's experiments run on LIBSVM repository datasets (Tables II and
+//! IV: url, news20, covtype, epsilon, leu, w1a, duke, news20.binary,
+//! rcv1.binary, gisette). Those files are not shipped with this repository,
+//! so per the substitution rule in DESIGN.md §3 this crate generates
+//! *shape-matched stand-ins*: same aspect ratio, same nnz density, the same
+//! qualitative sparsity structure (power-law feature popularity for the
+//! text/web datasets, dense Gaussian for epsilon/gisette/leu/duke), with
+//! planted ground-truth models so that convergence and recovery are
+//! meaningful — scaled to laptop size with the scale factors documented in
+//! [`registry`].
+//!
+//! Submodules:
+//! * [`synth`] — the generators (uniform sparse, power-law sparse, planted
+//!   sparse regression, planted binary classification, dense Gaussian).
+//! * [`registry`] — one entry per paper dataset, with the paper's dimensions
+//!   and the default reproduction scale.
+//! * [`partition`] — contiguous 1D partitioners (equal-count and
+//!   nnz-balanced) plus the load-imbalance diagnostics behind the paper's
+//!   §VI straggler discussion.
+
+#![warn(missing_docs)]
+
+pub mod partition;
+pub mod registry;
+pub mod synth;
+
+pub use partition::{
+    balanced_partition, block_partition, bucket_counts, imbalance_factor, Partition,
+};
+pub use registry::{DatasetInfo, GeneratedDataset, PaperDataset, Task};
+pub use synth::{
+    binary_classification, dense_gaussian, planted_regression, powerlaw_sparse, uniform_sparse,
+    ClassificationData, RegressionData,
+};

@@ -1,0 +1,108 @@
+//! Property-based tests of the dataset substrate and the partitioners.
+
+use datagen::{
+    balanced_partition, binary_classification, block_partition, bucket_counts, imbalance_factor,
+    planted_regression, uniform_sparse,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// Block partitions exactly cover the domain with near-equal parts.
+    #[test]
+    fn block_partition_covers(n in 0usize..5000, p in 1usize..64) {
+        let part = block_partition(n, p);
+        prop_assert_eq!(part.parts(), p);
+        prop_assert_eq!(part.domain(), n);
+        let total: usize = (0..p).map(|r| part.range(r).len()).sum();
+        prop_assert_eq!(total, n);
+        let sizes: Vec<usize> = (0..p).map(|r| part.range(r).len()).collect();
+        let (mn, mx) = (
+            *sizes.iter().min().expect("nonempty"),
+            *sizes.iter().max().expect("nonempty"),
+        );
+        prop_assert!(mx - mn <= 1);
+        // owner agrees with range membership
+        for r in 0..p {
+            for i in part.range(r) {
+                prop_assert_eq!(part.owner(i), r);
+            }
+        }
+    }
+
+    /// Balanced partitions cover the domain and never do worse than ~one
+    /// max-weight item per part above the naive lower bound.
+    #[test]
+    fn balanced_partition_covers_and_bounds(
+        weights in proptest::collection::vec(0u64..1000, 1..300),
+        p in 1usize..32,
+    ) {
+        let part = balanced_partition(&weights, p);
+        prop_assert_eq!(part.parts(), p);
+        prop_assert_eq!(part.domain(), weights.len());
+        let total: u64 = weights.iter().sum();
+        if total > 0 {
+            let mean = total as f64 / p as f64;
+            let wmax = *weights.iter().max().expect("nonempty") as f64;
+            for r in 0..p {
+                let w: u64 = weights[part.range(r)].iter().sum();
+                // greedy prefix cuts overshoot by at most one item
+                prop_assert!(
+                    (w as f64) <= mean + wmax + 1e-9,
+                    "part {r} weight {w} exceeds mean {mean} + max item {wmax}"
+                );
+            }
+            prop_assert!(imbalance_factor(&weights, &part) >= 1.0 - 1e-12);
+        }
+    }
+
+    /// bucket_counts attributes every index exactly once.
+    #[test]
+    fn bucket_counts_total(n in 1usize..2000, p in 1usize..32, seed in any::<u64>()) {
+        let part = block_partition(n, p);
+        let mut rng = xrng::rng_from_seed(seed);
+        let k = 1 + rng.next_index(n.min(50));
+        let mut idx = xrng::sample_without_replacement(&mut rng, n, k);
+        idx.sort_unstable();
+        let mut out = vec![0u64; p];
+        bucket_counts(&idx, &part, &mut out);
+        prop_assert_eq!(out.iter().sum::<u64>(), k as u64);
+    }
+
+    /// Generated matrices have the declared shape and in-range density.
+    #[test]
+    fn uniform_sparse_shape_density(m in 1usize..200, n in 1usize..100, d in 0.0f64..0.5, seed in any::<u64>()) {
+        let a = uniform_sparse(m, n, d, seed);
+        prop_assert_eq!((a.rows(), a.cols()), (m, n));
+        prop_assert!(a.nnz() <= m * n);
+        // CSR invariants hold by construction (from_parts validates), so
+        // converting exercises them:
+        let _ = a.to_csc();
+    }
+
+    /// Planted regression: b − A·x⋆ has noise-scale norm.
+    #[test]
+    fn planted_regression_noise_scale(seed in any::<u64>(), sigma in 0.01f64..1.0) {
+        let a = uniform_sparse(80, 40, 0.2, seed);
+        let reg = planted_regression(a, 5, sigma, seed);
+        let pred = reg.dataset.a.spmv(&reg.x_star);
+        let mse: f64 = pred
+            .iter()
+            .zip(&reg.dataset.b)
+            .map(|(p, b)| (p - b) * (p - b))
+            .sum::<f64>()
+            / 80.0;
+        // mse ≈ σ²; allow wide slack for small-sample noise
+        prop_assert!(mse < 4.0 * sigma * sigma + 1e-9, "mse {mse} vs σ² {}", sigma * sigma);
+    }
+
+    /// Classification labels are exactly ±1 and generation is deterministic.
+    #[test]
+    fn classification_labels(seed in any::<u64>()) {
+        let a = uniform_sparse(60, 20, 0.3, seed);
+        let c1 = binary_classification(a.clone(), 0.1, seed);
+        let c2 = binary_classification(a, 0.1, seed);
+        prop_assert!(c1.dataset.b.iter().all(|&b| b == 1.0 || b == -1.0));
+        prop_assert_eq!(c1.dataset.b, c2.dataset.b);
+        prop_assert_eq!(c1.w_star, c2.w_star);
+    }
+}

@@ -1,0 +1,646 @@
+//! The α-β-γ cost model shared by both execution engines.
+//!
+//! The paper's Table I counts four quantities along the critical path:
+//! flops `F`, memory `M`, latency `L` (number of messages) and bandwidth
+//! `W` (words moved). This module turns those counts into simulated seconds
+//! and keeps the counters the experiment harness reports.
+
+/// Which collective operation a cost is charged for. All of the paper's
+/// solvers communicate exclusively through `Allreduce` (Fig. 1 step 4); the
+/// rest exist for completeness of the machine abstraction and for the
+/// collectives microbenchmarks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CollectiveKind {
+    /// Reduce-to-all (tree reduce + tree broadcast, or recursive doubling).
+    Allreduce,
+    /// Reduce to a root.
+    Reduce,
+    /// Broadcast from a root.
+    Bcast,
+    /// Concatenate contributions on all ranks.
+    Allgather,
+    /// Concatenate contributions on a root.
+    Gather,
+    /// Pure synchronization.
+    Barrier,
+    /// Point-to-point message.
+    PointToPoint,
+}
+
+/// Number of communication rounds a tree-based collective needs on `p`
+/// ranks: `⌈log₂ p⌉` (1 rank ⇒ 0 rounds). Allreduce is reduce+bcast but on
+/// a torus-class network the two trees pipeline; like the paper (Table I:
+/// latency `O(log P)` per iteration) we charge one `⌈log₂ p⌉` factor.
+pub fn collective_rounds(kind: CollectiveKind, p: usize) -> u64 {
+    let lg = (usize::BITS - p.max(1).next_power_of_two().leading_zeros() - 1) as u64;
+    match kind {
+        CollectiveKind::PointToPoint => 1,
+        _ => lg,
+    }
+}
+
+/// Kernel classes with distinct achievable flop rates. The distinction is
+/// load-bearing for reproducing Fig. 4e–h: computing the `sµ × sµ` Gram
+/// matrix in one (cache-friendlier, BLAS-3-like) kernel runs at a higher
+/// rate than `s` separate BLAS-1 dot products, so SA variants gain a
+/// *computation* speedup too — until the Gram working set spills the cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum KernelClass {
+    /// Dense matrix–matrix (BLAS-3): high arithmetic intensity.
+    Gemm,
+    /// Batched sparse Gram construction (BLAS-3-like reuse of gathered
+    /// columns; the paper: "computing the s² entries of the Gram matrix is
+    /// more cache-efficient (uses a BLAS-3 routine)").
+    SparseGemm,
+    /// Individual sparse/dense dot products (BLAS-1): memory bound.
+    Dot,
+    /// Element-wise vector updates (axpy, soft-threshold): memory bound.
+    Vector,
+}
+
+/// Which allreduce algorithm the machine models. Real MPI libraries switch
+/// by message size; the choice moves the point where the SA methods'
+/// `s²µ²`-word payloads start to hurt.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum AllreduceAlgo {
+    /// Binomial tree (reduce + pipelined broadcast): `⌈log₂P⌉` rounds,
+    /// each moving the full payload — latency-optimal, bandwidth-poor.
+    /// The default, and what the thread engine physically executes.
+    Tree,
+    /// Rabenseifner (reduce-scatter + allgather): `2⌈log₂P⌉` rounds but
+    /// only `≈2w` total words — bandwidth-optimal for large payloads.
+    Rabenseifner,
+    /// Switch from `Tree` to `Rabenseifner` above a payload threshold,
+    /// like production MPI implementations.
+    Auto {
+        /// Payload size (words) at which the switch happens.
+        threshold_words: u64,
+    },
+}
+
+/// Cost breakdown of one collective under the model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CollectiveCharge {
+    /// Message rounds on the critical path (counts toward `L`).
+    pub rounds: u64,
+    /// Words moved on the critical path (counts toward `W`).
+    pub words_moved: u64,
+    /// Simulated seconds.
+    pub time: f64,
+}
+
+/// Optional two-level network hierarchy: ranks within a node communicate
+/// over shared memory (cheap), nodes over the interconnect (expensive).
+/// A collective then costs an intra-node phase over `⌈log₂ cores⌉` rounds
+/// plus an inter-node phase over `⌈log₂ nodes⌉` rounds — the structure of
+/// a real Cray XC30 with 24 cores per node.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Hierarchy {
+    /// Ranks per node.
+    pub cores_per_node: usize,
+    /// Intra-node latency per round (seconds); typically ~100× below α.
+    pub alpha_intra: f64,
+    /// Intra-node inverse bandwidth (seconds/word).
+    pub beta_intra: f64,
+}
+
+/// Machine parameters. Times are seconds; `words` are 8-byte `f64`s.
+#[derive(Clone, Copy, Debug)]
+pub struct CostModel {
+    /// Latency per message round (seconds).
+    pub alpha: f64,
+    /// Inverse bandwidth (seconds per word).
+    pub beta: f64,
+    /// Allreduce algorithm (see [`AllreduceAlgo`]).
+    pub allreduce_algo: AllreduceAlgo,
+    /// Optional two-level network (see [`Hierarchy`]); `None` models a
+    /// flat machine where every round pays the full α.
+    pub hierarchy: Option<Hierarchy>,
+    /// Achievable flop rate for BLAS-3 class kernels (flops/second).
+    pub gemm_rate: f64,
+    /// Achievable flop rate for batched sparse Gram kernels.
+    pub sparse_gemm_rate: f64,
+    /// Achievable flop rate for BLAS-1 dot kernels.
+    pub dot_rate: f64,
+    /// Achievable flop rate for element-wise vector kernels.
+    pub vector_rate: f64,
+    /// Fast-memory capacity in words; kernels whose working set exceeds
+    /// this run at `rate / cache_penalty`.
+    pub cache_words: u64,
+    /// Rate divisor applied beyond `cache_words`.
+    pub cache_penalty: f64,
+}
+
+impl CostModel {
+    /// Parameters loosely calibrated to the paper's platform, a Cray XC30
+    /// (Aries dragonfly, 24 cores/node): small-message allreduce latency a
+    /// few µs per round, effective per-core allreduce bandwidth far below
+    /// link speed, ~10 GF/s peak per core with memory-bound BLAS-1 at a
+    /// fraction of that. Only the *ratios* matter for the reproduced
+    /// shapes; see DESIGN.md §3.
+    pub fn cray_xc30() -> Self {
+        Self {
+            alpha: 8.0e-6,
+            beta: 1.0e-8,
+            allreduce_algo: AllreduceAlgo::Tree,
+            hierarchy: None,
+            gemm_rate: 8.0e9,
+            sparse_gemm_rate: 2.4e9,
+            dot_rate: 1.2e9,
+            vector_rate: 2.0e9,
+            cache_words: 32 * 1024, // 256 KiB of f64s (L2-class)
+            cache_penalty: 3.0,
+        }
+    }
+
+    /// A "cloud / Spark-like" machine: the paper's §VII notes the SA
+    /// methods "would attain greater speedups on frameworks like Spark due
+    /// to the large latency costs". Two orders of magnitude more latency,
+    /// similar bandwidth.
+    pub fn cloud() -> Self {
+        Self {
+            alpha: 1.0e-3,
+            beta: 2.0e-7,
+            ..Self::cray_xc30()
+        }
+    }
+
+    /// The Cray XC30 with its node structure made explicit: 24 ranks per
+    /// node over shared memory (~80 ns rounds), nodes over the Aries
+    /// interconnect. Collectives get cheaper at fixed P than under the
+    /// flat model because only `⌈log₂(P/24)⌉` rounds pay the network α.
+    pub fn cray_xc30_hierarchical() -> Self {
+        Self {
+            hierarchy: Some(Hierarchy {
+                cores_per_node: 24,
+                alpha_intra: 8.0e-8,
+                beta_intra: 1.0e-9,
+            }),
+            ..Self::cray_xc30()
+        }
+    }
+
+    /// A zero-communication-cost machine (useful in tests to isolate
+    /// computation accounting).
+    pub fn free_network() -> Self {
+        Self {
+            alpha: 0.0,
+            beta: 0.0,
+            ..Self::cray_xc30()
+        }
+    }
+
+    /// Flop rate for a kernel class given its working-set size in words.
+    pub fn rate(&self, class: KernelClass, working_set_words: u64) -> f64 {
+        let base = match class {
+            KernelClass::Gemm => self.gemm_rate,
+            KernelClass::SparseGemm => self.sparse_gemm_rate,
+            KernelClass::Dot => self.dot_rate,
+            KernelClass::Vector => self.vector_rate,
+        };
+        if working_set_words > self.cache_words {
+            base / self.cache_penalty
+        } else {
+            base
+        }
+    }
+
+    /// Seconds to execute `flops` of the given class with the given
+    /// working set.
+    pub fn compute_time(&self, class: KernelClass, flops: u64, working_set_words: u64) -> f64 {
+        flops as f64 / self.rate(class, working_set_words)
+    }
+
+    /// Seconds for one collective of `words` payload on `p` ranks.
+    pub fn collective_time(&self, kind: CollectiveKind, p: usize, words: u64) -> f64 {
+        self.collective_charge(kind, p, words).time
+    }
+
+    /// Full cost breakdown (rounds, words moved, seconds) of one
+    /// collective — the single source both engines charge from. Allreduce
+    /// honours [`CostModel::allreduce_algo`]; every other collective uses
+    /// the tree model.
+    pub fn collective_charge(&self, kind: CollectiveKind, p: usize, words: u64) -> CollectiveCharge {
+        let lg = collective_rounds(kind, p);
+        if lg == 0 {
+            return CollectiveCharge { rounds: 0, words_moved: 0, time: 0.0 };
+        }
+        if let Some(h) = self.hierarchy {
+            if h.cores_per_node > 1 && p > 1 {
+                return self.hierarchical_charge(kind, p, words, h);
+            }
+        }
+        let algo = if kind == CollectiveKind::Allreduce {
+            self.allreduce_algo
+        } else {
+            AllreduceAlgo::Tree
+        };
+        let use_rabenseifner = match algo {
+            AllreduceAlgo::Tree => false,
+            AllreduceAlgo::Rabenseifner => true,
+            AllreduceAlgo::Auto { threshold_words } => words >= threshold_words,
+        };
+        if use_rabenseifner {
+            // reduce-scatter + allgather: 2·log₂P rounds, ≈2w words total.
+            let rounds = 2 * lg;
+            let frac = (p as f64 - 1.0) / p as f64;
+            let words_moved = (2.0 * words as f64 * frac).round() as u64;
+            let time = rounds as f64 * self.alpha + self.beta * words_moved as f64;
+            CollectiveCharge { rounds, words_moved, time }
+        } else {
+            let words_moved = lg * words;
+            CollectiveCharge {
+                rounds: lg,
+                words_moved,
+                time: lg as f64 * (self.alpha + self.beta * words as f64),
+            }
+        }
+    }
+
+    /// Two-level collective: an intra-node tree phase at shared-memory
+    /// rates plus an inter-node tree phase at network rates. Counters
+    /// report total rounds and total words across both phases.
+    fn hierarchical_charge(
+        &self,
+        kind: CollectiveKind,
+        p: usize,
+        words: u64,
+        h: Hierarchy,
+    ) -> CollectiveCharge {
+        let local = p.min(h.cores_per_node);
+        let nodes = p.div_ceil(h.cores_per_node);
+        let lg_local = collective_rounds(kind, local);
+        let lg_nodes = collective_rounds(kind, nodes);
+        let time = lg_local as f64 * (h.alpha_intra + h.beta_intra * words as f64)
+            + lg_nodes as f64 * (self.alpha + self.beta * words as f64);
+        CollectiveCharge {
+            rounds: lg_local + lg_nodes,
+            words_moved: (lg_local + lg_nodes) * words,
+            time,
+        }
+    }
+}
+
+/// Index of a kernel class in per-class breakdown arrays.
+pub fn class_index(class: KernelClass) -> usize {
+    match class {
+        KernelClass::Gemm => 0,
+        KernelClass::SparseGemm => 1,
+        KernelClass::Dot => 2,
+        KernelClass::Vector => 3,
+    }
+}
+
+/// Names aligned with [`class_index`] for reporting.
+pub const CLASS_NAMES: [&str; 4] = ["gemm", "sparse-gemm", "dot", "vector"];
+
+/// Least-squares fit of (α, β) from measured collectives: given samples of
+/// `(ranks, payload_words, seconds)` for tree allreduces, solve
+/// `t ≈ ⌈log₂P⌉·α + ⌈log₂P⌉·w·β` in closed form (2×2 normal equations).
+/// This is how a real machine would be calibrated into a [`CostModel`] —
+/// run a collectives microbenchmark, fit, simulate.
+///
+/// # Panics
+/// Panics with fewer than 2 samples or a singular design (all samples at
+/// the same payload).
+pub fn fit_alpha_beta(samples: &[(usize, u64, f64)]) -> (f64, f64) {
+    assert!(samples.len() >= 2, "need at least two samples");
+    // design rows: x1 = log2(P) rounds, x2 = rounds·w
+    let (mut s11, mut s12, mut s22, mut b1, mut b2) = (0.0f64, 0.0, 0.0, 0.0, 0.0);
+    for &(p, w, t) in samples {
+        let r = collective_rounds(CollectiveKind::Allreduce, p) as f64;
+        let x1 = r;
+        let x2 = r * w as f64;
+        s11 += x1 * x1;
+        s12 += x1 * x2;
+        s22 += x2 * x2;
+        b1 += x1 * t;
+        b2 += x2 * t;
+    }
+    let det = s11 * s22 - s12 * s12;
+    assert!(
+        det.abs() > 1e-300 * s11.max(s22).max(1.0),
+        "singular calibration design: vary the payload sizes"
+    );
+    let alpha = (b1 * s22 - b2 * s12) / det;
+    let beta = (s11 * b2 - s12 * b1) / det;
+    (alpha, beta)
+}
+
+/// Raw counters accumulated by one rank (thread engine) or by the critical
+/// path (virtual engine).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CostCounters {
+    /// Messages on the critical path (the paper's `L`, counted in rounds).
+    pub messages: u64,
+    /// Words moved on the critical path (the paper's `W`).
+    pub words: u64,
+    /// Floating-point operations (the paper's `F`).
+    pub flops: u64,
+    /// Seconds of computation.
+    pub comp_time: f64,
+    /// Seconds of communication.
+    pub comm_time: f64,
+    /// Seconds spent waiting for stragglers at collective entry.
+    pub idle_time: f64,
+}
+
+impl CostCounters {
+    /// Total virtual time.
+    pub fn total_time(&self) -> f64 {
+        self.comp_time + self.comm_time + self.idle_time
+    }
+
+    /// Accumulate another counter set (used when merging phases).
+    pub fn merge(&mut self, other: &CostCounters) {
+        self.messages += other.messages;
+        self.words += other.words;
+        self.flops += other.flops;
+        self.comp_time += other.comp_time;
+        self.comm_time += other.comm_time;
+        self.idle_time += other.idle_time;
+    }
+}
+
+/// A finished run's cost summary, as reported by either engine.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CostReport {
+    /// Number of ranks.
+    pub ranks: usize,
+    /// Critical-path counters (max-clock rank for times; totals for F/W/L
+    /// are per-rank critical-path values, matching Table I's "costs along
+    /// the critical path").
+    pub critical: CostCounters,
+}
+
+impl CostReport {
+    /// End-to-end simulated running time.
+    pub fn running_time(&self) -> f64 {
+        self.critical.total_time()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rounds_are_ceil_log2() {
+        assert_eq!(collective_rounds(CollectiveKind::Allreduce, 1), 0);
+        assert_eq!(collective_rounds(CollectiveKind::Allreduce, 2), 1);
+        assert_eq!(collective_rounds(CollectiveKind::Allreduce, 3), 2);
+        assert_eq!(collective_rounds(CollectiveKind::Allreduce, 4), 2);
+        assert_eq!(collective_rounds(CollectiveKind::Allreduce, 12288), 14);
+        assert_eq!(collective_rounds(CollectiveKind::PointToPoint, 12288), 1);
+    }
+
+    #[test]
+    fn collective_time_scales_with_p_and_words() {
+        let m = CostModel::cray_xc30();
+        let t1 = m.collective_time(CollectiveKind::Allreduce, 64, 10);
+        let t2 = m.collective_time(CollectiveKind::Allreduce, 4096, 10);
+        let t3 = m.collective_time(CollectiveKind::Allreduce, 64, 100_000);
+        assert!(t2 > t1, "more ranks, more rounds");
+        assert!(t3 > t1, "more words, more time");
+    }
+
+    #[test]
+    fn latency_dominates_small_messages() {
+        // The regime that makes SA methods win: for a tiny payload, one
+        // s-sized collective is far cheaper than s unit collectives.
+        let m = CostModel::cray_xc30();
+        let s = 64u64;
+        let one_big = m.collective_time(CollectiveKind::Allreduce, 1024, s * s);
+        let many_small: f64 =
+            (0..s).map(|_| m.collective_time(CollectiveKind::Allreduce, 1024, 1)).sum();
+        assert!(
+            one_big < many_small / 2.0,
+            "big {one_big} vs many {many_small}"
+        );
+    }
+
+    #[test]
+    fn gemm_class_is_faster_than_dot_class() {
+        let m = CostModel::cray_xc30();
+        assert!(
+            m.compute_time(KernelClass::Gemm, 1_000_000, 100)
+                < m.compute_time(KernelClass::Dot, 1_000_000, 100)
+        );
+    }
+
+    #[test]
+    fn cache_spill_slows_kernels() {
+        let m = CostModel::cray_xc30();
+        let fast = m.compute_time(KernelClass::SparseGemm, 1_000_000, 1_000);
+        let slow = m.compute_time(KernelClass::SparseGemm, 1_000_000, m.cache_words + 1);
+        assert!((slow / fast - m.cache_penalty).abs() < 1e-12);
+    }
+
+    #[test]
+    fn free_network_has_no_comm_cost() {
+        let m = CostModel::free_network();
+        assert_eq!(m.collective_time(CollectiveKind::Allreduce, 4096, 1_000_000), 0.0);
+    }
+
+    #[test]
+    fn counters_merge() {
+        let mut a = CostCounters {
+            messages: 1,
+            words: 2,
+            flops: 3,
+            comp_time: 0.5,
+            comm_time: 0.25,
+            idle_time: 0.25,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.messages, 2);
+        assert_eq!(a.words, 4);
+        assert_eq!(a.flops, 6);
+        assert!((a.total_time() - 2.0).abs() < 1e-15);
+    }
+}
+
+#[cfg(test)]
+mod allreduce_algo_tests {
+    use super::*;
+
+    #[test]
+    fn rabenseifner_beats_tree_for_large_payloads() {
+        let tree = CostModel::cray_xc30();
+        let rab = CostModel {
+            allreduce_algo: AllreduceAlgo::Rabenseifner,
+            ..tree
+        };
+        let p = 4096;
+        let large = 100_000;
+        assert!(
+            rab.collective_time(CollectiveKind::Allreduce, p, large)
+                < tree.collective_time(CollectiveKind::Allreduce, p, large)
+        );
+        // ...but loses on latency for tiny payloads (2× the rounds)
+        assert!(
+            rab.collective_time(CollectiveKind::Allreduce, p, 1)
+                > tree.collective_time(CollectiveKind::Allreduce, p, 1)
+        );
+    }
+
+    #[test]
+    fn auto_switches_at_threshold() {
+        let auto = CostModel {
+            allreduce_algo: AllreduceAlgo::Auto { threshold_words: 1000 },
+            ..CostModel::cray_xc30()
+        };
+        let p = 1024;
+        let small = auto.collective_charge(CollectiveKind::Allreduce, p, 999);
+        let big = auto.collective_charge(CollectiveKind::Allreduce, p, 1000);
+        assert_eq!(small.rounds, 10, "tree below threshold");
+        assert_eq!(big.rounds, 20, "rabenseifner at/above threshold");
+    }
+
+    #[test]
+    fn non_allreduce_collectives_always_use_tree() {
+        let rab = CostModel {
+            allreduce_algo: AllreduceAlgo::Rabenseifner,
+            ..CostModel::cray_xc30()
+        };
+        let c = rab.collective_charge(CollectiveKind::Bcast, 1024, 50);
+        assert_eq!(c.rounds, 10);
+        assert_eq!(c.words_moved, 500);
+    }
+
+    #[test]
+    fn rabenseifner_word_count_is_bandwidth_optimal() {
+        let rab = CostModel {
+            allreduce_algo: AllreduceAlgo::Rabenseifner,
+            ..CostModel::cray_xc30()
+        };
+        let c = rab.collective_charge(CollectiveKind::Allreduce, 1 << 20, 10_000);
+        // ≈ 2w(P−1)/P ≈ 2w
+        assert!((c.words_moved as i64 - 20_000).abs() < 10);
+    }
+
+    #[test]
+    fn single_rank_charges_nothing() {
+        let m = CostModel::cray_xc30();
+        let c = m.collective_charge(CollectiveKind::Allreduce, 1, 1000);
+        assert_eq!(c, CollectiveCharge { rounds: 0, words_moved: 0, time: 0.0 });
+    }
+}
+
+#[cfg(test)]
+mod hierarchy_tests {
+    use super::*;
+
+    #[test]
+    fn hierarchical_collectives_are_cheaper_at_scale() {
+        let flat = CostModel::cray_xc30();
+        let hier = CostModel::cray_xc30_hierarchical();
+        let p = 12_288; // 512 nodes × 24 cores
+        let flat_t = flat.collective_time(CollectiveKind::Allreduce, p, 16);
+        let hier_t = hier.collective_time(CollectiveKind::Allreduce, p, 16);
+        assert!(
+            hier_t < flat_t,
+            "only inter-node rounds should pay the network α: {hier_t} vs {flat_t}"
+        );
+        // 14 flat rounds vs 5 intra + 9 inter: inter-node α dominates
+        let expect = 5.0 * (8.0e-8 + 1.0e-9 * 16.0) + 9.0 * (8.0e-6 + 1.0e-8 * 16.0);
+        assert!((hier_t - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hierarchy_within_one_node_is_shared_memory_only() {
+        let hier = CostModel::cray_xc30_hierarchical();
+        let c = hier.collective_charge(CollectiveKind::Allreduce, 16, 8);
+        // 16 ranks on one 24-core node: log2(16)=4 intra rounds, 0 inter
+        assert_eq!(c.rounds, 4);
+        assert!(c.time < 1e-6, "pure shared-memory collective: {}", c.time);
+    }
+
+    #[test]
+    fn hierarchy_counts_rounds_across_both_levels() {
+        let hier = CostModel::cray_xc30_hierarchical();
+        let c = hier.collective_charge(CollectiveKind::Allreduce, 48, 10);
+        // 24 local (5 rounds) + 2 nodes (1 round)
+        assert_eq!(c.rounds, 6);
+        assert_eq!(c.words_moved, 60);
+    }
+}
+
+#[cfg(test)]
+mod calibration_tests {
+    use super::*;
+
+    #[test]
+    fn fit_recovers_known_parameters() {
+        let (alpha_true, beta_true) = (5.0e-6, 2.0e-8);
+        let samples: Vec<(usize, u64, f64)> = [64usize, 256, 1024, 4096]
+            .iter()
+            .flat_map(|&p| {
+                [1u64, 100, 10_000].map(move |w| {
+                    let r = collective_rounds(CollectiveKind::Allreduce, p) as f64;
+                    (p, w, r * alpha_true + r * w as f64 * beta_true)
+                })
+            })
+            .collect();
+        let (alpha, beta) = fit_alpha_beta(&samples);
+        assert!((alpha - alpha_true).abs() < 1e-12, "alpha {alpha}");
+        assert!((beta - beta_true).abs() < 1e-14, "beta {beta}");
+    }
+
+    #[test]
+    fn fit_is_robust_to_noise() {
+        let mut rng = 0x12345u64;
+        let mut next = move || {
+            // tiny LCG for multiplicative noise in [0.95, 1.05]
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+            0.95 + 0.1 * ((rng >> 33) as f64 / (1u64 << 31) as f64)
+        };
+        let (alpha_true, beta_true) = (8.0e-6, 1.0e-8);
+        let samples: Vec<(usize, u64, f64)> = [128usize, 512, 2048, 8192]
+            .iter()
+            .flat_map(|&p| {
+                [1u64, 50, 1000, 50_000].map(|w| {
+                    let r = collective_rounds(CollectiveKind::Allreduce, p) as f64;
+                    (p, w, (r * alpha_true + r * w as f64 * beta_true))
+                })
+            })
+            .map(|(p, w, t)| (p, w, t * next()))
+            .collect();
+        let (alpha, beta) = fit_alpha_beta(&samples);
+        assert!((alpha / alpha_true - 1.0).abs() < 0.2, "alpha {alpha}");
+        assert!((beta / beta_true - 1.0).abs() < 0.2, "beta {beta}");
+    }
+
+    #[test]
+    #[should_panic(expected = "singular calibration")]
+    fn constant_payload_design_is_rejected()  {
+        // with only one payload size, α and β are not identifiable
+        let samples = vec![(64usize, 10u64, 1e-4), (64, 10, 1.1e-4), (64, 10, 0.9e-4)];
+        fit_alpha_beta(&samples);
+    }
+
+    #[test]
+    fn class_breakdown_sums_to_comp_time() {
+        use crate::{ThreadMachine, VirtualCluster};
+        let model = CostModel::cray_xc30();
+        let results = ThreadMachine::run(2, model, |comm| {
+            comm.charge_flops(KernelClass::Gemm, 1_000_000, 10);
+            comm.charge_flops(KernelClass::Dot, 500_000, 10);
+            comm.charge_flops(KernelClass::Vector, 200_000, 10);
+            (comm.comp_by_class(), comm.counters().comp_time)
+        });
+        for ((by_class, total), _) in &results {
+            let sum: f64 = by_class.iter().sum();
+            assert!((sum - total).abs() < 1e-15);
+            assert!(by_class[class_index(KernelClass::Gemm)] > 0.0);
+            assert_eq!(by_class[class_index(KernelClass::SparseGemm)], 0.0);
+        }
+        let mut vc = VirtualCluster::new(2, model);
+        vc.charge_uniform(KernelClass::Gemm, 1_000_000, 10);
+        vc.charge_uniform(KernelClass::Dot, 500_000, 10);
+        vc.charge_uniform(KernelClass::Vector, 200_000, 10);
+        let bc = vc.comp_by_class();
+        assert_eq!(bc, results[0].0 .0, "engines agree on the breakdown");
+    }
+}

@@ -1,0 +1,46 @@
+//! `mpisim` — a simulated distributed-memory machine.
+//!
+//! The paper evaluates on a Cray XC30 with MPI on up to 12,288 cores. That
+//! hardware is not available here and Rust MPI bindings are thin, so this
+//! crate provides the substitute substrate (see DESIGN.md §3): the classic
+//! α-β-γ machine model that the paper itself uses for its Table I analysis,
+//! with two interchangeable execution engines.
+//!
+//! * [`ThreadMachine`] — a *real* SPMD message-passing machine: one OS
+//!   thread per rank, typed channels, deterministic tree collectives
+//!   (allreduce / reduce / bcast / allgather / gather / barrier and
+//!   point-to-point send/recv). Data physically moves between ranks exactly
+//!   as it would under MPI. Used for modest `P` (tests, examples, and
+//!   validating the virtual engine).
+//! * [`VirtualCluster`] — an analytic engine for paper-scale `P`: per-rank
+//!   virtual clocks advanced by the same cost formulas, with *exact*
+//!   per-rank flop attribution (so load imbalance / stragglers are modeled,
+//!   matching the paper's §VI observation) but without spawning threads.
+//!   The solvers compute numerics once and charge costs as they go.
+//!
+//! Both engines share [`CostModel`]: latency `α` per message round,
+//! inverse bandwidth `β` per 8-byte word, and per-kernel-class flop rates
+//! (a BLAS-3 GEMM class is faster per flop than a BLAS-1 dot class — the
+//! effect behind the SA methods' computation speedups in Fig. 4e–h — with a
+//! cache-capacity penalty once a kernel's working set spills).
+//!
+//! Simulated time is deterministic: collectives combine contributions in a
+//! fixed tree order, so repeated runs produce bit-identical numerics *and*
+//! identical virtual times.
+
+// Index-based loops mirror the textbook formulations of the numerical
+// kernels; iterator rewrites obscure them.
+#![allow(clippy::needless_range_loop)]
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod thread_machine;
+pub mod virtual_cluster;
+
+pub use cost::{
+    class_index, collective_rounds, fit_alpha_beta, AllreduceAlgo, CollectiveCharge,
+    CollectiveKind, CostCounters, CostModel, CostReport, Hierarchy, KernelClass, CLASS_NAMES,
+};
+pub use thread_machine::{Comm, ThreadMachine};
+pub use virtual_cluster::VirtualCluster;

@@ -1,0 +1,596 @@
+//! The thread-backed SPMD engine: real ranks, real messages.
+//!
+//! One OS thread per rank, a dedicated crossbeam channel per ordered rank
+//! pair (so message matching is trivially deterministic: per-pair FIFO),
+//! and binomial-tree collectives that combine contributions in a fixed
+//! order — repeated runs are bit-identical.
+//!
+//! Each rank carries a virtual clock and cost counters. Data movement is
+//! physical; *time* is simulated with the same [`CostModel`] formulas the
+//! virtual engine uses, so small thread-machine runs validate the
+//! large-scale virtual runs.
+
+use crate::cost::{CollectiveKind, CostCounters, CostModel, KernelClass};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+/// A message carrying payload and the sender's virtual clock.
+struct Packet {
+    clock: f64,
+    data: Vec<f64>,
+}
+
+/// One rank's handle to the machine: rank id, channels to every peer, a
+/// virtual clock and cost counters.
+pub struct Comm {
+    rank: usize,
+    size: usize,
+    model: CostModel,
+    to: Vec<Sender<Packet>>,
+    from: Vec<Receiver<Packet>>,
+    clock: f64,
+    counters: CostCounters,
+    comp_by_class: [f64; 4],
+}
+
+impl Comm {
+    /// This rank's id in `[0, size)`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The machine's cost model.
+    pub fn model(&self) -> &CostModel {
+        &self.model
+    }
+
+    /// Current virtual time on this rank.
+    pub fn clock(&self) -> f64 {
+        self.clock
+    }
+
+    /// Cost counters accumulated so far on this rank.
+    pub fn counters(&self) -> CostCounters {
+        self.counters
+    }
+
+    /// Charge local computation: `flops` of `class` with a working set of
+    /// `working_set_words`. Advances this rank's clock only.
+    pub fn charge_flops(&mut self, class: KernelClass, flops: u64, working_set_words: u64) {
+        let t = self.model.compute_time(class, flops, working_set_words);
+        self.clock += t;
+        self.counters.comp_time += t;
+        self.comp_by_class[crate::cost::class_index(class)] += t;
+        self.counters.flops += flops;
+    }
+
+    /// Compute time per kernel class (indexed by [`crate::cost::class_index`]).
+    pub fn comp_by_class(&self) -> [f64; 4] {
+        self.comp_by_class
+    }
+
+    /// Point-to-point send. Transfer cost is charged on the receiving side
+    /// (the receive completes at `sender_clock + α + β·w`).
+    pub fn send(&mut self, dst: usize, data: &[f64]) {
+        assert!(dst < self.size && dst != self.rank, "bad destination {dst}");
+        self.counters.messages += 1;
+        self.counters.words += data.len() as u64;
+        self.to[dst]
+            .send(Packet {
+                clock: self.clock,
+                data: data.to_vec(),
+            })
+            .expect("peer rank hung up");
+    }
+
+    /// Blocking point-to-point receive from `src` (per-pair FIFO order).
+    pub fn recv(&mut self, src: usize) -> Vec<f64> {
+        assert!(src < self.size && src != self.rank, "bad source {src}");
+        let pkt = self.from[src].recv().expect("peer rank hung up");
+        let cost = self.model.alpha + self.model.beta * pkt.data.len() as f64;
+        let arrival = pkt.clock + cost;
+        if arrival > self.clock {
+            self.counters.idle_time += arrival - self.clock - cost.min(arrival - self.clock);
+            self.counters.comm_time += cost.min(arrival - self.clock);
+            self.clock = arrival;
+        }
+        pkt.data
+    }
+
+    // --- internal tree plumbing (no cost charging; collectives charge the
+    //     analytic formula so both engines agree exactly) -----------------
+
+    fn tree_send(&mut self, dst: usize, clock: f64, data: Vec<f64>) {
+        self.to[dst].send(Packet { clock, data }).expect("peer rank hung up");
+    }
+
+    fn tree_recv(&mut self, src: usize) -> Packet {
+        self.from[src].recv().expect("peer rank hung up")
+    }
+
+    /// Reduce `buf` by summation onto rank 0, also computing the max entry
+    /// clock of the participants. Fixed binomial-tree order: at distance
+    /// `d`, rank `r` with `r % 2d == 0` receives from `r + d` and adds the
+    /// partner's partial sum *after* its own (deterministic association).
+    fn tree_reduce_sum(&mut self, buf: &mut [f64], entry_clock: f64) -> f64 {
+        let mut max_clock = entry_clock;
+        let mut d = 1;
+        while d < self.size {
+            if self.rank.is_multiple_of(2 * d) {
+                let partner = self.rank + d;
+                if partner < self.size {
+                    let pkt = self.tree_recv(partner);
+                    max_clock = max_clock.max(pkt.clock);
+                    for (b, v) in buf.iter_mut().zip(&pkt.data) {
+                        *b += v;
+                    }
+                }
+            } else if self.rank % (2 * d) == d {
+                let partner = self.rank - d;
+                self.tree_send(partner, max_clock, buf.to_vec());
+                return max_clock; // non-roots are done after sending up
+            }
+            d *= 2;
+        }
+        max_clock
+    }
+
+    /// Broadcast `buf` (and a clock value) down the same binomial tree.
+    fn tree_bcast(&mut self, buf: &mut Vec<f64>) -> f64 {
+        // Find the highest power-of-two distance.
+        let mut top = 1;
+        while top < self.size {
+            top *= 2;
+        }
+        let mut clock = self.clock;
+        // Non-roots first receive from their parent.
+        if self.rank != 0 {
+            // parent strips the lowest set bit
+            let parent = self.rank & (self.rank - 1);
+            let pkt = self.tree_recv(parent);
+            clock = pkt.clock;
+            *buf = pkt.data;
+        }
+        // Then forward to children: rank r owns children r + d for d
+        // descending below the lowest set bit of r (or below top for 0).
+        let lowest = if self.rank == 0 { top } else { self.rank & self.rank.wrapping_neg() };
+        let mut d = lowest / 2;
+        while d >= 1 {
+            let child = self.rank + d;
+            if child < self.size {
+                self.tree_send(child, clock, buf.clone());
+            }
+            if d == 0 {
+                break;
+            }
+            d /= 2;
+        }
+        clock
+    }
+
+    /// Account a finished collective: everyone leaves at
+    /// `max_entry + cost`, having waited `max_entry − entry` and paid
+    /// `cost` of communication.
+    fn account_collective(
+        &mut self,
+        kind: CollectiveKind,
+        words: u64,
+        entry_clock: f64,
+        max_entry: f64,
+    ) {
+        let charge = self.model.collective_charge(kind, self.size, words);
+        let cost = charge.time;
+        self.counters.messages += charge.rounds;
+        self.counters.words += charge.words_moved;
+        self.counters.idle_time += max_entry - entry_clock;
+        self.counters.comm_time += cost;
+        self.clock = max_entry + cost;
+    }
+
+    /// Allreduce with summation, in place. Deterministic: the result is
+    /// identical on all ranks and across runs.
+    pub fn allreduce_sum(&mut self, buf: &mut Vec<f64>) {
+        if self.size == 1 {
+            return;
+        }
+        let entry = self.clock;
+        let max_up = self.tree_reduce_sum(buf, entry);
+        // Root now has the sum and the max entry clock; broadcast both.
+        let mut payload = if self.rank == 0 {
+            let mut p = buf.clone();
+            p.push(max_up);
+            p
+        } else {
+            Vec::new()
+        };
+        if self.rank == 0 {
+            self.clock = max_up; // so tree_bcast sends the right clock
+        }
+        let _ = self.tree_bcast(&mut payload);
+        let max_entry = payload.pop().expect("clock element present");
+        *buf = payload;
+        self.account_collective(CollectiveKind::Allreduce, buf.len() as u64, entry, max_entry);
+    }
+
+    /// Allreduce of a single scalar by summation.
+    pub fn allreduce_scalar(&mut self, v: f64) -> f64 {
+        let mut buf = vec![v];
+        self.allreduce_sum(&mut buf);
+        buf[0]
+    }
+
+    /// Allreduce with max.
+    pub fn allreduce_max(&mut self, v: f64) -> f64 {
+        if self.size == 1 {
+            return v;
+        }
+        // Encode max-reduction as a sum-reduction on a 1-hot basis is not
+        // possible; do a dedicated tree pass: reduce max to root, bcast.
+        let entry = self.clock;
+        let mut d = 1;
+        let mut m = v;
+        let mut max_clock = entry;
+        let mut is_root_path = true;
+        while d < self.size {
+            if self.rank.is_multiple_of(2 * d) {
+                let partner = self.rank + d;
+                if partner < self.size {
+                    let pkt = self.tree_recv(partner);
+                    max_clock = max_clock.max(pkt.clock);
+                    m = m.max(pkt.data[0]);
+                }
+            } else if self.rank % (2 * d) == d {
+                self.tree_send(self.rank - d, max_clock, vec![m]);
+                is_root_path = false;
+                break;
+            }
+            d *= 2;
+        }
+        let _ = is_root_path;
+        let mut payload = if self.rank == 0 { vec![m, max_clock] } else { Vec::new() };
+        if self.rank == 0 {
+            self.clock = max_clock;
+        }
+        let _ = self.tree_bcast(&mut payload);
+        let max_entry = payload[1];
+        self.account_collective(CollectiveKind::Allreduce, 1, entry, max_entry);
+        payload[0]
+    }
+
+    /// Barrier: an empty allreduce.
+    pub fn barrier(&mut self) {
+        if self.size == 1 {
+            return;
+        }
+        let entry = self.clock;
+        let max_up = self.tree_reduce_sum(&mut [], entry);
+        let mut payload = if self.rank == 0 { vec![max_up] } else { Vec::new() };
+        if self.rank == 0 {
+            self.clock = max_up;
+        }
+        let _ = self.tree_bcast(&mut payload);
+        let max_entry = payload[0];
+        self.account_collective(CollectiveKind::Barrier, 0, entry, max_entry);
+    }
+
+    /// Broadcast `buf` from `root` to all ranks (rank-rotated tree).
+    pub fn bcast(&mut self, buf: &mut Vec<f64>, root: usize) {
+        assert!(root < self.size, "bad root {root}");
+        if self.size == 1 {
+            return;
+        }
+        assert_eq!(root, 0, "this machine implements root-0 broadcast; rotate ranks if needed");
+        let entry = self.clock;
+        let mut payload = if self.rank == 0 {
+            let mut p = buf.clone();
+            p.push(self.clock);
+            p
+        } else {
+            Vec::new()
+        };
+        let _ = self.tree_bcast(&mut payload);
+        let root_clock = payload.pop().expect("clock element present");
+        if self.rank != 0 {
+            *buf = payload;
+        }
+        // For a bcast the completion time is root_clock + cost, but a rank
+        // that entered later leaves at max(entry, ...); account idle
+        // relative to the root's clock.
+        let max_entry = root_clock.max(entry);
+        self.account_collective(CollectiveKind::Bcast, buf.len() as u64, entry, max_entry);
+    }
+
+    /// Gather every rank's (equal-length) contribution onto all ranks,
+    /// concatenated in rank order.
+    pub fn allgather(&mut self, local: &[f64]) -> Vec<f64> {
+        if self.size == 1 {
+            return local.to_vec();
+        }
+        // Implemented as a sum-allreduce of a rank-strided buffer: simple,
+        // deterministic, and the cost charged matches an allgather of the
+        // full concatenated payload (Table I charges word counts, and the
+        // concatenated size is what crosses the top of the tree).
+        let k = local.len();
+        let mut buf = vec![0.0; k * self.size];
+        buf[self.rank * k..(self.rank + 1) * k].copy_from_slice(local);
+        self.allreduce_sum(&mut buf);
+        buf
+    }
+}
+
+/// The machine: spawns `p` ranks and runs the same SPMD closure on each.
+pub struct ThreadMachine;
+
+impl ThreadMachine {
+    /// Run `f(rank_comm)` on `p` ranks; returns the per-rank results in
+    /// rank order along with each rank's cost counters.
+    ///
+    /// ```
+    /// use mpisim::{CostModel, ThreadMachine};
+    /// let results = ThreadMachine::run(4, CostModel::cray_xc30(), |comm| {
+    ///     let mut buf = vec![comm.rank() as f64];
+    ///     comm.allreduce_sum(&mut buf);
+    ///     buf[0]
+    /// });
+    /// // 0 + 1 + 2 + 3, replicated on every rank
+    /// assert!(results.iter().all(|(v, _)| *v == 6.0));
+    /// ```
+    ///
+    /// # Panics
+    /// Panics if `p == 0` or if any rank panics.
+    pub fn run<T, F>(p: usize, model: CostModel, f: F) -> Vec<(T, CostCounters)>
+    where
+        T: Send,
+        F: Fn(&mut Comm) -> T + Send + Sync,
+    {
+        assert!(p > 0, "need at least one rank");
+        // Channel matrix: chans[src][dst].
+        let mut senders: Vec<Vec<Sender<Packet>>> = Vec::with_capacity(p);
+        let mut receivers: Vec<Vec<Option<Receiver<Packet>>>> = (0..p)
+            .map(|_| (0..p).map(|_| None).collect::<Vec<_>>())
+            .collect();
+        for src in 0..p {
+            let mut row = Vec::with_capacity(p);
+            for dst in 0..p {
+                let (tx, rx) = unbounded();
+                row.push(tx);
+                receivers[dst][src] = Some(rx);
+            }
+            senders.push(row);
+        }
+        let mut comms: Vec<Comm> = senders
+            .into_iter()
+            .zip(receivers)
+            .enumerate()
+            .map(|(rank, (to, from_opts))| Comm {
+                rank,
+                size: p,
+                model,
+                to,
+                from: from_opts.into_iter().map(|r| r.expect("receiver wired")).collect(),
+                clock: 0.0,
+                counters: CostCounters::default(),
+                comp_by_class: [0.0; 4],
+            })
+            .collect();
+
+        if p == 1 {
+            let mut c = comms.pop().expect("one comm");
+            let out = f(&mut c);
+            return vec![(out, c.counters)];
+        }
+
+        std::thread::scope(|scope| {
+            let fref = &f;
+            let handles: Vec<_> = comms
+                .into_iter()
+                .map(|mut c| {
+                    scope.spawn(move || {
+                        let out = fref(&mut c);
+                        (out, c.counters)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank panicked"))
+                .collect()
+        })
+    }
+
+    /// Convenience: run and return the critical-path cost report (the
+    /// maximum-total-time rank's counters).
+    pub fn run_report<T, F>(p: usize, model: CostModel, f: F) -> (Vec<T>, crate::CostReport)
+    where
+        T: Send,
+        F: Fn(&mut Comm) -> T + Send + Sync,
+    {
+        let results = Self::run(p, model, f);
+        // The critical path is the computational straggler's: all ranks
+        // leave the final collective at the same clock, so totals tie at
+        // ulp noise; comp_time identifies the rank everyone waited for.
+        let critical = results
+            .iter()
+            .map(|(_, c)| *c)
+            .enumerate()
+            .max_by(|(i, a), (j, b)| {
+                a.comp_time
+                    .partial_cmp(&b.comp_time)
+                    .expect("finite times")
+                    .then(i.cmp(j))
+            })
+            .map(|(_, c)| c)
+            .unwrap_or_default();
+        (
+            results.into_iter().map(|(t, _)| t).collect(),
+            crate::CostReport { ranks: p, critical },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allreduce_sums_across_ranks() {
+        for p in [1, 2, 3, 4, 5, 8, 13] {
+            let results = ThreadMachine::run(p, CostModel::cray_xc30(), |comm| {
+                let mut buf = vec![comm.rank() as f64 + 1.0, 1.0];
+                comm.allreduce_sum(&mut buf);
+                buf
+            });
+            let expect0 = (p * (p + 1) / 2) as f64;
+            for (r, _) in &results {
+                assert_eq!(r[0], expect0, "p={p}");
+                assert_eq!(r[1], p as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_is_deterministic_including_fp_order() {
+        let run = || {
+            ThreadMachine::run(7, CostModel::cray_xc30(), |comm| {
+                let mut buf = vec![0.1 * (comm.rank() as f64 + 1.0); 3];
+                comm.allreduce_sum(&mut buf);
+                buf
+            })
+        };
+        let a = run();
+        let b = run();
+        for ((x, _), (y, _)) in a.iter().zip(&b) {
+            assert_eq!(x, y, "bitwise identical across runs");
+        }
+        // and identical across ranks within one run
+        for (x, _) in &a {
+            assert_eq!(x, &a[0].0);
+        }
+    }
+
+    #[test]
+    fn allreduce_max_works() {
+        let results = ThreadMachine::run(6, CostModel::cray_xc30(), |comm| {
+            comm.allreduce_max((comm.rank() as f64 - 2.5).abs())
+        });
+        for (r, _) in &results {
+            assert_eq!(*r, 2.5);
+        }
+    }
+
+    #[test]
+    fn bcast_from_root() {
+        let results = ThreadMachine::run(5, CostModel::cray_xc30(), |comm| {
+            let mut buf = if comm.rank() == 0 { vec![3.0, 1.0, 4.0] } else { Vec::new() };
+            comm.bcast(&mut buf, 0);
+            buf
+        });
+        for (r, _) in &results {
+            assert_eq!(r, &vec![3.0, 1.0, 4.0]);
+        }
+    }
+
+    #[test]
+    fn allgather_concatenates_in_rank_order() {
+        let results = ThreadMachine::run(4, CostModel::cray_xc30(), |comm| {
+            comm.allgather(&[comm.rank() as f64, 10.0 * comm.rank() as f64])
+        });
+        for (r, _) in &results {
+            assert_eq!(r, &vec![0.0, 0.0, 1.0, 10.0, 2.0, 20.0, 3.0, 30.0]);
+        }
+    }
+
+    #[test]
+    fn point_to_point_ring() {
+        let results = ThreadMachine::run(4, CostModel::cray_xc30(), |comm| {
+            let next = (comm.rank() + 1) % comm.size();
+            let prev = (comm.rank() + comm.size() - 1) % comm.size();
+            comm.send(next, &[comm.rank() as f64]);
+            comm.recv(prev)[0]
+        });
+        assert_eq!(
+            results.iter().map(|(v, _)| *v).collect::<Vec<_>>(),
+            vec![3.0, 0.0, 1.0, 2.0]
+        );
+    }
+
+    #[test]
+    fn clocks_advance_with_collectives_and_flops() {
+        let model = CostModel::cray_xc30();
+        let results = ThreadMachine::run(4, model, |comm| {
+            comm.charge_flops(KernelClass::Dot, 1_200_000, 100);
+            let mut buf = vec![1.0; 8];
+            comm.allreduce_sum(&mut buf);
+            comm.clock()
+        });
+        let expect = 1_200_000.0 / model.dot_rate
+            + model.collective_time(CollectiveKind::Allreduce, 4, 8);
+        for (t, c) in &results {
+            assert!((t - expect).abs() < 1e-12, "clock {t} vs {expect}");
+            assert_eq!(c.flops, 1_200_000);
+            assert_eq!(c.messages, 2); // 2 rounds on 4 ranks
+            assert_eq!(c.words, 16);
+        }
+    }
+
+    #[test]
+    fn straggler_shows_up_as_idle_time() {
+        let model = CostModel::cray_xc30();
+        let results = ThreadMachine::run(2, model, |comm| {
+            if comm.rank() == 1 {
+                comm.charge_flops(KernelClass::Dot, 12_000_000, 100); // 10 ms straggler
+            }
+            let mut buf = vec![0.0];
+            comm.allreduce_sum(&mut buf);
+            comm.counters()
+        });
+        let (fast, slow) = (&results[0].0, &results[1].0);
+        assert!(fast.idle_time > 9e-3, "rank 0 waited: {}", fast.idle_time);
+        assert!(slow.idle_time < 1e-9, "rank 1 never waited: {}", slow.idle_time);
+        // both leave the collective at the same clock
+        let t0 = results[0].0.total_time();
+        let t1 = results[1].0.total_time();
+        assert!((t0 - t1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn barrier_synchronizes_clocks() {
+        let results = ThreadMachine::run(3, CostModel::cray_xc30(), |comm| {
+            comm.charge_flops(KernelClass::Vector, (comm.rank() as u64 + 1) * 2_000_000, 10);
+            comm.barrier();
+            comm.clock()
+        });
+        let clocks: Vec<f64> = results.iter().map(|(t, _)| *t).collect();
+        assert!((clocks[0] - clocks[1]).abs() < 1e-12);
+        assert!((clocks[1] - clocks[2]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_rank_degenerates_gracefully() {
+        let results = ThreadMachine::run(1, CostModel::cray_xc30(), |comm| {
+            let mut buf = vec![5.0];
+            comm.allreduce_sum(&mut buf);
+            comm.barrier();
+            (buf[0], comm.clock())
+        });
+        assert_eq!(results[0].0 .0, 5.0);
+        assert_eq!(results[0].0 .1, 0.0);
+    }
+
+    #[test]
+    fn run_report_picks_critical_path() {
+        let (_, report) = ThreadMachine::run_report(4, CostModel::cray_xc30(), |comm| {
+            comm.charge_flops(KernelClass::Dot, (comm.rank() as u64 + 1) * 1_000_000, 10);
+            let mut b = vec![0.0];
+            comm.allreduce_sum(&mut b);
+        });
+        assert_eq!(report.ranks, 4);
+        assert!(report.running_time() > 0.0);
+        // the critical rank is the slowest (rank 3): it has 4 Mflops
+        assert_eq!(report.critical.flops, 4_000_000);
+    }
+}

@@ -1,0 +1,304 @@
+//! The analytic engine: per-rank virtual clocks without threads.
+//!
+//! The paper's strong-scaling experiments use up to P = 12,288 ranks.
+//! Spawning that many threads to each do microseconds of work per iteration
+//! would measure the host's scheduler, not the algorithm, so for large `P`
+//! the solvers compute their numerics once (globally) and *charge* the cost
+//! of the distributed execution here: per-rank flop attribution (so a rank
+//! holding more nonzeros of the sampled columns is a straggler, exactly as
+//! on the real machine) and collective costs from the shared
+//! [`CostModel`] formulas. The thread engine and this engine agree by
+//! construction — a property checked by the cross-engine tests.
+
+use crate::cost::{CollectiveKind, CostCounters, CostModel, CostReport, KernelClass};
+
+/// A simulated cluster of `p` ranks with individual virtual clocks.
+#[derive(Clone, Debug)]
+pub struct VirtualCluster {
+    p: usize,
+    model: CostModel,
+    clocks: Vec<f64>,
+    comp: Vec<f64>,
+    comm: Vec<f64>,
+    idle: Vec<f64>,
+    flops: Vec<u64>,
+    comp_by_class: Vec<[f64; 4]>,
+    messages: u64,
+    words: u64,
+}
+
+impl VirtualCluster {
+    /// A fresh cluster at time zero.
+    ///
+    /// # Panics
+    /// Panics if `p == 0`.
+    pub fn new(p: usize, model: CostModel) -> Self {
+        assert!(p > 0, "need at least one rank");
+        Self {
+            p,
+            model,
+            clocks: vec![0.0; p],
+            comp: vec![0.0; p],
+            comm: vec![0.0; p],
+            idle: vec![0.0; p],
+            flops: vec![0; p],
+            comp_by_class: vec![[0.0; 4]; p],
+            messages: 0,
+            words: 0,
+        }
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.p
+    }
+
+    /// The cost model in force.
+    pub fn model(&self) -> &CostModel {
+        &self.model
+    }
+
+    /// Charge every rank the same local computation (replicated work, e.g.
+    /// the subproblem solve and scalar updates of Fig. 1 step 5).
+    pub fn charge_uniform(&mut self, class: KernelClass, flops: u64, working_set_words: u64) {
+        let t = self.model.compute_time(class, flops, working_set_words);
+        let ci = crate::cost::class_index(class);
+        for r in 0..self.p {
+            self.clocks[r] += t;
+            self.comp[r] += t;
+            self.comp_by_class[r][ci] += t;
+            self.flops[r] += flops;
+        }
+    }
+
+    /// Charge rank-dependent local computation; `flops_of(rank)` returns
+    /// the flops rank `rank` executes. This is how data-dependent load
+    /// imbalance (stragglers) enters the simulation.
+    pub fn charge_per_rank<F: FnMut(usize) -> u64>(
+        &mut self,
+        class: KernelClass,
+        working_set_words: u64,
+        mut flops_of: F,
+    ) {
+        let ci = crate::cost::class_index(class);
+        for r in 0..self.p {
+            let f = flops_of(r);
+            let t = self.model.compute_time(class, f, working_set_words);
+            self.clocks[r] += t;
+            self.comp[r] += t;
+            self.comp_by_class[r][ci] += t;
+            self.flops[r] += f;
+        }
+    }
+
+    /// Like [`charge_per_rank`](Self::charge_per_rank) but with a
+    /// rank-dependent working set as well: `f(rank)` returns
+    /// `(flops, working_set_words)`. Needed to mirror the thread engine
+    /// exactly, where each rank's kernel sees its own working set (and may
+    /// therefore land on a different side of the cache cliff).
+    pub fn charge_per_rank_ws<F: FnMut(usize) -> (u64, u64)>(
+        &mut self,
+        class: KernelClass,
+        mut f: F,
+    ) {
+        let ci = crate::cost::class_index(class);
+        for r in 0..self.p {
+            let (flops, ws) = f(r);
+            let t = self.model.compute_time(class, flops, ws);
+            self.clocks[r] += t;
+            self.comp[r] += t;
+            self.comp_by_class[r][ci] += t;
+            self.flops[r] += flops;
+        }
+    }
+
+    /// Charge a collective of `words` payload: all ranks synchronize to the
+    /// latest participant, wait out stragglers, then pay the α-β tree cost.
+    pub fn collective(&mut self, kind: CollectiveKind, words: u64) {
+        if self.p == 1 {
+            return;
+        }
+        let max_entry = self.clocks.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let charge = self.model.collective_charge(kind, self.p, words);
+        let cost = charge.time;
+        self.messages += charge.rounds;
+        self.words += charge.words_moved;
+        for r in 0..self.p {
+            self.idle[r] += max_entry - self.clocks[r];
+            self.comm[r] += cost;
+            self.clocks[r] = max_entry + cost;
+        }
+    }
+
+    /// Shorthand for the solvers' one collective.
+    pub fn allreduce(&mut self, words: u64) {
+        self.collective(CollectiveKind::Allreduce, words);
+    }
+
+    /// Current simulated time (max over rank clocks).
+    pub fn time(&self) -> f64 {
+        self.clocks.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// Critical-path cost report: the counters of the computational
+    /// straggler (max `comp_time`, tie broken towards the highest rank —
+    /// the same rule as the thread engine), plus the message/word counts
+    /// (identical on all ranks).
+    pub fn report(&self) -> CostReport {
+        let critical_rank = (0..self.p)
+            .max_by(|&a, &b| {
+                self.comp[a]
+                    .partial_cmp(&self.comp[b])
+                    .expect("finite clocks")
+                    .then(a.cmp(&b))
+            })
+            .expect("at least one rank");
+        CostReport {
+            ranks: self.p,
+            critical: CostCounters {
+                messages: self.messages,
+                words: self.words,
+                flops: self.flops[critical_rank],
+                comp_time: self.comp[critical_rank],
+                comm_time: self.comm[critical_rank],
+                idle_time: self.idle[critical_rank],
+            },
+        }
+    }
+
+    /// Compute time per kernel class on the critical (max-comp) rank.
+    pub fn comp_by_class(&self) -> [f64; 4] {
+        let critical_rank = (0..self.p)
+            .max_by(|&a, &b| {
+                self.comp[a]
+                    .partial_cmp(&self.comp[b])
+                    .expect("finite clocks")
+                    .then(a.cmp(&b))
+            })
+            .expect("at least one rank");
+        self.comp_by_class[critical_rank]
+    }
+
+    /// Reset all clocks and counters to zero (reuse between experiments).
+    pub fn reset(&mut self) {
+        self.clocks.iter_mut().for_each(|c| *c = 0.0);
+        self.comp.iter_mut().for_each(|c| *c = 0.0);
+        self.comm.iter_mut().for_each(|c| *c = 0.0);
+        self.idle.iter_mut().for_each(|c| *c = 0.0);
+        self.flops.iter_mut().for_each(|c| *c = 0);
+        self.comp_by_class.iter_mut().for_each(|c| *c = [0.0; 4]);
+        self.messages = 0;
+        self.words = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::thread_machine::ThreadMachine;
+
+    #[test]
+    fn uniform_charges_advance_all_clocks() {
+        let mut vc = VirtualCluster::new(8, CostModel::cray_xc30());
+        vc.charge_uniform(KernelClass::Dot, 1_200_000, 10);
+        let expect = 1_200_000.0 / vc.model().dot_rate;
+        assert!((vc.time() - expect).abs() < 1e-15);
+    }
+
+    #[test]
+    fn imbalanced_charges_create_idle_time() {
+        let mut vc = VirtualCluster::new(4, CostModel::cray_xc30());
+        vc.charge_per_rank(KernelClass::Dot, 10, |r| (r as u64 + 1) * 1_200_000);
+        vc.allreduce(4);
+        let rep = vc.report();
+        // critical rank (3) did 4.8 Mflops and waited for nobody
+        assert_eq!(rep.critical.flops, 4_800_000);
+        assert!(rep.critical.idle_time < 1e-15);
+        // total time = slowest compute + collective
+        let expect = 4.0 * 1_200_000.0 / vc.model().dot_rate
+            + vc.model().collective_time(CollectiveKind::Allreduce, 4, 4);
+        assert!((vc.time() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matches_thread_machine_on_scripted_run() {
+        // The same SPMD script on both engines must produce identical
+        // virtual times and counters.
+        let model = CostModel::cray_xc30();
+        let p = 8;
+
+        let (_, thread_report) = ThreadMachine::run_report(p, model, |comm| {
+            for _ in 0..5 {
+                comm.charge_flops(KernelClass::Dot, (comm.rank() as u64 + 1) * 100_000, 64);
+                let mut buf = vec![1.0; 16];
+                comm.allreduce_sum(&mut buf);
+                comm.charge_flops(KernelClass::Vector, 50_000, 64);
+            }
+        });
+
+        let mut vc = VirtualCluster::new(p, model);
+        for _ in 0..5 {
+            vc.charge_per_rank(KernelClass::Dot, 64, |r| (r as u64 + 1) * 100_000);
+            vc.allreduce(16);
+            vc.charge_uniform(KernelClass::Vector, 50_000, 64);
+        }
+        let virtual_report = vc.report();
+
+        let t = thread_report.critical;
+        let v = virtual_report.critical;
+        assert!((t.total_time() - v.total_time()).abs() < 1e-12,
+            "thread {} vs virtual {}", t.total_time(), v.total_time());
+        assert_eq!(t.messages, v.messages);
+        assert_eq!(t.words, v.words);
+        assert_eq!(t.flops, v.flops);
+        assert!((t.comm_time - v.comm_time).abs() < 1e-12);
+        assert!((t.comp_time - v.comp_time).abs() < 1e-12);
+        assert!((t.idle_time - v.idle_time).abs() < 1e-12);
+    }
+
+    #[test]
+    fn large_p_is_cheap_to_simulate() {
+        let mut vc = VirtualCluster::new(12_288, CostModel::cray_xc30());
+        for _ in 0..100 {
+            vc.charge_uniform(KernelClass::Dot, 1000, 10);
+            vc.allreduce(64);
+        }
+        assert_eq!(vc.report().critical.messages, 100 * 14);
+        assert!(vc.time() > 0.0);
+    }
+
+    #[test]
+    fn single_rank_has_no_comm() {
+        let mut vc = VirtualCluster::new(1, CostModel::cray_xc30());
+        vc.allreduce(1000);
+        assert_eq!(vc.time(), 0.0);
+        assert_eq!(vc.report().critical.messages, 0);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut vc = VirtualCluster::new(4, CostModel::cray_xc30());
+        vc.charge_uniform(KernelClass::Gemm, 1_000_000, 10);
+        vc.allreduce(10);
+        vc.reset();
+        assert_eq!(vc.time(), 0.0);
+        assert_eq!(vc.report().critical, CostCounters::default());
+    }
+
+    #[test]
+    fn latency_reduction_by_s_shows_up() {
+        // The core SA effect at the machine level: s unit-word allreduces
+        // cost ~s× one s²-word allreduce while latency dominates.
+        let model = CostModel::cray_xc30();
+        let s = 16u64;
+        let mut non_sa = VirtualCluster::new(1024, model);
+        for _ in 0..s {
+            non_sa.allreduce(1);
+        }
+        let mut sa = VirtualCluster::new(1024, model);
+        sa.allreduce(s * s);
+        let speedup = non_sa.time() / sa.time();
+        assert!(speedup > 4.0, "communication speedup only {speedup}");
+        assert!(speedup < s as f64 + 0.5);
+    }
+}

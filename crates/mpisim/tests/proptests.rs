@@ -1,0 +1,158 @@
+//! Property-based cross-engine tests: for *any* SPMD program made of
+//! compute charges and collectives, the thread machine and the virtual
+//! cluster must report identical simulated times and counters, and
+//! allreduce must actually sum.
+
+use mpisim::{AllreduceAlgo, CostModel, KernelClass, ThreadMachine, VirtualCluster};
+use proptest::prelude::*;
+
+/// One step of a random SPMD program.
+#[derive(Clone, Debug)]
+enum Step {
+    /// Per-rank flops = base + rank·slope (deterministic imbalance).
+    Compute {
+        class: KernelClass,
+        base: u64,
+        slope: u64,
+        ws: u64,
+    },
+    /// Allreduce of the given payload.
+    Allreduce { words: usize },
+    /// Barrier.
+    Barrier,
+}
+
+fn class_strategy() -> impl Strategy<Value = KernelClass> {
+    prop_oneof![
+        Just(KernelClass::Gemm),
+        Just(KernelClass::SparseGemm),
+        Just(KernelClass::Dot),
+        Just(KernelClass::Vector),
+    ]
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (class_strategy(), 0u64..2_000_000, 0u64..300_000, 1u64..100_000).prop_map(
+            |(class, base, slope, ws)| Step::Compute {
+                class,
+                base,
+                slope,
+                ws
+            }
+        ),
+        (1usize..2000).prop_map(|words| Step::Allreduce { words }),
+        Just(Step::Barrier),
+    ]
+}
+
+fn algo_strategy() -> impl Strategy<Value = AllreduceAlgo> {
+    prop_oneof![
+        Just(AllreduceAlgo::Tree),
+        Just(AllreduceAlgo::Rabenseifner),
+        (1u64..3000).prop_map(|t| AllreduceAlgo::Auto { threshold_words: t }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any program, any rank count, any allreduce algorithm: the two
+    /// engines agree on time and on every counter.
+    #[test]
+    fn engines_agree_on_random_programs(
+        steps in proptest::collection::vec(step_strategy(), 1..20),
+        p in 2usize..9,
+        algo in algo_strategy(),
+    ) {
+        let model = CostModel {
+            allreduce_algo: algo,
+            ..CostModel::cray_xc30()
+        };
+
+        let steps_ref = &steps;
+        let (_, thread_rep) = ThreadMachine::run_report(p, model, move |comm| {
+            for step in steps_ref {
+                match *step {
+                    Step::Compute { class, base, slope, ws } => {
+                        comm.charge_flops(class, base + comm.rank() as u64 * slope, ws);
+                    }
+                    Step::Allreduce { words } => {
+                        let mut buf = vec![1.0; words];
+                        comm.allreduce_sum(&mut buf);
+                    }
+                    Step::Barrier => comm.barrier(),
+                }
+            }
+        });
+
+        let mut vc = VirtualCluster::new(p, model);
+        for step in &steps {
+            match *step {
+                Step::Compute { class, base, slope, ws } => {
+                    vc.charge_per_rank_ws(class, |r| (base + r as u64 * slope, ws));
+                }
+                Step::Allreduce { words } => vc.allreduce(words as u64),
+                Step::Barrier => vc.collective(mpisim::CollectiveKind::Barrier, 0),
+            }
+        }
+        let virtual_rep = vc.report();
+
+        let (t, v) = (thread_rep.critical, virtual_rep.critical);
+        prop_assert_eq!(t.messages, v.messages, "messages");
+        prop_assert_eq!(t.words, v.words, "words");
+        prop_assert_eq!(t.flops, v.flops, "flops");
+        let scale = virtual_rep.running_time().abs().max(1e-12);
+        prop_assert!(
+            (thread_rep.running_time() - virtual_rep.running_time()).abs() < 1e-9 * scale,
+            "time: thread {} vs virtual {}",
+            thread_rep.running_time(),
+            virtual_rep.running_time()
+        );
+        prop_assert!((t.comp_time - v.comp_time).abs() < 1e-9 * scale);
+        prop_assert!((t.comm_time - v.comm_time).abs() < 1e-9 * scale);
+        prop_assert!((t.idle_time - v.idle_time).abs() < 1e-9 * scale);
+    }
+
+    /// Allreduce really sums, for any payload and rank count, and the
+    /// result is identical on every rank.
+    #[test]
+    fn allreduce_sums_correctly(p in 1usize..10, words in 1usize..200, seed in any::<u64>()) {
+        let results = ThreadMachine::run(p, CostModel::cray_xc30(), move |comm| {
+            let mut rng = xrng::rng_from_seed(seed ^ comm.rank() as u64);
+            let buf: Vec<f64> = (0..words).map(|_| rng.next_gaussian()).collect();
+            let mut reduced = buf.clone();
+            comm.allreduce_sum(&mut reduced);
+            (buf, reduced)
+        });
+        // expected: element-wise sum of all rank contributions
+        let mut expect = vec![0.0f64; words];
+        for (buf, _) in results.iter().map(|(r, _)| r) {
+            for (e, b) in expect.iter_mut().zip(buf) {
+                *e += b;
+            }
+        }
+        let first = &results[0].0 .1;
+        for ((_, reduced), _) in &results {
+            prop_assert_eq!(reduced, first, "ranks disagree");
+        }
+        for (r, e) in first.iter().zip(&expect) {
+            prop_assert!((r - e).abs() < 1e-9 * (1.0 + e.abs()), "{r} vs {e}");
+        }
+    }
+
+    /// Allgather concatenates in rank order for any chunk size.
+    #[test]
+    fn allgather_orders_chunks(p in 1usize..8, chunk in 1usize..32) {
+        let results = ThreadMachine::run(p, CostModel::cray_xc30(), move |comm| {
+            let local: Vec<f64> = (0..chunk)
+                .map(|k| (comm.rank() * chunk + k) as f64)
+                .collect();
+            comm.allgather(&local)
+        });
+        let expect: Vec<f64> = (0..p * chunk).map(|i| i as f64).collect();
+        for (r, _) in &results {
+            prop_assert_eq!(r, &expect);
+        }
+    }
+}

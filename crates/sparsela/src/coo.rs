@@ -1,0 +1,168 @@
+//! Coordinate-format (triplet) sparse matrix builder.
+//!
+//! COO is the assembly format: dataset generators and the LIBSVM reader
+//! push `(row, col, value)` triplets, then convert once to CSR or CSC for
+//! the compute kernels. Duplicate entries are summed on conversion (the
+//! usual finite-element convention).
+
+use crate::{CscMatrix, CsrMatrix};
+
+/// A sparse matrix in coordinate (triplet) format.
+#[derive(Clone, Debug, Default)]
+pub struct CooMatrix {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(usize, usize, f64)>,
+}
+
+impl CooMatrix {
+    /// Empty matrix of the given shape.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Append a triplet. Explicit zeros are dropped.
+    ///
+    /// # Panics
+    /// Panics on out-of-range coordinates.
+    pub fn push(&mut self, row: usize, col: usize, value: f64) {
+        assert!(
+            row < self.rows && col < self.cols,
+            "triplet ({row},{col}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
+        if value != 0.0 {
+            self.entries.push((row, col, value));
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored triplets (before duplicate merging).
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Borrow the triplets.
+    pub fn entries(&self) -> &[(usize, usize, f64)] {
+        &self.entries
+    }
+
+    /// Convert to CSR, summing duplicates.
+    pub fn to_csr(&self) -> CsrMatrix {
+        let merged = self.merged(/*row_major=*/ true);
+        let mut indptr = vec![0usize; self.rows + 1];
+        for &(r, _, _) in &merged {
+            indptr[r + 1] += 1;
+        }
+        for i in 0..self.rows {
+            indptr[i + 1] += indptr[i];
+        }
+        let indices: Vec<usize> = merged.iter().map(|&(_, c, _)| c).collect();
+        let values: Vec<f64> = merged.iter().map(|&(_, _, v)| v).collect();
+        CsrMatrix::from_parts(self.rows, self.cols, indptr, indices, values)
+    }
+
+    /// Convert to CSC, summing duplicates.
+    pub fn to_csc(&self) -> CscMatrix {
+        let merged = self.merged(/*row_major=*/ false);
+        let mut indptr = vec![0usize; self.cols + 1];
+        for &(_, c, _) in &merged {
+            indptr[c + 1] += 1;
+        }
+        for j in 0..self.cols {
+            indptr[j + 1] += indptr[j];
+        }
+        let indices: Vec<usize> = merged.iter().map(|&(r, _, _)| r).collect();
+        let values: Vec<f64> = merged.iter().map(|&(_, _, v)| v).collect();
+        CscMatrix::from_parts(self.rows, self.cols, indptr, indices, values)
+    }
+
+    /// Sort triplets (row-major or column-major) and sum duplicates,
+    /// dropping entries that cancel to exactly zero. The sort is *stable*
+    /// so duplicates accumulate in insertion order — CSR and CSC
+    /// conversions of the same builder then agree bitwise.
+    fn merged(&self, row_major: bool) -> Vec<(usize, usize, f64)> {
+        let mut sorted = self.entries.clone();
+        if row_major {
+            sorted.sort_by_key(|&(r, c, _)| (r, c));
+        } else {
+            sorted.sort_by_key(|&(r, c, _)| (c, r));
+        }
+        let mut merged: Vec<(usize, usize, f64)> = Vec::with_capacity(sorted.len());
+        for (r, c, v) in sorted {
+            match merged.last_mut() {
+                Some(last) if last.0 == r && last.1 == c => last.2 += v,
+                _ => merged.push((r, c, v)),
+            }
+        }
+        merged.retain(|&(_, _, v)| v != 0.0);
+        merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_to_csr_and_csc() {
+        let mut coo = CooMatrix::new(3, 4);
+        coo.push(0, 1, 2.0);
+        coo.push(2, 3, 5.0);
+        coo.push(1, 0, -1.0);
+        coo.push(0, 1, 3.0); // duplicate -> summed to 5.0
+        let csr = coo.to_csr();
+        let csc = coo.to_csc();
+        assert_eq!(csr.nnz(), 3);
+        assert_eq!(csc.nnz(), 3);
+        assert_eq!(csr.get(0, 1), 5.0);
+        assert_eq!(csc.get(0, 1), 5.0);
+        assert_eq!(csr.get(1, 0), -1.0);
+        assert_eq!(csr.get(2, 3), 5.0);
+        assert_eq!(csr.get(2, 0), 0.0);
+    }
+
+    #[test]
+    fn cancelling_duplicates_are_dropped() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, 1.0);
+        coo.push(0, 0, -1.0);
+        coo.push(1, 1, 2.0);
+        assert_eq!(coo.to_csr().nnz(), 1);
+        assert_eq!(coo.to_csc().nnz(), 1);
+    }
+
+    #[test]
+    fn explicit_zero_not_stored() {
+        let mut coo = CooMatrix::new(1, 1);
+        coo.push(0, 0, 0.0);
+        assert_eq!(coo.nnz(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_push_panics() {
+        CooMatrix::new(2, 2).push(2, 0, 1.0);
+    }
+
+    #[test]
+    fn empty_matrix_converts() {
+        let coo = CooMatrix::new(0, 0);
+        assert_eq!(coo.to_csr().nnz(), 0);
+        assert_eq!(coo.to_csc().nnz(), 0);
+    }
+}

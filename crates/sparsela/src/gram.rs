@@ -1,0 +1,354 @@
+//! Sampled Gram matrices and cross products — the communication kernels of
+//! the SA methods.
+//!
+//! Every iteration of Algorithm 1 reduces `G = AₕᵀAₕ` (µ×µ) and
+//! `rₕ = Aₕᵀ(θ²ỹ + z̃)`; every *outer* iteration of Algorithm 2 reduces the
+//! larger `G = YᵀY` (sµ×sµ) and `Yᵀ[ỹ z̃]` where `Y` stacks the `s` sampled
+//! blocks. The SVM algorithms reduce the analogous row-Gram matrices. This
+//! module computes the *local* contributions on one rank's block; the
+//! simulator's allreduce sums them across ranks.
+//!
+//! Two code paths:
+//! * sparse (scatter/dot over [`SparseSlice`]s) — for sparse datasets;
+//! * dense (gather + blocked GEMM) — the BLAS-3 path for dense datasets,
+//!   which is also what makes computing `s` iterations of dot products at
+//!   once *faster per flop* than `s` separate BLAS-1 calls (Fig. 4e–h).
+
+use crate::{CscMatrix, CsrMatrix, DenseMatrix, SparseSlice};
+
+/// Anything that exposes indexed sparse slices along its major axis:
+/// `CsrMatrix` (rows) for the SVM solvers, `CscMatrix` (columns) for the
+/// Lasso solvers.
+pub trait MajorSlices {
+    /// Number of slices along the major axis.
+    fn major_len(&self) -> usize;
+    /// Length of the minor (dense) axis.
+    fn minor_len(&self) -> usize;
+    /// Borrow slice `k`.
+    fn slice(&self, k: usize) -> SparseSlice<'_>;
+}
+
+impl MajorSlices for CsrMatrix {
+    fn major_len(&self) -> usize {
+        self.rows()
+    }
+    fn minor_len(&self) -> usize {
+        self.cols()
+    }
+    fn slice(&self, k: usize) -> SparseSlice<'_> {
+        self.row(k)
+    }
+}
+
+impl MajorSlices for CscMatrix {
+    fn major_len(&self) -> usize {
+        self.cols()
+    }
+    fn minor_len(&self) -> usize {
+        self.rows()
+    }
+    fn slice(&self, k: usize) -> SparseSlice<'_> {
+        self.col(k)
+    }
+}
+
+/// Compute the Gram matrix `G[a][b] = ⟨slice(sel[a]), slice(sel[b])⟩` of the
+/// sampled slices, exploiting symmetry (upper triangle computed, mirrored —
+/// the paper's footnote-3 2× flop saving).
+///
+/// Cost: O(k · nnz(selected)) via a dense scatter workspace of minor length.
+pub fn sampled_gram<M: MajorSlices>(m: &M, sel: &[usize]) -> DenseMatrix {
+    let k = sel.len();
+    let mut g = DenseMatrix::zeros(k, k);
+    let mut work = vec![0.0; m.minor_len()];
+    for a in 0..k {
+        let sa = m.slice(sel[a]);
+        // scatter slice a
+        for (&i, &v) in sa.indices.iter().zip(sa.values) {
+            work[i] = v;
+        }
+        g.set(a, a, sa.norm_sq());
+        for b in (a + 1)..k {
+            let v = m.slice(sel[b]).dot_dense_sparse(&work);
+            g.set(a, b, v);
+            g.set(b, a, v);
+        }
+        // clear workspace
+        for &i in sa.indices {
+            work[i] = 0.0;
+        }
+    }
+    g
+}
+
+/// Cross product `C[a][j] = ⟨slice(sel[a]), vs[j]⟩` for a small set of dense
+/// vectors (e.g. `[ỹ, z̃]` in Alg. 2 line 12, or `x` in Alg. 4 line 10).
+pub fn sampled_cross<M: MajorSlices>(m: &M, sel: &[usize], vs: &[&[f64]]) -> DenseMatrix {
+    let k = sel.len();
+    let mut c = DenseMatrix::zeros(k, vs.len());
+    for (a, &s) in sel.iter().enumerate() {
+        let sl = m.slice(s);
+        for (j, v) in vs.iter().enumerate() {
+            assert_eq!(v.len(), m.minor_len(), "cross-product vector length mismatch");
+            c.set(a, j, sl.dot_dense(v));
+        }
+    }
+    c
+}
+
+impl SparseSlice<'_> {
+    /// Dot against a scattered dense workspace, iterating this (sparse)
+    /// slice. Same as `dot_dense` but named separately for clarity at the
+    /// Gram call site, where `work` holds another slice's scattered values.
+    #[inline]
+    fn dot_dense_sparse(&self, work: &[f64]) -> f64 {
+        self.dot_dense(work)
+    }
+}
+
+/// Dense-path Gram: gather sampled columns into a dense block and use the
+/// cache-blocked symmetric GEMM. Numerically equivalent to [`sampled_gram`]
+/// (same pairwise products, different summation order → agreement to
+/// round-off), but runs at BLAS-3 rates for dense data.
+pub fn sampled_gram_dense(m: &CscMatrix, sel: &[usize]) -> DenseMatrix {
+    m.gather_columns_dense(sel).gram()
+}
+
+/// Flop count of a sampled Gram computation: one multiply-add per pairwise
+/// index match, upper triangle only. Used by the solvers to charge the
+/// simulator's cost model with the work they actually did.
+pub fn gram_flops<M: MajorSlices>(m: &M, sel: &[usize]) -> u64 {
+    // Upper bound: for each ordered pair (a, b<=a) the merge visits
+    // nnz_a + nnz_b entries. We charge the scatter-dot cost actually used:
+    // sum over a of (k - a) * nnz_a + k * nnz_a ~= accumulate precisely.
+    let k = sel.len();
+    let mut flops = 0u64;
+    for (a, &s) in sel.iter().enumerate() {
+        let nnz = m.slice(s).nnz() as u64;
+        // diagonal + scatter + (k - a - 1) dot passes over later slices is
+        // accounted from the other side; charge 2*nnz per pair member.
+        flops += 2 * nnz * (k - a) as u64;
+    }
+    flops
+}
+
+/// Flop count of a sampled cross product.
+pub fn cross_flops<M: MajorSlices>(m: &M, sel: &[usize], nvecs: usize) -> u64 {
+    sel.iter()
+        .map(|&s| 2 * m.slice(s).nnz() as u64 * nvecs as u64)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CooMatrix;
+    use xrng::rng_from_seed;
+
+    fn random_sparse(rows: usize, cols: usize, density: f64, seed: u64) -> CooMatrix {
+        let mut rng = rng_from_seed(seed);
+        let mut coo = CooMatrix::new(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                if rng.next_bool(density) {
+                    coo.push(i, j, rng.next_gaussian());
+                }
+            }
+        }
+        coo
+    }
+
+    #[test]
+    fn csc_sampled_gram_matches_dense_reference() {
+        let coo = random_sparse(40, 25, 0.3, 1);
+        let csc = coo.to_csc();
+        let sel = vec![3, 17, 0, 9, 24];
+        let g = sampled_gram(&csc, &sel);
+        let dense_ref = sampled_gram_dense(&csc, &sel);
+        for a in 0..5 {
+            for b in 0..5 {
+                assert!(
+                    (g.get(a, b) - dense_ref.get(a, b)).abs() < 1e-10,
+                    "mismatch at ({a},{b})"
+                );
+            }
+        }
+        assert!(g.is_symmetric(1e-14));
+    }
+
+    #[test]
+    fn csr_sampled_gram_is_row_gram() {
+        let coo = random_sparse(30, 50, 0.2, 2);
+        let csr = coo.to_csr();
+        let sel = vec![5, 5, 12]; // repeated row allowed (SVM samples with replacement)
+        let g = sampled_gram(&csr, &sel);
+        let d = csr.to_dense();
+        for a in 0..3 {
+            for b in 0..3 {
+                let expect: f64 = (0..50).map(|j| d.get(sel[a], j) * d.get(sel[b], j)).sum();
+                assert!((g.get(a, b) - expect).abs() < 1e-10);
+            }
+        }
+        // repeated slice => identical rows/cols in G
+        assert!((g.get(0, 0) - g.get(1, 1)).abs() < 1e-15);
+        assert!((g.get(0, 2) - g.get(1, 2)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn sampled_cross_matches_dense() {
+        let coo = random_sparse(40, 25, 0.25, 3);
+        let csc = coo.to_csc();
+        let mut rng = rng_from_seed(4);
+        let v1: Vec<f64> = (0..40).map(|_| rng.next_gaussian()).collect();
+        let v2: Vec<f64> = (0..40).map(|_| rng.next_gaussian()).collect();
+        let sel = vec![2, 11, 20];
+        let c = sampled_cross(&csc, &sel, &[&v1, &v2]);
+        let d = csc.to_dense();
+        for (a, &j) in sel.iter().enumerate() {
+            let e1: f64 = (0..40).map(|i| d.get(i, j) * v1[i]).sum();
+            let e2: f64 = (0..40).map(|i| d.get(i, j) * v2[i]).sum();
+            assert!((c.get(a, 0) - e1).abs() < 1e-10);
+            assert!((c.get(a, 1) - e2).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn empty_selection_gives_empty_gram() {
+        let csc = random_sparse(10, 10, 0.5, 5).to_csc();
+        let g = sampled_gram(&csc, &[]);
+        assert_eq!((g.rows(), g.cols()), (0, 0));
+    }
+
+    #[test]
+    fn gram_is_positive_semidefinite() {
+        // xᵀGx = ‖A_S x‖² ≥ 0 for random x.
+        let csc = random_sparse(60, 30, 0.2, 6).to_csc();
+        let sel = vec![1, 4, 9, 16, 25];
+        let g = sampled_gram(&csc, &sel);
+        let mut rng = rng_from_seed(7);
+        for _ in 0..20 {
+            let x: Vec<f64> = (0..5).map(|_| rng.next_gaussian()).collect();
+            let gx = g.gemv(&x);
+            let q = crate::vecops::dot(&x, &gx);
+            assert!(q >= -1e-10, "Gram quadratic form negative: {q}");
+        }
+    }
+
+    #[test]
+    fn flop_counters_are_positive_and_scale() {
+        let csc = random_sparse(60, 30, 0.2, 8).to_csc();
+        let f1 = gram_flops(&csc, &[0, 1]);
+        let f2 = gram_flops(&csc, &[0, 1, 2, 3]);
+        assert!(f2 > f1, "more samples must cost more flops");
+        assert!(cross_flops(&csc, &[0, 1], 2) > 0);
+    }
+}
+
+/// Multi-threaded [`sampled_gram`]: rows of the upper triangle are
+/// distributed round-robin over `nthreads` OS threads (round-robin because
+/// row `a` costs `(k − a)` pair-dots — contiguous chunks would straggle).
+/// Each entry is computed by exactly the same scatter-dot as the
+/// sequential kernel, so the result is **bitwise identical** — threading
+/// here is free parallelism, not a numerics change.
+///
+/// This is the shared-memory, within-rank parallelism a production rank
+/// would use on a multicore node; the deterministic-by-construction design
+/// keeps the SA equivalence guarantees intact. The kernel is
+/// memory-bandwidth bound, so the realized speedup depends on the host's
+/// spare bandwidth, not its core count — benchmark before relying on it
+/// (`cargo bench -p saco-bench --bench kernels`, group `sampled_gram_256`).
+pub fn sampled_gram_parallel<M: MajorSlices + Sync>(
+    m: &M,
+    sel: &[usize],
+    nthreads: usize,
+) -> DenseMatrix {
+    let k = sel.len();
+    let nthreads = nthreads.max(1).min(k.max(1));
+    if nthreads <= 1 || k < 4 {
+        return sampled_gram(m, sel);
+    }
+    // Each thread computes full upper-triangle rows into its own buffer.
+    let rows: Vec<Vec<(usize, Vec<f64>)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..nthreads)
+            .map(|t| {
+                scope.spawn(move || {
+                    let mut work = vec![0.0; m.minor_len()];
+                    let mut out = Vec::new();
+                    let mut a = t;
+                    while a < k {
+                        let sa = m.slice(sel[a]);
+                        for (&i, &v) in sa.indices.iter().zip(sa.values) {
+                            work[i] = v;
+                        }
+                        let mut row = Vec::with_capacity(k - a);
+                        row.push(sa.norm_sq());
+                        for b in (a + 1)..k {
+                            row.push(m.slice(sel[b]).dot_dense(&work));
+                        }
+                        for &i in sa.indices {
+                            work[i] = 0.0;
+                        }
+                        out.push((a, row));
+                        a += nthreads;
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("gram worker panicked")).collect()
+    });
+    let mut g = DenseMatrix::zeros(k, k);
+    for part in rows {
+        for (a, row) in part {
+            for (off, &v) in row.iter().enumerate() {
+                g.set(a, a + off, v);
+                g.set(a + off, a, v);
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod parallel_tests {
+    use super::*;
+    use crate::CooMatrix;
+    use xrng::rng_from_seed;
+
+    fn random_csc(rows: usize, cols: usize, density: f64, seed: u64) -> crate::CscMatrix {
+        let mut rng = rng_from_seed(seed);
+        let mut coo = CooMatrix::new(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                if rng.next_bool(density) {
+                    coo.push(i, j, rng.next_gaussian());
+                }
+            }
+        }
+        coo.to_csc()
+    }
+
+    #[test]
+    fn parallel_gram_is_bitwise_identical() {
+        let csc = random_csc(300, 120, 0.1, 41);
+        let sel: Vec<usize> = (0..120).step_by(2).collect();
+        let seq = sampled_gram(&csc, &sel);
+        for threads in [1usize, 2, 3, 7, 64] {
+            let par = sampled_gram_parallel(&csc, &sel, threads);
+            assert_eq!(
+                par.as_slice(),
+                seq.as_slice(),
+                "threads={threads}: parallel gram must be bitwise identical"
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_selections_fall_back_to_sequential() {
+        let csc = random_csc(20, 10, 0.3, 42);
+        let g = sampled_gram_parallel(&csc, &[1, 5], 8);
+        assert_eq!(g.as_slice(), sampled_gram(&csc, &[1, 5]).as_slice());
+        let empty = sampled_gram_parallel(&csc, &[], 4);
+        assert_eq!((empty.rows(), empty.cols()), (0, 0));
+    }
+}

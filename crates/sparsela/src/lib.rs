@@ -1,0 +1,166 @@
+//! `sparsela` — the dense/sparse linear-algebra substrate for the
+//! synchronization-avoiding solvers.
+//!
+//! The paper's C++/MPI implementation leans on Intel MKL for Sparse and
+//! Dense BLAS (§IV-B). No comparably mature sparse BLAS exists for Rust, so
+//! this crate provides the kernels the solvers actually need, built from
+//! scratch:
+//!
+//! * [`DenseMatrix`] — row-major dense storage with GEMM/GEMV/transpose,
+//!   including a cache-blocked GEMM (the BLAS-3 path whose higher flop rate
+//!   is the source of the SA methods' *computation* speedup, Fig. 4e–h).
+//! * [`CooMatrix`] / [`CsrMatrix`] / [`CscMatrix`] — the three classic
+//!   sparse formats with conversions; the paper stores data in "Compressed
+//!   Sparse Row format (3-array variant)".
+//! * [`vecops`] — BLAS-1 style slice kernels (dot, axpy, norms, …).
+//! * [`gram`] — sampled Gram matrices `Aₛᵀ Aₛ` and cross products
+//!   `Aₛᵀ [v w]`, the two reductions at the heart of Algorithms 1–4.
+//! * [`eig`] — Jacobi eigensolver and power iteration for the small
+//!   symmetric matrices whose largest eigenvalue sets the step size.
+//! * [`chol`] — small dense Cholesky (used for SPD validation and ridge
+//!   subproblems).
+//! * [`qr`] — Householder QR and exact dense least squares (reference
+//!   optima for validating the iterative solvers).
+//! * [`scale`] — sparsity-preserving column normalization.
+//! * [`io`] — LIBSVM text-format reader/writer.
+//! * [`svdest`] — extreme singular-value estimation (for the paper's
+//!   `λ = 100·σ_min` rule).
+//!
+//! Everything is `f64`; determinism matters more than the last 10% of
+//! throughput here, so all reductions are sequential, fixed-order within a
+//! rank (cross-rank reductions are the simulator's job).
+
+// Index-based loops mirror the textbook formulations of the numerical
+// kernels; iterator rewrites obscure them.
+#![allow(clippy::needless_range_loop)]
+
+#![warn(missing_docs)]
+
+pub mod chol;
+pub mod coo;
+pub mod csc;
+pub mod csr;
+pub mod dense;
+pub mod eig;
+pub mod gram;
+pub mod io;
+pub mod qr;
+pub mod scale;
+pub mod svdest;
+pub mod vecops;
+
+pub use coo::CooMatrix;
+pub use csc::CscMatrix;
+pub use csr::CsrMatrix;
+pub use dense::DenseMatrix;
+
+/// A borrowed view of one sparse row (CSR) or column (CSC): parallel slices
+/// of strictly increasing indices and their values.
+///
+/// Both `CsrMatrix::row` and `CscMatrix::col` return this, which lets the
+/// Gram-matrix kernels in [`gram`] serve the Lasso solvers (which sample
+/// *columns* of a row-partitioned matrix) and the SVM solvers (which sample
+/// *rows* of a column-partitioned matrix) with the same code.
+#[derive(Clone, Copy, Debug)]
+pub struct SparseSlice<'a> {
+    /// Strictly increasing coordinate indices.
+    pub indices: &'a [usize],
+    /// Values aligned with `indices`.
+    pub values: &'a [f64],
+}
+
+impl SparseSlice<'_> {
+    /// Number of stored (structurally nonzero) entries.
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Dot product with a dense vector.
+    pub fn dot_dense(&self, v: &[f64]) -> f64 {
+        let mut acc = 0.0;
+        for (&i, &x) in self.indices.iter().zip(self.values) {
+            acc += x * v[i];
+        }
+        acc
+    }
+
+    /// Sparse–sparse dot product by index merge (both slices sorted).
+    pub fn dot_sparse(&self, other: &SparseSlice<'_>) -> f64 {
+        let (mut i, mut j) = (0, 0);
+        let mut acc = 0.0;
+        while i < self.indices.len() && j < other.indices.len() {
+            match self.indices[i].cmp(&other.indices[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    acc += self.values[i] * other.values[j];
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        acc
+    }
+
+    /// Squared Euclidean norm of the slice.
+    pub fn norm_sq(&self) -> f64 {
+        self.values.iter().map(|v| v * v).sum()
+    }
+
+    /// `y[indices] += alpha * values` — scatter-add into a dense vector.
+    pub fn axpy_into(&self, alpha: f64, y: &mut [f64]) {
+        for (&i, &x) in self.indices.iter().zip(self.values) {
+            y[i] += alpha * x;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparse_slice_dot_dense() {
+        let s = SparseSlice {
+            indices: &[0, 2, 5],
+            values: &[1.0, -2.0, 3.0],
+        };
+        let v = [1.0, 9.0, 0.5, 9.0, 9.0, 2.0];
+        assert_eq!(s.dot_dense(&v), 1.0 - 1.0 + 6.0);
+    }
+
+    #[test]
+    fn sparse_slice_dot_sparse_merge() {
+        let a = SparseSlice {
+            indices: &[1, 3, 4, 7],
+            values: &[1.0, 2.0, 3.0, 4.0],
+        };
+        let b = SparseSlice {
+            indices: &[0, 3, 7, 9],
+            values: &[5.0, 6.0, 7.0, 8.0],
+        };
+        assert_eq!(a.dot_sparse(&b), 2.0 * 6.0 + 4.0 * 7.0);
+        assert_eq!(b.dot_sparse(&a), a.dot_sparse(&b));
+    }
+
+    #[test]
+    fn sparse_slice_axpy() {
+        let s = SparseSlice {
+            indices: &[1, 2],
+            values: &[10.0, 20.0],
+        };
+        let mut y = vec![1.0; 4];
+        s.axpy_into(0.5, &mut y);
+        assert_eq!(y, vec![1.0, 6.0, 11.0, 1.0]);
+    }
+
+    #[test]
+    fn sparse_slice_norms() {
+        let s = SparseSlice {
+            indices: &[0, 9],
+            values: &[3.0, 4.0],
+        };
+        assert_eq!(s.norm_sq(), 25.0);
+        assert_eq!(s.nnz(), 2);
+    }
+}

@@ -1,0 +1,152 @@
+//! Feature scaling for sparse data.
+//!
+//! Coordinate descent step sizes are per-column Lipschitz constants, so
+//! wildly different column norms make λ mean different things for
+//! different features. The standard preprocessing is to scale columns to
+//! unit norm before solving (centering is *not* offered: subtracting a
+//! column mean destroys sparsity). The scaler remembers its factors so
+//! solutions can be mapped back to the original feature scale.
+
+use crate::CsrMatrix;
+
+/// Column scaling factors, remembered for un-scaling solutions.
+#[derive(Clone, Debug)]
+pub struct ColumnScaler {
+    /// `factor[j]` = what column `j` was multiplied by.
+    pub factor: Vec<f64>,
+}
+
+/// Which norm columns are scaled to one under.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScaleNorm {
+    /// Euclidean column norm (`‖a_j‖₂ = 1` after scaling) — makes every
+    /// CD step size equal to 1.
+    L2,
+    /// Maximum absolute entry (`max_i |a_ij| = 1`).
+    MaxAbs,
+}
+
+impl ColumnScaler {
+    /// Scale the columns of `a` to unit norm, returning the scaled matrix
+    /// and the scaler. Structurally empty columns are left untouched
+    /// (factor 1).
+    pub fn fit_transform(a: &CsrMatrix, norm: ScaleNorm) -> (CsrMatrix, ColumnScaler) {
+        let csc = a.to_csc();
+        let n = a.cols();
+        let mut factor = vec![1.0f64; n];
+        for j in 0..n {
+            let col = csc.col(j);
+            let scale = match norm {
+                ScaleNorm::L2 => col.norm_sq().sqrt(),
+                ScaleNorm::MaxAbs => col.values.iter().fold(0.0f64, |m, v| m.max(v.abs())),
+            };
+            if scale > 0.0 {
+                factor[j] = 1.0 / scale;
+            }
+        }
+        // Rebuild the CSR with scaled values (same structure).
+        let mut indptr = Vec::with_capacity(a.rows() + 1);
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        indptr.push(0);
+        for i in 0..a.rows() {
+            let r = a.row(i);
+            for (&j, &v) in r.indices.iter().zip(r.values) {
+                indices.push(j);
+                values.push(v * factor[j]);
+            }
+            indptr.push(indices.len());
+        }
+        (
+            CsrMatrix::from_parts(a.rows(), n, indptr, indices, values),
+            ColumnScaler { factor },
+        )
+    }
+
+    /// Map a solution fitted on the scaled matrix back to the original
+    /// feature scale: if `Ã = A·D` and `Ã·x̃ ≈ b`, then `x = D·x̃`.
+    pub fn unscale_solution(&self, x_scaled: &[f64]) -> Vec<f64> {
+        assert_eq!(x_scaled.len(), self.factor.len(), "solution length mismatch");
+        x_scaled
+            .iter()
+            .zip(&self.factor)
+            .map(|(x, f)| x * f)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CooMatrix;
+    use xrng::rng_from_seed;
+
+    fn random_csr(rows: usize, cols: usize, seed: u64) -> CsrMatrix {
+        let mut rng = rng_from_seed(seed);
+        let mut coo = CooMatrix::new(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                if rng.next_bool(0.4) {
+                    coo.push(i, j, 10.0 * rng.next_gaussian());
+                }
+            }
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn l2_scaling_gives_unit_column_norms() {
+        let a = random_csr(50, 20, 1);
+        let (scaled, _) = ColumnScaler::fit_transform(&a, ScaleNorm::L2);
+        let csc = scaled.to_csc();
+        for j in 0..20 {
+            let norm = csc.col(j).norm_sq().sqrt();
+            if csc.col_nnz(j) > 0 {
+                assert!((norm - 1.0).abs() < 1e-12, "column {j} norm {norm}");
+            }
+        }
+        // structure unchanged
+        assert_eq!(scaled.nnz(), a.nnz());
+    }
+
+    #[test]
+    fn maxabs_scaling_bounds_entries() {
+        let a = random_csr(50, 20, 2);
+        let (scaled, _) = ColumnScaler::fit_transform(&a, ScaleNorm::MaxAbs);
+        let csc = scaled.to_csc();
+        for j in 0..20 {
+            let col = csc.col(j);
+            let mx = col.values.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+            if col.nnz() > 0 {
+                assert!((mx - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn unscale_recovers_original_predictions() {
+        // Ã·x̃ must equal A·unscale(x̃) exactly.
+        let a = random_csr(40, 15, 3);
+        let (scaled, scaler) = ColumnScaler::fit_transform(&a, ScaleNorm::L2);
+        let mut rng = rng_from_seed(4);
+        let x_scaled: Vec<f64> = (0..15).map(|_| rng.next_gaussian()).collect();
+        let pred_scaled = scaled.spmv(&x_scaled);
+        let x = scaler.unscale_solution(&x_scaled);
+        let pred = a.spmv(&x);
+        for (p, q) in pred_scaled.iter().zip(&pred) {
+            assert!((p - q).abs() < 1e-10, "{p} vs {q}");
+        }
+    }
+
+    #[test]
+    fn empty_columns_get_unit_factor() {
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push(0, 0, 5.0);
+        // columns 1, 2 empty
+        let a = coo.to_csr();
+        let (_, scaler) = ColumnScaler::fit_transform(&a, ScaleNorm::L2);
+        assert_eq!(scaler.factor[1], 1.0);
+        assert_eq!(scaler.factor[2], 1.0);
+        assert!((scaler.factor[0] - 0.2).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,178 @@
+//! BLAS-1 style kernels over `&[f64]` slices.
+//!
+//! These are the per-iteration scalar/vector updates of the coordinate
+//! descent methods (Fig. 1 step 5). They are deliberately simple sequential
+//! loops: within a rank the solvers need deterministic, fixed-order
+//! reductions so that simulated runs are bit-reproducible.
+
+/// Dot product `xᵀy`.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    // Four-way unrolled accumulation: deterministic order, lets LLVM use
+    // independent FMA chains without reassociating a single serial chain.
+    let mut acc = [0.0f64; 4];
+    let chunks = x.len() / 4;
+    for c in 0..chunks {
+        let i = 4 * c;
+        acc[0] += x[i] * y[i];
+        acc[1] += x[i + 1] * y[i + 1];
+        acc[2] += x[i + 2] * y[i + 2];
+        acc[3] += x[i + 3] * y[i + 3];
+    }
+    let mut tail = 0.0;
+    for i in 4 * chunks..x.len() {
+        tail += x[i] * y[i];
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+}
+
+/// `y ← alpha·x + y`.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `y ← alpha·x + beta·y`.
+#[inline]
+pub fn axpby(alpha: f64, x: &[f64], beta: f64, y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpby: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi = alpha * xi + beta * *yi;
+    }
+}
+
+/// `x ← alpha·x`.
+#[inline]
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for xi in x {
+        *xi *= alpha;
+    }
+}
+
+/// Euclidean norm `‖x‖₂`.
+#[inline]
+pub fn nrm2(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// Squared Euclidean norm `‖x‖₂²`.
+#[inline]
+pub fn nrm2_sq(x: &[f64]) -> f64 {
+    dot(x, x)
+}
+
+/// ℓ₁ norm `‖x‖₁`.
+#[inline]
+pub fn asum(x: &[f64]) -> f64 {
+    x.iter().map(|v| v.abs()).sum()
+}
+
+/// ℓ∞ norm `max |xᵢ|`.
+#[inline]
+pub fn inf_norm(x: &[f64]) -> f64 {
+    x.iter().fold(0.0, |m, v| m.max(v.abs()))
+}
+
+/// Elementwise difference `x − y` into a fresh vector.
+pub fn sub(x: &[f64], y: &[f64]) -> Vec<f64> {
+    assert_eq!(x.len(), y.len(), "sub: length mismatch");
+    x.iter().zip(y).map(|(a, b)| a - b).collect()
+}
+
+/// `‖x − y‖₂` without materialising the difference.
+pub fn dist2(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dist2: length mismatch");
+    x.iter()
+        .zip(y)
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Number of entries with `|xᵢ| > tol` (solution sparsity reporting).
+pub fn nnz_count(x: &[f64], tol: f64) -> usize {
+    x.iter().filter(|v| v.abs() > tol).count()
+}
+
+/// Gather `x[idx[k]]` for all `k` into a fresh vector.
+pub fn gather(x: &[f64], idx: &[usize]) -> Vec<f64> {
+    idx.iter().map(|&i| x[i]).collect()
+}
+
+/// Scatter-add: `x[idx[k]] += vals[k]`.
+pub fn scatter_add(x: &mut [f64], idx: &[usize], vals: &[f64]) {
+    assert_eq!(idx.len(), vals.len(), "scatter_add: length mismatch");
+    for (&i, &v) in idx.iter().zip(vals) {
+        x[i] += v;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_matches_naive_for_odd_lengths() {
+        for n in [0usize, 1, 3, 4, 5, 7, 8, 17] {
+            let x: Vec<f64> = (0..n).map(|i| i as f64 + 0.5).collect();
+            let y: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+            let naive: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+            assert!((dot(&x, &y) - naive).abs() < 1e-12 * (1.0 + naive.abs()));
+        }
+    }
+
+    #[test]
+    fn axpy_and_axpby() {
+        let x = vec![1.0, 2.0, 3.0];
+        let mut y = vec![10.0, 20.0, 30.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, vec![12.0, 24.0, 36.0]);
+        axpby(1.0, &x, 0.5, &mut y);
+        assert_eq!(y, vec![7.0, 14.0, 21.0]);
+    }
+
+    #[test]
+    fn norms() {
+        let x = vec![3.0, -4.0];
+        assert_eq!(nrm2(&x), 5.0);
+        assert_eq!(nrm2_sq(&x), 25.0);
+        assert_eq!(asum(&x), 7.0);
+        assert_eq!(inf_norm(&x), 4.0);
+    }
+
+    #[test]
+    fn sub_dist_nnz() {
+        let x = vec![1.0, 0.0, 2.0];
+        let y = vec![1.0, 1.0, 0.0];
+        assert_eq!(sub(&x, &y), vec![0.0, -1.0, 2.0]);
+        assert!((dist2(&x, &y) - 5.0f64.sqrt()).abs() < 1e-15);
+        assert_eq!(nnz_count(&x, 1e-12), 2);
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip() {
+        let mut x = vec![0.0; 6];
+        scatter_add(&mut x, &[1, 4], &[2.0, 3.0]);
+        assert_eq!(gather(&x, &[1, 4, 0]), vec![2.0, 3.0, 0.0]);
+    }
+
+    #[test]
+    fn scale_in_place() {
+        let mut x = vec![1.0, -2.0];
+        scale(-3.0, &mut x);
+        assert_eq!(x, vec![-3.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_length_mismatch_panics() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+}

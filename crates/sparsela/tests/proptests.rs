@@ -1,0 +1,188 @@
+//! Property-based tests of the linear-algebra substrate: format
+//! conversions are lossless, kernels agree with dense references, Gram
+//! matrices are symmetric PSD, factorizations invert.
+
+use proptest::prelude::*;
+use sparsela::chol::Cholesky;
+use sparsela::eig::{jacobi_eigenvalues, max_eigenvalue};
+use sparsela::gram::{sampled_cross, sampled_gram};
+use sparsela::io::{read_libsvm, write_libsvm, Dataset};
+use sparsela::{vecops, CooMatrix, DenseMatrix};
+use std::io::Cursor;
+
+/// Strategy: a random sparse matrix as (rows, cols, triplets).
+fn sparse_matrix() -> impl Strategy<Value = CooMatrix> {
+    (1usize..24, 1usize..24).prop_flat_map(|(m, n)| {
+        proptest::collection::vec(
+            (0..m, 0..n, -10.0f64..10.0),
+            0..(m * n).min(64),
+        )
+        .prop_map(move |trips| {
+            let mut coo = CooMatrix::new(m, n);
+            for (i, j, v) in trips {
+                coo.push(i, j, v);
+            }
+            coo
+        })
+    })
+}
+
+proptest! {
+    /// CSR ↔ CSC ↔ dense conversions are lossless.
+    #[test]
+    fn format_conversions_roundtrip(coo in sparse_matrix()) {
+        let csr = coo.to_csr();
+        let csc = coo.to_csc();
+        let (d1, d2) = (csr.to_dense(), csc.to_dense());
+        prop_assert_eq!(d1.as_slice(), d2.as_slice());
+        prop_assert_eq!(&csr.to_csc(), &csc);
+        prop_assert_eq!(&csc.to_csr(), &csr);
+        prop_assert_eq!(csr.nnz(), csc.nnz());
+    }
+
+    /// SpMV agrees with the dense GEMV for both formats, and is linear.
+    #[test]
+    fn spmv_matches_dense_and_is_linear(coo in sparse_matrix(), seed in any::<u64>()) {
+        let csr = coo.to_csr();
+        let csc = coo.to_csc();
+        let d = csr.to_dense();
+        let mut rng = xrng::rng_from_seed(seed);
+        let x: Vec<f64> = (0..csr.cols()).map(|_| rng.next_gaussian()).collect();
+        let y: Vec<f64> = (0..csr.cols()).map(|_| rng.next_gaussian()).collect();
+        let dense = d.gemv(&x);
+        for (a, b) in csr.spmv(&x).iter().zip(&dense) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+        for (a, b) in csc.spmv(&x).iter().zip(&dense) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+        // linearity: A(x + 2y) = Ax + 2Ay
+        let xy: Vec<f64> = x.iter().zip(&y).map(|(a, b)| a + 2.0 * b).collect();
+        let lhs = csr.spmv(&xy);
+        let ax = csr.spmv(&x);
+        let ay = csr.spmv(&y);
+        for i in 0..lhs.len() {
+            prop_assert!((lhs[i] - (ax[i] + 2.0 * ay[i])).abs() < 1e-8);
+        }
+    }
+
+    /// spmv_t is the adjoint: ⟨Ax, u⟩ = ⟨x, Aᵀu⟩.
+    #[test]
+    fn spmv_t_is_adjoint(coo in sparse_matrix(), seed in any::<u64>()) {
+        let csr = coo.to_csr();
+        let mut rng = xrng::rng_from_seed(seed);
+        let x: Vec<f64> = (0..csr.cols()).map(|_| rng.next_gaussian()).collect();
+        let u: Vec<f64> = (0..csr.rows()).map(|_| rng.next_gaussian()).collect();
+        let lhs = vecops::dot(&csr.spmv(&x), &u);
+        let rhs = vecops::dot(&x, &csr.spmv_t(&u));
+        prop_assert!((lhs - rhs).abs() < 1e-8 * (1.0 + lhs.abs()));
+    }
+
+    /// Sampled Gram matrices are symmetric PSD and match the dense product.
+    #[test]
+    fn gram_is_symmetric_psd(coo in sparse_matrix(), seed in any::<u64>()) {
+        let csc = coo.to_csc();
+        let n = csc.cols();
+        let mut rng = xrng::rng_from_seed(seed);
+        let k = 1 + rng.next_index(n.min(6));
+        let sel = xrng::sample_without_replacement(&mut rng, n, k);
+        let g = sampled_gram(&csc, &sel);
+        prop_assert!(g.is_symmetric(1e-12));
+        // PSD via random quadratic forms
+        for _ in 0..8 {
+            let x: Vec<f64> = (0..k).map(|_| rng.next_gaussian()).collect();
+            let q = vecops::dot(&x, &g.gemv(&x));
+            prop_assert!(q >= -1e-9, "quadratic form {q}");
+        }
+        // matches dense AᵀA restricted to sel
+        let d = csc.to_dense();
+        for a in 0..k {
+            for b in 0..k {
+                let expect: f64 = (0..csc.rows())
+                    .map(|i| d.get(i, sel[a]) * d.get(i, sel[b]))
+                    .sum();
+                prop_assert!((g.get(a, b) - expect).abs() < 1e-8);
+            }
+        }
+    }
+
+    /// Cross products match per-column dots.
+    #[test]
+    fn cross_matches_column_dots(coo in sparse_matrix(), seed in any::<u64>()) {
+        let csc = coo.to_csc();
+        let mut rng = xrng::rng_from_seed(seed);
+        let v: Vec<f64> = (0..csc.rows()).map(|_| rng.next_gaussian()).collect();
+        let sel: Vec<usize> = (0..csc.cols().min(5)).collect();
+        let c = sampled_cross(&csc, &sel, &[&v]);
+        for (a, &j) in sel.iter().enumerate() {
+            let expect = csc.col(j).dot_dense(&v);
+            prop_assert!((c.get(a, 0) - expect).abs() < 1e-10);
+        }
+    }
+
+    /// Jacobi eigenvalues satisfy trace and Frobenius identities, and
+    /// λmax bounds the Rayleigh quotient.
+    #[test]
+    fn eig_invariants(seed in any::<u64>(), n in 1usize..10, m in 1usize..16) {
+        let mut rng = xrng::rng_from_seed(seed);
+        let data: Vec<f64> = (0..m * n).map(|_| rng.next_gaussian()).collect();
+        let g = DenseMatrix::from_vec(m, n, data).gram();
+        let eigs = jacobi_eigenvalues(&g);
+        let trace: f64 = (0..n).map(|i| g.get(i, i)).sum();
+        let esum: f64 = eigs.iter().sum();
+        prop_assert!((trace - esum).abs() < 1e-7 * trace.abs().max(1.0));
+        let lmax = max_eigenvalue(&g);
+        for _ in 0..4 {
+            let x: Vec<f64> = (0..n).map(|_| rng.next_gaussian()).collect();
+            let nx = vecops::nrm2_sq(&x);
+            if nx > 1e-12 {
+                let q = vecops::dot(&x, &g.gemv(&x)) / nx;
+                prop_assert!(q <= lmax + 1e-7 * lmax.abs().max(1.0));
+            }
+        }
+    }
+
+    /// Cholesky solve really solves (on ridge-shifted Gram matrices).
+    #[test]
+    fn cholesky_solves(seed in any::<u64>(), n in 1usize..10) {
+        let mut rng = xrng::rng_from_seed(seed);
+        let data: Vec<f64> = (0..(n + 2) * n).map(|_| rng.next_gaussian()).collect();
+        let mut g = DenseMatrix::from_vec(n + 2, n, data).gram();
+        for i in 0..n {
+            g.set(i, i, g.get(i, i) + 1.0);
+        }
+        let ch = Cholesky::factor(&g).expect("ridge-shifted Gram is PD");
+        let b: Vec<f64> = (0..n).map(|_| rng.next_gaussian()).collect();
+        let x = ch.solve(&b);
+        let r = vecops::sub(&g.gemv(&x), &b);
+        prop_assert!(vecops::nrm2(&r) < 1e-8 * (1.0 + vecops::nrm2(&b)));
+    }
+
+    /// LIBSVM serialization round-trips arbitrary datasets.
+    #[test]
+    fn libsvm_roundtrip(coo in sparse_matrix(), seed in any::<u64>()) {
+        let a = coo.to_csr();
+        let mut rng = xrng::rng_from_seed(seed);
+        let b: Vec<f64> = (0..a.rows()).map(|_| rng.next_gaussian()).collect();
+        let cols = a.cols();
+        let ds = Dataset { a, b };
+        let mut buf = Vec::new();
+        write_libsvm(&mut buf, &ds).expect("serialize");
+        let back = read_libsvm(Cursor::new(buf), cols).expect("parse");
+        prop_assert_eq!(back.a, ds.a);
+        prop_assert_eq!(back.b, ds.b);
+    }
+
+    /// Blocked GEMM agrees with the naive reference.
+    #[test]
+    fn blocked_gemm_matches_naive(seed in any::<u64>(), m in 1usize..12, k in 1usize..12, n in 1usize..12) {
+        let mut rng = xrng::rng_from_seed(seed);
+        let a = DenseMatrix::from_vec(m, k, (0..m * k).map(|_| rng.next_gaussian()).collect());
+        let b = DenseMatrix::from_vec(k, n, (0..k * n).map(|_| rng.next_gaussian()).collect());
+        let c1 = a.matmul(&b);
+        let c2 = a.matmul_naive(&b);
+        for (x, y) in c1.as_slice().iter().zip(c2.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-10);
+        }
+    }
+}

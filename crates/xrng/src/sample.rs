@@ -1,0 +1,247 @@
+//! Sampling routines used by the block coordinate descent solvers.
+//!
+//! The solvers repeatedly draw `µ` coordinates "uniformly at random without
+//! replacement" (Alg. 1 line 5 / Alg. 2 line 6 of the paper). The SA
+//! derivation requires the *exact same* draw sequence on every rank and in
+//! the SA and non-SA variants, so these routines are deterministic functions
+//! of the generator state, with no platform- or allocation-dependent
+//! behaviour.
+
+use crate::Xoshiro256StarStar;
+
+/// Sample `k` distinct indices uniformly from `[0, n)` without replacement.
+///
+/// ```
+/// let mut rng = xrng::rng_from_seed(7);
+/// let s = xrng::sample_without_replacement(&mut rng, 100, 5);
+/// assert_eq!(s.len(), 5);
+/// assert!(s.iter().all(|&i| i < 100));
+/// ```
+///
+/// Uses a partial Fisher–Yates shuffle over a scratch index buffer when `k`
+/// is a large fraction of `n`, and Floyd's algorithm (no O(n) scratch) when
+/// `k` is small, which is the common case (`µ ≪ n`). The returned order is
+/// the draw order (not sorted) so that CD (`k = 1`) and BCD agree on which
+/// coordinate was drawn "first".
+///
+/// # Panics
+/// Panics if `k > n`.
+pub fn sample_without_replacement(
+    rng: &mut Xoshiro256StarStar,
+    n: usize,
+    k: usize,
+) -> Vec<usize> {
+    assert!(k <= n, "cannot sample {k} items from a population of {n}");
+    if k == 0 {
+        return Vec::new();
+    }
+    // Heuristic crossover: Floyd's algorithm does k hash-set style lookups
+    // over a Vec (k is tiny), partial Fisher–Yates allocates n slots.
+    if k * 8 < n {
+        floyd_sample(rng, n, k)
+    } else {
+        partial_fisher_yates(rng, n, k)
+    }
+}
+
+/// Floyd's algorithm: O(k) draws, O(k^2) worst-case lookups (k is small).
+/// Produces a uniformly random k-subset; we then shuffle to make the draw
+/// order itself uniform.
+fn floyd_sample(rng: &mut Xoshiro256StarStar, n: usize, k: usize) -> Vec<usize> {
+    let mut chosen: Vec<usize> = Vec::with_capacity(k);
+    for j in (n - k)..n {
+        let t = rng.next_index(j + 1);
+        if chosen.contains(&t) {
+            chosen.push(j);
+        } else {
+            chosen.push(t);
+        }
+    }
+    // Floyd's order is biased (later slots favour later values); shuffle to
+    // restore exchangeability of the draw order.
+    shuffle(rng, &mut chosen);
+    chosen
+}
+
+/// Partial Fisher–Yates: O(n) scratch, exactly k swaps.
+fn partial_fisher_yates(rng: &mut Xoshiro256StarStar, n: usize, k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in 0..k {
+        let j = i + rng.next_index(n - i);
+        idx.swap(i, j);
+    }
+    idx.truncate(k);
+    idx
+}
+
+/// In-place Fisher–Yates shuffle.
+pub fn shuffle<T>(rng: &mut Xoshiro256StarStar, items: &mut [T]) {
+    let n = items.len();
+    for i in (1..n).rev() {
+        let j = rng.next_index(i + 1);
+        items.swap(i, j);
+    }
+}
+
+/// Reservoir sampling (Algorithm R): `k` items from a stream of unknown
+/// length. Used by the dataset generators to pick support sets from lazily
+/// enumerated candidate coordinates.
+pub fn reservoir_sample<I: Iterator<Item = T>, T>(
+    rng: &mut Xoshiro256StarStar,
+    iter: I,
+    k: usize,
+) -> Vec<T> {
+    let mut reservoir: Vec<T> = Vec::with_capacity(k);
+    for (i, item) in iter.enumerate() {
+        if i < k {
+            reservoir.push(item);
+        } else {
+            let j = rng.next_index(i + 1);
+            if j < k {
+                reservoir[j] = item;
+            }
+        }
+    }
+    reservoir
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng_from_seed;
+
+    fn assert_distinct_in_range(sample: &[usize], n: usize) {
+        let mut seen = vec![false; n];
+        for &s in sample {
+            assert!(s < n, "index {s} out of range {n}");
+            assert!(!seen[s], "duplicate index {s}");
+            seen[s] = true;
+        }
+    }
+
+    #[test]
+    fn small_k_path_distinct() {
+        let mut rng = rng_from_seed(1);
+        for _ in 0..200 {
+            let s = sample_without_replacement(&mut rng, 1000, 8);
+            assert_eq!(s.len(), 8);
+            assert_distinct_in_range(&s, 1000);
+        }
+    }
+
+    #[test]
+    fn large_k_path_distinct() {
+        let mut rng = rng_from_seed(2);
+        for _ in 0..50 {
+            let s = sample_without_replacement(&mut rng, 64, 48);
+            assert_eq!(s.len(), 48);
+            assert_distinct_in_range(&s, 64);
+        }
+    }
+
+    #[test]
+    fn k_equals_n_is_permutation() {
+        let mut rng = rng_from_seed(3);
+        let mut s = sample_without_replacement(&mut rng, 32, 32);
+        s.sort_unstable();
+        assert_eq!(s, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn k_zero_is_empty() {
+        let mut rng = rng_from_seed(4);
+        assert!(sample_without_replacement(&mut rng, 10, 0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn k_greater_than_n_panics() {
+        let mut rng = rng_from_seed(5);
+        sample_without_replacement(&mut rng, 3, 4);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_given_seed() {
+        let mut a = rng_from_seed(42);
+        let mut b = rng_from_seed(42);
+        for _ in 0..100 {
+            assert_eq!(
+                sample_without_replacement(&mut a, 500, 6),
+                sample_without_replacement(&mut b, 500, 6)
+            );
+        }
+    }
+
+    #[test]
+    fn sampling_is_approximately_uniform() {
+        // Each index in [0, 20) should appear in a 4-subset with
+        // probability 4/20 = 0.2.
+        let mut rng = rng_from_seed(6);
+        let trials = 50_000;
+        let mut counts = [0u32; 20];
+        for _ in 0..trials {
+            for i in sample_without_replacement(&mut rng, 20, 4) {
+                counts[i] += 1;
+            }
+        }
+        for &c in &counts {
+            let p = c as f64 / trials as f64;
+            assert!((p - 0.2).abs() < 0.01, "marginal probability {p}");
+        }
+    }
+
+    #[test]
+    fn draw_order_is_uniform_small_k_path() {
+        // The *first* drawn element must also be uniform (CD relies on it).
+        let mut rng = rng_from_seed(7);
+        let trials = 60_000;
+        let n = 100; // k*8 < n -> Floyd path
+        let mut first_counts = vec![0u32; n];
+        for _ in 0..trials {
+            let s = sample_without_replacement(&mut rng, n, 4);
+            first_counts[s[0]] += 1;
+        }
+        let expect = trials as f64 / n as f64;
+        for &c in &first_counts {
+            assert!(
+                (c as f64 - expect).abs() < expect * 0.35,
+                "first-draw count {c} vs expected {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = rng_from_seed(8);
+        let mut v: Vec<usize> = (0..100).collect();
+        shuffle(&mut rng, &mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle left input unchanged");
+    }
+
+    #[test]
+    fn reservoir_sample_uniform() {
+        let mut rng = rng_from_seed(9);
+        let trials = 30_000;
+        let mut counts = [0u32; 10];
+        for _ in 0..trials {
+            for x in reservoir_sample(&mut rng, 0..10usize, 3) {
+                counts[x] += 1;
+            }
+        }
+        for &c in &counts {
+            let p = c as f64 / trials as f64;
+            assert!((p - 0.3).abs() < 0.02, "marginal probability {p}");
+        }
+    }
+
+    #[test]
+    fn reservoir_shorter_stream_returns_all() {
+        let mut rng = rng_from_seed(10);
+        let mut s = reservoir_sample(&mut rng, 0..5usize, 10);
+        s.sort_unstable();
+        assert_eq!(s, vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,82 @@
+//! Property-based tests for the deterministic RNG and samplers.
+
+use proptest::prelude::*;
+use xrng::{rng_from_seed, sample_without_replacement, shuffle};
+
+proptest! {
+    /// `next_below(b)` is always `< b`, for any seed and bound.
+    #[test]
+    fn next_below_respects_bound(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut rng = rng_from_seed(seed);
+        for _ in 0..64 {
+            prop_assert!(rng.next_below(bound) < bound);
+        }
+    }
+
+    /// `next_f64` is always in [0, 1).
+    #[test]
+    fn next_f64_in_unit_interval(seed in any::<u64>()) {
+        let mut rng = rng_from_seed(seed);
+        for _ in 0..64 {
+            let x = rng.next_f64();
+            prop_assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    /// Sampling without replacement returns k distinct in-range indices,
+    /// for any (n, k ≤ n) and seed.
+    #[test]
+    fn sampling_invariants(seed in any::<u64>(), n in 1usize..2000, frac in 0.0f64..=1.0) {
+        let k = ((n as f64 * frac) as usize).min(n);
+        let mut rng = rng_from_seed(seed);
+        let s = sample_without_replacement(&mut rng, n, k);
+        prop_assert_eq!(s.len(), k);
+        let mut sorted = s.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), k, "duplicates in sample");
+        prop_assert!(sorted.iter().all(|&i| i < n));
+    }
+
+    /// The same seed always reproduces the same stream (determinism is a
+    /// correctness requirement for the SA solvers).
+    #[test]
+    fn determinism(seed in any::<u64>()) {
+        let mut a = rng_from_seed(seed);
+        let mut b = rng_from_seed(seed);
+        for _ in 0..32 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    /// Shuffle is a permutation.
+    #[test]
+    fn shuffle_permutes(seed in any::<u64>(), n in 0usize..500) {
+        let mut rng = rng_from_seed(seed);
+        let mut v: Vec<usize> = (0..n).collect();
+        shuffle(&mut rng, &mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+    }
+
+    /// Gaussian draws are finite.
+    #[test]
+    fn gaussian_is_finite(seed in any::<u64>()) {
+        let mut rng = rng_from_seed(seed);
+        for _ in 0..64 {
+            prop_assert!(rng.next_gaussian().is_finite());
+        }
+    }
+
+    /// Split streams are reproducible functions of (parent, stream id).
+    #[test]
+    fn split_determinism(seed in any::<u64>(), stream in any::<u64>()) {
+        let parent = rng_from_seed(seed);
+        let mut a = parent.split(stream);
+        let mut b = parent.split(stream);
+        for _ in 0..16 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Beyond Lasso: the paper's methods "hold more generally for other
+//! regularization functions with well-defined proximal operators
+//! (Elastic-Nets, Group Lasso, etc.)" (§I). This example exercises both on
+//! correlated data, where the Elastic-Net's grouping effect and the Group
+//! Lasso's structured sparsity are visible.
+//!
+//! ```sh
+//! cargo run --release -p saco --example elastic_net_path
+//! ```
+
+use datagen::dense_gaussian;
+use saco::config::BlockSampling;
+use saco::prox::{ElasticNet, GroupLasso, Lasso};
+use saco::seq::sa_accbcd;
+use saco::LassoConfig;
+use sparsela::io::Dataset;
+use sparsela::{CooMatrix, CsrMatrix};
+use xrng::rng_from_seed;
+
+/// Build a design with groups of 4 highly correlated columns.
+#[allow(clippy::needless_range_loop)]
+fn correlated_design(rows: usize, groups: usize, rho: f64, seed: u64) -> CsrMatrix {
+    let base = dense_gaussian(rows, groups, seed);
+    let mut rng = rng_from_seed(seed ^ 0xBEEF);
+    let mut coo = CooMatrix::new(rows, groups * 4);
+    for i in 0..rows {
+        for g in 0..groups {
+            let shared = base.get(i, g);
+            for k in 0..4 {
+                let noise = (1.0 - rho * rho).sqrt() * rng.next_gaussian();
+                coo.push(i, g * 4 + k, rho * shared + noise);
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+fn main() {
+    let rows = 600;
+    let groups = 25;
+    let a = correlated_design(rows, groups, 0.995, 17);
+    // Signal lives in groups 0 and 1 (all 8 of their columns).
+    let mut x_star = vec![0.0; groups * 4];
+    x_star[..8].fill(1.5);
+    let mut b = a.spmv(&x_star);
+    let mut rng = rng_from_seed(3);
+    for bi in &mut b {
+        *bi += 0.2 * rng.next_gaussian();
+    }
+    let ds = Dataset { a, b };
+    println!(
+        "correlated design: {} × {} ({} groups of 4 columns, ρ = 0.995)",
+        rows,
+        groups * 4,
+        groups
+    );
+
+    let cfg = LassoConfig {
+        mu: 4, // aligned with the group size, so the group prox is exact
+        s: 16,
+        lambda: 0.0, // regularizer objects below carry the actual penalties
+        seed: 70,
+        max_iters: 8000,
+        trace_every: 0,
+        rel_tol: None,
+    ..Default::default()
+    };
+
+    let report = |name: &str, x: &[f64]| {
+        let active_cols = x.iter().filter(|v| v.abs() > 1e-6).count();
+        let mut active_groups = 0;
+        let mut split_groups = 0; // groups only partially selected
+        for g in 0..groups {
+            let cnt = (0..4).filter(|k| x[g * 4 + k].abs() > 1e-6).count();
+            if cnt > 0 {
+                active_groups += 1;
+            }
+            if cnt > 0 && cnt < 4 {
+                split_groups += 1;
+            }
+        }
+        println!(
+            "  {name:<14} active columns: {active_cols:>3}   active groups: {active_groups:>2}   partially-selected groups: {split_groups}"
+        );
+    };
+
+    // λ anchored at the critical value so all three penalties bite.
+    let lambda_max = {
+        let atb = ds.a.spmv_t(&ds.b);
+        atb.iter().fold(0.0f64, |m, v| m.max(v.abs()))
+    };
+    println!("\nsignal: groups 0–1 (8 columns), λ_max = {lambda_max:.1}. Results:");
+    let lasso = sa_accbcd(&ds, &Lasso::new(0.8 * lambda_max), &cfg);
+    report("Lasso", &lasso.x);
+    let enet = sa_accbcd(&ds, &ElasticNet::with_strength(0.8 * lambda_max, 0.5), &cfg);
+    report("Elastic-Net", &enet.x);
+    // Group Lasso with group-aligned block sampling: the prox is exact,
+    // so selection happens group-by-group.
+    let aligned = LassoConfig {
+        sampling: BlockSampling::AlignedGroups { group_size: 4 },
+        ..cfg.clone()
+    };
+    let gl = GroupLasso::uniform(0.8 * lambda_max, groups * 4, 4);
+    let group = sa_accbcd(&ds, &gl, &aligned);
+    report("Group Lasso", &group.x);
+
+    println!("\nreading: with ρ = 0.995 correlation, plain Lasso drops columns from");
+    println!("signal groups (partial selection — it picks representatives); the");
+    println!("Elastic-Net's ridge component spreads weight across all correlated");
+    println!("siblings; and the Group Lasso, with group-aligned sampling making its");
+    println!("proximal step exact, selects whole groups by construction.");
+}

@@ -1,0 +1,81 @@
+//! Feature selection on "microarray-style" data (few samples, many
+//! features — the regime of the paper's leu/duke datasets): sweep λ down a
+//! regularization path with SA-accBCD, and show how support recovery
+//! improves with cohort size.
+//!
+//! ```sh
+//! cargo run --release -p saco --example lasso_feature_selection
+//! ```
+
+use datagen::{dense_gaussian, planted_regression};
+use saco::prox::Lasso;
+use saco::seq::sa_accbcd;
+use saco::LassoConfig;
+use sparsela::vecops;
+
+fn main() {
+    let n = 7129; // leu's feature count
+    let support = 4;
+    println!("planted {support}-gene signal among {n} dense features\n");
+
+    // leu has 38 samples; with n = 7129 that is below the information-
+    // theoretic threshold for exact recovery, so we also run augmented
+    // cohorts to show the path sharpening.
+    for samples in [38usize, 152, 608] {
+        let a = dense_gaussian(samples, n, 11);
+        let reg_data = planted_regression(a, support, 0.01, 11);
+        let ds = &reg_data.dataset;
+        let truth: Vec<usize> = reg_data
+            .x_star
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.abs() > 0.0)
+            .map(|(i, _)| i)
+            .collect();
+        let lambda_max = vecops::inf_norm(&ds.a.spmv_t(&ds.b));
+
+        println!("cohort of {samples} samples (λ_max = {lambda_max:.1}):");
+        println!("  λ/λ_max   nonzeros   recall   true-in-top{support}   objective");
+        for frac in [0.7, 0.4, 0.2, 0.1] {
+            let lambda = frac * lambda_max;
+            let cfg = LassoConfig {
+                mu: 8,
+                s: 32,
+                lambda,
+                seed: 99,
+                max_iters: 6000,
+                trace_every: 0,
+                ..Default::default()
+            };
+            let res = sa_accbcd(ds, &Lasso::new(lambda), &cfg);
+            let selected: Vec<usize> = res
+                .x
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| v.abs() > 1e-8)
+                .map(|(i, _)| i)
+                .collect();
+            let hits = selected.iter().filter(|i| truth.contains(i)).count();
+            let recall = hits as f64 / truth.len() as f64;
+            let mut ranked: Vec<usize> = (0..res.x.len()).collect();
+            ranked.sort_by(|&i, &j| res.x[j].abs().partial_cmp(&res.x[i].abs()).unwrap());
+            let in_top = truth
+                .iter()
+                .filter(|t| ranked[..support].contains(t))
+                .count();
+            println!(
+                "  {:>7.2}   {:>8}   {:>6.2}   {:>12}   {:.4e}",
+                frac,
+                selected.len(),
+                recall,
+                format!("{in_top}/{support}"),
+                res.final_value()
+            );
+        }
+        println!();
+    }
+    println!("reading: at leu's 38 samples the path surfaces only part of the");
+    println!("signal; as the cohort grows, the planted genes dominate the top of");
+    println!("the ranking and recall reaches 1 — the sample-complexity behaviour");
+    println!("classic Lasso theory predicts.");
+}

@@ -1,0 +1,206 @@
+//! Cross-engine equivalence: the sequential reference, the thread-backed
+//! distributed SPMD implementation, and the virtual-cluster simulation
+//! must all compute the same solutions — at any rank count and unrolling
+//! depth, with naive or balanced partitions.
+
+use datagen::{PaperDataset, Task};
+use mpisim::{CostModel, ThreadMachine};
+use saco::dist::{dist_sa_accbcd, dist_sa_bcd, dist_sa_svm, LassoRankData, SvmRankData};
+use saco::prox::Lasso;
+use saco::seq;
+use saco::sim::{sim_sa_accbcd, sim_sa_bcd, sim_sa_svm};
+use saco::{LassoConfig, SvmConfig, SvmLoss};
+use sparsela::io::Dataset;
+
+fn lasso_ds() -> Dataset {
+    PaperDataset::News20.generate(0.04, 3).dataset
+}
+
+fn svm_ds() -> Dataset {
+    PaperDataset::W1a
+        .generate_for_task(Task::Classification, 0.5, 3)
+        .dataset
+}
+
+#[test]
+fn three_engines_agree_on_acc_lasso() {
+    let ds = lasso_ds();
+    let cfg = LassoConfig {
+        mu: 4,
+        s: 8,
+        lambda: 0.2,
+        seed: 44,
+        max_iters: 160,
+        trace_every: 40,
+        rel_tol: None,
+    ..Default::default()
+    };
+    let reg = Lasso::new(cfg.lambda);
+    let seq_res = seq::sa_accbcd(&ds, &reg, &cfg);
+    let (sim_res, _) = sim_sa_accbcd(&ds, &reg, &cfg, 6, CostModel::cray_xc30(), false);
+    // simulation runs the identical global numerics
+    assert_eq!(seq_res.x, sim_res.x);
+    // the thread machine re-associates reductions; agreement to 1e-10
+    let (_, blocks) = LassoRankData::split(&ds, 6, false);
+    let dist = ThreadMachine::run(6, CostModel::cray_xc30(), |comm| {
+        dist_sa_accbcd(comm, &blocks[comm.rank()], &reg, &cfg)
+    });
+    for (r, _) in &dist {
+        for (a, b) in r.x.iter().zip(&seq_res.x) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+}
+
+#[test]
+fn three_engines_agree_on_plain_lasso_balanced_partition() {
+    let ds = lasso_ds();
+    let cfg = LassoConfig {
+        mu: 2,
+        s: 16,
+        lambda: 0.2,
+        seed: 45,
+        max_iters: 160,
+        trace_every: 0,
+        rel_tol: None,
+    ..Default::default()
+    };
+    let reg = Lasso::new(cfg.lambda);
+    let seq_res = seq::sa_bcd(&ds, &reg, &cfg);
+    let (sim_res, _) = sim_sa_bcd(&ds, &reg, &cfg, 5, CostModel::cray_xc30(), true);
+    assert_eq!(seq_res.x, sim_res.x);
+    let (_, blocks) = LassoRankData::split(&ds, 5, true);
+    let dist = ThreadMachine::run(5, CostModel::cray_xc30(), |comm| {
+        dist_sa_bcd(comm, &blocks[comm.rank()], &reg, &cfg)
+    });
+    let rel = (dist[0].0.final_value() - seq_res.final_value()).abs() / seq_res.final_value();
+    assert!(rel < 1e-10, "rel err {rel}");
+}
+
+#[test]
+fn three_engines_agree_on_svm() {
+    let ds = svm_ds();
+    for (loss, s, balanced) in [
+        (SvmLoss::L1, 1usize, false),
+        (SvmLoss::L1, 32, true),
+        (SvmLoss::L2, 16, false),
+    ] {
+        let cfg = SvmConfig {
+            loss,
+            lambda: 1.0,
+            s,
+            seed: 46,
+            max_iters: 320,
+            trace_every: 80,
+            gap_tol: None,
+        };
+        let seq_res = seq::sa_svm(&ds, &cfg);
+        let (sim_res, _) = sim_sa_svm(&ds, &cfg, 7, CostModel::cray_xc30(), balanced);
+        assert_eq!(seq_res.x, sim_res.x, "{loss:?} s={s}");
+        let (part, blocks) = SvmRankData::split(&ds, 7, balanced);
+        let dist = ThreadMachine::run(7, CostModel::cray_xc30(), |comm| {
+            dist_sa_svm(comm, &blocks[comm.rank()], &cfg)
+        });
+        // concatenate local x slices and compare
+        let mut x = Vec::new();
+        for (r, (res, _)) in dist.iter().enumerate() {
+            assert_eq!(res.x.len(), part.range(r).len());
+            x.extend_from_slice(&res.x);
+        }
+        for (a, b) in x.iter().zip(&seq_res.x) {
+            assert!((a - b).abs() < 1e-9, "{loss:?} s={s}: {a} vs {b}");
+        }
+    }
+}
+
+#[test]
+fn rank_count_does_not_change_results() {
+    let ds = lasso_ds();
+    let cfg = LassoConfig {
+        mu: 1,
+        s: 4,
+        lambda: 0.2,
+        seed: 47,
+        max_iters: 96,
+        trace_every: 0,
+        rel_tol: None,
+    ..Default::default()
+    };
+    let reg = Lasso::new(cfg.lambda);
+    let mut finals = Vec::new();
+    for p in [1usize, 2, 3, 8] {
+        let (_, blocks) = LassoRankData::split(&ds, p, false);
+        let res = ThreadMachine::run(p, CostModel::cray_xc30(), |comm| {
+            dist_sa_accbcd(comm, &blocks[comm.rank()], &reg, &cfg)
+        });
+        finals.push(res[0].0.final_value());
+    }
+    for f in &finals[1..] {
+        let rel = (f - finals[0]).abs() / finals[0];
+        assert!(rel < 1e-10, "objective varies with P: {finals:?}");
+    }
+}
+
+#[test]
+fn virtual_cluster_time_matches_thread_machine_time() {
+    // The decisive cross-engine check: *simulated time and counters*, not
+    // just numerics, must agree between the thread machine and the virtual
+    // cluster when run at the same P with the same charges.
+    let ds = lasso_ds();
+    let cfg = LassoConfig {
+        mu: 2,
+        s: 8,
+        lambda: 0.2,
+        seed: 48,
+        max_iters: 64,
+        trace_every: 16,
+        rel_tol: None,
+    ..Default::default()
+    };
+    let reg = Lasso::new(cfg.lambda);
+    let p = 4;
+    let (_, blocks) = LassoRankData::split(&ds, p, false);
+    let (_, thread_rep) = ThreadMachine::run_report(p, CostModel::cray_xc30(), |comm| {
+        dist_sa_accbcd(comm, &blocks[comm.rank()], &reg, &cfg)
+    });
+    let (_, sim_rep) = sim_sa_accbcd(&ds, &reg, &cfg, p, CostModel::cray_xc30(), false);
+    let (t, v) = (thread_rep.critical, sim_rep.critical);
+    assert_eq!(t.messages, v.messages, "message counters diverge");
+    assert_eq!(t.words, v.words, "word counters diverge");
+    assert_eq!(t.flops, v.flops, "flop counters diverge");
+    let rel = (thread_rep.running_time() - sim_rep.running_time()).abs()
+        / sim_rep.running_time();
+    assert!(
+        rel < 1e-9,
+        "simulated times diverge: thread {} vs virtual {}",
+        thread_rep.running_time(),
+        sim_rep.running_time()
+    );
+}
+
+#[test]
+fn virtual_cluster_time_matches_thread_machine_time_svm() {
+    let ds = svm_ds();
+    let cfg = SvmConfig {
+        loss: SvmLoss::L1,
+        lambda: 1.0,
+        s: 8,
+        seed: 49,
+        max_iters: 64,
+        trace_every: 16,
+        gap_tol: None,
+    };
+    let p = 4;
+    let (_, blocks) = SvmRankData::split(&ds, p, false);
+    let (_, thread_rep) = ThreadMachine::run_report(p, CostModel::cray_xc30(), |comm| {
+        dist_sa_svm(comm, &blocks[comm.rank()], &cfg)
+    });
+    let (_, sim_rep) = sim_sa_svm(&ds, &cfg, p, CostModel::cray_xc30(), false);
+    let (t, v) = (thread_rep.critical, sim_rep.critical);
+    assert_eq!(t.messages, v.messages, "message counters diverge");
+    assert_eq!(t.words, v.words, "word counters diverge");
+    assert_eq!(t.flops, v.flops, "flop counters diverge");
+    let rel = (thread_rep.running_time() - sim_rep.running_time()).abs()
+        / sim_rep.running_time();
+    assert!(rel < 1e-9, "simulated times diverge (rel {rel})");
+}
