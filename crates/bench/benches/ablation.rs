@@ -31,7 +31,7 @@ fn lasso_cfg(mu: usize, s: usize) -> LassoConfig {
         max_iters: 512,
         trace_every: 0,
         rel_tol: None,
-    ..Default::default()
+        ..Default::default()
     }
 }
 
@@ -91,22 +91,36 @@ fn print_simulated_summary() {
         for (name, algo) in [
             ("tree", AllreduceAlgo::Tree),
             ("rabenseifner", AllreduceAlgo::Rabenseifner),
-            ("auto@4096", AllreduceAlgo::Auto { threshold_words: 4096 }),
+            (
+                "auto@4096",
+                AllreduceAlgo::Auto {
+                    threshold_words: 4096,
+                },
+            ),
         ] {
-            let m = CostModel { allreduce_algo: algo, ..model };
+            let m = CostModel {
+                allreduce_algo: algo,
+                ..model
+            };
             let mut best = (0usize, f64::INFINITY);
             for s in [1usize, 8, 32, 128, 512] {
-                let (_, rep) = sim_sa_accbcd(&ds, &Lasso::new(1.0), &lasso_cfg(1, s), p_big, m, true);
+                let (_, rep) =
+                    sim_sa_accbcd(&ds, &Lasso::new(1.0), &lasso_cfg(1, s), p_big, m, true);
                 let t = rep.running_time();
-                if t < best.1 { best = (s, t); }
+                if t < best.1 {
+                    best = (s, t);
+                }
             }
-            println!("  {name:<13} best s = {:>3} at {:.2} ms", best.0, best.1 * 1e3);
+            println!(
+                "  {name:<13} best s = {:>3} at {:.2} ms",
+                best.0,
+                best.1 * 1e3
+            );
         }
 
         println!("--- ablation: µ-sweep total simulated time (s=16, P=1024) ---");
         for mu in [1usize, 2, 4, 8, 16] {
-            let (_, rep) =
-                sim_sa_accbcd(&ds, &Lasso::new(1.0), &lasso_cfg(mu, 16), p, model, true);
+            let (_, rep) = sim_sa_accbcd(&ds, &Lasso::new(1.0), &lasso_cfg(mu, 16), p, model, true);
             println!("  µ={mu:>2}: {:.2} ms", rep.running_time() * 1e3);
         }
         println!();

@@ -26,7 +26,7 @@ fn cfg(mu: usize, s: usize, iters: usize) -> LassoConfig {
         max_iters: iters,
         trace_every: 0,
         rel_tol: None,
-    ..Default::default()
+        ..Default::default()
     }
 }
 
@@ -72,5 +72,10 @@ fn bench_cd_vs_bcd(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_acc_family, bench_plain_family, bench_cd_vs_bcd);
+criterion_group!(
+    benches,
+    bench_acc_family,
+    bench_plain_family,
+    bench_cd_vs_bcd
+);
 criterion_main!(benches);

@@ -26,7 +26,13 @@ struct Setup {
     lambda_q: f64,
 }
 
-fn run_all(ds: &Dataset, lambda: f64, iters: usize, s_cd: usize, s_bcd: usize) -> Vec<(String, SolveResult)> {
+fn run_all(
+    ds: &Dataset,
+    lambda: f64,
+    iters: usize,
+    s_cd: usize,
+    s_bcd: usize,
+) -> Vec<(String, SolveResult)> {
     let reg = Lasso::new(lambda);
     let trace_every = (iters / 40).max(1);
     let cfg = |mu: usize, s: usize| LassoConfig {
@@ -37,7 +43,7 @@ fn run_all(ds: &Dataset, lambda: f64, iters: usize, s_cd: usize, s_bcd: usize) -
         max_iters: iters,
         trace_every,
         rel_tol: None,
-    ..Default::default()
+        ..Default::default()
     };
     vec![
         ("CD".into(), bcd(ds, &reg, &cfg(1, 1))),
@@ -45,25 +51,58 @@ fn run_all(ds: &Dataset, lambda: f64, iters: usize, s_cd: usize, s_bcd: usize) -
         ("BCD".into(), bcd(ds, &reg, &cfg(8, 1))),
         ("accBCD".into(), acc_bcd(ds, &reg, &cfg(8, 1))),
         (format!("SA-CD s={s_cd}"), sa_bcd(ds, &reg, &cfg(1, s_cd))),
-        (format!("SA-accCD s={s_cd}"), sa_accbcd(ds, &reg, &cfg(1, s_cd))),
-        (format!("SA-BCD s={s_bcd}"), sa_bcd(ds, &reg, &cfg(8, s_bcd))),
-        (format!("SA-accBCD s={s_bcd}"), sa_accbcd(ds, &reg, &cfg(8, s_bcd))),
+        (
+            format!("SA-accCD s={s_cd}"),
+            sa_accbcd(ds, &reg, &cfg(1, s_cd)),
+        ),
+        (
+            format!("SA-BCD s={s_bcd}"),
+            sa_bcd(ds, &reg, &cfg(8, s_bcd)),
+        ),
+        (
+            format!("SA-accBCD s={s_bcd}"),
+            sa_accbcd(ds, &reg, &cfg(8, s_bcd)),
+        ),
     ]
 }
 
 fn main() {
     let setups = [
-        Setup { ds: PaperDataset::Leu, scale: 1.0, iters: 4000, s_cd: 1000, s_bcd: 125, lambda_q: 0.90 },
-        Setup { ds: PaperDataset::Covtype, scale: 0.1, iters: 400, s_cd: 200, s_bcd: 25, lambda_q: 0.90 },
-        Setup { ds: PaperDataset::News20, scale: 1.0, iters: 40_000, s_cd: 1000, s_bcd: 125, lambda_q: 0.90 },
+        Setup {
+            ds: PaperDataset::Leu,
+            scale: 1.0,
+            iters: 4000,
+            s_cd: 1000,
+            s_bcd: 125,
+            lambda_q: 0.90,
+        },
+        Setup {
+            ds: PaperDataset::Covtype,
+            scale: 0.1,
+            iters: 400,
+            s_cd: 200,
+            s_bcd: 25,
+            lambda_q: 0.90,
+        },
+        Setup {
+            ds: PaperDataset::News20,
+            scale: 1.0,
+            iters: 40_000,
+            s_cd: 1000,
+            s_bcd: 125,
+            lambda_q: 0.90,
+        },
     ];
     for setup in setups {
         let name = setup.ds.info().name;
         let g = setup.ds.generate(setup.scale, 99);
         let lambda = lambda_quantile(&g.dataset, setup.lambda_q);
         let iters = budget(setup.iters);
-        eprintln!("fig2: {name} (m={}, n={}, λ={lambda:.4e}, H={iters})",
-            g.dataset.num_points(), g.dataset.num_features());
+        eprintln!(
+            "fig2: {name} (m={}, n={}, λ={lambda:.4e}, H={iters})",
+            g.dataset.num_points(),
+            g.dataset.num_features()
+        );
         let runs = run_all(&g.dataset, lambda, iters, setup.s_cd, setup.s_bcd);
 
         // CSV: iteration grid + one column per method.
@@ -99,7 +138,11 @@ fn main() {
         println!("series written to {}", path.display());
 
         // Sanity summaries mirroring the paper's reading of the figure.
-        let get = |tag: &str| runs.iter().find(|(n, _)| n.starts_with(tag)).expect("method ran");
+        let get = |tag: &str| {
+            runs.iter()
+                .find(|(n, _)| n.starts_with(tag))
+                .expect("method ran")
+        };
         let (_, cd) = get("CD");
         let (_, bcd_r) = get("BCD");
         println!(

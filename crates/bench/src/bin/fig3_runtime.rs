@@ -14,6 +14,7 @@ use mpisim::CostModel;
 use saco::prox::Lasso;
 use saco::sim::{sim_sa_accbcd, sim_sa_bcd};
 use saco::{LassoConfig, SolveResult};
+use saco_bench::baseline::{key_label, Baseline};
 use saco_bench::{budget, fmt_secs, lambda_quantile, print_table, Csv};
 use sparsela::io::Dataset;
 
@@ -46,7 +47,7 @@ fn run(
         max_iters: iters,
         trace_every: (iters / 40).max(1),
         rel_tol: None,
-    ..Default::default()
+        ..Default::default()
     };
     let model = CostModel::cray_xc30();
     let reg = Lasso::new(lambda);
@@ -117,6 +118,7 @@ fn main() {
         },
     ];
 
+    let mut sink = Baseline::load_repo();
     for panel in panels {
         let name = panel.ds.info().name;
         let g = panel.ds.generate(panel.scale, 606);
@@ -133,7 +135,11 @@ fn main() {
         );
         let mut rows = Vec::new();
         for (fam, acc, mu, s_values) in &panel.families {
-            let iters = budget(if *mu == 1 { panel.iters_cd } else { panel.iters_bcd });
+            let iters = budget(if *mu == 1 {
+                panel.iters_cd
+            } else {
+                panel.iters_bcd
+            });
             let mut family_results: Vec<(String, SolveResult)> = Vec::new();
             for &s in s_values {
                 let label = if s == 1 {
@@ -162,6 +168,11 @@ fn main() {
                 .unwrap_or(baseline.trace.final_time());
             for (label, res) in &family_results {
                 let t = res.trace.time_to_value(target);
+                let key = format!("fig3.{name}.{}", key_label(label));
+                if let Some(t) = t {
+                    sink.set(&format!("{key}.time_to_target"), t);
+                    sink.set(&format!("{key}.speedup"), t_base / t);
+                }
                 rows.push(vec![
                     label.clone(),
                     format!("{:.4e}", res.final_value()),
@@ -178,4 +189,6 @@ fn main() {
         );
         println!("series written to {}", path.display());
     }
+    let path = sink.write();
+    println!("baseline gauges merged into {}", path.display());
 }

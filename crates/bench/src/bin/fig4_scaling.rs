@@ -15,6 +15,7 @@ use mpisim::{CostModel, CostReport};
 use saco::prox::Lasso;
 use saco::sim::sim_sa_accbcd;
 use saco::LassoConfig;
+use saco_bench::baseline::Baseline;
 use saco_bench::{budget, fmt_secs, lambda_quantile, print_table, Csv};
 use sparsela::io::Dataset;
 
@@ -27,9 +28,17 @@ fn run(ds: &Dataset, lambda: f64, s: usize, iters: usize, p: usize) -> CostRepor
         max_iters: iters,
         trace_every: 0,
         rel_tol: None,
-    ..Default::default()
+        ..Default::default()
     };
-    sim_sa_accbcd(ds, &Lasso::new(lambda), &cfg, p, CostModel::cray_xc30(), true).1
+    sim_sa_accbcd(
+        ds,
+        &Lasso::new(lambda),
+        &cfg,
+        p,
+        CostModel::cray_xc30(),
+        true,
+    )
+    .1
 }
 
 fn main() {
@@ -41,6 +50,7 @@ fn main() {
     ];
     let s_sweep = [2usize, 4, 8, 16, 32, 64, 128, 256, 512];
 
+    let mut baseline = Baseline::load_repo();
     for (ds, scale, p_values, iters_raw) in panels {
         let name = ds.info().name;
         let g = ds.generate(scale, 808);
@@ -56,20 +66,26 @@ fn main() {
         );
         for &p in &p_values {
             let classic = run(&g.dataset, lambda, 1, iters, p);
-            let mut best: (usize, f64) = (0, f64::INFINITY);
+            let mut best: (usize, CostReport) = (0, CostReport::default());
+            let mut best_time = f64::INFINITY;
             for &s in &s_sweep {
-                let t = run(&g.dataset, lambda, s, iters, p).running_time();
-                if t < best.1 {
-                    best = (s, t);
+                let rep = run(&g.dataset, lambda, s, iters, p);
+                if rep.running_time() < best_time {
+                    best_time = rep.running_time();
+                    best = (s, rep);
                 }
             }
-            csv_scaling.row_f64(&[p as f64, classic.running_time(), best.1, best.0 as f64]);
+            let key = format!("fig4.{name}.p{p}");
+            baseline.record_report(&format!("{key}.classic"), &classic);
+            baseline.record_report(&format!("{key}.sa_best"), &best.1);
+            baseline.set(&format!("{key}.best_s"), best.0 as f64);
+            csv_scaling.row_f64(&[p as f64, classic.running_time(), best_time, best.0 as f64]);
             scaling_rows.push(vec![
                 p.to_string(),
                 fmt_secs(classic.running_time()),
-                fmt_secs(best.1),
+                fmt_secs(best_time),
                 best.0.to_string(),
-                format!("{:.2}×", classic.running_time() / best.1),
+                format!("{:.2}×", classic.running_time() / best_time),
             ]);
         }
         let path = csv_scaling.finish();
@@ -87,7 +103,13 @@ fn main() {
         let c_comp = classic.critical.comp_time;
         let mut csv_break = Csv::create(
             &format!("fig4_speedup_{name}"),
-            &["s", "total_speedup", "comm_speedup", "comp_speedup", "words_ratio"],
+            &[
+                "s",
+                "total_speedup",
+                "comm_speedup",
+                "comp_speedup",
+                "words_ratio",
+            ],
         );
         let mut rows = Vec::new();
         for &s in &s_sweep {
@@ -118,9 +140,17 @@ fn main() {
         let path = csv_break.finish();
         print_table(
             &format!("Fig. 4 (e–h) — {name} at P = {p_max}: speedup breakdown vs s"),
-            &["s", "total", "communication", "computation", "latency reduction"],
+            &[
+                "s",
+                "total",
+                "communication",
+                "computation",
+                "latency reduction",
+            ],
             &rows,
         );
         println!("series written to {}", path.display());
     }
+    let path = baseline.write();
+    println!("baseline gauges merged into {}", path.display());
 }

@@ -38,9 +38,15 @@ fn main() {
         );
         let runs = vec![
             ("SVM-L1".to_string(), svm(&g.dataset, &cfg(SvmLoss::L1, 1))),
-            ("SA-SVM-L1 s=500".to_string(), sa_svm(&g.dataset, &cfg(SvmLoss::L1, 500))),
+            (
+                "SA-SVM-L1 s=500".to_string(),
+                sa_svm(&g.dataset, &cfg(SvmLoss::L1, 500)),
+            ),
             ("SVM-L2".to_string(), svm(&g.dataset, &cfg(SvmLoss::L2, 1))),
-            ("SA-SVM-L2 s=500".to_string(), sa_svm(&g.dataset, &cfg(SvmLoss::L2, 500))),
+            (
+                "SA-SVM-L2 s=500".to_string(),
+                sa_svm(&g.dataset, &cfg(SvmLoss::L2, 500)),
+            ),
         ];
 
         let mut header: Vec<String> = vec!["iter".into()];
@@ -72,7 +78,12 @@ fn main() {
             .collect();
         print_table(
             &format!("Fig. 5 — {name}: duality gap (λ = 1)"),
-            &["method", "initial gap", "final gap", &format!("iters to gap ≤ {tol:.0e}")],
+            &[
+                "method",
+                "initial gap",
+                "final gap",
+                &format!("iters to gap ≤ {tol:.0e}"),
+            ],
             &rows,
         );
         println!("series written to {}", path.display());

@@ -111,9 +111,7 @@ fn plot_fig4(dataset: &str) {
         chart.y_scale = Scale::Log;
         let col = |idx: usize| -> Vec<(f64, f64)> {
             rows.iter()
-                .filter_map(|r| {
-                    Some((r[0].parse::<f64>().ok()?, r[idx].parse::<f64>().ok()?))
-                })
+                .filter_map(|r| Some((r[0].parse::<f64>().ok()?, r[idx].parse::<f64>().ok()?)))
                 .collect()
         };
         chart.add("accCD", col(1));
@@ -134,9 +132,7 @@ fn plot_fig4(dataset: &str) {
         chart.x_scale = Scale::Log;
         let col = |idx: usize| -> Vec<(f64, f64)> {
             rows.iter()
-                .filter_map(|r| {
-                    Some((r[0].parse::<f64>().ok()?, r[idx].parse::<f64>().ok()?))
-                })
+                .filter_map(|r| Some((r[0].parse::<f64>().ok()?, r[idx].parse::<f64>().ok()?)))
                 .collect()
         };
         chart.add("total", col(1));

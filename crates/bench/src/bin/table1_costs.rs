@@ -25,7 +25,13 @@ fn main() {
     let sa = sa_accbcd_costs(&base);
     print_table(
         "Table I — theoretical costs (H=10k, µ=8, s=32, f=1%, m=1M, n=100k, P=1024)",
-        &["algorithm", "flops F", "memory M", "latency L", "bandwidth W"],
+        &[
+            "algorithm",
+            "flops F",
+            "memory M",
+            "latency L",
+            "bandwidth W",
+        ],
         &[
             vec![
                 "accBCD".into(),
@@ -71,9 +77,16 @@ fn main() {
             max_iters: h,
             trace_every: 0,
             rel_tol: None,
-        ..Default::default()
+            ..Default::default()
         };
-        let (_, rep) = sim_sa_accbcd(&ds, &Lasso::new(0.1), &cfg, p, CostModel::cray_xc30(), false);
+        let (_, rep) = sim_sa_accbcd(
+            &ds,
+            &Lasso::new(0.1),
+            &cfg,
+            p,
+            CostModel::cray_xc30(),
+            false,
+        );
         let c = rep.critical;
         csv.row_f64(&[
             s as f64,
@@ -94,7 +107,12 @@ fn main() {
     let path = csv.finish();
     print_table(
         &format!("Measured critical-path counters (H={h}, µ=4, P={p}) — expect L∝1/s, W∝s, F→s×"),
-        &["s", "messages L (vs s=1)", "words W (vs s=1)", "flops F (vs s=1)"],
+        &[
+            "s",
+            "messages L (vs s=1)",
+            "words W (vs s=1)",
+            "flops F (vs s=1)",
+        ],
         &rows,
     );
     println!("series written to {}", path.display());

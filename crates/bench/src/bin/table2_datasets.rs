@@ -44,7 +44,15 @@ fn main() {
         "structure",
         "note",
     ];
-    print_table("Table II — Lasso datasets (paper vs reproduction)", &header, &lasso_rows);
-    print_table("Table IV — SVM datasets (paper vs reproduction)", &header, &svm_rows);
+    print_table(
+        "Table II — Lasso datasets (paper vs reproduction)",
+        &header,
+        &lasso_rows,
+    );
+    print_table(
+        "Table IV — SVM datasets (paper vs reproduction)",
+        &header,
+        &svm_rows,
+    );
     println!("(leu is used for both tables; classification labels are generated on demand)");
 }

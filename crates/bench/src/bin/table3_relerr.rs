@@ -39,14 +39,34 @@ fn main() {
             max_iters: iters,
             trace_every: 0,
             rel_tol: None,
-        ..Default::default()
+            ..Default::default()
         };
         eprintln!("table3: {name} (H={iters}, s_cd={s_cd}, s_bcd={s_bcd})");
         let pairs = [
-            ("SA-accCD", acc_bcd(&g.dataset, &reg, &cfg(1, 1)), sa_accbcd(&g.dataset, &reg, &cfg(1, s_cd)), s_cd),
-            ("SA-CD", bcd(&g.dataset, &reg, &cfg(1, 1)), sa_bcd(&g.dataset, &reg, &cfg(1, s_cd)), s_cd),
-            ("SA-accBCD", acc_bcd(&g.dataset, &reg, &cfg(8, 1)), sa_accbcd(&g.dataset, &reg, &cfg(8, s_bcd)), s_bcd),
-            ("SA-BCD", bcd(&g.dataset, &reg, &cfg(8, 1)), sa_bcd(&g.dataset, &reg, &cfg(8, s_bcd)), s_bcd),
+            (
+                "SA-accCD",
+                acc_bcd(&g.dataset, &reg, &cfg(1, 1)),
+                sa_accbcd(&g.dataset, &reg, &cfg(1, s_cd)),
+                s_cd,
+            ),
+            (
+                "SA-CD",
+                bcd(&g.dataset, &reg, &cfg(1, 1)),
+                sa_bcd(&g.dataset, &reg, &cfg(1, s_cd)),
+                s_cd,
+            ),
+            (
+                "SA-accBCD",
+                acc_bcd(&g.dataset, &reg, &cfg(8, 1)),
+                sa_accbcd(&g.dataset, &reg, &cfg(8, s_bcd)),
+                s_bcd,
+            ),
+            (
+                "SA-BCD",
+                bcd(&g.dataset, &reg, &cfg(8, 1)),
+                sa_bcd(&g.dataset, &reg, &cfg(8, s_bcd)),
+                s_bcd,
+            ),
         ];
         for (k, (method, classic, sa, s)) in pairs.into_iter().enumerate() {
             let rel = sa.relative_error_vs(&classic);

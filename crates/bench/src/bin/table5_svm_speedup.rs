@@ -25,7 +25,15 @@ fn main() {
     let mut rows = Vec::new();
     let mut csv = Csv::create(
         "table5_svm",
-        &["dataset", "p", "s", "balanced", "time_classic", "time_sa", "speedup"],
+        &[
+            "dataset",
+            "p",
+            "s",
+            "balanced",
+            "time_classic",
+            "time_sa",
+            "speedup",
+        ],
     );
     for (ds, p, s, iters_raw) in setups {
         let name = ds.info().name;
@@ -69,7 +77,11 @@ fn main() {
             rows.push(vec![
                 name.to_string(),
                 format!("P = {p}"),
-                if balanced { "nnz-balanced".into() } else { "naive (paper-like)".into() },
+                if balanced {
+                    "nnz-balanced".into()
+                } else {
+                    "naive (paper-like)".into()
+                },
                 format!("SVM-L1: {}", fmt_secs(t_classic)),
                 format!("SA-SVM-L1 (s={s}): {}", fmt_secs(t_sa)),
                 format!("{speedup:.1}×"),

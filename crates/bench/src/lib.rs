@@ -21,6 +21,7 @@
 
 #![warn(missing_docs)]
 
+pub mod baseline;
 pub mod plot;
 
 use sparsela::io::Dataset;
@@ -30,8 +31,7 @@ use std::path::PathBuf;
 
 /// Directory where experiment CSVs land: `target/experiments/`.
 pub fn experiments_dir() -> PathBuf {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../../target/experiments");
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/experiments");
     std::fs::create_dir_all(&dir).expect("create experiments dir");
     dir
 }
@@ -39,7 +39,9 @@ pub fn experiments_dir() -> PathBuf {
 /// Quick mode: set `SACO_QUICK=1` to shrink every experiment (~10×) for
 /// smoke-testing the harness.
 pub fn quick_mode() -> bool {
-    std::env::var("SACO_QUICK").map(|v| v == "1").unwrap_or(false)
+    std::env::var("SACO_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Scale an iteration budget down in quick mode.
@@ -88,7 +90,10 @@ impl Csv {
 pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     println!("\n### {title}\n");
     println!("| {} |", header.join(" | "));
-    println!("|{}|", header.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    println!(
+        "|{}|",
+        header.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
     for r in rows {
         println!("| {} |", r.join(" | "));
     }

@@ -129,7 +129,11 @@ impl Chart {
             }
             rows
         };
-        let n_legend_rows = if self.series.len() >= 2 { legend_rows.len() } else { 0 };
+        let n_legend_rows = if self.series.len() >= 2 {
+            legend_rows.len()
+        } else {
+            0
+        };
         let mt = 46.0 + 16.0 * n_legend_rows.saturating_sub(1) as f64;
         let pw = self.width - ml - mr;
         let ph = self.height - mt - mb;
@@ -144,10 +148,16 @@ impl Chart {
         }
         assert!(!xs.is_empty(), "chart {:?} has no data", self.title);
         if self.x_scale == Scale::Log {
-            assert!(xs.iter().all(|v| *v > 0.0), "log x-axis needs positive data");
+            assert!(
+                xs.iter().all(|v| *v > 0.0),
+                "log x-axis needs positive data"
+            );
         }
         if self.y_scale == Scale::Log {
-            assert!(ys.iter().all(|v| *v > 0.0), "log y-axis needs positive data");
+            assert!(
+                ys.iter().all(|v| *v > 0.0),
+                "log y-axis needs positive data"
+            );
         }
         let (x_lo, x_hi) = extent(&xs, self.x_scale);
         let (y_lo, y_hi) = extent_padded(&ys, self.y_scale);
@@ -277,7 +287,9 @@ impl Chart {
 }
 
 fn esc(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 fn extent(vals: &[f64], scale: Scale) -> (f64, f64) {
@@ -299,7 +311,11 @@ fn extent_padded(vals: &[f64], scale: Scale) -> (f64, f64) {
         Scale::Linear => {
             let pad = 0.06 * (hi - lo);
             // keep zero anchored when the data is nonnegative
-            let lo2 = if lo >= 0.0 && lo < 0.3 * hi { 0.0 } else { lo - pad };
+            let lo2 = if lo >= 0.0 && lo < 0.3 * hi {
+                0.0
+            } else {
+                lo - pad
+            };
             (lo2, hi + pad)
         }
         Scale::Log => (lo / 1.5, hi * 1.5),
@@ -419,7 +435,10 @@ mod tests {
         let t = ticks(0.0, 10.0, Scale::Linear);
         assert!(t.len() >= 3 && t.len() <= 7, "{t:?}");
         for w in t.windows(2) {
-            assert!((w[1] - w[0] - (t[1] - t[0])).abs() < 1e-9, "uneven steps {t:?}");
+            assert!(
+                (w[1] - w[0] - (t[1] - t[0])).abs() < 1e-9,
+                "uneven steps {t:?}"
+            );
         }
     }
 

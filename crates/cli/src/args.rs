@@ -26,7 +26,9 @@ impl std::fmt::Display for ArgError {
 
 impl std::error::Error for ArgError {}
 
-/// Option keys that are boolean flags (no value follows).
+/// Option keys that are boolean flags (no value follows). Everything
+/// else — including `--metrics <path>`, which dumps a
+/// `saco-telemetry/v1` run report from `simulate` — takes a value.
 const FLAG_KEYS: &[&str] = &["acc", "balanced", "quiet", "help"];
 
 impl Args {
@@ -160,6 +162,14 @@ mod tests {
         let a = Args::parse(toks("lasso --mu abc")).expect("parse");
         let err = a.get_or::<usize>("mu", 1).expect_err("bad number");
         assert!(err.0.contains("abc"));
+    }
+
+    #[test]
+    fn metrics_takes_a_path_value() {
+        let a = Args::parse(toks("simulate --data x.svm --metrics out.json --acc")).expect("parse");
+        assert_eq!(a.get("metrics"), Some("out.json"));
+        let err = Args::parse(toks("simulate --metrics")).expect_err("needs a path");
+        assert!(err.0.contains("--metrics"));
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! saco generate --dataset url --out file.svm [--scale 1.0] [--seed 42]
 //! saco info     --data file.svm
 //! saco simulate --data train.svm --p 1024 [--s 16] [--mu 1] [--iters 2000]
-//!               [--acc] [--balanced]
+//!               [--acc] [--balanced] [--metrics report.json]
 //! saco cv       --data train.svm [--folds 5] [--num 12] [--ratio 0.01]
 //! ```
 
@@ -21,7 +21,7 @@ use mpisim::CostModel;
 use saco::path::lasso_path;
 use saco::prox::Lasso;
 use saco::seq::{sa_accbcd, sa_bcd, sa_svm};
-use saco::sim::{sim_sa_accbcd, sim_sa_bcd};
+use saco::sim::{sim_sa_accbcd_instrumented, sim_sa_bcd_instrumented};
 use saco::{LassoConfig, SvmConfig, SvmLoss};
 use sparsela::io::{read_libsvm, write_libsvm, Dataset};
 use sparsela::vecops;
@@ -68,6 +68,7 @@ subcommands:
   generate  write a synthetic stand-in for a paper dataset
   info      print dataset statistics
   simulate  run a solver on the virtual cluster and report costs
+            (--metrics <path> writes a saco-telemetry/v1 JSON run report)
   cv        k-fold cross-validated λ path
   help      this message
 
@@ -78,8 +79,8 @@ run `saco <subcommand>` without options to see its required flags."
 fn load(args: &Args) -> Result<Dataset, ArgError> {
     let path = args.require("data")?;
     let file = File::open(path).map_err(|e| ArgError(format!("open {path}: {e}")))?;
-    let ds = read_libsvm(BufReader::new(file), 0)
-        .map_err(|e| ArgError(format!("parse {path}: {e}")))?;
+    let ds =
+        read_libsvm(BufReader::new(file), 0).map_err(|e| ArgError(format!("parse {path}: {e}")))?;
     if ds.num_points() == 0 || ds.num_features() == 0 {
         return Err(ArgError(format!("{path} contains no data")));
     }
@@ -195,7 +196,10 @@ fn cmd_path(args: &Args) -> Result<(), ArgError> {
     let path = lasso_path(&ds, &cfg, num, ratio, Lasso::new);
     println!("  lambda        nonzeros   objective");
     for p in &path.points {
-        println!("  {:.6e}   {:>7}   {:.6e}", p.lambda, p.nonzeros, p.objective);
+        println!(
+            "  {:.6e}   {:>7}   {:.6e}",
+            p.lambda, p.nonzeros, p.objective
+        );
     }
     if let Some(target) = args.get_opt::<usize>("select-support")? {
         let sel = path.select_by_support(target);
@@ -222,9 +226,8 @@ fn cmd_generate(args: &Args) -> Result<(), ArgError> {
     let seed = args.get_or("seed", 42)?;
     let g = ds_enum.generate(scale, seed);
     let out = args.require("out")?;
-    let mut w = BufWriter::new(
-        File::create(out).map_err(|e| ArgError(format!("create {out}: {e}")))?,
-    );
+    let mut w =
+        BufWriter::new(File::create(out).map_err(|e| ArgError(format!("create {out}: {e}")))?);
     write_libsvm(&mut w, &g.dataset).map_err(|e| ArgError(format!("write {out}: {e}")))?;
     println!(
         "wrote {} ({} × {}, {} nnz) to {out}",
@@ -249,10 +252,20 @@ fn cmd_info(args: &Args) -> Result<(), ArgError> {
         a.nnz() as f64 / a.rows().max(1) as f64
     );
     let pm1 = ds.b.iter().all(|&b| b == 1.0 || b == -1.0);
-    println!("labels:    {}", if pm1 { "±1 (classification)" } else { "real (regression)" });
+    println!(
+        "labels:    {}",
+        if pm1 {
+            "±1 (classification)"
+        } else {
+            "real (regression)"
+        }
+    );
     if a.rows().min(a.cols()) <= 512 {
         let (smin, smax) = sparsela::svdest::singular_value_range(a);
-        println!("σ range:   [{smin:.4e}, {smax:.4e}] (exact; paper's λ rule = 100σ_min = {:.4e})", 100.0 * smin);
+        println!(
+            "σ range:   [{smin:.4e}, {smax:.4e}] (exact; paper's λ rule = 100σ_min = {:.4e})",
+            100.0 * smin
+        );
     }
     Ok(())
 }
@@ -267,10 +280,10 @@ fn cmd_simulate(args: &Args) -> Result<(), ArgError> {
     let reg = Lasso::new(lambda);
     let model = CostModel::cray_xc30();
     let balanced = args.flag("balanced");
-    let (res, rep) = if args.flag("acc") {
-        sim_sa_accbcd(&ds, &reg, &cfg, p, model, balanced)
+    let (res, rep, mut telemetry) = if args.flag("acc") {
+        sim_sa_accbcd_instrumented(&ds, &reg, &cfg, p, model, balanced)
     } else {
-        sim_sa_bcd(&ds, &reg, &cfg, p, model, balanced)
+        sim_sa_bcd_instrumented(&ds, &reg, &cfg, p, model, balanced)
     };
     println!(
         "simulated {} ranks, s = {}, µ = {}, H = {}:",
@@ -278,10 +291,23 @@ fn cmd_simulate(args: &Args) -> Result<(), ArgError> {
     );
     let c = rep.critical;
     println!("  running time: {:.6} s", rep.running_time());
-    println!("  compute {:.6} s | communicate {:.6} s | idle {:.6} s",
-        c.comp_time, c.comm_time, c.idle_time);
-    println!("  messages {} | words {} | flops {}", c.messages, c.words, c.flops);
+    println!(
+        "  compute {:.6} s | communicate {:.6} s | idle {:.6} s",
+        c.comp_time, c.comm_time, c.idle_time
+    );
+    println!(
+        "  messages {} | words {} | flops {}",
+        c.messages, c.words, c.flops
+    );
     println!("  final objective {:.6e}", res.final_value());
+    if let Some(path) = args.get("metrics") {
+        telemetry.set_meta("dataset", args.require("data")?);
+        telemetry.gauge_set("objective.final", res.final_value());
+        telemetry.gauge_set("time.running", rep.running_time());
+        mpisim::telemetry::write_run_report(&telemetry, std::path::Path::new(path))
+            .map_err(|e| ArgError(format!("write {path}: {e}")))?;
+        println!("metrics written to {path}");
+    }
     Ok(())
 }
 
@@ -291,12 +317,23 @@ fn cmd_cv(args: &Args) -> Result<(), ArgError> {
     let k = args.get_or("folds", 5)?;
     let num = args.get_or("num", 12)?;
     let ratio = args.get_or("ratio", 0.01)?;
-    println!("{k}-fold CV over {num} λ values on {} × {}", ds.num_points(), ds.num_features());
+    println!(
+        "{k}-fold CV over {num} λ values on {} × {}",
+        ds.num_points(),
+        ds.num_features()
+    );
     let cv = saco::crossval::cross_validate_lasso(&ds, &cfg, k, num, ratio, Lasso::new);
     println!("  lambda        mean MSE      std err");
     for p in &cv.points {
-        println!("  {:.6e}   {:.6e}   {:.2e}", p.lambda, p.mean_mse, p.std_error);
+        println!(
+            "  {:.6e}   {:.6e}   {:.2e}",
+            p.lambda, p.mean_mse, p.std_error
+        );
     }
-    println!("best λ = {:.6e}; 1-SE λ = {:.6e}", cv.best_lambda(), cv.lambda_1se());
+    println!(
+        "best λ = {:.6e}; 1-SE λ = {:.6e}",
+        cv.best_lambda(),
+        cv.lambda_1se()
+    );
     Ok(())
 }

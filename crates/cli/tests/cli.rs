@@ -22,10 +22,18 @@ fn generate_info_lasso_roundtrip() {
         .arg(&data)
         .output()
         .expect("run generate");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("38 × 7129"));
 
-    let out = saco().args(["info", "--data"]).arg(&data).output().expect("run info");
+    let out = saco()
+        .args(["info", "--data"])
+        .arg(&data)
+        .output()
+        .expect("run info");
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout).to_string();
     assert!(text.contains("features:  7129"), "{text}");
@@ -39,7 +47,11 @@ fn generate_info_lasso_roundtrip() {
         .arg(&weights)
         .output()
         .expect("run lasso");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let n_weights = std::fs::read_to_string(&weights)
         .expect("weights written")
         .lines()
@@ -65,7 +77,11 @@ fn svm_trains_on_generated_classification_data() {
         .args(["--loss", "l2", "--iters", "20000", "--gap-tol", "0.5"])
         .output()
         .expect("run svm");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout).to_string();
     assert!(text.contains("duality gap"), "{text}");
     assert!(text.contains("training accuracy"), "{text}");
@@ -76,7 +92,14 @@ fn svm_trains_on_generated_classification_data() {
 fn path_lists_lambdas_and_selects_support() {
     let data = tmpfile("path.svm");
     assert!(saco()
-        .args(["generate", "--dataset", "covtype", "--scale", "0.02", "--out"])
+        .args([
+            "generate",
+            "--dataset",
+            "covtype",
+            "--scale",
+            "0.02",
+            "--out"
+        ])
         .arg(&data)
         .status()
         .expect("generate")
@@ -84,10 +107,23 @@ fn path_lists_lambdas_and_selects_support() {
     let out = saco()
         .args(["path", "--data"])
         .arg(&data)
-        .args(["--num", "6", "--ratio", "0.05", "--iters", "800", "--select-support", "10"])
+        .args([
+            "--num",
+            "6",
+            "--ratio",
+            "0.05",
+            "--iters",
+            "800",
+            "--select-support",
+            "10",
+        ])
         .output()
         .expect("run path");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout).to_string();
     assert!(text.matches('\n').count() >= 7, "{text}");
     assert!(text.contains("selected λ"), "{text}");
@@ -98,7 +134,14 @@ fn path_lists_lambdas_and_selects_support() {
 fn simulate_reports_costs() {
     let data = tmpfile("sim.svm");
     assert!(saco()
-        .args(["generate", "--dataset", "news20", "--scale", "0.05", "--out"])
+        .args([
+            "generate",
+            "--dataset",
+            "news20",
+            "--scale",
+            "0.05",
+            "--out"
+        ])
         .arg(&data)
         .status()
         .expect("generate")
@@ -109,11 +152,75 @@ fn simulate_reports_costs() {
         .args(["--p", "512", "--s", "16", "--acc", "--iters", "500"])
         .output()
         .expect("run simulate");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout).to_string();
     assert!(text.contains("running time"), "{text}");
     assert!(text.contains("messages"), "{text}");
     let _ = std::fs::remove_file(&data);
+}
+
+#[test]
+fn simulate_writes_deterministic_metrics_report() {
+    let data = tmpfile("simmetrics.svm");
+    assert!(saco()
+        .args([
+            "generate",
+            "--dataset",
+            "news20",
+            "--scale",
+            "0.05",
+            "--out"
+        ])
+        .arg(&data)
+        .status()
+        .expect("generate")
+        .success());
+    let run = |metrics: &PathBuf| {
+        let out = saco()
+            .args(["simulate", "--data"])
+            .arg(&data)
+            .args([
+                "--p",
+                "64",
+                "--s",
+                "8",
+                "--acc",
+                "--iters",
+                "200",
+                "--metrics",
+            ])
+            .arg(metrics)
+            .output()
+            .expect("run simulate");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(String::from_utf8_lossy(&out.stdout).contains("metrics written"));
+        std::fs::read_to_string(metrics).expect("metrics file written")
+    };
+    let m1 = tmpfile("metrics1.json");
+    let m2 = tmpfile("metrics2.json");
+    let a = run(&m1);
+    let b = run(&m2);
+    assert!(a.contains("\"schema\":\"saco-telemetry/v1\""), "{a}");
+    assert!(a.contains("\"critical_rank\""), "{a}");
+    assert!(a.contains("\"comm\""), "phase tables missing: {a}");
+    assert!(a.contains("\"solver\":\"sim_sa_accbcd\""), "{a}");
+    assert_eq!(a, b, "same seed must give a byte-identical report");
+
+    // --metrics is advertised in the usage text
+    let help = saco().arg("help").output().expect("help");
+    assert!(String::from_utf8_lossy(&help.stderr).contains("--metrics"));
+
+    let _ = std::fs::remove_file(&data);
+    let _ = std::fs::remove_file(&m1);
+    let _ = std::fs::remove_file(&m2);
 }
 
 #[test]
@@ -139,7 +246,14 @@ fn helpful_errors() {
 fn cv_prints_lambda_table() {
     let data = tmpfile("cv.svm");
     assert!(saco()
-        .args(["generate", "--dataset", "covtype", "--scale", "0.02", "--out"])
+        .args([
+            "generate",
+            "--dataset",
+            "covtype",
+            "--scale",
+            "0.02",
+            "--out"
+        ])
         .arg(&data)
         .status()
         .expect("generate")
@@ -150,7 +264,11 @@ fn cv_prints_lambda_table() {
         .args(["--folds", "3", "--num", "5", "--iters", "400"])
         .output()
         .expect("run cv");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout).to_string();
     assert!(text.contains("best λ"), "{text}");
     assert!(text.contains("1-SE λ"), "{text}");

@@ -75,7 +75,11 @@ impl LassoConfig {
     /// requested with incompatible µ / n.
     pub fn validate(&self, n: usize) {
         assert!(self.mu >= 1, "block size µ must be ≥ 1");
-        assert!(self.mu <= n, "block size µ = {} exceeds feature count {n}", self.mu);
+        assert!(
+            self.mu <= n,
+            "block size µ = {} exceeds feature count {n}",
+            self.mu
+        );
         assert!(self.s >= 1, "unrolling parameter s must be ≥ 1");
         assert!(self.max_iters >= 1, "need at least one iteration");
         if let BlockSampling::AlignedGroups { group_size } = self.sampling {

@@ -50,7 +50,12 @@ fn log2p(p: u64) -> f64 {
 /// Table I, row "accBCD" (`s = 1` semantics; the `s` field is ignored).
 pub fn accbcd_costs(c: &CostInputs) -> TableOneCosts {
     let (h, mu, f, m, n, p) = (
-        c.h as f64, c.mu as f64, c.f, c.m as f64, c.n as f64, c.p as f64,
+        c.h as f64,
+        c.mu as f64,
+        c.f,
+        c.m as f64,
+        c.n as f64,
+        c.p as f64,
     );
     TableOneCosts {
         flops: h * mu * mu * f * m / p + h * mu * mu * mu,
@@ -63,7 +68,13 @@ pub fn accbcd_costs(c: &CostInputs) -> TableOneCosts {
 /// Table I, row "SA-accBCD".
 pub fn sa_accbcd_costs(c: &CostInputs) -> TableOneCosts {
     let (h, mu, s, f, m, n, p) = (
-        c.h as f64, c.mu as f64, c.s as f64, c.f, c.m as f64, c.n as f64, c.p as f64,
+        c.h as f64,
+        c.mu as f64,
+        c.s as f64,
+        c.f,
+        c.m as f64,
+        c.n as f64,
+        c.p as f64,
     );
     TableOneCosts {
         flops: h * mu * mu * s * f * m / p + h * mu * mu * mu,
@@ -89,7 +100,9 @@ pub fn svm_costs(c: &CostInputs) -> TableOneCosts {
 /// SA-SVM (Alg. 4): per outer iteration an `s × s` Gram (`O(s²fn/P)`
 /// flops, `s²` words) in one allreduce.
 pub fn sa_svm_costs(c: &CostInputs) -> TableOneCosts {
-    let (h, s, f, m, n, p) = (c.h as f64, c.s as f64, c.f, c.m as f64, c.n as f64, c.p as f64);
+    let (h, s, f, m, n, p) = (
+        c.h as f64, c.s as f64, c.f, c.m as f64, c.n as f64, c.p as f64,
+    );
     TableOneCosts {
         flops: h * s * f * n / p,
         memory: (f * m * n + m) / p + n / p + s * s,
@@ -141,7 +154,10 @@ mod tests {
         assert!((sa.bandwidth / classic.bandwidth - c.s as f64).abs() < 1e-9);
         // flops ratio approaches s as the Gram term dominates the µ³ term
         let ratio = sa.flops / classic.flops;
-        assert!(ratio > 1.0 && ratio <= c.s as f64 + 1e-9, "flops ratio {ratio}");
+        assert!(
+            ratio > 1.0 && ratio <= c.s as f64 + 1e-9,
+            "flops ratio {ratio}"
+        );
     }
 
     #[test]

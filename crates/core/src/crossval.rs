@@ -186,7 +186,10 @@ mod tests {
             assert!(f < 5);
             counts[f] += 1;
         }
-        let (mn, mx) = (counts.iter().min().expect("k>0"), counts.iter().max().expect("k>0"));
+        let (mn, mx) = (
+            counts.iter().min().expect("k>0"),
+            counts.iter().max().expect("k>0"),
+        );
         assert!(mx - mn <= 1, "{counts:?}");
         // deterministic
         assert_eq!(fold_of, assign_folds(103, 5, 7));
@@ -242,7 +245,10 @@ mod tests {
         let a = uniform_sparse(200, 40, 0.3, 5);
         let reg = planted_regression(a, 4, 0.1, 5);
         let e = mse(&reg.dataset, &reg.x_star);
-        assert!(e < 0.05, "MSE of the planted model should be ≈ σ² = 0.01, got {e}");
+        assert!(
+            e < 0.05,
+            "MSE of the planted model should be ≈ σ² = 0.01, got {e}"
+        );
     }
 
     #[test]

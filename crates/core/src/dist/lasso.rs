@@ -15,6 +15,7 @@ use crate::prox::Regularizer;
 use crate::seq::{block_lipschitz, theta_next};
 use crate::trace::{ConvergenceTrace, SolveResult};
 use datagen::{balanced_partition, block_partition, Partition};
+use mpisim::telemetry::{Phase, PhaseTimes};
 use mpisim::{Comm, KernelClass};
 use sparsela::gram::{sampled_cross, sampled_gram};
 use sparsela::io::Dataset;
@@ -87,19 +88,20 @@ pub fn dist_sa_accbcd<R: Regularizer>(
     let mut trace = ConvergenceTrace::new();
     // Initial objective: ½‖b‖² globally (x = 0).
     let b_sq = comm.allreduce_scalar(sparsela::vecops::nrm2_sq(&ztilde));
-    trace.push(0, 0.5 * b_sq, comm.clock());
+    trace.push_with_phases(
+        0,
+        0.5 * b_sq,
+        comm.clock(),
+        PhaseTimes::from(comm.phase_table()),
+    );
 
-    let objective = |comm: &mut Comm,
-                     theta: f64,
-                     y: &[f64],
-                     z: &[f64],
-                     resid_global_sq: f64|
-     -> f64 {
-        let t2 = theta * theta;
-        let x: Vec<f64> = y.iter().zip(z).map(|(yi, zi)| t2 * yi + zi).collect();
-        comm.charge_flops(KernelClass::Vector, 2 * n as u64, n as u64);
-        0.5 * resid_global_sq + reg.value(&x)
-    };
+    let objective =
+        |comm: &mut Comm, theta: f64, y: &[f64], z: &[f64], resid_global_sq: f64| -> f64 {
+            let t2 = theta * theta;
+            let x: Vec<f64> = y.iter().zip(z).map(|(yi, zi)| t2 * yi + zi).collect();
+            comm.charge_flops(KernelClass::Vector, 2 * n as u64, n as u64);
+            0.5 * resid_global_sq + reg.value(&x)
+        };
 
     let mut h = 0usize;
     while h < cfg.max_iters {
@@ -122,8 +124,13 @@ pub fn dist_sa_accbcd<R: Regularizer>(
         let cross_loc = sampled_cross(&data.csc, &sel, &[&ytilde, &ztilde]);
         let class = charges::gram_class(width as u64);
         let ws = charges::gram_working_set(width as u64, local_nnz);
-        comm.charge_flops(class, charges::gram_flops(local_nnz, width as u64), ws);
-        comm.charge_flops(class, charges::cross_flops(local_nnz, 2), ws);
+        comm.charge_flops_phase(
+            class,
+            charges::gram_flops(local_nnz, width as u64),
+            ws,
+            Phase::Gram,
+        );
+        comm.charge_flops_phase(class, charges::cross_flops(local_nnz, 2), ws, Phase::Gram);
 
         // Should this outer iteration emit a trace point? (The residual
         // norm contribution piggybacks on the main allreduce.)
@@ -160,7 +167,7 @@ pub fn dist_sa_accbcd<R: Regularizer>(
         if traced {
             let resid_global = buf[pos];
             let f = objective(comm, thetas[0], &y, &z, resid_global);
-            trace.push(h, f, comm.clock());
+            trace.push_with_phases(h, f, comm.clock(), PhaseTimes::from(comm.phase_table()));
         }
 
         // Inner loop: replicated recurrences (eqs. 3–5) + local updates.
@@ -173,11 +180,12 @@ pub fn dist_sa_accbcd<R: Regularizer>(
             let theta_prev = thetas[j - 1];
             let t2 = theta_prev * theta_prev;
             h += 1;
-            comm.charge_flops(
+            comm.charge_flops_phase(
                 KernelClass::Vector,
                 charges::subproblem_flops(mu as u64)
                     + charges::sa_correction_flops(j as u64, mu as u64),
                 (mu * mu) as u64,
+                Phase::Prox,
             );
             if v > 0.0 {
                 let eta = 1.0 / (q * theta_prev * v);
@@ -236,7 +244,12 @@ pub fn dist_sa_accbcd<R: Regularizer>(
     comm.charge_flops(KernelClass::Vector, 3 * m_loc as u64, m_loc as u64);
     let resid_global = comm.allreduce_scalar(resid_contrib);
     let x: Vec<f64> = y.iter().zip(&z).map(|(yi, zi)| t2 * yi + zi).collect();
-    trace.push(h, 0.5 * resid_global + reg.value(&x), comm.clock());
+    trace.push_with_phases(
+        h,
+        0.5 * resid_global + reg.value(&x),
+        comm.clock(),
+        PhaseTimes::from(comm.phase_table()),
+    );
     SolveResult { x, trace, iters: h }
 }
 
@@ -260,7 +273,12 @@ pub fn dist_sa_bcd<R: Regularizer>(
 
     let mut trace = ConvergenceTrace::new();
     let b_sq = comm.allreduce_scalar(sparsela::vecops::nrm2_sq(&residual));
-    trace.push(0, 0.5 * b_sq, comm.clock());
+    trace.push_with_phases(
+        0,
+        0.5 * b_sq,
+        comm.clock(),
+        PhaseTimes::from(comm.phase_table()),
+    );
 
     let mut h = 0usize;
     while h < cfg.max_iters {
@@ -276,8 +294,13 @@ pub fn dist_sa_bcd<R: Regularizer>(
         let cross_loc = sampled_cross(&data.csc, &sel, &[&residual]);
         let class = charges::gram_class(width as u64);
         let ws = charges::gram_working_set(width as u64, local_nnz);
-        comm.charge_flops(class, charges::gram_flops(local_nnz, width as u64), ws);
-        comm.charge_flops(class, charges::cross_flops(local_nnz, 1), ws);
+        comm.charge_flops_phase(
+            class,
+            charges::gram_flops(local_nnz, width as u64),
+            ws,
+            Phase::Gram,
+        );
+        comm.charge_flops_phase(class, charges::cross_flops(local_nnz, 1), ws, Phase::Gram);
 
         let traced = cfg.trace_every > 0
             && (h / cfg.trace_every) != ((h + s_block).min(cfg.max_iters) / cfg.trace_every);
@@ -300,7 +323,12 @@ pub fn dist_sa_bcd<R: Regularizer>(
         if traced {
             let resid_global = buf[pos];
             comm.charge_flops(KernelClass::Vector, n as u64, n as u64);
-            trace.push(h, 0.5 * resid_global + reg.value(&x), comm.clock());
+            trace.push_with_phases(
+                h,
+                0.5 * resid_global + reg.value(&x),
+                comm.clock(),
+                PhaseTimes::from(comm.phase_table()),
+            );
         }
 
         let mut deltas = vec![0.0f64; width];
@@ -310,11 +338,12 @@ pub fn dist_sa_bcd<R: Regularizer>(
             let gjj = gram.diag_block(off, off + mu);
             let lip = block_lipschitz(&gjj);
             h += 1;
-            comm.charge_flops(
+            comm.charge_flops_phase(
                 KernelClass::Vector,
                 charges::subproblem_flops(mu as u64)
                     + charges::sa_correction_flops(j as u64, mu as u64),
                 (mu * mu) as u64,
+                Phase::Prox,
             );
             if lip > 0.0 {
                 let eta = 1.0 / lip;
@@ -350,7 +379,12 @@ pub fn dist_sa_bcd<R: Regularizer>(
     }
 
     let resid_global = comm.allreduce_scalar(sparsela::vecops::nrm2_sq(&residual));
-    trace.push(h, 0.5 * resid_global + reg.value(&x), comm.clock());
+    trace.push_with_phases(
+        h,
+        0.5 * resid_global + reg.value(&x),
+        comm.clock(),
+        PhaseTimes::from(comm.phase_table()),
+    );
     SolveResult { x, trace, iters: h }
 }
 
@@ -376,16 +410,11 @@ mod tests {
             max_iters: iters,
             trace_every: 32,
             rel_tol: None,
-        ..Default::default()
+            ..Default::default()
         }
     }
 
-    fn run_dist(
-        ds: &Dataset,
-        p: usize,
-        c: &LassoConfig,
-        acc: bool,
-    ) -> Vec<SolveResult> {
+    fn run_dist(ds: &Dataset, p: usize, c: &LassoConfig, acc: bool) -> Vec<SolveResult> {
         let (_, blocks) = LassoRankData::split(ds, p, false);
         let reg = Lasso::new(c.lambda);
         ThreadMachine::run(p, CostModel::cray_xc30(), |comm| {
@@ -418,8 +447,8 @@ mod tests {
                 let c = cfg(4, s, 160);
                 let seq_res = seq::sa_accbcd(&ds, &Lasso::new(c.lambda), &c);
                 let dist_res = &run_dist(&ds, p, &c, true)[0];
-                let rel = (seq_res.final_value() - dist_res.final_value()).abs()
-                    / seq_res.final_value();
+                let rel =
+                    (seq_res.final_value() - dist_res.final_value()).abs() / seq_res.final_value();
                 assert!(rel < 1e-10, "p={p} s={s}: rel err {rel}");
             }
         }
@@ -433,8 +462,8 @@ mod tests {
                 let c = cfg(2, s, 128);
                 let seq_res = seq::sa_bcd(&ds, &Lasso::new(c.lambda), &c);
                 let dist_res = &run_dist(&ds, p, &c, false)[0];
-                let rel = (seq_res.final_value() - dist_res.final_value()).abs()
-                    / seq_res.final_value();
+                let rel =
+                    (seq_res.final_value() - dist_res.final_value()).abs() / seq_res.final_value();
                 assert!(rel < 1e-10, "p={p} s={s}: rel err {rel}");
             }
         }

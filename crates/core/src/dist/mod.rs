@@ -63,11 +63,7 @@ mod tests {
 
     #[test]
     fn symmetric_pack_roundtrip() {
-        let g = DenseMatrix::from_rows(&[
-            &[1.0, 2.0, 3.0],
-            &[2.0, 5.0, 6.0],
-            &[3.0, 6.0, 9.0],
-        ]);
+        let g = DenseMatrix::from_rows(&[&[1.0, 2.0, 3.0], &[2.0, 5.0, 6.0], &[3.0, 6.0, 9.0]]);
         let mut buf = vec![99.0]; // pre-existing content preserved
         pack_symmetric(&g, &mut buf);
         assert_eq!(buf.len(), 1 + 6);

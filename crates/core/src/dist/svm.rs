@@ -17,6 +17,7 @@ use crate::problem::SvmProblem;
 use crate::seq::svm::projected_step;
 use crate::trace::{ConvergenceTrace, SolveResult};
 use datagen::{balanced_partition, block_partition, Partition};
+use mpisim::telemetry::{Phase, PhaseTimes};
 use mpisim::{Comm, KernelClass};
 use sparsela::gram::{sampled_cross, sampled_gram};
 use sparsela::io::Dataset;
@@ -93,8 +94,8 @@ fn distributed_gap(
         .sum();
     comm.charge_flops(KernelClass::Vector, 4 * m as u64, m as u64);
     let primal = 0.5 * x_sq + prob.lambda * loss_sum;
-    let dual = 0.5 * (x_sq + prob.gamma() * sparsela::vecops::nrm2_sq(alpha))
-        - alpha.iter().sum::<f64>();
+    let dual =
+        0.5 * (x_sq + prob.gamma() * sparsela::vecops::nrm2_sq(alpha)) - alpha.iter().sum::<f64>();
     primal + dual
 }
 
@@ -117,7 +118,7 @@ pub fn dist_sa_svm(comm: &mut Comm, data: &SvmRankData, cfg: &SvmConfig) -> Solv
 
     let mut trace = ConvergenceTrace::new();
     let gap0 = distributed_gap(comm, data, &prob, &x_loc, &alpha);
-    trace.push(0, gap0, comm.clock());
+    trace.push_with_phases(0, gap0, comm.clock(), PhaseTimes::from(comm.phase_table()));
 
     let mut h = 0usize;
     'outer: while h < cfg.max_iters {
@@ -131,8 +132,13 @@ pub fn dist_sa_svm(comm: &mut Comm, data: &SvmRankData, cfg: &SvmConfig) -> Solv
         let xprime_loc = sampled_cross(&data.csr, &sel, &[&x_loc]);
         let class = charges::gram_class(s_block as u64);
         let ws = charges::gram_working_set(s_block as u64, local_nnz);
-        comm.charge_flops(class, charges::gram_flops(local_nnz, s_block as u64), ws);
-        comm.charge_flops(class, charges::cross_flops(local_nnz, 1), ws);
+        comm.charge_flops_phase(
+            class,
+            charges::gram_flops(local_nnz, s_block as u64),
+            ws,
+            Phase::Gram,
+        );
+        comm.charge_flops_phase(class, charges::cross_flops(local_nnz, 1), ws, Phase::Gram);
 
         let mut buf = Vec::new();
         pack_symmetric(&gram_loc, &mut buf);
@@ -165,10 +171,11 @@ pub fn dist_sa_svm(comm: &mut Comm, data: &SvmRankData, cfg: &SvmConfig) -> Solv
             }
             let theta = projected_step(beta, g, eta, nu);
             thetas[j - 1] = theta;
-            comm.charge_flops(
+            comm.charge_flops_phase(
                 KernelClass::Vector,
                 charges::ITER_OVERHEAD_FLOPS + 8 + charges::sa_correction_flops(j as u64, 1),
                 (s_block * s_block) as u64,
+                Phase::Prox,
             );
             if theta != 0.0 {
                 alpha[i] += theta;
@@ -187,7 +194,7 @@ pub fn dist_sa_svm(comm: &mut Comm, data: &SvmRankData, cfg: &SvmConfig) -> Solv
             && ((h - s_block) / cfg.trace_every != h / cfg.trace_every || h >= cfg.max_iters);
         if traced {
             let gap = distributed_gap(comm, data, &prob, &x_loc, &alpha);
-            trace.push(h, gap, comm.clock());
+            trace.push_with_phases(h, gap, comm.clock(), PhaseTimes::from(comm.phase_table()));
             if let Some(tol) = cfg.gap_tol {
                 if gap <= tol {
                     break 'outer;
@@ -198,7 +205,7 @@ pub fn dist_sa_svm(comm: &mut Comm, data: &SvmRankData, cfg: &SvmConfig) -> Solv
 
     if trace.len() < 2 || trace.points().last().expect("nonempty").iter < h {
         let gap = distributed_gap(comm, data, &prob, &x_loc, &alpha);
-        trace.push(h, gap, comm.clock());
+        trace.push_with_phases(h, gap, comm.clock(), PhaseTimes::from(comm.phase_table()));
     }
     SolveResult {
         x: x_loc,

@@ -54,13 +54,13 @@ pub mod costmodel;
 pub mod crossval;
 pub mod dist;
 pub mod path;
-pub mod prox;
 pub mod problem;
+pub mod prox;
 pub mod seq;
 pub mod sim;
 pub mod trace;
 
 pub use config::{LassoConfig, SvmConfig, SvmLoss};
-pub use prox::{ElasticNet, GroupLasso, Lasso, Regularizer};
 pub use problem::{lasso_objective, SvmProblem};
+pub use prox::{ElasticNet, GroupLasso, Lasso, Regularizer};
 pub use trace::{ConvergenceTrace, SolveResult, TracePoint};

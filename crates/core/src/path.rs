@@ -83,7 +83,10 @@ pub fn lasso_path<R: Regularizer, F: Fn(f64) -> R>(
     make_reg: F,
 ) -> RegularizationPath {
     assert!(num_lambdas >= 1, "need at least one lambda");
-    assert!((0.0..1.0).contains(&ratio) || num_lambdas == 1, "ratio must be in (0,1)");
+    assert!(
+        (0.0..1.0).contains(&ratio) || num_lambdas == 1,
+        "ratio must be in (0,1)"
+    );
     let n = ds.a.cols();
     cfg.validate(n);
     let atb = ds.a.spmv_t(&ds.b);
@@ -230,7 +233,12 @@ mod tests {
         let cold = crate::seq::sa_bcd(&ds, &Lasso::new(final_lambda), &cold_cfg);
         let warm_obj = path.points.last().expect("nonempty").objective;
         let rel = (warm_obj - cold.final_value()).abs() / cold.final_value();
-        assert!(rel < 0.02, "warm {} vs cold {}", warm_obj, cold.final_value());
+        assert!(
+            rel < 0.02,
+            "warm {} vs cold {}",
+            warm_obj,
+            cold.final_value()
+        );
     }
 
     #[test]

@@ -10,7 +10,11 @@ use sparsela::{vecops, CsrMatrix};
 /// case is `g(x) = λ‖x‖₁`).
 pub fn lasso_objective<R: Regularizer>(ds: &Dataset, reg: &R, x: &[f64]) -> f64 {
     let r = ds.a.spmv(x);
-    let res_sq: f64 = r.iter().zip(&ds.b).map(|(ri, bi)| (ri - bi) * (ri - bi)).sum();
+    let res_sq: f64 = r
+        .iter()
+        .zip(&ds.b)
+        .map(|(ri, bi)| (ri - bi) * (ri - bi))
+        .sum();
     0.5 * res_sq + reg.value(x)
 }
 

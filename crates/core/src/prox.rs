@@ -88,7 +88,10 @@ impl ElasticNet {
 
     /// Elastic-Net with overall strength σ and mixing weight λ.
     pub fn with_strength(strength: f64, lambda: f64) -> Self {
-        assert!((0.0..=1.0).contains(&lambda), "elastic-net lambda must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&lambda),
+            "elastic-net lambda must be in [0,1]"
+        );
         assert!(strength >= 0.0, "elastic-net strength must be nonnegative");
         Self { lambda, strength }
     }

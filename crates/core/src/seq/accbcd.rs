@@ -54,7 +54,11 @@ pub fn acc_bcd<R: Regularizer>(ds: &Dataset, reg: &R, cfg: &LassoConfig) -> Solv
     let mut ztilde: Vec<f64> = ds.b.iter().map(|b| -b).collect();
 
     let mut trace = ConvergenceTrace::new();
-    trace.push(0, implicit_objective(theta, &y, &z, &ytilde, &ztilde, reg), 0.0);
+    trace.push(
+        0,
+        implicit_objective(theta, &y, &z, &ytilde, &ztilde, reg),
+        0.0,
+    );
     let mut last_traced = trace.initial_value();
 
     let mut iters_done = 0;

@@ -25,7 +25,7 @@ pub(crate) mod svm;
 
 pub use accbcd::acc_bcd;
 pub use bcd::bcd;
-pub use sa_accbcd::sa_accbcd;
+pub use sa_accbcd::{sa_accbcd, sa_accbcd_instrumented};
 pub use sa_bcd::sa_bcd;
 pub use sa_svm::sa_svm;
 pub use svm::svm;
@@ -42,9 +42,7 @@ pub(crate) fn sample_block(
     sampling: crate::config::BlockSampling,
 ) -> Vec<usize> {
     match sampling {
-        crate::config::BlockSampling::Coordinates => {
-            xrng::sample_without_replacement(rng, n, mu)
-        }
+        crate::config::BlockSampling::Coordinates => xrng::sample_without_replacement(rng, n, mu),
         crate::config::BlockSampling::AlignedGroups { group_size } => {
             let groups = xrng::sample_without_replacement(rng, n / group_size, mu / group_size);
             let mut coords = Vec::with_capacity(mu);

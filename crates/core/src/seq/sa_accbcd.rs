@@ -20,6 +20,7 @@ use crate::prox::Regularizer;
 use crate::seq::accbcd::implicit_objective;
 use crate::seq::{block_lipschitz, theta_next};
 use crate::trace::{ConvergenceTrace, SolveResult};
+use saco_telemetry::Registry;
 use sparsela::gram::{sampled_cross, sampled_gram};
 use sparsela::io::Dataset;
 use xrng::rng_from_seed;
@@ -27,6 +28,34 @@ use xrng::rng_from_seed;
 /// Solve `min_x ½‖Ax − b‖² + g(x)` with Algorithm 2 (SA-accBCD;
 /// SA-accCD for µ = 1). With `cfg.s = 1` this coincides with Algorithm 1.
 pub fn sa_accbcd<R: Regularizer>(ds: &Dataset, reg: &R, cfg: &LassoConfig) -> SolveResult {
+    sa_accbcd_impl(ds, reg, cfg, None)
+}
+
+/// [`sa_accbcd`] with per-stage wall-clock attribution: each outer
+/// iteration's sampling, Gram/cross formation, and inner prox loop are
+/// timed with RAII spans recorded in `registry`'s wall section
+/// (`seq.sa_accbcd.{sampling,gram,inner}`), plus summary counters. The
+/// numerics are bit-identical to the uninstrumented solver.
+pub fn sa_accbcd_instrumented<R: Regularizer>(
+    ds: &Dataset,
+    reg: &R,
+    cfg: &LassoConfig,
+    registry: &mut Registry,
+) -> SolveResult {
+    let res = sa_accbcd_impl(ds, reg, cfg, Some(registry));
+    registry.set_meta("solver", "seq_sa_accbcd");
+    registry.counter_add("solver.iterations", res.iters as u64);
+    registry.counter_add("solver.trace_points", res.trace.len() as u64);
+    res
+}
+
+fn sa_accbcd_impl<R: Regularizer>(
+    ds: &Dataset,
+    reg: &R,
+    cfg: &LassoConfig,
+    registry: Option<&mut Registry>,
+) -> SolveResult {
+    let registry = registry.map(|r| &*r);
     let (m, n) = (ds.a.rows(), ds.a.cols());
     cfg.validate(n);
     assert_eq!(ds.b.len(), m, "label length mismatch");
@@ -42,7 +71,11 @@ pub fn sa_accbcd<R: Regularizer>(ds: &Dataset, reg: &R, cfg: &LassoConfig) -> So
     let mut ztilde: Vec<f64> = ds.b.iter().map(|b| -b).collect();
 
     let mut trace = ConvergenceTrace::new();
-    trace.push(0, implicit_objective(theta, &y, &z, &ytilde, &ztilde, reg), 0.0);
+    trace.push(
+        0,
+        implicit_objective(theta, &y, &z, &ytilde, &ztilde, reg),
+        0.0,
+    );
     let mut last_traced = trace.initial_value();
 
     let mut h = 0usize;
@@ -50,10 +83,14 @@ pub fn sa_accbcd<R: Regularizer>(ds: &Dataset, reg: &R, cfg: &LassoConfig) -> So
         let s_block = cfg.s.min(cfg.max_iters - h);
         // Lines 6–8: draw all s blocks up front (identical RNG stream to
         // Algorithm 1, which draws the same sets one iteration at a time).
-        let mut sel = Vec::with_capacity(s_block * mu);
-        for _ in 0..s_block {
-            sel.extend(crate::seq::sample_block(&mut rng, n, mu, cfg.sampling));
-        }
+        let sel = {
+            let _span = registry.map(|r| r.wall_span("seq.sa_accbcd.sampling"));
+            let mut sel = Vec::with_capacity(s_block * mu);
+            for _ in 0..s_block {
+                sel.extend(crate::seq::sample_block(&mut rng, n, mu, cfg.sampling));
+            }
+            sel
+        };
         // Line 9: the θ sequence for the whole block, computed up front.
         let mut thetas = Vec::with_capacity(s_block + 1);
         thetas.push(theta);
@@ -62,10 +99,16 @@ pub fn sa_accbcd<R: Regularizer>(ds: &Dataset, reg: &R, cfg: &LassoConfig) -> So
         }
         // Lines 10–12: the one-shot Gram and cross products (the
         // communication step in the distributed setting).
-        let gram = sampled_gram(&csc, &sel);
-        let cross = sampled_cross(&csc, &sel, &[&ytilde, &ztilde]);
+        let (gram, cross) = {
+            let _span = registry.map(|r| r.wall_span("seq.sa_accbcd.gram"));
+            (
+                sampled_gram(&csc, &sel),
+                sampled_cross(&csc, &sel, &[&ytilde, &ztilde]),
+            )
+        };
 
         // Inner loop (lines 13–22): recurrences only.
+        let _inner_span = registry.map(|r| r.wall_span("seq.sa_accbcd.inner"));
         let mut deltas = vec![0.0f64; s_block * mu]; // Δz_{sk+t}, flat
         for j in 1..=s_block {
             let off = (j - 1) * mu;
@@ -157,7 +200,7 @@ mod tests {
             max_iters: iters,
             trace_every: 25,
             rel_tol: None,
-        ..Default::default()
+            ..Default::default()
         }
     }
 
@@ -228,6 +271,29 @@ mod tests {
     }
 
     #[test]
+    fn instrumented_run_is_bit_identical_and_records_spans() {
+        let reg = problem(11);
+        let c = cfg(2, 8, 64, 12);
+        let lasso = Lasso::new(c.lambda);
+        let plain = sa_accbcd(&reg.dataset, &lasso, &c);
+        let mut registry = Registry::new();
+        let inst = sa_accbcd_instrumented(&reg.dataset, &lasso, &c, &mut registry);
+        assert_eq!(plain.x, inst.x, "instrumentation must not perturb numerics");
+        let wall = registry.wall();
+        // 64 iterations at s = 8 → 8 outer iterations, one span each.
+        for name in [
+            "seq.sa_accbcd.sampling",
+            "seq.sa_accbcd.gram",
+            "seq.sa_accbcd.inner",
+        ] {
+            let stat = wall.get(name).expect(name);
+            assert_eq!(stat.count, 8, "{name}");
+            assert!(stat.total_secs >= 0.0);
+        }
+        assert_eq!(registry.counter("solver.iterations"), 64);
+    }
+
+    #[test]
     fn huge_s_is_numerically_stable() {
         // The paper tests s = 1000 and finds errors at machine precision
         // (Table III).
@@ -240,7 +306,7 @@ mod tests {
             max_iters: 1000,
             trace_every: 0,
             rel_tol: None,
-        ..Default::default()
+            ..Default::default()
         };
         let lasso = Lasso::new(c.lambda);
         let a = acc_bcd(&reg.dataset, &lasso, &c);

@@ -117,7 +117,7 @@ mod tests {
             max_iters: iters,
             trace_every: 25,
             rel_tol: None,
-        ..Default::default()
+            ..Default::default()
         }
     }
 

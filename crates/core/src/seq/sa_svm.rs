@@ -26,7 +26,10 @@ pub fn sa_svm(ds: &Dataset, cfg: &SvmConfig) -> SolveResult {
     cfg.validate();
     let (m, n) = (ds.a.rows(), ds.a.cols());
     assert_eq!(ds.b.len(), m, "label length mismatch");
-    debug_assert!(ds.b.iter().all(|&b| b == 1.0 || b == -1.0), "labels must be ±1");
+    debug_assert!(
+        ds.b.iter().all(|&b| b == 1.0 || b == -1.0),
+        "labels must be ±1"
+    );
     let prob = SvmProblem::new(cfg.loss, cfg.lambda);
     let (gamma, nu) = (prob.gamma(), prob.nu());
     let mut rng = rng_from_seed(cfg.seed);

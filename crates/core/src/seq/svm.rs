@@ -32,7 +32,10 @@ pub fn svm(ds: &Dataset, cfg: &SvmConfig) -> SolveResult {
     cfg.validate();
     let (m, n) = (ds.a.rows(), ds.a.cols());
     assert_eq!(ds.b.len(), m, "label length mismatch");
-    debug_assert!(ds.b.iter().all(|&b| b == 1.0 || b == -1.0), "labels must be ±1");
+    debug_assert!(
+        ds.b.iter().all(|&b| b == 1.0 || b == -1.0),
+        "labels must be ±1"
+    );
     let prob = SvmProblem::new(cfg.loss, cfg.lambda);
     let (gamma, nu) = (prob.gamma(), prob.nu());
     let mut rng = rng_from_seed(cfg.seed);
@@ -108,8 +111,12 @@ mod tests {
     fn duality_gap_decreases_l1() {
         let ds = problem(1);
         let res = svm(&ds, &cfg(SvmLoss::L1, 8000, 2));
-        assert!(res.final_value() < 0.05 * res.trace.initial_value(),
-            "gap {} from {}", res.final_value(), res.trace.initial_value());
+        assert!(
+            res.final_value() < 0.05 * res.trace.initial_value(),
+            "gap {} from {}",
+            res.final_value(),
+            res.trace.initial_value()
+        );
         // gap stays nonnegative
         for p in res.trace.points() {
             assert!(p.value >= -1e-9, "negative gap {}", p.value);

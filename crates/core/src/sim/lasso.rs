@@ -6,9 +6,10 @@ use crate::config::LassoConfig;
 use crate::dist::charges;
 use crate::prox::Regularizer;
 use crate::seq::{block_lipschitz, theta_next};
-use crate::sim::per_rank_sel_nnz;
+use crate::sim::{per_rank_sel_nnz, phase_snapshot};
 use crate::trace::{ConvergenceTrace, SolveResult};
 use datagen::{balanced_partition, block_partition, Partition};
+use mpisim::telemetry::{Phase, Registry};
 use mpisim::{CostModel, CostReport, KernelClass, VirtualCluster};
 use sparsela::gram::{sampled_cross, sampled_gram};
 use sparsela::io::Dataset;
@@ -39,6 +40,41 @@ pub fn sim_sa_accbcd<R: Regularizer>(
     model: CostModel,
     balanced: bool,
 ) -> (SolveResult, CostReport) {
+    let (res, cluster) = sim_sa_accbcd_core(ds, reg, cfg, p, model, balanced);
+    let report = cluster.report();
+    (res, report)
+}
+
+/// [`sim_sa_accbcd`] plus the full telemetry [`Registry`]: per-rank phase
+/// tables, collective counts, and solver metadata — ready for an emitter
+/// or [`mpisim::telemetry::run_report_json`].
+pub fn sim_sa_accbcd_instrumented<R: Regularizer>(
+    ds: &Dataset,
+    reg: &R,
+    cfg: &LassoConfig,
+    p: usize,
+    model: CostModel,
+    balanced: bool,
+) -> (SolveResult, CostReport, Registry) {
+    let (res, cluster) = sim_sa_accbcd_core(ds, reg, cfg, p, model, balanced);
+    let report = cluster.report();
+    let mut telemetry = cluster.telemetry();
+    telemetry.set_meta("solver", "sim_sa_accbcd");
+    telemetry.set_meta("s", cfg.s);
+    telemetry.set_meta("mu", cfg.mu);
+    telemetry.counter_add("solver.iterations", res.iters as u64);
+    telemetry.counter_add("solver.trace_points", res.trace.len() as u64);
+    (res, report, telemetry)
+}
+
+fn sim_sa_accbcd_core<R: Regularizer>(
+    ds: &Dataset,
+    reg: &R,
+    cfg: &LassoConfig,
+    p: usize,
+    model: CostModel,
+    balanced: bool,
+) -> (SolveResult, VirtualCluster) {
     let (m, n) = (ds.a.rows(), ds.a.cols());
     cfg.validate(n);
     let csc = ds.a.to_csc();
@@ -57,7 +93,12 @@ pub fn sim_sa_accbcd<R: Regularizer>(
 
     let mut trace = ConvergenceTrace::new();
     cluster.allreduce(1);
-    trace.push(0, 0.5 * sparsela::vecops::nrm2_sq(&ztilde), cluster.time());
+    trace.push_with_phases(
+        0,
+        0.5 * sparsela::vecops::nrm2_sq(&ztilde),
+        cluster.time(),
+        phase_snapshot(&cluster),
+    );
 
     let mut rank_nnz = vec![0u64; p];
     let mut block_nnz = vec![0u64; p];
@@ -79,18 +120,26 @@ pub fn sim_sa_accbcd<R: Regularizer>(
         // same two kernel charges as the thread engine.
         per_rank_sel_nnz(&csc, &sel, &part, &mut rank_nnz);
         let class = charges::gram_class(width as u64);
-        cluster.charge_per_rank_ws(class, |r| {
-            (
-                charges::gram_flops(rank_nnz[r], width as u64),
-                charges::gram_working_set(width as u64, rank_nnz[r]),
-            )
-        });
-        cluster.charge_per_rank_ws(class, |r| {
-            (
-                charges::cross_flops(rank_nnz[r], 2),
-                charges::gram_working_set(width as u64, rank_nnz[r]),
-            )
-        });
+        cluster.charge_per_rank_ws_phase(
+            class,
+            |r| {
+                (
+                    charges::gram_flops(rank_nnz[r], width as u64),
+                    charges::gram_working_set(width as u64, rank_nnz[r]),
+                )
+            },
+            Phase::Gram,
+        );
+        cluster.charge_per_rank_ws_phase(
+            class,
+            |r| {
+                (
+                    charges::cross_flops(rank_nnz[r], 2),
+                    charges::gram_working_set(width as u64, rank_nnz[r]),
+                )
+            },
+            Phase::Gram,
+        );
 
         let traced = cfg.trace_every > 0
             && (h / cfg.trace_every) != ((h + s_block).min(cfg.max_iters) / cfg.trace_every);
@@ -115,7 +164,12 @@ pub fn sim_sa_accbcd<R: Regularizer>(
                 .sum();
             let x: Vec<f64> = y.iter().zip(&z).map(|(yi, zi)| t2 * yi + zi).collect();
             cluster.charge_uniform(KernelClass::Vector, 2 * n as u64, n as u64);
-            trace.push(h, 0.5 * resid_sq + reg.value(&x), cluster.time());
+            trace.push_with_phases(
+                h,
+                0.5 * resid_sq + reg.value(&x),
+                cluster.time(),
+                phase_snapshot(&cluster),
+            );
         }
 
         let mut deltas = vec![0.0f64; width];
@@ -127,11 +181,12 @@ pub fn sim_sa_accbcd<R: Regularizer>(
             let theta_prev = thetas[j - 1];
             let t2 = theta_prev * theta_prev;
             h += 1;
-            cluster.charge_uniform(
+            cluster.charge_uniform_phase(
                 KernelClass::Vector,
                 charges::subproblem_flops(mu as u64)
                     + charges::sa_correction_flops(j as u64, mu as u64),
                 (mu * mu) as u64,
+                Phase::Prox,
             );
             if v > 0.0 {
                 let eta = 1.0 / (q * theta_prev * v);
@@ -190,11 +245,13 @@ pub fn sim_sa_accbcd<R: Regularizer>(
         })
         .sum();
     let x: Vec<f64> = y.iter().zip(&z).map(|(yi, zi)| t2 * yi + zi).collect();
-    trace.push(h, 0.5 * resid_sq + reg.value(&x), cluster.time());
-    (
-        SolveResult { x, trace, iters: h },
-        cluster.report(),
-    )
+    trace.push_with_phases(
+        h,
+        0.5 * resid_sq + reg.value(&x),
+        cluster.time(),
+        phase_snapshot(&cluster),
+    );
+    (SolveResult { x, trace, iters: h }, cluster)
 }
 
 /// Simulated distributed SA-BCD (non-accelerated) on `p` virtual ranks.
@@ -206,6 +263,39 @@ pub fn sim_sa_bcd<R: Regularizer>(
     model: CostModel,
     balanced: bool,
 ) -> (SolveResult, CostReport) {
+    let (res, cluster) = sim_sa_bcd_core(ds, reg, cfg, p, model, balanced);
+    let report = cluster.report();
+    (res, report)
+}
+
+/// [`sim_sa_bcd`] plus the full telemetry [`Registry`].
+pub fn sim_sa_bcd_instrumented<R: Regularizer>(
+    ds: &Dataset,
+    reg: &R,
+    cfg: &LassoConfig,
+    p: usize,
+    model: CostModel,
+    balanced: bool,
+) -> (SolveResult, CostReport, Registry) {
+    let (res, cluster) = sim_sa_bcd_core(ds, reg, cfg, p, model, balanced);
+    let report = cluster.report();
+    let mut telemetry = cluster.telemetry();
+    telemetry.set_meta("solver", "sim_sa_bcd");
+    telemetry.set_meta("s", cfg.s);
+    telemetry.set_meta("mu", cfg.mu);
+    telemetry.counter_add("solver.iterations", res.iters as u64);
+    telemetry.counter_add("solver.trace_points", res.trace.len() as u64);
+    (res, report, telemetry)
+}
+
+fn sim_sa_bcd_core<R: Regularizer>(
+    ds: &Dataset,
+    reg: &R,
+    cfg: &LassoConfig,
+    p: usize,
+    model: CostModel,
+    balanced: bool,
+) -> (SolveResult, VirtualCluster) {
     let n = ds.a.cols();
     cfg.validate(n);
     let csc = ds.a.to_csc();
@@ -220,7 +310,12 @@ pub fn sim_sa_bcd<R: Regularizer>(
 
     let mut trace = ConvergenceTrace::new();
     cluster.allreduce(1);
-    trace.push(0, 0.5 * sparsela::vecops::nrm2_sq(&residual), cluster.time());
+    trace.push_with_phases(
+        0,
+        0.5 * sparsela::vecops::nrm2_sq(&residual),
+        cluster.time(),
+        phase_snapshot(&cluster),
+    );
 
     let mut rank_nnz = vec![0u64; p];
     let mut block_nnz = vec![0u64; p];
@@ -235,18 +330,26 @@ pub fn sim_sa_bcd<R: Regularizer>(
 
         per_rank_sel_nnz(&csc, &sel, &part, &mut rank_nnz);
         let class = charges::gram_class(width as u64);
-        cluster.charge_per_rank_ws(class, |r| {
-            (
-                charges::gram_flops(rank_nnz[r], width as u64),
-                charges::gram_working_set(width as u64, rank_nnz[r]),
-            )
-        });
-        cluster.charge_per_rank_ws(class, |r| {
-            (
-                charges::cross_flops(rank_nnz[r], 1),
-                charges::gram_working_set(width as u64, rank_nnz[r]),
-            )
-        });
+        cluster.charge_per_rank_ws_phase(
+            class,
+            |r| {
+                (
+                    charges::gram_flops(rank_nnz[r], width as u64),
+                    charges::gram_working_set(width as u64, rank_nnz[r]),
+                )
+            },
+            Phase::Gram,
+        );
+        cluster.charge_per_rank_ws_phase(
+            class,
+            |r| {
+                (
+                    charges::cross_flops(rank_nnz[r], 1),
+                    charges::gram_working_set(width as u64, rank_nnz[r]),
+                )
+            },
+            Phase::Gram,
+        );
 
         let traced = cfg.trace_every > 0
             && (h / cfg.trace_every) != ((h + s_block).min(cfg.max_iters) / cfg.trace_every);
@@ -260,10 +363,11 @@ pub fn sim_sa_bcd<R: Regularizer>(
         let cross = sampled_cross(&csc, &sel, &[&residual]);
         if traced {
             cluster.charge_uniform(KernelClass::Vector, n as u64, n as u64);
-            trace.push(
+            trace.push_with_phases(
                 h,
                 0.5 * sparsela::vecops::nrm2_sq(&residual) + reg.value(&x),
                 cluster.time(),
+                phase_snapshot(&cluster),
             );
         }
 
@@ -274,11 +378,12 @@ pub fn sim_sa_bcd<R: Regularizer>(
             let gjj = gram.diag_block(off, off + mu);
             let lip = block_lipschitz(&gjj);
             h += 1;
-            cluster.charge_uniform(
+            cluster.charge_uniform_phase(
                 KernelClass::Vector,
                 charges::subproblem_flops(mu as u64)
                     + charges::sa_correction_flops(j as u64, mu as u64),
                 (mu * mu) as u64,
+                Phase::Prox,
             );
             if lip > 0.0 {
                 let eta = 1.0 / lip;
@@ -315,15 +420,13 @@ pub fn sim_sa_bcd<R: Regularizer>(
     }
 
     cluster.allreduce(1);
-    trace.push(
+    trace.push_with_phases(
         h,
         0.5 * sparsela::vecops::nrm2_sq(&residual) + reg.value(&x),
         cluster.time(),
+        phase_snapshot(&cluster),
     );
-    (
-        SolveResult { x, trace, iters: h },
-        cluster.report(),
-    )
+    (SolveResult { x, trace, iters: h }, cluster)
 }
 
 #[cfg(test)]
@@ -347,7 +450,7 @@ mod tests {
             max_iters: iters,
             trace_every: 32,
             rel_tol: None,
-        ..Default::default()
+            ..Default::default()
         }
     }
 
@@ -404,6 +507,31 @@ mod tests {
         let (_, rep) = sim_sa_accbcd(&ds, &lasso, &c, p, CostModel::cray_xc30(), false);
         let expected = (256 / 8 + 2) * 9;
         assert_eq!(rep.critical.messages, expected as u64);
+    }
+
+    #[test]
+    fn instrumented_run_reconciles_with_cost_report() {
+        let ds = problem(6);
+        let c = cfg(2, 8, 96);
+        let lasso = Lasso::new(c.lambda);
+        let (res, rep, telemetry) =
+            sim_sa_accbcd_instrumented(&ds, &lasso, &c, 16, CostModel::cray_xc30(), false);
+        let crit = telemetry.critical_rank().expect("per-rank tables recorded");
+        let t = telemetry.phases(crit).expect("critical rank table");
+        assert!((t.comm_time() - rep.critical.comm_time).abs() < 1e-9);
+        assert!((t.comp_time() - rep.critical.comp_time).abs() < 1e-9);
+        assert!((t.idle_time() - rep.critical.idle_time).abs() < 1e-9);
+        assert_eq!(telemetry.counter("solver.iterations"), res.iters as u64);
+        assert_eq!(
+            telemetry.meta().get("solver").map(String::as_str),
+            Some("sim_sa_accbcd")
+        );
+        // Every trace point carries its phase breakdown; the final one is
+        // the end-of-run critical-rank attribution.
+        assert!(res.trace.points().iter().all(|p| p.phases.is_some()));
+        let last = res.trace.points().last().unwrap().phases.unwrap();
+        assert!((last.comm - rep.critical.comm_time).abs() < 1e-9);
+        assert!((last.comp - rep.critical.comp_time).abs() < 1e-9);
     }
 
     #[test]

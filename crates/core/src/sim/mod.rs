@@ -16,11 +16,20 @@
 mod lasso;
 mod svm;
 
-pub use lasso::{sim_sa_accbcd, sim_sa_bcd};
-pub use svm::sim_sa_svm;
+pub use lasso::{sim_sa_accbcd, sim_sa_accbcd_instrumented, sim_sa_bcd, sim_sa_bcd_instrumented};
+pub use svm::{sim_sa_svm, sim_sa_svm_instrumented};
 
 use datagen::{bucket_counts, Partition};
+use mpisim::telemetry::PhaseTimes;
+use mpisim::VirtualCluster;
 use sparsela::gram::MajorSlices;
+
+/// Comm/comp/idle snapshot of the current critical rank — what a
+/// simulated trace point carries as its phase breakdown.
+pub(crate) fn phase_snapshot(cluster: &VirtualCluster) -> PhaseTimes {
+    let c = cluster.report().critical;
+    PhaseTimes::new(c.comm_time, c.comp_time, c.idle_time)
+}
 
 /// Accumulate, per rank, the stored entries of the sampled slices that
 /// fall in each partition range (columns against a row partition for

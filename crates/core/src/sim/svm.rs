@@ -6,9 +6,10 @@ use crate::config::SvmConfig;
 use crate::dist::charges;
 use crate::problem::SvmProblem;
 use crate::seq::svm::projected_step;
-use crate::sim::per_rank_sel_nnz;
+use crate::sim::{per_rank_sel_nnz, phase_snapshot};
 use crate::trace::{ConvergenceTrace, SolveResult};
 use datagen::{balanced_partition, block_partition, bucket_counts, Partition};
+use mpisim::telemetry::{Phase, Registry};
 use mpisim::{CostModel, CostReport, KernelClass, VirtualCluster};
 use sparsela::gram::{sampled_cross, sampled_gram};
 use sparsela::io::Dataset;
@@ -26,11 +27,7 @@ fn col_partition(ds: &Dataset, p: usize, balanced: bool) -> Partition {
 
 /// Charge the distributed duality-gap evaluation (an `m+1`-word allreduce
 /// of margins; mirrors `dist::svm::distributed_gap`).
-fn charge_gap(
-    cluster: &mut VirtualCluster,
-    m: u64,
-    rank_matrix_nnz: &[u64],
-) {
+fn charge_gap(cluster: &mut VirtualCluster, m: u64, rank_matrix_nnz: &[u64]) {
     cluster.charge_per_rank_ws(KernelClass::Dot, |r| (2 * rank_matrix_nnz[r], m));
     cluster.allreduce(m + 1);
     cluster.charge_uniform(KernelClass::Vector, 4 * m, m);
@@ -46,6 +43,37 @@ pub fn sim_sa_svm(
     model: CostModel,
     balanced: bool,
 ) -> (SolveResult, CostReport) {
+    let (res, cluster) = sim_sa_svm_core(ds, cfg, p, model, balanced);
+    let report = cluster.report();
+    (res, report)
+}
+
+/// [`sim_sa_svm`] plus the full telemetry [`Registry`]: per-rank phase
+/// tables, collective counts, and solver metadata.
+pub fn sim_sa_svm_instrumented(
+    ds: &Dataset,
+    cfg: &SvmConfig,
+    p: usize,
+    model: CostModel,
+    balanced: bool,
+) -> (SolveResult, CostReport, Registry) {
+    let (res, cluster) = sim_sa_svm_core(ds, cfg, p, model, balanced);
+    let report = cluster.report();
+    let mut telemetry = cluster.telemetry();
+    telemetry.set_meta("solver", "sim_sa_svm");
+    telemetry.set_meta("s", cfg.s);
+    telemetry.counter_add("solver.iterations", res.iters as u64);
+    telemetry.counter_add("solver.trace_points", res.trace.len() as u64);
+    (res, report, telemetry)
+}
+
+fn sim_sa_svm_core(
+    ds: &Dataset,
+    cfg: &SvmConfig,
+    p: usize,
+    model: CostModel,
+    balanced: bool,
+) -> (SolveResult, VirtualCluster) {
     cfg.validate();
     let m = ds.a.rows();
     assert_eq!(ds.b.len(), m, "label length mismatch");
@@ -65,7 +93,12 @@ pub fn sim_sa_svm(
 
     let mut trace = ConvergenceTrace::new();
     charge_gap(&mut cluster, m as u64, &rank_matrix_nnz);
-    trace.push(0, prob.duality_gap(&ds.a, &ds.b, &x, &alpha), cluster.time());
+    trace.push_with_phases(
+        0,
+        prob.duality_gap(&ds.a, &ds.b, &x, &alpha),
+        cluster.time(),
+        phase_snapshot(&cluster),
+    );
 
     let mut rank_nnz = vec![0u64; p];
     let mut row_nnz = vec![0u64; p];
@@ -76,18 +109,26 @@ pub fn sim_sa_svm(
 
         per_rank_sel_nnz(&ds.a, &sel, &part, &mut rank_nnz);
         let class = charges::gram_class(s_block as u64);
-        cluster.charge_per_rank_ws(class, |r| {
-            (
-                charges::gram_flops(rank_nnz[r], s_block as u64),
-                charges::gram_working_set(s_block as u64, rank_nnz[r]),
-            )
-        });
-        cluster.charge_per_rank_ws(class, |r| {
-            (
-                charges::cross_flops(rank_nnz[r], 1),
-                charges::gram_working_set(s_block as u64, rank_nnz[r]),
-            )
-        });
+        cluster.charge_per_rank_ws_phase(
+            class,
+            |r| {
+                (
+                    charges::gram_flops(rank_nnz[r], s_block as u64),
+                    charges::gram_working_set(s_block as u64, rank_nnz[r]),
+                )
+            },
+            Phase::Gram,
+        );
+        cluster.charge_per_rank_ws_phase(
+            class,
+            |r| {
+                (
+                    charges::cross_flops(rank_nnz[r], 1),
+                    charges::gram_working_set(s_block as u64, rank_nnz[r]),
+                )
+            },
+            Phase::Gram,
+        );
         cluster.charge_uniform(KernelClass::Vector, charges::OUTER_OVERHEAD_FLOPS, 64);
         cluster.allreduce((s_block * (s_block + 1) / 2 + s_block) as u64);
 
@@ -110,10 +151,11 @@ pub fn sim_sa_svm(
             }
             let theta = projected_step(beta, g, eta, nu);
             thetas[j - 1] = theta;
-            cluster.charge_uniform(
+            cluster.charge_uniform_phase(
                 KernelClass::Vector,
                 charges::ITER_OVERHEAD_FLOPS + 8 + charges::sa_correction_flops(j as u64, 1),
                 (s_block * s_block) as u64,
+                Phase::Prox,
             );
             if theta != 0.0 {
                 alpha[i] += theta;
@@ -131,7 +173,7 @@ pub fn sim_sa_svm(
         if traced {
             charge_gap(&mut cluster, m as u64, &rank_matrix_nnz);
             let gap = prob.duality_gap(&ds.a, &ds.b, &x, &alpha);
-            trace.push(h, gap, cluster.time());
+            trace.push_with_phases(h, gap, cluster.time(), phase_snapshot(&cluster));
             if let Some(tol) = cfg.gap_tol {
                 if gap <= tol {
                     break 'outer;
@@ -142,12 +184,14 @@ pub fn sim_sa_svm(
 
     if trace.len() < 2 || trace.points().last().expect("nonempty").iter < h {
         charge_gap(&mut cluster, m as u64, &rank_matrix_nnz);
-        trace.push(h, prob.duality_gap(&ds.a, &ds.b, &x, &alpha), cluster.time());
+        trace.push_with_phases(
+            h,
+            prob.duality_gap(&ds.a, &ds.b, &x, &alpha),
+            cluster.time(),
+            phase_snapshot(&cluster),
+        );
     }
-    (
-        SolveResult { x, trace, iters: h },
-        cluster.report(),
-    )
+    (SolveResult { x, trace, iters: h }, cluster)
 }
 
 #[cfg(test)]
@@ -221,6 +265,20 @@ mod tests {
             balanced.critical.comp_time + balanced.critical.idle_time,
             naive.critical.comp_time + naive.critical.idle_time
         );
+    }
+
+    #[test]
+    fn instrumented_run_reconciles_with_cost_report() {
+        let ds = problem(5);
+        let c = cfg(SvmLoss::L1, 8, 128);
+        let (res, rep, telemetry) =
+            sim_sa_svm_instrumented(&ds, &c, 8, CostModel::cray_xc30(), false);
+        let crit = telemetry.critical_rank().expect("per-rank tables recorded");
+        let t = telemetry.phases(crit).expect("critical rank table");
+        assert!((t.comm_time() - rep.critical.comm_time).abs() < 1e-9);
+        assert!((t.comp_time() - rep.critical.comp_time).abs() < 1e-9);
+        assert_eq!(telemetry.counter("solver.iterations"), res.iters as u64);
+        assert!(res.trace.points().iter().all(|p| p.phases.is_some()));
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Convergence traces and solver results.
 
+use saco_telemetry::PhaseTimes;
+
 /// One recorded point of a convergence trace.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct TracePoint {
@@ -10,7 +12,32 @@ pub struct TracePoint {
     /// Simulated running time in seconds at this point (0 for purely
     /// sequential runs with no machine attached).
     pub time: f64,
+    /// Cumulative comm/comp/idle attribution at this point, when the run
+    /// was instrumented (`None` for plain sequential runs).
+    pub phases: Option<PhaseTimes>,
 }
+
+/// Error from [`ConvergenceTrace::try_push`]: the appended iteration went
+/// backwards.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceOrderError {
+    /// Iteration of the current last point.
+    pub last_iter: usize,
+    /// The rejected iteration.
+    pub pushed_iter: usize,
+}
+
+impl std::fmt::Display for TraceOrderError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "trace iterations must be nondecreasing: {} after {}",
+            self.pushed_iter, self.last_iter
+        )
+    }
+}
+
+impl std::error::Error for TraceOrderError {}
 
 /// A convergence trace: the series behind the paper's Figures 2, 3 and 5.
 #[derive(Clone, Debug, Default)]
@@ -24,12 +51,50 @@ impl ConvergenceTrace {
         Self::default()
     }
 
-    /// Append a point (iterations must be nondecreasing).
+    /// Append a point.
+    ///
+    /// # Panics
+    /// Panics if `iter` is smaller than the last recorded iteration — in
+    /// every build profile: a backwards trace silently corrupts
+    /// time-to-tolerance queries, which the figure pipeline depends on.
     pub fn push(&mut self, iter: usize, value: f64, time: f64) {
+        self.try_push(iter, value, time, None)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Append a point with its cumulative phase-time attribution.
+    ///
+    /// # Panics
+    /// Panics if `iter` goes backwards, like [`push`](Self::push).
+    pub fn push_with_phases(&mut self, iter: usize, value: f64, time: f64, phases: PhaseTimes) {
+        self.try_push(iter, value, time, Some(phases))
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible append: rejects decreasing iterations instead of
+    /// panicking.
+    pub fn try_push(
+        &mut self,
+        iter: usize,
+        value: f64,
+        time: f64,
+        phases: Option<PhaseTimes>,
+    ) -> Result<(), TraceOrderError> {
         if let Some(last) = self.points.last() {
-            debug_assert!(iter >= last.iter, "trace iterations must be nondecreasing");
+            if iter < last.iter {
+                return Err(TraceOrderError {
+                    last_iter: last.iter,
+                    pushed_iter: iter,
+                });
+            }
         }
-        self.points.push(TracePoint { iter, value, time });
+        self.points.push(TracePoint {
+            iter,
+            value,
+            time,
+            phases,
+        });
+        Ok(())
     }
 
     /// All recorded points.
@@ -72,13 +137,19 @@ impl ConvergenceTrace {
     /// or below (the paper's time-to-tolerance comparison in Table V);
     /// `None` if never reached.
     pub fn time_to_value(&self, target: f64) -> Option<f64> {
-        self.points.iter().find(|p| p.value <= target).map(|p| p.time)
+        self.points
+            .iter()
+            .find(|p| p.value <= target)
+            .map(|p| p.time)
     }
 
     /// First iteration at which the tracked value drops to `target` or
     /// below.
     pub fn iters_to_value(&self, target: f64) -> Option<usize> {
-        self.points.iter().find(|p| p.value <= target).map(|p| p.iter)
+        self.points
+            .iter()
+            .find(|p| p.value <= target)
+            .map(|p| p.iter)
     }
 }
 
@@ -150,5 +221,36 @@ mod tests {
         assert!(t.is_empty());
         assert_eq!(t.final_time(), 0.0);
         assert_eq!(t.time_to_value(0.0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "nondecreasing")]
+    fn push_rejects_backwards_iterations_in_all_profiles() {
+        let mut t = ConvergenceTrace::new();
+        t.push(5, 1.0, 0.0);
+        t.push(4, 0.5, 0.1);
+    }
+
+    #[test]
+    fn try_push_reports_the_violation() {
+        let mut t = ConvergenceTrace::new();
+        t.push(5, 1.0, 0.0);
+        let err = t.try_push(3, 0.5, 0.1, None).unwrap_err();
+        assert_eq!(err.last_iter, 5);
+        assert_eq!(err.pushed_iter, 3);
+        assert_eq!(t.len(), 1, "rejected point not recorded");
+        // equal iterations stay allowed (refinement at the same h)
+        t.try_push(5, 0.9, 0.2, None).unwrap();
+    }
+
+    #[test]
+    fn phase_breakdown_rides_along() {
+        let mut t = ConvergenceTrace::new();
+        t.push(0, 2.0, 0.0);
+        t.push_with_phases(4, 1.0, 0.5, PhaseTimes::new(0.2, 0.25, 0.05));
+        assert_eq!(t.points()[0].phases, None);
+        let p = t.points()[1].phases.expect("instrumented point");
+        assert_eq!(p.comm, 0.2);
+        assert!((p.total() - 0.5).abs() < 1e-15);
     }
 }

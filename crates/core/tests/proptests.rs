@@ -36,7 +36,12 @@ fn random_dataset(m: usize, n: usize, seed: u64, labels_pm1: bool) -> Dataset {
 }
 
 /// prox operators are firmly nonexpansive: ‖prox(u) − prox(v)‖ ≤ ‖u − v‖.
-fn check_nonexpansive<R: Regularizer>(reg: &R, seed: u64, k: usize, eta: f64) -> Result<(), TestCaseError> {
+fn check_nonexpansive<R: Regularizer>(
+    reg: &R,
+    seed: u64,
+    k: usize,
+    eta: f64,
+) -> Result<(), TestCaseError> {
     let mut rng = xrng::rng_from_seed(seed);
     let coords: Vec<usize> = (0..k).collect();
     let u: Vec<f64> = (0..k).map(|_| 4.0 * rng.next_gaussian()).collect();
@@ -47,7 +52,10 @@ fn check_nonexpansive<R: Regularizer>(reg: &R, seed: u64, k: usize, eta: f64) ->
     reg.prox_block(&mut pv, &coords, eta);
     let lhs = vecops::dist2(&pu, &pv);
     let rhs = vecops::dist2(&u, &v);
-    prop_assert!(lhs <= rhs + 1e-12, "nonexpansiveness violated: {lhs} > {rhs}");
+    prop_assert!(
+        lhs <= rhs + 1e-12,
+        "nonexpansiveness violated: {lhs} > {rhs}"
+    );
     Ok(())
 }
 

@@ -1,0 +1,308 @@
+//! Vendored stand-in for the `criterion` crate.
+//!
+//! This build environment cannot reach crates.io, so the workspace vendors
+//! the subset of criterion its benches use: [`Criterion`],
+//! [`BenchmarkGroup`] (`throughput` / `sample_size` / `bench_function` /
+//! `bench_with_input` / `finish`), [`Bencher::iter`], [`BenchmarkId`],
+//! [`Throughput`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros.
+//!
+//! Differences from real criterion, on purpose: no statistical analysis,
+//! no plots, no saved baselines. Each benchmark runs a short warm-up, then
+//! a fixed number of timed batches, and prints min / median / mean
+//! per-iteration times (plus throughput when declared). That keeps the
+//! benches compiling and producing useful relative numbers offline.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Benchmark identifier: a function name plus an optional parameter label.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Identifier with both a function name and a parameter value.
+    pub fn new<S: Into<String>, P: std::fmt::Display>(function: S, parameter: P) -> Self {
+        BenchmarkId {
+            function: Some(function.into()),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    /// Identifier carrying only a parameter value.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            function: None,
+            parameter: parameter.to_string(),
+        }
+    }
+
+    fn label(&self) -> String {
+        match &self.function {
+            Some(f) => format!("{}/{}", f, self.parameter),
+            None => self.parameter.clone(),
+        }
+    }
+}
+
+/// Units-of-work declaration used to report throughput.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Number of elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing loop handle passed to each benchmark closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    warmup_iters: u64,
+}
+
+impl Bencher {
+    /// Time `routine`, recording per-sample wall-clock durations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.warmup_iters {
+            std::hint::black_box(routine());
+        }
+        for _ in 0..self.samples.capacity() {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn report(&self, label: &str, throughput: Option<Throughput>) {
+        if self.samples.is_empty() {
+            println!("{label:40} (no samples)");
+            return;
+        }
+        let mut per_iter: Vec<f64> = self
+            .samples
+            .iter()
+            .map(|d| d.as_secs_f64() / self.iters_per_sample as f64)
+            .collect();
+        per_iter.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let min = per_iter[0];
+        let median = per_iter[per_iter.len() / 2];
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        let mut line = format!(
+            "{label:40} min {:>10}  median {:>10}  mean {:>10}",
+            fmt_time(min),
+            fmt_time(median),
+            fmt_time(mean)
+        );
+        match throughput {
+            Some(Throughput::Elements(n)) => {
+                line.push_str(&format!("  {:>12} elem/s", fmt_rate(n as f64 / median)));
+            }
+            Some(Throughput::Bytes(n)) => {
+                line.push_str(&format!("  {:>12} B/s", fmt_rate(n as f64 / median)));
+            }
+            None => {}
+        }
+        println!("{line}");
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+fn fmt_rate(rate: f64) -> String {
+    if rate >= 1e9 {
+        format!("{:.2}G", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.2}M", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.2}K", rate / 1e3)
+    } else {
+        format!("{rate:.1}")
+    }
+}
+
+/// A named group of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_count: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Declare the units of work each iteration performs.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Override the number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = n.max(2);
+        self
+    }
+
+    /// Run one benchmark identified by a plain name.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, name);
+        self.run(&label, f);
+        self
+    }
+
+    /// Run one benchmark identified by a [`BenchmarkId`], passing `input`
+    /// through to the closure.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label());
+        self.run(&label, |b| f(b, input));
+        self
+    }
+
+    /// End the group. (Real criterion finalises analysis here; the shim
+    /// prints per-benchmark lines eagerly, so this is a no-op.)
+    pub fn finish(&mut self) {}
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, label: &str, mut f: F) {
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_count),
+            iters_per_sample: 1,
+            warmup_iters: 1,
+        };
+        f(&mut bencher);
+        bencher.report(label, self.throughput);
+    }
+}
+
+/// Top-level benchmark harness handle.
+pub struct Criterion {
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            // Real criterion defaults to 100 samples with statistical
+            // stopping; a fixed 20 keeps offline runs short.
+            default_samples: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named [`BenchmarkGroup`].
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_count: self.default_samples,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = self.default_samples;
+        let mut group = BenchmarkGroup {
+            name: String::new(),
+            sample_count: samples,
+            throughput: None,
+            _criterion: self,
+        };
+        group.run(name, f);
+        self
+    }
+}
+
+/// Collect benchmark functions into a runner function named by the first
+/// argument, mirroring real criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_requested_samples() {
+        let mut b = Bencher {
+            samples: Vec::with_capacity(5),
+            iters_per_sample: 1,
+            warmup_iters: 1,
+        };
+        let mut count = 0u64;
+        b.iter(|| count += 1);
+        assert_eq!(b.samples.len(), 5);
+        // 1 warm-up + 5 timed samples × 1 iter
+        assert_eq!(count, 6);
+    }
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(10));
+        let mut ran = false;
+        group.bench_function("noop", |b| {
+            ran = true;
+            b.iter(|| 1 + 1);
+        });
+        group.bench_with_input(BenchmarkId::new("with_input", 4), &4usize, |b, &n| {
+            b.iter(|| n * 2);
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn id_labels() {
+        assert_eq!(BenchmarkId::new("f", 8).label(), "f/8");
+        assert_eq!(BenchmarkId::from_parameter("p2").label(), "p2");
+    }
+}

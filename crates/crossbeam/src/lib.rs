@@ -1,0 +1,13 @@
+//! Vendored stand-in for the `crossbeam` crate.
+//!
+//! This build environment has no access to crates.io, so the workspace
+//! vendors the *tiny* subset of crossbeam it actually uses: an unbounded
+//! MPMC channel with blocking `recv` and disconnect detection. The
+//! implementation is a `Mutex<VecDeque>` + `Condvar` — more than enough
+//! for `mpisim`'s one-channel-per-ordered-rank-pair wiring, where each
+//! channel has exactly one producer and one consumer and throughput is
+//! bounded by the simulated collectives, not the lock.
+
+#![warn(missing_docs)]
+
+pub mod channel;

@@ -118,7 +118,11 @@ pub fn imbalance_factor(weights: &[u64], part: &Partition) -> f64 {
 /// This is the hot helper the virtual-cluster solvers use to attribute a
 /// sampled column's nonzeros to ranks; it walks the index list once.
 pub fn bucket_counts(sorted_indices: &[usize], part: &Partition, out: &mut [u64]) {
-    assert_eq!(out.len(), part.parts(), "output length must equal part count");
+    assert_eq!(
+        out.len(),
+        part.parts(),
+        "output length must equal part count"
+    );
     debug_assert!(sorted_indices.windows(2).all(|w| w[0] < w[1]));
     let bounds = part.bounds();
     let mut r = 0usize;

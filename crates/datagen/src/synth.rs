@@ -209,8 +209,14 @@ mod tests {
 
     #[test]
     fn uniform_sparse_is_deterministic() {
-        assert_eq!(uniform_sparse(50, 40, 0.1, 7), uniform_sparse(50, 40, 0.1, 7));
-        assert_ne!(uniform_sparse(50, 40, 0.1, 7), uniform_sparse(50, 40, 0.1, 8));
+        assert_eq!(
+            uniform_sparse(50, 40, 0.1, 7),
+            uniform_sparse(50, 40, 0.1, 7)
+        );
+        assert_ne!(
+            uniform_sparse(50, 40, 0.1, 7),
+            uniform_sparse(50, 40, 0.1, 8)
+        );
     }
 
     #[test]

@@ -220,10 +220,19 @@ impl CostModel {
     /// collective — the single source both engines charge from. Allreduce
     /// honours [`CostModel::allreduce_algo`]; every other collective uses
     /// the tree model.
-    pub fn collective_charge(&self, kind: CollectiveKind, p: usize, words: u64) -> CollectiveCharge {
+    pub fn collective_charge(
+        &self,
+        kind: CollectiveKind,
+        p: usize,
+        words: u64,
+    ) -> CollectiveCharge {
         let lg = collective_rounds(kind, p);
         if lg == 0 {
-            return CollectiveCharge { rounds: 0, words_moved: 0, time: 0.0 };
+            return CollectiveCharge {
+                rounds: 0,
+                words_moved: 0,
+                time: 0.0,
+            };
         }
         if let Some(h) = self.hierarchy {
             if h.cores_per_node > 1 && p > 1 {
@@ -246,7 +255,11 @@ impl CostModel {
             let frac = (p as f64 - 1.0) / p as f64;
             let words_moved = (2.0 * words as f64 * frac).round() as u64;
             let time = rounds as f64 * self.alpha + self.beta * words_moved as f64;
-            CollectiveCharge { rounds, words_moved, time }
+            CollectiveCharge {
+                rounds,
+                words_moved,
+                time,
+            }
         } else {
             let words_moved = lg * words;
             CollectiveCharge {
@@ -378,6 +391,21 @@ impl CostReport {
     pub fn running_time(&self) -> f64 {
         self.critical.total_time()
     }
+
+    /// Combine another report covering a different phase of the same run:
+    /// counters add along the critical path, ranks must agree (a zero
+    /// `ranks` acts as the identity so reports fold from `default()`).
+    pub fn merge(&mut self, other: &CostReport) {
+        if self.ranks == 0 {
+            self.ranks = other.ranks;
+        } else if other.ranks != 0 {
+            assert_eq!(
+                self.ranks, other.ranks,
+                "merging reports of different machines"
+            );
+        }
+        self.critical.merge(&other.critical);
+    }
 }
 
 #[cfg(test)]
@@ -411,8 +439,9 @@ mod tests {
         let m = CostModel::cray_xc30();
         let s = 64u64;
         let one_big = m.collective_time(CollectiveKind::Allreduce, 1024, s * s);
-        let many_small: f64 =
-            (0..s).map(|_| m.collective_time(CollectiveKind::Allreduce, 1024, 1)).sum();
+        let many_small: f64 = (0..s)
+            .map(|_| m.collective_time(CollectiveKind::Allreduce, 1024, 1))
+            .sum();
         assert!(
             one_big < many_small / 2.0,
             "big {one_big} vs many {many_small}"
@@ -439,7 +468,10 @@ mod tests {
     #[test]
     fn free_network_has_no_comm_cost() {
         let m = CostModel::free_network();
-        assert_eq!(m.collective_time(CollectiveKind::Allreduce, 4096, 1_000_000), 0.0);
+        assert_eq!(
+            m.collective_time(CollectiveKind::Allreduce, 4096, 1_000_000),
+            0.0
+        );
     }
 
     #[test]
@@ -488,7 +520,9 @@ mod allreduce_algo_tests {
     #[test]
     fn auto_switches_at_threshold() {
         let auto = CostModel {
-            allreduce_algo: AllreduceAlgo::Auto { threshold_words: 1000 },
+            allreduce_algo: AllreduceAlgo::Auto {
+                threshold_words: 1000,
+            },
             ..CostModel::cray_xc30()
         };
         let p = 1024;
@@ -524,7 +558,14 @@ mod allreduce_algo_tests {
     fn single_rank_charges_nothing() {
         let m = CostModel::cray_xc30();
         let c = m.collective_charge(CollectiveKind::Allreduce, 1, 1000);
-        assert_eq!(c, CollectiveCharge { rounds: 0, words_moved: 0, time: 0.0 });
+        assert_eq!(
+            c,
+            CollectiveCharge {
+                rounds: 0,
+                words_moved: 0,
+                time: 0.0
+            }
+        );
     }
 }
 
@@ -614,7 +655,7 @@ mod calibration_tests {
 
     #[test]
     #[should_panic(expected = "singular calibration")]
-    fn constant_payload_design_is_rejected()  {
+    fn constant_payload_design_is_rejected() {
         // with only one payload size, α and β are not identifiable
         let samples = vec![(64usize, 10u64, 1e-4), (64, 10, 1.1e-4), (64, 10, 0.9e-4)];
         fit_alpha_beta(&samples);

@@ -31,10 +31,10 @@
 // Index-based loops mirror the textbook formulations of the numerical
 // kernels; iterator rewrites obscure them.
 #![allow(clippy::needless_range_loop)]
-
 #![warn(missing_docs)]
 
 pub mod cost;
+pub(crate) mod telemetry_support;
 pub mod thread_machine;
 pub mod virtual_cluster;
 
@@ -44,3 +44,7 @@ pub use cost::{
 };
 pub use thread_machine::{Comm, ThreadMachine};
 pub use virtual_cluster::VirtualCluster;
+
+/// The observability subsystem both engines feed (re-exported so callers
+/// need no separate dependency for phase tags and registries).
+pub use saco_telemetry as telemetry;

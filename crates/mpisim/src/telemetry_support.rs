@@ -1,0 +1,123 @@
+//! Glue between the engines' cost accounting and `saco-telemetry`.
+//!
+//! Both engines charge time through the same [`CostModel`] formulas; this
+//! module gives them one shared way to mirror those charges into phase
+//! tables and to assemble a run-level [`Registry`] afterwards, so the
+//! thread machine and the virtual cluster feed the same sink and their
+//! reports are directly comparable.
+//!
+//! [`CostModel`]: crate::CostModel
+
+use crate::cost::CollectiveKind;
+use saco_telemetry::{PhaseTable, Registry};
+
+/// Stable names for [`CollectiveKind`] counters, indexed by [`kind_slot`].
+pub(crate) const KIND_NAMES: [&str; 7] = [
+    "allreduce",
+    "reduce",
+    "bcast",
+    "allgather",
+    "gather",
+    "barrier",
+    "point_to_point",
+];
+
+/// Dense index for per-kind collective counters.
+pub(crate) fn kind_slot(kind: CollectiveKind) -> usize {
+    match kind {
+        CollectiveKind::Allreduce => 0,
+        CollectiveKind::Reduce => 1,
+        CollectiveKind::Bcast => 2,
+        CollectiveKind::Allgather => 3,
+        CollectiveKind::Gather => 4,
+        CollectiveKind::Barrier => 5,
+        CollectiveKind::PointToPoint => 6,
+    }
+}
+
+/// What one rank accumulates for telemetry while it runs: a phase table
+/// plus per-kind collective entry counts. Plain arrays, so recording adds
+/// no allocation to the engines' hot charge paths.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct RankTelemetry {
+    pub phases: PhaseTable,
+    pub collectives: [u64; 7],
+}
+
+/// Assemble the run-level registry from per-rank telemetry.
+///
+/// Phase tables stay per-rank (keyed by rank index, merging into the sink
+/// associatively). Collective counters are program-order counts: in an
+/// SPMD run every rank enters each collective, so rank 0's counts stand
+/// for the program — except point-to-point messages, which differ per
+/// rank and are summed.
+pub(crate) fn registry_from_ranks(engine: &str, ranks: &[RankTelemetry]) -> Registry {
+    let mut reg = Registry::new();
+    reg.set_meta("engine", engine);
+    reg.set_meta("ranks", ranks.len());
+    for (rank, rt) in ranks.iter().enumerate() {
+        if !rt.phases.is_empty() {
+            reg.phases_mut(rank).merge(&rt.phases);
+        }
+    }
+    if let Some(first) = ranks.first() {
+        for (slot, &name) in KIND_NAMES.iter().enumerate() {
+            let count = if slot == kind_slot(CollectiveKind::PointToPoint) {
+                ranks.iter().map(|rt| rt.collectives[slot]).sum()
+            } else {
+                first.collectives[slot]
+            };
+            if count > 0 {
+                reg.counter_add(&format!("collectives.{name}"), count);
+            }
+        }
+    }
+    reg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saco_telemetry::Phase;
+
+    #[test]
+    fn kind_slots_are_distinct_and_named() {
+        use CollectiveKind::*;
+        let kinds = [
+            Allreduce,
+            Reduce,
+            Bcast,
+            Allgather,
+            Gather,
+            Barrier,
+            PointToPoint,
+        ];
+        let mut seen = [false; 7];
+        for k in kinds {
+            let s = kind_slot(k);
+            assert!(!seen[s], "duplicate slot {s}");
+            seen[s] = true;
+            assert!(!KIND_NAMES[s].is_empty());
+        }
+    }
+
+    #[test]
+    fn registry_sums_p2p_but_not_collectives() {
+        let mut a = RankTelemetry::default();
+        a.phases.record(Phase::Comm, 1.0);
+        a.collectives[kind_slot(CollectiveKind::Allreduce)] = 3;
+        a.collectives[kind_slot(CollectiveKind::PointToPoint)] = 2;
+        let mut b = RankTelemetry::default();
+        b.phases.record(Phase::Comm, 2.0);
+        b.collectives[kind_slot(CollectiveKind::Allreduce)] = 3;
+        b.collectives[kind_slot(CollectiveKind::PointToPoint)] = 5;
+
+        let reg = registry_from_ranks("thread_machine", &[a, b]);
+        assert_eq!(reg.counter("collectives.allreduce"), 3);
+        assert_eq!(reg.counter("collectives.point_to_point"), 7);
+        assert_eq!(reg.phases(0).unwrap().comm_time(), 1.0);
+        assert_eq!(reg.phases(1).unwrap().comm_time(), 2.0);
+        assert_eq!(reg.meta()["engine"], "thread_machine");
+        assert_eq!(reg.meta()["ranks"], "2");
+    }
+}

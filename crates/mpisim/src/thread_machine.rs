@@ -11,7 +11,9 @@
 //! large-scale virtual runs.
 
 use crate::cost::{CollectiveKind, CostCounters, CostModel, KernelClass};
+use crate::telemetry_support::{kind_slot, registry_from_ranks, RankTelemetry};
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use saco_telemetry::{Phase, PhaseTable, Registry};
 
 /// A message carrying payload and the sender's virtual clock.
 struct Packet {
@@ -30,6 +32,7 @@ pub struct Comm {
     clock: f64,
     counters: CostCounters,
     comp_by_class: [f64; 4],
+    telemetry: RankTelemetry,
 }
 
 impl Comm {
@@ -59,13 +62,35 @@ impl Comm {
     }
 
     /// Charge local computation: `flops` of `class` with a working set of
-    /// `working_set_words`. Advances this rank's clock only.
+    /// `working_set_words`. Advances this rank's clock only. Attributed to
+    /// the generic `comp` phase; use
+    /// [`charge_flops_phase`](Self::charge_flops_phase) for a finer label.
     pub fn charge_flops(&mut self, class: KernelClass, flops: u64, working_set_words: u64) {
+        self.charge_flops_phase(class, flops, working_set_words, Phase::Comp);
+    }
+
+    /// Like [`charge_flops`](Self::charge_flops), attributing the time to
+    /// a specific telemetry phase (`gram`, `prox`, `sampling`, …). The
+    /// cost charged is identical; only the attribution label differs, so
+    /// phase totals always reconcile with [`CostCounters`].
+    pub fn charge_flops_phase(
+        &mut self,
+        class: KernelClass,
+        flops: u64,
+        working_set_words: u64,
+        phase: Phase,
+    ) {
         let t = self.model.compute_time(class, flops, working_set_words);
         self.clock += t;
         self.counters.comp_time += t;
         self.comp_by_class[crate::cost::class_index(class)] += t;
         self.counters.flops += flops;
+        self.telemetry.phases.record_full(phase, t, 0, flops);
+    }
+
+    /// This rank's per-phase time attribution so far.
+    pub fn phase_table(&self) -> &PhaseTable {
+        &self.telemetry.phases
     }
 
     /// Compute time per kernel class (indexed by [`crate::cost::class_index`]).
@@ -79,6 +104,11 @@ impl Comm {
         assert!(dst < self.size && dst != self.rank, "bad destination {dst}");
         self.counters.messages += 1;
         self.counters.words += data.len() as u64;
+        self.telemetry.collectives[kind_slot(CollectiveKind::PointToPoint)] += 1;
+        // the transfer's time lands on the receiving side; only volume here
+        self.telemetry
+            .phases
+            .record_full(Phase::Comm, 0.0, data.len() as u64, 0);
         self.to[dst]
             .send(Packet {
                 clock: self.clock,
@@ -94,8 +124,14 @@ impl Comm {
         let cost = self.model.alpha + self.model.beta * pkt.data.len() as f64;
         let arrival = pkt.clock + cost;
         if arrival > self.clock {
-            self.counters.idle_time += arrival - self.clock - cost.min(arrival - self.clock);
-            self.counters.comm_time += cost.min(arrival - self.clock);
+            let comm = cost.min(arrival - self.clock);
+            let idle = arrival - self.clock - comm;
+            self.counters.idle_time += idle;
+            self.counters.comm_time += comm;
+            self.telemetry.phases.record_full(Phase::Comm, comm, 0, 0);
+            if idle > 0.0 {
+                self.telemetry.phases.record(Phase::Idle, idle);
+            }
             self.clock = arrival;
         }
         pkt.data
@@ -105,7 +141,9 @@ impl Comm {
     //     analytic formula so both engines agree exactly) -----------------
 
     fn tree_send(&mut self, dst: usize, clock: f64, data: Vec<f64>) {
-        self.to[dst].send(Packet { clock, data }).expect("peer rank hung up");
+        self.to[dst]
+            .send(Packet { clock, data })
+            .expect("peer rank hung up");
     }
 
     fn tree_recv(&mut self, src: usize) -> Packet {
@@ -157,7 +195,11 @@ impl Comm {
         }
         // Then forward to children: rank r owns children r + d for d
         // descending below the lowest set bit of r (or below top for 0).
-        let lowest = if self.rank == 0 { top } else { self.rank & self.rank.wrapping_neg() };
+        let lowest = if self.rank == 0 {
+            top
+        } else {
+            self.rank & self.rank.wrapping_neg()
+        };
         let mut d = lowest / 2;
         while d >= 1 {
             let child = self.rank + d;
@@ -189,6 +231,13 @@ impl Comm {
         self.counters.idle_time += max_entry - entry_clock;
         self.counters.comm_time += cost;
         self.clock = max_entry + cost;
+        self.telemetry.collectives[kind_slot(kind)] += 1;
+        self.telemetry
+            .phases
+            .record_full(Phase::Comm, cost, charge.words_moved, 0);
+        self.telemetry
+            .phases
+            .record(Phase::Idle, max_entry - entry_clock);
     }
 
     /// Allreduce with summation, in place. Deterministic: the result is
@@ -213,7 +262,12 @@ impl Comm {
         let _ = self.tree_bcast(&mut payload);
         let max_entry = payload.pop().expect("clock element present");
         *buf = payload;
-        self.account_collective(CollectiveKind::Allreduce, buf.len() as u64, entry, max_entry);
+        self.account_collective(
+            CollectiveKind::Allreduce,
+            buf.len() as u64,
+            entry,
+            max_entry,
+        );
     }
 
     /// Allreduce of a single scalar by summation.
@@ -251,7 +305,11 @@ impl Comm {
             d *= 2;
         }
         let _ = is_root_path;
-        let mut payload = if self.rank == 0 { vec![m, max_clock] } else { Vec::new() };
+        let mut payload = if self.rank == 0 {
+            vec![m, max_clock]
+        } else {
+            Vec::new()
+        };
         if self.rank == 0 {
             self.clock = max_clock;
         }
@@ -268,7 +326,11 @@ impl Comm {
         }
         let entry = self.clock;
         let max_up = self.tree_reduce_sum(&mut [], entry);
-        let mut payload = if self.rank == 0 { vec![max_up] } else { Vec::new() };
+        let mut payload = if self.rank == 0 {
+            vec![max_up]
+        } else {
+            Vec::new()
+        };
         if self.rank == 0 {
             self.clock = max_up;
         }
@@ -283,7 +345,10 @@ impl Comm {
         if self.size == 1 {
             return;
         }
-        assert_eq!(root, 0, "this machine implements root-0 broadcast; rotate ranks if needed");
+        assert_eq!(
+            root, 0,
+            "this machine implements root-0 broadcast; rotate ranks if needed"
+        );
         let entry = self.clock;
         let mut payload = if self.rank == 0 {
             let mut p = buf.clone();
@@ -347,6 +412,36 @@ impl ThreadMachine {
         T: Send,
         F: Fn(&mut Comm) -> T + Send + Sync,
     {
+        Self::run_full(p, model, f)
+            .into_iter()
+            .map(|(t, c, _)| (t, c))
+            .collect()
+    }
+
+    /// Like [`run`](Self::run), additionally returning the merged
+    /// telemetry registry: per-rank phase tables (keyed by rank) plus
+    /// program-order collective counters, with
+    /// `meta.engine = "thread_machine"`.
+    pub fn run_telemetry<T, F>(
+        p: usize,
+        model: CostModel,
+        f: F,
+    ) -> (Vec<(T, CostCounters)>, Registry)
+    where
+        T: Send,
+        F: Fn(&mut Comm) -> T + Send + Sync,
+    {
+        let full = Self::run_full(p, model, f);
+        let rank_telemetry: Vec<RankTelemetry> = full.iter().map(|(_, _, rt)| rt.clone()).collect();
+        let registry = registry_from_ranks("thread_machine", &rank_telemetry);
+        (full.into_iter().map(|(t, c, _)| (t, c)).collect(), registry)
+    }
+
+    fn run_full<T, F>(p: usize, model: CostModel, f: F) -> Vec<(T, CostCounters, RankTelemetry)>
+    where
+        T: Send,
+        F: Fn(&mut Comm) -> T + Send + Sync,
+    {
         assert!(p > 0, "need at least one rank");
         // Channel matrix: chans[src][dst].
         let mut senders: Vec<Vec<Sender<Packet>>> = Vec::with_capacity(p);
@@ -371,17 +466,21 @@ impl ThreadMachine {
                 size: p,
                 model,
                 to,
-                from: from_opts.into_iter().map(|r| r.expect("receiver wired")).collect(),
+                from: from_opts
+                    .into_iter()
+                    .map(|r| r.expect("receiver wired"))
+                    .collect(),
                 clock: 0.0,
                 counters: CostCounters::default(),
                 comp_by_class: [0.0; 4],
+                telemetry: RankTelemetry::default(),
             })
             .collect();
 
         if p == 1 {
             let mut c = comms.pop().expect("one comm");
             let out = f(&mut c);
-            return vec![(out, c.counters)];
+            return vec![(out, c.counters, c.telemetry)];
         }
 
         std::thread::scope(|scope| {
@@ -391,7 +490,7 @@ impl ThreadMachine {
                 .map(|mut c| {
                     scope.spawn(move || {
                         let out = fref(&mut c);
-                        (out, c.counters)
+                        (out, c.counters, c.telemetry)
                     })
                 })
                 .collect();
@@ -428,6 +527,40 @@ impl ThreadMachine {
         (
             results.into_iter().map(|(t, _)| t).collect(),
             crate::CostReport { ranks: p, critical },
+        )
+    }
+
+    /// Like [`run_report`](Self::run_report), additionally returning the
+    /// merged telemetry registry. The registry's
+    /// [`critical_rank`](Registry::critical_rank) picks the same rank as
+    /// the report's critical path (both maximize comp time with ties
+    /// toward the highest rank).
+    pub fn run_report_telemetry<T, F>(
+        p: usize,
+        model: CostModel,
+        f: F,
+    ) -> (Vec<T>, crate::CostReport, Registry)
+    where
+        T: Send,
+        F: Fn(&mut Comm) -> T + Send + Sync,
+    {
+        let (results, registry) = Self::run_telemetry(p, model, f);
+        let critical = results
+            .iter()
+            .map(|(_, c)| *c)
+            .enumerate()
+            .max_by(|(i, a), (j, b)| {
+                a.comp_time
+                    .partial_cmp(&b.comp_time)
+                    .expect("finite times")
+                    .then(i.cmp(j))
+            })
+            .map(|(_, c)| c)
+            .unwrap_or_default();
+        (
+            results.into_iter().map(|(t, _)| t).collect(),
+            crate::CostReport { ranks: p, critical },
+            registry,
         )
     }
 }
@@ -485,7 +618,11 @@ mod tests {
     #[test]
     fn bcast_from_root() {
         let results = ThreadMachine::run(5, CostModel::cray_xc30(), |comm| {
-            let mut buf = if comm.rank() == 0 { vec![3.0, 1.0, 4.0] } else { Vec::new() };
+            let mut buf = if comm.rank() == 0 {
+                vec![3.0, 1.0, 4.0]
+            } else {
+                Vec::new()
+            };
             comm.bcast(&mut buf, 0);
             buf
         });
@@ -527,8 +664,8 @@ mod tests {
             comm.allreduce_sum(&mut buf);
             comm.clock()
         });
-        let expect = 1_200_000.0 / model.dot_rate
-            + model.collective_time(CollectiveKind::Allreduce, 4, 8);
+        let expect =
+            1_200_000.0 / model.dot_rate + model.collective_time(CollectiveKind::Allreduce, 4, 8);
         for (t, c) in &results {
             assert!((t - expect).abs() < 1e-12, "clock {t} vs {expect}");
             assert_eq!(c.flops, 1_200_000);
@@ -550,7 +687,11 @@ mod tests {
         });
         let (fast, slow) = (&results[0].0, &results[1].0);
         assert!(fast.idle_time > 9e-3, "rank 0 waited: {}", fast.idle_time);
-        assert!(slow.idle_time < 1e-9, "rank 1 never waited: {}", slow.idle_time);
+        assert!(
+            slow.idle_time < 1e-9,
+            "rank 1 never waited: {}",
+            slow.idle_time
+        );
         // both leave the collective at the same clock
         let t0 = results[0].0.total_time();
         let t1 = results[1].0.total_time();
@@ -560,7 +701,11 @@ mod tests {
     #[test]
     fn barrier_synchronizes_clocks() {
         let results = ThreadMachine::run(3, CostModel::cray_xc30(), |comm| {
-            comm.charge_flops(KernelClass::Vector, (comm.rank() as u64 + 1) * 2_000_000, 10);
+            comm.charge_flops(
+                KernelClass::Vector,
+                (comm.rank() as u64 + 1) * 2_000_000,
+                10,
+            );
             comm.barrier();
             comm.clock()
         });
@@ -592,5 +737,74 @@ mod tests {
         assert!(report.running_time() > 0.0);
         // the critical rank is the slowest (rank 3): it has 4 Mflops
         assert_eq!(report.critical.flops, 4_000_000);
+    }
+
+    #[test]
+    fn telemetry_phases_reconcile_with_counters() {
+        let (results, registry) = ThreadMachine::run_telemetry(4, CostModel::cray_xc30(), |comm| {
+            comm.charge_flops_phase(KernelClass::SparseGemm, 500_000, 256, Phase::Gram);
+            comm.charge_flops_phase(
+                KernelClass::Gemm,
+                (comm.rank() as u64 + 1) * 200_000,
+                128,
+                Phase::Prox,
+            );
+            comm.charge_flops(KernelClass::Vector, 50_000, 64);
+            let mut buf = vec![1.0; 8];
+            comm.allreduce_sum(&mut buf);
+            comm.barrier();
+        });
+        for (rank, (_, counters)) in results.iter().enumerate() {
+            let table = registry.phases(rank).expect("rank attributed");
+            assert!(
+                (table.comm_time() - counters.comm_time).abs() < 1e-12,
+                "rank {rank} comm: {} vs {}",
+                table.comm_time(),
+                counters.comm_time
+            );
+            assert!(
+                (table.comp_time() - counters.comp_time).abs() < 1e-12,
+                "rank {rank} comp: {} vs {}",
+                table.comp_time(),
+                counters.comp_time
+            );
+            assert!((table.idle_time() - counters.idle_time).abs() < 1e-12);
+            // phase-level flop attribution adds up to the counter too
+            let phase_flops: u64 = table.iter().map(|(_, s)| s.flops).sum();
+            assert_eq!(phase_flops, counters.flops);
+        }
+        assert_eq!(registry.counter("collectives.allreduce"), 1);
+        assert_eq!(registry.counter("collectives.barrier"), 1);
+        assert_eq!(registry.meta()["engine"], "thread_machine");
+    }
+
+    #[test]
+    fn telemetry_critical_rank_matches_report() {
+        let (_, report, registry) =
+            ThreadMachine::run_report_telemetry(4, CostModel::cray_xc30(), |comm| {
+                comm.charge_flops(KernelClass::Dot, (comm.rank() as u64 + 1) * 1_000_000, 10);
+                let mut b = vec![0.0];
+                comm.allreduce_sum(&mut b);
+            });
+        let critical = registry.critical_rank().expect("nonempty run");
+        assert_eq!(critical, 3);
+        let table = registry.phases(critical).unwrap();
+        assert!((table.comp_time() - report.critical.comp_time).abs() < 1e-12);
+        assert!((table.comm_time() - report.critical.comm_time).abs() < 1e-12);
+    }
+
+    #[test]
+    fn telemetry_p2p_attributes_volume_and_time() {
+        let (_, registry) = ThreadMachine::run_telemetry(2, CostModel::cray_xc30(), |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, &[1.0; 32]);
+            } else {
+                comm.recv(0);
+            }
+        });
+        assert_eq!(registry.counter("collectives.point_to_point"), 1);
+        // sender logs the words; receiver logs the transfer time
+        assert_eq!(registry.phases(0).unwrap().get(Phase::Comm).words, 32);
+        assert!(registry.phases(1).unwrap().comm_time() > 0.0);
     }
 }

@@ -11,6 +11,8 @@
 //! construction — a property checked by the cross-engine tests.
 
 use crate::cost::{CollectiveKind, CostCounters, CostModel, CostReport, KernelClass};
+use crate::telemetry_support::{kind_slot, registry_from_ranks, RankTelemetry};
+use saco_telemetry::{Phase, Registry};
 
 /// A simulated cluster of `p` ranks with individual virtual clocks.
 #[derive(Clone, Debug)]
@@ -25,6 +27,7 @@ pub struct VirtualCluster {
     comp_by_class: Vec<[f64; 4]>,
     messages: u64,
     words: u64,
+    telemetry: Vec<RankTelemetry>,
 }
 
 impl VirtualCluster {
@@ -45,6 +48,7 @@ impl VirtualCluster {
             comp_by_class: vec![[0.0; 4]; p],
             messages: 0,
             words: 0,
+            telemetry: vec![RankTelemetry::default(); p],
         }
     }
 
@@ -60,7 +64,20 @@ impl VirtualCluster {
 
     /// Charge every rank the same local computation (replicated work, e.g.
     /// the subproblem solve and scalar updates of Fig. 1 step 5).
+    /// Attributed to the generic `comp` phase.
     pub fn charge_uniform(&mut self, class: KernelClass, flops: u64, working_set_words: u64) {
+        self.charge_uniform_phase(class, flops, working_set_words, Phase::Comp);
+    }
+
+    /// Like [`charge_uniform`](Self::charge_uniform) with an explicit
+    /// telemetry phase label. Cost is identical; only attribution differs.
+    pub fn charge_uniform_phase(
+        &mut self,
+        class: KernelClass,
+        flops: u64,
+        working_set_words: u64,
+        phase: Phase,
+    ) {
         let t = self.model.compute_time(class, flops, working_set_words);
         let ci = crate::cost::class_index(class);
         for r in 0..self.p {
@@ -68,6 +85,7 @@ impl VirtualCluster {
             self.comp[r] += t;
             self.comp_by_class[r][ci] += t;
             self.flops[r] += flops;
+            self.telemetry[r].phases.record_full(phase, t, 0, flops);
         }
     }
 
@@ -78,7 +96,19 @@ impl VirtualCluster {
         &mut self,
         class: KernelClass,
         working_set_words: u64,
+        flops_of: F,
+    ) {
+        self.charge_per_rank_phase(class, working_set_words, flops_of, Phase::Comp);
+    }
+
+    /// Like [`charge_per_rank`](Self::charge_per_rank) with an explicit
+    /// telemetry phase label.
+    pub fn charge_per_rank_phase<F: FnMut(usize) -> u64>(
+        &mut self,
+        class: KernelClass,
+        working_set_words: u64,
         mut flops_of: F,
+        phase: Phase,
     ) {
         let ci = crate::cost::class_index(class);
         for r in 0..self.p {
@@ -88,6 +118,7 @@ impl VirtualCluster {
             self.comp[r] += t;
             self.comp_by_class[r][ci] += t;
             self.flops[r] += f;
+            self.telemetry[r].phases.record_full(phase, t, 0, f);
         }
     }
 
@@ -96,10 +127,17 @@ impl VirtualCluster {
     /// `(flops, working_set_words)`. Needed to mirror the thread engine
     /// exactly, where each rank's kernel sees its own working set (and may
     /// therefore land on a different side of the cache cliff).
-    pub fn charge_per_rank_ws<F: FnMut(usize) -> (u64, u64)>(
+    pub fn charge_per_rank_ws<F: FnMut(usize) -> (u64, u64)>(&mut self, class: KernelClass, f: F) {
+        self.charge_per_rank_ws_phase(class, f, Phase::Comp);
+    }
+
+    /// Like [`charge_per_rank_ws`](Self::charge_per_rank_ws) with an
+    /// explicit telemetry phase label.
+    pub fn charge_per_rank_ws_phase<F: FnMut(usize) -> (u64, u64)>(
         &mut self,
         class: KernelClass,
         mut f: F,
+        phase: Phase,
     ) {
         let ci = crate::cost::class_index(class);
         for r in 0..self.p {
@@ -109,6 +147,7 @@ impl VirtualCluster {
             self.comp[r] += t;
             self.comp_by_class[r][ci] += t;
             self.flops[r] += flops;
+            self.telemetry[r].phases.record_full(phase, t, 0, flops);
         }
     }
 
@@ -118,15 +157,25 @@ impl VirtualCluster {
         if self.p == 1 {
             return;
         }
-        let max_entry = self.clocks.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let max_entry = self
+            .clocks
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
         let charge = self.model.collective_charge(kind, self.p, words);
         let cost = charge.time;
         self.messages += charge.rounds;
         self.words += charge.words_moved;
         for r in 0..self.p {
-            self.idle[r] += max_entry - self.clocks[r];
+            let idle = max_entry - self.clocks[r];
+            self.idle[r] += idle;
             self.comm[r] += cost;
             self.clocks[r] = max_entry + cost;
+            self.telemetry[r].collectives[kind_slot(kind)] += 1;
+            self.telemetry[r]
+                .phases
+                .record_full(Phase::Comm, cost, charge.words_moved, 0);
+            self.telemetry[r].phases.record(Phase::Idle, idle);
         }
     }
 
@@ -179,6 +228,16 @@ impl VirtualCluster {
         self.comp_by_class[critical_rank]
     }
 
+    /// Merged telemetry registry for the run so far: per-rank phase
+    /// tables plus program-order collective counters, with
+    /// `meta.engine = "virtual_cluster"`. Phase totals reconcile with
+    /// [`report`](Self::report): per rank, the `comm` phase equals the
+    /// comm counter and `comp + gram + prox + sampling` equals the comp
+    /// counter.
+    pub fn telemetry(&self) -> Registry {
+        registry_from_ranks("virtual_cluster", &self.telemetry)
+    }
+
     /// Reset all clocks and counters to zero (reuse between experiments).
     pub fn reset(&mut self) {
         self.clocks.iter_mut().for_each(|c| *c = 0.0);
@@ -189,6 +248,9 @@ impl VirtualCluster {
         self.comp_by_class.iter_mut().for_each(|c| *c = [0.0; 4]);
         self.messages = 0;
         self.words = 0;
+        self.telemetry
+            .iter_mut()
+            .for_each(|t| *t = RankTelemetry::default());
     }
 }
 
@@ -246,8 +308,12 @@ mod tests {
 
         let t = thread_report.critical;
         let v = virtual_report.critical;
-        assert!((t.total_time() - v.total_time()).abs() < 1e-12,
-            "thread {} vs virtual {}", t.total_time(), v.total_time());
+        assert!(
+            (t.total_time() - v.total_time()).abs() < 1e-12,
+            "thread {} vs virtual {}",
+            t.total_time(),
+            v.total_time()
+        );
         assert_eq!(t.messages, v.messages);
         assert_eq!(t.words, v.words);
         assert_eq!(t.flops, v.flops);
@@ -283,6 +349,87 @@ mod tests {
         vc.reset();
         assert_eq!(vc.time(), 0.0);
         assert_eq!(vc.report().critical, CostCounters::default());
+        assert!(vc.telemetry().rank_tables().is_empty());
+    }
+
+    #[test]
+    fn telemetry_reconciles_with_report() {
+        use saco_telemetry::Phase;
+        let mut vc = VirtualCluster::new(4, CostModel::cray_xc30());
+        vc.charge_per_rank_phase(
+            KernelClass::SparseGemm,
+            256,
+            |r| (r as u64 + 1) * 300_000,
+            Phase::Gram,
+        );
+        vc.charge_uniform_phase(KernelClass::Gemm, 200_000, 128, Phase::Prox);
+        vc.charge_uniform_phase(KernelClass::Dot, 40_000, 64, Phase::Sampling);
+        vc.allreduce(16);
+        let reg = vc.telemetry();
+        let rep = vc.report();
+        let critical = reg.critical_rank().expect("ranks attributed");
+        let table = reg.phases(critical).unwrap();
+        assert!((table.comp_time() - rep.critical.comp_time).abs() < 1e-12);
+        assert!((table.comm_time() - rep.critical.comm_time).abs() < 1e-12);
+        assert!((table.idle_time() - rep.critical.idle_time).abs() < 1e-12);
+        assert_eq!(reg.counter("collectives.allreduce"), 1);
+        assert_eq!(reg.meta()["engine"], "virtual_cluster");
+        // the same phase-labelled charges land under their labels
+        assert!(table.time(Phase::Gram) > 0.0);
+        assert!(table.time(Phase::Prox) > 0.0);
+        assert!(table.time(Phase::Sampling) > 0.0);
+    }
+
+    #[test]
+    fn both_engines_feed_the_same_sink_identically() {
+        use saco_telemetry::Phase;
+        let model = CostModel::cray_xc30();
+        let p = 4;
+        let (_, thread_reg) = ThreadMachine::run_telemetry(p, model, |comm| {
+            comm.charge_flops_phase(
+                KernelClass::Dot,
+                (comm.rank() as u64 + 1) * 100_000,
+                64,
+                Phase::Gram,
+            );
+            let mut buf = vec![1.0; 16];
+            comm.allreduce_sum(&mut buf);
+        });
+        let mut vc = VirtualCluster::new(p, model);
+        vc.charge_per_rank_phase(
+            KernelClass::Dot,
+            64,
+            |r| (r as u64 + 1) * 100_000,
+            Phase::Gram,
+        );
+        vc.allreduce(16);
+        let virtual_reg = vc.telemetry();
+        for rank in 0..p {
+            let t = thread_reg.phases(rank).unwrap();
+            let v = virtual_reg.phases(rank).unwrap();
+            for phase in Phase::ALL {
+                assert!(
+                    (t.time(phase) - v.time(phase)).abs() < 1e-12,
+                    "rank {rank} phase {phase}: thread {} vs virtual {}",
+                    t.time(phase),
+                    v.time(phase)
+                );
+                assert_eq!(
+                    t.get(phase).words,
+                    v.get(phase).words,
+                    "rank {rank} {phase}"
+                );
+                assert_eq!(
+                    t.get(phase).flops,
+                    v.get(phase).flops,
+                    "rank {rank} {phase}"
+                );
+            }
+        }
+        assert_eq!(
+            thread_reg.counter("collectives.allreduce"),
+            virtual_reg.counter("collectives.allreduce")
+        );
     }
 
     #[test]

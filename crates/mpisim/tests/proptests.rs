@@ -33,14 +33,18 @@ fn class_strategy() -> impl Strategy<Value = KernelClass> {
 
 fn step_strategy() -> impl Strategy<Value = Step> {
     prop_oneof![
-        (class_strategy(), 0u64..2_000_000, 0u64..300_000, 1u64..100_000).prop_map(
-            |(class, base, slope, ws)| Step::Compute {
+        (
+            class_strategy(),
+            0u64..2_000_000,
+            0u64..300_000,
+            1u64..100_000
+        )
+            .prop_map(|(class, base, slope, ws)| Step::Compute {
                 class,
                 base,
                 slope,
                 ws
-            }
-        ),
+            }),
         (1usize..2000).prop_map(|words| Step::Allreduce { words }),
         Just(Step::Barrier),
     ]
@@ -155,4 +159,156 @@ proptest! {
             prop_assert_eq!(r, &expect);
         }
     }
+
+    /// `CostCounters::merge` commutes: integer fields exactly, float
+    /// fields bitwise (f64 addition is commutative).
+    #[test]
+    fn cost_counters_merge_commutes(a in counters_strategy(), b in counters_strategy()) {
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        prop_assert_eq!(ab.messages, ba.messages);
+        prop_assert_eq!(ab.words, ba.words);
+        prop_assert_eq!(ab.flops, ba.flops);
+        prop_assert_eq!(ab.comp_time, ba.comp_time);
+        prop_assert_eq!(ab.comm_time, ba.comm_time);
+        prop_assert_eq!(ab.idle_time, ba.idle_time);
+    }
+
+    /// `CostCounters::merge` associates: integer fields exactly, float
+    /// fields to rounding error.
+    #[test]
+    fn cost_counters_merge_associates(
+        a in counters_strategy(),
+        b in counters_strategy(),
+        c in counters_strategy(),
+    ) {
+        let mut left = a; // (a ⊕ b) ⊕ c
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b; // a ⊕ (b ⊕ c)
+        bc.merge(&c);
+        let mut right = a;
+        right.merge(&bc);
+        prop_assert_eq!(left.messages, right.messages);
+        prop_assert_eq!(left.words, right.words);
+        prop_assert_eq!(left.flops, right.flops);
+        prop_assert!(close(left.comp_time, right.comp_time), "comp {} vs {}", left.comp_time, right.comp_time);
+        prop_assert!(close(left.comm_time, right.comm_time), "comm {} vs {}", left.comm_time, right.comm_time);
+        prop_assert!(close(left.idle_time, right.idle_time), "idle {} vs {}", left.idle_time, right.idle_time);
+    }
+
+    /// `CostReport::merge` inherits both laws, and `default()` is its
+    /// identity (so phase reports fold cleanly).
+    #[test]
+    fn cost_report_merge_laws(
+        a in counters_strategy(),
+        b in counters_strategy(),
+        c in counters_strategy(),
+        ranks in 1usize..64,
+    ) {
+        let report = |critical| mpisim::CostReport { ranks, critical };
+        let (ra, rb, rc) = (report(a), report(b), report(c));
+
+        let mut ab = ra;
+        ab.merge(&rb);
+        let mut ba = rb;
+        ba.merge(&ra);
+        prop_assert_eq!(ab.critical.flops, ba.critical.flops);
+        prop_assert_eq!(ab.critical.comp_time, ba.critical.comp_time);
+
+        let mut left = ra;
+        left.merge(&rb);
+        left.merge(&rc);
+        let mut bc = rb;
+        bc.merge(&rc);
+        let mut right = ra;
+        right.merge(&bc);
+        prop_assert_eq!(left.ranks, right.ranks);
+        prop_assert_eq!(left.critical.words, right.critical.words);
+        prop_assert!(close(left.running_time(), right.running_time()));
+
+        let mut folded = mpisim::CostReport::default();
+        folded.merge(&ra);
+        prop_assert_eq!(folded.ranks, ra.ranks);
+        prop_assert_eq!(folded.critical.flops, ra.critical.flops);
+    }
+
+    /// `PhaseTable::merge` (the telemetry sink both engines feed)
+    /// commutes and associates the same way.
+    #[test]
+    fn phase_table_merge_laws(
+        a in phase_table_strategy(),
+        b in phase_table_strategy(),
+        c in phase_table_strategy(),
+    ) {
+        use mpisim::telemetry::Phase;
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        for phase in Phase::ALL {
+            prop_assert_eq!(ab.get(phase).events, ba.get(phase).events);
+            prop_assert_eq!(ab.get(phase).words, ba.get(phase).words);
+            prop_assert_eq!(ab.get(phase).flops, ba.get(phase).flops);
+            prop_assert_eq!(ab.get(phase).time, ba.get(phase).time);
+        }
+
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        for phase in Phase::ALL {
+            prop_assert_eq!(left.get(phase).events, right.get(phase).events);
+            prop_assert_eq!(left.get(phase).words, right.get(phase).words);
+            prop_assert_eq!(left.get(phase).flops, right.get(phase).flops);
+            prop_assert!(
+                close(left.get(phase).time, right.get(phase).time),
+                "{}: {} vs {}", phase, left.get(phase).time, right.get(phase).time
+            );
+        }
+        prop_assert!(close(left.comm_time(), right.comm_time()));
+        prop_assert!(close(left.comp_time(), right.comp_time()));
+    }
+}
+
+/// Relative closeness for float sums reassociated by a merge.
+fn close(x: f64, y: f64) -> bool {
+    (x - y).abs() <= 1e-9 * (1.0 + x.abs().max(y.abs()))
+}
+
+fn counters_strategy() -> impl Strategy<Value = mpisim::CostCounters> {
+    (
+        (0u64..1_000_000, 0u64..1_000_000, 0u64..1_000_000_000),
+        (0.0f64..1e3, 0.0f64..1e3, 0.0f64..1e3),
+    )
+        .prop_map(
+            |((messages, words, flops), (comp_time, comm_time, idle_time))| mpisim::CostCounters {
+                messages,
+                words,
+                flops,
+                comp_time,
+                comm_time,
+                idle_time,
+            },
+        )
+}
+
+fn phase_table_strategy() -> impl Strategy<Value = mpisim::telemetry::PhaseTable> {
+    use mpisim::telemetry::{Phase, PhaseTable};
+    proptest::collection::vec(
+        (0usize..6, 0.0f64..1e3, 0u64..100_000, 0u64..1_000_000),
+        0..12,
+    )
+    .prop_map(|records| {
+        let mut table = PhaseTable::new();
+        for (slot, time, words, flops) in records {
+            table.record_full(Phase::ALL[slot], time, words, flops);
+        }
+        table
+    })
 }

@@ -18,7 +18,11 @@ pub struct NotPositiveDefinite {
 
 impl std::fmt::Display for NotPositiveDefinite {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "matrix is not positive definite (pivot {} ≤ 0)", self.pivot)
+        write!(
+            f,
+            "matrix is not positive definite (pivot {} ≤ 0)",
+            self.pivot
+        )
     }
 }
 
@@ -95,7 +99,10 @@ impl Cholesky {
 
     /// log-determinant of `A` (2·Σ log Lᵢᵢ).
     pub fn log_det(&self) -> f64 {
-        (0..self.l.rows()).map(|i| self.l.get(i, i).ln()).sum::<f64>() * 2.0
+        (0..self.l.rows())
+            .map(|i| self.l.get(i, i).ln())
+            .sum::<f64>()
+            * 2.0
     }
 }
 

@@ -32,13 +32,24 @@ impl CscMatrix {
         values: Vec<f64>,
     ) -> Self {
         assert_eq!(indptr.len(), cols + 1, "indptr length must be cols+1");
-        assert_eq!(indices.len(), values.len(), "indices/values length mismatch");
-        assert_eq!(*indptr.last().unwrap_or(&0), indices.len(), "indptr end must equal nnz");
+        assert_eq!(
+            indices.len(),
+            values.len(),
+            "indices/values length mismatch"
+        );
+        assert_eq!(
+            *indptr.last().unwrap_or(&0),
+            indices.len(),
+            "indptr end must equal nnz"
+        );
         for c in 0..cols {
             assert!(indptr[c] <= indptr[c + 1], "indptr must be monotone");
             let col = &indices[indptr[c]..indptr[c + 1]];
             for w in col.windows(2) {
-                assert!(w[0] < w[1], "row indices must be strictly increasing in column {c}");
+                assert!(
+                    w[0] < w[1],
+                    "row indices must be strictly increasing in column {c}"
+                );
             }
             if let Some(&last) = col.last() {
                 assert!(last < rows, "row index {last} out of range in column {c}");

@@ -34,13 +34,24 @@ impl CsrMatrix {
         values: Vec<f64>,
     ) -> Self {
         assert_eq!(indptr.len(), rows + 1, "indptr length must be rows+1");
-        assert_eq!(indices.len(), values.len(), "indices/values length mismatch");
-        assert_eq!(*indptr.last().unwrap_or(&0), indices.len(), "indptr end must equal nnz");
+        assert_eq!(
+            indices.len(),
+            values.len(),
+            "indices/values length mismatch"
+        );
+        assert_eq!(
+            *indptr.last().unwrap_or(&0),
+            indices.len(),
+            "indptr end must equal nnz"
+        );
         for r in 0..rows {
             assert!(indptr[r] <= indptr[r + 1], "indptr must be monotone");
             let row = &indices[indptr[r]..indptr[r + 1]];
             for w in row.windows(2) {
-                assert!(w[0] < w[1], "column indices must be strictly increasing in row {r}");
+                assert!(
+                    w[0] < w[1],
+                    "column indices must be strictly increasing in row {r}"
+                );
             }
             if let Some(&last) = row.last() {
                 assert!(last < cols, "column index {last} out of range in row {r}");
@@ -247,7 +258,13 @@ mod tests {
         // [ 1 0 2 ]
         // [ 0 0 0 ]
         // [ 3 4 0 ]
-        CsrMatrix::from_parts(3, 3, vec![0, 2, 2, 4], vec![0, 2, 0, 1], vec![1.0, 2.0, 3.0, 4.0])
+        CsrMatrix::from_parts(
+            3,
+            3,
+            vec![0, 2, 2, 4],
+            vec![0, 2, 0, 1],
+            vec![1.0, 2.0, 3.0, 4.0],
+        )
     }
 
     #[test]

@@ -53,7 +53,11 @@ impl DenseMatrix {
             assert_eq!(row.len(), c, "from_rows: ragged rows");
             data.extend_from_slice(row);
         }
-        Self { rows: r, cols: c, data }
+        Self {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Number of rows.
@@ -126,7 +130,9 @@ impl DenseMatrix {
     /// Matrix–vector product `y = A x`.
     pub fn gemv(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "gemv: dimension mismatch");
-        (0..self.rows).map(|i| vecops::dot(self.row(i), x)).collect()
+        (0..self.rows)
+            .map(|i| vecops::dot(self.row(i), x))
+            .collect()
     }
 
     /// Transposed matrix–vector product `y = Aᵀ x`.
@@ -294,7 +300,12 @@ mod tests {
 
     #[test]
     fn blocked_matmul_matches_naive() {
-        for (m, k, n, seed) in [(3, 4, 5, 2), (65, 70, 67, 3), (128, 32, 130, 4), (1, 200, 1, 5)] {
+        for (m, k, n, seed) in [
+            (3, 4, 5, 2),
+            (65, 70, 67, 3),
+            (128, 32, 130, 4),
+            (1, 200, 1, 5),
+        ] {
             let a = random_matrix(m, k, seed);
             let b = random_matrix(k, n, seed + 100);
             let c1 = a.matmul_naive(&b);
@@ -352,11 +363,7 @@ mod tests {
 
     #[test]
     fn diag_block_and_diagonal() {
-        let a = DenseMatrix::from_rows(&[
-            &[1.0, 2.0, 3.0],
-            &[4.0, 5.0, 6.0],
-            &[7.0, 8.0, 9.0],
-        ]);
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0], &[7.0, 8.0, 9.0]]);
         assert_eq!(a.diagonal(), vec![1.0, 5.0, 9.0]);
         let b = a.diag_block(1, 3);
         assert_eq!(b.as_slice(), &[5.0, 6.0, 8.0, 9.0]);

@@ -17,7 +17,10 @@ use crate::{vecops, DenseMatrix};
 /// tolerance.
 pub fn jacobi_eigenvalues(a: &DenseMatrix) -> Vec<f64> {
     assert_eq!(a.rows(), a.cols(), "eigenvalues of a non-square matrix");
-    assert!(a.is_symmetric(1e-10), "jacobi_eigenvalues requires a symmetric matrix");
+    assert!(
+        a.is_symmetric(1e-10),
+        "jacobi_eigenvalues requires a symmetric matrix"
+    );
     let n = a.rows();
     if n == 0 {
         return Vec::new();

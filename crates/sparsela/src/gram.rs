@@ -89,7 +89,11 @@ pub fn sampled_cross<M: MajorSlices>(m: &M, sel: &[usize], vs: &[&[f64]]) -> Den
     for (a, &s) in sel.iter().enumerate() {
         let sl = m.slice(s);
         for (j, v) in vs.iter().enumerate() {
-            assert_eq!(v.len(), m.minor_len(), "cross-product vector length mismatch");
+            assert_eq!(
+                v.len(),
+                m.minor_len(),
+                "cross-product vector length mismatch"
+            );
             c.set(a, j, sl.dot_dense(v));
         }
     }
@@ -295,7 +299,10 @@ pub fn sampled_gram_parallel<M: MajorSlices + Sync>(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("gram worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("gram worker panicked"))
+            .collect()
     });
     let mut g = DenseMatrix::zeros(k, k);
     for part in rows {

@@ -33,7 +33,6 @@
 // Index-based loops mirror the textbook formulations of the numerical
 // kernels; iterator rewrites obscure them.
 #![allow(clippy::needless_range_loop)]
-
 #![warn(missing_docs)]
 
 pub mod chol;

@@ -257,7 +257,10 @@ mod tests {
             let norm_before = vecops::nrm2(&y);
             let mut z = y.clone();
             qr.qt_apply(&mut z);
-            assert!((vecops::nrm2(&z) - norm_before).abs() < 1e-9, "Qᵀ not orthogonal");
+            assert!(
+                (vecops::nrm2(&z) - norm_before).abs() < 1e-9,
+                "Qᵀ not orthogonal"
+            );
         }
     }
 

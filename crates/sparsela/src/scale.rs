@@ -66,7 +66,11 @@ impl ColumnScaler {
     /// Map a solution fitted on the scaled matrix back to the original
     /// feature scale: if `Ã = A·D` and `Ã·x̃ ≈ b`, then `x = D·x̃`.
     pub fn unscale_solution(&self, x_scaled: &[f64]) -> Vec<f64> {
-        assert_eq!(x_scaled.len(), self.factor.len(), "solution length mismatch");
+        assert_eq!(
+            x_scaled.len(),
+            self.factor.len(),
+            "solution length mismatch"
+        );
         x_scaled
             .iter()
             .zip(&self.factor)

@@ -13,17 +13,15 @@ use std::io::Cursor;
 /// Strategy: a random sparse matrix as (rows, cols, triplets).
 fn sparse_matrix() -> impl Strategy<Value = CooMatrix> {
     (1usize..24, 1usize..24).prop_flat_map(|(m, n)| {
-        proptest::collection::vec(
-            (0..m, 0..n, -10.0f64..10.0),
-            0..(m * n).min(64),
+        proptest::collection::vec((0..m, 0..n, -10.0f64..10.0), 0..(m * n).min(64)).prop_map(
+            move |trips| {
+                let mut coo = CooMatrix::new(m, n);
+                for (i, j, v) in trips {
+                    coo.push(i, j, v);
+                }
+                coo
+            },
         )
-        .prop_map(move |trips| {
-            let mut coo = CooMatrix::new(m, n);
-            for (i, j, v) in trips {
-                coo.push(i, j, v);
-            }
-            coo
-        })
     })
 }
 

@@ -1,0 +1,412 @@
+//! Pluggable emitters: JSON-lines, CSV, and a human-readable table.
+//!
+//! Every emitter walks the registry's `BTreeMap`-backed sections in key
+//! order, so for a given registry state the output is byte-identical
+//! across runs. Wall-clock spans are excluded by default because they
+//! are the one nondeterministic section; opt in with `with_wall(true)`
+//! when eyeballing host timings.
+
+use crate::json;
+use crate::registry::Registry;
+
+/// Serialize a registry snapshot to a writer.
+pub trait Emitter {
+    /// Write the whole registry.
+    fn emit(&self, reg: &Registry, out: &mut dyn std::io::Write) -> std::io::Result<()>;
+
+    /// Convenience: emit into a `String`.
+    fn emit_string(&self, reg: &Registry) -> String
+    where
+        Self: Sized,
+    {
+        let mut buf = Vec::new();
+        self.emit(reg, &mut buf)
+            .expect("writing to a Vec cannot fail");
+        String::from_utf8(buf).expect("emitters produce UTF-8")
+    }
+}
+
+/// One JSON object per line; `kind` discriminates the record type.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct JsonLines {
+    include_wall: bool,
+}
+
+impl JsonLines {
+    /// JSONL with wall-clock spans excluded (the deterministic default).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Include the nondeterministic wall-clock section.
+    pub fn with_wall(mut self, include: bool) -> Self {
+        self.include_wall = include;
+        self
+    }
+}
+
+impl Emitter for JsonLines {
+    fn emit(&self, reg: &Registry, out: &mut dyn std::io::Write) -> std::io::Result<()> {
+        let mut line = String::new();
+        for (k, v) in reg.meta() {
+            line.clear();
+            line.push_str("{\"kind\":\"meta\",\"key\":");
+            json::push_str(&mut line, k);
+            line.push_str(",\"value\":");
+            json::push_str(&mut line, v);
+            line.push('}');
+            writeln!(out, "{line}")?;
+        }
+        for (k, v) in reg.counters() {
+            line.clear();
+            line.push_str("{\"kind\":\"counter\",\"name\":");
+            json::push_str(&mut line, k);
+            line.push_str(&format!(",\"value\":{v}}}"));
+            writeln!(out, "{line}")?;
+        }
+        for (k, v) in reg.gauges() {
+            line.clear();
+            line.push_str("{\"kind\":\"gauge\",\"name\":");
+            json::push_str(&mut line, k);
+            line.push_str(",\"value\":");
+            json::push_f64(&mut line, *v);
+            line.push('}');
+            writeln!(out, "{line}")?;
+        }
+        for (k, h) in reg.histograms() {
+            line.clear();
+            line.push_str("{\"kind\":\"histogram\",\"name\":");
+            json::push_str(&mut line, k);
+            line.push_str(",\"bounds\":");
+            json::push_f64_array(&mut line, h.bounds());
+            line.push_str(",\"counts\":");
+            json::push_u64_array(&mut line, h.counts());
+            line.push_str(&format!(",\"total\":{},\"sum\":", h.total()));
+            json::push_f64(&mut line, h.sum());
+            line.push('}');
+            writeln!(out, "{line}")?;
+        }
+        for (&rank, table) in reg.rank_tables() {
+            for (phase, stat) in table.iter() {
+                if stat.events == 0 && stat.time == 0.0 {
+                    continue;
+                }
+                line.clear();
+                line.push_str(&format!(
+                    "{{\"kind\":\"phase\",\"rank\":{rank},\"phase\":\"{}\",\"time\":",
+                    phase.name()
+                ));
+                json::push_f64(&mut line, stat.time);
+                line.push_str(&format!(
+                    ",\"events\":{},\"words\":{},\"flops\":{}}}",
+                    stat.events, stat.words, stat.flops
+                ));
+                writeln!(out, "{line}")?;
+            }
+        }
+        if self.include_wall {
+            for (k, stat) in reg.wall() {
+                line.clear();
+                line.push_str("{\"kind\":\"wall\",\"name\":");
+                json::push_str(&mut line, &k);
+                line.push_str(&format!(",\"count\":{},\"total_secs\":", stat.count));
+                json::push_f64(&mut line, stat.total_secs);
+                line.push('}');
+                writeln!(out, "{line}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Flat CSV: `kind,key,rank,phase,value,events,words,flops`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Csv {
+    include_wall: bool,
+}
+
+impl Csv {
+    /// CSV with wall-clock spans excluded (the deterministic default).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Include the nondeterministic wall-clock section.
+    pub fn with_wall(mut self, include: bool) -> Self {
+        self.include_wall = include;
+        self
+    }
+}
+
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+impl Emitter for Csv {
+    fn emit(&self, reg: &Registry, out: &mut dyn std::io::Write) -> std::io::Result<()> {
+        writeln!(out, "kind,key,rank,phase,value,events,words,flops")?;
+        for (k, v) in reg.meta() {
+            writeln!(out, "meta,{},,,{},,,", csv_field(k), csv_field(v))?;
+        }
+        for (k, v) in reg.counters() {
+            writeln!(out, "counter,{},,,{v},,,", csv_field(k))?;
+        }
+        for (k, v) in reg.gauges() {
+            writeln!(out, "gauge,{},,,{v},,,", csv_field(k))?;
+        }
+        for (k, h) in reg.histograms() {
+            // one row per bucket; key gets a "<=bound" / ">bound" suffix
+            let bounds = h.bounds();
+            for (i, &count) in h.counts().iter().enumerate() {
+                let label = if i < bounds.len() {
+                    format!("{}[le={}]", k, bounds[i])
+                } else if let Some(last) = bounds.last() {
+                    format!("{k}[gt={last}]")
+                } else {
+                    format!("{k}[all]")
+                };
+                writeln!(out, "histogram,{},,,{count},,,", csv_field(&label))?;
+            }
+        }
+        for (&rank, table) in reg.rank_tables() {
+            for (phase, stat) in table.iter() {
+                if stat.events == 0 && stat.time == 0.0 {
+                    continue;
+                }
+                writeln!(
+                    out,
+                    "phase,,{rank},{},{},{},{},{}",
+                    phase.name(),
+                    stat.time,
+                    stat.events,
+                    stat.words,
+                    stat.flops
+                )?;
+            }
+        }
+        if self.include_wall {
+            for (k, stat) in reg.wall() {
+                writeln!(
+                    out,
+                    "wall,{},,,{},{},,",
+                    csv_field(&k),
+                    stat.total_secs,
+                    stat.count
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Aligned human-readable summary for terminals.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Table {
+    include_wall: bool,
+}
+
+impl Table {
+    /// Table with wall-clock spans excluded.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Include the nondeterministic wall-clock section.
+    pub fn with_wall(mut self, include: bool) -> Self {
+        self.include_wall = include;
+        self
+    }
+}
+
+impl Emitter for Table {
+    fn emit(&self, reg: &Registry, out: &mut dyn std::io::Write) -> std::io::Result<()> {
+        if !reg.meta().is_empty() {
+            writeln!(out, "== meta ==")?;
+            for (k, v) in reg.meta() {
+                writeln!(out, "  {k:<24} {v}")?;
+            }
+        }
+        if !reg.counters().is_empty() {
+            writeln!(out, "== counters ==")?;
+            for (k, v) in reg.counters() {
+                writeln!(out, "  {k:<24} {v:>16}")?;
+            }
+        }
+        if !reg.gauges().is_empty() {
+            writeln!(out, "== gauges ==")?;
+            for (k, v) in reg.gauges() {
+                writeln!(out, "  {k:<24} {v:>16.6e}")?;
+            }
+        }
+        if !reg.histograms().is_empty() {
+            writeln!(out, "== histograms ==")?;
+            for (k, h) in reg.histograms() {
+                writeln!(out, "  {k} (n={}, sum={:.6e})", h.total(), h.sum())?;
+                for (i, &count) in h.counts().iter().enumerate() {
+                    let label = if i < h.bounds().len() {
+                        format!("<= {}", h.bounds()[i])
+                    } else {
+                        "overflow".to_string()
+                    };
+                    writeln!(out, "    {label:<16} {count:>12}")?;
+                }
+            }
+        }
+        if !reg.rank_tables().is_empty() {
+            writeln!(out, "== phases ==")?;
+            writeln!(
+                out,
+                "  {:>5} {:>9} {:>14} {:>10} {:>14} {:>16}",
+                "rank", "phase", "time", "events", "words", "flops"
+            )?;
+            for (&rank, table) in reg.rank_tables() {
+                for (phase, stat) in table.iter() {
+                    if stat.events == 0 && stat.time == 0.0 {
+                        continue;
+                    }
+                    writeln!(
+                        out,
+                        "  {rank:>5} {:>9} {:>14.6e} {:>10} {:>14} {:>16}",
+                        phase.name(),
+                        stat.time,
+                        stat.events,
+                        stat.words,
+                        stat.flops
+                    )?;
+                }
+            }
+            let totals = reg.phase_totals();
+            writeln!(
+                out,
+                "  total: comm {:.6e}  comp {:.6e}  idle {:.6e}",
+                totals.comm_time(),
+                totals.comp_time(),
+                totals.idle_time()
+            )?;
+            if let Some(critical) = reg.critical_rank() {
+                writeln!(out, "  critical rank: {critical}")?;
+            }
+        }
+        if self.include_wall {
+            let wall = reg.wall();
+            if !wall.is_empty() {
+                writeln!(out, "== wall (host clock; nondeterministic) ==")?;
+                for (k, stat) in wall {
+                    writeln!(
+                        out,
+                        "  {k:<24} {:>10} spans {:>14.6}s",
+                        stat.count, stat.total_secs
+                    )?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phase::Phase;
+
+    fn sample() -> Registry {
+        let mut r = Registry::new();
+        r.set_meta("solver", "sa-accbcd");
+        r.counter_add("outer_iters", 12);
+        r.gauge_set("objective", 0.5);
+        r.register_histogram("msg_words", &[64.0, 4096.0]);
+        r.observe("msg_words", 32.0);
+        r.observe("msg_words", 100000.0);
+        r.record_phase(0, Phase::Comm, 1.5, 96, 0);
+        r.record_phase(0, Phase::Gram, 3.0, 0, 1_000);
+        r.record_phase(1, Phase::Idle, 0.25, 0, 0);
+        r
+    }
+
+    #[test]
+    fn jsonl_is_deterministic_and_excludes_wall_by_default() {
+        let r = sample();
+        {
+            let _span = r.wall_span("host_noise");
+        }
+        let a = JsonLines::new().emit_string(&r);
+        let b = JsonLines::new().emit_string(&r);
+        assert_eq!(a, b);
+        assert!(!a.contains("wall"));
+        assert!(a.contains(r#"{"kind":"counter","name":"outer_iters","value":12}"#));
+        assert!(a.contains(r#""phase":"gram""#));
+        let with_wall = JsonLines::new().with_wall(true).emit_string(&r);
+        assert!(with_wall.contains(r#""kind":"wall""#));
+    }
+
+    #[test]
+    fn jsonl_lines_parse_shape() {
+        let out = JsonLines::new().emit_string(&sample());
+        for line in out.lines() {
+            assert!(line.starts_with("{\"kind\":\""), "bad line: {line}");
+            assert!(line.ends_with('}'), "bad line: {line}");
+        }
+        assert_eq!(out.lines().count(), 1 + 1 + 1 + 1 + 3);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let out = Csv::new().emit_string(&sample());
+        let mut lines = out.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "kind,key,rank,phase,value,events,words,flops"
+        );
+        assert!(out.contains("counter,outer_iters,,,12,,,"));
+        assert!(out.contains("phase,,0,comm,1.5,1,96,0"));
+        assert!(out.contains("histogram,msg_words[le=64],,,1,,,"));
+        assert!(out.contains("histogram,msg_words[gt=4096],,,1,,,"));
+    }
+
+    #[test]
+    fn csv_quotes_fields_with_commas() {
+        let mut r = Registry::new();
+        r.set_meta("note", "a,b\"c");
+        let out = Csv::new().emit_string(&r);
+        assert!(out.contains("meta,note,,,\"a,b\"\"c\",,,"));
+    }
+
+    #[test]
+    fn table_mentions_every_section() {
+        let out = Table::new().emit_string(&sample());
+        for needle in [
+            "== meta ==",
+            "== counters ==",
+            "== gauges ==",
+            "== histograms ==",
+            "== phases ==",
+            "critical rank: 0",
+        ] {
+            assert!(out.contains(needle), "missing {needle:?} in:\n{out}");
+        }
+    }
+
+    #[test]
+    fn emitters_agree_on_registry_content() {
+        let r = sample();
+        let jsonl = JsonLines::new().emit_string(&r);
+        let csv = Csv::new().emit_string(&r);
+        let table = Table::new().emit_string(&r);
+        for needle in [
+            "outer_iters",
+            "objective",
+            "msg_words",
+            "comm",
+            "gram",
+            "idle",
+        ] {
+            assert!(jsonl.contains(needle));
+            assert!(csv.contains(needle));
+            assert!(table.contains(needle));
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Minimal deterministic JSON writing helpers (no external deps).
+
+/// Append a JSON string literal (with escaping) to `out`.
+pub(crate) fn push_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Append an f64 as a JSON number. Rust's shortest-roundtrip `Display`
+/// is deterministic across runs and platforms; non-finite values (not
+/// representable in JSON) become `null`.
+pub(crate) fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Append a `[a,b,...]` array of f64s.
+pub(crate) fn push_f64_array(out: &mut String, vals: &[f64]) {
+    out.push('[');
+    for (i, &v) in vals.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_f64(out, v);
+    }
+    out.push(']');
+}
+
+/// Append a `[a,b,...]` array of u64s.
+pub(crate) fn push_u64_array(out: &mut String, vals: &[u64]) {
+    out.push('[');
+    for (i, &v) in vals.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&v.to_string());
+    }
+    out.push(']');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_escape() {
+        let mut s = String::new();
+        push_str(&mut s, "a\"b\\c\nd\u{1}");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn numbers_format() {
+        let mut s = String::new();
+        push_f64(&mut s, 1.5);
+        s.push(' ');
+        push_f64(&mut s, 2.0);
+        s.push(' ');
+        push_f64(&mut s, f64::NAN);
+        assert_eq!(s, "1.5 2 null");
+    }
+
+    #[test]
+    fn arrays_format() {
+        let mut s = String::new();
+        push_f64_array(&mut s, &[0.5, 1.0]);
+        s.push(' ');
+        push_u64_array(&mut s, &[1, 2, 3]);
+        assert_eq!(s, "[0.5,1] [1,2,3]");
+    }
+}

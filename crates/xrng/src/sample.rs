@@ -26,11 +26,7 @@ use crate::Xoshiro256StarStar;
 ///
 /// # Panics
 /// Panics if `k > n`.
-pub fn sample_without_replacement(
-    rng: &mut Xoshiro256StarStar,
-    n: usize,
-    k: usize,
-) -> Vec<usize> {
+pub fn sample_without_replacement(rng: &mut Xoshiro256StarStar, n: usize, k: usize) -> Vec<usize> {
     assert!(k <= n, "cannot sample {k} items from a population of {n}");
     if k == 0 {
         return Vec::new();
@@ -218,7 +214,11 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
-        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle left input unchanged");
+        assert_ne!(
+            v,
+            (0..100).collect::<Vec<_>>(),
+            "shuffle left input unchanged"
+        );
     }
 
     #[test]

@@ -45,7 +45,10 @@ fn main() {
     let cv = cross_validate_lasso(&ds, &cfg, 5, 12, 0.005, Lasso::new);
     println!("\n  λ             mean held-out MSE   ± std err");
     for p in &cv.points {
-        println!("  {:.4e}    {:>14.4}      {:.4}", p.lambda, p.mean_mse, p.std_error);
+        println!(
+            "  {:.4e}    {:>14.4}      {:.4}",
+            p.lambda, p.mean_mse, p.std_error
+        );
     }
     let best = cv.best_lambda();
     let one_se = cv.lambda_1se();

@@ -63,7 +63,7 @@ fn main() {
         max_iters: 8000,
         trace_every: 0,
         rel_tol: None,
-    ..Default::default()
+        ..Default::default()
     };
 
     let report = |name: &str, x: &[f64]| {

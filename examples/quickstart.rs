@@ -36,7 +36,7 @@ fn main() {
         max_iters: 4000,
         trace_every: 400,
         rel_tol: None,
-    ..Default::default()
+        ..Default::default()
     };
     let lasso = Lasso::new(cfg.lambda);
 

@@ -27,7 +27,7 @@ fn main() {
         max_iters: 2000,
         trace_every: 0,
         rel_tol: None,
-    ..Default::default()
+        ..Default::default()
     };
     let model = CostModel::cray_xc30();
 

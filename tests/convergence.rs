@@ -28,7 +28,7 @@ fn larger_blocks_converge_faster_per_iteration() {
             max_iters: 400,
             trace_every: 0,
             rel_tol: None,
-        ..Default::default()
+            ..Default::default()
         };
         bcd(&g.dataset, &Lasso::new(lambda), &c).final_value()
     };
@@ -55,7 +55,7 @@ fn accelerated_methods_win_at_high_iteration_counts() {
         max_iters: 4000,
         trace_every: 0,
         rel_tol: None,
-    ..Default::default()
+        ..Default::default()
     };
     let plain = bcd(&g.dataset, &Lasso::new(lambda), &c);
     let acc = acc_bcd(&g.dataset, &Lasso::new(lambda), &c);
@@ -79,7 +79,7 @@ fn output_iterate_matches_traced_objective() {
         max_iters: 600,
         trace_every: 0,
         rel_tol: None,
-    ..Default::default()
+        ..Default::default()
     };
     let lasso = Lasso::new(lambda);
     let res = sa_accbcd(&g.dataset, &lasso, &c);
@@ -104,7 +104,7 @@ fn lasso_kkt_conditions_hold_at_convergence() {
         max_iters: 20_000,
         trace_every: 0,
         rel_tol: None,
-    ..Default::default()
+        ..Default::default()
     };
     // The monotone (non-accelerated) solver settles cleanly onto the KKT
     // manifold; accelerated iterates oscillate near |∇f| = λ boundaries.
@@ -126,7 +126,10 @@ fn lasso_kkt_conditions_hold_at_convergence() {
         }
     }
     let frac = violations as f64 / res.x.len() as f64;
-    assert!(frac < 0.02, "KKT violated at fraction {frac:.3} of coordinates");
+    assert!(
+        frac < 0.02,
+        "KKT violated at fraction {frac:.3} of coordinates"
+    );
 }
 
 #[test]
@@ -186,7 +189,7 @@ fn planted_support_is_recovered_on_well_conditioned_data() {
         max_iters: 8000,
         trace_every: 0,
         rel_tol: None,
-    ..Default::default()
+        ..Default::default()
     };
     let res = sa_accbcd(ds, &Lasso::new(lambda), &c);
     // every planted coordinate is found with the right sign

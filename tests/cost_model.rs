@@ -24,7 +24,7 @@ fn run(ds: &Dataset, mu: usize, s: usize, h: usize, p: usize) -> CostReport {
         max_iters: h,
         trace_every: 0,
         rel_tol: None,
-    ..Default::default()
+        ..Default::default()
     };
     sim_sa_accbcd(ds, &Lasso::new(0.5), &cfg, p, CostModel::cray_xc30(), false).1
 }
@@ -72,8 +72,7 @@ fn flops_grow_with_s_via_the_gram_term() {
     let h = 256usize;
     let f1 = run(&ds, 4, 1, h, 1).critical.flops;
     let f32 = run(&ds, 4, 32, h, 1).critical.flops;
-    let overhead_saved = (h as u64 - (h / 32) as u64)
-        * saco::dist::charges::OUTER_OVERHEAD_FLOPS;
+    let overhead_saved = (h as u64 - (h / 32) as u64) * saco::dist::charges::OUTER_OVERHEAD_FLOPS;
     let adjusted = f32 + overhead_saved;
     assert!(
         adjusted > f1 + f1 / 10,
@@ -81,7 +80,10 @@ fn flops_grow_with_s_via_the_gram_term() {
     );
     // ...but by far less than 32× (the µ³ and per-iteration terms do not
     // scale with s).
-    assert!(adjusted < 32 * f1, "flops grew superlinearly: {f1} -> {adjusted}");
+    assert!(
+        adjusted < 32 * f1,
+        "flops grew superlinearly: {f1} -> {adjusted}"
+    );
 }
 
 #[test]

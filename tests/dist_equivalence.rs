@@ -33,7 +33,7 @@ fn three_engines_agree_on_acc_lasso() {
         max_iters: 160,
         trace_every: 40,
         rel_tol: None,
-    ..Default::default()
+        ..Default::default()
     };
     let reg = Lasso::new(cfg.lambda);
     let seq_res = seq::sa_accbcd(&ds, &reg, &cfg);
@@ -63,7 +63,7 @@ fn three_engines_agree_on_plain_lasso_balanced_partition() {
         max_iters: 160,
         trace_every: 0,
         rel_tol: None,
-    ..Default::default()
+        ..Default::default()
     };
     let reg = Lasso::new(cfg.lambda);
     let seq_res = seq::sa_bcd(&ds, &reg, &cfg);
@@ -124,7 +124,7 @@ fn rank_count_does_not_change_results() {
         max_iters: 96,
         trace_every: 0,
         rel_tol: None,
-    ..Default::default()
+        ..Default::default()
     };
     let reg = Lasso::new(cfg.lambda);
     let mut finals = Vec::new();
@@ -155,7 +155,7 @@ fn virtual_cluster_time_matches_thread_machine_time() {
         max_iters: 64,
         trace_every: 16,
         rel_tol: None,
-    ..Default::default()
+        ..Default::default()
     };
     let reg = Lasso::new(cfg.lambda);
     let p = 4;
@@ -168,8 +168,7 @@ fn virtual_cluster_time_matches_thread_machine_time() {
     assert_eq!(t.messages, v.messages, "message counters diverge");
     assert_eq!(t.words, v.words, "word counters diverge");
     assert_eq!(t.flops, v.flops, "flop counters diverge");
-    let rel = (thread_rep.running_time() - sim_rep.running_time()).abs()
-        / sim_rep.running_time();
+    let rel = (thread_rep.running_time() - sim_rep.running_time()).abs() / sim_rep.running_time();
     assert!(
         rel < 1e-9,
         "simulated times diverge: thread {} vs virtual {}",
@@ -200,7 +199,6 @@ fn virtual_cluster_time_matches_thread_machine_time_svm() {
     assert_eq!(t.messages, v.messages, "message counters diverge");
     assert_eq!(t.words, v.words, "word counters diverge");
     assert_eq!(t.flops, v.flops, "flop counters diverge");
-    let rel = (thread_rep.running_time() - sim_rep.running_time()).abs()
-        / sim_rep.running_time();
+    let rel = (thread_rep.running_time() - sim_rep.running_time()).abs() / sim_rep.running_time();
     assert!(rel < 1e-9, "simulated times diverge (rel {rel})");
 }

@@ -26,7 +26,7 @@ fn every_registry_dataset_solves_at_small_scale() {
                     max_iters: 200,
                     trace_every: 50,
                     rel_tol: None,
-                ..Default::default()
+                    ..Default::default()
                 };
                 let res = sa_accbcd(&g.dataset, &Lasso::new(lambda), &c);
                 assert!(
@@ -74,7 +74,7 @@ fn libsvm_roundtrip_preserves_solver_results() {
         max_iters: 120,
         trace_every: 0,
         rel_tol: None,
-    ..Default::default()
+        ..Default::default()
     };
     let a = sa_accbcd(&g.dataset, &Lasso::new(0.1), &c);
     let b = sa_accbcd(&reread, &Lasso::new(0.1), &c);
@@ -119,7 +119,10 @@ fn distributed_svm_runs_on_a_registry_dataset() {
     });
     let gap0 = results[0].0.trace.initial_value();
     let gap_end = results[0].0.final_value();
-    assert!(gap_end < gap0, "duality gap did not shrink: {gap0} -> {gap_end}");
+    assert!(
+        gap_end < gap0,
+        "duality gap did not shrink: {gap0} -> {gap_end}"
+    );
     // cost counters populated
     assert!(results[0].1.messages > 0);
     assert!(results[0].1.flops > 0);
@@ -140,7 +143,7 @@ fn quick_paper_pipeline_smoke() {
         max_iters: 96,
         trace_every: 0,
         rel_tol: None,
-    ..Default::default()
+        ..Default::default()
     };
     let model = CostModel::cray_xc30();
     let (classic, rep_classic) =

@@ -18,16 +18,11 @@ fn lasso_cfg(mu: usize, s: usize, iters: usize) -> LassoConfig {
         max_iters: iters,
         trace_every: iters / 8,
         rel_tol: None,
-    ..Default::default()
+        ..Default::default()
     }
 }
 
-fn assert_traces_match(
-    a: &saco::SolveResult,
-    b: &saco::SolveResult,
-    tol: f64,
-    what: &str,
-) {
+fn assert_traces_match(a: &saco::SolveResult, b: &saco::SolveResult, tol: f64, what: &str) {
     assert_eq!(a.trace.len(), b.trace.len(), "{what}: trace lengths differ");
     let scale = a.trace.initial_value().abs();
     for (p, q) in a.trace.points().iter().zip(b.trace.points()) {
@@ -40,7 +35,11 @@ fn assert_traces_match(
 #[test]
 fn lasso_sa_equivalence_on_registry_structures() {
     // one dense, one uniform-sparse, one power-law dataset
-    for ds in [PaperDataset::Leu, PaperDataset::Covtype, PaperDataset::News20] {
+    for ds in [
+        PaperDataset::Leu,
+        PaperDataset::Covtype,
+        PaperDataset::News20,
+    ] {
         let g = ds.generate(0.05, 7);
         let lambda = 0.1;
         let reg = Lasso::new(lambda);
@@ -69,7 +68,7 @@ fn sa_equivalence_holds_for_elastic_net_and_group_lasso() {
             max_iters: 240,
             trace_every: 40,
             rel_tol: None,
-        ..Default::default()
+            ..Default::default()
         };
         let classic = acc_bcd(ds, reg, &c);
         let sa = sa_accbcd(ds, reg, &c);
@@ -86,7 +85,11 @@ fn sa_equivalence_holds_for_elastic_net_and_group_lasso() {
 
 #[test]
 fn svm_sa_equivalence_on_registry_structures() {
-    for ds in [PaperDataset::W1a, PaperDataset::Duke, PaperDataset::Rcv1Binary] {
+    for ds in [
+        PaperDataset::W1a,
+        PaperDataset::Duke,
+        PaperDataset::Rcv1Binary,
+    ] {
         let g = ds.generate_for_task(Task::Classification, 0.1, 11);
         for loss in [SvmLoss::L1, SvmLoss::L2] {
             let c = SvmConfig {
@@ -109,7 +112,12 @@ fn svm_sa_equivalence_on_registry_structures() {
                 // means.
                 let denom = p.value.abs().max(1e-6 * init);
                 let rel = (p.value - q.value).abs() / denom;
-                assert!(rel < 1e-8, "{} {loss:?} iter {}: rel {rel}", g.info.name, p.iter);
+                assert!(
+                    rel < 1e-8,
+                    "{} {loss:?} iter {}: rel {rel}",
+                    g.info.name,
+                    p.iter
+                );
             }
         }
     }
@@ -129,7 +137,7 @@ fn table_iii_machine_precision_at_s_1000() {
         max_iters: 2000,
         trace_every: 0,
         rel_tol: None,
-    ..Default::default()
+        ..Default::default()
     };
     let reg = Lasso::new(lambda);
     let classic = acc_bcd(&g.dataset, &reg, &c);
