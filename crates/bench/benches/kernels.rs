@@ -5,8 +5,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use datagen::{powerlaw_sparse, uniform_sparse};
-use sparsela::gram::{sampled_cross, sampled_gram, sampled_gram_parallel};
-use sparsela::{vecops, DenseMatrix};
+use sparsela::gram::{sampled_cross, sampled_gram, sampled_gram_into, sampled_gram_parallel};
+use sparsela::{vecops, DenseMatrix, GramWorkspace};
 use std::hint::black_box;
 use xrng::{rng_from_seed, sample_without_replacement};
 
@@ -53,6 +53,46 @@ fn bench_parallel_gram(c: &mut Criterion) {
             b.iter(|| black_box(sampled_gram_parallel(&a, &sel, t)));
         });
     }
+    group.finish();
+}
+
+fn bench_dense_gram_parallel(c: &mut Criterion) {
+    // Blocked dense Gram over the pool: bitwise identical at any thread
+    // count, so this measures pure throughput. Compute-bound (unlike the
+    // sparse kernel), so it scales with spare cores, not bandwidth.
+    let mut rng = rng_from_seed(13);
+    let (m, n) = (512, 256);
+    let a = DenseMatrix::from_vec(m, n, (0..m * n).map(|_| rng.next_gaussian()).collect());
+    let mut group = c.benchmark_group("dense_gram_512x256");
+    group.throughput(Throughput::Elements((m * n * n) as u64));
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| black_box(a.gram_parallel(t)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_workspace_reuse(c: &mut Criterion) {
+    // The zero-alloc hot path: `sampled_gram_into` reusing one scatter
+    // workspace and one output matrix vs a fresh allocation per call —
+    // the per-iteration saving the solvers' KernelWorkspace banks on.
+    let a = uniform_sparse(20_000, 4_000, 0.01, 21).to_csc();
+    let mut rng = rng_from_seed(22);
+    let sel = sample_without_replacement(&mut rng, 4_000, 64);
+    let mut group = c.benchmark_group("gram_workspace_64");
+    group.bench_function("fresh_alloc", |b| {
+        b.iter(|| black_box(sampled_gram(&a, &sel)));
+    });
+    group.bench_function("reuse", |b| {
+        let mut ws = GramWorkspace::new();
+        let mut out = DenseMatrix::zeros(0, 0);
+        b.iter(|| {
+            sampled_gram_into(&a, &sel, 1, &mut ws, &mut out);
+            black_box(out.get(0, 0))
+        });
+    });
     group.finish();
 }
 
@@ -128,6 +168,8 @@ criterion_group!(
     benches,
     bench_sampled_gram,
     bench_parallel_gram,
+    bench_dense_gram_parallel,
+    bench_workspace_reuse,
     bench_sampled_cross,
     bench_spmv,
     bench_gemm,

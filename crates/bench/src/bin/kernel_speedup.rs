@@ -1,0 +1,170 @@
+//! Single-node kernel parallelism gauges → `BENCH_baseline.json`.
+//!
+//! Records, under `kernel.*`, the speedup of the `saco-par` kernel layer
+//! on the dense-Gram and sparse-Gram hot paths, plus the allocation
+//! saving of the workspace-reuse API.
+//!
+//! Two kinds of numbers land in the baseline:
+//!
+//! * **Modeled comp_time** (`kernel.*.modeled_*`): the deterministic
+//!   makespan of the kernel's per-tile flop weights list-scheduled onto
+//!   `t` workers ([`saco_par::schedule_bound`]), priced through the same
+//!   Cray XC30 cost model the simulator uses. These are byte-stable run
+//!   to run and independent of the host — the committed headline numbers.
+//! * **Wall measurements** (`kernel.*.wall_*`, `kernel.host_cpus`): what
+//!   this host actually did. On a single-CPU container the wall speedup
+//!   is ~1×, which is exactly why the modeled numbers exist; see
+//!   docs/PERFORMANCE.md.
+
+use datagen::uniform_sparse;
+use mpisim::{CostModel, KernelClass};
+use saco_bench::baseline::Baseline;
+use saco_bench::fmt_secs;
+use sparsela::gram::{sampled_gram, sampled_gram_into, sampled_gram_parallel};
+use sparsela::{DenseMatrix, GramWorkspace};
+use std::hint::black_box;
+use std::time::Instant;
+use xrng::{rng_from_seed, sample_without_replacement};
+
+/// Best-of-`reps` wall seconds for `f`.
+fn wall_secs<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Modeled comp_time of tile `weights` on `t` workers under `model`.
+fn modeled(model: &CostModel, class: KernelClass, weights: &[u64], ws: u64, t: usize) -> f64 {
+    model.compute_time(class, saco_par::schedule_bound(weights, t), ws)
+}
+
+fn main() {
+    let quick = saco_bench::quick_mode();
+    let model = CostModel::cray_xc30();
+    let mut base = Baseline::load_repo();
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    base.set("kernel.host_cpus", host_cpus as f64);
+
+    // -- Dense Gram: G = AᵀA over triangle row tiles ---------------------
+    let (m, n) = if quick { (128, 64) } else { (512, 256) };
+    let mut rng = rng_from_seed(31);
+    let a = DenseMatrix::from_vec(m, n, (0..m * n).map(|_| rng.next_gaussian()).collect());
+    // Triangle row `a` computes the n − a entries G[a][b..], 2m flops each.
+    let dense_weights: Vec<u64> = (0..n).map(|r| 2 * m as u64 * (n - r) as u64).collect();
+    let ws_words = (m * n + n * n) as u64;
+    let t1 = modeled(&model, KernelClass::Gemm, &dense_weights, ws_words, 1);
+    let t4 = modeled(&model, KernelClass::Gemm, &dense_weights, ws_words, 4);
+    let dense_speedup = t1 / t4;
+    base.set("kernel.dense_gram.modeled_comp_time.t1", t1);
+    base.set("kernel.dense_gram.modeled_comp_time.t4", t4);
+    base.set("kernel.dense_gram.modeled_speedup.t4", dense_speedup);
+    let wall1 = wall_secs(if quick { 2 } else { 5 }, || {
+        black_box(a.gram_parallel(1));
+    });
+    let wall4 = wall_secs(if quick { 2 } else { 5 }, || {
+        black_box(a.gram_parallel(4));
+    });
+    base.set("kernel.dense_gram.wall_t1", wall1);
+    base.set("kernel.dense_gram.wall_t4", wall4);
+    println!(
+        "dense gram {m}×{n}: modeled t1 {} t4 {} (speedup {dense_speedup:.2}×); wall t1 {} t4 {}",
+        fmt_secs(t1),
+        fmt_secs(t4),
+        fmt_secs(wall1),
+        fmt_secs(wall4)
+    );
+
+    // -- Sparse sampled Gram over triangle row tiles ---------------------
+    let (rows, cols, width) = if quick {
+        (4_000, 1_000, 64)
+    } else {
+        (20_000, 4_000, 256)
+    };
+    let csc = uniform_sparse(rows, cols, 0.01, 32).to_csc();
+    let mut rng = rng_from_seed(33);
+    let sel = sample_without_replacement(&mut rng, cols, width);
+    // Triangle row `a` scatters column sel[a] then dots it against every
+    // sel[b], b ≥ a: ~2·nnz_b flops per dot.
+    let nnz: Vec<u64> = sel.iter().map(|&j| csc.col_nnz(j) as u64).collect();
+    let sparse_weights: Vec<u64> = (0..width)
+        .map(|r| nnz[r] + nnz[r..].iter().map(|&z| 2 * z).sum::<u64>())
+        .collect();
+    let sparse_ws = (rows + width * width) as u64;
+    let s1 = modeled(
+        &model,
+        KernelClass::SparseGemm,
+        &sparse_weights,
+        sparse_ws,
+        1,
+    );
+    let s4 = modeled(
+        &model,
+        KernelClass::SparseGemm,
+        &sparse_weights,
+        sparse_ws,
+        4,
+    );
+    let sparse_speedup = s1 / s4;
+    base.set("kernel.sparse_gram.modeled_comp_time.t1", s1);
+    base.set("kernel.sparse_gram.modeled_comp_time.t4", s4);
+    base.set("kernel.sparse_gram.modeled_speedup.t4", sparse_speedup);
+    let swall1 = wall_secs(if quick { 2 } else { 5 }, || {
+        black_box(sampled_gram_parallel(&csc, &sel, 1));
+    });
+    let swall4 = wall_secs(if quick { 2 } else { 5 }, || {
+        black_box(sampled_gram_parallel(&csc, &sel, 4));
+    });
+    base.set("kernel.sparse_gram.wall_t1", swall1);
+    base.set("kernel.sparse_gram.wall_t4", swall4);
+    println!(
+        "sparse gram k={width}: modeled t1 {} t4 {} (speedup {sparse_speedup:.2}×); wall t1 {} t4 {}",
+        fmt_secs(s1),
+        fmt_secs(s4),
+        fmt_secs(swall1),
+        fmt_secs(swall4)
+    );
+
+    // -- Workspace reuse vs fresh allocation (wall only) -----------------
+    let iters = if quick { 20 } else { 100 };
+    let fresh = wall_secs(3, || {
+        for _ in 0..iters {
+            black_box(sampled_gram(&csc, &sel));
+        }
+    });
+    let mut gws = GramWorkspace::new();
+    let mut out = DenseMatrix::zeros(0, 0);
+    let reuse = wall_secs(3, || {
+        for _ in 0..iters {
+            sampled_gram_into(&csc, &sel, 1, &mut gws, &mut out);
+            black_box(out.get(0, 0));
+        }
+    });
+    base.set("kernel.workspace.fresh_secs", fresh);
+    base.set("kernel.workspace.reuse_secs", reuse);
+    println!(
+        "workspace reuse ×{iters}: fresh {} vs reuse {}",
+        fmt_secs(fresh),
+        fmt_secs(reuse)
+    );
+
+    // Pool utilization of everything this process ran.
+    let pool = saco_par::stats();
+    base.set("kernel.par.regions", pool.regions as f64);
+    base.set("kernel.par.tiles", pool.tiles as f64);
+
+    // The acceptance bar for the parallel kernel layer: ≥1.5× modeled
+    // comp_time at 4 workers on the dense-Gram path.
+    assert!(
+        dense_speedup >= 1.5,
+        "modeled dense-Gram speedup at 4 threads is {dense_speedup:.2}×, want ≥ 1.5×"
+    );
+
+    let path = base.write();
+    println!("kernel gauges merged into {}", path.display());
+}

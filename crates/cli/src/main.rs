@@ -9,7 +9,12 @@
 //! saco generate --dataset url --out file.svm [--scale 1.0] [--seed 42]
 //! saco info     --data file.svm
 //! saco simulate --data train.svm --p 1024 [--s 16] [--mu 1] [--iters 2000]
-//!               [--acc] [--balanced] [--metrics report.json]
+//!               [--acc] [--balanced] [--metrics report.json] [--threads 4]
+//!
+//! `--threads N` (or `SACO_THREADS=N`) sets the intra-process worker pool
+//! used by the Gram/GEMM kernels. It is a pure throughput knob: every
+//! numeric output and every simulated cost is bitwise identical at any
+//! thread count (see `docs/PERFORMANCE.md`).
 //! saco cv       --data train.svm [--folds 5] [--num 12] [--ratio 0.01]
 //! ```
 
@@ -37,6 +42,14 @@ fn main() {
             std::process::exit(2);
         }
     };
+    match args.get_opt::<usize>("threads") {
+        Ok(Some(t)) => saco_par::set_threads(t),
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
     let result = match args.command.as_str() {
         "lasso" => cmd_lasso(&args),
         "svm" => cmd_svm(&args),
@@ -71,6 +84,9 @@ subcommands:
             (--metrics <path> writes a saco-telemetry/v1 JSON run report)
   cv        k-fold cross-validated λ path
   help      this message
+
+`--threads N` (or SACO_THREADS=N) runs the shared-memory kernels on N
+pooled workers; results are bitwise identical at any thread count.
 
 run `saco <subcommand>` without options to see its required flags."
     );
@@ -304,6 +320,15 @@ fn cmd_simulate(args: &Args) -> Result<(), ArgError> {
         telemetry.set_meta("dataset", args.require("data")?);
         telemetry.gauge_set("objective.final", res.final_value());
         telemetry.gauge_set("time.running", rep.running_time());
+        // Pool activity gauges are host measurements: they vary with
+        // --threads (and machine load) while everything else in the
+        // report stays bitwise identical.
+        let nthreads = saco_par::threads();
+        let pool = saco_par::stats();
+        telemetry.gauge_set("par.threads", nthreads as f64);
+        telemetry.gauge_set("par.regions", pool.regions as f64);
+        telemetry.gauge_set("par.tiles", pool.tiles as f64);
+        telemetry.gauge_set("par.utilization", pool.utilization(nthreads));
         mpisim::telemetry::write_run_report(&telemetry, std::path::Path::new(path))
             .map_err(|e| ArgError(format!("write {path}: {e}")))?;
         println!("metrics written to {path}");

@@ -11,11 +11,19 @@
 use mpisim::KernelClass;
 
 /// Flops a rank spends building its local contribution to the `width ×
-/// width` Gram matrix by scatter-dot over the sampled slices (upper
-/// triangle only — footnote 3): ≈ one multiply-add per (pair, stored
-/// entry), i.e. `width · nnz_local`.
+/// width` Gram matrix by scatter-dot over the sampled slices, upper
+/// triangle only (footnote 3).
+///
+/// Derivation: the slice at triangle position `b` pays `2·nnz_b` for its
+/// `norm_sq` diagonal plus `2·nnz_b` per pair-dot against each of the `b`
+/// earlier scattered slices — `2·nnz_b·(b+1)` in total. Summed over the
+/// block with position-averaged density that is `nnz_local·(width+1)`,
+/// exactly half (plus the diagonal) of the `2·width·nnz_local` full
+/// rectangular product — the footnote-3 2× triangle saving. The exact
+/// per-slice form lives in `sparsela::gram::gram_flops`; the two agree
+/// identically for uniform slice density (pinned by tests on both sides).
 pub fn gram_flops(local_nnz: u64, width: u64) -> u64 {
-    width * local_nnz
+    (width + 1) * local_nnz
 }
 
 /// Flops for the cross products `Yᵀ[v₁ … v_k]`: `2 · k · nnz_local`.
@@ -93,11 +101,30 @@ mod tests {
 
     #[test]
     fn formulas_scale_linearly_in_nnz() {
-        assert_eq!(gram_flops(100, 8), 800);
-        assert_eq!(gram_flops(200, 8), 1600);
+        assert_eq!(gram_flops(100, 8), 900);
+        assert_eq!(gram_flops(200, 8), 1800);
         assert_eq!(cross_flops(100, 2), 400);
         assert_eq!(lasso_update_flops(50, 4), 224);
         assert_eq!(svm_update_flops(30), 68);
+    }
+
+    #[test]
+    fn gram_charge_reflects_the_triangle_saving() {
+        // The upper-triangle charge must be ≈ half the full rectangular
+        // product 2·width·nnz, and agree exactly with the per-slice
+        // formula in sparsela for uniform slice density:
+        //   Σ_b 2·nnz_b·(b+1) = 2ν·width(width+1)/2 = ν·width·(width+1)
+        //                     = local_nnz·(width+1).
+        let (nnz, width) = (4000u64, 32u64);
+        let triangle = gram_flops(nnz, width);
+        let full = 2 * width * nnz;
+        assert_eq!(triangle, nnz * (width + 1));
+        assert!(triangle * 2 > full, "diagonal pushes just past half");
+        assert!(triangle < full * 11 / 20, "within ~10% of half");
+        // Uniform per-slice density ν = nnz/width: the sparsela-side sum.
+        let nu = nnz / width;
+        let per_slice: u64 = (0..width).map(|b| 2 * nu * (b + 1)).sum();
+        assert_eq!(per_slice, triangle);
     }
 
     #[test]

@@ -10,14 +10,15 @@
 
 use crate::config::LassoConfig;
 use crate::dist::charges;
-use crate::dist::{pack_symmetric, unpack_symmetric};
+use crate::dist::{pack_symmetric, unpack_symmetric_into};
 use crate::prox::Regularizer;
 use crate::seq::{block_lipschitz, theta_next};
 use crate::trace::{ConvergenceTrace, SolveResult};
+use crate::workspace::KernelWorkspace;
 use datagen::{balanced_partition, block_partition, Partition};
 use mpisim::telemetry::{Phase, PhaseTimes};
 use mpisim::{Comm, KernelClass};
-use sparsela::gram::{sampled_cross, sampled_gram};
+use sparsela::gram::{sampled_cross_into, sampled_gram_into};
 use sparsela::io::Dataset;
 use sparsela::CscMatrix;
 use xrng::rng_from_seed;
@@ -103,47 +104,48 @@ pub fn dist_sa_accbcd<R: Regularizer>(
             0.5 * resid_global_sq + reg.value(&x)
         };
 
+    let mut ws = KernelWorkspace::new();
+    let nthreads = saco_par::threads();
     let mut h = 0usize;
     while h < cfg.max_iters {
         let s_block = cfg.s.min(cfg.max_iters - h);
         let width = s_block * mu;
+        ws.begin_block(width);
         // Replicated sampling (same seed on every rank).
-        let mut sel = Vec::with_capacity(width);
         for _ in 0..s_block {
-            sel.extend(crate::seq::sample_block(&mut rng, n, mu, cfg.sampling));
+            crate::seq::sample_block_into(&mut rng, n, mu, cfg.sampling, &mut ws.sel);
         }
-        let mut thetas = Vec::with_capacity(s_block + 1);
-        thetas.push(theta);
+        ws.thetas.clear();
+        ws.thetas.push(theta);
         for j in 0..s_block {
-            thetas.push(theta_next(thetas[j]));
+            ws.thetas.push(theta_next(ws.thetas[j]));
         }
 
         // Local reductions contributions: Gram + cross.
-        let local_nnz = data.local_nnz_of(&sel);
-        let gram_loc = sampled_gram(&data.csc, &sel);
-        let cross_loc = sampled_cross(&data.csc, &sel, &[&ytilde, &ztilde]);
+        let local_nnz = data.local_nnz_of(&ws.sel);
+        sampled_gram_into(&data.csc, &ws.sel, nthreads, &mut ws.gram_ws, &mut ws.gram);
+        sampled_cross_into(&data.csc, &ws.sel, &[&ytilde, &ztilde], &mut ws.cross);
         let class = charges::gram_class(width as u64);
-        let ws = charges::gram_working_set(width as u64, local_nnz);
+        let wset = charges::gram_working_set(width as u64, local_nnz);
         comm.charge_flops_phase(
             class,
             charges::gram_flops(local_nnz, width as u64),
-            ws,
+            wset,
             Phase::Gram,
         );
-        comm.charge_flops_phase(class, charges::cross_flops(local_nnz, 2), ws, Phase::Gram);
+        comm.charge_flops_phase(class, charges::cross_flops(local_nnz, 2), wset, Phase::Gram);
 
         // Should this outer iteration emit a trace point? (The residual
         // norm contribution piggybacks on the main allreduce.)
         let traced = cfg.trace_every > 0
             && (h / cfg.trace_every) != ((h + s_block).min(cfg.max_iters) / cfg.trace_every);
-        let mut buf = Vec::new();
-        pack_symmetric(&gram_loc, &mut buf);
+        pack_symmetric(&ws.gram, &mut ws.pack);
         for k in 0..width {
-            buf.push(cross_loc.get(k, 0));
-            buf.push(cross_loc.get(k, 1));
+            ws.pack.push(ws.cross.get(k, 0));
+            ws.pack.push(ws.cross.get(k, 1));
         }
         if traced {
-            let t2 = thetas[0] * thetas[0];
+            let t2 = ws.thetas[0] * ws.thetas[0];
             let resid_contrib: f64 = ytilde
                 .iter()
                 .zip(&ztilde)
@@ -153,31 +155,30 @@ pub fn dist_sa_accbcd<R: Regularizer>(
                 })
                 .sum();
             comm.charge_flops(KernelClass::Vector, 3 * m_loc as u64, m_loc as u64);
-            buf.push(resid_contrib);
+            ws.pack.push(resid_contrib);
         }
 
         // The one synchronization of the outer iteration (plus its
         // fixed software cost: packing, call setup).
         comm.charge_flops(KernelClass::Vector, charges::OUTER_OVERHEAD_FLOPS, 64);
-        comm.allreduce_sum(&mut buf);
+        comm.allreduce_sum(&mut ws.pack);
 
-        let (gram, mut pos) = unpack_symmetric(&buf, 0, width);
+        let mut pos = unpack_symmetric_into(&ws.pack, 0, width, &mut ws.gram_global);
         let cross_base = pos;
         pos += 2 * width;
         if traced {
-            let resid_global = buf[pos];
-            let f = objective(comm, thetas[0], &y, &z, resid_global);
+            let resid_global = ws.pack[pos];
+            let f = objective(comm, ws.thetas[0], &y, &z, resid_global);
             trace.push_with_phases(h, f, comm.clock(), PhaseTimes::from(comm.phase_table()));
         }
 
         // Inner loop: replicated recurrences (eqs. 3–5) + local updates.
-        let mut deltas = vec![0.0f64; width];
         for j in 1..=s_block {
             let off = (j - 1) * mu;
-            let coords = &sel[off..off + mu];
-            let gjj = gram.diag_block(off, off + mu);
-            let v = block_lipschitz(&gjj);
-            let theta_prev = thetas[j - 1];
+            let coords = &ws.sel[off..off + mu];
+            ws.gram_global.diag_block_into(off, off + mu, &mut ws.gjj);
+            let v = block_lipschitz(&ws.gjj);
+            let theta_prev = ws.thetas[j - 1];
             let t2 = theta_prev * theta_prev;
             h += 1;
             comm.charge_flops_phase(
@@ -189,30 +190,31 @@ pub fn dist_sa_accbcd<R: Regularizer>(
             );
             if v > 0.0 {
                 let eta = 1.0 / (q * theta_prev * v);
-                let mut cand = Vec::with_capacity(mu);
+                ws.cand.clear();
                 for a in 0..mu {
                     let row = off + a;
-                    let mut r = t2 * buf[cross_base + 2 * row] + buf[cross_base + 2 * row + 1];
+                    let mut r =
+                        t2 * ws.pack[cross_base + 2 * row] + ws.pack[cross_base + 2 * row + 1];
                     for t in 1..j {
-                        let tp = thetas[t - 1];
+                        let tp = ws.thetas[t - 1];
                         let coef = t2 * (1.0 - q * tp) / (tp * tp) - 1.0;
                         if coef != 0.0 {
                             let toff = (t - 1) * mu;
                             let mut corr = 0.0;
                             for b in 0..mu {
-                                corr += gram.get(row, toff + b) * deltas[toff + b];
+                                corr += ws.gram_global.get(row, toff + b) * ws.deltas[toff + b];
                             }
                             r -= coef * corr;
                         }
                     }
-                    cand.push(z[coords[a]] - eta * r);
+                    ws.cand.push(z[coords[a]] - eta * r);
                 }
-                reg.prox_block(&mut cand, coords, eta);
+                reg.prox_block(&mut ws.cand, coords, eta);
                 let ycoef = (1.0 - q * theta_prev) / t2;
                 let block_nnz = data.local_nnz_of(coords);
                 for (a, &c) in coords.iter().enumerate() {
-                    let dz = cand[a] - z[c];
-                    deltas[off + a] = dz;
+                    let dz = ws.cand[a] - z[c];
+                    ws.deltas[off + a] = dz;
                     if dz != 0.0 {
                         z[c] += dz;
                         y[c] -= ycoef * dz;
@@ -228,7 +230,7 @@ pub fn dist_sa_accbcd<R: Regularizer>(
                 );
             }
         }
-        theta = thetas[s_block];
+        theta = ws.thetas[s_block];
     }
 
     // Final objective with a dedicated scalar reduction.
@@ -280,48 +282,49 @@ pub fn dist_sa_bcd<R: Regularizer>(
         PhaseTimes::from(comm.phase_table()),
     );
 
+    let mut ws = KernelWorkspace::new();
+    let nthreads = saco_par::threads();
     let mut h = 0usize;
     while h < cfg.max_iters {
         let s_block = cfg.s.min(cfg.max_iters - h);
         let width = s_block * mu;
-        let mut sel = Vec::with_capacity(width);
+        ws.begin_block(width);
         for _ in 0..s_block {
-            sel.extend(crate::seq::sample_block(&mut rng, n, mu, cfg.sampling));
+            crate::seq::sample_block_into(&mut rng, n, mu, cfg.sampling, &mut ws.sel);
         }
 
-        let local_nnz = data.local_nnz_of(&sel);
-        let gram_loc = sampled_gram(&data.csc, &sel);
-        let cross_loc = sampled_cross(&data.csc, &sel, &[&residual]);
+        let local_nnz = data.local_nnz_of(&ws.sel);
+        sampled_gram_into(&data.csc, &ws.sel, nthreads, &mut ws.gram_ws, &mut ws.gram);
+        sampled_cross_into(&data.csc, &ws.sel, &[&residual], &mut ws.cross);
         let class = charges::gram_class(width as u64);
-        let ws = charges::gram_working_set(width as u64, local_nnz);
+        let wset = charges::gram_working_set(width as u64, local_nnz);
         comm.charge_flops_phase(
             class,
             charges::gram_flops(local_nnz, width as u64),
-            ws,
+            wset,
             Phase::Gram,
         );
-        comm.charge_flops_phase(class, charges::cross_flops(local_nnz, 1), ws, Phase::Gram);
+        comm.charge_flops_phase(class, charges::cross_flops(local_nnz, 1), wset, Phase::Gram);
 
         let traced = cfg.trace_every > 0
             && (h / cfg.trace_every) != ((h + s_block).min(cfg.max_iters) / cfg.trace_every);
-        let mut buf = Vec::new();
-        pack_symmetric(&gram_loc, &mut buf);
+        pack_symmetric(&ws.gram, &mut ws.pack);
         for k in 0..width {
-            buf.push(cross_loc.get(k, 0));
+            ws.pack.push(ws.cross.get(k, 0));
         }
         if traced {
-            buf.push(sparsela::vecops::nrm2_sq(&residual));
+            ws.pack.push(sparsela::vecops::nrm2_sq(&residual));
             comm.charge_flops(KernelClass::Vector, 2 * m_loc as u64, m_loc as u64);
         }
 
         comm.charge_flops(KernelClass::Vector, charges::OUTER_OVERHEAD_FLOPS, 64);
-        comm.allreduce_sum(&mut buf);
+        comm.allreduce_sum(&mut ws.pack);
 
-        let (gram, mut pos) = unpack_symmetric(&buf, 0, width);
+        let mut pos = unpack_symmetric_into(&ws.pack, 0, width, &mut ws.gram_global);
         let cross_base = pos;
         pos += width;
         if traced {
-            let resid_global = buf[pos];
+            let resid_global = ws.pack[pos];
             comm.charge_flops(KernelClass::Vector, n as u64, n as u64);
             trace.push_with_phases(
                 h,
@@ -331,12 +334,11 @@ pub fn dist_sa_bcd<R: Regularizer>(
             );
         }
 
-        let mut deltas = vec![0.0f64; width];
         for j in 1..=s_block {
             let off = (j - 1) * mu;
-            let coords = &sel[off..off + mu];
-            let gjj = gram.diag_block(off, off + mu);
-            let lip = block_lipschitz(&gjj);
+            let coords = &ws.sel[off..off + mu];
+            ws.gram_global.diag_block_into(off, off + mu, &mut ws.gjj);
+            let lip = block_lipschitz(&ws.gjj);
             h += 1;
             comm.charge_flops_phase(
                 KernelClass::Vector,
@@ -347,23 +349,23 @@ pub fn dist_sa_bcd<R: Regularizer>(
             );
             if lip > 0.0 {
                 let eta = 1.0 / lip;
-                let mut cand = Vec::with_capacity(mu);
+                ws.cand.clear();
                 for a in 0..mu {
                     let row = off + a;
-                    let mut grad = buf[cross_base + row];
+                    let mut grad = ws.pack[cross_base + row];
                     for t in 1..j {
                         let toff = (t - 1) * mu;
                         for b in 0..mu {
-                            grad += gram.get(row, toff + b) * deltas[toff + b];
+                            grad += ws.gram_global.get(row, toff + b) * ws.deltas[toff + b];
                         }
                     }
-                    cand.push(x[coords[a]] - eta * grad);
+                    ws.cand.push(x[coords[a]] - eta * grad);
                 }
-                reg.prox_block(&mut cand, coords, eta);
+                reg.prox_block(&mut ws.cand, coords, eta);
                 let block_nnz = data.local_nnz_of(coords);
                 for (a, &c) in coords.iter().enumerate() {
-                    let dx = cand[a] - x[c];
-                    deltas[off + a] = dx;
+                    let dx = ws.cand[a] - x[c];
+                    ws.deltas[off + a] = dx;
                     if dx != 0.0 {
                         x[c] += dx;
                         data.csc.col(c).axpy_into(dx, &mut residual);

@@ -44,17 +44,26 @@ pub fn pack_symmetric(g: &DenseMatrix, buf: &mut Vec<f64>) {
 /// Inverse of [`pack_symmetric`]: read `k(k+1)/2` words from `buf[at..]`
 /// into a full symmetric matrix, returning the next offset.
 pub fn unpack_symmetric(buf: &[f64], at: usize, k: usize) -> (DenseMatrix, usize) {
-    let mut g = DenseMatrix::zeros(k, k);
+    let mut g = DenseMatrix::zeros(0, 0);
+    let pos = unpack_symmetric_into(buf, at, k, &mut g);
+    (g, pos)
+}
+
+/// [`unpack_symmetric`] into a caller-owned matrix (reshaped in place),
+/// returning the next offset — the zero-alloc variant the solver hot
+/// loops use to land the allreduced Gram block in a reusable buffer.
+pub fn unpack_symmetric_into(buf: &[f64], at: usize, k: usize, out: &mut DenseMatrix) -> usize {
+    out.reshape_zeroed(k, k);
     let mut pos = at;
     for i in 0..k {
         for j in i..k {
             let v = buf[pos];
-            g.set(i, j, v);
-            g.set(j, i, v);
+            out.set(i, j, v);
+            out.set(j, i, v);
             pos += 1;
         }
     }
-    (g, pos)
+    pos
 }
 
 #[cfg(test)]

@@ -12,14 +12,15 @@
 
 use crate::config::SvmConfig;
 use crate::dist::charges;
-use crate::dist::{pack_symmetric, unpack_symmetric};
+use crate::dist::{pack_symmetric, unpack_symmetric_into};
 use crate::problem::SvmProblem;
 use crate::seq::svm::projected_step;
 use crate::trace::{ConvergenceTrace, SolveResult};
+use crate::workspace::KernelWorkspace;
 use datagen::{balanced_partition, block_partition, Partition};
 use mpisim::telemetry::{Phase, PhaseTimes};
 use mpisim::{Comm, KernelClass};
-use sparsela::gram::{sampled_cross, sampled_gram};
+use sparsela::gram::{sampled_cross_into, sampled_gram_into};
 use sparsela::io::Dataset;
 use sparsela::CsrMatrix;
 use xrng::rng_from_seed;
@@ -120,57 +121,63 @@ pub fn dist_sa_svm(comm: &mut Comm, data: &SvmRankData, cfg: &SvmConfig) -> Solv
     let gap0 = distributed_gap(comm, data, &prob, &x_loc, &alpha);
     trace.push_with_phases(0, gap0, comm.clock(), PhaseTimes::from(comm.phase_table()));
 
+    let mut ws = KernelWorkspace::new();
+    let nthreads = saco_par::threads();
     let mut h = 0usize;
     'outer: while h < cfg.max_iters {
         let s_block = cfg.s.min(cfg.max_iters - h);
+        ws.begin_block(0);
         // Replicated with-replacement sampling (Alg. 4 line 5).
-        let sel: Vec<usize> = (0..s_block).map(|_| rng.next_index(m)).collect();
+        ws.sel.extend((0..s_block).map(|_| rng.next_index(m)));
 
         // Local contributions to G = YᵀY and x′ = Yᵀx (lines 8–10).
-        let local_nnz = data.local_nnz_of(&sel);
-        let gram_loc = sampled_gram(&data.csr, &sel);
-        let xprime_loc = sampled_cross(&data.csr, &sel, &[&x_loc]);
+        let local_nnz = data.local_nnz_of(&ws.sel);
+        sampled_gram_into(&data.csr, &ws.sel, nthreads, &mut ws.gram_ws, &mut ws.gram);
+        sampled_cross_into(&data.csr, &ws.sel, &[&x_loc], &mut ws.cross);
         let class = charges::gram_class(s_block as u64);
-        let ws = charges::gram_working_set(s_block as u64, local_nnz);
+        let wset = charges::gram_working_set(s_block as u64, local_nnz);
         comm.charge_flops_phase(
             class,
             charges::gram_flops(local_nnz, s_block as u64),
-            ws,
+            wset,
             Phase::Gram,
         );
-        comm.charge_flops_phase(class, charges::cross_flops(local_nnz, 1), ws, Phase::Gram);
+        comm.charge_flops_phase(class, charges::cross_flops(local_nnz, 1), wset, Phase::Gram);
 
-        let mut buf = Vec::new();
-        pack_symmetric(&gram_loc, &mut buf);
+        pack_symmetric(&ws.gram, &mut ws.pack);
         for k in 0..s_block {
-            buf.push(xprime_loc.get(k, 0));
+            ws.pack.push(ws.cross.get(k, 0));
         }
 
         // The one synchronization (lines 9–10), plus its fixed
         // software cost (packing, call setup).
         comm.charge_flops(KernelClass::Vector, charges::OUTER_OVERHEAD_FLOPS, 64);
-        comm.allreduce_sum(&mut buf);
+        comm.allreduce_sum(&mut ws.pack);
 
-        let (mut gram, pos) = unpack_symmetric(&buf, 0, s_block);
+        let pos = unpack_symmetric_into(&ws.pack, 0, s_block, &mut ws.gram_global);
         // γIₛ on the diagonal (line 9); the diagonal is η (line 11).
         for j in 0..s_block {
-            gram.set(j, j, gram.get(j, j) + gamma);
+            ws.gram_global.set(j, j, ws.gram_global.get(j, j) + gamma);
         }
 
         // Inner loop (lines 12–21): replicated recurrences + local x update.
-        let mut thetas = vec![0.0f64; s_block];
+        ws.thetas.clear();
+        ws.thetas.resize(s_block, 0.0);
         for j in 1..=s_block {
-            let i = sel[j - 1];
+            let i = ws.sel[j - 1];
             let beta = alpha[i];
-            let eta = gram.get(j - 1, j - 1);
-            let mut g = data.b[i] * buf[pos + (j - 1)] - 1.0 + gamma * beta;
+            let eta = ws.gram_global.get(j - 1, j - 1);
+            let mut g = data.b[i] * ws.pack[pos + (j - 1)] - 1.0 + gamma * beta;
             for t in 1..j {
-                if thetas[t - 1] != 0.0 {
-                    g += thetas[t - 1] * data.b[i] * data.b[sel[t - 1]] * gram.get(j - 1, t - 1);
+                if ws.thetas[t - 1] != 0.0 {
+                    g += ws.thetas[t - 1]
+                        * data.b[i]
+                        * data.b[ws.sel[t - 1]]
+                        * ws.gram_global.get(j - 1, t - 1);
                 }
             }
             let theta = projected_step(beta, g, eta, nu);
-            thetas[j - 1] = theta;
+            ws.thetas[j - 1] = theta;
             comm.charge_flops_phase(
                 KernelClass::Vector,
                 charges::ITER_OVERHEAD_FLOPS + 8 + charges::sa_correction_flops(j as u64, 1),

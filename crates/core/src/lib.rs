@@ -59,8 +59,10 @@ pub mod prox;
 pub mod seq;
 pub mod sim;
 pub mod trace;
+pub mod workspace;
 
 pub use config::{LassoConfig, SvmConfig, SvmLoss};
 pub use problem::{lasso_objective, SvmProblem};
 pub use prox::{ElasticNet, GroupLasso, Lasso, Regularizer};
 pub use trace::{ConvergenceTrace, SolveResult, TracePoint};
+pub use workspace::KernelWorkspace;

@@ -41,15 +41,40 @@ pub(crate) fn sample_block(
     mu: usize,
     sampling: crate::config::BlockSampling,
 ) -> Vec<usize> {
+    let mut coords = Vec::with_capacity(mu);
+    sample_block_into(rng, n, mu, sampling, &mut coords);
+    coords
+}
+
+/// [`sample_block`] appending into a caller-owned buffer (same generator
+/// draws), so the SA outer loops reuse one selection vector across
+/// iterations instead of allocating per block drawn.
+pub(crate) fn sample_block_into(
+    rng: &mut xrng::Rng,
+    n: usize,
+    mu: usize,
+    sampling: crate::config::BlockSampling,
+    out: &mut Vec<usize>,
+) {
     match sampling {
-        crate::config::BlockSampling::Coordinates => xrng::sample_without_replacement(rng, n, mu),
+        crate::config::BlockSampling::Coordinates => {
+            xrng::sample_without_replacement_into(rng, n, mu, out);
+        }
         crate::config::BlockSampling::AlignedGroups { group_size } => {
-            let groups = xrng::sample_without_replacement(rng, n / group_size, mu / group_size);
-            let mut coords = Vec::with_capacity(mu);
-            for g in groups {
-                coords.extend(g * group_size..(g + 1) * group_size);
+            // Draw group ids into the tail of `out`, then expand each id
+            // into its coordinate run in place, back to front (group i's
+            // run starts at i·group_size ≥ i, so writes never clobber an
+            // unread id).
+            let base = out.len();
+            xrng::sample_without_replacement_into(rng, n / group_size, mu / group_size, out);
+            let ngroups = mu / group_size;
+            out.resize(base + ngroups * group_size, 0);
+            for gi in (0..ngroups).rev() {
+                let g = out[base + gi];
+                for k in 0..group_size {
+                    out[base + gi * group_size + k] = g * group_size + k;
+                }
             }
-            coords
         }
     }
 }
@@ -132,6 +157,26 @@ mod sampling_tests {
             }
             // the two groups are distinct
             assert_ne!(s[0] / 4, s[4] / 4);
+        }
+    }
+
+    #[test]
+    fn into_variant_matches_allocating_variant() {
+        use super::sample_block_into;
+        let schemes = [
+            BlockSampling::Coordinates,
+            BlockSampling::AlignedGroups { group_size: 4 },
+        ];
+        for scheme in schemes {
+            let mut a = rng_from_seed(9);
+            let mut b = rng_from_seed(9);
+            let mut buf = Vec::new();
+            for _ in 0..50 {
+                let fresh = sample_block(&mut a, 80, 8, scheme);
+                let base = buf.len();
+                sample_block_into(&mut b, 80, 8, scheme, &mut buf);
+                assert_eq!(&buf[base..], &fresh[..], "{scheme:?}");
+            }
         }
     }
 

@@ -20,8 +20,9 @@ use crate::prox::Regularizer;
 use crate::seq::accbcd::implicit_objective;
 use crate::seq::{block_lipschitz, theta_next};
 use crate::trace::{ConvergenceTrace, SolveResult};
+use crate::workspace::KernelWorkspace;
 use saco_telemetry::Registry;
-use sparsela::gram::{sampled_cross, sampled_gram};
+use sparsela::gram::{sampled_cross_into, sampled_gram_into};
 use sparsela::io::Dataset;
 use xrng::rng_from_seed;
 
@@ -78,63 +79,64 @@ fn sa_accbcd_impl<R: Regularizer>(
     );
     let mut last_traced = trace.initial_value();
 
+    // One workspace per solve: Gram/cross/selection/recurrence buffers are
+    // reused across outer iterations (numerics untouched — the `_into`
+    // kernels are bitwise identical to their allocating counterparts).
+    let mut ws = KernelWorkspace::new();
+    let nthreads = saco_par::threads();
     let mut h = 0usize;
     'outer: while h < cfg.max_iters {
         let s_block = cfg.s.min(cfg.max_iters - h);
+        ws.begin_block(s_block * mu);
         // Lines 6–8: draw all s blocks up front (identical RNG stream to
         // Algorithm 1, which draws the same sets one iteration at a time).
-        let sel = {
+        {
             let _span = registry.map(|r| r.wall_span("seq.sa_accbcd.sampling"));
-            let mut sel = Vec::with_capacity(s_block * mu);
             for _ in 0..s_block {
-                sel.extend(crate::seq::sample_block(&mut rng, n, mu, cfg.sampling));
+                crate::seq::sample_block_into(&mut rng, n, mu, cfg.sampling, &mut ws.sel);
             }
-            sel
-        };
+        }
         // Line 9: the θ sequence for the whole block, computed up front.
-        let mut thetas = Vec::with_capacity(s_block + 1);
-        thetas.push(theta);
+        ws.thetas.clear();
+        ws.thetas.push(theta);
         for j in 0..s_block {
-            thetas.push(theta_next(thetas[j]));
+            ws.thetas.push(theta_next(ws.thetas[j]));
         }
         // Lines 10–12: the one-shot Gram and cross products (the
         // communication step in the distributed setting).
-        let (gram, cross) = {
+        {
             let _span = registry.map(|r| r.wall_span("seq.sa_accbcd.gram"));
-            (
-                sampled_gram(&csc, &sel),
-                sampled_cross(&csc, &sel, &[&ytilde, &ztilde]),
-            )
-        };
+            sampled_gram_into(&csc, &ws.sel, nthreads, &mut ws.gram_ws, &mut ws.gram);
+            sampled_cross_into(&csc, &ws.sel, &[&ytilde, &ztilde], &mut ws.cross);
+        }
 
         // Inner loop (lines 13–22): recurrences only.
         let _inner_span = registry.map(|r| r.wall_span("seq.sa_accbcd.inner"));
-        let mut deltas = vec![0.0f64; s_block * mu]; // Δz_{sk+t}, flat
         for j in 1..=s_block {
             let off = (j - 1) * mu;
-            let coords = &sel[off..off + mu];
+            let coords = &ws.sel[off..off + mu];
             // Line 14: v = λmax of the j-th diagonal µ×µ block of G.
-            let gjj = gram.diag_block(off, off + mu);
-            let v = block_lipschitz(&gjj);
-            let theta_prev = thetas[j - 1];
+            ws.gram.diag_block_into(off, off + mu, &mut ws.gjj);
+            let v = block_lipschitz(&ws.gjj);
+            let theta_prev = ws.thetas[j - 1];
             let t2 = theta_prev * theta_prev;
             h += 1;
             if v > 0.0 {
                 // Line 15.
                 let eta = 1.0 / (q * theta_prev * v);
                 // Line 16, eq. (3): r from ỹ′, z̃′ and Gram corrections.
-                let mut cand = Vec::with_capacity(mu);
+                ws.cand.clear();
                 for a in 0..mu {
                     let row = off + a;
-                    let mut r = t2 * cross.get(row, 0) + cross.get(row, 1);
+                    let mut r = t2 * ws.cross.get(row, 0) + ws.cross.get(row, 1);
                     for t in 1..j {
-                        let tp = thetas[t - 1];
+                        let tp = ws.thetas[t - 1];
                         let coef = t2 * (1.0 - q * tp) / (tp * tp) - 1.0;
                         if coef != 0.0 {
                             let toff = (t - 1) * mu;
                             let mut corr = 0.0;
                             for b in 0..mu {
-                                corr += gram.get(row, toff + b) * deltas[toff + b];
+                                corr += ws.gram.get(row, toff + b) * ws.deltas[toff + b];
                             }
                             r -= coef * corr;
                         }
@@ -142,14 +144,14 @@ fn sa_accbcd_impl<R: Regularizer>(
                     // Lines 17–18, eqs. (4)–(5): the overlap terms
                     // Σ IᵀI Δz are exactly the running value of z at these
                     // coordinates, which we maintain in place (line 19).
-                    cand.push(z[coords[a]] - eta * r);
+                    ws.cand.push(z[coords[a]] - eta * r);
                 }
-                reg.prox_block(&mut cand, coords, eta);
+                reg.prox_block(&mut ws.cand, coords, eta);
                 // Lines 19–22: replicated/local vector updates.
                 let ycoef = (1.0 - q * theta_prev) / t2;
                 for (a, &c) in coords.iter().enumerate() {
-                    let dz = cand[a] - z[c];
-                    deltas[off + a] = dz;
+                    let dz = ws.cand[a] - z[c];
+                    ws.deltas[off + a] = dz;
                     if dz != 0.0 {
                         z[c] += dz;
                         y[c] -= ycoef * dz;
@@ -160,18 +162,18 @@ fn sa_accbcd_impl<R: Regularizer>(
                 }
             }
             if (cfg.trace_every > 0 && h.is_multiple_of(cfg.trace_every)) || h == cfg.max_iters {
-                let f = implicit_objective(thetas[j], &y, &z, &ytilde, &ztilde, reg);
+                let f = implicit_objective(ws.thetas[j], &y, &z, &ytilde, &ztilde, reg);
                 trace.push(h, f, 0.0);
                 if let Some(tol) = cfg.rel_tol {
                     if (last_traced - f).abs() <= tol * last_traced.abs().max(1e-300) {
-                        theta = thetas[j];
+                        theta = ws.thetas[j];
                         break 'outer;
                     }
                 }
                 last_traced = f;
             }
         }
-        theta = thetas[s_block];
+        theta = ws.thetas[s_block];
     }
 
     let t2 = theta * theta;

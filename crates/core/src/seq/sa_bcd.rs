@@ -16,7 +16,8 @@ use crate::problem::lasso_objective_from_residual;
 use crate::prox::Regularizer;
 use crate::seq::block_lipschitz;
 use crate::trace::{ConvergenceTrace, SolveResult};
-use sparsela::gram::{sampled_cross, sampled_gram};
+use crate::workspace::KernelWorkspace;
+use sparsela::gram::{sampled_cross_into, sampled_gram_into};
 use sparsela::io::Dataset;
 use xrng::rng_from_seed;
 
@@ -37,44 +38,48 @@ pub fn sa_bcd<R: Regularizer>(ds: &Dataset, reg: &R, cfg: &LassoConfig) -> Solve
     trace.push(0, lasso_objective_from_residual(&residual, reg, &x), 0.0);
     let mut last_traced = trace.initial_value();
 
+    // One workspace per solve: Gram/cross/selection/recurrence buffers are
+    // reused across outer iterations (numerics untouched — the `_into`
+    // kernels are bitwise identical to their allocating counterparts).
+    let mut ws = KernelWorkspace::new();
+    let nthreads = saco_par::threads();
     let mut h = 0usize;
     'outer: while h < cfg.max_iters {
         let s_block = cfg.s.min(cfg.max_iters - h);
-        let mut sel = Vec::with_capacity(s_block * mu);
+        ws.begin_block(s_block * mu);
         for _ in 0..s_block {
-            sel.extend(crate::seq::sample_block(&mut rng, n, mu, cfg.sampling));
+            crate::seq::sample_block_into(&mut rng, n, mu, cfg.sampling, &mut ws.sel);
         }
         // One communication round's worth of reductions.
-        let gram = sampled_gram(&csc, &sel);
-        let cross = sampled_cross(&csc, &sel, &[&residual]);
+        sampled_gram_into(&csc, &ws.sel, nthreads, &mut ws.gram_ws, &mut ws.gram);
+        sampled_cross_into(&csc, &ws.sel, &[&residual], &mut ws.cross);
 
-        let mut deltas = vec![0.0f64; s_block * mu];
         for j in 1..=s_block {
             let off = (j - 1) * mu;
-            let coords = &sel[off..off + mu];
-            let gjj = gram.diag_block(off, off + mu);
-            let lip = block_lipschitz(&gjj);
+            let coords = &ws.sel[off..off + mu];
+            ws.gram.diag_block_into(off, off + mu, &mut ws.gjj);
+            let lip = block_lipschitz(&ws.gjj);
             h += 1;
             if lip > 0.0 {
                 let eta = 1.0 / lip;
-                let mut cand = Vec::with_capacity(mu);
+                ws.cand.clear();
                 for a in 0..mu {
                     let row = off + a;
-                    let mut grad = cross.get(row, 0);
+                    let mut grad = ws.cross.get(row, 0);
                     for t in 1..j {
                         let toff = (t - 1) * mu;
                         for b in 0..mu {
-                            grad += gram.get(row, toff + b) * deltas[toff + b];
+                            grad += ws.gram.get(row, toff + b) * ws.deltas[toff + b];
                         }
                     }
                     // x is maintained in place, so x[c] already carries the
                     // Σ IᵀI Δx overlap corrections of eq. (4)'s analogue.
-                    cand.push(x[coords[a]] - eta * grad);
+                    ws.cand.push(x[coords[a]] - eta * grad);
                 }
-                reg.prox_block(&mut cand, coords, eta);
+                reg.prox_block(&mut ws.cand, coords, eta);
                 for (a, &c) in coords.iter().enumerate() {
-                    let dx = cand[a] - x[c];
-                    deltas[off + a] = dx;
+                    let dx = ws.cand[a] - x[c];
+                    ws.deltas[off + a] = dx;
                     if dx != 0.0 {
                         x[c] += dx;
                         csc.col(c).axpy_into(dx, &mut residual);

@@ -16,7 +16,8 @@ use crate::config::SvmConfig;
 use crate::problem::SvmProblem;
 use crate::seq::svm::projected_step;
 use crate::trace::{ConvergenceTrace, SolveResult};
-use sparsela::gram::{sampled_cross, sampled_gram};
+use crate::workspace::KernelWorkspace;
+use sparsela::gram::{sampled_cross_into, sampled_gram_into};
 use sparsela::io::Dataset;
 use xrng::rng_from_seed;
 
@@ -40,36 +41,46 @@ pub fn sa_svm(ds: &Dataset, cfg: &SvmConfig) -> SolveResult {
     let mut trace = ConvergenceTrace::new();
     trace.push(0, prob.duality_gap(&ds.a, &ds.b, &x, &alpha), 0.0);
 
+    // One workspace per solve: Gram/cross/selection buffers are reused
+    // across outer iterations (numerics untouched — the `_into` kernels
+    // are bitwise identical to their allocating counterparts).
+    let mut ws = KernelWorkspace::new();
+    let nthreads = saco_par::threads();
     let mut h = 0usize;
     'outer: while h < cfg.max_iters {
         let s_block = cfg.s.min(cfg.max_iters - h);
+        ws.begin_block(0);
         // Lines 5–7: the s sampled rows (same RNG stream as Alg. 3).
-        let sel: Vec<usize> = (0..s_block).map(|_| rng.next_index(m)).collect();
+        ws.sel.extend((0..s_block).map(|_| rng.next_index(m)));
         // Lines 9–11: G = YᵀY + γIₛ and x′ = Yᵀ·x_sk in one shot.
-        let mut gram = sampled_gram(&ds.a, &sel);
+        sampled_gram_into(&ds.a, &ws.sel, nthreads, &mut ws.gram_ws, &mut ws.gram);
         for j in 0..s_block {
-            gram.set(j, j, gram.get(j, j) + gamma);
+            ws.gram.set(j, j, ws.gram.get(j, j) + gamma);
         }
-        let xprime = sampled_cross(&ds.a, &sel, &[&x]);
+        sampled_cross_into(&ds.a, &ws.sel, &[&x], &mut ws.cross);
 
         // Inner loop (lines 12–21): recurrences only. α is maintained in
         // place, so α[i_j] carries eq. (14)'s β (initial value plus all
         // matching prior θ's).
-        let mut thetas = vec![0.0f64; s_block];
+        ws.thetas.clear();
+        ws.thetas.resize(s_block, 0.0);
         for j in 1..=s_block {
-            let i = sel[j - 1];
+            let i = ws.sel[j - 1];
             let beta = alpha[i];
-            let eta = gram.get(j - 1, j - 1);
+            let eta = ws.gram.get(j - 1, j - 1);
             // eq. (15): gradient from x′ and Gram corrections.
-            let mut g = ds.b[i] * xprime.get(j - 1, 0) - 1.0 + gamma * beta;
+            let mut g = ds.b[i] * ws.cross.get(j - 1, 0) - 1.0 + gamma * beta;
             for t in 1..j {
-                if thetas[t - 1] != 0.0 {
-                    g += thetas[t - 1] * ds.b[i] * ds.b[sel[t - 1]] * gram.get(j - 1, t - 1);
+                if ws.thetas[t - 1] != 0.0 {
+                    g += ws.thetas[t - 1]
+                        * ds.b[i]
+                        * ds.b[ws.sel[t - 1]]
+                        * ws.gram.get(j - 1, t - 1);
                 }
             }
             // Lines 15–19.
             let theta = projected_step(beta, g, eta, nu);
-            thetas[j - 1] = theta;
+            ws.thetas[j - 1] = theta;
             // Lines 20–21 (local updates; no communication).
             if theta != 0.0 {
                 alpha[i] += theta;

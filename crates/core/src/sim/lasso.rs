@@ -8,10 +8,11 @@ use crate::prox::Regularizer;
 use crate::seq::{block_lipschitz, theta_next};
 use crate::sim::{per_rank_sel_nnz, phase_snapshot};
 use crate::trace::{ConvergenceTrace, SolveResult};
+use crate::workspace::KernelWorkspace;
 use datagen::{balanced_partition, block_partition, Partition};
 use mpisim::telemetry::{Phase, Registry};
 use mpisim::{CostModel, CostReport, KernelClass, VirtualCluster};
-use sparsela::gram::{sampled_cross, sampled_gram};
+use sparsela::gram::{sampled_cross_into, sampled_gram_into};
 use sparsela::io::Dataset;
 use xrng::rng_from_seed;
 
@@ -100,25 +101,27 @@ fn sim_sa_accbcd_core<R: Regularizer>(
         phase_snapshot(&cluster),
     );
 
+    let mut ws = KernelWorkspace::new();
+    let nthreads = saco_par::threads();
     let mut rank_nnz = vec![0u64; p];
     let mut block_nnz = vec![0u64; p];
     let mut h = 0usize;
     while h < cfg.max_iters {
         let s_block = cfg.s.min(cfg.max_iters - h);
         let width = s_block * mu;
-        let mut sel = Vec::with_capacity(width);
+        ws.begin_block(width);
         for _ in 0..s_block {
-            sel.extend(crate::seq::sample_block(&mut rng, n, mu, cfg.sampling));
+            crate::seq::sample_block_into(&mut rng, n, mu, cfg.sampling, &mut ws.sel);
         }
-        let mut thetas = Vec::with_capacity(s_block + 1);
-        thetas.push(theta);
+        ws.thetas.clear();
+        ws.thetas.push(theta);
         for j in 0..s_block {
-            thetas.push(theta_next(thetas[j]));
+            ws.thetas.push(theta_next(ws.thetas[j]));
         }
 
         // Per-rank attribution of the sampled columns' nonzeros, then the
         // same two kernel charges as the thread engine.
-        per_rank_sel_nnz(&csc, &sel, &part, &mut rank_nnz);
+        per_rank_sel_nnz(&csc, &ws.sel, &part, &mut rank_nnz);
         let class = charges::gram_class(width as u64);
         cluster.charge_per_rank_ws_phase(
             class,
@@ -150,10 +153,10 @@ fn sim_sa_accbcd_core<R: Regularizer>(
         cluster.allreduce(payload_words(width, 2, traced));
 
         // The numerics, once, globally (bit-identical to seq::sa_accbcd).
-        let gram = sampled_gram(&csc, &sel);
-        let cross = sampled_cross(&csc, &sel, &[&ytilde, &ztilde]);
+        sampled_gram_into(&csc, &ws.sel, nthreads, &mut ws.gram_ws, &mut ws.gram);
+        sampled_cross_into(&csc, &ws.sel, &[&ytilde, &ztilde], &mut ws.cross);
         if traced {
-            let t2 = thetas[0] * thetas[0];
+            let t2 = ws.thetas[0] * ws.thetas[0];
             let resid_sq: f64 = ytilde
                 .iter()
                 .zip(&ztilde)
@@ -172,13 +175,12 @@ fn sim_sa_accbcd_core<R: Regularizer>(
             );
         }
 
-        let mut deltas = vec![0.0f64; width];
         for j in 1..=s_block {
             let off = (j - 1) * mu;
-            let coords = &sel[off..off + mu];
-            let gjj = gram.diag_block(off, off + mu);
-            let v = block_lipschitz(&gjj);
-            let theta_prev = thetas[j - 1];
+            let coords = &ws.sel[off..off + mu];
+            ws.gram.diag_block_into(off, off + mu, &mut ws.gjj);
+            let v = block_lipschitz(&ws.gjj);
+            let theta_prev = ws.thetas[j - 1];
             let t2 = theta_prev * theta_prev;
             h += 1;
             cluster.charge_uniform_phase(
@@ -190,29 +192,29 @@ fn sim_sa_accbcd_core<R: Regularizer>(
             );
             if v > 0.0 {
                 let eta = 1.0 / (q * theta_prev * v);
-                let mut cand = Vec::with_capacity(mu);
+                ws.cand.clear();
                 for a in 0..mu {
                     let row = off + a;
-                    let mut r = t2 * cross.get(row, 0) + cross.get(row, 1);
+                    let mut r = t2 * ws.cross.get(row, 0) + ws.cross.get(row, 1);
                     for t in 1..j {
-                        let tp = thetas[t - 1];
+                        let tp = ws.thetas[t - 1];
                         let coef = t2 * (1.0 - q * tp) / (tp * tp) - 1.0;
                         if coef != 0.0 {
                             let toff = (t - 1) * mu;
                             let mut corr = 0.0;
                             for b in 0..mu {
-                                corr += gram.get(row, toff + b) * deltas[toff + b];
+                                corr += ws.gram.get(row, toff + b) * ws.deltas[toff + b];
                             }
                             r -= coef * corr;
                         }
                     }
-                    cand.push(z[coords[a]] - eta * r);
+                    ws.cand.push(z[coords[a]] - eta * r);
                 }
-                reg.prox_block(&mut cand, coords, eta);
+                reg.prox_block(&mut ws.cand, coords, eta);
                 let ycoef = (1.0 - q * theta_prev) / t2;
                 for (a, &c) in coords.iter().enumerate() {
-                    let dz = cand[a] - z[c];
-                    deltas[off + a] = dz;
+                    let dz = ws.cand[a] - z[c];
+                    ws.deltas[off + a] = dz;
                     if dz != 0.0 {
                         z[c] += dz;
                         y[c] -= ycoef * dz;
@@ -230,7 +232,7 @@ fn sim_sa_accbcd_core<R: Regularizer>(
                 });
             }
         }
-        theta = thetas[s_block];
+        theta = ws.thetas[s_block];
     }
 
     cluster.charge_per_rank_ws(KernelClass::Vector, |r| (3 * rows_of(r), rows_of(r)));
@@ -317,18 +319,20 @@ fn sim_sa_bcd_core<R: Regularizer>(
         phase_snapshot(&cluster),
     );
 
+    let mut ws = KernelWorkspace::new();
+    let nthreads = saco_par::threads();
     let mut rank_nnz = vec![0u64; p];
     let mut block_nnz = vec![0u64; p];
     let mut h = 0usize;
     while h < cfg.max_iters {
         let s_block = cfg.s.min(cfg.max_iters - h);
         let width = s_block * mu;
-        let mut sel = Vec::with_capacity(width);
+        ws.begin_block(width);
         for _ in 0..s_block {
-            sel.extend(crate::seq::sample_block(&mut rng, n, mu, cfg.sampling));
+            crate::seq::sample_block_into(&mut rng, n, mu, cfg.sampling, &mut ws.sel);
         }
 
-        per_rank_sel_nnz(&csc, &sel, &part, &mut rank_nnz);
+        per_rank_sel_nnz(&csc, &ws.sel, &part, &mut rank_nnz);
         let class = charges::gram_class(width as u64);
         cluster.charge_per_rank_ws_phase(
             class,
@@ -359,8 +363,8 @@ fn sim_sa_bcd_core<R: Regularizer>(
         cluster.charge_uniform(KernelClass::Vector, charges::OUTER_OVERHEAD_FLOPS, 64);
         cluster.allreduce(payload_words(width, 1, traced));
 
-        let gram = sampled_gram(&csc, &sel);
-        let cross = sampled_cross(&csc, &sel, &[&residual]);
+        sampled_gram_into(&csc, &ws.sel, nthreads, &mut ws.gram_ws, &mut ws.gram);
+        sampled_cross_into(&csc, &ws.sel, &[&residual], &mut ws.cross);
         if traced {
             cluster.charge_uniform(KernelClass::Vector, n as u64, n as u64);
             trace.push_with_phases(
@@ -371,12 +375,11 @@ fn sim_sa_bcd_core<R: Regularizer>(
             );
         }
 
-        let mut deltas = vec![0.0f64; width];
         for j in 1..=s_block {
             let off = (j - 1) * mu;
-            let coords = &sel[off..off + mu];
-            let gjj = gram.diag_block(off, off + mu);
-            let lip = block_lipschitz(&gjj);
+            let coords = &ws.sel[off..off + mu];
+            ws.gram.diag_block_into(off, off + mu, &mut ws.gjj);
+            let lip = block_lipschitz(&ws.gjj);
             h += 1;
             cluster.charge_uniform_phase(
                 KernelClass::Vector,
@@ -387,22 +390,22 @@ fn sim_sa_bcd_core<R: Regularizer>(
             );
             if lip > 0.0 {
                 let eta = 1.0 / lip;
-                let mut cand = Vec::with_capacity(mu);
+                ws.cand.clear();
                 for a in 0..mu {
                     let row = off + a;
-                    let mut grad = cross.get(row, 0);
+                    let mut grad = ws.cross.get(row, 0);
                     for t in 1..j {
                         let toff = (t - 1) * mu;
                         for b in 0..mu {
-                            grad += gram.get(row, toff + b) * deltas[toff + b];
+                            grad += ws.gram.get(row, toff + b) * ws.deltas[toff + b];
                         }
                     }
-                    cand.push(x[coords[a]] - eta * grad);
+                    ws.cand.push(x[coords[a]] - eta * grad);
                 }
-                reg.prox_block(&mut cand, coords, eta);
+                reg.prox_block(&mut ws.cand, coords, eta);
                 for (a, &c) in coords.iter().enumerate() {
-                    let dx = cand[a] - x[c];
-                    deltas[off + a] = dx;
+                    let dx = ws.cand[a] - x[c];
+                    ws.deltas[off + a] = dx;
                     if dx != 0.0 {
                         x[c] += dx;
                         csc.col(c).axpy_into(dx, &mut residual);

@@ -8,10 +8,11 @@ use crate::problem::SvmProblem;
 use crate::seq::svm::projected_step;
 use crate::sim::{per_rank_sel_nnz, phase_snapshot};
 use crate::trace::{ConvergenceTrace, SolveResult};
+use crate::workspace::KernelWorkspace;
 use datagen::{balanced_partition, block_partition, bucket_counts, Partition};
 use mpisim::telemetry::{Phase, Registry};
 use mpisim::{CostModel, CostReport, KernelClass, VirtualCluster};
-use sparsela::gram::{sampled_cross, sampled_gram};
+use sparsela::gram::{sampled_cross_into, sampled_gram_into};
 use sparsela::io::Dataset;
 use xrng::rng_from_seed;
 
@@ -100,14 +101,17 @@ fn sim_sa_svm_core(
         phase_snapshot(&cluster),
     );
 
+    let mut ws = KernelWorkspace::new();
+    let nthreads = saco_par::threads();
     let mut rank_nnz = vec![0u64; p];
     let mut row_nnz = vec![0u64; p];
     let mut h = 0usize;
     'outer: while h < cfg.max_iters {
         let s_block = cfg.s.min(cfg.max_iters - h);
-        let sel: Vec<usize> = (0..s_block).map(|_| rng.next_index(m)).collect();
+        ws.begin_block(0);
+        ws.sel.extend((0..s_block).map(|_| rng.next_index(m)));
 
-        per_rank_sel_nnz(&ds.a, &sel, &part, &mut rank_nnz);
+        per_rank_sel_nnz(&ds.a, &ws.sel, &part, &mut rank_nnz);
         let class = charges::gram_class(s_block as u64);
         cluster.charge_per_rank_ws_phase(
             class,
@@ -132,25 +136,29 @@ fn sim_sa_svm_core(
         cluster.charge_uniform(KernelClass::Vector, charges::OUTER_OVERHEAD_FLOPS, 64);
         cluster.allreduce((s_block * (s_block + 1) / 2 + s_block) as u64);
 
-        let mut gram = sampled_gram(&ds.a, &sel);
+        sampled_gram_into(&ds.a, &ws.sel, nthreads, &mut ws.gram_ws, &mut ws.gram);
         for j in 0..s_block {
-            gram.set(j, j, gram.get(j, j) + gamma);
+            ws.gram.set(j, j, ws.gram.get(j, j) + gamma);
         }
-        let xprime = sampled_cross(&ds.a, &sel, &[&x]);
+        sampled_cross_into(&ds.a, &ws.sel, &[&x], &mut ws.cross);
 
-        let mut thetas = vec![0.0f64; s_block];
+        ws.thetas.clear();
+        ws.thetas.resize(s_block, 0.0);
         for j in 1..=s_block {
-            let i = sel[j - 1];
+            let i = ws.sel[j - 1];
             let beta = alpha[i];
-            let eta = gram.get(j - 1, j - 1);
-            let mut g = ds.b[i] * xprime.get(j - 1, 0) - 1.0 + gamma * beta;
+            let eta = ws.gram.get(j - 1, j - 1);
+            let mut g = ds.b[i] * ws.cross.get(j - 1, 0) - 1.0 + gamma * beta;
             for t in 1..j {
-                if thetas[t - 1] != 0.0 {
-                    g += thetas[t - 1] * ds.b[i] * ds.b[sel[t - 1]] * gram.get(j - 1, t - 1);
+                if ws.thetas[t - 1] != 0.0 {
+                    g += ws.thetas[t - 1]
+                        * ds.b[i]
+                        * ds.b[ws.sel[t - 1]]
+                        * ws.gram.get(j - 1, t - 1);
                 }
             }
             let theta = projected_step(beta, g, eta, nu);
-            thetas[j - 1] = theta;
+            ws.thetas[j - 1] = theta;
             cluster.charge_uniform_phase(
                 KernelClass::Vector,
                 charges::ITER_OVERHEAD_FLOPS + 8 + charges::sa_correction_flops(j as u64, 1),
@@ -160,7 +168,7 @@ fn sim_sa_svm_core(
             if theta != 0.0 {
                 alpha[i] += theta;
                 ds.a.row(i).axpy_into(theta * ds.b[i], &mut x);
-                per_rank_sel_nnz(&ds.a, &sel[j - 1..j], &part, &mut row_nnz);
+                per_rank_sel_nnz(&ds.a, &ws.sel[j - 1..j], &part, &mut row_nnz);
                 cluster.charge_per_rank_ws(KernelClass::Vector, |r| {
                     (charges::svm_update_flops(row_nnz[r]), row_nnz[r])
                 });

@@ -204,12 +204,23 @@ pub struct Criterion {
     default_samples: usize,
 }
 
+/// Sample count for a given argument list: `--test` (what real criterion
+/// receives from `cargo bench -- --test`, the CI smoke mode) drops to the
+/// 2-sample minimum so every bench still executes but takes no time.
+fn default_sample_count<I: IntoIterator<Item = String>>(args: I) -> usize {
+    if args.into_iter().any(|a| a == "--test") {
+        2
+    } else {
+        // Real criterion defaults to 100 samples with statistical
+        // stopping; a fixed 20 keeps offline runs short.
+        20
+    }
+}
+
 impl Default for Criterion {
     fn default() -> Self {
         Criterion {
-            // Real criterion defaults to 100 samples with statistical
-            // stopping; a fixed 20 keeps offline runs short.
-            default_samples: 20,
+            default_samples: default_sample_count(std::env::args()),
         }
     }
 }
@@ -298,6 +309,16 @@ mod tests {
         });
         group.finish();
         assert!(ran);
+    }
+
+    #[test]
+    fn test_flag_minimizes_samples() {
+        let toks = |s: &str| s.split_whitespace().map(String::from).collect::<Vec<_>>();
+        assert_eq!(default_sample_count(toks("bench --bench kernels")), 20);
+        assert_eq!(
+            default_sample_count(toks("bench --bench kernels --test")),
+            2
+        );
     }
 
     #[test]

@@ -483,21 +483,14 @@ impl ThreadMachine {
             return vec![(out, c.counters, c.telemetry)];
         }
 
-        std::thread::scope(|scope| {
-            let fref = &f;
-            let handles: Vec<_> = comms
-                .into_iter()
-                .map(|mut c| {
-                    scope.spawn(move || {
-                        let out = fref(&mut c);
-                        (out, c.counters, c.telemetry)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("rank panicked"))
-                .collect()
+        // Each SPMD rank blocks on its channels mid-collective, so ranks
+        // can never share a pooled worker: `scoped_map` gives every rank
+        // its own OS thread (it is the pool crate's one explicitly
+        // non-pooled primitive, kept there so all thread-spawning in the
+        // workspace routes through `saco-par`).
+        saco_par::scoped_map(comms, |_, mut c| {
+            let out = f(&mut c);
+            (out, c.counters, c.telemetry)
         })
     }
 

@@ -92,7 +92,7 @@ impl VirtualCluster {
     /// Charge rank-dependent local computation; `flops_of(rank)` returns
     /// the flops rank `rank` executes. This is how data-dependent load
     /// imbalance (stragglers) enters the simulation.
-    pub fn charge_per_rank<F: FnMut(usize) -> u64>(
+    pub fn charge_per_rank<F: Fn(usize) -> u64 + Sync>(
         &mut self,
         class: KernelClass,
         working_set_words: u64,
@@ -103,22 +103,73 @@ impl VirtualCluster {
 
     /// Like [`charge_per_rank`](Self::charge_per_rank) with an explicit
     /// telemetry phase label.
-    pub fn charge_per_rank_phase<F: FnMut(usize) -> u64>(
+    pub fn charge_per_rank_phase<F: Fn(usize) -> u64 + Sync>(
         &mut self,
         class: KernelClass,
         working_set_words: u64,
-        mut flops_of: F,
+        flops_of: F,
+        phase: Phase,
+    ) {
+        self.charge_ranks(class, |r| (flops_of(r), working_set_words), phase);
+    }
+
+    /// Below this rank count the per-rank charge loop runs serially even
+    /// when the pool is enabled: fanning microseconds of arithmetic out
+    /// to OS threads costs more than the loop itself.
+    const PAR_RANK_MIN: usize = 2048;
+
+    /// The per-rank local-contribution loop behind every `charge_per_rank*`
+    /// entry point. Each rank's update reads only `f(r)` and writes only
+    /// rank `r`'s slots, so the loop fans out over `saco-par` in disjoint
+    /// rank chunks when the pool is enabled and `p` is paper-scale (up to
+    /// 12,288 ranks). Per-rank arithmetic is unchanged and no value
+    /// crosses a chunk boundary, so the charge is bitwise identical to
+    /// the serial loop at any thread count.
+    fn charge_ranks<F: Fn(usize) -> (u64, u64) + Sync>(
+        &mut self,
+        class: KernelClass,
+        f: F,
         phase: Phase,
     ) {
         let ci = crate::cost::class_index(class);
+        let nthreads = saco_par::threads();
+        if nthreads > 1 && self.p >= Self::PAR_RANK_MIN {
+            let model = self.model;
+            let chunk = self.p.div_ceil(4 * nthreads);
+            let items: Vec<_> = self
+                .clocks
+                .chunks_mut(chunk)
+                .zip(self.comp.chunks_mut(chunk))
+                .zip(self.comp_by_class.chunks_mut(chunk))
+                .zip(self.flops.chunks_mut(chunk))
+                .zip(self.telemetry.chunks_mut(chunk))
+                .enumerate()
+                .collect();
+            saco_par::scatter(
+                nthreads,
+                items,
+                |(c, ((((clocks, comp), comp_by_class), flops), telemetry))| {
+                    for i in 0..clocks.len() {
+                        let (fl, ws) = f(c * chunk + i);
+                        let t = model.compute_time(class, fl, ws);
+                        clocks[i] += t;
+                        comp[i] += t;
+                        comp_by_class[i][ci] += t;
+                        flops[i] += fl;
+                        telemetry[i].phases.record_full(phase, t, 0, fl);
+                    }
+                },
+            );
+            return;
+        }
         for r in 0..self.p {
-            let f = flops_of(r);
-            let t = self.model.compute_time(class, f, working_set_words);
+            let (fl, ws) = f(r);
+            let t = self.model.compute_time(class, fl, ws);
             self.clocks[r] += t;
             self.comp[r] += t;
             self.comp_by_class[r][ci] += t;
-            self.flops[r] += f;
-            self.telemetry[r].phases.record_full(phase, t, 0, f);
+            self.flops[r] += fl;
+            self.telemetry[r].phases.record_full(phase, t, 0, fl);
         }
     }
 
@@ -127,28 +178,23 @@ impl VirtualCluster {
     /// `(flops, working_set_words)`. Needed to mirror the thread engine
     /// exactly, where each rank's kernel sees its own working set (and may
     /// therefore land on a different side of the cache cliff).
-    pub fn charge_per_rank_ws<F: FnMut(usize) -> (u64, u64)>(&mut self, class: KernelClass, f: F) {
+    pub fn charge_per_rank_ws<F: Fn(usize) -> (u64, u64) + Sync>(
+        &mut self,
+        class: KernelClass,
+        f: F,
+    ) {
         self.charge_per_rank_ws_phase(class, f, Phase::Comp);
     }
 
     /// Like [`charge_per_rank_ws`](Self::charge_per_rank_ws) with an
     /// explicit telemetry phase label.
-    pub fn charge_per_rank_ws_phase<F: FnMut(usize) -> (u64, u64)>(
+    pub fn charge_per_rank_ws_phase<F: Fn(usize) -> (u64, u64) + Sync>(
         &mut self,
         class: KernelClass,
-        mut f: F,
+        f: F,
         phase: Phase,
     ) {
-        let ci = crate::cost::class_index(class);
-        for r in 0..self.p {
-            let (flops, ws) = f(r);
-            let t = self.model.compute_time(class, flops, ws);
-            self.clocks[r] += t;
-            self.comp[r] += t;
-            self.comp_by_class[r][ci] += t;
-            self.flops[r] += flops;
-            self.telemetry[r].phases.record_full(phase, t, 0, flops);
-        }
+        self.charge_ranks(class, f, phase);
     }
 
     /// Charge a collective of `words` payload: all ranks synchronize to the
@@ -331,6 +377,34 @@ mod tests {
         }
         assert_eq!(vc.report().critical.messages, 100 * 14);
         assert!(vc.time() > 0.0);
+    }
+
+    #[test]
+    fn pooled_per_rank_charges_are_bitwise_identical_to_serial() {
+        // Above PAR_RANK_MIN ranks the charge loop fans out over the
+        // saco-par pool; each rank's arithmetic is untouched and writes
+        // stay within its chunk, so every simulated quantity must match
+        // the serial loop to the last bit at any thread count.
+        let p = VirtualCluster::PAR_RANK_MIN * 2;
+        let run = |threads: usize| {
+            saco_par::set_threads(threads);
+            let mut vc = VirtualCluster::new(p, CostModel::cray_xc30());
+            vc.charge_per_rank(KernelClass::SparseGemm, 512, |r| (r as u64 % 97) * 1000);
+            vc.charge_per_rank_ws(KernelClass::Dot, |r| ((r as u64 % 13) * 400, 64 + r as u64));
+            vc.allreduce(256);
+            saco_par::set_threads(1);
+            (vc.clocks.clone(), vc.comp.clone(), vc.flops.clone(), {
+                let mut t = saco_telemetry::PhaseTable::new();
+                for rt in &vc.telemetry {
+                    t.merge(&rt.phases);
+                }
+                t
+            })
+        };
+        let serial = run(1);
+        for threads in [2, 4, 7] {
+            assert_eq!(run(threads), serial, "threads={threads}");
+        }
     }
 
     #[test]

@@ -1,0 +1,464 @@
+//! `saco-par`: a zero-dependency scoped worker pool with a deterministic
+//! tiled-reduction API.
+//!
+//! The SA solvers' equivalence guarantees (SA ≡ classical, thread engine ≡
+//! virtual cluster) rest on *bitwise* reproducibility, so intra-rank
+//! parallelism must never perturb numerics. Every primitive here enforces
+//! the same contract:
+//!
+//! 1. work is split into **tiles** whose per-entry arithmetic is exactly
+//!    the serial kernel's (no partial sums are ever combined across tiles
+//!    in scheduling order);
+//! 2. tile results are **merged in fixed tile order**, regardless of which
+//!    worker computed which tile or when it finished.
+//!
+//! Under that contract the thread count is a pure throughput knob: any
+//! `nthreads` (including 1) produces byte-identical output, which is what
+//! the proptests in `sparsela` pin. See `docs/PERFORMANCE.md`.
+//!
+//! Like the vendored `crossbeam` shim, this crate depends only on `std`
+//! (the build environment is offline).
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// Thread-count configuration
+// ---------------------------------------------------------------------------
+
+/// Global worker count: 0 = unset (resolve from `SACO_THREADS`, else 1).
+static THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// The configured worker count for pooled kernels.
+///
+/// Resolution order: the last [`set_threads`] call, else the `SACO_THREADS`
+/// environment variable, else 1 (serial). The default is deliberately
+/// serial: parallelism is opt-in via `--threads` / `SACO_THREADS`, and
+/// results do not depend on the choice.
+pub fn threads() -> usize {
+    match THREADS.load(Ordering::Relaxed) {
+        0 => {
+            let n = std::env::var("SACO_THREADS")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or(1);
+            THREADS.store(n, Ordering::Relaxed);
+            n
+        }
+        n => n,
+    }
+}
+
+/// Set the global worker count (clamped to at least 1).
+pub fn set_threads(n: usize) {
+    THREADS.store(n.max(1), Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Pool utilization accounting
+// ---------------------------------------------------------------------------
+
+static REGIONS: AtomicU64 = AtomicU64::new(0);
+static TILES: AtomicU64 = AtomicU64::new(0);
+static BUSY_NANOS: AtomicU64 = AtomicU64::new(0);
+static WALL_NANOS: AtomicU64 = AtomicU64::new(0);
+
+/// Cumulative pool activity since process start (or [`reset_stats`]).
+///
+/// `busy_secs` sums per-worker on-CPU-ish time across all workers;
+/// `wall_secs` sums the elapsed time of each parallel region once. Both
+/// are host-clock measurements — feed them to *gauges* (`par.*`), never
+/// into deterministic phase tables.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PoolStats {
+    /// Number of parallel regions executed (one per `tiled_map` call that
+    /// actually fanned out; serial fallbacks count too, with one worker).
+    pub regions: u64,
+    /// Total tiles processed across all regions.
+    pub tiles: u64,
+    /// Summed per-worker busy seconds.
+    pub busy_secs: f64,
+    /// Summed region wall-clock seconds.
+    pub wall_secs: f64,
+}
+
+impl PoolStats {
+    /// Fraction of `workers × wall` that was busy — 1.0 means perfect
+    /// scaling, 1/workers means one worker did everything.
+    pub fn utilization(&self, workers: usize) -> f64 {
+        let denom = self.wall_secs * workers.max(1) as f64;
+        if denom <= 0.0 {
+            0.0
+        } else {
+            (self.busy_secs / denom).min(1.0)
+        }
+    }
+}
+
+/// Snapshot the cumulative pool counters.
+pub fn stats() -> PoolStats {
+    PoolStats {
+        regions: REGIONS.load(Ordering::Relaxed),
+        tiles: TILES.load(Ordering::Relaxed),
+        busy_secs: BUSY_NANOS.load(Ordering::Relaxed) as f64 * 1e-9,
+        wall_secs: WALL_NANOS.load(Ordering::Relaxed) as f64 * 1e-9,
+    }
+}
+
+/// Zero the cumulative pool counters (between bench phases).
+pub fn reset_stats() {
+    REGIONS.store(0, Ordering::Relaxed);
+    TILES.store(0, Ordering::Relaxed);
+    BUSY_NANOS.store(0, Ordering::Relaxed);
+    WALL_NANOS.store(0, Ordering::Relaxed);
+}
+
+fn record_region(tiles: usize, busy_nanos: u64, wall_nanos: u64) {
+    REGIONS.fetch_add(1, Ordering::Relaxed);
+    TILES.fetch_add(tiles as u64, Ordering::Relaxed);
+    BUSY_NANOS.fetch_add(busy_nanos, Ordering::Relaxed);
+    WALL_NANOS.fetch_add(wall_nanos, Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic tiled reduction
+// ---------------------------------------------------------------------------
+
+/// Run `f` once per tile index in `0..ntiles` on up to `nthreads` scoped
+/// workers and return the results **in tile order**.
+///
+/// `init` builds one scratch state per worker (e.g. a scatter workspace),
+/// reused across every tile that worker claims — per-worker state, never
+/// shared, so tiles cannot observe each other. Tiles are claimed
+/// dynamically (an atomic cursor) for load balance; determinism comes
+/// from the output being slotted by tile index, not completion order.
+///
+/// Falls back to a single in-place loop when `nthreads <= 1` or
+/// `ntiles <= 1` — the parallel and serial paths run the *same* `f`, so
+/// outputs are identical by construction.
+pub fn tiled_map<T, S, I, F>(nthreads: usize, ntiles: usize, init: I, f: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    let workers = nthreads.max(1).min(ntiles.max(1));
+    if workers <= 1 || ntiles <= 1 {
+        let t0 = Instant::now();
+        let mut state = init();
+        let out: Vec<T> = (0..ntiles).map(|idx| f(&mut state, idx)).collect();
+        let el = t0.elapsed().as_nanos() as u64;
+        record_region(ntiles, el, el);
+        return out;
+    }
+
+    let t0 = Instant::now();
+    let cursor = AtomicUsize::new(0);
+    let mut parts: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let w0 = Instant::now();
+                    let mut state = init();
+                    let mut mine = Vec::new();
+                    loop {
+                        let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                        if idx >= ntiles {
+                            break;
+                        }
+                        mine.push((idx, f(&mut state, idx)));
+                    }
+                    (w0.elapsed().as_nanos() as u64, mine)
+                })
+            })
+            .collect();
+        let mut busy = 0u64;
+        let parts = handles
+            .into_iter()
+            .map(|h| {
+                let (b, part) = h.join().expect("saco-par worker panicked");
+                busy += b;
+                part
+            })
+            .collect();
+        record_region(ntiles, busy, t0.elapsed().as_nanos() as u64);
+        parts
+    });
+
+    // Merge in fixed tile order: slot every result by its tile index.
+    let mut slots: Vec<Option<T>> = (0..ntiles).map(|_| None).collect();
+    for part in &mut parts {
+        for (idx, value) in part.drain(..) {
+            debug_assert!(slots[idx].is_none(), "tile {idx} computed twice");
+            slots[idx] = Some(value);
+        }
+    }
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(idx, s)| s.unwrap_or_else(|| panic!("tile {idx} never computed")))
+        .collect()
+}
+
+/// Fan disjoint work items out over up to `nthreads` workers, round-robin.
+///
+/// Each item is consumed exactly once; `f` returns nothing, so this is
+/// the primitive for updating pre-partitioned *disjoint* mutable state
+/// (e.g. per-rank slices of the virtual cluster's clock arrays). Item `i`
+/// goes to worker `i % workers`, so for a fixed item list the
+/// item→worker assignment is deterministic too.
+pub fn scatter<I, F>(nthreads: usize, items: Vec<I>, f: F)
+where
+    I: Send,
+    F: Fn(I) + Sync,
+{
+    let n = items.len();
+    let workers = nthreads.max(1).min(n.max(1));
+    if workers <= 1 || n <= 1 {
+        let t0 = Instant::now();
+        for item in items {
+            f(item);
+        }
+        let el = t0.elapsed().as_nanos() as u64;
+        record_region(n, el, el);
+        return;
+    }
+    let t0 = Instant::now();
+    let mut queues: Vec<Vec<I>> = (0..workers).map(|_| Vec::new()).collect();
+    for (i, item) in items.into_iter().enumerate() {
+        queues[i % workers].push(item);
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = queues
+            .into_iter()
+            .map(|queue| {
+                scope.spawn(|| {
+                    let w0 = Instant::now();
+                    for item in queue {
+                        f(item);
+                    }
+                    w0.elapsed().as_nanos() as u64
+                })
+            })
+            .collect();
+        let busy: u64 = handles
+            .into_iter()
+            .map(|h| h.join().expect("saco-par worker panicked"))
+            .sum();
+        record_region(n, busy, t0.elapsed().as_nanos() as u64);
+    });
+}
+
+/// Run `f(index, item)` on one dedicated scoped thread **per item** and
+/// return results in item order.
+///
+/// This is *not* pooled: every item gets its own OS thread, because the
+/// caller's items may block on each other (mpisim's SPMD ranks exchange
+/// messages through blocking channels — multiplexing them onto fewer
+/// workers would deadlock). Use [`tiled_map`] for compute tiles.
+pub fn scoped_map<I, T, F>(items: Vec<I>, f: F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(usize, I) -> T + Sync,
+{
+    let n = items.len();
+    if n <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, it)| f(i, it))
+            .collect();
+    }
+    std::thread::scope(|scope| {
+        let fref = &f;
+        let handles: Vec<_> = items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| scope.spawn(move || fref(i, item)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("saco-par scoped thread panicked"))
+            .collect()
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Tiling and schedule modelling helpers
+// ---------------------------------------------------------------------------
+
+/// Split `0..len` into at most `max_tiles` contiguous half-open ranges of
+/// near-equal length (the first `len % tiles` ranges are one longer).
+pub fn tile_ranges(len: usize, max_tiles: usize) -> Vec<(usize, usize)> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let tiles = max_tiles.max(1).min(len);
+    let base = len / tiles;
+    let extra = len % tiles;
+    let mut out = Vec::with_capacity(tiles);
+    let mut start = 0;
+    for t in 0..tiles {
+        let width = base + usize::from(t < extra);
+        out.push((start, start + width));
+        start += width;
+    }
+    out
+}
+
+/// Deterministic makespan bound for `weights` list-scheduled in order onto
+/// `workers` workers (each tile goes to the currently least-loaded worker,
+/// ties to the lowest index).
+///
+/// This models the pool's dynamic tile claiming without depending on host
+/// timing, so modeled parallel `comp_time` gauges derived from it are
+/// byte-stable run to run. For balanced tiles it approaches
+/// `total / workers`; it is never below `max(total/workers, max_weight)`'s
+/// greedy schedule.
+pub fn schedule_bound(weights: &[u64], workers: usize) -> u64 {
+    let w = workers.max(1);
+    let mut loads = vec![0u64; w];
+    for &weight in weights {
+        let argmin = (0..w).min_by_key(|&i| loads[i]).expect("w >= 1");
+        loads[argmin] += weight;
+    }
+    loads.into_iter().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiled_map_preserves_tile_order_at_any_thread_count() {
+        let serial = tiled_map(1, 40, || (), |_, i| i * i);
+        for threads in [2usize, 3, 4, 7, 16, 64] {
+            let par = tiled_map(threads, 40, || (), |_, i| i * i);
+            assert_eq!(par, serial, "threads={threads}");
+        }
+        assert_eq!(serial, (0..40).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn tiled_map_worker_state_is_private_and_reused() {
+        // Each worker counts the tiles it ran through its state; the sum
+        // over all tiles of "tiles seen so far by my worker" is only
+        // consistent if states are never shared between workers.
+        let counts = tiled_map(
+            4,
+            100,
+            || 0usize,
+            |seen, _| {
+                *seen += 1;
+                *seen
+            },
+        );
+        assert_eq!(counts.len(), 100);
+        // Every worker's sequence 1,2,3,… partitions the tiles.
+        let total: usize = counts.iter().filter(|&&c| c == 1).count();
+        assert!(
+            (1..=4).contains(&total),
+            "one restart per worker, got {total}"
+        );
+    }
+
+    #[test]
+    fn tiled_map_handles_degenerate_sizes() {
+        assert!(tiled_map(4, 0, || (), |_, i| i).is_empty());
+        assert_eq!(tiled_map(0, 3, || (), |_, i| i), vec![0, 1, 2]);
+        assert_eq!(tiled_map(9, 1, || (), |_, i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn scatter_consumes_every_item_exactly_once() {
+        use std::sync::atomic::AtomicU64;
+        let hits: Vec<AtomicU64> = (0..50).map(|_| AtomicU64::new(0)).collect();
+        let items: Vec<usize> = (0..50).collect();
+        scatter(4, items, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "item {i}");
+        }
+    }
+
+    #[test]
+    fn scatter_on_disjoint_mut_slices() {
+        let mut data = vec![0u64; 64];
+        let chunks: Vec<(usize, &mut [u64])> = data.chunks_mut(16).enumerate().collect();
+        scatter(3, chunks, |(c, chunk)| {
+            for (i, v) in chunk.iter_mut().enumerate() {
+                *v = (c * 16 + i) as u64;
+            }
+        });
+        assert_eq!(data, (0..64).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn scoped_map_returns_in_item_order() {
+        let out = scoped_map(vec![5u64, 1, 9, 3], |i, v| (i, v * 2));
+        assert_eq!(out, vec![(0, 10), (1, 2), (2, 18), (3, 6)]);
+        let empty: Vec<u64> = scoped_map(Vec::<u64>::new(), |_, v| v);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn tile_ranges_cover_exactly() {
+        for (len, tiles) in [(10, 3), (3, 10), (64, 8), (7, 1), (1, 1)] {
+            let ranges = tile_ranges(len, tiles);
+            assert!(ranges.len() <= tiles.max(1));
+            assert_eq!(ranges[0].0, 0);
+            assert_eq!(ranges.last().unwrap().1, len);
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].1, w[1].0, "contiguous");
+                assert!(w[0].1 > w[0].0, "nonempty");
+            }
+        }
+        assert!(tile_ranges(0, 4).is_empty());
+    }
+
+    #[test]
+    fn schedule_bound_models_greedy_makespan() {
+        // Serial: everything on one worker.
+        assert_eq!(schedule_bound(&[3, 1, 4, 1, 5], 1), 14);
+        // Balanced tiles split evenly.
+        assert_eq!(schedule_bound(&[2, 2, 2, 2], 2), 4);
+        // A dominant tile lower-bounds the makespan.
+        assert_eq!(schedule_bound(&[10, 1, 1, 1], 4), 10);
+        // More workers never increase the bound.
+        let w = [7u64, 3, 9, 2, 8, 4, 6, 1];
+        let mut prev = u64::MAX;
+        for k in 1..=8 {
+            let b = schedule_bound(&w, k);
+            assert!(b <= prev, "workers={k}");
+            prev = b;
+        }
+        assert_eq!(schedule_bound(&[], 4), 0);
+    }
+
+    #[test]
+    fn stats_accumulate_and_reset() {
+        reset_stats();
+        let _ = tiled_map(4, 32, || (), |_, i| i);
+        let s = stats();
+        assert_eq!(s.regions, 1);
+        assert_eq!(s.tiles, 32);
+        assert!(s.wall_secs >= 0.0 && s.busy_secs >= 0.0);
+        assert!(s.utilization(4) <= 1.0);
+        reset_stats();
+        assert_eq!(stats(), PoolStats::default());
+    }
+
+    #[test]
+    fn thread_config_round_trips() {
+        set_threads(6);
+        assert_eq!(threads(), 6);
+        set_threads(0); // clamped
+        assert_eq!(threads(), 1);
+        set_threads(1);
+    }
+}

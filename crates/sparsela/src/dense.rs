@@ -35,6 +35,18 @@ impl DenseMatrix {
         m
     }
 
+    /// Reshape in place to `rows × cols`, zeroing every entry. Keeps the
+    /// backing allocation when capacity suffices — the workspace-reuse
+    /// hook ([`crate::GramWorkspace`] and the solvers' `KernelWorkspace`)
+    /// that lets one output matrix serve every outer iteration without
+    /// reallocating.
+    pub fn reshape_zeroed(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
     /// Build from a row-major data vector.
     ///
     /// # Panics
@@ -172,15 +184,14 @@ impl DenseMatrix {
     /// Fig. 4e–h discussion).
     pub fn matmul(&self, b: &DenseMatrix) -> DenseMatrix {
         assert_eq!(self.cols, b.rows, "matmul: inner dimension mismatch");
-        const BLOCK: usize = 64;
         let (m, k, n) = (self.rows, self.cols, b.cols);
         let mut c = DenseMatrix::zeros(m, n);
-        for ii in (0..m).step_by(BLOCK) {
-            let iend = (ii + BLOCK).min(m);
-            for kk in (0..k).step_by(BLOCK) {
-                let kend = (kk + BLOCK).min(k);
-                for jj in (0..n).step_by(BLOCK) {
-                    let jend = (jj + BLOCK).min(n);
+        for ii in (0..m).step_by(Self::BLOCK) {
+            let iend = (ii + Self::BLOCK).min(m);
+            for kk in (0..k).step_by(Self::BLOCK) {
+                let kend = (kk + Self::BLOCK).min(k);
+                for jj in (0..n).step_by(Self::BLOCK) {
+                    let jend = (jj + Self::BLOCK).min(n);
                     for i in ii..iend {
                         for p in kk..kend {
                             let aip = self.get(i, p);
@@ -227,6 +238,131 @@ impl DenseMatrix {
         g
     }
 
+    /// Multi-threaded [`matmul`](Self::matmul) over `saco-par`: output
+    /// rows are split into cache-block tiles, each computed by the same
+    /// blocked kernel. Rows of `C` are independent and each keeps the
+    /// serial `kk`/`jj` block traversal, so the result is **bitwise
+    /// identical** to the serial product at any thread count.
+    pub fn matmul_parallel(&self, b: &DenseMatrix, nthreads: usize) -> DenseMatrix {
+        assert_eq!(self.cols, b.rows, "matmul: inner dimension mismatch");
+        let (m, n) = (self.rows, b.cols);
+        if nthreads <= 1 || m < 2 * Self::BLOCK {
+            return self.matmul(b);
+        }
+        let tiles = saco_par::tile_ranges(m, 4 * nthreads);
+        let parts = saco_par::tiled_map(
+            nthreads,
+            tiles.len(),
+            || (),
+            |_, t| {
+                let (lo, hi) = tiles[t];
+                self.matmul_rows(b, lo, hi)
+            },
+        );
+        let mut data = Vec::with_capacity(m * n);
+        for part in parts {
+            data.extend_from_slice(&part);
+        }
+        DenseMatrix::from_vec(m, n, data)
+    }
+
+    const BLOCK: usize = 64;
+
+    /// Blocked GEMM restricted to output rows `[lo, hi)`; returns that
+    /// row band. Per output entry the accumulation order over the inner
+    /// dimension is exactly [`matmul`](Self::matmul)'s (`kk` blocks
+    /// ascending, then `p` within each block), which is what makes the
+    /// row-tiled parallel product bitwise identical.
+    fn matmul_rows(&self, b: &DenseMatrix, lo: usize, hi: usize) -> Vec<f64> {
+        let (k, n) = (self.cols, b.cols);
+        let mut band = vec![0.0; (hi - lo) * n];
+        for kk in (0..k).step_by(Self::BLOCK) {
+            let kend = (kk + Self::BLOCK).min(k);
+            for jj in (0..n).step_by(Self::BLOCK) {
+                let jend = (jj + Self::BLOCK).min(n);
+                for i in lo..hi {
+                    for p in kk..kend {
+                        let aip = self.get(i, p);
+                        if aip == 0.0 {
+                            continue;
+                        }
+                        let brow = &b.data[p * n + jj..p * n + jend];
+                        let crow = &mut band[(i - lo) * n + jj..(i - lo) * n + jend];
+                        for (cv, bv) in crow.iter_mut().zip(brow) {
+                            *cv += aip * bv;
+                        }
+                    }
+                }
+            }
+        }
+        band
+    }
+
+    /// Multi-threaded [`gram`](Self::gram) over `saco-par`: the upper
+    /// triangle's output rows are split into tiles, and every entry
+    /// `G[a][b]` accumulates over the data rows in the same ascending
+    /// order as the serial kernel — so the result is **bitwise
+    /// identical** at any thread count. Tiles are sized unevenly (row `a`
+    /// of the triangle costs `n − a` updates) via many small tiles plus
+    /// the pool's dynamic claiming.
+    pub fn gram_parallel(&self, nthreads: usize) -> DenseMatrix {
+        let n = self.cols;
+        if nthreads <= 1 || n < 8 {
+            return self.gram();
+        }
+        let tiles = saco_par::tile_ranges(n, 8 * nthreads);
+        let parts = saco_par::tiled_map(
+            nthreads,
+            tiles.len(),
+            || (),
+            |_, t| {
+                let (lo, hi) = tiles[t];
+                self.gram_triangle_rows(lo, hi)
+            },
+        );
+        let mut g = DenseMatrix::zeros(n, n);
+        for (t, part) in parts.into_iter().enumerate() {
+            let (lo, hi) = tiles[t];
+            let mut off = 0;
+            for a in lo..hi {
+                let width = n - a;
+                g.data[a * n + a..(a + 1) * n].copy_from_slice(&part[off..off + width]);
+                off += width;
+            }
+        }
+        for a in 0..n {
+            for b in (a + 1)..n {
+                g.data[b * n + a] = g.data[a * n + b];
+            }
+        }
+        g
+    }
+
+    /// Upper-triangle rows `[lo, hi)` of `AᵀA`, packed row-major
+    /// (`row a` contributes its `n − a` entries `G[a][a..n]`). Entry
+    /// accumulation order over data rows matches [`gram`](Self::gram).
+    fn gram_triangle_rows(&self, lo: usize, hi: usize) -> Vec<f64> {
+        let n = self.cols;
+        let len: usize = (lo..hi).map(|a| n - a).sum();
+        let mut out = vec![0.0; len];
+        for i in 0..self.rows {
+            let row = self.row(i);
+            let mut off = 0;
+            for a in lo..hi {
+                let ra = row[a];
+                let width = n - a;
+                if ra != 0.0 {
+                    let dst = &mut out[off..off + width];
+                    for (d, &rb) in dst.iter_mut().zip(&row[a..n]) {
+                        *d += ra * rb;
+                    }
+                }
+                off += width;
+            }
+        }
+        out
+    }
+
     /// Frobenius norm.
     pub fn fro_norm(&self) -> f64 {
         vecops::nrm2(&self.data)
@@ -251,15 +387,23 @@ impl DenseMatrix {
 
     /// Extract a contiguous square diagonal block `[lo, hi) × [lo, hi)`.
     pub fn diag_block(&self, lo: usize, hi: usize) -> DenseMatrix {
+        let mut b = DenseMatrix::zeros(0, 0);
+        self.diag_block_into(lo, hi, &mut b);
+        b
+    }
+
+    /// [`diag_block`](Self::diag_block) into a caller-owned matrix
+    /// (reshaped in place), so per-iteration Lipschitz-block extraction in
+    /// the SA inner loops reuses one allocation.
+    pub fn diag_block_into(&self, lo: usize, hi: usize, out: &mut DenseMatrix) {
         assert!(lo <= hi && hi <= self.rows && hi <= self.cols);
         let k = hi - lo;
-        let mut b = DenseMatrix::zeros(k, k);
+        out.reshape_zeroed(k, k);
         for i in 0..k {
             for j in 0..k {
-                b.set(i, j, self.get(lo + i, lo + j));
+                out.set(i, j, self.get(lo + i, lo + j));
             }
         }
-        b
     }
 
     /// Check symmetry to tolerance `tol` (relative to the largest entry).

@@ -13,6 +13,12 @@
 //! * dense (gather + blocked GEMM) — the BLAS-3 path for dense datasets,
 //!   which is also what makes computing `s` iterations of dot products at
 //!   once *faster per flop* than `s` separate BLAS-1 calls (Fig. 4e–h).
+//!
+//! Both paths have pool-parallel variants driven through `saco-par` whose
+//! results are **bitwise identical** to the serial kernels (fixed tile
+//! merge order, per-worker scatter workspaces — see `docs/PERFORMANCE.md`),
+//! and `_with_workspace`/`_into` variants that reuse caller-owned buffers
+//! so the SA hot loop allocates nothing per outer iteration.
 
 use crate::{CscMatrix, CsrMatrix, DenseMatrix, SparseSlice};
 
@@ -52,52 +58,192 @@ impl MajorSlices for CscMatrix {
     }
 }
 
+/// Reusable scratch for the sparse Gram kernels: the dense scatter buffer
+/// of minor length. Creating one per call costs an `O(minor_len)`
+/// zero-fill *and* an allocation; holding one across calls (it is
+/// restored to all-zeros by the kernel's un-scatter pass) makes repeated
+/// `sampled_gram` calls allocation-free.
+#[derive(Clone, Debug, Default)]
+pub struct GramWorkspace {
+    scatter: Vec<f64>,
+}
+
+impl GramWorkspace {
+    /// An empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The scatter buffer at length `minor_len`, all zeros. Grows (with a
+    /// zero fill of the new tail) when the matrix is larger than any seen
+    /// before; otherwise this is free — the kernels' un-scatter pass
+    /// maintains the all-zeros invariant between calls.
+    fn scatter_for(&mut self, minor_len: usize) -> &mut [f64] {
+        if self.scatter.len() < minor_len {
+            self.scatter.resize(minor_len, 0.0);
+        }
+        &mut self.scatter[..minor_len]
+    }
+}
+
+/// One upper-triangle row of the sampled Gram: scatter slice `a`, take
+/// its `norm_sq` for the diagonal and a sparse dot per later slice. This
+/// is THE per-entry arithmetic — serial and pooled paths both call it, so
+/// their outputs agree bitwise.
+fn gram_row<M: MajorSlices>(m: &M, sel: &[usize], a: usize, work: &mut [f64], row: &mut Vec<f64>) {
+    let k = sel.len();
+    let sa = m.slice(sel[a]);
+    for (&i, &v) in sa.indices.iter().zip(sa.values) {
+        work[i] = v;
+    }
+    row.clear();
+    row.reserve(k - a);
+    row.push(sa.norm_sq());
+    for &sb in &sel[a + 1..] {
+        row.push(m.slice(sb).dot_dense_sparse(work));
+    }
+    for &i in sa.indices {
+        work[i] = 0.0;
+    }
+}
+
 /// Compute the Gram matrix `G[a][b] = ⟨slice(sel[a]), slice(sel[b])⟩` of the
 /// sampled slices, exploiting symmetry (upper triangle computed, mirrored —
 /// the paper's footnote-3 2× flop saving).
 ///
 /// Cost: O(k · nnz(selected)) via a dense scatter workspace of minor length.
+/// Allocates the workspace and output; the SA hot loop should prefer
+/// [`sampled_gram_into`] (or [`sampled_gram_with_workspace`]) to reuse both.
 pub fn sampled_gram<M: MajorSlices>(m: &M, sel: &[usize]) -> DenseMatrix {
+    sampled_gram_with_workspace(m, sel, &mut GramWorkspace::new())
+}
+
+/// [`sampled_gram`] against a caller-owned [`GramWorkspace`], skipping the
+/// per-call `O(minor_len)` scatter-buffer zero-fill. Bitwise identical to
+/// [`sampled_gram`].
+pub fn sampled_gram_with_workspace<M: MajorSlices>(
+    m: &M,
+    sel: &[usize],
+    ws: &mut GramWorkspace,
+) -> DenseMatrix {
     let k = sel.len();
     let mut g = DenseMatrix::zeros(k, k);
-    let mut work = vec![0.0; m.minor_len()];
+    gram_serial_core(m, sel, ws, &mut g);
+    g
+}
+
+/// Serial scatter-dot core: fill `out` (pre-shaped `k×k`, zeroed) row by
+/// row, mirroring as it goes.
+fn gram_serial_core<M: MajorSlices>(
+    m: &M,
+    sel: &[usize],
+    ws: &mut GramWorkspace,
+    out: &mut DenseMatrix,
+) {
+    let k = sel.len();
+    let work = ws.scatter_for(m.minor_len());
+    let mut row = Vec::new();
     for a in 0..k {
-        let sa = m.slice(sel[a]);
-        // scatter slice a
-        for (&i, &v) in sa.indices.iter().zip(sa.values) {
-            work[i] = v;
-        }
-        g.set(a, a, sa.norm_sq());
-        for b in (a + 1)..k {
-            let v = m.slice(sel[b]).dot_dense_sparse(&work);
-            g.set(a, b, v);
-            g.set(b, a, v);
-        }
-        // clear workspace
-        for &i in sa.indices {
-            work[i] = 0.0;
+        gram_row(m, sel, a, work, &mut row);
+        for (off, &v) in row.iter().enumerate() {
+            out.set(a, a + off, v);
+            out.set(a + off, a, v);
         }
     }
+}
+
+/// Fully workspace-reusing sampled Gram: writes into `out` (reshaped to
+/// `k×k` in place) and, when `nthreads > 1`, tiles the upper-triangle rows
+/// over the `saco-par` pool with one scatter workspace per worker, merged
+/// in fixed row order. Bitwise identical to [`sampled_gram`] at any
+/// thread count — the pooled path computes every entry with the same
+/// [`gram_row`] arithmetic.
+pub fn sampled_gram_into<M: MajorSlices + Sync>(
+    m: &M,
+    sel: &[usize],
+    nthreads: usize,
+    ws: &mut GramWorkspace,
+    out: &mut DenseMatrix,
+) {
+    let k = sel.len();
+    out.reshape_zeroed(k, k);
+    if nthreads <= 1 || k < 4 {
+        gram_serial_core(m, sel, ws, out);
+        return;
+    }
+    // One tile per upper-triangle row: row a costs (k − a) pair-dots, so
+    // fine-grained tiles plus the pool's dynamic claiming balance the
+    // triangle without a static schedule.
+    let rows = saco_par::tiled_map(
+        nthreads,
+        k,
+        || (GramWorkspace::new(), Vec::new()),
+        |(ws, row), a| {
+            gram_row(m, sel, a, ws.scatter_for(m.minor_len()), row);
+            std::mem::take(row)
+        },
+    );
+    for (a, row) in rows.iter().enumerate() {
+        for (off, &v) in row.iter().enumerate() {
+            out.set(a, a + off, v);
+            out.set(a + off, a, v);
+        }
+    }
+}
+
+/// Multi-threaded [`sampled_gram`] over the `saco-par` pool. Each entry
+/// is computed by exactly the same scatter-dot as the sequential kernel
+/// and rows merge in fixed order, so the result is **bitwise identical**
+/// — threading here is free parallelism, not a numerics change.
+///
+/// This is the shared-memory, within-rank parallelism a production rank
+/// would use on a multicore node; the deterministic-by-construction design
+/// keeps the SA equivalence guarantees intact. The kernel is
+/// memory-bandwidth bound, so the realized speedup depends on the host's
+/// spare bandwidth, not its core count — benchmark before relying on it
+/// (`cargo bench -p saco-bench --bench kernels`, group `sampled_gram_256`).
+pub fn sampled_gram_parallel<M: MajorSlices + Sync>(
+    m: &M,
+    sel: &[usize],
+    nthreads: usize,
+) -> DenseMatrix {
+    let mut g = DenseMatrix::zeros(0, 0);
+    sampled_gram_into(m, sel, nthreads, &mut GramWorkspace::new(), &mut g);
     g
 }
 
 /// Cross product `C[a][j] = ⟨slice(sel[a]), vs[j]⟩` for a small set of dense
 /// vectors (e.g. `[ỹ, z̃]` in Alg. 2 line 12, or `x` in Alg. 4 line 10).
 pub fn sampled_cross<M: MajorSlices>(m: &M, sel: &[usize], vs: &[&[f64]]) -> DenseMatrix {
-    let k = sel.len();
-    let mut c = DenseMatrix::zeros(k, vs.len());
+    let mut c = DenseMatrix::zeros(0, 0);
+    sampled_cross_into(m, sel, vs, &mut c);
+    c
+}
+
+/// [`sampled_cross`] into a caller-owned output matrix (reshaped in
+/// place), so the SA hot loop reuses one allocation across outer
+/// iterations.
+pub fn sampled_cross_into<M: MajorSlices>(
+    m: &M,
+    sel: &[usize],
+    vs: &[&[f64]],
+    out: &mut DenseMatrix,
+) {
+    // Validate each vector once, not once per selected slice.
+    for v in vs {
+        assert_eq!(
+            v.len(),
+            m.minor_len(),
+            "cross-product vector length mismatch"
+        );
+    }
+    out.reshape_zeroed(sel.len(), vs.len());
     for (a, &s) in sel.iter().enumerate() {
         let sl = m.slice(s);
         for (j, v) in vs.iter().enumerate() {
-            assert_eq!(
-                v.len(),
-                m.minor_len(),
-                "cross-product vector length mismatch"
-            );
-            c.set(a, j, sl.dot_dense(v));
+            out.set(a, j, sl.dot_dense(v));
         }
     }
-    c
 }
 
 impl SparseSlice<'_> {
@@ -111,29 +257,31 @@ impl SparseSlice<'_> {
 }
 
 /// Dense-path Gram: gather sampled columns into a dense block and use the
-/// cache-blocked symmetric GEMM. Numerically equivalent to [`sampled_gram`]
-/// (same pairwise products, different summation order → agreement to
-/// round-off), but runs at BLAS-3 rates for dense data.
+/// cache-blocked symmetric GEMM (pool-parallel over `saco-par` when the
+/// global thread count is raised). Numerically equivalent to
+/// [`sampled_gram`] (same pairwise products, different summation order →
+/// agreement to round-off), but runs at BLAS-3 rates for dense data.
 pub fn sampled_gram_dense(m: &CscMatrix, sel: &[usize]) -> DenseMatrix {
-    m.gather_columns_dense(sel).gram()
+    m.gather_columns_dense(sel)
+        .gram_parallel(saco_par::threads())
 }
 
-/// Flop count of a sampled Gram computation: one multiply-add per pairwise
-/// index match, upper triangle only. Used by the solvers to charge the
-/// simulator's cost model with the work they actually did.
+/// Flop count of the sampled Gram kernel as executed: for the slice at
+/// triangle position `b` (0-based), `norm_sq` on the diagonal costs
+/// `2·nnz_b` and each of the `b` pair-dots against an earlier scattered
+/// slice iterates *this* slice's nonzeros (`2·nnz_b` each) — so position
+/// `b` is charged `2·nnz_b·(b + 1)`.
+///
+/// For uniform slice density this sums to `nnz(selected)·(k + 1)`,
+/// matching the aggregate per-rank charge in `saco::dist::charges`
+/// (`gram_flops = local_nnz·(width + 1)`): both account the upper
+/// triangle only — the paper's footnote-3 2× saving over the full
+/// `2·k·nnz` rectangular product.
 pub fn gram_flops<M: MajorSlices>(m: &M, sel: &[usize]) -> u64 {
-    // Upper bound: for each ordered pair (a, b<=a) the merge visits
-    // nnz_a + nnz_b entries. We charge the scatter-dot cost actually used:
-    // sum over a of (k - a) * nnz_a + k * nnz_a ~= accumulate precisely.
-    let k = sel.len();
-    let mut flops = 0u64;
-    for (a, &s) in sel.iter().enumerate() {
-        let nnz = m.slice(s).nnz() as u64;
-        // diagonal + scatter + (k - a - 1) dot passes over later slices is
-        // accounted from the other side; charge 2*nnz per pair member.
-        flops += 2 * nnz * (k - a) as u64;
-    }
-    flops
+    sel.iter()
+        .enumerate()
+        .map(|(b, &s)| 2 * m.slice(s).nnz() as u64 * (b as u64 + 1))
+        .sum()
 }
 
 /// Flop count of a sampled cross product.
@@ -246,74 +394,73 @@ mod tests {
         assert!(f2 > f1, "more samples must cost more flops");
         assert!(cross_flops(&csc, &[0, 1], 2) > 0);
     }
-}
 
-/// Multi-threaded [`sampled_gram`]: rows of the upper triangle are
-/// distributed round-robin over `nthreads` OS threads (round-robin because
-/// row `a` costs `(k − a)` pair-dots — contiguous chunks would straggle).
-/// Each entry is computed by exactly the same scatter-dot as the
-/// sequential kernel, so the result is **bitwise identical** — threading
-/// here is free parallelism, not a numerics change.
-///
-/// This is the shared-memory, within-rank parallelism a production rank
-/// would use on a multicore node; the deterministic-by-construction design
-/// keeps the SA equivalence guarantees intact. The kernel is
-/// memory-bandwidth bound, so the realized speedup depends on the host's
-/// spare bandwidth, not its core count — benchmark before relying on it
-/// (`cargo bench -p saco-bench --bench kernels`, group `sampled_gram_256`).
-pub fn sampled_gram_parallel<M: MajorSlices + Sync>(
-    m: &M,
-    sel: &[usize],
-    nthreads: usize,
-) -> DenseMatrix {
-    let k = sel.len();
-    let nthreads = nthreads.max(1).min(k.max(1));
-    if nthreads <= 1 || k < 4 {
-        return sampled_gram(m, sel);
-    }
-    // Each thread computes full upper-triangle rows into its own buffer.
-    let rows: Vec<Vec<(usize, Vec<f64>)>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..nthreads)
-            .map(|t| {
-                scope.spawn(move || {
-                    let mut work = vec![0.0; m.minor_len()];
-                    let mut out = Vec::new();
-                    let mut a = t;
-                    while a < k {
-                        let sa = m.slice(sel[a]);
-                        for (&i, &v) in sa.indices.iter().zip(sa.values) {
-                            work[i] = v;
-                        }
-                        let mut row = Vec::with_capacity(k - a);
-                        row.push(sa.norm_sq());
-                        for b in (a + 1)..k {
-                            row.push(m.slice(sel[b]).dot_dense(&work));
-                        }
-                        for &i in sa.indices {
-                            work[i] = 0.0;
-                        }
-                        out.push((a, row));
-                        a += nthreads;
-                    }
-                    out
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("gram worker panicked"))
-            .collect()
-    });
-    let mut g = DenseMatrix::zeros(k, k);
-    for part in rows {
-        for (a, row) in part {
-            for (off, &v) in row.iter().enumerate() {
-                g.set(a, a + off, v);
-                g.set(a + off, a, v);
-            }
+    #[test]
+    fn gram_flops_charge_the_triangle_exactly() {
+        // Position b pays 2·nnz_b·(b+1): its norm_sq diagonal plus the b
+        // pair-dots that iterate its nonzeros against earlier scattered
+        // slices. Pin it on a matrix with known column counts.
+        let mut coo = CooMatrix::new(6, 3);
+        for i in 0..2 {
+            coo.push(i, 0, 1.0); // col 0: nnz 2
         }
+        for i in 0..3 {
+            coo.push(i, 1, 1.0); // col 1: nnz 3
+        }
+        for i in 0..5 {
+            coo.push(i, 2, 1.0); // col 2: nnz 5
+        }
+        let csc = coo.to_csc();
+        // sel = [2, 0, 1] → 2·5·1 + 2·2·2 + 2·3·3 = 10 + 8 + 18
+        assert_eq!(gram_flops(&csc, &[2, 0, 1]), 36);
+        // Uniform-nnz aggregate matches local_nnz·(k+1), the dist-engine
+        // charge formula.
+        let uni = random_sparse(40, 8, 1.0, 9).to_csc(); // dense => nnz 40 per col
+        let sel: Vec<usize> = (0..8).collect();
+        assert_eq!(gram_flops(&uni, &sel), 40 * 8 * (8 + 1));
     }
-    g
+
+    #[test]
+    fn workspace_variant_is_bitwise_identical_and_reusable() {
+        let csc = random_sparse(50, 20, 0.3, 10).to_csc();
+        let mut ws = GramWorkspace::new();
+        let sel_a = vec![0, 3, 7, 11];
+        let sel_b: Vec<usize> = (0..20).collect();
+        // Reuse the same workspace across differently-shaped calls.
+        for sel in [&sel_a, &sel_b, &sel_a] {
+            let fresh = sampled_gram(&csc, sel);
+            let reused = sampled_gram_with_workspace(&csc, sel, &mut ws);
+            assert_eq!(fresh.as_slice(), reused.as_slice());
+        }
+        // And the _into variant reuses the output allocation too.
+        let mut out = DenseMatrix::zeros(0, 0);
+        sampled_gram_into(&csc, &sel_b, 1, &mut ws, &mut out);
+        assert_eq!(out.as_slice(), sampled_gram(&csc, &sel_b).as_slice());
+        sampled_gram_into(&csc, &sel_a, 1, &mut ws, &mut out);
+        assert_eq!(out.as_slice(), sampled_gram(&csc, &sel_a).as_slice());
+    }
+
+    #[test]
+    fn cross_into_reuses_output() {
+        let csc = random_sparse(30, 12, 0.4, 11).to_csc();
+        let v: Vec<f64> = (0..30).map(|i| i as f64 * 0.25 - 3.0).collect();
+        let mut out = DenseMatrix::zeros(0, 0);
+        sampled_cross_into(&csc, &[1, 5, 9], &[&v], &mut out);
+        assert_eq!(
+            out.as_slice(),
+            sampled_cross(&csc, &[1, 5, 9], &[&v]).as_slice()
+        );
+        sampled_cross_into(&csc, &[2], &[&v], &mut out);
+        assert_eq!((out.rows(), out.cols()), (1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn cross_length_mismatch_still_panics() {
+        let csc = random_sparse(30, 12, 0.4, 12).to_csc();
+        let short = vec![0.0; 29];
+        let _ = sampled_cross(&csc, &[0], &[&short]);
+    }
 }
 
 #[cfg(test)]
@@ -357,5 +504,33 @@ mod parallel_tests {
         assert_eq!(g.as_slice(), sampled_gram(&csc, &[1, 5]).as_slice());
         let empty = sampled_gram_parallel(&csc, &[], 4);
         assert_eq!((empty.rows(), empty.cols()), (0, 0));
+    }
+
+    #[test]
+    fn dense_gram_parallel_is_bitwise_identical() {
+        let mut rng = rng_from_seed(43);
+        let data: Vec<f64> = (0..160 * 48).map(|_| rng.next_gaussian()).collect();
+        let a = DenseMatrix::from_vec(160, 48, data);
+        let seq = a.gram();
+        for threads in [1usize, 2, 4, 7, 16] {
+            let par = a.gram_parallel(threads);
+            assert_eq!(par.as_slice(), seq.as_slice(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn matmul_parallel_is_bitwise_identical() {
+        let mut rng = rng_from_seed(44);
+        let a = DenseMatrix::from_vec(
+            150,
+            70,
+            (0..150 * 70).map(|_| rng.next_gaussian()).collect(),
+        );
+        let b = DenseMatrix::from_vec(70, 90, (0..70 * 90).map(|_| rng.next_gaussian()).collect());
+        let seq = a.matmul(&b);
+        for threads in [1usize, 2, 4, 7] {
+            let par = a.matmul_parallel(&b, threads);
+            assert_eq!(par.as_slice(), seq.as_slice(), "threads={threads}");
+        }
     }
 }

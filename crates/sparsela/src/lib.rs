@@ -52,6 +52,7 @@ pub use coo::CooMatrix;
 pub use csc::CscMatrix;
 pub use csr::CsrMatrix;
 pub use dense::DenseMatrix;
+pub use gram::GramWorkspace;
 
 /// A borrowed view of one sparse row (CSR) or column (CSC): parallel slices
 /// of strictly increasing indices and their values.

@@ -5,8 +5,11 @@
 use proptest::prelude::*;
 use sparsela::chol::Cholesky;
 use sparsela::eig::{jacobi_eigenvalues, max_eigenvalue};
-use sparsela::gram::{sampled_cross, sampled_gram};
+use sparsela::gram::{
+    sampled_cross, sampled_cross_into, sampled_gram, sampled_gram_into, sampled_gram_parallel,
+};
 use sparsela::io::{read_libsvm, write_libsvm, Dataset};
+use sparsela::GramWorkspace;
 use sparsela::{vecops, CooMatrix, DenseMatrix};
 use std::io::Cursor;
 
@@ -169,6 +172,59 @@ proptest! {
         let back = read_libsvm(Cursor::new(buf), cols).expect("parse");
         prop_assert_eq!(back.a, ds.a);
         prop_assert_eq!(back.b, ds.b);
+    }
+
+    /// The pooled sampled Gram is BITWISE identical to the serial kernel
+    /// at every thread count — the determinism contract of `saco-par`
+    /// (tiles use exactly the serial per-entry arithmetic, merged in
+    /// fixed order). Exact `==`, not approximate.
+    #[test]
+    fn parallel_sampled_gram_is_bitwise_serial(coo in sparse_matrix(), seed in any::<u64>()) {
+        let csc = coo.to_csc();
+        let n = csc.cols();
+        let mut rng = xrng::rng_from_seed(seed);
+        let k = 1 + rng.next_index(n.min(12));
+        let sel: Vec<usize> = (0..k).map(|_| rng.next_index(n)).collect();
+        let serial = sampled_gram(&csc, &sel);
+        let mut ws = GramWorkspace::new();
+        let mut out = sparsela::DenseMatrix::zeros(0, 0);
+        for t in [1usize, 2, 4, 7] {
+            let par = sampled_gram_parallel(&csc, &sel, t);
+            prop_assert_eq!(par.as_slice(), serial.as_slice(), "threads = {}", t);
+            // Workspace reuse across calls must not change a single bit.
+            sampled_gram_into(&csc, &sel, t, &mut ws, &mut out);
+            prop_assert_eq!(out.as_slice(), serial.as_slice(), "into, threads = {}", t);
+        }
+    }
+
+    /// `sampled_cross_into` with a reused output matrix is bitwise equal
+    /// to the allocating variant, call after call.
+    #[test]
+    fn cross_into_reuse_is_bitwise(coo in sparse_matrix(), seed in any::<u64>()) {
+        let csc = coo.to_csc();
+        let mut rng = xrng::rng_from_seed(seed);
+        let v: Vec<f64> = (0..csc.rows()).map(|_| rng.next_gaussian()).collect();
+        let w: Vec<f64> = (0..csc.rows()).map(|_| rng.next_gaussian()).collect();
+        let mut out = sparsela::DenseMatrix::zeros(0, 0);
+        for k in [1usize, 2, 5] {
+            let sel: Vec<usize> = (0..k.min(csc.cols())).map(|_| rng.next_index(csc.cols())).collect();
+            let fresh = sampled_cross(&csc, &sel, &[&v, &w]);
+            sampled_cross_into(&csc, &sel, &[&v, &w], &mut out);
+            prop_assert_eq!(out.as_slice(), fresh.as_slice());
+        }
+    }
+
+    /// Blocked parallel dense Gram is bitwise identical to the serial
+    /// `gram()` at every thread count.
+    #[test]
+    fn parallel_dense_gram_is_bitwise_serial(seed in any::<u64>(), m in 1usize..20, n in 1usize..20) {
+        let mut rng = xrng::rng_from_seed(seed);
+        let a = DenseMatrix::from_vec(m, n, (0..m * n).map(|_| rng.next_gaussian()).collect());
+        let serial = a.gram();
+        for t in [1usize, 2, 4, 7] {
+            let par = a.gram_parallel(t);
+            prop_assert_eq!(par.as_slice(), serial.as_slice(), "threads = {}", t);
+        }
     }
 
     /// Blocked GEMM agrees with the naive reference.

@@ -18,18 +18,25 @@ pub enum Phase {
     Sampling,
     /// Gram-matrix formation (sampled or parallel).
     Gram,
+    /// Intra-rank pool-parallel kernel execution (`saco-par` tiles): the
+    /// portion of local work run under the worker pool, attributed by
+    /// host-side instrumentation (bench harness, `--threads` runs). The
+    /// simulators' per-rank charges stay thread-invariant, so this phase
+    /// is zero in plain engine reports.
+    Par,
     /// Time blocked waiting on slower ranks at a collective.
     Idle,
 }
 
 impl Phase {
     /// Every phase, in canonical (serialization) order.
-    pub const ALL: [Phase; 6] = [
+    pub const ALL: [Phase; 7] = [
         Phase::Comm,
         Phase::Comp,
         Phase::Prox,
         Phase::Sampling,
         Phase::Gram,
+        Phase::Par,
         Phase::Idle,
     ];
 
@@ -41,6 +48,7 @@ impl Phase {
             Phase::Prox => "prox",
             Phase::Sampling => "sampling",
             Phase::Gram => "gram",
+            Phase::Par => "par",
             Phase::Idle => "idle",
         }
     }
@@ -53,7 +61,8 @@ impl Phase {
             Phase::Prox => 2,
             Phase::Sampling => 3,
             Phase::Gram => 4,
-            Phase::Idle => 5,
+            Phase::Par => 5,
+            Phase::Idle => 6,
         }
     }
 
@@ -132,7 +141,7 @@ impl PhaseStat {
 /// Per-phase totals for one attribution unit (usually one rank).
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct PhaseTable {
-    stats: [PhaseStat; 6],
+    stats: [PhaseStat; 7],
 }
 
 impl PhaseTable {
@@ -172,13 +181,14 @@ impl PhaseTable {
     }
 
     /// Computation time: every local-work phase (`comp` + `gram` +
-    /// `prox` + `sampling`). Reconciles against
+    /// `prox` + `sampling` + `par`). Reconciles against
     /// `CostCounters::comp_time`.
     pub fn comp_time(&self) -> f64 {
         self.time(Phase::Comp)
             + self.time(Phase::Gram)
             + self.time(Phase::Prox)
             + self.time(Phase::Sampling)
+            + self.time(Phase::Par)
     }
 
     /// Idle (load-imbalance) time.
@@ -252,9 +262,10 @@ mod tests {
         t.record(Phase::Prox, 2.0);
         t.record(Phase::Sampling, 4.0);
         t.record(Phase::Gram, 8.0);
+        t.record(Phase::Par, 0.5);
         t.record(Phase::Comm, 16.0);
         t.record(Phase::Idle, 32.0);
-        assert_eq!(t.comp_time(), 15.0);
+        assert_eq!(t.comp_time(), 15.5);
         assert_eq!(t.comm_time(), 16.0);
         assert_eq!(t.idle_time(), 32.0);
     }

@@ -26,7 +26,9 @@
 mod sample;
 mod xoshiro;
 
-pub use sample::{reservoir_sample, sample_without_replacement, shuffle};
+pub use sample::{
+    reservoir_sample, sample_without_replacement, sample_without_replacement_into, shuffle,
+};
 pub use xoshiro::{SplitMix64, Xoshiro256StarStar};
 
 /// The RNG type used throughout the workspace.

@@ -27,36 +27,54 @@ use crate::Xoshiro256StarStar;
 /// # Panics
 /// Panics if `k > n`.
 pub fn sample_without_replacement(rng: &mut Xoshiro256StarStar, n: usize, k: usize) -> Vec<usize> {
+    let mut out = Vec::with_capacity(k);
+    sample_without_replacement_into(rng, n, k, &mut out);
+    out
+}
+
+/// [`sample_without_replacement`] appending into a caller-owned buffer, so
+/// hot solver loops can reuse one selection vector across iterations.
+/// Consumes exactly the same generator draws as the allocating variant
+/// (identical draw sequence — the SA ≡ non-SA equivalence depends on it).
+///
+/// # Panics
+/// Panics if `k > n`.
+pub fn sample_without_replacement_into(
+    rng: &mut Xoshiro256StarStar,
+    n: usize,
+    k: usize,
+    out: &mut Vec<usize>,
+) {
     assert!(k <= n, "cannot sample {k} items from a population of {n}");
     if k == 0 {
-        return Vec::new();
+        return;
     }
     // Heuristic crossover: Floyd's algorithm does k hash-set style lookups
     // over a Vec (k is tiny), partial Fisher–Yates allocates n slots.
     if k * 8 < n {
-        floyd_sample(rng, n, k)
+        floyd_sample(rng, n, k, out);
     } else {
-        partial_fisher_yates(rng, n, k)
+        out.extend(partial_fisher_yates(rng, n, k));
     }
 }
 
-/// Floyd's algorithm: O(k) draws, O(k^2) worst-case lookups (k is small).
-/// Produces a uniformly random k-subset; we then shuffle to make the draw
-/// order itself uniform.
-fn floyd_sample(rng: &mut Xoshiro256StarStar, n: usize, k: usize) -> Vec<usize> {
-    let mut chosen: Vec<usize> = Vec::with_capacity(k);
+/// Floyd's algorithm: O(k) draws, O(k^2) worst-case lookups (k is small),
+/// appending to `out` with no scratch allocation. Produces a uniformly
+/// random k-subset; we then shuffle to make the draw order itself uniform.
+fn floyd_sample(rng: &mut Xoshiro256StarStar, n: usize, k: usize, out: &mut Vec<usize>) {
+    let base = out.len();
+    out.reserve(k);
     for j in (n - k)..n {
         let t = rng.next_index(j + 1);
-        if chosen.contains(&t) {
-            chosen.push(j);
+        if out[base..].contains(&t) {
+            out.push(j);
         } else {
-            chosen.push(t);
+            out.push(t);
         }
     }
     // Floyd's order is biased (later slots favour later values); shuffle to
     // restore exchangeability of the draw order.
-    shuffle(rng, &mut chosen);
-    chosen
+    shuffle(rng, &mut out[base..]);
 }
 
 /// Partial Fisher–Yates: O(n) scratch, exactly k swaps.
@@ -154,6 +172,22 @@ mod tests {
     fn k_greater_than_n_panics() {
         let mut rng = rng_from_seed(5);
         sample_without_replacement(&mut rng, 3, 4);
+    }
+
+    #[test]
+    fn into_variant_appends_and_matches_allocating_variant() {
+        // Same generator draws on both paths (Floyd and Fisher–Yates), and
+        // pre-existing buffer content is preserved.
+        let mut a = rng_from_seed(21);
+        let mut b = rng_from_seed(21);
+        let mut buf = vec![777usize];
+        for (n, k) in [(1000, 8), (64, 48), (10, 0)] {
+            let fresh = sample_without_replacement(&mut a, n, k);
+            let base = buf.len();
+            sample_without_replacement_into(&mut b, n, k, &mut buf);
+            assert_eq!(&buf[base..], &fresh[..]);
+        }
+        assert_eq!(buf[0], 777);
     }
 
     #[test]
