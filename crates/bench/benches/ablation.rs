@@ -70,6 +70,7 @@ fn print_simulated_summary() {
             max_iters: 512,
             trace_every: 0,
             gap_tol: None,
+            overlap: true,
         };
         let (_, naive) = sim_sa_svm(&svm_ds, &svm_cfg, 256, model, false);
         let (_, bal) = sim_sa_svm(&svm_ds, &svm_cfg, 256, model, true);

@@ -22,6 +22,7 @@ fn cfg(loss: SvmLoss, s: usize, iters: usize) -> SvmConfig {
         max_iters: iters,
         trace_every: 0,
         gap_tol: None,
+        overlap: true,
     }
 }
 

@@ -64,17 +64,28 @@ fn main() {
             &format!("fig4_scaling_{name}"),
             &["p", "accCD_time", "sa_accCD_time", "best_s"],
         );
+        baseline.set(&format!("fig4.{name}.iters"), iters as f64);
         for &p in &p_values {
             let classic = run(&g.dataset, lambda, 1, iters, p);
-            let mut best: (usize, CostReport) = (0, CostReport::default());
-            let mut best_time = f64::INFINITY;
-            for &s in &s_sweep {
-                let rep = run(&g.dataset, lambda, s, iters, p);
-                if rep.running_time() < best_time {
-                    best_time = rep.running_time();
-                    best = (s, rep);
-                }
-            }
+            // The running-time curve is flat near its optimum (neighbouring
+            // s within ~1% of each other), so a strict argmin would chase
+            // negligible gains into much larger s — and s-fold larger
+            // message volume and Gram memory. Pick the smallest s whose
+            // time is within 2% of the sweep minimum instead: same speed,
+            // least communication-hungry operating point.
+            let sweep: Vec<(usize, CostReport)> = s_sweep
+                .iter()
+                .map(|&s| (s, run(&g.dataset, lambda, s, iters, p)))
+                .collect();
+            let min_time = sweep
+                .iter()
+                .map(|(_, r)| r.running_time())
+                .fold(f64::INFINITY, f64::min);
+            let best: (usize, CostReport) = sweep
+                .into_iter()
+                .find(|(_, r)| r.running_time() <= min_time * 1.02)
+                .expect("nonempty s sweep");
+            let best_time = best.1.running_time();
             let key = format!("fig4.{name}.p{p}");
             baseline.record_report(&format!("{key}.classic"), &classic);
             baseline.record_report(&format!("{key}.sa_best"), &best.1);

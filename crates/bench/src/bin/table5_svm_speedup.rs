@@ -54,6 +54,7 @@ fn main() {
                     max_iters: iters,
                     trace_every: (iters / 100).max(1),
                     gap_tol: Some(tol),
+                    overlap: true,
                 };
                 sim_sa_svm(&g.dataset, &cfg, p, CostModel::cray_xc30(), balanced).0
             };

@@ -17,6 +17,7 @@
 //! | `fig4_scaling` | Fig. 4 (strong scaling + speedup breakdown) |
 //! | `fig5_svm_gap` | Fig. 5 (duality gap vs iteration) |
 //! | `table5_svm_speedup` | Table V (SA-SVM time-to-tolerance speedups) |
+//! | `words_guard` | CI check: fig4 `sa_best.words` vs committed baseline |
 //! | `run_all` | everything above, in order |
 
 #![warn(missing_docs)]

@@ -9,12 +9,18 @@
 //! saco generate --dataset url --out file.svm [--scale 1.0] [--seed 42]
 //! saco info     --data file.svm
 //! saco simulate --data train.svm --p 1024 [--s 16] [--mu 1] [--iters 2000]
-//!               [--acc] [--balanced] [--metrics report.json] [--threads 4]
+//!               [--acc] [--balanced] [--overlap on|off]
+//!               [--metrics report.json] [--threads 4]
 //!
 //! `--threads N` (or `SACO_THREADS=N`) sets the intra-process worker pool
 //! used by the Gram/GEMM kernels. It is a pure throughput knob: every
 //! numeric output and every simulated cost is bitwise identical at any
 //! thread count (see `docs/PERFORMANCE.md`).
+//!
+//! `--overlap on|off` (default on) toggles the nonblocking comm/comp
+//! overlap on the fused allreduce path. Also purely a scheduling knob:
+//! solver outputs are bitwise identical either way; only the simulated
+//! timeline and the `comm.overlap_hidden_time` gauge change.
 //! saco cv       --data train.svm [--folds 5] [--num 12] [--ratio 0.01]
 //! ```
 
@@ -88,6 +94,10 @@ subcommands:
 `--threads N` (or SACO_THREADS=N) runs the shared-memory kernels on N
 pooled workers; results are bitwise identical at any thread count.
 
+`--overlap on|off` (default on) overlaps the fused allreduce with the
+next block's sampling + Gram formation; solver outputs are bitwise
+identical either way — only simulated comm/idle timing changes.
+
 run `saco <subcommand>` without options to see its required flags."
     );
 }
@@ -125,6 +135,20 @@ fn resolve_lambda(args: &Args, ds: &Dataset) -> Result<f64, ArgError> {
     Ok(frac * lmax)
 }
 
+/// `--overlap on|off`: overlap the fused allreduce with next-block
+/// sampling + Gram formation (default on). Purely a scheduling knob — the
+/// solver output is bitwise identical either way; only the simulated
+/// comm/idle timeline and the `comm.overlap_hidden_time` gauge change.
+fn parse_overlap(args: &Args) -> Result<bool, ArgError> {
+    match args.get("overlap").unwrap_or("on") {
+        "on" => Ok(true),
+        "off" => Ok(false),
+        other => Err(ArgError(format!(
+            "--overlap must be on or off, got {other:?}"
+        ))),
+    }
+}
+
 fn lasso_cfg(args: &Args, lambda: f64) -> Result<LassoConfig, ArgError> {
     Ok(LassoConfig {
         mu: args.get_or("mu", 8)?,
@@ -134,6 +158,7 @@ fn lasso_cfg(args: &Args, lambda: f64) -> Result<LassoConfig, ArgError> {
         max_iters: args.get_or("iters", 10_000)?,
         trace_every: args.get_or("trace-every", 0)?,
         rel_tol: args.get_opt("rel-tol")?,
+        overlap: parse_overlap(args)?,
         ..Default::default()
     })
 }
@@ -184,6 +209,7 @@ fn cmd_svm(args: &Args) -> Result<(), ArgError> {
         max_iters: args.get_or("iters", 100_000)?,
         trace_every: args.get_or("trace-every", 1_000)?,
         gap_tol: args.get_opt("gap-tol")?,
+        overlap: parse_overlap(args)?,
     };
     println!(
         "svm-{loss:?}: {} × {}, λ = {}, s = {}, H ≤ {}",

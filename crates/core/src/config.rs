@@ -50,6 +50,12 @@ pub struct LassoConfig {
     pub rel_tol: Option<f64>,
     /// Coordinate-sampling scheme (see [`BlockSampling`]).
     pub sampling: BlockSampling,
+    /// Overlap the in-flight fused allreduce with next-step sampling and
+    /// local Gram formation (double-buffered payload, nonblocking
+    /// `iallreduce`). Purely a scheduling knob: results are bitwise
+    /// identical either way; only the simulated comm/idle timeline and
+    /// the `comm.overlap_hidden_time` gauge change.
+    pub overlap: bool,
 }
 
 impl Default for LassoConfig {
@@ -63,6 +69,7 @@ impl Default for LassoConfig {
             trace_every: 10,
             rel_tol: None,
             sampling: BlockSampling::Coordinates,
+            overlap: true,
         }
     }
 }
@@ -120,6 +127,10 @@ pub struct SvmConfig {
     pub trace_every: usize,
     /// Optional termination on duality gap (Table V uses 1e-1).
     pub gap_tol: Option<f64>,
+    /// Overlap the in-flight fused allreduce with next-step sampling and
+    /// local Gram formation (see [`LassoConfig::overlap`]). Bitwise
+    /// identical either way.
+    pub overlap: bool,
 }
 
 impl Default for SvmConfig {
@@ -132,6 +143,7 @@ impl Default for SvmConfig {
             max_iters: 10_000,
             trace_every: 500,
             gap_tol: None,
+            overlap: true,
         }
     }
 }

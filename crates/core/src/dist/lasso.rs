@@ -4,9 +4,13 @@
 //! contiguous block of data points, stored CSC so that gathering sampled
 //! *columns* is cheap. Vectors in the partitioned dimension (`ỹ`, `z̃`,
 //! both in `R^m`) are partitioned conformally; vectors in `R^n` (`y`, `z`,
-//! the iterate `x`) and all scalars are replicated. One `allreduce` per
-//! outer iteration carries the packed symmetric Gram block, the cross
-//! products, and (at trace boundaries) the piggybacked residual norm.
+//! the iterate `x`) and all scalars are replicated. One fused nonblocking
+//! allreduce per outer iteration carries the packed symmetric Gram
+//! triangle, the cross products, and (at trace boundaries) the piggybacked
+//! residual norm in a single contiguous buffer; with `cfg.overlap` the
+//! next block's sampling and local Gram formation execute while it is in
+//! flight (they depend only on the replicated RNG stream and `A`, so the
+//! iterates are bitwise identical with overlap on or off).
 
 use crate::config::LassoConfig;
 use crate::dist::charges;
@@ -88,7 +92,7 @@ pub fn dist_sa_accbcd<R: Regularizer>(
 
     let mut trace = ConvergenceTrace::new();
     // Initial objective: ½‖b‖² globally (x = 0).
-    let b_sq = comm.allreduce_scalar(sparsela::vecops::nrm2_sq(&ztilde));
+    let b_sq = comm.iallreduce_scalar(sparsela::vecops::nrm2_sq(&ztilde));
     trace.push_with_phases(
         0,
         0.5 * b_sq,
@@ -106,14 +110,31 @@ pub fn dist_sa_accbcd<R: Regularizer>(
 
     let mut ws = KernelWorkspace::new();
     let nthreads = saco_par::threads();
+    let mut have_next = false;
     let mut h = 0usize;
     while h < cfg.max_iters {
         let s_block = cfg.s.min(cfg.max_iters - h);
         let width = s_block * mu;
         ws.begin_block(width);
-        // Replicated sampling (same seed on every rank).
-        for _ in 0..s_block {
-            crate::seq::sample_block_into(&mut rng, n, mu, cfg.sampling, &mut ws.sel);
+        if have_next {
+            // Sampling + local Gram for this block already ran (and were
+            // charged) while the previous allreduce was in flight.
+            std::mem::swap(&mut ws.sel, &mut ws.sel_next);
+            std::mem::swap(&mut ws.gram, &mut ws.gram_next);
+            have_next = false;
+        } else {
+            // Replicated sampling (same seed on every rank).
+            for _ in 0..s_block {
+                crate::seq::sample_block_into(&mut rng, n, mu, cfg.sampling, &mut ws.sel);
+            }
+            let local_nnz = data.local_nnz_of(&ws.sel);
+            sampled_gram_into(&data.csc, &ws.sel, nthreads, &mut ws.gram_ws, &mut ws.gram);
+            comm.charge_flops_phase(
+                charges::gram_class(width as u64),
+                charges::gram_flops(local_nnz, width as u64),
+                charges::gram_working_set(width as u64, local_nnz),
+                Phase::Gram,
+            );
         }
         ws.thetas.clear();
         ws.thetas.push(theta);
@@ -121,19 +142,16 @@ pub fn dist_sa_accbcd<R: Regularizer>(
             ws.thetas.push(theta_next(ws.thetas[j]));
         }
 
-        // Local reductions contributions: Gram + cross.
+        // Cross products need the *current* residuals, so unlike the Gram
+        // block they can never overlap the previous allreduce.
         let local_nnz = data.local_nnz_of(&ws.sel);
-        sampled_gram_into(&data.csc, &ws.sel, nthreads, &mut ws.gram_ws, &mut ws.gram);
         sampled_cross_into(&data.csc, &ws.sel, &[&ytilde, &ztilde], &mut ws.cross);
-        let class = charges::gram_class(width as u64);
-        let wset = charges::gram_working_set(width as u64, local_nnz);
         comm.charge_flops_phase(
-            class,
-            charges::gram_flops(local_nnz, width as u64),
-            wset,
+            charges::gram_class(width as u64),
+            charges::cross_flops(local_nnz, 2),
+            charges::gram_working_set(width as u64, local_nnz),
             Phase::Gram,
         );
-        comm.charge_flops_phase(class, charges::cross_flops(local_nnz, 2), wset, Phase::Gram);
 
         // Should this outer iteration emit a trace point? (The residual
         // norm contribution piggybacks on the main allreduce.)
@@ -159,9 +177,37 @@ pub fn dist_sa_accbcd<R: Regularizer>(
         }
 
         // The one synchronization of the outer iteration (plus its
-        // fixed software cost: packing, call setup).
+        // fixed software cost: packing, call setup). With overlap on, the
+        // next block's sampling + local Gram run while it is in flight —
+        // they depend only on the replicated RNG stream and `A`, so the
+        // iterates stay bitwise identical either way.
         comm.charge_flops(KernelClass::Vector, charges::OUTER_OVERHEAD_FLOPS, 64);
-        comm.allreduce_sum(&mut ws.pack);
+        let req = comm.iallreduce_sum_start(&mut ws.pack);
+        let h_next = h + s_block;
+        if cfg.overlap && h_next < cfg.max_iters {
+            let s_next = cfg.s.min(cfg.max_iters - h_next);
+            let width_next = s_next * mu;
+            ws.sel_next.clear();
+            for _ in 0..s_next {
+                crate::seq::sample_block_into(&mut rng, n, mu, cfg.sampling, &mut ws.sel_next);
+            }
+            let nnz_next = data.local_nnz_of(&ws.sel_next);
+            sampled_gram_into(
+                &data.csc,
+                &ws.sel_next,
+                nthreads,
+                &mut ws.gram_ws,
+                &mut ws.gram_next,
+            );
+            comm.charge_flops_phase(
+                charges::gram_class(width_next as u64),
+                charges::gram_flops(nnz_next, width_next as u64),
+                charges::gram_working_set(width_next as u64, nnz_next),
+                Phase::Gram,
+            );
+            have_next = true;
+        }
+        comm.iallreduce_wait(req);
 
         let mut pos = unpack_symmetric_into(&ws.pack, 0, width, &mut ws.gram_global);
         let cross_base = pos;
@@ -244,7 +290,7 @@ pub fn dist_sa_accbcd<R: Regularizer>(
         })
         .sum();
     comm.charge_flops(KernelClass::Vector, 3 * m_loc as u64, m_loc as u64);
-    let resid_global = comm.allreduce_scalar(resid_contrib);
+    let resid_global = comm.iallreduce_scalar(resid_contrib);
     let x: Vec<f64> = y.iter().zip(&z).map(|(yi, zi)| t2 * yi + zi).collect();
     trace.push_with_phases(
         h,
@@ -274,7 +320,7 @@ pub fn dist_sa_bcd<R: Regularizer>(
     let mut residual: Vec<f64> = data.b.iter().map(|b| -b).collect();
 
     let mut trace = ConvergenceTrace::new();
-    let b_sq = comm.allreduce_scalar(sparsela::vecops::nrm2_sq(&residual));
+    let b_sq = comm.iallreduce_scalar(sparsela::vecops::nrm2_sq(&residual));
     trace.push_with_phases(
         0,
         0.5 * b_sq,
@@ -284,27 +330,38 @@ pub fn dist_sa_bcd<R: Regularizer>(
 
     let mut ws = KernelWorkspace::new();
     let nthreads = saco_par::threads();
+    let mut have_next = false;
     let mut h = 0usize;
     while h < cfg.max_iters {
         let s_block = cfg.s.min(cfg.max_iters - h);
         let width = s_block * mu;
         ws.begin_block(width);
-        for _ in 0..s_block {
-            crate::seq::sample_block_into(&mut rng, n, mu, cfg.sampling, &mut ws.sel);
+        if have_next {
+            std::mem::swap(&mut ws.sel, &mut ws.sel_next);
+            std::mem::swap(&mut ws.gram, &mut ws.gram_next);
+            have_next = false;
+        } else {
+            for _ in 0..s_block {
+                crate::seq::sample_block_into(&mut rng, n, mu, cfg.sampling, &mut ws.sel);
+            }
+            let local_nnz = data.local_nnz_of(&ws.sel);
+            sampled_gram_into(&data.csc, &ws.sel, nthreads, &mut ws.gram_ws, &mut ws.gram);
+            comm.charge_flops_phase(
+                charges::gram_class(width as u64),
+                charges::gram_flops(local_nnz, width as u64),
+                charges::gram_working_set(width as u64, local_nnz),
+                Phase::Gram,
+            );
         }
 
         let local_nnz = data.local_nnz_of(&ws.sel);
-        sampled_gram_into(&data.csc, &ws.sel, nthreads, &mut ws.gram_ws, &mut ws.gram);
         sampled_cross_into(&data.csc, &ws.sel, &[&residual], &mut ws.cross);
-        let class = charges::gram_class(width as u64);
-        let wset = charges::gram_working_set(width as u64, local_nnz);
         comm.charge_flops_phase(
-            class,
-            charges::gram_flops(local_nnz, width as u64),
-            wset,
+            charges::gram_class(width as u64),
+            charges::cross_flops(local_nnz, 1),
+            charges::gram_working_set(width as u64, local_nnz),
             Phase::Gram,
         );
-        comm.charge_flops_phase(class, charges::cross_flops(local_nnz, 1), wset, Phase::Gram);
 
         let traced = cfg.trace_every > 0
             && (h / cfg.trace_every) != ((h + s_block).min(cfg.max_iters) / cfg.trace_every);
@@ -318,7 +375,32 @@ pub fn dist_sa_bcd<R: Regularizer>(
         }
 
         comm.charge_flops(KernelClass::Vector, charges::OUTER_OVERHEAD_FLOPS, 64);
-        comm.allreduce_sum(&mut ws.pack);
+        let req = comm.iallreduce_sum_start(&mut ws.pack);
+        let h_next = h + s_block;
+        if cfg.overlap && h_next < cfg.max_iters {
+            let s_next = cfg.s.min(cfg.max_iters - h_next);
+            let width_next = s_next * mu;
+            ws.sel_next.clear();
+            for _ in 0..s_next {
+                crate::seq::sample_block_into(&mut rng, n, mu, cfg.sampling, &mut ws.sel_next);
+            }
+            let nnz_next = data.local_nnz_of(&ws.sel_next);
+            sampled_gram_into(
+                &data.csc,
+                &ws.sel_next,
+                nthreads,
+                &mut ws.gram_ws,
+                &mut ws.gram_next,
+            );
+            comm.charge_flops_phase(
+                charges::gram_class(width_next as u64),
+                charges::gram_flops(nnz_next, width_next as u64),
+                charges::gram_working_set(width_next as u64, nnz_next),
+                Phase::Gram,
+            );
+            have_next = true;
+        }
+        comm.iallreduce_wait(req);
 
         let mut pos = unpack_symmetric_into(&ws.pack, 0, width, &mut ws.gram_global);
         let cross_base = pos;
@@ -380,7 +462,7 @@ pub fn dist_sa_bcd<R: Regularizer>(
         }
     }
 
-    let resid_global = comm.allreduce_scalar(sparsela::vecops::nrm2_sq(&residual));
+    let resid_global = comm.iallreduce_scalar(sparsela::vecops::nrm2_sq(&residual));
     trace.push_with_phases(
         h,
         0.5 * resid_global + reg.value(&x),

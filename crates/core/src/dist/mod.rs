@@ -26,44 +26,17 @@ pub use svm::{dist_sa_svm, SvmRankData};
 
 use sparsela::DenseMatrix;
 
+// The triangle wire format lives with the other communication kernels in
+// `sparsela::sympack`; these re-exports keep the historical `dist` paths
+// working.
+pub use sparsela::sympack::{unpack_symmetric, unpack_symmetric_into};
+
 /// Pack the upper triangle (including diagonal) of a symmetric `k × k`
 /// matrix into `k(k+1)/2` words — the paper's footnote 3: "G is symmetric
 /// so computing just the upper/lower triangular part reduces flops and
-/// message size by 2×".
+/// message size by 2×". Alias of [`sparsela::sympack::pack_upper_into`].
 pub fn pack_symmetric(g: &DenseMatrix, buf: &mut Vec<f64>) {
-    let k = g.rows();
-    assert_eq!(k, g.cols(), "pack_symmetric needs a square matrix");
-    buf.reserve(k * (k + 1) / 2);
-    for i in 0..k {
-        for j in i..k {
-            buf.push(g.get(i, j));
-        }
-    }
-}
-
-/// Inverse of [`pack_symmetric`]: read `k(k+1)/2` words from `buf[at..]`
-/// into a full symmetric matrix, returning the next offset.
-pub fn unpack_symmetric(buf: &[f64], at: usize, k: usize) -> (DenseMatrix, usize) {
-    let mut g = DenseMatrix::zeros(0, 0);
-    let pos = unpack_symmetric_into(buf, at, k, &mut g);
-    (g, pos)
-}
-
-/// [`unpack_symmetric`] into a caller-owned matrix (reshaped in place),
-/// returning the next offset — the zero-alloc variant the solver hot
-/// loops use to land the allreduced Gram block in a reusable buffer.
-pub fn unpack_symmetric_into(buf: &[f64], at: usize, k: usize, out: &mut DenseMatrix) -> usize {
-    out.reshape_zeroed(k, k);
-    let mut pos = at;
-    for i in 0..k {
-        for j in i..k {
-            let v = buf[pos];
-            out.set(i, j, v);
-            out.set(j, i, v);
-            pos += 1;
-        }
-    }
-    pos
+    sparsela::sympack::pack_upper_into(g, buf);
 }
 
 #[cfg(test)]

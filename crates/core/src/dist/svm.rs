@@ -80,7 +80,7 @@ fn distributed_gap(
     let mut buf = data.csr.spmv(x_loc);
     comm.charge_flops(KernelClass::Dot, 2 * data.csr.nnz() as u64, m as u64);
     buf.push(sparsela::vecops::nrm2_sq(x_loc));
-    comm.allreduce_sum(&mut buf);
+    comm.iallreduce_sum(&mut buf);
     let x_sq = buf.pop().expect("norm element");
     let loss_sum: f64 = buf
         .iter()
@@ -123,26 +123,41 @@ pub fn dist_sa_svm(comm: &mut Comm, data: &SvmRankData, cfg: &SvmConfig) -> Solv
 
     let mut ws = KernelWorkspace::new();
     let nthreads = saco_par::threads();
+    let mut have_next = false;
     let mut h = 0usize;
     'outer: while h < cfg.max_iters {
         let s_block = cfg.s.min(cfg.max_iters - h);
         ws.begin_block(0);
-        // Replicated with-replacement sampling (Alg. 4 line 5).
-        ws.sel.extend((0..s_block).map(|_| rng.next_index(m)));
+        if have_next {
+            // Sampling + local Gram for this block ran in the previous
+            // allreduce's overlap window (they depend only on the
+            // replicated RNG stream and the local rows of `A`).
+            std::mem::swap(&mut ws.sel, &mut ws.sel_next);
+            std::mem::swap(&mut ws.gram, &mut ws.gram_next);
+            have_next = false;
+        } else {
+            // Replicated with-replacement sampling (Alg. 4 line 5).
+            ws.sel.extend((0..s_block).map(|_| rng.next_index(m)));
+            let local_nnz = data.local_nnz_of(&ws.sel);
+            sampled_gram_into(&data.csr, &ws.sel, nthreads, &mut ws.gram_ws, &mut ws.gram);
+            comm.charge_flops_phase(
+                charges::gram_class(s_block as u64),
+                charges::gram_flops(local_nnz, s_block as u64),
+                charges::gram_working_set(s_block as u64, local_nnz),
+                Phase::Gram,
+            );
+        }
 
-        // Local contributions to G = YᵀY and x′ = Yᵀx (lines 8–10).
+        // Local contribution to x′ = Yᵀx (lines 8–10) — needs the current
+        // local iterate, so it never overlaps.
         let local_nnz = data.local_nnz_of(&ws.sel);
-        sampled_gram_into(&data.csr, &ws.sel, nthreads, &mut ws.gram_ws, &mut ws.gram);
         sampled_cross_into(&data.csr, &ws.sel, &[&x_loc], &mut ws.cross);
-        let class = charges::gram_class(s_block as u64);
-        let wset = charges::gram_working_set(s_block as u64, local_nnz);
         comm.charge_flops_phase(
-            class,
-            charges::gram_flops(local_nnz, s_block as u64),
-            wset,
+            charges::gram_class(s_block as u64),
+            charges::cross_flops(local_nnz, 1),
+            charges::gram_working_set(s_block as u64, local_nnz),
             Phase::Gram,
         );
-        comm.charge_flops_phase(class, charges::cross_flops(local_nnz, 1), wset, Phase::Gram);
 
         pack_symmetric(&ws.gram, &mut ws.pack);
         for k in 0..s_block {
@@ -152,7 +167,29 @@ pub fn dist_sa_svm(comm: &mut Comm, data: &SvmRankData, cfg: &SvmConfig) -> Solv
         // The one synchronization (lines 9–10), plus its fixed
         // software cost (packing, call setup).
         comm.charge_flops(KernelClass::Vector, charges::OUTER_OVERHEAD_FLOPS, 64);
-        comm.allreduce_sum(&mut ws.pack);
+        let req = comm.iallreduce_sum_start(&mut ws.pack);
+        let h_next = h + s_block;
+        if cfg.overlap && h_next < cfg.max_iters {
+            let s_next = cfg.s.min(cfg.max_iters - h_next);
+            ws.sel_next.clear();
+            ws.sel_next.extend((0..s_next).map(|_| rng.next_index(m)));
+            let nnz_next = data.local_nnz_of(&ws.sel_next);
+            sampled_gram_into(
+                &data.csr,
+                &ws.sel_next,
+                nthreads,
+                &mut ws.gram_ws,
+                &mut ws.gram_next,
+            );
+            comm.charge_flops_phase(
+                charges::gram_class(s_next as u64),
+                charges::gram_flops(nnz_next, s_next as u64),
+                charges::gram_working_set(s_next as u64, nnz_next),
+                Phase::Gram,
+            );
+            have_next = true;
+        }
+        comm.iallreduce_wait(req);
 
         let pos = unpack_symmetric_into(&ws.pack, 0, s_block, &mut ws.gram_global);
         // γIₛ on the diagonal (line 9); the diagonal is η (line 11).
@@ -243,6 +280,7 @@ mod tests {
             max_iters: iters,
             trace_every: 64,
             gap_tol: None,
+            overlap: true,
         }
     }
 

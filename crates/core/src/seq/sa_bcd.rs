@@ -213,6 +213,7 @@ mod aligned_group_tests {
             trace_every: 0,
             rel_tol: None,
             sampling: BlockSampling::AlignedGroups { group_size: 4 },
+            overlap: true,
         };
         let res = sa_bcd(&reg.dataset, &gl, &c);
         for g in 0..20 {
@@ -240,6 +241,7 @@ mod aligned_group_tests {
             trace_every: 40,
             rel_tol: None,
             sampling: BlockSampling::AlignedGroups { group_size: 4 },
+            overlap: true,
         };
         let classic = bcd(&reg.dataset, &gl, &c);
         let sa = sa_bcd(&reg.dataset, &gl, &c);
@@ -257,6 +259,7 @@ mod aligned_group_tests {
         let c = LassoConfig {
             mu: 6,
             sampling: BlockSampling::AlignedGroups { group_size: 4 },
+            overlap: true,
             ..Default::default()
         };
         let _ = sa_bcd(&reg.dataset, &GroupLasso::uniform(0.5, 64, 4), &c);

@@ -93,7 +93,7 @@ fn sim_sa_accbcd_core<R: Regularizer>(
     let mut ztilde: Vec<f64> = ds.b.iter().map(|b| -b).collect();
 
     let mut trace = ConvergenceTrace::new();
-    cluster.allreduce(1);
+    cluster.iallreduce(1);
     trace.push_with_phases(
         0,
         0.5 * sparsela::vecops::nrm2_sq(&ztilde),
@@ -105,13 +105,33 @@ fn sim_sa_accbcd_core<R: Regularizer>(
     let nthreads = saco_par::threads();
     let mut rank_nnz = vec![0u64; p];
     let mut block_nnz = vec![0u64; p];
+    let mut have_next = false;
     let mut h = 0usize;
     while h < cfg.max_iters {
         let s_block = cfg.s.min(cfg.max_iters - h);
         let width = s_block * mu;
         ws.begin_block(width);
-        for _ in 0..s_block {
-            crate::seq::sample_block_into(&mut rng, n, mu, cfg.sampling, &mut ws.sel);
+        if have_next {
+            // This block's sampling was drawn (and its Gram charged)
+            // while the previous fused allreduce was in flight — mirrors
+            // the thread engine's overlap window charge for charge.
+            std::mem::swap(&mut ws.sel, &mut ws.sel_next);
+            have_next = false;
+        } else {
+            for _ in 0..s_block {
+                crate::seq::sample_block_into(&mut rng, n, mu, cfg.sampling, &mut ws.sel);
+            }
+            per_rank_sel_nnz(&csc, &ws.sel, &part, &mut rank_nnz);
+            cluster.charge_per_rank_ws_phase(
+                charges::gram_class(width as u64),
+                |r| {
+                    (
+                        charges::gram_flops(rank_nnz[r], width as u64),
+                        charges::gram_working_set(width as u64, rank_nnz[r]),
+                    )
+                },
+                Phase::Gram,
+            );
         }
         ws.thetas.clear();
         ws.thetas.push(theta);
@@ -119,22 +139,12 @@ fn sim_sa_accbcd_core<R: Regularizer>(
             ws.thetas.push(theta_next(ws.thetas[j]));
         }
 
-        // Per-rank attribution of the sampled columns' nonzeros, then the
-        // same two kernel charges as the thread engine.
+        // Per-rank attribution of the sampled columns' nonzeros for the
+        // cross-product kernel (needs the current residuals, so it never
+        // overlaps the previous allreduce).
         per_rank_sel_nnz(&csc, &ws.sel, &part, &mut rank_nnz);
-        let class = charges::gram_class(width as u64);
         cluster.charge_per_rank_ws_phase(
-            class,
-            |r| {
-                (
-                    charges::gram_flops(rank_nnz[r], width as u64),
-                    charges::gram_working_set(width as u64, rank_nnz[r]),
-                )
-            },
-            Phase::Gram,
-        );
-        cluster.charge_per_rank_ws_phase(
-            class,
+            charges::gram_class(width as u64),
             |r| {
                 (
                     charges::cross_flops(rank_nnz[r], 2),
@@ -150,7 +160,29 @@ fn sim_sa_accbcd_core<R: Regularizer>(
             cluster.charge_per_rank_ws(KernelClass::Vector, |r| (3 * rows_of(r), rows_of(r)));
         }
         cluster.charge_uniform(KernelClass::Vector, charges::OUTER_OVERHEAD_FLOPS, 64);
-        cluster.allreduce(payload_words(width, 2, traced));
+        cluster.iallreduce_start(payload_words(width, 2, traced));
+        let h_next = h + s_block;
+        if cfg.overlap && h_next < cfg.max_iters {
+            let s_next = cfg.s.min(cfg.max_iters - h_next);
+            let width_next = s_next * mu;
+            ws.sel_next.clear();
+            for _ in 0..s_next {
+                crate::seq::sample_block_into(&mut rng, n, mu, cfg.sampling, &mut ws.sel_next);
+            }
+            per_rank_sel_nnz(&csc, &ws.sel_next, &part, &mut rank_nnz);
+            cluster.charge_per_rank_ws_phase(
+                charges::gram_class(width_next as u64),
+                |r| {
+                    (
+                        charges::gram_flops(rank_nnz[r], width_next as u64),
+                        charges::gram_working_set(width_next as u64, rank_nnz[r]),
+                    )
+                },
+                Phase::Gram,
+            );
+            have_next = true;
+        }
+        cluster.iallreduce_wait();
 
         // The numerics, once, globally (bit-identical to seq::sa_accbcd).
         sampled_gram_into(&csc, &ws.sel, nthreads, &mut ws.gram_ws, &mut ws.gram);
@@ -236,7 +268,7 @@ fn sim_sa_accbcd_core<R: Regularizer>(
     }
 
     cluster.charge_per_rank_ws(KernelClass::Vector, |r| (3 * rows_of(r), rows_of(r)));
-    cluster.allreduce(1);
+    cluster.iallreduce(1);
     let t2 = theta * theta;
     let resid_sq: f64 = ytilde
         .iter()
@@ -311,7 +343,7 @@ fn sim_sa_bcd_core<R: Regularizer>(
     let mut residual: Vec<f64> = ds.b.iter().map(|b| -b).collect();
 
     let mut trace = ConvergenceTrace::new();
-    cluster.allreduce(1);
+    cluster.iallreduce(1);
     trace.push_with_phases(
         0,
         0.5 * sparsela::vecops::nrm2_sq(&residual),
@@ -323,29 +355,35 @@ fn sim_sa_bcd_core<R: Regularizer>(
     let nthreads = saco_par::threads();
     let mut rank_nnz = vec![0u64; p];
     let mut block_nnz = vec![0u64; p];
+    let mut have_next = false;
     let mut h = 0usize;
     while h < cfg.max_iters {
         let s_block = cfg.s.min(cfg.max_iters - h);
         let width = s_block * mu;
         ws.begin_block(width);
-        for _ in 0..s_block {
-            crate::seq::sample_block_into(&mut rng, n, mu, cfg.sampling, &mut ws.sel);
+        if have_next {
+            std::mem::swap(&mut ws.sel, &mut ws.sel_next);
+            have_next = false;
+        } else {
+            for _ in 0..s_block {
+                crate::seq::sample_block_into(&mut rng, n, mu, cfg.sampling, &mut ws.sel);
+            }
+            per_rank_sel_nnz(&csc, &ws.sel, &part, &mut rank_nnz);
+            cluster.charge_per_rank_ws_phase(
+                charges::gram_class(width as u64),
+                |r| {
+                    (
+                        charges::gram_flops(rank_nnz[r], width as u64),
+                        charges::gram_working_set(width as u64, rank_nnz[r]),
+                    )
+                },
+                Phase::Gram,
+            );
         }
 
         per_rank_sel_nnz(&csc, &ws.sel, &part, &mut rank_nnz);
-        let class = charges::gram_class(width as u64);
         cluster.charge_per_rank_ws_phase(
-            class,
-            |r| {
-                (
-                    charges::gram_flops(rank_nnz[r], width as u64),
-                    charges::gram_working_set(width as u64, rank_nnz[r]),
-                )
-            },
-            Phase::Gram,
-        );
-        cluster.charge_per_rank_ws_phase(
-            class,
+            charges::gram_class(width as u64),
             |r| {
                 (
                     charges::cross_flops(rank_nnz[r], 1),
@@ -361,7 +399,29 @@ fn sim_sa_bcd_core<R: Regularizer>(
             cluster.charge_per_rank_ws(KernelClass::Vector, |r| (2 * rows_of(r), rows_of(r)));
         }
         cluster.charge_uniform(KernelClass::Vector, charges::OUTER_OVERHEAD_FLOPS, 64);
-        cluster.allreduce(payload_words(width, 1, traced));
+        cluster.iallreduce_start(payload_words(width, 1, traced));
+        let h_next = h + s_block;
+        if cfg.overlap && h_next < cfg.max_iters {
+            let s_next = cfg.s.min(cfg.max_iters - h_next);
+            let width_next = s_next * mu;
+            ws.sel_next.clear();
+            for _ in 0..s_next {
+                crate::seq::sample_block_into(&mut rng, n, mu, cfg.sampling, &mut ws.sel_next);
+            }
+            per_rank_sel_nnz(&csc, &ws.sel_next, &part, &mut rank_nnz);
+            cluster.charge_per_rank_ws_phase(
+                charges::gram_class(width_next as u64),
+                |r| {
+                    (
+                        charges::gram_flops(rank_nnz[r], width_next as u64),
+                        charges::gram_working_set(width_next as u64, rank_nnz[r]),
+                    )
+                },
+                Phase::Gram,
+            );
+            have_next = true;
+        }
+        cluster.iallreduce_wait();
 
         sampled_gram_into(&csc, &ws.sel, nthreads, &mut ws.gram_ws, &mut ws.gram);
         sampled_cross_into(&csc, &ws.sel, &[&residual], &mut ws.cross);
@@ -422,7 +482,7 @@ fn sim_sa_bcd_core<R: Regularizer>(
         }
     }
 
-    cluster.allreduce(1);
+    cluster.iallreduce(1);
     trace.push_with_phases(
         h,
         0.5 * sparsela::vecops::nrm2_sq(&residual) + reg.value(&x),

@@ -30,7 +30,7 @@ fn col_partition(ds: &Dataset, p: usize, balanced: bool) -> Partition {
 /// of margins; mirrors `dist::svm::distributed_gap`).
 fn charge_gap(cluster: &mut VirtualCluster, m: u64, rank_matrix_nnz: &[u64]) {
     cluster.charge_per_rank_ws(KernelClass::Dot, |r| (2 * rank_matrix_nnz[r], m));
-    cluster.allreduce(m + 1);
+    cluster.iallreduce(m + 1);
     cluster.charge_uniform(KernelClass::Vector, 4 * m, m);
 }
 
@@ -105,26 +105,32 @@ fn sim_sa_svm_core(
     let nthreads = saco_par::threads();
     let mut rank_nnz = vec![0u64; p];
     let mut row_nnz = vec![0u64; p];
+    let mut have_next = false;
     let mut h = 0usize;
     'outer: while h < cfg.max_iters {
         let s_block = cfg.s.min(cfg.max_iters - h);
         ws.begin_block(0);
-        ws.sel.extend((0..s_block).map(|_| rng.next_index(m)));
+        if have_next {
+            std::mem::swap(&mut ws.sel, &mut ws.sel_next);
+            have_next = false;
+        } else {
+            ws.sel.extend((0..s_block).map(|_| rng.next_index(m)));
+            per_rank_sel_nnz(&ds.a, &ws.sel, &part, &mut rank_nnz);
+            cluster.charge_per_rank_ws_phase(
+                charges::gram_class(s_block as u64),
+                |r| {
+                    (
+                        charges::gram_flops(rank_nnz[r], s_block as u64),
+                        charges::gram_working_set(s_block as u64, rank_nnz[r]),
+                    )
+                },
+                Phase::Gram,
+            );
+        }
 
         per_rank_sel_nnz(&ds.a, &ws.sel, &part, &mut rank_nnz);
-        let class = charges::gram_class(s_block as u64);
         cluster.charge_per_rank_ws_phase(
-            class,
-            |r| {
-                (
-                    charges::gram_flops(rank_nnz[r], s_block as u64),
-                    charges::gram_working_set(s_block as u64, rank_nnz[r]),
-                )
-            },
-            Phase::Gram,
-        );
-        cluster.charge_per_rank_ws_phase(
-            class,
+            charges::gram_class(s_block as u64),
             |r| {
                 (
                     charges::cross_flops(rank_nnz[r], 1),
@@ -134,7 +140,26 @@ fn sim_sa_svm_core(
             Phase::Gram,
         );
         cluster.charge_uniform(KernelClass::Vector, charges::OUTER_OVERHEAD_FLOPS, 64);
-        cluster.allreduce((s_block * (s_block + 1) / 2 + s_block) as u64);
+        cluster.iallreduce_start((s_block * (s_block + 1) / 2 + s_block) as u64);
+        let h_next = h + s_block;
+        if cfg.overlap && h_next < cfg.max_iters {
+            let s_next = cfg.s.min(cfg.max_iters - h_next);
+            ws.sel_next.clear();
+            ws.sel_next.extend((0..s_next).map(|_| rng.next_index(m)));
+            per_rank_sel_nnz(&ds.a, &ws.sel_next, &part, &mut rank_nnz);
+            cluster.charge_per_rank_ws_phase(
+                charges::gram_class(s_next as u64),
+                |r| {
+                    (
+                        charges::gram_flops(rank_nnz[r], s_next as u64),
+                        charges::gram_working_set(s_next as u64, rank_nnz[r]),
+                    )
+                },
+                Phase::Gram,
+            );
+            have_next = true;
+        }
+        cluster.iallreduce_wait();
 
         sampled_gram_into(&ds.a, &ws.sel, nthreads, &mut ws.gram_ws, &mut ws.gram);
         for j in 0..s_block {
@@ -223,6 +248,7 @@ mod tests {
             max_iters: iters,
             trace_every: 64,
             gap_tol: None,
+            overlap: true,
         }
     }
 

@@ -41,6 +41,12 @@ pub struct KernelWorkspace {
     pub(crate) cand: Vec<f64>,
     /// Packed symmetric-Gram + cross allreduce payload (dist solvers).
     pub(crate) pack: Vec<f64>,
+    /// Double-buffered selection for the *next* outer iteration, sampled
+    /// while the current fused allreduce is in flight (`cfg.overlap`).
+    pub(crate) sel_next: Vec<usize>,
+    /// Double-buffered local Gram for the next outer iteration, formed in
+    /// the same overlap window and swapped into `gram` at block entry.
+    pub(crate) gram_next: DenseMatrix,
 }
 
 impl Default for KernelWorkspace {
@@ -64,6 +70,8 @@ impl KernelWorkspace {
             thetas: Vec::new(),
             cand: Vec::new(),
             pack: Vec::new(),
+            sel_next: Vec::new(),
+            gram_next: DenseMatrix::zeros(0, 0),
         }
     }
 

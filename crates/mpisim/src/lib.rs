@@ -42,7 +42,7 @@ pub use cost::{
     class_index, collective_rounds, fit_alpha_beta, AllreduceAlgo, CollectiveCharge,
     CollectiveKind, CostCounters, CostModel, CostReport, Hierarchy, KernelClass, CLASS_NAMES,
 };
-pub use thread_machine::{Comm, ThreadMachine};
+pub use thread_machine::{Comm, IallreduceRequest, ThreadMachine};
 pub use virtual_cluster::VirtualCluster;
 
 /// The observability subsystem both engines feed (re-exported so callers

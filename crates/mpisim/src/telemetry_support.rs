@@ -42,6 +42,12 @@ pub(crate) fn kind_slot(kind: CollectiveKind) -> usize {
 pub(crate) struct RankTelemetry {
     pub phases: PhaseTable,
     pub collectives: [u64; 7],
+    /// Payload words this rank handed to fused (`iallreduce`) collectives
+    /// — the packed on-the-wire size, before the `words_moved` charge.
+    pub words_packed: u64,
+    /// Seconds of in-flight `iallreduce` time this rank hid behind local
+    /// computation between `start` and `wait`.
+    pub hidden_time: f64,
 }
 
 /// Assemble the run-level registry from per-rank telemetry.
@@ -70,6 +76,17 @@ pub(crate) fn registry_from_ranks(engine: &str, ranks: &[RankTelemetry]) -> Regi
             if count > 0 {
                 reg.counter_add(&format!("collectives.{name}"), count);
             }
+        }
+        // Fused-collective extras: the packed payload volume is
+        // program-order (identical on every rank), the hidden time is the
+        // critical rank's — the overlap that actually shortened the
+        // reported timeline. Only emitted once a fused collective ran, so
+        // runs on the blocking path keep their exact report shape.
+        if first.words_packed > 0 {
+            reg.counter_add("comm.words_packed", first.words_packed);
+            let critical = reg.critical_rank().unwrap_or(0);
+            let hidden = ranks.get(critical).map_or(0.0, |rt| rt.hidden_time);
+            reg.gauge_set("comm.overlap_hidden_time", hidden);
         }
     }
     reg

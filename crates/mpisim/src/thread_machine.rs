@@ -21,6 +21,18 @@ struct Packet {
     data: Vec<f64>,
 }
 
+/// Handle to an in-flight nonblocking allreduce started with
+/// [`Comm::iallreduce_sum_start`]. Carries the virtual-time bookkeeping
+/// (entry clock, latest participant, payload size) needed to settle the
+/// charge at [`Comm::iallreduce_wait`]; until then the reduction is
+/// logically in flight and its buffer must not be read.
+#[must_use = "an iallreduce must be completed with iallreduce_wait"]
+pub struct IallreduceRequest {
+    entry: f64,
+    max_entry: f64,
+    words: u64,
+}
+
 /// One rank's handle to the machine: rank id, channels to every peer, a
 /// virtual clock and cost counters.
 pub struct Comm {
@@ -270,10 +282,111 @@ impl Comm {
         );
     }
 
+    /// Start a **nonblocking fused allreduce** of `buf` (summation, in
+    /// place). The payload is one contiguous buffer — the solvers pack
+    /// Gram triangle + cross terms + scalars into it — so the machine
+    /// charges the segment-pipelined
+    /// [`fused_allreduce_charge`](CostModel::fused_allreduce_charge):
+    /// same `⌈log₂P⌉` latency rounds as the blocking tree, but only
+    /// `2·w·(P−1)/P` words on the critical path.
+    ///
+    /// The reduced values are not valid until [`iallreduce_wait`]
+    /// consumes the returned request; computation charged between start
+    /// and wait overlaps the in-flight reduction (virtual time advances
+    /// by `max(comp, comm)`, not their sum). Deterministic: the data
+    /// exchange is the same fixed binomial tree as
+    /// [`allreduce_sum`](Self::allreduce_sum), so results are bitwise
+    /// identical to the blocking path, on every rank, with any amount of
+    /// overlapped work.
+    ///
+    /// [`iallreduce_wait`]: Self::iallreduce_wait
+    pub fn iallreduce_sum_start(&mut self, buf: &mut Vec<f64>) -> IallreduceRequest {
+        let entry = self.clock;
+        if self.size == 1 {
+            return IallreduceRequest {
+                entry,
+                max_entry: entry,
+                words: 0,
+            };
+        }
+        let words = buf.len() as u64;
+        // Physically exchange now (the payload is fixed at start); the
+        // virtual-time charge settles at wait. Same tree, same order, same
+        // clock piggyback as the blocking allreduce.
+        let max_up = self.tree_reduce_sum(buf, entry);
+        let mut payload = if self.rank == 0 {
+            let mut p = buf.clone();
+            p.push(max_up);
+            p
+        } else {
+            Vec::new()
+        };
+        let _ = self.tree_bcast(&mut payload);
+        let max_entry = payload.pop().expect("clock element present");
+        *buf = payload;
+        IallreduceRequest {
+            entry,
+            max_entry,
+            words,
+        }
+    }
+
+    /// Complete a nonblocking allreduce: the collective finishes at
+    /// `max_entry + cost`; this rank leaves at
+    /// `max(arrival, completion)`. Of the remaining in-flight window only
+    /// `min(cost, completion − arrival)` is charged as communication (the
+    /// rest is idle), and the portion that computation already covered is
+    /// recorded as hidden time — the `comm.overlap_hidden_time` gauge.
+    pub fn iallreduce_wait(&mut self, req: IallreduceRequest) {
+        if self.size == 1 {
+            return;
+        }
+        let charge = self.model.fused_allreduce_charge(self.size, req.words);
+        let completion = req.max_entry + charge.time;
+        let arrival = self.clock;
+        let visible = (completion - arrival).max(0.0);
+        let comm = charge.time.min(visible);
+        let idle = visible - comm;
+        let hidden = (arrival.min(completion) - req.entry).max(0.0);
+        self.counters.messages += charge.rounds;
+        self.counters.words += charge.words_moved;
+        self.counters.comm_time += comm;
+        self.counters.idle_time += idle;
+        self.clock = arrival.max(completion);
+        self.telemetry.collectives[kind_slot(CollectiveKind::Allreduce)] += 1;
+        self.telemetry
+            .phases
+            .record_full(Phase::Comm, comm, charge.words_moved, 0);
+        self.telemetry.phases.record(Phase::Idle, idle);
+        self.telemetry.words_packed += req.words;
+        self.telemetry.hidden_time += hidden;
+    }
+
+    /// Blocking fused allreduce: [`iallreduce_sum_start`] immediately
+    /// completed by [`iallreduce_wait`] — the `--overlap off` comm path.
+    /// Identical wire format and charge; zero overlap.
+    ///
+    /// [`iallreduce_sum_start`]: Self::iallreduce_sum_start
+    /// [`iallreduce_wait`]: Self::iallreduce_wait
+    pub fn iallreduce_sum(&mut self, buf: &mut Vec<f64>) {
+        let req = self.iallreduce_sum_start(buf);
+        self.iallreduce_wait(req);
+    }
+
     /// Allreduce of a single scalar by summation.
     pub fn allreduce_scalar(&mut self, v: f64) -> f64 {
         let mut buf = vec![v];
         self.allreduce_sum(&mut buf);
+        buf[0]
+    }
+
+    /// Scalar summation on the fused comm path (same wire values as
+    /// [`allreduce_scalar`](Self::allreduce_scalar), fused pipelined
+    /// charge). The solvers route their bookkeeping reductions through
+    /// this so every collective in a solve scales words uniformly.
+    pub fn iallreduce_scalar(&mut self, v: f64) -> f64 {
+        let mut buf = vec![v];
+        self.iallreduce_sum(&mut buf);
         buf[0]
     }
 
@@ -480,6 +593,11 @@ impl ThreadMachine {
         if p == 1 {
             let mut c = comms.pop().expect("one comm");
             let out = f(&mut c);
+            // Snap the comp counter to the phase-table sum so the report
+            // and the telemetry registry read bitwise-identical numbers
+            // and therefore always pick the same critical rank, even when
+            // two ranks tie at ulp distance.
+            c.counters.comp_time = c.telemetry.phases.comp_time();
             return vec![(out, c.counters, c.telemetry)];
         }
 
@@ -490,6 +608,7 @@ impl ThreadMachine {
         // workspace routes through `saco-par`).
         saco_par::scoped_map(comms, |_, mut c| {
             let out = f(&mut c);
+            c.counters.comp_time = c.telemetry.phases.comp_time();
             (out, c.counters, c.telemetry)
         })
     }
@@ -784,6 +903,59 @@ mod tests {
         let table = registry.phases(critical).unwrap();
         assert!((table.comp_time() - report.critical.comp_time).abs() < 1e-12);
         assert!((table.comm_time() - report.critical.comm_time).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iallreduce_result_is_bitwise_the_blocking_allreduce() {
+        // Same binomial tree, same combine order: the fused nonblocking
+        // path must produce bit-identical sums on every rank, with any
+        // amount of work overlapped in flight.
+        for p in [1, 2, 3, 4, 7, 8] {
+            let blocking = ThreadMachine::run(p, CostModel::cray_xc30(), |comm| {
+                let mut buf = vec![0.1 * (comm.rank() as f64 + 1.0); 5];
+                comm.allreduce_sum(&mut buf);
+                buf
+            });
+            let fused = ThreadMachine::run(p, CostModel::cray_xc30(), |comm| {
+                let mut buf = vec![0.1 * (comm.rank() as f64 + 1.0); 5];
+                let req = comm.iallreduce_sum_start(&mut buf);
+                comm.charge_flops(KernelClass::Vector, 10_000, 10); // overlapped work
+                comm.iallreduce_wait(req);
+                buf
+            });
+            for ((b, _), (f, _)) in blocking.iter().zip(&fused) {
+                assert_eq!(b, f, "p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn iallreduce_overlap_shortens_the_clock() {
+        let model = CostModel::cray_xc30();
+        let run = |overlap: bool| {
+            ThreadMachine::run(4, model, move |comm| {
+                let mut buf = vec![1.0; 1000];
+                if overlap {
+                    let req = comm.iallreduce_sum_start(&mut buf);
+                    comm.charge_flops(KernelClass::Dot, 6_000, 10);
+                    comm.iallreduce_wait(req);
+                } else {
+                    comm.iallreduce_sum(&mut buf);
+                    comm.charge_flops(KernelClass::Dot, 6_000, 10);
+                }
+                (comm.clock(), comm.counters())
+            })
+        };
+        let off = run(false);
+        let on = run(true);
+        for ((co, c_off), (cn, c_on)) in off.iter().zip(&on) {
+            assert!(cn.0 < co.0, "overlap must shorten the clock");
+            // same wire traffic either way
+            assert_eq!(c_off.messages, c_on.messages);
+            assert_eq!(c_off.words, c_on.words);
+            // the hidden portion came out of visible comm time
+            assert!(c_on.comm_time < c_off.comm_time);
+        }
     }
 
     #[test]

@@ -10,9 +10,21 @@
 //! [`CostModel`] formulas. The thread engine and this engine agree by
 //! construction — a property checked by the cross-engine tests.
 
-use crate::cost::{CollectiveKind, CostCounters, CostModel, CostReport, KernelClass};
+use crate::cost::{
+    CollectiveCharge, CollectiveKind, CostCounters, CostModel, CostReport, KernelClass,
+};
 use crate::telemetry_support::{kind_slot, registry_from_ranks, RankTelemetry};
 use saco_telemetry::{Phase, Registry};
+
+/// Bookkeeping for an in-flight fused allreduce: the charge was fixed at
+/// start (payload size and every rank's entry clock were known), the
+/// accounting settles at wait.
+#[derive(Clone, Copy, Debug)]
+struct PendingFused {
+    completion: f64,
+    charge: CollectiveCharge,
+    words: u64,
+}
 
 /// A simulated cluster of `p` ranks with individual virtual clocks.
 #[derive(Clone, Debug)]
@@ -28,6 +40,10 @@ pub struct VirtualCluster {
     messages: u64,
     words: u64,
     telemetry: Vec<RankTelemetry>,
+    pending: Option<PendingFused>,
+    /// Per-rank entry clocks of the pending fused allreduce — a reusable
+    /// buffer so starting one allocates nothing after the first outer loop.
+    pending_entry: Vec<f64>,
 }
 
 impl VirtualCluster {
@@ -49,6 +65,8 @@ impl VirtualCluster {
             messages: 0,
             words: 0,
             telemetry: vec![RankTelemetry::default(); p],
+            pending: None,
+            pending_entry: Vec::new(),
         }
     }
 
@@ -230,9 +248,105 @@ impl VirtualCluster {
         self.collective(CollectiveKind::Allreduce, words);
     }
 
+    /// Start a **nonblocking fused allreduce** of `words` payload words.
+    /// The charge is the segment-pipelined
+    /// [`fused_allreduce_charge`](CostModel::fused_allreduce_charge)
+    /// (`⌈log₂P⌉` latency rounds, `2·w·(P−1)/P` words); it completes at
+    /// `max(entry clocks) + cost`. Computation charged between start and
+    /// [`iallreduce_wait`](Self::iallreduce_wait) overlaps the in-flight
+    /// reduction, so overlapped regions cost `max(comp, comm)` rather
+    /// than their sum. At most one fused allreduce may be outstanding.
+    pub fn iallreduce_start(&mut self, words: u64) {
+        assert!(
+            self.pending.is_none(),
+            "one fused allreduce may be in flight at a time"
+        );
+        let max_entry = self
+            .clocks
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        let charge = self.model.fused_allreduce_charge(self.p, words);
+        self.pending_entry.resize(self.p, 0.0);
+        self.pending_entry.copy_from_slice(&self.clocks);
+        self.pending = Some(PendingFused {
+            completion: max_entry + charge.time,
+            charge,
+            words,
+        });
+    }
+
+    /// Complete the in-flight fused allreduce: each rank leaves at
+    /// `max(arrival, completion)`; of its remaining window only
+    /// `min(cost, completion − arrival)` is communication (the rest is
+    /// idle), and the portion already covered by computation is recorded
+    /// as hidden time (the `comm.overlap_hidden_time` gauge).
+    ///
+    /// # Panics
+    /// Panics if no fused allreduce is outstanding.
+    pub fn iallreduce_wait(&mut self) {
+        let pending = self
+            .pending
+            .take()
+            .expect("iallreduce_wait without iallreduce_start");
+        if self.p == 1 {
+            return;
+        }
+        let cost = pending.charge.time;
+        self.messages += pending.charge.rounds;
+        self.words += pending.charge.words_moved;
+        for r in 0..self.p {
+            let arrival = self.clocks[r];
+            let visible = (pending.completion - arrival).max(0.0);
+            let comm = cost.min(visible);
+            let idle = visible - comm;
+            let hidden = (arrival.min(pending.completion) - self.pending_entry[r]).max(0.0);
+            self.comm[r] += comm;
+            self.idle[r] += idle;
+            self.clocks[r] = arrival.max(pending.completion);
+            self.telemetry[r].collectives[kind_slot(CollectiveKind::Allreduce)] += 1;
+            self.telemetry[r]
+                .phases
+                .record_full(Phase::Comm, comm, pending.charge.words_moved, 0);
+            self.telemetry[r].phases.record(Phase::Idle, idle);
+            self.telemetry[r].words_packed += pending.words;
+            self.telemetry[r].hidden_time += hidden;
+        }
+    }
+
+    /// Blocking fused allreduce: [`iallreduce_start`](Self::iallreduce_start)
+    /// immediately completed by [`iallreduce_wait`](Self::iallreduce_wait)
+    /// — the `--overlap off` comm path. Identical wire format and charge;
+    /// zero overlap.
+    pub fn iallreduce(&mut self, words: u64) {
+        self.iallreduce_start(words);
+        self.iallreduce_wait();
+    }
+
     /// Current simulated time (max over rank clocks).
     pub fn time(&self) -> f64 {
         self.clocks.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// The critical rank: the computational straggler, selected on the
+    /// telemetry phase-table comp sum (ties toward the highest rank).
+    /// Reading the *same* accumulators as
+    /// [`Registry::critical_rank`](saco_telemetry::Registry::critical_rank)
+    /// guarantees the cost report and the telemetry registry name the
+    /// same rank even when two ranks tie at ulp distance — the raw
+    /// `comp` running totals group additions differently and can break
+    /// such ties the other way.
+    fn critical_rank(&self) -> usize {
+        (0..self.p)
+            .max_by(|&a, &b| {
+                self.telemetry[a]
+                    .phases
+                    .comp_time()
+                    .partial_cmp(&self.telemetry[b].phases.comp_time())
+                    .expect("finite clocks")
+                    .then(a.cmp(&b))
+            })
+            .expect("at least one rank")
     }
 
     /// Critical-path cost report: the counters of the computational
@@ -240,21 +354,14 @@ impl VirtualCluster {
     /// the same rule as the thread engine), plus the message/word counts
     /// (identical on all ranks).
     pub fn report(&self) -> CostReport {
-        let critical_rank = (0..self.p)
-            .max_by(|&a, &b| {
-                self.comp[a]
-                    .partial_cmp(&self.comp[b])
-                    .expect("finite clocks")
-                    .then(a.cmp(&b))
-            })
-            .expect("at least one rank");
+        let critical_rank = self.critical_rank();
         CostReport {
             ranks: self.p,
             critical: CostCounters {
                 messages: self.messages,
                 words: self.words,
                 flops: self.flops[critical_rank],
-                comp_time: self.comp[critical_rank],
+                comp_time: self.telemetry[critical_rank].phases.comp_time(),
                 comm_time: self.comm[critical_rank],
                 idle_time: self.idle[critical_rank],
             },
@@ -263,15 +370,20 @@ impl VirtualCluster {
 
     /// Compute time per kernel class on the critical (max-comp) rank.
     pub fn comp_by_class(&self) -> [f64; 4] {
-        let critical_rank = (0..self.p)
-            .max_by(|&a, &b| {
-                self.comp[a]
-                    .partial_cmp(&self.comp[b])
-                    .expect("finite clocks")
-                    .then(a.cmp(&b))
-            })
-            .expect("at least one rank");
-        self.comp_by_class[critical_rank]
+        self.comp_by_class[self.critical_rank()]
+    }
+
+    /// Total payload words handed to fused allreduces so far. Program-
+    /// order: identical on every rank, so this is rank 0's count.
+    pub fn words_packed(&self) -> u64 {
+        self.telemetry.first().map_or(0, |t| t.words_packed)
+    }
+
+    /// In-flight fused-allreduce time hidden behind computation on the
+    /// critical (max-comp) rank — the overlap that shortened the
+    /// reported timeline.
+    pub fn overlap_hidden_time(&self) -> f64 {
+        self.telemetry[self.critical_rank()].hidden_time
     }
 
     /// Merged telemetry registry for the run so far: per-rank phase
@@ -297,6 +409,7 @@ impl VirtualCluster {
         self.telemetry
             .iter_mut()
             .for_each(|t| *t = RankTelemetry::default());
+        self.pending = None;
     }
 }
 
@@ -504,6 +617,130 @@ mod tests {
             thread_reg.counter("collectives.allreduce"),
             virtual_reg.counter("collectives.allreduce")
         );
+    }
+
+    #[test]
+    fn fused_overlap_costs_max_of_comp_and_comm() {
+        // Comp shorter than the in-flight collective: the overlapped
+        // window is hidden, only the remainder is visible comm.
+        let model = CostModel::cray_xc30();
+        let words = 1000u64;
+        let cost = model.fused_allreduce_charge(4, words).time;
+        let mut vc = VirtualCluster::new(4, model);
+        vc.iallreduce_start(words);
+        let comp = cost / 2.0;
+        let flops = (comp * model.dot_rate).round() as u64;
+        vc.charge_uniform(KernelClass::Dot, flops, 10);
+        vc.iallreduce_wait();
+        let rep = vc.report();
+        assert!((vc.time() - cost).abs() < 1e-12, "time = max(comp, comm)");
+        assert!((rep.critical.comm_time - (cost - rep.critical.comp_time)).abs() < 1e-12);
+        assert!(rep.critical.idle_time.abs() < 1e-15);
+        assert!((vc.overlap_hidden_time() - rep.critical.comp_time).abs() < 1e-12);
+
+        // Comp longer than the collective: comm is fully hidden.
+        let mut vc = VirtualCluster::new(4, model);
+        vc.iallreduce_start(words);
+        vc.charge_uniform(KernelClass::Dot, 4 * flops, 10);
+        vc.iallreduce_wait();
+        let rep = vc.report();
+        assert!((vc.time() - rep.critical.comp_time).abs() < 1e-12);
+        assert!(rep.critical.comm_time.abs() < 1e-15, "comm fully hidden");
+        assert!((vc.overlap_hidden_time() - cost).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fused_no_overlap_matches_blocking_shape() {
+        // start immediately followed by wait: idle accounting (waiting
+        // for stragglers) is identical in shape to the blocking
+        // collective; only the charge formula differs.
+        let model = CostModel::cray_xc30();
+        let mut vc = VirtualCluster::new(4, model);
+        vc.charge_per_rank(KernelClass::Dot, 10, |r| (r as u64 + 1) * 1_200_000);
+        vc.iallreduce(64);
+        let rep = vc.report();
+        let charge = model.fused_allreduce_charge(4, 64);
+        assert_eq!(rep.critical.messages, charge.rounds);
+        assert_eq!(rep.critical.words, charge.words_moved);
+        assert!(rep.critical.idle_time < 1e-15, "critical rank never waits");
+        assert!((rep.critical.comm_time - charge.time).abs() < 1e-15);
+        assert_eq!(vc.words_packed(), 64);
+        assert_eq!(vc.overlap_hidden_time(), 0.0, "nothing overlapped");
+    }
+
+    #[test]
+    fn fused_engines_agree_with_overlap() {
+        // The same SPMD script — including overlapped fused allreduces —
+        // on both engines must produce identical counters and telemetry.
+        let model = CostModel::cray_xc30();
+        let p = 8;
+        let (_, thread_report, thread_reg) =
+            ThreadMachine::run_report_telemetry(p, model, |comm| {
+                for _ in 0..5 {
+                    comm.charge_flops(KernelClass::Dot, (comm.rank() as u64 + 1) * 100_000, 64);
+                    let mut buf = vec![1.0; 16];
+                    let req = comm.iallreduce_sum_start(&mut buf);
+                    comm.charge_flops(KernelClass::Vector, 50_000, 64);
+                    comm.iallreduce_wait(req);
+                }
+            });
+        let mut vc = VirtualCluster::new(p, model);
+        for _ in 0..5 {
+            vc.charge_per_rank(KernelClass::Dot, 64, |r| (r as u64 + 1) * 100_000);
+            vc.iallreduce_start(16);
+            vc.charge_uniform(KernelClass::Vector, 50_000, 64);
+            vc.iallreduce_wait();
+        }
+        let virtual_report = vc.report();
+        let t = thread_report.critical;
+        let v = virtual_report.critical;
+        assert!((t.total_time() - v.total_time()).abs() < 1e-12);
+        assert_eq!(t.messages, v.messages);
+        assert_eq!(t.words, v.words);
+        assert!((t.comm_time - v.comm_time).abs() < 1e-12);
+        assert!((t.comp_time - v.comp_time).abs() < 1e-12);
+        assert!((t.idle_time - v.idle_time).abs() < 1e-12);
+        let virtual_reg = vc.telemetry();
+        assert_eq!(
+            thread_reg.counter("comm.words_packed"),
+            virtual_reg.counter("comm.words_packed")
+        );
+        assert_eq!(thread_reg.counter("comm.words_packed"), 5 * 16);
+        let th = thread_reg.gauge("comm.overlap_hidden_time").expect("gauge");
+        let vh = virtual_reg
+            .gauge("comm.overlap_hidden_time")
+            .expect("gauge");
+        assert!((th - vh).abs() < 1e-12, "hidden time: {th} vs {vh}");
+        assert!(th > 0.0, "overlap actually hid time");
+    }
+
+    #[test]
+    fn fused_moves_fewer_words_than_blocking_tree() {
+        let model = CostModel::cray_xc30();
+        let (p, w) = (1024, 592u64);
+        let mut tree = VirtualCluster::new(p, model);
+        tree.allreduce(w);
+        let mut fused = VirtualCluster::new(p, model);
+        fused.iallreduce(w);
+        let (tw, fw) = (tree.report().critical.words, fused.report().critical.words);
+        assert_eq!(
+            tree.report().critical.messages,
+            fused.report().critical.messages,
+            "latency rounds unchanged"
+        );
+        assert!(
+            tw as f64 / fw as f64 >= 1.8,
+            "words reduction {tw}/{fw} below the acceptance bar"
+        );
+        assert!(fused.time() <= tree.time());
+    }
+
+    #[test]
+    #[should_panic(expected = "one fused allreduce")]
+    fn two_outstanding_iallreduces_panic() {
+        let mut vc = VirtualCluster::new(4, CostModel::cray_xc30());
+        vc.iallreduce_start(8);
+        vc.iallreduce_start(8);
     }
 
     #[test]

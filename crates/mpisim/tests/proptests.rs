@@ -145,6 +145,47 @@ proptest! {
         }
     }
 
+    /// The fused single-buffer allreduce is **bitwise** equal to reducing
+    /// each segment with its own blocking allreduce, for any segment
+    /// split, at every rank count the solvers use — so packing the Gram
+    /// triangle, cross terms, and scalars into one payload can never
+    /// change a solver result.
+    #[test]
+    fn fused_allreduce_is_bitwise_separate_reductions(
+        seed in any::<u64>(),
+        lens in proptest::collection::vec(1usize..40, 1..5),
+    ) {
+        for p in [1usize, 2, 4] {
+            let total: usize = lens.iter().sum();
+            let lens_ref = &lens;
+            let results = ThreadMachine::run(p, CostModel::cray_xc30(), move |comm| {
+                let mut rng = xrng::rng_from_seed(seed ^ (comm.rank() as u64) << 8);
+                let data: Vec<f64> = (0..total).map(|_| rng.next_gaussian()).collect();
+                // Fused: one contiguous buffer through the nonblocking path.
+                let mut fused = data.clone();
+                comm.iallreduce_sum(&mut fused);
+                // Separate: one blocking allreduce per segment.
+                let mut separate = Vec::with_capacity(total);
+                let mut at = 0;
+                for &len in lens_ref {
+                    let mut seg = data[at..at + len].to_vec();
+                    comm.allreduce_sum(&mut seg);
+                    separate.extend_from_slice(&seg);
+                    at += len;
+                }
+                (fused, separate)
+            });
+            for (r, (fused, separate)) in results.iter().map(|(r, _)| r).enumerate() {
+                for (i, (f, s)) in fused.iter().zip(separate).enumerate() {
+                    prop_assert_eq!(
+                        f.to_bits(), s.to_bits(),
+                        "p={} rank={} word {}: {} vs {}", p, r, i, f, s
+                    );
+                }
+            }
+        }
+    }
+
     /// Allgather concatenates in rank order for any chunk size.
     #[test]
     fn allgather_orders_chunks(p in 1usize..8, chunk in 1usize..32) {

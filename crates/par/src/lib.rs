@@ -127,6 +127,54 @@ fn record_region(tiles: usize, busy_nanos: u64, wall_nanos: u64) {
 // Deterministic tiled reduction
 // ---------------------------------------------------------------------------
 
+/// Minimum estimated work (inner-loop operations: flops, scatter writes,
+/// …) below which [`tiled_map_weighted`] skips pool dispatch entirely.
+///
+/// Each region spawns its workers as scoped OS threads, which costs tens
+/// of microseconds; a workload smaller than this finishes serially before
+/// the pool would even be assembled. Calibrated against the solver-loop
+/// Gram kernels: an `sb × sb` block Gram with a few hundred nonzeros per
+/// column clears the bar only once the tile work dwarfs the spawn cost.
+pub const MIN_DISPATCH_WORK: u64 = 1 << 17;
+
+/// Cached `available_parallelism` — the fan-out cap. On a single-CPU host
+/// pooled workers only contend (the committed baseline once recorded
+/// `kernel.sparse_gram.wall_t4 > wall_t1` for exactly this reason), so
+/// dispatch is pointless beyond the hardware width.
+fn host_cpus() -> usize {
+    static CPUS: AtomicUsize = AtomicUsize::new(0);
+    match CPUS.load(Ordering::Relaxed) {
+        0 => {
+            let n = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1);
+            CPUS.store(n, Ordering::Relaxed);
+            n
+        }
+        n => n,
+    }
+}
+
+/// Worker count a tiled region will actually dispatch with, given the
+/// caller's thread budget, the tile count, and an estimated total `work`
+/// (in inner-loop operations; pass `u64::MAX` when unknown).
+///
+/// Returns 1 (serial, no pool) when the host has a single CPU, when the
+/// work estimate is below [`MIN_DISPATCH_WORK`], or when fewer than two
+/// tiles exist. Purely a throughput decision: results are bitwise
+/// identical at every width by the pool's determinism contract.
+pub fn dispatch_width(nthreads: usize, ntiles: usize, work: u64) -> usize {
+    dispatch_width_for(nthreads, ntiles, work, host_cpus())
+}
+
+/// [`dispatch_width`] with an explicit host-CPU count (unit-testable).
+fn dispatch_width_for(nthreads: usize, ntiles: usize, work: u64, cpus: usize) -> usize {
+    if work < MIN_DISPATCH_WORK {
+        return 1;
+    }
+    nthreads.max(1).min(ntiles.max(1)).min(cpus.max(1))
+}
+
 /// Run `f` once per tile index in `0..ntiles` on up to `nthreads` scoped
 /// workers and return the results **in tile order**.
 ///
@@ -138,14 +186,36 @@ fn record_region(tiles: usize, busy_nanos: u64, wall_nanos: u64) {
 ///
 /// Falls back to a single in-place loop when `nthreads <= 1` or
 /// `ntiles <= 1` — the parallel and serial paths run the *same* `f`, so
-/// outputs are identical by construction.
+/// outputs are identical by construction. Callers that can estimate
+/// their total work should prefer [`tiled_map_weighted`], which also
+/// skips dispatch for workloads too small to amortize the spawn cost.
 pub fn tiled_map<T, S, I, F>(nthreads: usize, ntiles: usize, init: I, f: F) -> Vec<T>
 where
     T: Send,
     I: Fn() -> S + Sync,
     F: Fn(&mut S, usize) -> T + Sync,
 {
-    let workers = nthreads.max(1).min(ntiles.max(1));
+    tiled_map_weighted(nthreads, ntiles, u64::MAX, init, f)
+}
+
+/// [`tiled_map`] with an estimated total `work` (inner-loop operations)
+/// steering the serial-fallback heuristic: regions smaller than
+/// [`MIN_DISPATCH_WORK`], or running on a single-CPU host, skip pool
+/// dispatch and run the same `f` in place. Output is bitwise identical
+/// to every other width — the hint is a pure throughput knob.
+pub fn tiled_map_weighted<T, S, I, F>(
+    nthreads: usize,
+    ntiles: usize,
+    work: u64,
+    init: I,
+    f: F,
+) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    let workers = dispatch_width(nthreads, ntiles, work);
     if workers <= 1 || ntiles <= 1 {
         let t0 = Instant::now();
         let mut state = init();
@@ -364,6 +434,49 @@ mod tests {
             (1..=4).contains(&total),
             "one restart per worker, got {total}"
         );
+    }
+
+    #[test]
+    fn dispatch_width_serializes_tiny_and_single_cpu_work() {
+        // 1-CPU host: never dispatch, whatever the budget or work size.
+        assert_eq!(dispatch_width_for(4, 64, u64::MAX, 1), 1);
+        assert_eq!(dispatch_width_for(16, 1024, 1 << 30, 1), 1);
+        // Work below the bar: serial even with CPUs to spare.
+        assert_eq!(dispatch_width_for(4, 64, MIN_DISPATCH_WORK - 1, 8), 1);
+        assert_eq!(dispatch_width_for(4, 64, 0, 8), 1);
+        // Work at/above the bar: capped by budget, tiles, and CPUs.
+        assert_eq!(dispatch_width_for(4, 64, MIN_DISPATCH_WORK, 8), 4);
+        assert_eq!(dispatch_width_for(8, 64, u64::MAX, 2), 2);
+        assert_eq!(dispatch_width_for(8, 3, u64::MAX, 8), 3);
+        // Degenerate inputs clamp instead of panicking.
+        assert_eq!(dispatch_width_for(0, 0, u64::MAX, 0), 1);
+    }
+
+    #[test]
+    fn tiled_map_weighted_matches_tiled_map_at_any_work_hint() {
+        let serial = tiled_map(1, 24, || (), |_, i| 3 * i + 1);
+        for work in [0, MIN_DISPATCH_WORK - 1, MIN_DISPATCH_WORK, u64::MAX] {
+            let out = tiled_map_weighted(4, 24, work, || (), |_, i| 3 * i + 1);
+            assert_eq!(out, serial, "work={work}");
+        }
+    }
+
+    #[test]
+    fn tiny_weighted_regions_run_on_one_worker() {
+        // A below-threshold region must not fan out: every tile then flows
+        // through a single worker state, so the per-worker restart count
+        // (tiles that saw a fresh state) is exactly 1.
+        let counts = tiled_map_weighted(
+            4,
+            50,
+            MIN_DISPATCH_WORK - 1,
+            || 0usize,
+            |seen, _| {
+                *seen += 1;
+                *seen
+            },
+        );
+        assert_eq!(counts, (1..=50).collect::<Vec<_>>());
     }
 
     #[test]

@@ -250,9 +250,10 @@ impl DenseMatrix {
             return self.matmul(b);
         }
         let tiles = saco_par::tile_ranges(m, 4 * nthreads);
-        let parts = saco_par::tiled_map(
+        let parts = saco_par::tiled_map_weighted(
             nthreads,
             tiles.len(),
+            2 * (m * self.cols * n) as u64,
             || (),
             |_, t| {
                 let (lo, hi) = tiles[t];
@@ -311,9 +312,11 @@ impl DenseMatrix {
             return self.gram();
         }
         let tiles = saco_par::tile_ranges(n, 8 * nthreads);
-        let parts = saco_par::tiled_map(
+        // Triangle row a costs 2·m·(n − a) flops: n(n+1)·m over the block.
+        let parts = saco_par::tiled_map_weighted(
             nthreads,
             tiles.len(),
+            (n * (n + 1) * self.rows) as u64,
             || (),
             |_, t| {
                 let (lo, hi) = tiles[t];

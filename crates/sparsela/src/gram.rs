@@ -173,10 +173,21 @@ pub fn sampled_gram_into<M: MajorSlices + Sync>(
     }
     // One tile per upper-triangle row: row a costs (k − a) pair-dots, so
     // fine-grained tiles plus the pool's dynamic claiming balance the
-    // triangle without a static schedule.
-    let rows = saco_par::tiled_map(
+    // triangle without a static schedule. Row a scatters slice a then
+    // dots it against every slice b ≥ a (~2·nnz_b each); the suffix-sum
+    // estimate below lets the pool skip dispatch when the whole triangle
+    // is cheaper than spawning workers.
+    let mut work = 0u64;
+    let mut suffix = 0u64;
+    for &j in sel.iter().rev() {
+        let nnz = m.slice(j).nnz() as u64;
+        suffix += 2 * nnz;
+        work += nnz + suffix;
+    }
+    let rows = saco_par::tiled_map_weighted(
         nthreads,
         k,
+        work,
         || (GramWorkspace::new(), Vec::new()),
         |(ws, row), a| {
             gram_row(m, sel, a, ws.scatter_for(m.minor_len()), row);

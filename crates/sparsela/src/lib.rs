@@ -25,6 +25,8 @@
 //! * [`io`] — LIBSVM text-format reader/writer.
 //! * [`svdest`] — extreme singular-value estimation (for the paper's
 //!   `λ = 100·σ_min` rule).
+//! * [`sympack`] — symmetric-triangle packing for the fused allreduce
+//!   payload (only the upper triangle travels; see `docs/PERFORMANCE.md`).
 //!
 //! Everything is `f64`; determinism matters more than the last 10% of
 //! throughput here, so all reductions are sequential, fixed-order within a
@@ -46,6 +48,7 @@ pub mod io;
 pub mod qr;
 pub mod scale;
 pub mod svdest;
+pub mod sympack;
 pub mod vecops;
 
 pub use coo::CooMatrix;
@@ -53,6 +56,7 @@ pub use csc::CscMatrix;
 pub use csr::CsrMatrix;
 pub use dense::DenseMatrix;
 pub use gram::GramWorkspace;
+pub use sympack::{pack_upper_into, packed_len, unpack_symmetric, unpack_symmetric_into};
 
 /// A borrowed view of one sparse row (CSR) or column (CSC): parallel slices
 /// of strictly increasing indices and their values.

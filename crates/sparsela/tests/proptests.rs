@@ -227,6 +227,32 @@ proptest! {
         }
     }
 
+    /// Symmetric-triangle pack → unpack is the identity, bit for bit, at
+    /// any offset inside a larger fused buffer — the invariant the fused
+    /// allreduce payload rests on.
+    #[test]
+    fn sympack_roundtrip_is_identity(seed in any::<u64>(), k in 1usize..24, prefix in 0usize..17) {
+        use sparsela::{pack_upper_into, packed_len, unpack_symmetric_into};
+        let mut rng = xrng::rng_from_seed(seed);
+        // Symmetrize a random square matrix (only the upper triangle of a
+        // symmetric matrix travels, so the input must be symmetric).
+        let mut g = DenseMatrix::zeros(k, k);
+        for a in 0..k {
+            for b in a..k {
+                let v = rng.next_gaussian();
+                g.set(a, b, v);
+                g.set(b, a, v);
+            }
+        }
+        let mut buf: Vec<f64> = (0..prefix).map(|_| rng.next_gaussian()).collect();
+        pack_upper_into(&g, &mut buf);
+        prop_assert_eq!(buf.len(), prefix + packed_len(k));
+        let mut out = DenseMatrix::zeros(0, 0);
+        let pos = unpack_symmetric_into(&buf, prefix, k, &mut out);
+        prop_assert_eq!(pos, buf.len());
+        prop_assert_eq!(out.as_slice(), g.as_slice());
+    }
+
     /// Blocked GEMM agrees with the naive reference.
     #[test]
     fn blocked_gemm_matches_naive(seed in any::<u64>(), m in 1usize..12, k in 1usize..12, n in 1usize..12) {

@@ -93,6 +93,7 @@ fn three_engines_agree_on_svm() {
             max_iters: 320,
             trace_every: 80,
             gap_tol: None,
+            overlap: true,
         };
         let seq_res = seq::sa_svm(&ds, &cfg);
         let (sim_res, _) = sim_sa_svm(&ds, &cfg, 7, CostModel::cray_xc30(), balanced);
@@ -188,6 +189,7 @@ fn virtual_cluster_time_matches_thread_machine_time_svm() {
         max_iters: 64,
         trace_every: 16,
         gap_tol: None,
+        overlap: true,
     };
     let p = 4;
     let (_, blocks) = SvmRankData::split(&ds, p, false);

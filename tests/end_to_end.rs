@@ -44,6 +44,7 @@ fn every_registry_dataset_solves_at_small_scale() {
                     max_iters: 400,
                     trace_every: 100,
                     gap_tol: None,
+                    overlap: true,
                 };
                 let res = saco::seq::sa_svm(&g.dataset, &c);
                 assert!(
@@ -113,6 +114,7 @@ fn distributed_svm_runs_on_a_registry_dataset() {
         max_iters: 160,
         trace_every: 40,
         gap_tol: None,
+        overlap: true,
     };
     let results = ThreadMachine::run(p, CostModel::cray_xc30(), |comm| {
         dist_sa_svm(comm, &blocks[comm.rank()], &c)

@@ -100,6 +100,7 @@ fn svm_sa_equivalence_on_registry_structures() {
                 max_iters: 960,
                 trace_every: 120,
                 gap_tol: None,
+                overlap: true,
             };
             let classic = svm(&g.dataset, &c);
             let sa = sa_svm(&g.dataset, &c);
@@ -166,6 +167,7 @@ fn sa_solvers_with_s_1_are_bitwise_classical_shapes() {
         max_iters: 400,
         trace_every: 50,
         gap_tol: None,
+        overlap: true,
     };
     let a = svm(&g.dataset, &c);
     let b = sa_svm(&g.dataset, &c);
