@@ -11,21 +11,19 @@
 //! next block's sampling and local Gram formation execute while it is in
 //! flight (they depend only on the replicated RNG stream and `A`, so the
 //! iterates are bitwise identical with overlap on or off).
+//!
+//! The recurrence and the fused exchange live in
+//! `crate::exec::{lasso_family, DistBackend}`; these entry points bind a
+//! rank's local row block to the SPMD engine.
 
 use crate::config::LassoConfig;
-use crate::dist::charges;
-use crate::dist::{pack_symmetric, unpack_symmetric_into};
+use crate::exec::{lasso_family, DistBackend};
 use crate::prox::Regularizer;
-use crate::seq::{block_lipschitz, theta_next};
-use crate::trace::{ConvergenceTrace, SolveResult};
-use crate::workspace::KernelWorkspace;
-use datagen::{balanced_partition, block_partition, Partition};
-use mpisim::telemetry::{Phase, PhaseTimes};
-use mpisim::{Comm, KernelClass};
-use sparsela::gram::{sampled_cross_into, sampled_gram_into};
+use crate::trace::SolveResult;
+use datagen::Partition;
+use mpisim::Comm;
 use sparsela::io::Dataset;
 use sparsela::CscMatrix;
-use xrng::rng_from_seed;
 
 /// One rank's share of a row-partitioned Lasso problem.
 #[derive(Clone, Debug)]
@@ -40,13 +38,7 @@ impl LassoRankData {
     /// Split a dataset into `p` row blocks. `balanced` splits by nnz
     /// (fixing the stragglers of §VI); otherwise by row count.
     pub fn split(ds: &Dataset, p: usize, balanced: bool) -> (Partition, Vec<LassoRankData>) {
-        let m = ds.a.rows();
-        let part = if balanced {
-            let weights: Vec<u64> = ds.a.row_nnz_counts().iter().map(|&c| c as u64).collect();
-            balanced_partition(&weights, p)
-        } else {
-            block_partition(m, p)
-        };
+        let part = datagen::row_partition(&ds.a, p, balanced);
         let csc = ds.a.to_csc();
         let blocks = (0..p)
             .map(|r| {
@@ -58,10 +50,6 @@ impl LassoRankData {
             })
             .collect();
         (part, blocks)
-    }
-
-    fn local_nnz_of(&self, coords: &[usize]) -> u64 {
-        coords.iter().map(|&c| self.csc.col_nnz(c) as u64).sum()
     }
 }
 
@@ -76,229 +64,9 @@ pub fn dist_sa_accbcd<R: Regularizer>(
     reg: &R,
     cfg: &LassoConfig,
 ) -> SolveResult {
-    let n = data.csc.cols();
-    cfg.validate(n);
-    let m_loc = data.csc.rows();
-    assert_eq!(data.b.len(), m_loc, "local label slice mismatch");
-    let mu = cfg.mu;
-    let q = cfg.q(n);
-    let mut rng = rng_from_seed(cfg.seed);
-
-    let mut theta = mu as f64 / n as f64;
-    let mut y = vec![0.0; n];
-    let mut z = vec![0.0; n];
-    let mut ytilde = vec![0.0; m_loc];
-    let mut ztilde: Vec<f64> = data.b.iter().map(|b| -b).collect();
-
-    let mut trace = ConvergenceTrace::new();
-    // Initial objective: ½‖b‖² globally (x = 0).
-    let b_sq = comm.iallreduce_scalar(sparsela::vecops::nrm2_sq(&ztilde));
-    trace.push_with_phases(
-        0,
-        0.5 * b_sq,
-        comm.clock(),
-        PhaseTimes::from(comm.phase_table()),
-    );
-
-    let objective =
-        |comm: &mut Comm, theta: f64, y: &[f64], z: &[f64], resid_global_sq: f64| -> f64 {
-            let t2 = theta * theta;
-            let x: Vec<f64> = y.iter().zip(z).map(|(yi, zi)| t2 * yi + zi).collect();
-            comm.charge_flops(KernelClass::Vector, 2 * n as u64, n as u64);
-            0.5 * resid_global_sq + reg.value(&x)
-        };
-
-    let mut ws = KernelWorkspace::new();
-    let nthreads = saco_par::threads();
-    let mut have_next = false;
-    let mut h = 0usize;
-    while h < cfg.max_iters {
-        let s_block = cfg.s.min(cfg.max_iters - h);
-        let width = s_block * mu;
-        ws.begin_block(width);
-        if have_next {
-            // Sampling + local Gram for this block already ran (and were
-            // charged) while the previous allreduce was in flight.
-            std::mem::swap(&mut ws.sel, &mut ws.sel_next);
-            std::mem::swap(&mut ws.gram, &mut ws.gram_next);
-            have_next = false;
-        } else {
-            // Replicated sampling (same seed on every rank).
-            for _ in 0..s_block {
-                crate::seq::sample_block_into(&mut rng, n, mu, cfg.sampling, &mut ws.sel);
-            }
-            let local_nnz = data.local_nnz_of(&ws.sel);
-            sampled_gram_into(&data.csc, &ws.sel, nthreads, &mut ws.gram_ws, &mut ws.gram);
-            comm.charge_flops_phase(
-                charges::gram_class(width as u64),
-                charges::gram_flops(local_nnz, width as u64),
-                charges::gram_working_set(width as u64, local_nnz),
-                Phase::Gram,
-            );
-        }
-        ws.thetas.clear();
-        ws.thetas.push(theta);
-        for j in 0..s_block {
-            ws.thetas.push(theta_next(ws.thetas[j]));
-        }
-
-        // Cross products need the *current* residuals, so unlike the Gram
-        // block they can never overlap the previous allreduce.
-        let local_nnz = data.local_nnz_of(&ws.sel);
-        sampled_cross_into(&data.csc, &ws.sel, &[&ytilde, &ztilde], &mut ws.cross);
-        comm.charge_flops_phase(
-            charges::gram_class(width as u64),
-            charges::cross_flops(local_nnz, 2),
-            charges::gram_working_set(width as u64, local_nnz),
-            Phase::Gram,
-        );
-
-        // Should this outer iteration emit a trace point? (The residual
-        // norm contribution piggybacks on the main allreduce.)
-        let traced = cfg.trace_every > 0
-            && (h / cfg.trace_every) != ((h + s_block).min(cfg.max_iters) / cfg.trace_every);
-        pack_symmetric(&ws.gram, &mut ws.pack);
-        for k in 0..width {
-            ws.pack.push(ws.cross.get(k, 0));
-            ws.pack.push(ws.cross.get(k, 1));
-        }
-        if traced {
-            let t2 = ws.thetas[0] * ws.thetas[0];
-            let resid_contrib: f64 = ytilde
-                .iter()
-                .zip(&ztilde)
-                .map(|(yt, zt)| {
-                    let r = t2 * yt + zt;
-                    r * r
-                })
-                .sum();
-            comm.charge_flops(KernelClass::Vector, 3 * m_loc as u64, m_loc as u64);
-            ws.pack.push(resid_contrib);
-        }
-
-        // The one synchronization of the outer iteration (plus its
-        // fixed software cost: packing, call setup). With overlap on, the
-        // next block's sampling + local Gram run while it is in flight —
-        // they depend only on the replicated RNG stream and `A`, so the
-        // iterates stay bitwise identical either way.
-        comm.charge_flops(KernelClass::Vector, charges::OUTER_OVERHEAD_FLOPS, 64);
-        let req = comm.iallreduce_sum_start(&mut ws.pack);
-        let h_next = h + s_block;
-        if cfg.overlap && h_next < cfg.max_iters {
-            let s_next = cfg.s.min(cfg.max_iters - h_next);
-            let width_next = s_next * mu;
-            ws.sel_next.clear();
-            for _ in 0..s_next {
-                crate::seq::sample_block_into(&mut rng, n, mu, cfg.sampling, &mut ws.sel_next);
-            }
-            let nnz_next = data.local_nnz_of(&ws.sel_next);
-            sampled_gram_into(
-                &data.csc,
-                &ws.sel_next,
-                nthreads,
-                &mut ws.gram_ws,
-                &mut ws.gram_next,
-            );
-            comm.charge_flops_phase(
-                charges::gram_class(width_next as u64),
-                charges::gram_flops(nnz_next, width_next as u64),
-                charges::gram_working_set(width_next as u64, nnz_next),
-                Phase::Gram,
-            );
-            have_next = true;
-        }
-        comm.iallreduce_wait(req);
-
-        let mut pos = unpack_symmetric_into(&ws.pack, 0, width, &mut ws.gram_global);
-        let cross_base = pos;
-        pos += 2 * width;
-        if traced {
-            let resid_global = ws.pack[pos];
-            let f = objective(comm, ws.thetas[0], &y, &z, resid_global);
-            trace.push_with_phases(h, f, comm.clock(), PhaseTimes::from(comm.phase_table()));
-        }
-
-        // Inner loop: replicated recurrences (eqs. 3–5) + local updates.
-        for j in 1..=s_block {
-            let off = (j - 1) * mu;
-            let coords = &ws.sel[off..off + mu];
-            ws.gram_global.diag_block_into(off, off + mu, &mut ws.gjj);
-            let v = block_lipschitz(&ws.gjj);
-            let theta_prev = ws.thetas[j - 1];
-            let t2 = theta_prev * theta_prev;
-            h += 1;
-            comm.charge_flops_phase(
-                KernelClass::Vector,
-                charges::subproblem_flops(mu as u64)
-                    + charges::sa_correction_flops(j as u64, mu as u64),
-                (mu * mu) as u64,
-                Phase::Prox,
-            );
-            if v > 0.0 {
-                let eta = 1.0 / (q * theta_prev * v);
-                ws.cand.clear();
-                for a in 0..mu {
-                    let row = off + a;
-                    let mut r =
-                        t2 * ws.pack[cross_base + 2 * row] + ws.pack[cross_base + 2 * row + 1];
-                    for t in 1..j {
-                        let tp = ws.thetas[t - 1];
-                        let coef = t2 * (1.0 - q * tp) / (tp * tp) - 1.0;
-                        if coef != 0.0 {
-                            let toff = (t - 1) * mu;
-                            let mut corr = 0.0;
-                            for b in 0..mu {
-                                corr += ws.gram_global.get(row, toff + b) * ws.deltas[toff + b];
-                            }
-                            r -= coef * corr;
-                        }
-                    }
-                    ws.cand.push(z[coords[a]] - eta * r);
-                }
-                reg.prox_block(&mut ws.cand, coords, eta);
-                let ycoef = (1.0 - q * theta_prev) / t2;
-                let block_nnz = data.local_nnz_of(coords);
-                for (a, &c) in coords.iter().enumerate() {
-                    let dz = ws.cand[a] - z[c];
-                    ws.deltas[off + a] = dz;
-                    if dz != 0.0 {
-                        z[c] += dz;
-                        y[c] -= ycoef * dz;
-                        let col = data.csc.col(c);
-                        col.axpy_into(dz, &mut ztilde);
-                        col.axpy_into(-ycoef * dz, &mut ytilde);
-                    }
-                }
-                comm.charge_flops(
-                    KernelClass::Vector,
-                    charges::lasso_update_flops(block_nnz, mu as u64),
-                    block_nnz + mu as u64,
-                );
-            }
-        }
-        theta = ws.thetas[s_block];
-    }
-
-    // Final objective with a dedicated scalar reduction.
-    let t2 = theta * theta;
-    let resid_contrib: f64 = ytilde
-        .iter()
-        .zip(&ztilde)
-        .map(|(yt, zt)| {
-            let r = t2 * yt + zt;
-            r * r
-        })
-        .sum();
-    comm.charge_flops(KernelClass::Vector, 3 * m_loc as u64, m_loc as u64);
-    let resid_global = comm.iallreduce_scalar(resid_contrib);
-    let x: Vec<f64> = y.iter().zip(&z).map(|(yi, zi)| t2 * yi + zi).collect();
-    trace.push_with_phases(
-        h,
-        0.5 * resid_global + reg.value(&x),
-        comm.clock(),
-        PhaseTimes::from(comm.phase_table()),
-    );
-    SolveResult { x, trace, iters: h }
+    assert_eq!(data.b.len(), data.csc.rows(), "local label slice mismatch");
+    let mut backend = DistBackend::new(comm, &data.csc, data.csc.rows());
+    lasso_family(&data.csc, &data.b, reg, cfg, true, &mut backend)
 }
 
 /// Distributed SA-BCD (non-accelerated). `cfg.s = 1` is classical BCD;
@@ -309,167 +77,9 @@ pub fn dist_sa_bcd<R: Regularizer>(
     reg: &R,
     cfg: &LassoConfig,
 ) -> SolveResult {
-    let n = data.csc.cols();
-    cfg.validate(n);
-    let m_loc = data.csc.rows();
-    assert_eq!(data.b.len(), m_loc, "local label slice mismatch");
-    let mu = cfg.mu;
-    let mut rng = rng_from_seed(cfg.seed);
-
-    let mut x = vec![0.0; n];
-    let mut residual: Vec<f64> = data.b.iter().map(|b| -b).collect();
-
-    let mut trace = ConvergenceTrace::new();
-    let b_sq = comm.iallreduce_scalar(sparsela::vecops::nrm2_sq(&residual));
-    trace.push_with_phases(
-        0,
-        0.5 * b_sq,
-        comm.clock(),
-        PhaseTimes::from(comm.phase_table()),
-    );
-
-    let mut ws = KernelWorkspace::new();
-    let nthreads = saco_par::threads();
-    let mut have_next = false;
-    let mut h = 0usize;
-    while h < cfg.max_iters {
-        let s_block = cfg.s.min(cfg.max_iters - h);
-        let width = s_block * mu;
-        ws.begin_block(width);
-        if have_next {
-            std::mem::swap(&mut ws.sel, &mut ws.sel_next);
-            std::mem::swap(&mut ws.gram, &mut ws.gram_next);
-            have_next = false;
-        } else {
-            for _ in 0..s_block {
-                crate::seq::sample_block_into(&mut rng, n, mu, cfg.sampling, &mut ws.sel);
-            }
-            let local_nnz = data.local_nnz_of(&ws.sel);
-            sampled_gram_into(&data.csc, &ws.sel, nthreads, &mut ws.gram_ws, &mut ws.gram);
-            comm.charge_flops_phase(
-                charges::gram_class(width as u64),
-                charges::gram_flops(local_nnz, width as u64),
-                charges::gram_working_set(width as u64, local_nnz),
-                Phase::Gram,
-            );
-        }
-
-        let local_nnz = data.local_nnz_of(&ws.sel);
-        sampled_cross_into(&data.csc, &ws.sel, &[&residual], &mut ws.cross);
-        comm.charge_flops_phase(
-            charges::gram_class(width as u64),
-            charges::cross_flops(local_nnz, 1),
-            charges::gram_working_set(width as u64, local_nnz),
-            Phase::Gram,
-        );
-
-        let traced = cfg.trace_every > 0
-            && (h / cfg.trace_every) != ((h + s_block).min(cfg.max_iters) / cfg.trace_every);
-        pack_symmetric(&ws.gram, &mut ws.pack);
-        for k in 0..width {
-            ws.pack.push(ws.cross.get(k, 0));
-        }
-        if traced {
-            ws.pack.push(sparsela::vecops::nrm2_sq(&residual));
-            comm.charge_flops(KernelClass::Vector, 2 * m_loc as u64, m_loc as u64);
-        }
-
-        comm.charge_flops(KernelClass::Vector, charges::OUTER_OVERHEAD_FLOPS, 64);
-        let req = comm.iallreduce_sum_start(&mut ws.pack);
-        let h_next = h + s_block;
-        if cfg.overlap && h_next < cfg.max_iters {
-            let s_next = cfg.s.min(cfg.max_iters - h_next);
-            let width_next = s_next * mu;
-            ws.sel_next.clear();
-            for _ in 0..s_next {
-                crate::seq::sample_block_into(&mut rng, n, mu, cfg.sampling, &mut ws.sel_next);
-            }
-            let nnz_next = data.local_nnz_of(&ws.sel_next);
-            sampled_gram_into(
-                &data.csc,
-                &ws.sel_next,
-                nthreads,
-                &mut ws.gram_ws,
-                &mut ws.gram_next,
-            );
-            comm.charge_flops_phase(
-                charges::gram_class(width_next as u64),
-                charges::gram_flops(nnz_next, width_next as u64),
-                charges::gram_working_set(width_next as u64, nnz_next),
-                Phase::Gram,
-            );
-            have_next = true;
-        }
-        comm.iallreduce_wait(req);
-
-        let mut pos = unpack_symmetric_into(&ws.pack, 0, width, &mut ws.gram_global);
-        let cross_base = pos;
-        pos += width;
-        if traced {
-            let resid_global = ws.pack[pos];
-            comm.charge_flops(KernelClass::Vector, n as u64, n as u64);
-            trace.push_with_phases(
-                h,
-                0.5 * resid_global + reg.value(&x),
-                comm.clock(),
-                PhaseTimes::from(comm.phase_table()),
-            );
-        }
-
-        for j in 1..=s_block {
-            let off = (j - 1) * mu;
-            let coords = &ws.sel[off..off + mu];
-            ws.gram_global.diag_block_into(off, off + mu, &mut ws.gjj);
-            let lip = block_lipschitz(&ws.gjj);
-            h += 1;
-            comm.charge_flops_phase(
-                KernelClass::Vector,
-                charges::subproblem_flops(mu as u64)
-                    + charges::sa_correction_flops(j as u64, mu as u64),
-                (mu * mu) as u64,
-                Phase::Prox,
-            );
-            if lip > 0.0 {
-                let eta = 1.0 / lip;
-                ws.cand.clear();
-                for a in 0..mu {
-                    let row = off + a;
-                    let mut grad = ws.pack[cross_base + row];
-                    for t in 1..j {
-                        let toff = (t - 1) * mu;
-                        for b in 0..mu {
-                            grad += ws.gram_global.get(row, toff + b) * ws.deltas[toff + b];
-                        }
-                    }
-                    ws.cand.push(x[coords[a]] - eta * grad);
-                }
-                reg.prox_block(&mut ws.cand, coords, eta);
-                let block_nnz = data.local_nnz_of(coords);
-                for (a, &c) in coords.iter().enumerate() {
-                    let dx = ws.cand[a] - x[c];
-                    ws.deltas[off + a] = dx;
-                    if dx != 0.0 {
-                        x[c] += dx;
-                        data.csc.col(c).axpy_into(dx, &mut residual);
-                    }
-                }
-                comm.charge_flops(
-                    KernelClass::Vector,
-                    charges::lasso_update_flops(block_nnz, mu as u64) / 2,
-                    block_nnz + mu as u64,
-                );
-            }
-        }
-    }
-
-    let resid_global = comm.iallreduce_scalar(sparsela::vecops::nrm2_sq(&residual));
-    trace.push_with_phases(
-        h,
-        0.5 * resid_global + reg.value(&x),
-        comm.clock(),
-        PhaseTimes::from(comm.phase_table()),
-    );
-    SolveResult { x, trace, iters: h }
+    assert_eq!(data.b.len(), data.csc.rows(), "local label slice mismatch");
+    let mut backend = DistBackend::new(comm, &data.csc, data.csc.rows());
+    lasso_family(&data.csc, &data.b, reg, cfg, false, &mut backend)
 }
 
 #[cfg(test)]

@@ -9,21 +9,18 @@
 //! scalars are replicated. One allreduce per outer iteration carries the
 //! packed symmetric `s × s` Gram block (whose diagonal is the step sizes
 //! `η`, Alg. 4 line 11) and the cross products `Yᵀx`.
+//!
+//! The recurrence and the fused exchange live in
+//! `crate::exec::{svm_family, DistBackend}`; this entry point binds a
+//! rank's local column block to the SPMD engine.
 
 use crate::config::SvmConfig;
-use crate::dist::charges;
-use crate::dist::{pack_symmetric, unpack_symmetric_into};
-use crate::problem::SvmProblem;
-use crate::seq::svm::projected_step;
-use crate::trace::{ConvergenceTrace, SolveResult};
-use crate::workspace::KernelWorkspace;
-use datagen::{balanced_partition, block_partition, Partition};
-use mpisim::telemetry::{Phase, PhaseTimes};
-use mpisim::{Comm, KernelClass};
-use sparsela::gram::{sampled_cross_into, sampled_gram_into};
+use crate::exec::{svm_family, DistBackend};
+use crate::trace::SolveResult;
+use datagen::Partition;
+use mpisim::Comm;
 use sparsela::io::Dataset;
 use sparsela::CsrMatrix;
-use xrng::rng_from_seed;
 
 /// One rank's share of a column-partitioned SVM problem.
 #[derive(Clone, Debug)]
@@ -42,14 +39,7 @@ impl SvmRankData {
     /// disk to 1D-column partitioned matrices", §VI); otherwise an
     /// equal-column-count split.
     pub fn split(ds: &Dataset, p: usize, balanced: bool) -> (Partition, Vec<SvmRankData>) {
-        let n = ds.a.cols();
-        let part = if balanced {
-            let csc = ds.a.to_csc();
-            let weights: Vec<u64> = (0..n).map(|j| csc.col_nnz(j) as u64).collect();
-            balanced_partition(&weights, p)
-        } else {
-            block_partition(n, p)
-        };
+        let part = datagen::col_partition(&ds.a, p, balanced);
         let blocks = (0..p)
             .map(|r| {
                 let range = part.range(r);
@@ -61,43 +51,6 @@ impl SvmRankData {
             .collect();
         (part, blocks)
     }
-
-    fn local_nnz_of(&self, rows: &[usize]) -> u64 {
-        rows.iter().map(|&i| self.csr.row_nnz(i) as u64).sum()
-    }
-}
-
-/// Distributed duality gap: one allreduce of `m + 1` words (margins and
-/// the local ‖x‖² contribution); the loss/dual sums are replicated.
-fn distributed_gap(
-    comm: &mut Comm,
-    data: &SvmRankData,
-    prob: &SvmProblem,
-    x_loc: &[f64],
-    alpha: &[f64],
-) -> f64 {
-    let m = data.csr.rows();
-    let mut buf = data.csr.spmv(x_loc);
-    comm.charge_flops(KernelClass::Dot, 2 * data.csr.nnz() as u64, m as u64);
-    buf.push(sparsela::vecops::nrm2_sq(x_loc));
-    comm.iallreduce_sum(&mut buf);
-    let x_sq = buf.pop().expect("norm element");
-    let loss_sum: f64 = buf
-        .iter()
-        .zip(&data.b)
-        .map(|(mar, bi)| {
-            let xi = (1.0 - bi * mar).max(0.0);
-            match prob.loss {
-                crate::config::SvmLoss::L1 => xi,
-                crate::config::SvmLoss::L2 => xi * xi,
-            }
-        })
-        .sum();
-    comm.charge_flops(KernelClass::Vector, 4 * m as u64, m as u64);
-    let primal = 0.5 * x_sq + prob.lambda * loss_sum;
-    let dual =
-        0.5 * (x_sq + prob.gamma() * sparsela::vecops::nrm2_sq(alpha)) - alpha.iter().sum::<f64>();
-    primal + dual
 }
 
 /// Distributed SA-SVM (Algorithm 4 over MPI-style ranks). `cfg.s = 1` is
@@ -107,155 +60,8 @@ fn distributed_gap(
 /// allgather if they need the full vector); the trace (duality gap) is
 /// replicated and identical on all ranks.
 pub fn dist_sa_svm(comm: &mut Comm, data: &SvmRankData, cfg: &SvmConfig) -> SolveResult {
-    cfg.validate();
-    let m = data.csr.rows();
-    assert_eq!(data.b.len(), m, "label length mismatch");
-    let prob = SvmProblem::new(cfg.loss, cfg.lambda);
-    let (gamma, nu) = (prob.gamma(), prob.nu());
-    let mut rng = rng_from_seed(cfg.seed);
-
-    let mut alpha = vec![0.0f64; m];
-    let mut x_loc = vec![0.0f64; data.csr.cols()];
-
-    let mut trace = ConvergenceTrace::new();
-    let gap0 = distributed_gap(comm, data, &prob, &x_loc, &alpha);
-    trace.push_with_phases(0, gap0, comm.clock(), PhaseTimes::from(comm.phase_table()));
-
-    let mut ws = KernelWorkspace::new();
-    let nthreads = saco_par::threads();
-    let mut have_next = false;
-    let mut h = 0usize;
-    'outer: while h < cfg.max_iters {
-        let s_block = cfg.s.min(cfg.max_iters - h);
-        ws.begin_block(0);
-        if have_next {
-            // Sampling + local Gram for this block ran in the previous
-            // allreduce's overlap window (they depend only on the
-            // replicated RNG stream and the local rows of `A`).
-            std::mem::swap(&mut ws.sel, &mut ws.sel_next);
-            std::mem::swap(&mut ws.gram, &mut ws.gram_next);
-            have_next = false;
-        } else {
-            // Replicated with-replacement sampling (Alg. 4 line 5).
-            ws.sel.extend((0..s_block).map(|_| rng.next_index(m)));
-            let local_nnz = data.local_nnz_of(&ws.sel);
-            sampled_gram_into(&data.csr, &ws.sel, nthreads, &mut ws.gram_ws, &mut ws.gram);
-            comm.charge_flops_phase(
-                charges::gram_class(s_block as u64),
-                charges::gram_flops(local_nnz, s_block as u64),
-                charges::gram_working_set(s_block as u64, local_nnz),
-                Phase::Gram,
-            );
-        }
-
-        // Local contribution to x′ = Yᵀx (lines 8–10) — needs the current
-        // local iterate, so it never overlaps.
-        let local_nnz = data.local_nnz_of(&ws.sel);
-        sampled_cross_into(&data.csr, &ws.sel, &[&x_loc], &mut ws.cross);
-        comm.charge_flops_phase(
-            charges::gram_class(s_block as u64),
-            charges::cross_flops(local_nnz, 1),
-            charges::gram_working_set(s_block as u64, local_nnz),
-            Phase::Gram,
-        );
-
-        pack_symmetric(&ws.gram, &mut ws.pack);
-        for k in 0..s_block {
-            ws.pack.push(ws.cross.get(k, 0));
-        }
-
-        // The one synchronization (lines 9–10), plus its fixed
-        // software cost (packing, call setup).
-        comm.charge_flops(KernelClass::Vector, charges::OUTER_OVERHEAD_FLOPS, 64);
-        let req = comm.iallreduce_sum_start(&mut ws.pack);
-        let h_next = h + s_block;
-        if cfg.overlap && h_next < cfg.max_iters {
-            let s_next = cfg.s.min(cfg.max_iters - h_next);
-            ws.sel_next.clear();
-            ws.sel_next.extend((0..s_next).map(|_| rng.next_index(m)));
-            let nnz_next = data.local_nnz_of(&ws.sel_next);
-            sampled_gram_into(
-                &data.csr,
-                &ws.sel_next,
-                nthreads,
-                &mut ws.gram_ws,
-                &mut ws.gram_next,
-            );
-            comm.charge_flops_phase(
-                charges::gram_class(s_next as u64),
-                charges::gram_flops(nnz_next, s_next as u64),
-                charges::gram_working_set(s_next as u64, nnz_next),
-                Phase::Gram,
-            );
-            have_next = true;
-        }
-        comm.iallreduce_wait(req);
-
-        let pos = unpack_symmetric_into(&ws.pack, 0, s_block, &mut ws.gram_global);
-        // γIₛ on the diagonal (line 9); the diagonal is η (line 11).
-        for j in 0..s_block {
-            ws.gram_global.set(j, j, ws.gram_global.get(j, j) + gamma);
-        }
-
-        // Inner loop (lines 12–21): replicated recurrences + local x update.
-        ws.thetas.clear();
-        ws.thetas.resize(s_block, 0.0);
-        for j in 1..=s_block {
-            let i = ws.sel[j - 1];
-            let beta = alpha[i];
-            let eta = ws.gram_global.get(j - 1, j - 1);
-            let mut g = data.b[i] * ws.pack[pos + (j - 1)] - 1.0 + gamma * beta;
-            for t in 1..j {
-                if ws.thetas[t - 1] != 0.0 {
-                    g += ws.thetas[t - 1]
-                        * data.b[i]
-                        * data.b[ws.sel[t - 1]]
-                        * ws.gram_global.get(j - 1, t - 1);
-                }
-            }
-            let theta = projected_step(beta, g, eta, nu);
-            ws.thetas[j - 1] = theta;
-            comm.charge_flops_phase(
-                KernelClass::Vector,
-                charges::ITER_OVERHEAD_FLOPS + 8 + charges::sa_correction_flops(j as u64, 1),
-                (s_block * s_block) as u64,
-                Phase::Prox,
-            );
-            if theta != 0.0 {
-                alpha[i] += theta;
-                data.csr.row(i).axpy_into(theta * data.b[i], &mut x_loc);
-                comm.charge_flops(
-                    KernelClass::Vector,
-                    charges::svm_update_flops(data.csr.row_nnz(i) as u64),
-                    data.csr.row_nnz(i) as u64,
-                );
-            }
-            h += 1;
-        }
-
-        // Trace / termination at outer boundaries crossing trace_every.
-        let traced = cfg.trace_every > 0
-            && ((h - s_block) / cfg.trace_every != h / cfg.trace_every || h >= cfg.max_iters);
-        if traced {
-            let gap = distributed_gap(comm, data, &prob, &x_loc, &alpha);
-            trace.push_with_phases(h, gap, comm.clock(), PhaseTimes::from(comm.phase_table()));
-            if let Some(tol) = cfg.gap_tol {
-                if gap <= tol {
-                    break 'outer;
-                }
-            }
-        }
-    }
-
-    if trace.len() < 2 || trace.points().last().expect("nonempty").iter < h {
-        let gap = distributed_gap(comm, data, &prob, &x_loc, &alpha);
-        trace.push_with_phases(h, gap, comm.clock(), PhaseTimes::from(comm.phase_table()));
-    }
-    SolveResult {
-        x: x_loc,
-        trace,
-        iters: h,
-    }
+    let mut backend = DistBackend::new(comm, &data.csr, data.csr.rows());
+    svm_family(&data.csr, &data.b, cfg, &mut backend)
 }
 
 #[cfg(test)]

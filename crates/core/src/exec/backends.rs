@@ -1,0 +1,385 @@
+//! The three engines behind [`ExecBackend`]: sequential ground truth,
+//! analytic virtual cluster, and SPMD thread machine.
+
+use super::{ExecBackend, Stage};
+use crate::dist::charges;
+use crate::sim::{per_rank_sel_nnz, phase_snapshot};
+use crate::workspace::KernelWorkspace;
+use datagen::{bucket_counts, Partition};
+use mpisim::telemetry::{Phase, PhaseTimes};
+use mpisim::{Comm, CostModel, KernelClass, VirtualCluster};
+use saco_telemetry::{Registry, WallSpan};
+use sparsela::gram::MajorSlices;
+use sparsela::sympack;
+
+/// Sequential engine: no communication, zero-cost charges, exact
+/// per-iteration traces. Optionally instrumented with wall-clock spans.
+pub(crate) struct SeqBackend<'r> {
+    registry: Option<&'r Registry>,
+    names: [&'static str; 3],
+}
+
+impl<'r> SeqBackend<'r> {
+    pub(crate) fn new() -> Self {
+        Self {
+            registry: None,
+            names: ["", "", ""],
+        }
+    }
+
+    /// Record wall spans named `names[stage]` into `registry`.
+    pub(crate) fn instrumented(registry: &'r Registry, names: [&'static str; 3]) -> Self {
+        Self {
+            registry: Some(registry),
+            names,
+        }
+    }
+}
+
+impl<'r> Default for SeqBackend<'r> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<'r> ExecBackend<'r> for SeqBackend<'r> {
+    const TRACE_INNER: bool = true;
+    const OVERLAPS: bool = false;
+
+    fn exchange<F: FnOnce(&mut Self, &mut KernelWorkspace)>(
+        &mut self,
+        _ws: &mut KernelWorkspace,
+        _width: usize,
+        _nvecs: usize,
+        resid: Option<f64>,
+        _overlap: Option<F>,
+    ) -> Option<f64> {
+        // Single address space: the workspace blocks already are global.
+        resid
+    }
+
+    fn reduce_scalar(&mut self, v: f64) -> f64 {
+        v
+    }
+
+    fn span(&self, stage: Stage) -> Option<WallSpan<'r>> {
+        self.registry
+            .map(|r| r.wall_span(self.names[stage as usize]))
+    }
+}
+
+/// Virtual-cluster engine: runs the global numerics once while charging
+/// each rank its analytic share of flops/bytes/words, so the clock and
+/// counters predict the SPMD engine exactly.
+pub(crate) struct SimBackend<'a, M: MajorSlices + Sync> {
+    cluster: VirtualCluster,
+    mat: &'a M,
+    part: Partition,
+    rank_nnz: Vec<u64>,
+    block_nnz: Vec<u64>,
+    gap_nnz: Vec<u64>,
+}
+
+impl<'a, M: MajorSlices + Sync> SimBackend<'a, M> {
+    /// `mat` is the full design matrix in the layout the solver samples
+    /// (CSC for Lasso columns, CSR for SVM rows); `part` partitions its
+    /// minor axis across `p` virtual ranks.
+    pub(crate) fn new(p: usize, model: CostModel, mat: &'a M, part: Partition) -> Self {
+        // Per-rank share of the whole matrix, used by the SVM gap SpMV.
+        let mut gap_nnz = vec![0u64; p];
+        for k in 0..mat.major_len() {
+            bucket_counts(mat.slice(k).indices, &part, &mut gap_nnz);
+        }
+        Self {
+            cluster: VirtualCluster::new(p, model),
+            mat,
+            part,
+            rank_nnz: vec![0; p],
+            block_nnz: vec![0; p],
+            gap_nnz,
+        }
+    }
+
+    /// Surrender the cluster for reports/telemetry after the solve.
+    pub(crate) fn into_cluster(self) -> VirtualCluster {
+        self.cluster
+    }
+}
+
+impl<'r, 'a, M: MajorSlices + Sync> ExecBackend<'r> for SimBackend<'a, M> {
+    const TRACE_INNER: bool = false;
+    const OVERLAPS: bool = true;
+
+    fn charge_gram(&mut self, sel: &[usize], width: usize) {
+        per_rank_sel_nnz(self.mat, sel, &self.part, &mut self.rank_nnz);
+        let w = width as u64;
+        let nnz = &self.rank_nnz;
+        self.cluster.charge_per_rank_ws_phase(
+            charges::gram_class(w),
+            |r| {
+                (
+                    charges::gram_flops(nnz[r], w),
+                    charges::gram_working_set(w, nnz[r]),
+                )
+            },
+            Phase::Gram,
+        );
+    }
+
+    fn charge_cross(&mut self, sel: &[usize], width: usize, nvecs: usize) {
+        per_rank_sel_nnz(self.mat, sel, &self.part, &mut self.rank_nnz);
+        let w = width as u64;
+        let nv = nvecs as u64;
+        let nnz = &self.rank_nnz;
+        self.cluster.charge_per_rank_ws_phase(
+            charges::gram_class(w),
+            |r| {
+                (
+                    charges::cross_flops(nnz[r], nv),
+                    charges::gram_working_set(w, nnz[r]),
+                )
+            },
+            Phase::Gram,
+        );
+    }
+
+    fn charge_trace_prep(&mut self, factor: u64) {
+        let part = &self.part;
+        self.cluster.charge_per_rank_ws(KernelClass::Vector, |r| {
+            let rows = part.range(r).len() as u64;
+            (factor * rows, rows)
+        });
+    }
+
+    fn charge_outer_overhead(&mut self) {
+        self.cluster
+            .charge_uniform(KernelClass::Vector, charges::OUTER_OVERHEAD_FLOPS, 64);
+    }
+
+    fn charge_prox(&mut self, flops: u64, ws_words: u64) {
+        self.cluster
+            .charge_uniform_phase(KernelClass::Vector, flops, ws_words, Phase::Prox);
+    }
+
+    fn charge_lasso_update(&mut self, coords: &[usize], mu: usize, halve: bool) {
+        per_rank_sel_nnz(self.mat, coords, &self.part, &mut self.block_nnz);
+        let div = if halve { 2 } else { 1 };
+        let mu = mu as u64;
+        let nnz = &self.block_nnz;
+        self.cluster.charge_per_rank_ws(KernelClass::Vector, |r| {
+            (charges::lasso_update_flops(nnz[r], mu) / div, nnz[r] + mu)
+        });
+    }
+
+    fn charge_svm_update(&mut self, row: usize) {
+        per_rank_sel_nnz(
+            self.mat,
+            std::slice::from_ref(&row),
+            &self.part,
+            &mut self.block_nnz,
+        );
+        let nnz = &self.block_nnz;
+        self.cluster.charge_per_rank_ws(KernelClass::Vector, |r| {
+            (charges::svm_update_flops(nnz[r]), nnz[r])
+        });
+    }
+
+    fn charge_obj(&mut self, flops: u64, ws_words: u64) {
+        self.cluster
+            .charge_uniform(KernelClass::Vector, flops, ws_words);
+    }
+
+    fn exchange<F: FnOnce(&mut Self, &mut KernelWorkspace)>(
+        &mut self,
+        ws: &mut KernelWorkspace,
+        width: usize,
+        nvecs: usize,
+        resid: Option<f64>,
+        overlap: Option<F>,
+    ) -> Option<f64> {
+        // Numerics are already global; only the cost of the fused payload
+        // moves across the (virtual) wire.
+        self.cluster
+            .iallreduce_start(sympack::payload_words(width, nvecs, resid.is_some()) as u64);
+        if let Some(f) = overlap {
+            f(self, ws);
+        }
+        self.cluster.iallreduce_wait();
+        resid
+    }
+
+    fn reduce_scalar(&mut self, v: f64) -> f64 {
+        self.cluster.iallreduce(1);
+        v
+    }
+
+    fn gap_reduce(&mut self, _buf: &mut Vec<f64>, m: usize) {
+        let m = m as u64;
+        let nnz = &self.gap_nnz;
+        self.cluster
+            .charge_per_rank_ws(KernelClass::Dot, |r| (2 * nnz[r], m));
+        self.cluster.iallreduce(m + 1);
+        self.cluster.charge_uniform(KernelClass::Vector, 4 * m, m);
+    }
+
+    fn clock(&self) -> f64 {
+        self.cluster.time()
+    }
+
+    fn phases(&self) -> PhaseTimes {
+        phase_snapshot(&self.cluster)
+    }
+}
+
+/// SPMD thread-machine engine: each rank owns a minor-axis block of the
+/// design matrix, forms local Gram/cross contributions, and fuses them
+/// into one (nonblocking) allreduce per outer iteration.
+pub(crate) struct DistBackend<'c, 'a, M: MajorSlices + Sync> {
+    comm: &'c mut Comm,
+    mat: &'a M,
+    trace_rows: u64,
+    gap_nnz: u64,
+}
+
+impl<'c, 'a, M: MajorSlices + Sync> DistBackend<'c, 'a, M> {
+    /// `mat` is this rank's local block; `trace_rows` the local row count
+    /// entering residual trace contributions.
+    pub(crate) fn new(comm: &'c mut Comm, mat: &'a M, trace_rows: usize) -> Self {
+        let gap_nnz = (0..mat.major_len())
+            .map(|k| mat.slice(k).nnz() as u64)
+            .sum();
+        Self {
+            comm,
+            mat,
+            trace_rows: trace_rows as u64,
+            gap_nnz,
+        }
+    }
+
+    fn sel_nnz(&self, sel: &[usize]) -> u64 {
+        sel.iter().map(|&k| self.mat.slice(k).nnz() as u64).sum()
+    }
+}
+
+impl<'r, 'c, 'a, M: MajorSlices + Sync> ExecBackend<'r> for DistBackend<'c, 'a, M> {
+    const TRACE_INNER: bool = false;
+    const OVERLAPS: bool = true;
+
+    fn charge_gram(&mut self, sel: &[usize], width: usize) {
+        let nnz = self.sel_nnz(sel);
+        let w = width as u64;
+        self.comm.charge_flops_phase(
+            charges::gram_class(w),
+            charges::gram_flops(nnz, w),
+            charges::gram_working_set(w, nnz),
+            Phase::Gram,
+        );
+    }
+
+    fn charge_cross(&mut self, sel: &[usize], width: usize, nvecs: usize) {
+        let nnz = self.sel_nnz(sel);
+        let w = width as u64;
+        self.comm.charge_flops_phase(
+            charges::gram_class(w),
+            charges::cross_flops(nnz, nvecs as u64),
+            charges::gram_working_set(w, nnz),
+            Phase::Gram,
+        );
+    }
+
+    fn charge_trace_prep(&mut self, factor: u64) {
+        self.comm.charge_flops(
+            KernelClass::Vector,
+            factor * self.trace_rows,
+            self.trace_rows,
+        );
+    }
+
+    fn charge_outer_overhead(&mut self) {
+        self.comm
+            .charge_flops(KernelClass::Vector, charges::OUTER_OVERHEAD_FLOPS, 64);
+    }
+
+    fn charge_prox(&mut self, flops: u64, ws_words: u64) {
+        self.comm
+            .charge_flops_phase(KernelClass::Vector, flops, ws_words, Phase::Prox);
+    }
+
+    fn charge_lasso_update(&mut self, coords: &[usize], mu: usize, halve: bool) {
+        let nnz = self.sel_nnz(coords);
+        let div = if halve { 2 } else { 1 };
+        let mu = mu as u64;
+        self.comm.charge_flops(
+            KernelClass::Vector,
+            charges::lasso_update_flops(nnz, mu) / div,
+            nnz + mu,
+        );
+    }
+
+    fn charge_svm_update(&mut self, row: usize) {
+        let nnz = self.mat.slice(row).nnz() as u64;
+        self.comm
+            .charge_flops(KernelClass::Vector, charges::svm_update_flops(nnz), nnz);
+    }
+
+    fn charge_obj(&mut self, flops: u64, ws_words: u64) {
+        self.comm.charge_flops(KernelClass::Vector, flops, ws_words);
+    }
+
+    fn exchange<F: FnOnce(&mut Self, &mut KernelWorkspace)>(
+        &mut self,
+        ws: &mut KernelWorkspace,
+        width: usize,
+        nvecs: usize,
+        resid: Option<f64>,
+        overlap: Option<F>,
+    ) -> Option<f64> {
+        // Fused payload: packed Gram triangle, cross terms interleaved
+        // per block row, then the optional traced residual contribution.
+        sympack::pack_upper_into(&ws.gram, &mut ws.pack);
+        for k in 0..width {
+            for v in 0..nvecs {
+                ws.pack.push(ws.cross.get(k, v));
+            }
+        }
+        if let Some(rc) = resid {
+            ws.pack.push(rc);
+        }
+        let req = self.comm.iallreduce_sum_start(&mut ws.pack);
+        if let Some(f) = overlap {
+            f(self, ws);
+        }
+        self.comm.iallreduce_wait(req);
+        let mut pos = sympack::unpack_symmetric_into(&ws.pack, 0, width, &mut ws.gram_global);
+        // Hand the recurrence the global block under the same name the
+        // replicated engines use.
+        std::mem::swap(&mut ws.gram, &mut ws.gram_global);
+        for k in 0..width {
+            for v in 0..nvecs {
+                ws.cross.set(k, v, ws.pack[pos]);
+                pos += 1;
+            }
+        }
+        resid.map(|_| ws.pack[pos])
+    }
+
+    fn reduce_scalar(&mut self, v: f64) -> f64 {
+        self.comm.iallreduce_scalar(v)
+    }
+
+    fn gap_reduce(&mut self, buf: &mut Vec<f64>, m: usize) {
+        let m = m as u64;
+        self.comm
+            .charge_flops(KernelClass::Dot, 2 * self.gap_nnz, m);
+        self.comm.iallreduce_sum(buf);
+        self.comm.charge_flops(KernelClass::Vector, 4 * m, m);
+    }
+
+    fn clock(&self) -> f64 {
+        self.comm.clock()
+    }
+
+    fn phases(&self) -> PhaseTimes {
+        PhaseTimes::from(self.comm.phase_table())
+    }
+}

@@ -1,0 +1,326 @@
+//! The backend-generic Lasso recurrence (Algorithms 1/2 and their
+//! non-accelerated counterparts).
+//!
+//! One function covers the whole primal family: `accel` selects between
+//! the accelerated two-sequence recurrence (eq. (3): `y`/`z` with implicit
+//! iterate `x = θ²y + z`) and plain BCD (single sequence, `z` *is* `x`
+//! and `ztilde` *is* the residual); `cfg.s` selects classical (`s = 1`)
+//! versus s-step SA unrolling; the [`ExecBackend`] selects the engine.
+//! Every float expression below is transcribed verbatim from the original
+//! per-engine solvers, so the refactor is bitwise-neutral.
+
+use super::{ExecBackend, Stage};
+use crate::config::LassoConfig;
+use crate::dist::charges;
+use crate::problem::lasso_objective_from_residual;
+use crate::prox::Regularizer;
+use crate::seq::accbcd::implicit_objective;
+use crate::seq::{block_lipschitz, theta_next};
+use crate::trace::{ConvergenceTrace, SolveResult};
+use crate::workspace::KernelWorkspace;
+use sparsela::gram::{sampled_cross_into, sampled_gram_into};
+use sparsela::CscMatrix;
+use xrng::rng_from_seed;
+
+/// Solve `min_x ½‖Ax − b‖² + g(x)` on backend `B`.
+///
+/// `a`/`b` are the full problem for replicated engines and this rank's
+/// row block for the distributed engine (every rank runs the same
+/// replicated recurrence; only the matrix products are local, made global
+/// by [`ExecBackend::exchange`]).
+pub(crate) fn lasso_family<'r, B: ExecBackend<'r>, R: Regularizer>(
+    a: &CscMatrix,
+    b: &[f64],
+    reg: &R,
+    cfg: &LassoConfig,
+    accel: bool,
+    backend: &mut B,
+) -> SolveResult {
+    let n = a.cols();
+    cfg.validate(n);
+    assert_eq!(b.len(), a.rows(), "label length mismatch");
+    let mut rng = rng_from_seed(cfg.seed);
+    let q = cfg.q(n);
+    let mu = cfg.mu;
+    let nvecs = if accel { 2 } else { 1 };
+
+    // Accelerated state: x = θ²y + z, ỹ = Ay, z̃ = Az − b.
+    // Plain state reuses the same names: z is the iterate, z̃ the residual.
+    let mut theta = mu as f64 / n as f64;
+    let mut y = vec![0.0; if accel { n } else { 0 }];
+    let mut z = vec![0.0; n];
+    let mut ytilde = vec![0.0; if accel { b.len() } else { 0 }];
+    let mut ztilde: Vec<f64> = b.iter().map(|v| -v).collect();
+
+    let mut trace = ConvergenceTrace::new();
+    if B::TRACE_INNER {
+        let f0 = if accel {
+            implicit_objective(theta, &y, &z, &ytilde, &ztilde, reg)
+        } else {
+            lasso_objective_from_residual(&ztilde, reg, &z)
+        };
+        trace.push(0, f0, 0.0);
+    } else {
+        // ½‖b‖² on every engine: z̃ starts at −b (locally for dist, whose
+        // scalar reduction makes the squared norm global).
+        let b_sq = backend.reduce_scalar(sparsela::vecops::nrm2_sq(&ztilde));
+        trace.push_with_phases(0, 0.5 * b_sq, backend.clock(), backend.phases());
+    }
+    let mut last_traced = trace.initial_value();
+
+    // One workspace per solve: Gram/cross/selection/recurrence buffers are
+    // reused across outer iterations (numerics untouched — the `_into`
+    // kernels are bitwise identical to their allocating counterparts).
+    let mut ws = KernelWorkspace::new();
+    let nthreads = saco_par::threads();
+    let mut have_next = false;
+    let mut h = 0usize;
+    'outer: while h < cfg.max_iters {
+        let s_block = cfg.s.min(cfg.max_iters - h);
+        let width = s_block * mu;
+        ws.begin_block(width);
+        if have_next {
+            // This block's sampling and local Gram were produced (and
+            // charged) while the previous fused allreduce was in flight.
+            std::mem::swap(&mut ws.sel, &mut ws.sel_next);
+            std::mem::swap(&mut ws.gram, &mut ws.gram_next);
+        } else {
+            {
+                let _span = backend.span(Stage::Sampling);
+                for _ in 0..s_block {
+                    crate::seq::sample_block_into(&mut rng, n, mu, cfg.sampling, &mut ws.sel);
+                }
+            }
+            let _span = backend.span(Stage::Gram);
+            sampled_gram_into(a, &ws.sel, nthreads, &mut ws.gram_ws, &mut ws.gram);
+            backend.charge_gram(&ws.sel, width);
+        }
+        if accel {
+            // The θ sequence for the whole block, computed up front.
+            ws.thetas.clear();
+            ws.thetas.push(theta);
+            for j in 0..s_block {
+                ws.thetas.push(theta_next(ws.thetas[j]));
+            }
+        }
+        // The cross products need the current residual vectors, so they
+        // can never ride the overlap window.
+        {
+            let _span = backend.span(Stage::Gram);
+            if accel {
+                sampled_cross_into(a, &ws.sel, &[&ytilde, &ztilde], &mut ws.cross);
+            } else {
+                sampled_cross_into(a, &ws.sel, &[&ztilde], &mut ws.cross);
+            }
+            backend.charge_cross(&ws.sel, width, nvecs);
+        }
+
+        // Trace boundary: piggyback this rank's residual-norm contribution
+        // on the fused allreduce instead of a second collective.
+        let traced = !B::TRACE_INNER
+            && cfg.trace_every > 0
+            && (h / cfg.trace_every) != ((h + s_block).min(cfg.max_iters) / cfg.trace_every);
+        let resid = if traced {
+            let val = if accel {
+                let t2 = ws.thetas[0] * ws.thetas[0];
+                ytilde
+                    .iter()
+                    .zip(&ztilde)
+                    .map(|(yt, zt)| {
+                        let r = t2 * yt + zt;
+                        r * r
+                    })
+                    .sum()
+            } else {
+                sparsela::vecops::nrm2_sq(&ztilde)
+            };
+            backend.charge_trace_prep(if accel { 3 } else { 2 });
+            Some(val)
+        } else {
+            None
+        };
+        backend.charge_outer_overhead();
+
+        let h_next = h + s_block;
+        let want_overlap = B::OVERLAPS && cfg.overlap && h_next < cfg.max_iters;
+        let s_next = cfg.s.min(cfg.max_iters.saturating_sub(h_next));
+        let ov = |bk: &mut B, ws: &mut KernelWorkspace| {
+            ws.sel_next.clear();
+            for _ in 0..s_next {
+                crate::seq::sample_block_into(&mut rng, n, mu, cfg.sampling, &mut ws.sel_next);
+            }
+            sampled_gram_into(
+                a,
+                &ws.sel_next,
+                nthreads,
+                &mut ws.gram_ws,
+                &mut ws.gram_next,
+            );
+            bk.charge_gram(&ws.sel_next, s_next * mu);
+        };
+        let resid_global =
+            backend.exchange(&mut ws, width, nvecs, resid, want_overlap.then_some(ov));
+        have_next = want_overlap;
+
+        if let Some(rg) = resid_global {
+            let f = if accel {
+                let t2 = ws.thetas[0] * ws.thetas[0];
+                let x: Vec<f64> = y.iter().zip(&z).map(|(yi, zi)| t2 * yi + zi).collect();
+                backend.charge_obj(2 * n as u64, n as u64);
+                0.5 * rg + reg.value(&x)
+            } else {
+                backend.charge_obj(n as u64, n as u64);
+                0.5 * rg + reg.value(&z)
+            };
+            trace.push_with_phases(h, f, backend.clock(), backend.phases());
+        }
+
+        // Inner loop: recurrences only — no fresh matrix products.
+        let _inner_span = backend.span(Stage::Inner);
+        for j in 1..=s_block {
+            let off = (j - 1) * mu;
+            let coords = &ws.sel[off..off + mu];
+            ws.gram.diag_block_into(off, off + mu, &mut ws.gjj);
+            let v = block_lipschitz(&ws.gjj);
+            h += 1;
+            backend.charge_prox(
+                charges::subproblem_flops(mu as u64)
+                    + charges::sa_correction_flops(j as u64, mu as u64),
+                (mu * mu) as u64,
+            );
+            if accel {
+                let theta_prev = ws.thetas[j - 1];
+                let t2 = theta_prev * theta_prev;
+                if v > 0.0 {
+                    let eta = 1.0 / (q * theta_prev * v);
+                    // eq. (3): r from ỹ′, z̃′ and Gram corrections.
+                    ws.cand.clear();
+                    for ai in 0..mu {
+                        let row = off + ai;
+                        let mut r = t2 * ws.cross.get(row, 0) + ws.cross.get(row, 1);
+                        for t in 1..j {
+                            let tp = ws.thetas[t - 1];
+                            let coef = t2 * (1.0 - q * tp) / (tp * tp) - 1.0;
+                            if coef != 0.0 {
+                                let toff = (t - 1) * mu;
+                                let mut corr = 0.0;
+                                for bi in 0..mu {
+                                    corr += ws.gram.get(row, toff + bi) * ws.deltas[toff + bi];
+                                }
+                                r -= coef * corr;
+                            }
+                        }
+                        ws.cand.push(z[coords[ai]] - eta * r);
+                    }
+                    reg.prox_block(&mut ws.cand, coords, eta);
+                    let ycoef = (1.0 - q * theta_prev) / t2;
+                    for (ai, &c) in coords.iter().enumerate() {
+                        let dz = ws.cand[ai] - z[c];
+                        ws.deltas[off + ai] = dz;
+                        if dz != 0.0 {
+                            z[c] += dz;
+                            y[c] -= ycoef * dz;
+                            let col = a.col(c);
+                            col.axpy_into(dz, &mut ztilde);
+                            col.axpy_into(-ycoef * dz, &mut ytilde);
+                        }
+                    }
+                    backend.charge_lasso_update(coords, mu, false);
+                }
+            } else if v > 0.0 {
+                let eta = 1.0 / v;
+                ws.cand.clear();
+                for ai in 0..mu {
+                    let row = off + ai;
+                    let mut grad = ws.cross.get(row, 0);
+                    for t in 1..j {
+                        let toff = (t - 1) * mu;
+                        for bi in 0..mu {
+                            grad += ws.gram.get(row, toff + bi) * ws.deltas[toff + bi];
+                        }
+                    }
+                    ws.cand.push(z[coords[ai]] - eta * grad);
+                }
+                reg.prox_block(&mut ws.cand, coords, eta);
+                for (ai, &c) in coords.iter().enumerate() {
+                    let dx = ws.cand[ai] - z[c];
+                    ws.deltas[off + ai] = dx;
+                    if dx != 0.0 {
+                        z[c] += dx;
+                        a.col(c).axpy_into(dx, &mut ztilde);
+                    }
+                }
+                backend.charge_lasso_update(coords, mu, true);
+            }
+            if B::TRACE_INNER
+                && ((cfg.trace_every > 0 && h.is_multiple_of(cfg.trace_every))
+                    || h == cfg.max_iters)
+            {
+                let f = if accel {
+                    implicit_objective(ws.thetas[j], &y, &z, &ytilde, &ztilde, reg)
+                } else {
+                    lasso_objective_from_residual(&ztilde, reg, &z)
+                };
+                trace.push(h, f, 0.0);
+                if let Some(tol) = cfg.rel_tol {
+                    if (last_traced - f).abs() <= tol * last_traced.abs().max(1e-300) {
+                        if accel {
+                            theta = ws.thetas[j];
+                        }
+                        break 'outer;
+                    }
+                }
+                last_traced = f;
+            }
+        }
+        if accel {
+            theta = ws.thetas[s_block];
+        }
+    }
+
+    if !B::TRACE_INNER {
+        // Final objective so the trace always ends at `iters` even when
+        // `trace_every` does not divide it.
+        if accel {
+            let t2 = theta * theta;
+            let resid_contrib: f64 = ytilde
+                .iter()
+                .zip(&ztilde)
+                .map(|(yt, zt)| {
+                    let r = t2 * yt + zt;
+                    r * r
+                })
+                .sum();
+            backend.charge_trace_prep(3);
+            let rg = backend.reduce_scalar(resid_contrib);
+            let x: Vec<f64> = y.iter().zip(&z).map(|(yi, zi)| t2 * yi + zi).collect();
+            trace.push_with_phases(
+                h,
+                0.5 * rg + reg.value(&x),
+                backend.clock(),
+                backend.phases(),
+            );
+            return SolveResult { x, trace, iters: h };
+        }
+        let rg = backend.reduce_scalar(sparsela::vecops::nrm2_sq(&ztilde));
+        trace.push_with_phases(
+            h,
+            0.5 * rg + reg.value(&z),
+            backend.clock(),
+            backend.phases(),
+        );
+        return SolveResult {
+            x: z,
+            trace,
+            iters: h,
+        };
+    }
+
+    let x = if accel {
+        let t2 = theta * theta;
+        y.iter().zip(&z).map(|(yi, zi)| t2 * yi + zi).collect()
+    } else {
+        z
+    };
+    SolveResult { x, trace, iters: h }
+}

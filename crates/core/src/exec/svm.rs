@@ -1,0 +1,203 @@
+//! The backend-generic dual linear SVM recurrence (Algorithms 3/4).
+//!
+//! One function covers classical dual coordinate descent (`cfg.s = 1`)
+//! and the s-step SA unrolling (eqs. (14)–(15)); the [`ExecBackend`]
+//! selects the engine. α is maintained in place, so `α[i_j]` carries
+//! eq. (14)'s β (initial value plus all matching prior θ's). Every float
+//! expression is transcribed verbatim from the original per-engine
+//! solvers, so the refactor is bitwise-neutral.
+
+use super::{ExecBackend, Stage};
+use crate::config::{SvmConfig, SvmLoss};
+use crate::dist::charges;
+use crate::problem::SvmProblem;
+use crate::seq::svm::projected_step;
+use crate::trace::{ConvergenceTrace, SolveResult};
+use crate::workspace::KernelWorkspace;
+use sparsela::gram::{sampled_cross_into, sampled_gram_into};
+use sparsela::CsrMatrix;
+use xrng::rng_from_seed;
+
+/// Duality gap through the backend's reduction: identical arithmetic to
+/// `SvmProblem::duality_gap` when the margins are already global, and to
+/// the fused distributed gap (margins + ‖x‖² in one buffer) when they are
+/// per-rank contributions.
+fn gap_of<'r, B: ExecBackend<'r>>(
+    backend: &mut B,
+    a: &CsrMatrix,
+    b: &[f64],
+    prob: &SvmProblem,
+    x: &[f64],
+    alpha: &[f64],
+) -> f64 {
+    let m = a.rows();
+    let mut buf = a.spmv(x);
+    buf.push(sparsela::vecops::nrm2_sq(x));
+    backend.gap_reduce(&mut buf, m);
+    let x_sq = buf.pop().expect("norm element");
+    let loss_sum: f64 = buf
+        .iter()
+        .zip(b)
+        .map(|(margin, bi)| {
+            let xi = (1.0 - bi * margin).max(0.0);
+            match prob.loss {
+                SvmLoss::L1 => xi,
+                SvmLoss::L2 => xi * xi,
+            }
+        })
+        .sum();
+    let primal = 0.5 * x_sq + prob.lambda * loss_sum;
+    let dual =
+        0.5 * (x_sq + prob.gamma() * sparsela::vecops::nrm2_sq(alpha)) - alpha.iter().sum::<f64>();
+    primal + dual
+}
+
+/// Solve the dual SVM problem on backend `B`.
+///
+/// `a`/`b` are the full problem for replicated engines; for the
+/// distributed engine `a` is this rank's column block (`x` stays local,
+/// `α` and `b` are replicated across ranks).
+pub(crate) fn svm_family<'r, B: ExecBackend<'r>>(
+    a: &CsrMatrix,
+    b: &[f64],
+    cfg: &SvmConfig,
+    backend: &mut B,
+) -> SolveResult {
+    cfg.validate();
+    let m = a.rows();
+    assert_eq!(b.len(), m, "label length mismatch");
+    debug_assert!(
+        b.iter().all(|&v| v == 1.0 || v == -1.0),
+        "labels must be ±1"
+    );
+    let prob = SvmProblem::new(cfg.loss, cfg.lambda);
+    let (gamma, nu) = (prob.gamma(), prob.nu());
+    let mut rng = rng_from_seed(cfg.seed);
+
+    let mut alpha = vec![0.0f64; m];
+    let mut x = vec![0.0f64; a.cols()];
+
+    let mut trace = ConvergenceTrace::new();
+    let gap0 = gap_of(backend, a, b, &prob, &x, &alpha);
+    if B::TRACE_INNER {
+        trace.push(0, gap0, 0.0);
+    } else {
+        trace.push_with_phases(0, gap0, backend.clock(), backend.phases());
+    }
+
+    // One workspace per solve: Gram/cross/selection buffers are reused
+    // across outer iterations (numerics untouched — the `_into` kernels
+    // are bitwise identical to their allocating counterparts).
+    let mut ws = KernelWorkspace::new();
+    let nthreads = saco_par::threads();
+    let mut have_next = false;
+    let mut h = 0usize;
+    'outer: while h < cfg.max_iters {
+        let s_block = cfg.s.min(cfg.max_iters - h);
+        ws.begin_block(0);
+        if have_next {
+            // Sampled (and local Gram formed/charged) in the previous
+            // allreduce's overlap window.
+            std::mem::swap(&mut ws.sel, &mut ws.sel_next);
+            std::mem::swap(&mut ws.gram, &mut ws.gram_next);
+        } else {
+            {
+                let _span = backend.span(Stage::Sampling);
+                ws.sel.extend((0..s_block).map(|_| rng.next_index(m)));
+            }
+            let _span = backend.span(Stage::Gram);
+            sampled_gram_into(a, &ws.sel, nthreads, &mut ws.gram_ws, &mut ws.gram);
+            backend.charge_gram(&ws.sel, s_block);
+        }
+        // x′ = Yᵀ·x_sk needs the current iterate — never overlapped.
+        {
+            let _span = backend.span(Stage::Gram);
+            sampled_cross_into(a, &ws.sel, &[&x], &mut ws.cross);
+            backend.charge_cross(&ws.sel, s_block, 1);
+        }
+        backend.charge_outer_overhead();
+
+        let h_next = h + s_block;
+        let want_overlap = B::OVERLAPS && cfg.overlap && h_next < cfg.max_iters;
+        let s_next = cfg.s.min(cfg.max_iters.saturating_sub(h_next));
+        let ov = |bk: &mut B, ws: &mut KernelWorkspace| {
+            ws.sel_next.clear();
+            ws.sel_next.extend((0..s_next).map(|_| rng.next_index(m)));
+            sampled_gram_into(
+                a,
+                &ws.sel_next,
+                nthreads,
+                &mut ws.gram_ws,
+                &mut ws.gram_next,
+            );
+            bk.charge_gram(&ws.sel_next, s_next);
+        };
+        backend.exchange(&mut ws, s_block, 1, None, want_overlap.then_some(ov));
+        have_next = want_overlap;
+        // γIₛ joins after the exchange: the regularizer term is replicated,
+        // not a matrix product, so it must not be summed across ranks.
+        for j in 0..s_block {
+            ws.gram.set(j, j, ws.gram.get(j, j) + gamma);
+        }
+
+        ws.thetas.clear();
+        ws.thetas.resize(s_block, 0.0);
+        let _inner_span = backend.span(Stage::Inner);
+        for j in 1..=s_block {
+            let i = ws.sel[j - 1];
+            let beta = alpha[i];
+            let eta = ws.gram.get(j - 1, j - 1);
+            // eq. (15): gradient from x′ and Gram corrections.
+            let mut g = b[i] * ws.cross.get(j - 1, 0) - 1.0 + gamma * beta;
+            for t in 1..j {
+                if ws.thetas[t - 1] != 0.0 {
+                    g += ws.thetas[t - 1] * b[i] * b[ws.sel[t - 1]] * ws.gram.get(j - 1, t - 1);
+                }
+            }
+            let theta = projected_step(beta, g, eta, nu);
+            ws.thetas[j - 1] = theta;
+            backend.charge_prox(
+                charges::ITER_OVERHEAD_FLOPS + 8 + charges::sa_correction_flops(j as u64, 1),
+                (s_block * s_block) as u64,
+            );
+            if theta != 0.0 {
+                alpha[i] += theta;
+                a.row(i).axpy_into(theta * b[i], &mut x);
+                backend.charge_svm_update(i);
+            }
+            h += 1;
+            if B::TRACE_INNER
+                && ((cfg.trace_every > 0 && h.is_multiple_of(cfg.trace_every))
+                    || h == cfg.max_iters)
+            {
+                let gap = gap_of(backend, a, b, &prob, &x, &alpha);
+                trace.push(h, gap, 0.0);
+                if let Some(tol) = cfg.gap_tol {
+                    if gap <= tol {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+
+        if !B::TRACE_INNER {
+            let traced = cfg.trace_every > 0
+                && ((h - s_block) / cfg.trace_every != h / cfg.trace_every || h >= cfg.max_iters);
+            if traced {
+                let gap = gap_of(backend, a, b, &prob, &x, &alpha);
+                trace.push_with_phases(h, gap, backend.clock(), backend.phases());
+                if let Some(tol) = cfg.gap_tol {
+                    if gap <= tol {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+    }
+
+    if !B::TRACE_INNER && (trace.len() < 2 || trace.points().last().expect("nonempty").iter < h) {
+        let gap = gap_of(backend, a, b, &prob, &x, &alpha);
+        trace.push_with_phases(h, gap, backend.clock(), backend.phases());
+    }
+    SolveResult { x, trace, iters: h }
+}

@@ -53,6 +53,7 @@ pub mod config;
 pub mod costmodel;
 pub mod crossval;
 pub mod dist;
+pub(crate) mod exec;
 pub mod path;
 pub mod problem;
 pub mod prox;

@@ -4,14 +4,16 @@
 //! Nesterov acceleration enters through the coupled sequences `y, z` (and
 //! their images `ỹ = Ay`, `z̃ = Az − b`) and the scalar `θ`; the iterate is
 //! implicit: `x_h = θ_h² y_h + z_h`, "computed ... until termination".
+//!
+//! Algorithm 1 is the `s = 1` case of the SA recurrence (the paper's §III
+//! observation, now structural): this entry point runs
+//! `crate::exec::lasso_family` with the block size pinned to one.
 
 use crate::config::LassoConfig;
+use crate::exec::{lasso_family, SeqBackend};
 use crate::prox::Regularizer;
-use crate::seq::{block_lipschitz, theta_next};
-use crate::trace::{ConvergenceTrace, SolveResult};
-use sparsela::gram::{sampled_cross, sampled_gram};
+use crate::trace::SolveResult;
 use sparsela::io::Dataset;
-use xrng::rng_from_seed;
 
 /// Evaluate the implicit iterate's objective from the maintained vectors:
 /// `Ax − b = θ²ỹ + z̃` and `x = θ²y + z`.
@@ -39,87 +41,12 @@ pub(crate) fn implicit_objective<R: Regularizer>(
 /// Solve `min_x ½‖Ax − b‖² + g(x)` with Algorithm 1 (accBCD; accCD for
 /// µ = 1).
 pub fn acc_bcd<R: Regularizer>(ds: &Dataset, reg: &R, cfg: &LassoConfig) -> SolveResult {
-    let (m, n) = (ds.a.rows(), ds.a.cols());
-    cfg.validate(n);
-    assert_eq!(ds.b.len(), m, "label length mismatch");
+    let classic = LassoConfig {
+        s: 1,
+        ..cfg.clone()
+    };
     let csc = ds.a.to_csc();
-    let mut rng = rng_from_seed(cfg.seed);
-    let q = cfg.q(n);
-
-    // Line 2 with y₀ = z₀ = 0: ỹ₀ = 0, z̃₀ = −b.
-    let mut theta = cfg.mu as f64 / n as f64;
-    let mut y = vec![0.0; n];
-    let mut z = vec![0.0; n];
-    let mut ytilde = vec![0.0; m];
-    let mut ztilde: Vec<f64> = ds.b.iter().map(|b| -b).collect();
-
-    let mut trace = ConvergenceTrace::new();
-    trace.push(
-        0,
-        implicit_objective(theta, &y, &z, &ytilde, &ztilde, reg),
-        0.0,
-    );
-    let mut last_traced = trace.initial_value();
-
-    let mut iters_done = 0;
-    'outer: for h in 1..=cfg.max_iters {
-        // Lines 5–7: sample the block and extract Aₕ (as CSC column views).
-        let coords = crate::seq::sample_block(&mut rng, n, cfg.mu, cfg.sampling);
-        // Lines 8–9: the two reduction kernels.
-        let g = sampled_gram(&csc, &coords);
-        let cross = sampled_cross(&csc, &coords, &[&ytilde, &ztilde]);
-        iters_done = h;
-        // Line 10–11: optimal block Lipschitz constant and step size.
-        let v = block_lipschitz(&g);
-        let theta_prev = theta;
-        if v > 0.0 {
-            let eta = 1.0 / (q * theta_prev * v);
-            let t2 = theta_prev * theta_prev;
-            // Line 9's rₕ = Aₕᵀ(θ²ỹ + z̃), assembled from the cross products.
-            // Lines 12–13: gₕ and Δz via the proximal operator.
-            let mut cand: Vec<f64> = (0..cfg.mu)
-                .map(|k| {
-                    let r_k = t2 * cross.get(k, 0) + cross.get(k, 1);
-                    z[coords[k]] - eta * r_k
-                })
-                .collect();
-            reg.prox_block(&mut cand, &coords, eta);
-            // Lines 14–17: vector updates.
-            let ycoef = (1.0 - q * theta_prev) / t2;
-            for (k, &c) in coords.iter().enumerate() {
-                let dz = cand[k] - z[c];
-                if dz != 0.0 {
-                    z[c] += dz;
-                    y[c] -= ycoef * dz;
-                    let col = csc.col(c);
-                    col.axpy_into(dz, &mut ztilde);
-                    col.axpy_into(-ycoef * dz, &mut ytilde);
-                }
-            }
-        }
-        // Line 18: θ update.
-        theta = theta_next(theta_prev);
-
-        if (cfg.trace_every > 0 && h % cfg.trace_every == 0) || h == cfg.max_iters {
-            let f = implicit_objective(theta, &y, &z, &ytilde, &ztilde, reg);
-            trace.push(h, f, 0.0);
-            if let Some(tol) = cfg.rel_tol {
-                if (last_traced - f).abs() <= tol * last_traced.abs().max(1e-300) {
-                    break 'outer;
-                }
-            }
-            last_traced = f;
-        }
-    }
-
-    // Line 19: output x = θ²_H y_H + z_H.
-    let t2 = theta * theta;
-    let x: Vec<f64> = y.iter().zip(&z).map(|(yi, zi)| t2 * yi + zi).collect();
-    SolveResult {
-        x,
-        trace,
-        iters: iters_done,
-    }
+    lasso_family(&csc, &ds.b, reg, &classic, true, &mut SeqBackend::new())
 }
 
 #[cfg(test)]

@@ -5,78 +5,26 @@
 //! the block gradient, take a proximal step with step size 1/λmax(G), and
 //! maintain the residual incrementally. One synchronization per iteration
 //! in the distributed setting (Fig. 1).
+//!
+//! Classical BCD is the `s = 1` case of the SA recurrence: this entry
+//! point runs `crate::exec::lasso_family` (unaccelerated) with the block
+//! size pinned to one.
 
 use crate::config::LassoConfig;
-use crate::problem::lasso_objective_from_residual;
+use crate::exec::{lasso_family, SeqBackend};
 use crate::prox::Regularizer;
-use crate::seq::block_lipschitz;
-use crate::trace::{ConvergenceTrace, SolveResult};
-use sparsela::gram::{sampled_cross, sampled_gram};
+use crate::trace::SolveResult;
 use sparsela::io::Dataset;
-use sparsela::vecops;
-use xrng::rng_from_seed;
 
 /// Solve `min_x ½‖Ax − b‖² + g(x)` with randomized block coordinate
 /// descent.
 pub fn bcd<R: Regularizer>(ds: &Dataset, reg: &R, cfg: &LassoConfig) -> SolveResult {
-    let (m, n) = (ds.a.rows(), ds.a.cols());
-    cfg.validate(n);
-    assert_eq!(ds.b.len(), m, "label length mismatch");
+    let classic = LassoConfig {
+        s: 1,
+        ..cfg.clone()
+    };
     let csc = ds.a.to_csc();
-    let mut rng = rng_from_seed(cfg.seed);
-
-    let mut x = vec![0.0; n];
-    // residual r̃ = Ax − b
-    let mut residual: Vec<f64> = ds.b.iter().map(|b| -b).collect();
-
-    let mut trace = ConvergenceTrace::new();
-    trace.push(0, lasso_objective_from_residual(&residual, reg, &x), 0.0);
-    let mut last_traced = trace.initial_value();
-
-    let mut iters_done = 0;
-    'outer: for h in 1..=cfg.max_iters {
-        let coords = crate::seq::sample_block(&mut rng, n, cfg.mu, cfg.sampling);
-        let g = sampled_gram(&csc, &coords);
-        let lip = block_lipschitz(&g);
-        let grad = sampled_cross(&csc, &coords, &[&residual]);
-        iters_done = h;
-        // lip = 0 means every sampled column is structurally zero: no
-        // update, but the iteration still counts (and still traces).
-        if lip > 0.0 {
-            let eta = 1.0 / lip;
-            // candidate = x_S − η ∇_S, then prox
-            let mut cand: Vec<f64> = coords
-                .iter()
-                .enumerate()
-                .map(|(k, &c)| x[c] - eta * grad.get(k, 0))
-                .collect();
-            reg.prox_block(&mut cand, &coords, eta);
-            // Δx and updates
-            for (k, &c) in coords.iter().enumerate() {
-                let delta = cand[k] - x[c];
-                if delta != 0.0 {
-                    x[c] = cand[k];
-                    csc.col(c).axpy_into(delta, &mut residual);
-                }
-            }
-        }
-        if (cfg.trace_every > 0 && h % cfg.trace_every == 0) || h == cfg.max_iters {
-            let f = lasso_objective_from_residual(&residual, reg, &x);
-            trace.push(h, f, 0.0);
-            if let Some(tol) = cfg.rel_tol {
-                if (last_traced - f).abs() <= tol * last_traced.abs().max(1e-300) {
-                    break 'outer;
-                }
-            }
-            last_traced = f;
-        }
-    }
-    let _ = vecops::nrm2_sq(&residual); // residual retained for debuggability
-    SolveResult {
-        x,
-        trace,
-        iters: iters_done,
-    }
+    lasso_family(&csc, &ds.b, reg, &classic, false, &mut SeqBackend::new())
 }
 
 #[cfg(test)]

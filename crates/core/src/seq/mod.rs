@@ -16,7 +16,7 @@
 //! variant — the property that makes the SA ≡ non-SA equivalence testable
 //! to round-off.
 
-mod accbcd;
+pub(crate) mod accbcd;
 mod bcd;
 mod sa_accbcd;
 mod sa_bcd;

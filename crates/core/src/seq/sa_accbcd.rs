@@ -13,172 +13,53 @@
 //!
 //! No fresh `AᵀA` or `Aᵀ(θ²ỹ + z̃)` products are formed inside the inner
 //! loop — that is the whole point. In exact arithmetic the iterates equal
-//! Algorithm 1's; the `sa_equivalence` tests check this to round-off.
+//! Algorithm 1's; the `engine_matrix` tests check this to round-off.
+//!
+//! The recurrence itself lives in `crate::exec::lasso_family`; this module
+//! is the sequential entry point (`SeqBackend`: no communication, exact
+//! per-iteration traces, optional wall-span instrumentation).
 
 use crate::config::LassoConfig;
+use crate::exec::{lasso_family, SeqBackend};
 use crate::prox::Regularizer;
-use crate::seq::accbcd::implicit_objective;
-use crate::seq::{block_lipschitz, theta_next};
-use crate::trace::{ConvergenceTrace, SolveResult};
-use crate::workspace::KernelWorkspace;
+use crate::trace::SolveResult;
 use saco_telemetry::Registry;
-use sparsela::gram::{sampled_cross_into, sampled_gram_into};
 use sparsela::io::Dataset;
-use xrng::rng_from_seed;
 
 /// Solve `min_x ½‖Ax − b‖² + g(x)` with Algorithm 2 (SA-accBCD;
 /// SA-accCD for µ = 1). With `cfg.s = 1` this coincides with Algorithm 1.
 pub fn sa_accbcd<R: Regularizer>(ds: &Dataset, reg: &R, cfg: &LassoConfig) -> SolveResult {
-    sa_accbcd_impl(ds, reg, cfg, None)
+    let csc = ds.a.to_csc();
+    lasso_family(&csc, &ds.b, reg, cfg, true, &mut SeqBackend::new())
 }
 
 /// [`sa_accbcd`] with per-stage wall-clock attribution: each outer
 /// iteration's sampling, Gram/cross formation, and inner prox loop are
 /// timed with RAII spans recorded in `registry`'s wall section
-/// (`seq.sa_accbcd.{sampling,gram,inner}`), plus summary counters. The
-/// numerics are bit-identical to the uninstrumented solver.
+/// (`seq.sa_accbcd.{sampling,gram,inner}` — the gram span covers the Gram
+/// and cross products separately, so it fires twice per outer iteration),
+/// plus summary counters. The numerics are bit-identical to the
+/// uninstrumented solver.
 pub fn sa_accbcd_instrumented<R: Regularizer>(
     ds: &Dataset,
     reg: &R,
     cfg: &LassoConfig,
     registry: &mut Registry,
 ) -> SolveResult {
-    let res = sa_accbcd_impl(ds, reg, cfg, Some(registry));
+    let csc = ds.a.to_csc();
+    let mut backend = SeqBackend::instrumented(
+        registry,
+        [
+            "seq.sa_accbcd.sampling",
+            "seq.sa_accbcd.gram",
+            "seq.sa_accbcd.inner",
+        ],
+    );
+    let res = lasso_family(&csc, &ds.b, reg, cfg, true, &mut backend);
     registry.set_meta("solver", "seq_sa_accbcd");
     registry.counter_add("solver.iterations", res.iters as u64);
     registry.counter_add("solver.trace_points", res.trace.len() as u64);
     res
-}
-
-fn sa_accbcd_impl<R: Regularizer>(
-    ds: &Dataset,
-    reg: &R,
-    cfg: &LassoConfig,
-    registry: Option<&mut Registry>,
-) -> SolveResult {
-    let registry = registry.map(|r| &*r);
-    let (m, n) = (ds.a.rows(), ds.a.cols());
-    cfg.validate(n);
-    assert_eq!(ds.b.len(), m, "label length mismatch");
-    let csc = ds.a.to_csc();
-    let mut rng = rng_from_seed(cfg.seed);
-    let q = cfg.q(n);
-    let mu = cfg.mu;
-
-    let mut theta = mu as f64 / n as f64;
-    let mut y = vec![0.0; n];
-    let mut z = vec![0.0; n];
-    let mut ytilde = vec![0.0; m];
-    let mut ztilde: Vec<f64> = ds.b.iter().map(|b| -b).collect();
-
-    let mut trace = ConvergenceTrace::new();
-    trace.push(
-        0,
-        implicit_objective(theta, &y, &z, &ytilde, &ztilde, reg),
-        0.0,
-    );
-    let mut last_traced = trace.initial_value();
-
-    // One workspace per solve: Gram/cross/selection/recurrence buffers are
-    // reused across outer iterations (numerics untouched — the `_into`
-    // kernels are bitwise identical to their allocating counterparts).
-    let mut ws = KernelWorkspace::new();
-    let nthreads = saco_par::threads();
-    let mut h = 0usize;
-    'outer: while h < cfg.max_iters {
-        let s_block = cfg.s.min(cfg.max_iters - h);
-        ws.begin_block(s_block * mu);
-        // Lines 6–8: draw all s blocks up front (identical RNG stream to
-        // Algorithm 1, which draws the same sets one iteration at a time).
-        {
-            let _span = registry.map(|r| r.wall_span("seq.sa_accbcd.sampling"));
-            for _ in 0..s_block {
-                crate::seq::sample_block_into(&mut rng, n, mu, cfg.sampling, &mut ws.sel);
-            }
-        }
-        // Line 9: the θ sequence for the whole block, computed up front.
-        ws.thetas.clear();
-        ws.thetas.push(theta);
-        for j in 0..s_block {
-            ws.thetas.push(theta_next(ws.thetas[j]));
-        }
-        // Lines 10–12: the one-shot Gram and cross products (the
-        // communication step in the distributed setting).
-        {
-            let _span = registry.map(|r| r.wall_span("seq.sa_accbcd.gram"));
-            sampled_gram_into(&csc, &ws.sel, nthreads, &mut ws.gram_ws, &mut ws.gram);
-            sampled_cross_into(&csc, &ws.sel, &[&ytilde, &ztilde], &mut ws.cross);
-        }
-
-        // Inner loop (lines 13–22): recurrences only.
-        let _inner_span = registry.map(|r| r.wall_span("seq.sa_accbcd.inner"));
-        for j in 1..=s_block {
-            let off = (j - 1) * mu;
-            let coords = &ws.sel[off..off + mu];
-            // Line 14: v = λmax of the j-th diagonal µ×µ block of G.
-            ws.gram.diag_block_into(off, off + mu, &mut ws.gjj);
-            let v = block_lipschitz(&ws.gjj);
-            let theta_prev = ws.thetas[j - 1];
-            let t2 = theta_prev * theta_prev;
-            h += 1;
-            if v > 0.0 {
-                // Line 15.
-                let eta = 1.0 / (q * theta_prev * v);
-                // Line 16, eq. (3): r from ỹ′, z̃′ and Gram corrections.
-                ws.cand.clear();
-                for a in 0..mu {
-                    let row = off + a;
-                    let mut r = t2 * ws.cross.get(row, 0) + ws.cross.get(row, 1);
-                    for t in 1..j {
-                        let tp = ws.thetas[t - 1];
-                        let coef = t2 * (1.0 - q * tp) / (tp * tp) - 1.0;
-                        if coef != 0.0 {
-                            let toff = (t - 1) * mu;
-                            let mut corr = 0.0;
-                            for b in 0..mu {
-                                corr += ws.gram.get(row, toff + b) * ws.deltas[toff + b];
-                            }
-                            r -= coef * corr;
-                        }
-                    }
-                    // Lines 17–18, eqs. (4)–(5): the overlap terms
-                    // Σ IᵀI Δz are exactly the running value of z at these
-                    // coordinates, which we maintain in place (line 19).
-                    ws.cand.push(z[coords[a]] - eta * r);
-                }
-                reg.prox_block(&mut ws.cand, coords, eta);
-                // Lines 19–22: replicated/local vector updates.
-                let ycoef = (1.0 - q * theta_prev) / t2;
-                for (a, &c) in coords.iter().enumerate() {
-                    let dz = ws.cand[a] - z[c];
-                    ws.deltas[off + a] = dz;
-                    if dz != 0.0 {
-                        z[c] += dz;
-                        y[c] -= ycoef * dz;
-                        let col = csc.col(c);
-                        col.axpy_into(dz, &mut ztilde);
-                        col.axpy_into(-ycoef * dz, &mut ytilde);
-                    }
-                }
-            }
-            if (cfg.trace_every > 0 && h.is_multiple_of(cfg.trace_every)) || h == cfg.max_iters {
-                let f = implicit_objective(ws.thetas[j], &y, &z, &ytilde, &ztilde, reg);
-                trace.push(h, f, 0.0);
-                if let Some(tol) = cfg.rel_tol {
-                    if (last_traced - f).abs() <= tol * last_traced.abs().max(1e-300) {
-                        theta = ws.thetas[j];
-                        break 'outer;
-                    }
-                }
-                last_traced = f;
-            }
-        }
-        theta = ws.thetas[s_block];
-    }
-
-    let t2 = theta * theta;
-    let x: Vec<f64> = y.iter().zip(&z).map(|(yi, zi)| t2 * yi + zi).collect();
-    SolveResult { x, trace, iters: h }
 }
 
 #[cfg(test)]
@@ -282,14 +163,15 @@ mod tests {
         let inst = sa_accbcd_instrumented(&reg.dataset, &lasso, &c, &mut registry);
         assert_eq!(plain.x, inst.x, "instrumentation must not perturb numerics");
         let wall = registry.wall();
-        // 64 iterations at s = 8 → 8 outer iterations, one span each.
-        for name in [
-            "seq.sa_accbcd.sampling",
-            "seq.sa_accbcd.gram",
-            "seq.sa_accbcd.inner",
+        // 64 iterations at s = 8 → 8 outer iterations: one sampling and
+        // one inner span each, and two gram spans (Gram, then cross).
+        for (name, count) in [
+            ("seq.sa_accbcd.sampling", 8),
+            ("seq.sa_accbcd.gram", 16),
+            ("seq.sa_accbcd.inner", 8),
         ] {
             let stat = wall.get(name).expect(name);
-            assert_eq!(stat.count, 8, "{name}");
+            assert_eq!(stat.count, count, "{name}");
             assert!(stat.total_secs >= 0.0);
         }
         assert_eq!(registry.counter("solver.iterations"), 64);

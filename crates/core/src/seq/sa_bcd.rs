@@ -10,95 +10,21 @@
 //! ```
 //!
 //! so one `sµ × sµ` Gram + one `Yᵀr̃` cross product serve `s` iterations.
+//!
+//! The recurrence lives in `crate::exec::lasso_family` (unaccelerated
+//! path); this module is the sequential entry point.
 
 use crate::config::LassoConfig;
-use crate::problem::lasso_objective_from_residual;
+use crate::exec::{lasso_family, SeqBackend};
 use crate::prox::Regularizer;
-use crate::seq::block_lipschitz;
-use crate::trace::{ConvergenceTrace, SolveResult};
-use crate::workspace::KernelWorkspace;
-use sparsela::gram::{sampled_cross_into, sampled_gram_into};
+use crate::trace::SolveResult;
 use sparsela::io::Dataset;
-use xrng::rng_from_seed;
 
 /// Solve `min_x ½‖Ax − b‖² + g(x)` with s-step SA-BCD (SA-CD for µ = 1).
 /// With `cfg.s = 1` this coincides with classical BCD.
 pub fn sa_bcd<R: Regularizer>(ds: &Dataset, reg: &R, cfg: &LassoConfig) -> SolveResult {
-    let (m, n) = (ds.a.rows(), ds.a.cols());
-    cfg.validate(n);
-    assert_eq!(ds.b.len(), m, "label length mismatch");
     let csc = ds.a.to_csc();
-    let mut rng = rng_from_seed(cfg.seed);
-    let mu = cfg.mu;
-
-    let mut x = vec![0.0; n];
-    let mut residual: Vec<f64> = ds.b.iter().map(|b| -b).collect();
-
-    let mut trace = ConvergenceTrace::new();
-    trace.push(0, lasso_objective_from_residual(&residual, reg, &x), 0.0);
-    let mut last_traced = trace.initial_value();
-
-    // One workspace per solve: Gram/cross/selection/recurrence buffers are
-    // reused across outer iterations (numerics untouched — the `_into`
-    // kernels are bitwise identical to their allocating counterparts).
-    let mut ws = KernelWorkspace::new();
-    let nthreads = saco_par::threads();
-    let mut h = 0usize;
-    'outer: while h < cfg.max_iters {
-        let s_block = cfg.s.min(cfg.max_iters - h);
-        ws.begin_block(s_block * mu);
-        for _ in 0..s_block {
-            crate::seq::sample_block_into(&mut rng, n, mu, cfg.sampling, &mut ws.sel);
-        }
-        // One communication round's worth of reductions.
-        sampled_gram_into(&csc, &ws.sel, nthreads, &mut ws.gram_ws, &mut ws.gram);
-        sampled_cross_into(&csc, &ws.sel, &[&residual], &mut ws.cross);
-
-        for j in 1..=s_block {
-            let off = (j - 1) * mu;
-            let coords = &ws.sel[off..off + mu];
-            ws.gram.diag_block_into(off, off + mu, &mut ws.gjj);
-            let lip = block_lipschitz(&ws.gjj);
-            h += 1;
-            if lip > 0.0 {
-                let eta = 1.0 / lip;
-                ws.cand.clear();
-                for a in 0..mu {
-                    let row = off + a;
-                    let mut grad = ws.cross.get(row, 0);
-                    for t in 1..j {
-                        let toff = (t - 1) * mu;
-                        for b in 0..mu {
-                            grad += ws.gram.get(row, toff + b) * ws.deltas[toff + b];
-                        }
-                    }
-                    // x is maintained in place, so x[c] already carries the
-                    // Σ IᵀI Δx overlap corrections of eq. (4)'s analogue.
-                    ws.cand.push(x[coords[a]] - eta * grad);
-                }
-                reg.prox_block(&mut ws.cand, coords, eta);
-                for (a, &c) in coords.iter().enumerate() {
-                    let dx = ws.cand[a] - x[c];
-                    ws.deltas[off + a] = dx;
-                    if dx != 0.0 {
-                        x[c] += dx;
-                        csc.col(c).axpy_into(dx, &mut residual);
-                    }
-                }
-            }
-            if (cfg.trace_every > 0 && h.is_multiple_of(cfg.trace_every)) || h == cfg.max_iters {
-                let f = lasso_objective_from_residual(&residual, reg, &x);
-                trace.push(h, f, 0.0);
-                if let Some(tol) = cfg.rel_tol {
-                    if (last_traced - f).abs() <= tol * last_traced.abs().max(1e-300) {
-                        break 'outer;
-                    }
-                }
-                last_traced = f;
-            }
-        }
-    }
-    SolveResult { x, trace, iters: h }
+    lasso_family(&csc, &ds.b, reg, cfg, false, &mut SeqBackend::new())
 }
 
 #[cfg(test)]

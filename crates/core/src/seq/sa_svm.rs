@@ -11,94 +11,19 @@
 //! ```
 //!
 //! The step sizes `η_{sk+j}` fall out for free as `diag(G)` (line 11).
+//!
+//! The recurrence lives in `crate::exec::svm_family`; this module is the
+//! sequential entry point.
 
 use crate::config::SvmConfig;
-use crate::problem::SvmProblem;
-use crate::seq::svm::projected_step;
-use crate::trace::{ConvergenceTrace, SolveResult};
-use crate::workspace::KernelWorkspace;
-use sparsela::gram::{sampled_cross_into, sampled_gram_into};
+use crate::exec::{svm_family, SeqBackend};
+use crate::trace::SolveResult;
 use sparsela::io::Dataset;
-use xrng::rng_from_seed;
 
 /// Solve the dual SVM problem with Algorithm 4 (SA-SVM). With `cfg.s = 1`
 /// this coincides with Algorithm 3.
 pub fn sa_svm(ds: &Dataset, cfg: &SvmConfig) -> SolveResult {
-    cfg.validate();
-    let (m, n) = (ds.a.rows(), ds.a.cols());
-    assert_eq!(ds.b.len(), m, "label length mismatch");
-    debug_assert!(
-        ds.b.iter().all(|&b| b == 1.0 || b == -1.0),
-        "labels must be ±1"
-    );
-    let prob = SvmProblem::new(cfg.loss, cfg.lambda);
-    let (gamma, nu) = (prob.gamma(), prob.nu());
-    let mut rng = rng_from_seed(cfg.seed);
-
-    let mut alpha = vec![0.0f64; m];
-    let mut x = vec![0.0f64; n];
-
-    let mut trace = ConvergenceTrace::new();
-    trace.push(0, prob.duality_gap(&ds.a, &ds.b, &x, &alpha), 0.0);
-
-    // One workspace per solve: Gram/cross/selection buffers are reused
-    // across outer iterations (numerics untouched — the `_into` kernels
-    // are bitwise identical to their allocating counterparts).
-    let mut ws = KernelWorkspace::new();
-    let nthreads = saco_par::threads();
-    let mut h = 0usize;
-    'outer: while h < cfg.max_iters {
-        let s_block = cfg.s.min(cfg.max_iters - h);
-        ws.begin_block(0);
-        // Lines 5–7: the s sampled rows (same RNG stream as Alg. 3).
-        ws.sel.extend((0..s_block).map(|_| rng.next_index(m)));
-        // Lines 9–11: G = YᵀY + γIₛ and x′ = Yᵀ·x_sk in one shot.
-        sampled_gram_into(&ds.a, &ws.sel, nthreads, &mut ws.gram_ws, &mut ws.gram);
-        for j in 0..s_block {
-            ws.gram.set(j, j, ws.gram.get(j, j) + gamma);
-        }
-        sampled_cross_into(&ds.a, &ws.sel, &[&x], &mut ws.cross);
-
-        // Inner loop (lines 12–21): recurrences only. α is maintained in
-        // place, so α[i_j] carries eq. (14)'s β (initial value plus all
-        // matching prior θ's).
-        ws.thetas.clear();
-        ws.thetas.resize(s_block, 0.0);
-        for j in 1..=s_block {
-            let i = ws.sel[j - 1];
-            let beta = alpha[i];
-            let eta = ws.gram.get(j - 1, j - 1);
-            // eq. (15): gradient from x′ and Gram corrections.
-            let mut g = ds.b[i] * ws.cross.get(j - 1, 0) - 1.0 + gamma * beta;
-            for t in 1..j {
-                if ws.thetas[t - 1] != 0.0 {
-                    g += ws.thetas[t - 1]
-                        * ds.b[i]
-                        * ds.b[ws.sel[t - 1]]
-                        * ws.gram.get(j - 1, t - 1);
-                }
-            }
-            // Lines 15–19.
-            let theta = projected_step(beta, g, eta, nu);
-            ws.thetas[j - 1] = theta;
-            // Lines 20–21 (local updates; no communication).
-            if theta != 0.0 {
-                alpha[i] += theta;
-                ds.a.row(i).axpy_into(theta * ds.b[i], &mut x);
-            }
-            h += 1;
-            if (cfg.trace_every > 0 && h.is_multiple_of(cfg.trace_every)) || h == cfg.max_iters {
-                let gap = prob.duality_gap(&ds.a, &ds.b, &x, &alpha);
-                trace.push(h, gap, 0.0);
-                if let Some(tol) = cfg.gap_tol {
-                    if gap <= tol {
-                        break 'outer;
-                    }
-                }
-            }
-        }
-    }
-    SolveResult { x, trace, iters: h }
+    svm_family(&ds.a, &ds.b, cfg, &mut SeqBackend::new())
 }
 
 #[cfg(test)]

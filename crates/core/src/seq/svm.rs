@@ -5,12 +5,15 @@
 //! communication step when `A` is 1D-column partitioned), take a projected
 //! Newton step onto the box `[0, ν]`, and maintain the primal iterate
 //! `x = Σ bᵢαᵢAᵢᵀ` incrementally.
+//!
+//! Algorithm 3 is the `s = 1` case of Algorithm 4's recurrence (η falls
+//! out as the 1×1 Gram diagonal): this entry point runs
+//! `crate::exec::svm_family` with the block size pinned to one.
 
 use crate::config::SvmConfig;
-use crate::problem::SvmProblem;
-use crate::trace::{ConvergenceTrace, SolveResult};
+use crate::exec::{svm_family, SeqBackend};
+use crate::trace::SolveResult;
 use sparsela::io::Dataset;
-use xrng::rng_from_seed;
 
 /// The projected coordinate update shared by Alg. 3 (lines 9–13) and
 /// Alg. 4 (lines 15–19): given the current coordinate value `alpha_i`, the
@@ -29,64 +32,18 @@ pub(crate) fn projected_step(alpha_i: f64, g: f64, eta: f64, nu: f64) -> f64 {
 /// Solve the dual SVM problem with coordinate descent (Algorithm 3).
 /// Labels must be ±1.
 pub fn svm(ds: &Dataset, cfg: &SvmConfig) -> SolveResult {
-    cfg.validate();
-    let (m, n) = (ds.a.rows(), ds.a.cols());
-    assert_eq!(ds.b.len(), m, "label length mismatch");
-    debug_assert!(
-        ds.b.iter().all(|&b| b == 1.0 || b == -1.0),
-        "labels must be ±1"
-    );
-    let prob = SvmProblem::new(cfg.loss, cfg.lambda);
-    let (gamma, nu) = (prob.gamma(), prob.nu());
-    let mut rng = rng_from_seed(cfg.seed);
-
-    // Line 7's ηᵢ = AᵢAᵢᵀ + γ; row norms precomputed (they are static).
-    let row_norms = ds.a.row_norms_sq();
-
-    // Line 2 with α₀ = 0 ⇒ x₀ = 0.
-    let mut alpha = vec![0.0f64; m];
-    let mut x = vec![0.0f64; n];
-
-    let mut trace = ConvergenceTrace::new();
-    trace.push(0, prob.duality_gap(&ds.a, &ds.b, &x, &alpha), 0.0);
-
-    let mut iters_done = 0;
-    for h in 1..=cfg.max_iters {
-        // Line 4: iₕ uniform at random (with replacement).
-        let i = rng.next_index(m);
-        let row = ds.a.row(i);
-        let eta = row_norms[i] + gamma;
-        // Line 8: g = bᵢAᵢx − 1 + γαᵢ (the distributed dot product).
-        let g = ds.b[i] * row.dot_dense(&x) - 1.0 + gamma * alpha[i];
-        // Lines 9–13.
-        let theta = projected_step(alpha[i], g, eta, nu);
-        // Lines 14–15.
-        if theta != 0.0 {
-            alpha[i] += theta;
-            row.axpy_into(theta * ds.b[i], &mut x);
-        }
-        iters_done = h;
-        if (cfg.trace_every > 0 && h % cfg.trace_every == 0) || h == cfg.max_iters {
-            let gap = prob.duality_gap(&ds.a, &ds.b, &x, &alpha);
-            trace.push(h, gap, 0.0);
-            if let Some(tol) = cfg.gap_tol {
-                if gap <= tol {
-                    break;
-                }
-            }
-        }
-    }
-    SolveResult {
-        x,
-        trace,
-        iters: iters_done,
-    }
+    let classic = SvmConfig {
+        s: 1,
+        ..cfg.clone()
+    };
+    svm_family(&ds.a, &ds.b, &classic, &mut SeqBackend::new())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::config::SvmLoss;
+    use crate::problem::SvmProblem;
     use datagen::{binary_classification, dense_gaussian, uniform_sparse};
     use sparsela::io::Dataset;
 

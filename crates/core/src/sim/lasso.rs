@@ -1,33 +1,31 @@
 //! Virtual-cluster (SA-)accBCD and (SA-)BCD: sequential numerics, exact
-//! per-rank cost attribution. Charge sequences mirror `dist::lasso` call
-//! for call — see the cross-engine test in `tests/cost_model.rs`.
+//! per-rank cost attribution. These are `crate::exec::lasso_family` runs
+//! on a [`SimBackend`] — by construction the numerics are the sequential
+//! engine's and the charge sequence is the thread engine's, call for call
+//! (see the cross-engine tests in `tests/engine_matrix.rs`).
 
 use crate::config::LassoConfig;
-use crate::dist::charges;
+use crate::exec::{lasso_family, SimBackend};
 use crate::prox::Regularizer;
-use crate::seq::{block_lipschitz, theta_next};
-use crate::sim::{per_rank_sel_nnz, phase_snapshot};
-use crate::trace::{ConvergenceTrace, SolveResult};
-use crate::workspace::KernelWorkspace;
-use datagen::{balanced_partition, block_partition, Partition};
-use mpisim::telemetry::{Phase, Registry};
-use mpisim::{CostModel, CostReport, KernelClass, VirtualCluster};
-use sparsela::gram::{sampled_cross_into, sampled_gram_into};
+use crate::trace::SolveResult;
+use mpisim::telemetry::Registry;
+use mpisim::{CostModel, CostReport, VirtualCluster};
 use sparsela::io::Dataset;
-use xrng::rng_from_seed;
 
-fn row_partition(ds: &Dataset, p: usize, balanced: bool) -> Partition {
-    if balanced {
-        let weights: Vec<u64> = ds.a.row_nnz_counts().iter().map(|&c| c as u64).collect();
-        balanced_partition(&weights, p)
-    } else {
-        block_partition(ds.a.rows(), p)
-    }
-}
-
-/// Words in the packed allreduce payload of one outer iteration.
-fn payload_words(width: usize, nvecs: usize, traced: bool) -> u64 {
-    (width * (width + 1) / 2 + nvecs * width + usize::from(traced)) as u64
+fn sim_lasso_core<R: Regularizer>(
+    ds: &Dataset,
+    reg: &R,
+    cfg: &LassoConfig,
+    p: usize,
+    model: CostModel,
+    balanced: bool,
+    accel: bool,
+) -> (SolveResult, VirtualCluster) {
+    let csc = ds.a.to_csc();
+    let part = datagen::row_partition(&ds.a, p, balanced);
+    let mut backend = SimBackend::new(p, model, &csc, part);
+    let res = lasso_family(&csc, &ds.b, reg, cfg, accel, &mut backend);
+    (res, backend.into_cluster())
 }
 
 /// Simulated distributed SA-accBCD on `p` virtual ranks (row partition).
@@ -41,7 +39,7 @@ pub fn sim_sa_accbcd<R: Regularizer>(
     model: CostModel,
     balanced: bool,
 ) -> (SolveResult, CostReport) {
-    let (res, cluster) = sim_sa_accbcd_core(ds, reg, cfg, p, model, balanced);
+    let (res, cluster) = sim_lasso_core(ds, reg, cfg, p, model, balanced, true);
     let report = cluster.report();
     (res, report)
 }
@@ -57,7 +55,7 @@ pub fn sim_sa_accbcd_instrumented<R: Regularizer>(
     model: CostModel,
     balanced: bool,
 ) -> (SolveResult, CostReport, Registry) {
-    let (res, cluster) = sim_sa_accbcd_core(ds, reg, cfg, p, model, balanced);
+    let (res, cluster) = sim_lasso_core(ds, reg, cfg, p, model, balanced, true);
     let report = cluster.report();
     let mut telemetry = cluster.telemetry();
     telemetry.set_meta("solver", "sim_sa_accbcd");
@@ -66,226 +64,6 @@ pub fn sim_sa_accbcd_instrumented<R: Regularizer>(
     telemetry.counter_add("solver.iterations", res.iters as u64);
     telemetry.counter_add("solver.trace_points", res.trace.len() as u64);
     (res, report, telemetry)
-}
-
-fn sim_sa_accbcd_core<R: Regularizer>(
-    ds: &Dataset,
-    reg: &R,
-    cfg: &LassoConfig,
-    p: usize,
-    model: CostModel,
-    balanced: bool,
-) -> (SolveResult, VirtualCluster) {
-    let (m, n) = (ds.a.rows(), ds.a.cols());
-    cfg.validate(n);
-    let csc = ds.a.to_csc();
-    let part = row_partition(ds, p, balanced);
-    let rows_of = |r: usize| part.range(r).len() as u64;
-    let mut cluster = VirtualCluster::new(p, model);
-    let mut rng = rng_from_seed(cfg.seed);
-    let q = cfg.q(n);
-    let mu = cfg.mu;
-
-    let mut theta = mu as f64 / n as f64;
-    let mut y = vec![0.0; n];
-    let mut z = vec![0.0; n];
-    let mut ytilde = vec![0.0; m];
-    let mut ztilde: Vec<f64> = ds.b.iter().map(|b| -b).collect();
-
-    let mut trace = ConvergenceTrace::new();
-    cluster.iallreduce(1);
-    trace.push_with_phases(
-        0,
-        0.5 * sparsela::vecops::nrm2_sq(&ztilde),
-        cluster.time(),
-        phase_snapshot(&cluster),
-    );
-
-    let mut ws = KernelWorkspace::new();
-    let nthreads = saco_par::threads();
-    let mut rank_nnz = vec![0u64; p];
-    let mut block_nnz = vec![0u64; p];
-    let mut have_next = false;
-    let mut h = 0usize;
-    while h < cfg.max_iters {
-        let s_block = cfg.s.min(cfg.max_iters - h);
-        let width = s_block * mu;
-        ws.begin_block(width);
-        if have_next {
-            // This block's sampling was drawn (and its Gram charged)
-            // while the previous fused allreduce was in flight — mirrors
-            // the thread engine's overlap window charge for charge.
-            std::mem::swap(&mut ws.sel, &mut ws.sel_next);
-            have_next = false;
-        } else {
-            for _ in 0..s_block {
-                crate::seq::sample_block_into(&mut rng, n, mu, cfg.sampling, &mut ws.sel);
-            }
-            per_rank_sel_nnz(&csc, &ws.sel, &part, &mut rank_nnz);
-            cluster.charge_per_rank_ws_phase(
-                charges::gram_class(width as u64),
-                |r| {
-                    (
-                        charges::gram_flops(rank_nnz[r], width as u64),
-                        charges::gram_working_set(width as u64, rank_nnz[r]),
-                    )
-                },
-                Phase::Gram,
-            );
-        }
-        ws.thetas.clear();
-        ws.thetas.push(theta);
-        for j in 0..s_block {
-            ws.thetas.push(theta_next(ws.thetas[j]));
-        }
-
-        // Per-rank attribution of the sampled columns' nonzeros for the
-        // cross-product kernel (needs the current residuals, so it never
-        // overlaps the previous allreduce).
-        per_rank_sel_nnz(&csc, &ws.sel, &part, &mut rank_nnz);
-        cluster.charge_per_rank_ws_phase(
-            charges::gram_class(width as u64),
-            |r| {
-                (
-                    charges::cross_flops(rank_nnz[r], 2),
-                    charges::gram_working_set(width as u64, rank_nnz[r]),
-                )
-            },
-            Phase::Gram,
-        );
-
-        let traced = cfg.trace_every > 0
-            && (h / cfg.trace_every) != ((h + s_block).min(cfg.max_iters) / cfg.trace_every);
-        if traced {
-            cluster.charge_per_rank_ws(KernelClass::Vector, |r| (3 * rows_of(r), rows_of(r)));
-        }
-        cluster.charge_uniform(KernelClass::Vector, charges::OUTER_OVERHEAD_FLOPS, 64);
-        cluster.iallreduce_start(payload_words(width, 2, traced));
-        let h_next = h + s_block;
-        if cfg.overlap && h_next < cfg.max_iters {
-            let s_next = cfg.s.min(cfg.max_iters - h_next);
-            let width_next = s_next * mu;
-            ws.sel_next.clear();
-            for _ in 0..s_next {
-                crate::seq::sample_block_into(&mut rng, n, mu, cfg.sampling, &mut ws.sel_next);
-            }
-            per_rank_sel_nnz(&csc, &ws.sel_next, &part, &mut rank_nnz);
-            cluster.charge_per_rank_ws_phase(
-                charges::gram_class(width_next as u64),
-                |r| {
-                    (
-                        charges::gram_flops(rank_nnz[r], width_next as u64),
-                        charges::gram_working_set(width_next as u64, rank_nnz[r]),
-                    )
-                },
-                Phase::Gram,
-            );
-            have_next = true;
-        }
-        cluster.iallreduce_wait();
-
-        // The numerics, once, globally (bit-identical to seq::sa_accbcd).
-        sampled_gram_into(&csc, &ws.sel, nthreads, &mut ws.gram_ws, &mut ws.gram);
-        sampled_cross_into(&csc, &ws.sel, &[&ytilde, &ztilde], &mut ws.cross);
-        if traced {
-            let t2 = ws.thetas[0] * ws.thetas[0];
-            let resid_sq: f64 = ytilde
-                .iter()
-                .zip(&ztilde)
-                .map(|(yt, zt)| {
-                    let r = t2 * yt + zt;
-                    r * r
-                })
-                .sum();
-            let x: Vec<f64> = y.iter().zip(&z).map(|(yi, zi)| t2 * yi + zi).collect();
-            cluster.charge_uniform(KernelClass::Vector, 2 * n as u64, n as u64);
-            trace.push_with_phases(
-                h,
-                0.5 * resid_sq + reg.value(&x),
-                cluster.time(),
-                phase_snapshot(&cluster),
-            );
-        }
-
-        for j in 1..=s_block {
-            let off = (j - 1) * mu;
-            let coords = &ws.sel[off..off + mu];
-            ws.gram.diag_block_into(off, off + mu, &mut ws.gjj);
-            let v = block_lipschitz(&ws.gjj);
-            let theta_prev = ws.thetas[j - 1];
-            let t2 = theta_prev * theta_prev;
-            h += 1;
-            cluster.charge_uniform_phase(
-                KernelClass::Vector,
-                charges::subproblem_flops(mu as u64)
-                    + charges::sa_correction_flops(j as u64, mu as u64),
-                (mu * mu) as u64,
-                Phase::Prox,
-            );
-            if v > 0.0 {
-                let eta = 1.0 / (q * theta_prev * v);
-                ws.cand.clear();
-                for a in 0..mu {
-                    let row = off + a;
-                    let mut r = t2 * ws.cross.get(row, 0) + ws.cross.get(row, 1);
-                    for t in 1..j {
-                        let tp = ws.thetas[t - 1];
-                        let coef = t2 * (1.0 - q * tp) / (tp * tp) - 1.0;
-                        if coef != 0.0 {
-                            let toff = (t - 1) * mu;
-                            let mut corr = 0.0;
-                            for b in 0..mu {
-                                corr += ws.gram.get(row, toff + b) * ws.deltas[toff + b];
-                            }
-                            r -= coef * corr;
-                        }
-                    }
-                    ws.cand.push(z[coords[a]] - eta * r);
-                }
-                reg.prox_block(&mut ws.cand, coords, eta);
-                let ycoef = (1.0 - q * theta_prev) / t2;
-                for (a, &c) in coords.iter().enumerate() {
-                    let dz = ws.cand[a] - z[c];
-                    ws.deltas[off + a] = dz;
-                    if dz != 0.0 {
-                        z[c] += dz;
-                        y[c] -= ycoef * dz;
-                        let col = csc.col(c);
-                        col.axpy_into(dz, &mut ztilde);
-                        col.axpy_into(-ycoef * dz, &mut ytilde);
-                    }
-                }
-                per_rank_sel_nnz(&csc, coords, &part, &mut block_nnz);
-                cluster.charge_per_rank_ws(KernelClass::Vector, |r| {
-                    (
-                        charges::lasso_update_flops(block_nnz[r], mu as u64),
-                        block_nnz[r] + mu as u64,
-                    )
-                });
-            }
-        }
-        theta = ws.thetas[s_block];
-    }
-
-    cluster.charge_per_rank_ws(KernelClass::Vector, |r| (3 * rows_of(r), rows_of(r)));
-    cluster.iallreduce(1);
-    let t2 = theta * theta;
-    let resid_sq: f64 = ytilde
-        .iter()
-        .zip(&ztilde)
-        .map(|(yt, zt)| {
-            let r = t2 * yt + zt;
-            r * r
-        })
-        .sum();
-    let x: Vec<f64> = y.iter().zip(&z).map(|(yi, zi)| t2 * yi + zi).collect();
-    trace.push_with_phases(
-        h,
-        0.5 * resid_sq + reg.value(&x),
-        cluster.time(),
-        phase_snapshot(&cluster),
-    );
-    (SolveResult { x, trace, iters: h }, cluster)
 }
 
 /// Simulated distributed SA-BCD (non-accelerated) on `p` virtual ranks.
@@ -297,7 +75,7 @@ pub fn sim_sa_bcd<R: Regularizer>(
     model: CostModel,
     balanced: bool,
 ) -> (SolveResult, CostReport) {
-    let (res, cluster) = sim_sa_bcd_core(ds, reg, cfg, p, model, balanced);
+    let (res, cluster) = sim_lasso_core(ds, reg, cfg, p, model, balanced, false);
     let report = cluster.report();
     (res, report)
 }
@@ -311,7 +89,7 @@ pub fn sim_sa_bcd_instrumented<R: Regularizer>(
     model: CostModel,
     balanced: bool,
 ) -> (SolveResult, CostReport, Registry) {
-    let (res, cluster) = sim_sa_bcd_core(ds, reg, cfg, p, model, balanced);
+    let (res, cluster) = sim_lasso_core(ds, reg, cfg, p, model, balanced, false);
     let report = cluster.report();
     let mut telemetry = cluster.telemetry();
     telemetry.set_meta("solver", "sim_sa_bcd");
@@ -320,176 +98,6 @@ pub fn sim_sa_bcd_instrumented<R: Regularizer>(
     telemetry.counter_add("solver.iterations", res.iters as u64);
     telemetry.counter_add("solver.trace_points", res.trace.len() as u64);
     (res, report, telemetry)
-}
-
-fn sim_sa_bcd_core<R: Regularizer>(
-    ds: &Dataset,
-    reg: &R,
-    cfg: &LassoConfig,
-    p: usize,
-    model: CostModel,
-    balanced: bool,
-) -> (SolveResult, VirtualCluster) {
-    let n = ds.a.cols();
-    cfg.validate(n);
-    let csc = ds.a.to_csc();
-    let part = row_partition(ds, p, balanced);
-    let rows_of = |r: usize| part.range(r).len() as u64;
-    let mut cluster = VirtualCluster::new(p, model);
-    let mut rng = rng_from_seed(cfg.seed);
-    let mu = cfg.mu;
-
-    let mut x = vec![0.0; n];
-    let mut residual: Vec<f64> = ds.b.iter().map(|b| -b).collect();
-
-    let mut trace = ConvergenceTrace::new();
-    cluster.iallreduce(1);
-    trace.push_with_phases(
-        0,
-        0.5 * sparsela::vecops::nrm2_sq(&residual),
-        cluster.time(),
-        phase_snapshot(&cluster),
-    );
-
-    let mut ws = KernelWorkspace::new();
-    let nthreads = saco_par::threads();
-    let mut rank_nnz = vec![0u64; p];
-    let mut block_nnz = vec![0u64; p];
-    let mut have_next = false;
-    let mut h = 0usize;
-    while h < cfg.max_iters {
-        let s_block = cfg.s.min(cfg.max_iters - h);
-        let width = s_block * mu;
-        ws.begin_block(width);
-        if have_next {
-            std::mem::swap(&mut ws.sel, &mut ws.sel_next);
-            have_next = false;
-        } else {
-            for _ in 0..s_block {
-                crate::seq::sample_block_into(&mut rng, n, mu, cfg.sampling, &mut ws.sel);
-            }
-            per_rank_sel_nnz(&csc, &ws.sel, &part, &mut rank_nnz);
-            cluster.charge_per_rank_ws_phase(
-                charges::gram_class(width as u64),
-                |r| {
-                    (
-                        charges::gram_flops(rank_nnz[r], width as u64),
-                        charges::gram_working_set(width as u64, rank_nnz[r]),
-                    )
-                },
-                Phase::Gram,
-            );
-        }
-
-        per_rank_sel_nnz(&csc, &ws.sel, &part, &mut rank_nnz);
-        cluster.charge_per_rank_ws_phase(
-            charges::gram_class(width as u64),
-            |r| {
-                (
-                    charges::cross_flops(rank_nnz[r], 1),
-                    charges::gram_working_set(width as u64, rank_nnz[r]),
-                )
-            },
-            Phase::Gram,
-        );
-
-        let traced = cfg.trace_every > 0
-            && (h / cfg.trace_every) != ((h + s_block).min(cfg.max_iters) / cfg.trace_every);
-        if traced {
-            cluster.charge_per_rank_ws(KernelClass::Vector, |r| (2 * rows_of(r), rows_of(r)));
-        }
-        cluster.charge_uniform(KernelClass::Vector, charges::OUTER_OVERHEAD_FLOPS, 64);
-        cluster.iallreduce_start(payload_words(width, 1, traced));
-        let h_next = h + s_block;
-        if cfg.overlap && h_next < cfg.max_iters {
-            let s_next = cfg.s.min(cfg.max_iters - h_next);
-            let width_next = s_next * mu;
-            ws.sel_next.clear();
-            for _ in 0..s_next {
-                crate::seq::sample_block_into(&mut rng, n, mu, cfg.sampling, &mut ws.sel_next);
-            }
-            per_rank_sel_nnz(&csc, &ws.sel_next, &part, &mut rank_nnz);
-            cluster.charge_per_rank_ws_phase(
-                charges::gram_class(width_next as u64),
-                |r| {
-                    (
-                        charges::gram_flops(rank_nnz[r], width_next as u64),
-                        charges::gram_working_set(width_next as u64, rank_nnz[r]),
-                    )
-                },
-                Phase::Gram,
-            );
-            have_next = true;
-        }
-        cluster.iallreduce_wait();
-
-        sampled_gram_into(&csc, &ws.sel, nthreads, &mut ws.gram_ws, &mut ws.gram);
-        sampled_cross_into(&csc, &ws.sel, &[&residual], &mut ws.cross);
-        if traced {
-            cluster.charge_uniform(KernelClass::Vector, n as u64, n as u64);
-            trace.push_with_phases(
-                h,
-                0.5 * sparsela::vecops::nrm2_sq(&residual) + reg.value(&x),
-                cluster.time(),
-                phase_snapshot(&cluster),
-            );
-        }
-
-        for j in 1..=s_block {
-            let off = (j - 1) * mu;
-            let coords = &ws.sel[off..off + mu];
-            ws.gram.diag_block_into(off, off + mu, &mut ws.gjj);
-            let lip = block_lipschitz(&ws.gjj);
-            h += 1;
-            cluster.charge_uniform_phase(
-                KernelClass::Vector,
-                charges::subproblem_flops(mu as u64)
-                    + charges::sa_correction_flops(j as u64, mu as u64),
-                (mu * mu) as u64,
-                Phase::Prox,
-            );
-            if lip > 0.0 {
-                let eta = 1.0 / lip;
-                ws.cand.clear();
-                for a in 0..mu {
-                    let row = off + a;
-                    let mut grad = ws.cross.get(row, 0);
-                    for t in 1..j {
-                        let toff = (t - 1) * mu;
-                        for b in 0..mu {
-                            grad += ws.gram.get(row, toff + b) * ws.deltas[toff + b];
-                        }
-                    }
-                    ws.cand.push(x[coords[a]] - eta * grad);
-                }
-                reg.prox_block(&mut ws.cand, coords, eta);
-                for (a, &c) in coords.iter().enumerate() {
-                    let dx = ws.cand[a] - x[c];
-                    ws.deltas[off + a] = dx;
-                    if dx != 0.0 {
-                        x[c] += dx;
-                        csc.col(c).axpy_into(dx, &mut residual);
-                    }
-                }
-                per_rank_sel_nnz(&csc, coords, &part, &mut block_nnz);
-                cluster.charge_per_rank_ws(KernelClass::Vector, |r| {
-                    (
-                        charges::lasso_update_flops(block_nnz[r], mu as u64) / 2,
-                        block_nnz[r] + mu as u64,
-                    )
-                });
-            }
-        }
-    }
-
-    cluster.iallreduce(1);
-    trace.push_with_phases(
-        h,
-        0.5 * sparsela::vecops::nrm2_sq(&residual) + reg.value(&x),
-        cluster.time(),
-        phase_snapshot(&cluster),
-    );
-    (SolveResult { x, trace, iters: h }, cluster)
 }
 
 #[cfg(test)]

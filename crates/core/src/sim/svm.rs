@@ -1,37 +1,27 @@
 //! Virtual-cluster (SA-)SVM: sequential numerics, exact per-rank cost
-//! attribution over a 1D-column partition. Charge sequence mirrors
-//! `dist::svm` call for call.
+//! attribution over a 1D-column partition. These are
+//! `crate::exec::svm_family` runs on a [`SimBackend`] — by construction
+//! the numerics are the sequential engine's and the charge sequence is
+//! the thread engine's, call for call.
 
 use crate::config::SvmConfig;
-use crate::dist::charges;
-use crate::problem::SvmProblem;
-use crate::seq::svm::projected_step;
-use crate::sim::{per_rank_sel_nnz, phase_snapshot};
-use crate::trace::{ConvergenceTrace, SolveResult};
-use crate::workspace::KernelWorkspace;
-use datagen::{balanced_partition, block_partition, bucket_counts, Partition};
-use mpisim::telemetry::{Phase, Registry};
-use mpisim::{CostModel, CostReport, KernelClass, VirtualCluster};
-use sparsela::gram::{sampled_cross_into, sampled_gram_into};
+use crate::exec::{svm_family, SimBackend};
+use crate::trace::SolveResult;
+use mpisim::telemetry::Registry;
+use mpisim::{CostModel, CostReport, VirtualCluster};
 use sparsela::io::Dataset;
-use xrng::rng_from_seed;
 
-fn col_partition(ds: &Dataset, p: usize, balanced: bool) -> Partition {
-    if balanced {
-        let csc = ds.a.to_csc();
-        let weights: Vec<u64> = (0..ds.a.cols()).map(|j| csc.col_nnz(j) as u64).collect();
-        balanced_partition(&weights, p)
-    } else {
-        block_partition(ds.a.cols(), p)
-    }
-}
-
-/// Charge the distributed duality-gap evaluation (an `m+1`-word allreduce
-/// of margins; mirrors `dist::svm::distributed_gap`).
-fn charge_gap(cluster: &mut VirtualCluster, m: u64, rank_matrix_nnz: &[u64]) {
-    cluster.charge_per_rank_ws(KernelClass::Dot, |r| (2 * rank_matrix_nnz[r], m));
-    cluster.iallreduce(m + 1);
-    cluster.charge_uniform(KernelClass::Vector, 4 * m, m);
+fn sim_sa_svm_core(
+    ds: &Dataset,
+    cfg: &SvmConfig,
+    p: usize,
+    model: CostModel,
+    balanced: bool,
+) -> (SolveResult, VirtualCluster) {
+    let part = datagen::col_partition(&ds.a, p, balanced);
+    let mut backend = SimBackend::new(p, model, &ds.a, part);
+    let res = svm_family(&ds.a, &ds.b, cfg, &mut backend);
+    (res, backend.into_cluster())
 }
 
 /// Simulated distributed SA-SVM on `p` virtual ranks (column partition).
@@ -66,165 +56,6 @@ pub fn sim_sa_svm_instrumented(
     telemetry.counter_add("solver.iterations", res.iters as u64);
     telemetry.counter_add("solver.trace_points", res.trace.len() as u64);
     (res, report, telemetry)
-}
-
-fn sim_sa_svm_core(
-    ds: &Dataset,
-    cfg: &SvmConfig,
-    p: usize,
-    model: CostModel,
-    balanced: bool,
-) -> (SolveResult, VirtualCluster) {
-    cfg.validate();
-    let m = ds.a.rows();
-    assert_eq!(ds.b.len(), m, "label length mismatch");
-    let prob = SvmProblem::new(cfg.loss, cfg.lambda);
-    let (gamma, nu) = (prob.gamma(), prob.nu());
-    let part = col_partition(ds, p, balanced);
-    // Static per-rank share of the whole matrix (for the gap SpMV).
-    let mut rank_matrix_nnz = vec![0u64; p];
-    for i in 0..m {
-        bucket_counts(ds.a.row(i).indices, &part, &mut rank_matrix_nnz);
-    }
-    let mut cluster = VirtualCluster::new(p, model);
-    let mut rng = rng_from_seed(cfg.seed);
-
-    let mut alpha = vec![0.0f64; m];
-    let mut x = vec![0.0f64; ds.a.cols()];
-
-    let mut trace = ConvergenceTrace::new();
-    charge_gap(&mut cluster, m as u64, &rank_matrix_nnz);
-    trace.push_with_phases(
-        0,
-        prob.duality_gap(&ds.a, &ds.b, &x, &alpha),
-        cluster.time(),
-        phase_snapshot(&cluster),
-    );
-
-    let mut ws = KernelWorkspace::new();
-    let nthreads = saco_par::threads();
-    let mut rank_nnz = vec![0u64; p];
-    let mut row_nnz = vec![0u64; p];
-    let mut have_next = false;
-    let mut h = 0usize;
-    'outer: while h < cfg.max_iters {
-        let s_block = cfg.s.min(cfg.max_iters - h);
-        ws.begin_block(0);
-        if have_next {
-            std::mem::swap(&mut ws.sel, &mut ws.sel_next);
-            have_next = false;
-        } else {
-            ws.sel.extend((0..s_block).map(|_| rng.next_index(m)));
-            per_rank_sel_nnz(&ds.a, &ws.sel, &part, &mut rank_nnz);
-            cluster.charge_per_rank_ws_phase(
-                charges::gram_class(s_block as u64),
-                |r| {
-                    (
-                        charges::gram_flops(rank_nnz[r], s_block as u64),
-                        charges::gram_working_set(s_block as u64, rank_nnz[r]),
-                    )
-                },
-                Phase::Gram,
-            );
-        }
-
-        per_rank_sel_nnz(&ds.a, &ws.sel, &part, &mut rank_nnz);
-        cluster.charge_per_rank_ws_phase(
-            charges::gram_class(s_block as u64),
-            |r| {
-                (
-                    charges::cross_flops(rank_nnz[r], 1),
-                    charges::gram_working_set(s_block as u64, rank_nnz[r]),
-                )
-            },
-            Phase::Gram,
-        );
-        cluster.charge_uniform(KernelClass::Vector, charges::OUTER_OVERHEAD_FLOPS, 64);
-        cluster.iallreduce_start((s_block * (s_block + 1) / 2 + s_block) as u64);
-        let h_next = h + s_block;
-        if cfg.overlap && h_next < cfg.max_iters {
-            let s_next = cfg.s.min(cfg.max_iters - h_next);
-            ws.sel_next.clear();
-            ws.sel_next.extend((0..s_next).map(|_| rng.next_index(m)));
-            per_rank_sel_nnz(&ds.a, &ws.sel_next, &part, &mut rank_nnz);
-            cluster.charge_per_rank_ws_phase(
-                charges::gram_class(s_next as u64),
-                |r| {
-                    (
-                        charges::gram_flops(rank_nnz[r], s_next as u64),
-                        charges::gram_working_set(s_next as u64, rank_nnz[r]),
-                    )
-                },
-                Phase::Gram,
-            );
-            have_next = true;
-        }
-        cluster.iallreduce_wait();
-
-        sampled_gram_into(&ds.a, &ws.sel, nthreads, &mut ws.gram_ws, &mut ws.gram);
-        for j in 0..s_block {
-            ws.gram.set(j, j, ws.gram.get(j, j) + gamma);
-        }
-        sampled_cross_into(&ds.a, &ws.sel, &[&x], &mut ws.cross);
-
-        ws.thetas.clear();
-        ws.thetas.resize(s_block, 0.0);
-        for j in 1..=s_block {
-            let i = ws.sel[j - 1];
-            let beta = alpha[i];
-            let eta = ws.gram.get(j - 1, j - 1);
-            let mut g = ds.b[i] * ws.cross.get(j - 1, 0) - 1.0 + gamma * beta;
-            for t in 1..j {
-                if ws.thetas[t - 1] != 0.0 {
-                    g += ws.thetas[t - 1]
-                        * ds.b[i]
-                        * ds.b[ws.sel[t - 1]]
-                        * ws.gram.get(j - 1, t - 1);
-                }
-            }
-            let theta = projected_step(beta, g, eta, nu);
-            ws.thetas[j - 1] = theta;
-            cluster.charge_uniform_phase(
-                KernelClass::Vector,
-                charges::ITER_OVERHEAD_FLOPS + 8 + charges::sa_correction_flops(j as u64, 1),
-                (s_block * s_block) as u64,
-                Phase::Prox,
-            );
-            if theta != 0.0 {
-                alpha[i] += theta;
-                ds.a.row(i).axpy_into(theta * ds.b[i], &mut x);
-                per_rank_sel_nnz(&ds.a, &ws.sel[j - 1..j], &part, &mut row_nnz);
-                cluster.charge_per_rank_ws(KernelClass::Vector, |r| {
-                    (charges::svm_update_flops(row_nnz[r]), row_nnz[r])
-                });
-            }
-            h += 1;
-        }
-
-        let traced = cfg.trace_every > 0
-            && ((h - s_block) / cfg.trace_every != h / cfg.trace_every || h >= cfg.max_iters);
-        if traced {
-            charge_gap(&mut cluster, m as u64, &rank_matrix_nnz);
-            let gap = prob.duality_gap(&ds.a, &ds.b, &x, &alpha);
-            trace.push_with_phases(h, gap, cluster.time(), phase_snapshot(&cluster));
-            if let Some(tol) = cfg.gap_tol {
-                if gap <= tol {
-                    break 'outer;
-                }
-            }
-        }
-    }
-
-    if trace.len() < 2 || trace.points().last().expect("nonempty").iter < h {
-        charge_gap(&mut cluster, m as u64, &rank_matrix_nnz);
-        trace.push_with_phases(
-            h,
-            prob.duality_gap(&ds.a, &ds.b, &x, &alpha),
-            cluster.time(),
-            phase_snapshot(&cluster),
-        );
-    }
-    (SolveResult { x, trace, iters: h }, cluster)
 }
 
 #[cfg(test)]

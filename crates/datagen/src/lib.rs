@@ -27,7 +27,8 @@ pub mod registry;
 pub mod synth;
 
 pub use partition::{
-    balanced_partition, block_partition, bucket_counts, imbalance_factor, Partition,
+    balanced_partition, block_partition, bucket_counts, col_partition, imbalance_factor,
+    row_partition, Partition,
 };
 pub use registry::{DatasetInfo, GeneratedDataset, PaperDataset, Task};
 pub use synth::{

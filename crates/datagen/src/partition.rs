@@ -95,6 +95,34 @@ pub fn balanced_partition(weights: &[u64], p: usize) -> Partition {
     Partition::from_bounds(bounds)
 }
 
+/// 1D-row partition of a design matrix — the Lasso layout (the paper
+/// partitions `A` row-wise for Lasso, §V). `balanced` splits by per-row
+/// nnz to fix the §VI stragglers; otherwise an equal-row-count split.
+///
+/// Single home for the helper the simulated and distributed engines both
+/// use, so the two engines cannot drift apart on data placement.
+pub fn row_partition(a: &sparsela::CsrMatrix, p: usize, balanced: bool) -> Partition {
+    if balanced {
+        let weights: Vec<u64> = a.row_nnz_counts().iter().map(|&c| c as u64).collect();
+        balanced_partition(&weights, p)
+    } else {
+        block_partition(a.rows(), p)
+    }
+}
+
+/// 1D-column partition of a design matrix — the SVM layout (dual
+/// coordinates live with their columns). `balanced` splits by per-column
+/// nnz; otherwise an equal-column-count split.
+pub fn col_partition(a: &sparsela::CsrMatrix, p: usize, balanced: bool) -> Partition {
+    if balanced {
+        let csc = a.to_csc();
+        let weights: Vec<u64> = (0..a.cols()).map(|j| csc.col_nnz(j) as u64).collect();
+        balanced_partition(&weights, p)
+    } else {
+        block_partition(a.cols(), p)
+    }
+}
+
 /// Load-imbalance factor of a partition under the given weights:
 /// `max_part_weight / mean_part_weight` (1.0 = perfectly balanced).
 pub fn imbalance_factor(weights: &[u64], part: &Partition) -> f64 {
@@ -197,6 +225,69 @@ mod tests {
         assert_eq!(part.domain(), 3);
         let covered: usize = (0..5).map(|r| part.range(r).len()).sum();
         assert_eq!(covered, 3);
+    }
+
+    fn csr_from_rows(rows: usize, cols: usize, data: &[Vec<(usize, f64)>]) -> sparsela::CsrMatrix {
+        let mut indptr = vec![0usize];
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        for row in data {
+            for &(j, v) in row {
+                indices.push(j);
+                values.push(v);
+            }
+            indptr.push(indices.len());
+        }
+        sparsela::CsrMatrix::from_parts(rows, cols, indptr, indices, values)
+    }
+
+    #[test]
+    fn row_partition_balanced_vs_block_split() {
+        // Skewed rows: early rows dense, late rows nearly empty. The
+        // block split must straggler on rank 0; the balanced split must
+        // cut the dense head finer than the sparse tail.
+        let mut rows: Vec<Vec<(usize, f64)>> = Vec::new();
+        for i in 0..32 {
+            let nnz = if i < 8 { 16 } else { 1 };
+            rows.push((0..nnz).map(|j| (j, 1.0)).collect());
+        }
+        let a = csr_from_rows(32, 16, &rows);
+        let weights: Vec<u64> = a.row_nnz_counts().iter().map(|&c| c as u64).collect();
+
+        let naive = row_partition(&a, 4, false);
+        assert_eq!(naive, block_partition(32, 4), "block split is equal-count");
+
+        let balanced = row_partition(&a, 4, true);
+        assert_eq!(balanced, balanced_partition(&weights, 4));
+        assert_eq!(balanced.domain(), 32);
+        assert!(
+            imbalance_factor(&weights, &balanced) < imbalance_factor(&weights, &naive),
+            "nnz-balanced split must beat the equal-count split on skewed rows"
+        );
+        // The dense head (8 rows × 16 nnz = 128 of 152 nnz) spans most cuts.
+        assert!(balanced.range(0).len() < naive.range(0).len());
+    }
+
+    #[test]
+    fn col_partition_balanced_follows_column_nnz() {
+        // One hot column (index 0) carries almost all the mass.
+        let rows: Vec<Vec<(usize, f64)>> = (0..24)
+            .map(|i| {
+                if i < 20 {
+                    vec![(0, 1.0)]
+                } else {
+                    vec![(1 + (i - 20) % 7, 1.0)]
+                }
+            })
+            .collect();
+        let a = csr_from_rows(24, 8, &rows);
+        let naive = col_partition(&a, 4, false);
+        assert_eq!(naive, block_partition(8, 4));
+        let balanced = col_partition(&a, 4, true);
+        assert_eq!(balanced.domain(), 8);
+        assert_eq!(balanced.parts(), 4);
+        // The hot column must sit alone in its part under balancing.
+        assert_eq!(balanced.range(0).len(), 1);
     }
 
     #[test]

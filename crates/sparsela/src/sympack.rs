@@ -76,6 +76,18 @@ pub fn unpack_symmetric(buf: &[f64], at: usize, k: usize) -> (DenseMatrix, usize
     (g, pos)
 }
 
+/// Total word count of the fused SA payload for a `width × width` Gram
+/// block, `nvecs` cross-term vectors, and an optional traced scalar:
+/// `width(width+1)/2 + nvecs·width + (traced ? 1 : 0)`.
+///
+/// Single source of truth for the wire format shared by the solvers'
+/// allreduce calls and the simulator's words accounting — the fused
+/// buffer built by [`pack_upper_into`] plus the cross/scalar tail.
+#[inline]
+pub fn payload_words(width: usize, nvecs: usize, traced: bool) -> usize {
+    packed_len(width) + nvecs * width + usize::from(traced)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -118,6 +130,20 @@ mod tests {
         let (full, _) = unpack_symmetric(&buf, 0, 3);
         assert!(full.is_symmetric(0.0));
         assert_eq!(full.get(2, 0), 3.0);
+    }
+
+    #[test]
+    fn payload_words_counts_triangle_cross_and_scalar() {
+        // Matches what a solver actually packs: triangle + cross + scalar.
+        let g = DenseMatrix::identity(4);
+        let mut buf = Vec::new();
+        pack_upper_into(&g, &mut buf);
+        buf.resize(buf.len() + 2 * 4, 0.0); // two cross vectors
+        assert_eq!(buf.len(), payload_words(4, 2, false));
+        buf.push(0.0); // traced scalar
+        assert_eq!(buf.len(), payload_words(4, 2, true));
+        assert_eq!(payload_words(1, 1, false), 2);
+        assert_eq!(payload_words(0, 0, false), 0);
     }
 
     #[test]

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Guard the execution-backend refactor: the solver recurrences live ONLY in
+# crates/core/src/exec/. The seq/sim/dist modules are thin shims that bind
+# data to an engine — if an iteration loop or a sampled-kernel call creeps
+# back into one of them, the one-recurrence-three-engines invariant (and
+# with it the cross-engine equivalence the engine matrix asserts) is gone.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Patterns that only a solver main loop contains.
+patterns=(
+    'while h < cfg\.max_iters'
+    'for h in 1\.\.=cfg\.max_iters'
+    'sampled_gram'
+    'sampled_cross'
+    'iallreduce'
+)
+
+status=0
+for pat in "${patterns[@]}"; do
+    if hits=$(grep -rnE "$pat" crates/core/src/seq crates/core/src/sim crates/core/src/dist); then
+        echo "shim_guard: solver-loop pattern '$pat' found outside crates/core/src/exec/:" >&2
+        echo "$hits" >&2
+        status=1
+    fi
+done
+
+if [ "$status" -ne 0 ]; then
+    echo "shim_guard: FAILED — move recurrence logic into crates/core/src/exec/" >&2
+else
+    echo "shim_guard: OK — seq/sim/dist contain no solver-loop logic"
+fi
+exit "$status"

@@ -1,0 +1,510 @@
+//! The cross-engine equivalence matrix.
+//!
+//! Every solver family is one backend-generic recurrence
+//! (`exec::{lasso_family, svm_family}`) run on three engines, so the
+//! contract is testable as a matrix rather than pairwise:
+//!
+//! * seq ≡ sim **bitwise** (the virtual cluster runs the identical global
+//!   numerics and only attaches charges);
+//! * dist ≡ seq **bitwise at p = 1** (one rank holds the whole matrix and
+//!   the reduction is the identity), and to 1e-9/1e-10 at p > 1 (the
+//!   reduction tree re-associates sums);
+//! * all ranks of a dist run agree **bitwise** (replicated recurrences);
+//! * overlap on ≡ overlap off **bitwise** (the overlap window only runs
+//!   work that depends on the replicated RNG stream and `A`);
+//! * sim and dist charge the *same* cost sequence: message/word/flop
+//!   counters equal exactly, simulated times to 1e-9 — in both overlap
+//!   modes (the shared-code-path guarantee of the backend refactor);
+//! * each SA method matches its classical counterpart along the whole
+//!   trace (the paper's exact-arithmetic claim, Table III).
+
+use datagen::{binary_classification, planted_regression, uniform_sparse};
+use datagen::{PaperDataset, Task};
+use mpisim::{CostModel, CostReport, ThreadMachine};
+use saco::dist::{dist_sa_accbcd, dist_sa_bcd, dist_sa_svm, LassoRankData, SvmRankData};
+use saco::prox::{ElasticNet, GroupLasso, Lasso, Regularizer};
+use saco::seq::{acc_bcd, bcd, sa_accbcd, sa_bcd, sa_svm, svm};
+use saco::sim::{sim_sa_accbcd, sim_sa_bcd, sim_sa_svm};
+use saco::{LassoConfig, SolveResult, SvmConfig, SvmLoss};
+use sparsela::io::Dataset;
+
+fn lasso_ds(seed: u64) -> Dataset {
+    let a = uniform_sparse(120, 60, 0.15, seed);
+    planted_regression(a, 5, 0.05, seed).dataset
+}
+
+fn svm_ds(seed: u64) -> Dataset {
+    let a = uniform_sparse(90, 30, 0.3, seed);
+    binary_classification(a, 0.08, seed).dataset
+}
+
+fn lasso_cfg(mu: usize, s: usize, overlap: bool) -> LassoConfig {
+    LassoConfig {
+        mu,
+        s,
+        lambda: 0.05,
+        seed: 93,
+        max_iters: 96,
+        trace_every: 24,
+        rel_tol: None,
+        overlap,
+        ..Default::default()
+    }
+}
+
+fn run_seq_lasso<R: Regularizer>(
+    ds: &Dataset,
+    reg: &R,
+    c: &LassoConfig,
+    accel: bool,
+) -> SolveResult {
+    // Route through the public entry points so the matrix exercises the
+    // shims users call, not the family directly.
+    match (accel, c.s) {
+        (true, 1) => acc_bcd(ds, reg, c),
+        (true, _) => sa_accbcd(ds, reg, c),
+        (false, 1) => bcd(ds, reg, c),
+        (false, _) => sa_bcd(ds, reg, c),
+    }
+}
+
+fn run_dist_lasso<R: Regularizer + Sync>(
+    ds: &Dataset,
+    reg: &R,
+    c: &LassoConfig,
+    accel: bool,
+    p: usize,
+) -> Vec<SolveResult> {
+    let (_, blocks) = LassoRankData::split(ds, p, false);
+    ThreadMachine::run(p, CostModel::cray_xc30(), |comm| {
+        let data = &blocks[comm.rank()];
+        if accel {
+            dist_sa_accbcd(comm, data, reg, c)
+        } else {
+            dist_sa_bcd(comm, data, reg, c)
+        }
+    })
+    .into_iter()
+    .map(|(r, _)| r)
+    .collect()
+}
+
+/// The full lasso-family matrix: {BCD, accBCD, SA-BCD, SA-accBCD} ×
+/// {Lasso, ElasticNet, GroupLasso} × overlap {on, off} × p {1, 4}.
+#[test]
+fn lasso_engine_matrix() {
+    let ds = lasso_ds(1);
+    // `Regularizer` is not dyn-compatible (`Self: Sized` bound), so the
+    // regularizer axis of the matrix is monomorphised per concrete type.
+    lasso_matrix_for_reg(&ds, &Lasso::new(0.05), "lasso");
+    lasso_matrix_for_reg(&ds, &ElasticNet::new(0.4), "enet");
+    lasso_matrix_for_reg(&ds, &GroupLasso::uniform(0.05, 60, 4), "glasso");
+}
+
+fn lasso_matrix_for_reg<R: Regularizer + Sync>(ds: &Dataset, reg: &R, reg_name: &str) {
+    for (variant, accel, s) in [
+        ("bcd", false, 1usize),
+        ("acc_bcd", true, 1),
+        ("sa_bcd", false, 8),
+        ("sa_accbcd", true, 8),
+    ] {
+        let what = format!("{reg_name}/{variant}");
+        for overlap in [false, true] {
+            let c = lasso_cfg(4, s, overlap);
+            let seq_res = run_seq_lasso(ds, reg, &c, accel);
+            // seq ≡ sim, bitwise.
+            let (sim_res, _) = if accel {
+                sim_sa_accbcd(ds, reg, &c, 4, CostModel::cray_xc30(), false)
+            } else {
+                sim_sa_bcd(ds, reg, &c, 4, CostModel::cray_xc30(), false)
+            };
+            assert_eq!(seq_res.x, sim_res.x, "{what} overlap={overlap}: seq vs sim");
+            for p in [1usize, 4] {
+                let dist = run_dist_lasso(ds, reg, &c, accel, p);
+                // Replicated recurrences: all ranks agree bitwise.
+                for r in &dist[1..] {
+                    assert_eq!(r.x, dist[0].x, "{what} p={p}: ranks disagree");
+                }
+                if p == 1 {
+                    assert_eq!(dist[0].x, seq_res.x, "{what}: dist p=1 vs seq");
+                } else {
+                    for (a, b) in dist[0].x.iter().zip(&seq_res.x) {
+                        assert!(
+                            (a - b).abs() < 1e-9,
+                            "{what} p={p} overlap={overlap}: {a} vs {b}"
+                        );
+                    }
+                }
+            }
+        }
+        // Overlap must not perturb numerics in any engine.
+        let d_on = run_dist_lasso(ds, reg, &lasso_cfg(4, s, true), accel, 4);
+        let d_off = run_dist_lasso(ds, reg, &lasso_cfg(4, s, false), accel, 4);
+        assert_eq!(d_on[0].x, d_off[0].x, "{what}: overlap changed iterates");
+    }
+}
+
+/// The SVM matrix: {classical (s = 1), SA (s = 16)} × {L1, L2} × p {1, 4}.
+#[test]
+fn svm_engine_matrix() {
+    let ds = svm_ds(2);
+    for loss in [SvmLoss::L1, SvmLoss::L2] {
+        for s in [1usize, 16] {
+            for overlap in [false, true] {
+                let c = SvmConfig {
+                    loss,
+                    lambda: 1.0,
+                    s,
+                    seed: 71,
+                    max_iters: 192,
+                    trace_every: 48,
+                    gap_tol: None,
+                    overlap,
+                };
+                let what = format!("{loss:?} s={s} overlap={overlap}");
+                let seq_res = if s == 1 {
+                    svm(&ds, &c)
+                } else {
+                    sa_svm(&ds, &c)
+                };
+                let (sim_res, _) = sim_sa_svm(&ds, &c, 4, CostModel::cray_xc30(), false);
+                assert_eq!(seq_res.x, sim_res.x, "{what}: seq vs sim");
+                for p in [1usize, 4] {
+                    let (part, blocks) = SvmRankData::split(&ds, p, false);
+                    let dist: Vec<SolveResult> =
+                        ThreadMachine::run(p, CostModel::cray_xc30(), |comm| {
+                            dist_sa_svm(comm, &blocks[comm.rank()], &c)
+                        })
+                        .into_iter()
+                        .map(|(r, _)| r)
+                        .collect();
+                    // The gap trace is replicated bitwise on every rank.
+                    for r in &dist[1..] {
+                        assert_eq!(r.trace.len(), dist[0].trace.len());
+                        for (a, b) in r.trace.points().iter().zip(dist[0].trace.points()) {
+                            assert_eq!(a.value, b.value, "{what} p={p}: gap not replicated");
+                        }
+                    }
+                    // Concatenated local slices reproduce the global x.
+                    let mut x_global = Vec::new();
+                    for (r, res) in dist.iter().enumerate() {
+                        assert_eq!(res.x.len(), part.range(r).len());
+                        x_global.extend_from_slice(&res.x);
+                    }
+                    if p == 1 {
+                        assert_eq!(x_global, seq_res.x, "{what}: dist p=1 vs seq");
+                    } else {
+                        for (a, b) in x_global.iter().zip(&seq_res.x) {
+                            assert!((a - b).abs() < 1e-9, "{what} p={p}: {a} vs {b}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn lasso_reports(c: &LassoConfig, accel: bool, p: usize) -> (CostReport, CostReport) {
+    let ds = lasso_ds(3);
+    let reg = Lasso::new(c.lambda);
+    let (_, blocks) = LassoRankData::split(&ds, p, false);
+    let (_, thread_rep) = ThreadMachine::run_report(p, CostModel::cray_xc30(), |comm| {
+        let data = &blocks[comm.rank()];
+        if accel {
+            dist_sa_accbcd(comm, data, &reg, c)
+        } else {
+            dist_sa_bcd(comm, data, &reg, c)
+        }
+    });
+    let (_, sim_rep) = if accel {
+        sim_sa_accbcd(&ds, &reg, c, p, CostModel::cray_xc30(), false)
+    } else {
+        sim_sa_bcd(&ds, &reg, c, p, CostModel::cray_xc30(), false)
+    };
+    (thread_rep, sim_rep)
+}
+
+fn assert_reports_match(thread_rep: &CostReport, sim_rep: &CostReport, what: &str) {
+    let (t, v) = (&thread_rep.critical, &sim_rep.critical);
+    // Strict: the two engines charge through the same backend code path,
+    // so the counters are equal by construction, not approximately.
+    assert_eq!(t.messages, v.messages, "{what}: message counters diverge");
+    assert_eq!(t.words, v.words, "{what}: word counters diverge");
+    assert_eq!(t.flops, v.flops, "{what}: flop counters diverge");
+    let rel = (thread_rep.running_time() - sim_rep.running_time()).abs() / sim_rep.running_time();
+    assert!(
+        rel < 1e-9,
+        "{what}: simulated times diverge: thread {} vs virtual {} (rel {rel})",
+        thread_rep.running_time(),
+        sim_rep.running_time()
+    );
+}
+
+/// The decisive cross-engine check, now strict and across the whole
+/// family: the thread machine and the virtual cluster must charge the
+/// identical cost sequence — in both overlap modes, accelerated and not.
+#[test]
+fn sim_and_dist_charges_agree_exactly_lasso() {
+    for accel in [false, true] {
+        for overlap in [false, true] {
+            let c = LassoConfig {
+                mu: 2,
+                s: 8,
+                lambda: 0.2,
+                seed: 48,
+                max_iters: 64,
+                trace_every: 16,
+                rel_tol: None,
+                overlap,
+                ..Default::default()
+            };
+            let (thread_rep, sim_rep) = lasso_reports(&c, accel, 4);
+            let what = format!("lasso accel={accel} overlap={overlap}");
+            assert_reports_match(&thread_rep, &sim_rep, &what);
+        }
+    }
+}
+
+#[test]
+fn sim_and_dist_charges_agree_exactly_svm() {
+    let ds = svm_ds(4);
+    for overlap in [false, true] {
+        let c = SvmConfig {
+            loss: SvmLoss::L1,
+            lambda: 1.0,
+            s: 8,
+            seed: 49,
+            max_iters: 64,
+            trace_every: 16,
+            gap_tol: None,
+            overlap,
+        };
+        let p = 4;
+        let (_, blocks) = SvmRankData::split(&ds, p, false);
+        let (_, thread_rep) = ThreadMachine::run_report(p, CostModel::cray_xc30(), |comm| {
+            dist_sa_svm(comm, &blocks[comm.rank()], &c)
+        });
+        let (_, sim_rep) = sim_sa_svm(&ds, &c, p, CostModel::cray_xc30(), false);
+        assert_reports_match(&thread_rep, &sim_rep, &format!("svm overlap={overlap}"));
+    }
+}
+
+#[test]
+fn overlap_never_slows_the_simulated_run() {
+    let run = |overlap: bool| {
+        let c = LassoConfig {
+            mu: 2,
+            s: 16,
+            lambda: 0.2,
+            seed: 50,
+            max_iters: 128,
+            trace_every: 0,
+            rel_tol: None,
+            overlap,
+            ..Default::default()
+        };
+        lasso_reports(&c, true, 8)
+    };
+    let (t_on, v_on) = run(true);
+    let (t_off, v_off) = run(false);
+    // Same collectives and flops either way — overlap only hides time.
+    assert_eq!(v_on.critical.messages, v_off.critical.messages);
+    assert_eq!(v_on.critical.flops, v_off.critical.flops);
+    assert!(v_on.running_time() <= v_off.running_time() + 1e-12);
+    assert!(t_on.running_time() <= t_off.running_time() + 1e-12);
+}
+
+#[test]
+fn rank_count_does_not_change_results() {
+    let ds = PaperDataset::News20.generate(0.04, 3).dataset;
+    let cfg = LassoConfig {
+        mu: 1,
+        s: 4,
+        lambda: 0.2,
+        seed: 47,
+        max_iters: 96,
+        trace_every: 0,
+        rel_tol: None,
+        ..Default::default()
+    };
+    let reg = Lasso::new(cfg.lambda);
+    let mut finals = Vec::new();
+    for p in [1usize, 2, 3, 8] {
+        let (_, blocks) = LassoRankData::split(&ds, p, false);
+        let res = ThreadMachine::run(p, CostModel::cray_xc30(), |comm| {
+            dist_sa_accbcd(comm, &blocks[comm.rank()], &reg, &cfg)
+        });
+        finals.push(res[0].0.final_value());
+    }
+    for f in &finals[1..] {
+        let rel = (f - finals[0]).abs() / finals[0];
+        assert!(rel < 1e-10, "objective varies with P: {finals:?}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SA ≡ classical along the whole trace: the paper's exact-arithmetic claim
+// (Table III), on the registry's dataset structures.
+// ---------------------------------------------------------------------------
+
+fn assert_traces_match(a: &SolveResult, b: &SolveResult, tol: f64, what: &str) {
+    assert_eq!(a.trace.len(), b.trace.len(), "{what}: trace lengths differ");
+    let scale = a.trace.initial_value().abs();
+    for (p, q) in a.trace.points().iter().zip(b.trace.points()) {
+        let denom = p.value.abs().max(1e-9 * scale);
+        let rel = (p.value - q.value).abs() / denom;
+        assert!(rel < tol, "{what} iter {}: rel err {rel}", p.iter);
+    }
+}
+
+#[test]
+fn lasso_sa_equivalence_on_registry_structures() {
+    // one dense, one uniform-sparse, one power-law dataset
+    for ds in [
+        PaperDataset::Leu,
+        PaperDataset::Covtype,
+        PaperDataset::News20,
+    ] {
+        let g = ds.generate(0.05, 7);
+        let lambda = 0.1;
+        let reg = Lasso::new(lambda);
+        for (mu, s) in [(1usize, 64usize), (4, 16)] {
+            let c = LassoConfig {
+                mu,
+                s,
+                lambda,
+                seed: 2024,
+                max_iters: 320,
+                trace_every: 40,
+                rel_tol: None,
+                ..Default::default()
+            };
+            let classic = acc_bcd(&g.dataset, &reg, &c);
+            let sa = sa_accbcd(&g.dataset, &reg, &c);
+            assert_traces_match(&classic, &sa, 1e-9, g.info.name);
+            let classic = bcd(&g.dataset, &reg, &c);
+            let sa = sa_bcd(&g.dataset, &reg, &c);
+            assert_traces_match(&classic, &sa, 1e-9, g.info.name);
+        }
+    }
+}
+
+#[test]
+fn sa_equivalence_holds_for_elastic_net_and_group_lasso() {
+    let g = PaperDataset::Epsilon.generate(0.05, 9);
+    fn check<R: Regularizer>(ds: &Dataset, reg: &R, mu: usize) {
+        let c = LassoConfig {
+            mu,
+            s: 24,
+            lambda: 0.3,
+            seed: 31,
+            max_iters: 240,
+            trace_every: 40,
+            rel_tol: None,
+            ..Default::default()
+        };
+        let classic = acc_bcd(ds, reg, &c);
+        let sa = sa_accbcd(ds, reg, &c);
+        assert_eq!(classic.trace.len(), sa.trace.len());
+        for (p, q) in classic.trace.points().iter().zip(sa.trace.points()) {
+            let rel = (p.value - q.value).abs() / p.value.abs().max(1e-300);
+            assert!(rel < 1e-9, "iter {}: rel err {rel}", p.iter);
+        }
+    }
+    check(&g.dataset, &ElasticNet::new(0.4), 4);
+    let n = g.dataset.num_features();
+    check(&g.dataset, &GroupLasso::uniform(0.3, n, 4), 4);
+}
+
+#[test]
+fn svm_sa_equivalence_on_registry_structures() {
+    for ds in [
+        PaperDataset::W1a,
+        PaperDataset::Duke,
+        PaperDataset::Rcv1Binary,
+    ] {
+        let g = ds.generate_for_task(Task::Classification, 0.1, 11);
+        for loss in [SvmLoss::L1, SvmLoss::L2] {
+            let c = SvmConfig {
+                loss,
+                lambda: 1.0,
+                s: 48,
+                seed: 77,
+                max_iters: 960,
+                trace_every: 120,
+                gap_tol: None,
+                overlap: true,
+            };
+            let classic = svm(&g.dataset, &c);
+            let sa = sa_svm(&g.dataset, &c);
+            assert_eq!(classic.trace.len(), sa.trace.len());
+            let init = classic.trace.initial_value();
+            for (p, q) in classic.trace.points().iter().zip(sa.trace.points()) {
+                // Floor the denominator: once the gap has decayed to
+                // ~machine-ε of the problem scale, agreement in absolute
+                // terms (relative to the initial gap) is what stability
+                // means.
+                let denom = p.value.abs().max(1e-6 * init);
+                let rel = (p.value - q.value).abs() / denom;
+                assert!(
+                    rel < 1e-8,
+                    "{} {loss:?} iter {}: rel {rel}",
+                    g.info.name,
+                    p.iter
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn table_iii_machine_precision_at_s_1000() {
+    // The headline Table III numbers: final relative objective error at
+    // s = 1000 sits at machine precision.
+    let g = PaperDataset::Leu.generate(1.0, 13);
+    let lambda = saco_lambda(&g.dataset);
+    let c = LassoConfig {
+        mu: 1,
+        s: 1000,
+        lambda,
+        seed: 1000,
+        max_iters: 2000,
+        trace_every: 0,
+        rel_tol: None,
+        ..Default::default()
+    };
+    let reg = Lasso::new(lambda);
+    let classic = acc_bcd(&g.dataset, &reg, &c);
+    let sa = sa_accbcd(&g.dataset, &reg, &c);
+    let rel = sa.relative_error_vs(&classic);
+    assert!(rel < 5e-13, "relative objective error {rel} at s=1000");
+}
+
+/// λ at 10% of ‖Aᵀb‖∞ (enough to matter, not enough to zero everything).
+fn saco_lambda(ds: &Dataset) -> f64 {
+    let atb = ds.a.spmv_t(&ds.b);
+    0.1 * sparsela::vecops::inf_norm(&atb)
+}
+
+#[test]
+fn sa_solvers_with_s_1_are_bitwise_classical_shapes() {
+    // s = 1 must agree with the classical solver at every traced point to
+    // extremely tight tolerance (identical computation graph modulo benign
+    // reassociation in the Gram kernel).
+    let g = PaperDataset::Rcv1Binary.generate(0.05, 17);
+    let c = SvmConfig {
+        loss: SvmLoss::L1,
+        lambda: 1.0,
+        s: 1,
+        seed: 5,
+        max_iters: 400,
+        trace_every: 50,
+        gap_tol: None,
+        overlap: true,
+    };
+    let a = svm(&g.dataset, &c);
+    let b = sa_svm(&g.dataset, &c);
+    for (p, q) in a.trace.points().iter().zip(b.trace.points()) {
+        assert!((p.value - q.value).abs() <= 1e-12 * p.value.abs().max(1.0));
+    }
+}
