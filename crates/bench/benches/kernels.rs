@@ -96,6 +96,56 @@ fn bench_workspace_reuse(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_group_prox(c: &mut Criterion) {
+    // GroupLasso::prox_block accumulates per-group norms in a reusable
+    // thread-local scratch (linear scan over the handful of groups a
+    // sampled block touches). The reference closure below replicates the
+    // old per-call HashMap implementation — same arithmetic, same
+    // `coords`-order accumulation — so the group measures pure
+    // allocation/hashing overhead on the innermost-loop path.
+    use saco::prox::{GroupLasso, Regularizer};
+    use std::collections::HashMap;
+
+    let n = 4_096;
+    let gl = GroupLasso::uniform(0.05, n, 8);
+    let mut rng = rng_from_seed(31);
+    let coords = sample_without_replacement(&mut rng, n, 64);
+    let vals: Vec<f64> = coords.iter().map(|&c| (c as f64).sin()).collect();
+    let groups: Vec<usize> = (0..n).map(|i| i / 8).collect();
+
+    let mut group = c.benchmark_group("group_prox_64");
+    group.throughput(Throughput::Elements(64));
+    group.bench_function("hashmap_fresh", |b| {
+        let mut v = vals.clone();
+        b.iter(|| {
+            v.copy_from_slice(&vals);
+            let mut norms: HashMap<usize, f64> = HashMap::new();
+            for (&c, &x) in coords.iter().zip(v.iter()) {
+                *norms.entry(groups[c]).or_insert(0.0) += x * x;
+            }
+            let thr = 4.0 * 0.05;
+            for (k, &c) in coords.iter().enumerate() {
+                let norm = norms[&groups[c]].sqrt();
+                if norm > thr {
+                    v[k] *= 1.0 - thr / norm;
+                } else {
+                    v[k] = 0.0;
+                }
+            }
+            black_box(v[0])
+        });
+    });
+    group.bench_function("scratch_reuse", |b| {
+        let mut v = vals.clone();
+        b.iter(|| {
+            v.copy_from_slice(&vals);
+            gl.prox_block(&mut v, &coords, 4.0);
+            black_box(v[0])
+        });
+    });
+    group.finish();
+}
+
 fn bench_sampled_cross(c: &mut Criterion) {
     let a = powerlaw_sparse(20_000, 4_000, 0.01, 0.9, 3).to_csc();
     let v1: Vec<f64> = (0..20_000).map(|i| (i as f64).sin()).collect();
@@ -170,6 +220,7 @@ criterion_group!(
     bench_parallel_gram,
     bench_dense_gram_parallel,
     bench_workspace_reuse,
+    bench_group_prox,
     bench_sampled_cross,
     bench_spmv,
     bench_gemm,

@@ -173,6 +173,17 @@ mod tests {
     }
 
     #[test]
+    fn chaos_takes_a_spec_value() {
+        let a = Args::parse(toks(
+            "simulate --data x.svm --chaos seed=7,jitter=1e-4,fail=3@10",
+        ))
+        .expect("parse");
+        assert_eq!(a.get("chaos"), Some("seed=7,jitter=1e-4,fail=3@10"));
+        let err = Args::parse(toks("simulate --chaos")).expect_err("needs a spec");
+        assert!(err.0.contains("--chaos"));
+    }
+
+    #[test]
     fn empty_and_help() {
         assert_eq!(Args::parse(toks("")).expect("parse").command, "help");
         assert_eq!(Args::parse(toks("--help")).expect("parse").command, "help");

@@ -10,6 +10,7 @@
 //! saco info     --data file.svm
 //! saco simulate --data train.svm --p 1024 [--s 16] [--mu 1] [--iters 2000]
 //!               [--acc] [--balanced] [--overlap on|off]
+//!               [--chaos seed=7,skew=0.2,jitter=1e-4,straggle=0.05,fail=3@10]
 //!               [--metrics report.json] [--threads 4]
 //!
 //! `--threads N` (or `SACO_THREADS=N`) sets the intra-process worker pool
@@ -21,6 +22,13 @@
 //! overlap on the fused allreduce path. Also purely a scheduling knob:
 //! solver outputs are bitwise identical either way; only the simulated
 //! timeline and the `comm.overlap_hidden_time` gauge change.
+//!
+//! `--chaos <spec>` injects a seeded, replayable fault/perturbation plan
+//! into the simulated cluster: per-rank compute-rate skew, per-collective
+//! latency jitter, transient rank stalls, and optional fail-stop faults
+//! recovered from the last block checkpoint. Chaos perturbs *time only*:
+//! the solver output is bitwise identical to the chaos-free run (see
+//! `docs/OBSERVABILITY.md` §"Fault injection & recovery").
 //! saco cv       --data train.svm [--folds 5] [--num 12] [--ratio 0.01]
 //! ```
 
@@ -32,7 +40,9 @@ use mpisim::CostModel;
 use saco::path::lasso_path;
 use saco::prox::Lasso;
 use saco::seq::{sa_accbcd, sa_bcd, sa_svm};
-use saco::sim::{sim_sa_accbcd_instrumented, sim_sa_bcd_instrumented};
+use saco::sim::{
+    sim_sa_accbcd_chaos, sim_sa_accbcd_instrumented, sim_sa_bcd_chaos, sim_sa_bcd_instrumented,
+};
 use saco::{LassoConfig, SvmConfig, SvmLoss};
 use sparsela::io::{read_libsvm, write_libsvm, Dataset};
 use sparsela::vecops;
@@ -97,6 +107,12 @@ pooled workers; results are bitwise identical at any thread count.
 `--overlap on|off` (default on) overlaps the fused allreduce with the
 next block's sampling + Gram formation; solver outputs are bitwise
 identical either way — only simulated comm/idle timing changes.
+
+`--chaos seed=S,skew=X,jitter=Y,straggle=F,fail=RANK@STEP` (simulate
+only) injects a seeded, replayable straggler/jitter/failure plan into
+the virtual cluster. Chaos perturbs time, never values: the solver
+output stays bitwise identical to the chaos-free run, and the run
+report gains `chaos.*` counters and gauges.
 
 run `saco <subcommand>` without options to see its required flags."
     );
@@ -322,10 +338,17 @@ fn cmd_simulate(args: &Args) -> Result<(), ArgError> {
     let reg = Lasso::new(lambda);
     let model = CostModel::cray_xc30();
     let balanced = args.flag("balanced");
-    let (res, rep, mut telemetry) = if args.flag("acc") {
-        sim_sa_accbcd_instrumented(&ds, &reg, &cfg, p, model, balanced)
-    } else {
-        sim_sa_bcd_instrumented(&ds, &reg, &cfg, p, model, balanced)
+    let chaos = match args.get("chaos") {
+        Some(spec) => {
+            Some(mpisim::ChaosSpec::parse(spec).map_err(|e| ArgError(format!("--chaos: {e}")))?)
+        }
+        None => None,
+    };
+    let (res, rep, mut telemetry) = match (&chaos, args.flag("acc")) {
+        (Some(spec), true) => sim_sa_accbcd_chaos(&ds, &reg, &cfg, p, model, balanced, spec),
+        (Some(spec), false) => sim_sa_bcd_chaos(&ds, &reg, &cfg, p, model, balanced, spec),
+        (None, true) => sim_sa_accbcd_instrumented(&ds, &reg, &cfg, p, model, balanced),
+        (None, false) => sim_sa_bcd_instrumented(&ds, &reg, &cfg, p, model, balanced),
     };
     println!(
         "simulated {} ranks, s = {}, µ = {}, H = {}:",
@@ -342,6 +365,17 @@ fn cmd_simulate(args: &Args) -> Result<(), ArgError> {
         c.messages, c.words, c.flops
     );
     println!("  final objective {:.6e}", res.final_value());
+    if chaos.is_some() {
+        println!(
+            "  chaos: {} stalls ({:.6} s) | jitter {:.6} s | skew {:.6} s | {} failures (recovery {:.6} s)",
+            telemetry.counter("chaos.stalls"),
+            telemetry.gauge("chaos.stall_time").unwrap_or(0.0),
+            telemetry.gauge("chaos.jitter_time").unwrap_or(0.0),
+            telemetry.gauge("chaos.skew_time").unwrap_or(0.0),
+            telemetry.counter("chaos.failures"),
+            telemetry.gauge("chaos.recovery_time").unwrap_or(0.0),
+        );
+    }
     if let Some(path) = args.get("metrics") {
         telemetry.set_meta("dataset", args.require("data")?);
         telemetry.gauge_set("objective.final", res.final_value());

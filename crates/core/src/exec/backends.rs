@@ -104,6 +104,12 @@ impl<'a, M: MajorSlices + Sync> SimBackend<'a, M> {
     pub(crate) fn into_cluster(self) -> VirtualCluster {
         self.cluster
     }
+
+    /// Enable deterministic chaos injection on the underlying cluster
+    /// (see `mpisim::chaos`). Call before the solve starts.
+    pub(crate) fn enable_chaos(&mut self, spec: &mpisim::ChaosSpec) {
+        self.cluster.enable_chaos(spec);
+    }
 }
 
 impl<'r, 'a, M: MajorSlices + Sync> ExecBackend<'r> for SimBackend<'a, M> {
@@ -211,6 +217,10 @@ impl<'r, 'a, M: MajorSlices + Sync> ExecBackend<'r> for SimBackend<'a, M> {
     fn reduce_scalar(&mut self, v: f64) -> f64 {
         self.cluster.iallreduce(1);
         v
+    }
+
+    fn checkpoint(&mut self) {
+        self.cluster.checkpoint();
     }
 
     fn gap_reduce(&mut self, _buf: &mut Vec<f64>, m: usize) {
@@ -365,6 +375,10 @@ impl<'r, 'c, 'a, M: MajorSlices + Sync> ExecBackend<'r> for DistBackend<'c, 'a, 
 
     fn reduce_scalar(&mut self, v: f64) -> f64 {
         self.comm.iallreduce_scalar(v)
+    }
+
+    fn checkpoint(&mut self) {
+        self.comm.checkpoint();
     }
 
     fn gap_reduce(&mut self, buf: &mut Vec<f64>, m: usize) {

@@ -276,6 +276,10 @@ pub(crate) fn lasso_family<'r, B: ExecBackend<'r>, R: Regularizer>(
         if accel {
             theta = ws.thetas[s_block];
         }
+        // Block boundary: the iterate is consistent on every rank, so this
+        // is where a failed rank can recover from (no-op without fault
+        // injection).
+        backend.checkpoint();
     }
 
     if !B::TRACE_INNER {

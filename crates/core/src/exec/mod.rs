@@ -119,6 +119,14 @@ pub(crate) trait ExecBackend<'r> {
     /// and final objective).
     fn reduce_scalar(&mut self, v: f64) -> f64;
 
+    /// Block-boundary checkpoint hook, called by the families at the end
+    /// of every outer block. A no-op everywhere except engines with fault
+    /// injection enabled (`mpisim` chaos): there it marks the recovery
+    /// point a failed rank restarts from, charging the redo time — never
+    /// touching values, so a run through an injected failure stays
+    /// bitwise identical to the clean run.
+    fn checkpoint(&mut self) {}
+
     /// Sum the SVM duality-gap buffer (`m` margins + ‖x‖²) across ranks,
     /// charging the gap SpMV and the replicated loss pass around it.
     fn gap_reduce(&mut self, _buf: &mut Vec<f64>, _m: usize) {}

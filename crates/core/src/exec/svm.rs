@@ -193,6 +193,9 @@ pub(crate) fn svm_family<'r, B: ExecBackend<'r>>(
                 }
             }
         }
+        // Block boundary: consistent state on every rank — the recovery
+        // point for injected fail-stop faults (no-op otherwise).
+        backend.checkpoint();
     }
 
     if !B::TRACE_INNER && (trace.len() < 2 || trace.points().last().expect("nonempty").iter < h) {

@@ -27,14 +27,25 @@ pub trait Regularizer: Clone + Send + Sync {
 
 /// The soft-thresholding operator `S_α` of eq. (2).
 ///
+/// Fully-shrunk outputs are exactly `+0.0`: the naive
+/// `signum(β)·max(|β|−α, 0)` yields `-0.0` for negative (or `-0.0`) inputs,
+/// which is `==` 0 but has a different bit pattern and would break the
+/// byte-equal cross-engine report invariants.
+///
 /// ```
 /// use saco::prox::soft_threshold;
 /// assert_eq!(soft_threshold(3.0, 1.0), 2.0);
 /// assert_eq!(soft_threshold(-0.5, 1.0), 0.0);
+/// assert_eq!(soft_threshold(-0.5, 1.0).to_bits(), 0.0f64.to_bits());
 /// ```
 #[inline]
 pub fn soft_threshold(beta: f64, alpha: f64) -> f64 {
-    beta.signum() * (beta.abs() - alpha).max(0.0)
+    let t = (beta.abs() - alpha).max(0.0);
+    if t == 0.0 {
+        0.0
+    } else {
+        beta.signum() * t
+    }
 }
 
 /// Lasso: `g(x) = λ‖x‖₁`; prox is elementwise soft-thresholding.
@@ -158,10 +169,34 @@ impl GroupLasso {
         Self::new(lambda, group, num_groups)
     }
 
-    /// For uniform contiguous groups of size `k`, any µ that is a multiple
-    /// of `k` with group-aligned sampling keeps the block prox exact.
-    pub fn aligned_blocks(&self, group_size: usize) -> usize {
-        group_size
+    /// The block size µ that keeps the sampled block prox exact: for
+    /// uniform contiguous groups of size `k` (as built by
+    /// [`GroupLasso::uniform`]), any µ that is a multiple of the returned
+    /// `k` with group-aligned sampling contains only whole groups.
+    ///
+    /// Derived from `self.group`, not taken on faith from the caller.
+    ///
+    /// # Panics
+    /// Panics if the group map is empty or is not uniform-contiguous
+    /// (i.e. not `group[i] == i / k` for some fixed `k`, modulo a short
+    /// final group).
+    pub fn aligned_blocks(&self) -> usize {
+        assert!(
+            !self.group.is_empty(),
+            "aligned_blocks needs a nonempty group map"
+        );
+        // Size of the first group = candidate k; every coordinate must then
+        // satisfy group[i] == i / k for the contiguous-uniform layout.
+        let k = self
+            .group
+            .iter()
+            .position(|&g| g != self.group[0])
+            .unwrap_or(self.group.len());
+        assert!(
+            self.group.iter().enumerate().all(|(i, &g)| g == i / k),
+            "aligned_blocks requires uniform contiguous groups"
+        );
+        k
     }
 }
 
@@ -176,18 +211,49 @@ impl Regularizer for GroupLasso {
 
     fn prox_block(&self, v: &mut [f64], coords: &[usize], eta: f64) {
         assert_eq!(v.len(), coords.len(), "values/coords mismatch");
-        // Norm of each group's sampled members.
-        let mut norms_sq = std::collections::HashMap::<usize, f64>::new();
-        for (&c, &x) in coords.iter().zip(v.iter()) {
-            *norms_sq.entry(self.group[c]).or_insert(0.0) += x * x;
-        }
-        let thr = eta * self.lambda;
-        for (k, &c) in coords.iter().enumerate() {
-            let norm = norms_sq[&self.group[c]].sqrt();
-            let scale = if norm > thr { 1.0 - thr / norm } else { 0.0 };
-            v[k] *= scale;
-        }
+        // Norm of each group's sampled members, accumulated into a reusable
+        // thread-local scratch instead of a per-call HashMap: this sits in
+        // the innermost solver loop, and the zero-alloc `KernelWorkspace`
+        // contract forbids steady-state allocation there. Sampled blocks
+        // touch only a handful of groups, so a linear scan over the scratch
+        // beats hashing. Per-group sums accumulate in `coords` order exactly
+        // as the keyed HashMap did, so the arithmetic is bitwise identical.
+        GROUP_NORM_SCRATCH.with(|cell| {
+            let mut scratch = cell.borrow_mut();
+            scratch.clear();
+            for (&c, &x) in coords.iter().zip(v.iter()) {
+                let g = self.group[c];
+                match scratch.iter_mut().find(|(gid, _)| *gid == g) {
+                    Some((_, sum)) => *sum += x * x,
+                    None => scratch.push((g, x * x)),
+                }
+            }
+            let thr = eta * self.lambda;
+            for (k, &c) in coords.iter().enumerate() {
+                let g = self.group[c];
+                let norm_sq = scratch
+                    .iter()
+                    .find(|(gid, _)| *gid == g)
+                    .expect("group seen in accumulation pass")
+                    .1;
+                let norm = norm_sq.sqrt();
+                if norm > thr {
+                    v[k] *= 1.0 - thr / norm;
+                } else {
+                    // `v[k] *= 0.0` would produce `-0.0` for negative
+                    // entries; killed groups must be exactly `+0.0`.
+                    v[k] = 0.0;
+                }
+            }
+        });
     }
+}
+
+std::thread_local! {
+    /// Reusable `(group id, Σx²)` accumulator for [`GroupLasso::prox_block`]
+    /// — grown once per thread, then allocation-free.
+    static GROUP_NORM_SCRATCH: std::cell::RefCell<Vec<(usize, f64)>> =
+        const { std::cell::RefCell::new(Vec::new()) };
 }
 
 #[cfg(test)]
@@ -201,6 +267,52 @@ mod tests {
         assert_eq!(soft_threshold(0.5, 1.0), 0.0);
         assert_eq!(soft_threshold(-0.5, 1.0), 0.0);
         assert_eq!(soft_threshold(2.0, 0.0), 2.0);
+    }
+
+    /// Bit pattern of positive zero — shrunk-to-zero prox outputs must be
+    /// exactly this, never `-0.0` (same value under `==`, different bytes).
+    const P0: u64 = 0.0f64.to_bits();
+
+    #[test]
+    fn soft_threshold_never_emits_negative_zero() {
+        for beta in [-0.5, -0.0, 0.0, 0.5, -1.0, 1.0] {
+            let out = soft_threshold(beta, 1.0);
+            assert_eq!(
+                out.to_bits(),
+                P0,
+                "soft_threshold({beta}, 1.0) must be +0.0"
+            );
+        }
+        // Exact-boundary shrink: |β| == α.
+        assert_eq!(soft_threshold(-2.0, 2.0).to_bits(), P0);
+        // Non-shrunk values keep their sign.
+        assert_eq!(soft_threshold(-3.0, 1.0), -2.0);
+    }
+
+    #[test]
+    fn prox_block_shrunk_outputs_are_positive_zero_for_all_regularizers() {
+        let coords = [0usize, 1, 2, 3];
+        let full_shrink = [-0.5, -0.0, 0.0, 0.4];
+
+        let mut v = full_shrink;
+        Lasso::new(1.0).prox_block(&mut v, &coords, 1.0);
+        for (k, out) in v.iter().enumerate() {
+            assert_eq!(out.to_bits(), P0, "lasso coord {k}");
+        }
+
+        let mut v = full_shrink;
+        ElasticNet::new(0.25).prox_block(&mut v, &coords, 4.0);
+        for (k, out) in v.iter().enumerate() {
+            assert_eq!(out.to_bits(), P0, "elastic-net coord {k}");
+        }
+
+        // Whole-group kill: both members (one negative) must be +0.0.
+        let mut v = [-0.1, 0.1, 3.0, 4.0];
+        GroupLasso::uniform(1.0, 4, 2).prox_block(&mut v, &coords, 1.0);
+        assert_eq!(v[0].to_bits(), P0, "killed negative group member");
+        assert_eq!(v[1].to_bits(), P0, "killed positive group member");
+        assert!((v[2] - 2.4).abs() < 1e-12);
+        assert!((v[3] - 3.2).abs() < 1e-12);
     }
 
     /// The prox must satisfy its variational characterization:
@@ -291,6 +403,27 @@ mod tests {
         assert!((en - (0.5 * 25.0 + 0.5 * 7.0)).abs() < 1e-12);
         let gl = GroupLasso::uniform(1.0, 3, 3).value(&x); // single group
         assert!((gl - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aligned_blocks_derives_group_size_from_map() {
+        assert_eq!(GroupLasso::uniform(0.5, 80, 4).aligned_blocks(), 4);
+        assert_eq!(GroupLasso::uniform(0.5, 10, 4).aligned_blocks(), 4);
+        assert_eq!(GroupLasso::uniform(0.5, 6, 1).aligned_blocks(), 1);
+        // One short group: the derived size is the real group extent.
+        assert_eq!(GroupLasso::uniform(0.5, 3, 8).aligned_blocks(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "uniform contiguous groups")]
+    fn aligned_blocks_rejects_non_uniform_groups() {
+        GroupLasso::new(0.5, vec![0, 0, 1, 1, 1], 2).aligned_blocks();
+    }
+
+    #[test]
+    #[should_panic(expected = "uniform contiguous groups")]
+    fn aligned_blocks_rejects_non_contiguous_groups() {
+        GroupLasso::new(0.5, vec![0, 1, 0, 1], 2).aligned_blocks();
     }
 
     #[test]

@@ -94,8 +94,12 @@ mod tests {
         // µ = group size and aligned sampling is approximated by whole-µ
         // blocks; the run must still descend.
         let reg = problem(7);
-        let c = cfg(4, 8, 400, 8);
         let gl = GroupLasso::uniform(0.05, 80, 4);
+        // µ comes from the regularizer itself: aligned_blocks derives the
+        // uniform group size from the group map.
+        let mu = gl.aligned_blocks();
+        assert_eq!(mu, 4);
+        let c = cfg(mu, 8, 400, 8);
         let res = sa_bcd(&reg.dataset, &gl, &c);
         assert!(res.final_value() < res.trace.initial_value());
     }

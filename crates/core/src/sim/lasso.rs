@@ -9,7 +9,7 @@ use crate::exec::{lasso_family, SimBackend};
 use crate::prox::Regularizer;
 use crate::trace::SolveResult;
 use mpisim::telemetry::Registry;
-use mpisim::{CostModel, CostReport, VirtualCluster};
+use mpisim::{ChaosSpec, CostModel, CostReport, VirtualCluster};
 use sparsela::io::Dataset;
 
 fn sim_lasso_core<R: Regularizer>(
@@ -21,11 +21,82 @@ fn sim_lasso_core<R: Regularizer>(
     balanced: bool,
     accel: bool,
 ) -> (SolveResult, VirtualCluster) {
+    sim_lasso_core_chaos(ds, reg, cfg, p, model, balanced, accel, None)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn sim_lasso_core_chaos<R: Regularizer>(
+    ds: &Dataset,
+    reg: &R,
+    cfg: &LassoConfig,
+    p: usize,
+    model: CostModel,
+    balanced: bool,
+    accel: bool,
+    chaos: Option<&ChaosSpec>,
+) -> (SolveResult, VirtualCluster) {
     let csc = ds.a.to_csc();
     let part = datagen::row_partition(&ds.a, p, balanced);
     let mut backend = SimBackend::new(p, model, &csc, part);
+    if let Some(spec) = chaos {
+        backend.enable_chaos(spec);
+    }
     let res = lasso_family(&csc, &ds.b, reg, cfg, accel, &mut backend);
     (res, backend.into_cluster())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn sim_lasso_chaos<R: Regularizer>(
+    ds: &Dataset,
+    reg: &R,
+    cfg: &LassoConfig,
+    p: usize,
+    model: CostModel,
+    balanced: bool,
+    accel: bool,
+    chaos: &ChaosSpec,
+) -> (SolveResult, CostReport, Registry) {
+    let (res, cluster) = sim_lasso_core_chaos(ds, reg, cfg, p, model, balanced, accel, Some(chaos));
+    let report = cluster.report();
+    let mut telemetry = cluster.telemetry();
+    telemetry.set_meta("solver", if accel { "sim_sa_accbcd" } else { "sim_sa_bcd" });
+    telemetry.set_meta("s", cfg.s);
+    telemetry.set_meta("mu", cfg.mu);
+    telemetry.set_meta("chaos.seed", chaos.seed);
+    telemetry.counter_add("solver.iterations", res.iters as u64);
+    telemetry.counter_add("solver.trace_points", res.trace.len() as u64);
+    (res, report, telemetry)
+}
+
+/// [`sim_sa_accbcd`] under a deterministic chaos plan: per-rank compute
+/// skew, collective jitter, transient stalls, and optional fail-stop
+/// faults perturb *time only* — the returned iterate is bitwise identical
+/// to the chaos-free run. The [`Registry`] carries the `chaos.*` counters
+/// and gauges alongside the usual per-rank phase tables.
+pub fn sim_sa_accbcd_chaos<R: Regularizer>(
+    ds: &Dataset,
+    reg: &R,
+    cfg: &LassoConfig,
+    p: usize,
+    model: CostModel,
+    balanced: bool,
+    chaos: &ChaosSpec,
+) -> (SolveResult, CostReport, Registry) {
+    sim_lasso_chaos(ds, reg, cfg, p, model, balanced, true, chaos)
+}
+
+/// [`sim_sa_bcd`] under a deterministic chaos plan (see
+/// [`sim_sa_accbcd_chaos`]).
+pub fn sim_sa_bcd_chaos<R: Regularizer>(
+    ds: &Dataset,
+    reg: &R,
+    cfg: &LassoConfig,
+    p: usize,
+    model: CostModel,
+    balanced: bool,
+    chaos: &ChaosSpec,
+) -> (SolveResult, CostReport, Registry) {
+    sim_lasso_chaos(ds, reg, cfg, p, model, balanced, false, chaos)
 }
 
 /// Simulated distributed SA-accBCD on `p` virtual ranks (row partition).

@@ -16,7 +16,10 @@
 mod lasso;
 mod svm;
 
-pub use lasso::{sim_sa_accbcd, sim_sa_accbcd_instrumented, sim_sa_bcd, sim_sa_bcd_instrumented};
+pub use lasso::{
+    sim_sa_accbcd, sim_sa_accbcd_chaos, sim_sa_accbcd_instrumented, sim_sa_bcd, sim_sa_bcd_chaos,
+    sim_sa_bcd_instrumented,
+};
 pub use svm::{sim_sa_svm, sim_sa_svm_instrumented};
 
 use datagen::{bucket_counts, Partition};

@@ -140,21 +140,38 @@ pub fn imbalance_factor(weights: &[u64], part: &Partition) -> f64 {
     max_w as f64 * p as f64 / total as f64
 }
 
-/// Accumulate, per part, how many of the `sorted_indices` fall in each
+/// Accumulate, per part, how many *distinct* `sorted_indices` fall in each
 /// range: `out[r] += |{ i ∈ sorted_indices : i ∈ range(r) }|`.
 ///
 /// This is the hot helper the virtual-cluster solvers use to attribute a
 /// sampled column's nonzeros to ranks; it walks the index list once.
+///
+/// `sorted_indices` must be non-decreasing — checked in release builds too
+/// (a silent miscount here would skew every per-rank flop charge).
+/// Duplicate indices are counted once, matching the set semantics above;
+/// CSR/CSC index slices are strictly increasing, so the usual callers never
+/// hit the dedup path.
+///
+/// # Panics
+/// Panics if `out.len() != part.parts()` or the indices are not sorted.
 pub fn bucket_counts(sorted_indices: &[usize], part: &Partition, out: &mut [u64]) {
     assert_eq!(
         out.len(),
         part.parts(),
         "output length must equal part count"
     );
-    debug_assert!(sorted_indices.windows(2).all(|w| w[0] < w[1]));
     let bounds = part.bounds();
     let mut r = 0usize;
+    let mut prev = usize::MAX; // sentinel: no index seen yet
     for &i in sorted_indices {
+        assert!(
+            prev == usize::MAX || prev <= i,
+            "bucket_counts requires sorted indices ({prev} before {i})"
+        );
+        if prev == i {
+            continue; // duplicate: already attributed
+        }
+        prev = i;
         while i >= bounds[r + 1] {
             r += 1;
         }
@@ -306,6 +323,29 @@ mod tests {
         // accumulates across calls
         bucket_counts(&[1], &part, &mut out);
         assert_eq!(out, vec![3, 2, 1]);
+    }
+
+    /// Runs in release builds too: duplicates are counted once (set
+    /// semantics) instead of silently inflating the histogram.
+    #[test]
+    fn bucket_counts_dedups_duplicates_in_release() {
+        let part = Partition::from_bounds(vec![0, 3, 7, 10]);
+        let mut out = vec![0u64; 3];
+        bucket_counts(&[0, 0, 0, 2, 3, 3, 9, 9], &part, &mut out);
+        assert_eq!(out, vec![2, 1, 1]);
+        // and the dedup must not disturb accumulation across calls
+        bucket_counts(&[2, 2], &part, &mut out);
+        assert_eq!(out, vec![3, 1, 1]);
+    }
+
+    /// Runs in release builds too: the sortedness contract is a real
+    /// assert now, not a debug_assert.
+    #[test]
+    #[should_panic(expected = "requires sorted indices")]
+    fn bucket_counts_rejects_unsorted_in_release() {
+        let part = block_partition(10, 2);
+        let mut out = vec![0u64; 2];
+        bucket_counts(&[5, 1], &part, &mut out);
     }
 
     #[test]

@@ -33,11 +33,13 @@
 #![allow(clippy::needless_range_loop)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod cost;
 pub(crate) mod telemetry_support;
 pub mod thread_machine;
 pub mod virtual_cluster;
 
+pub use chaos::{ChaosPlan, ChaosSpec};
 pub use cost::{
     class_index, collective_rounds, fit_alpha_beta, AllreduceAlgo, CollectiveCharge,
     CollectiveKind, CostCounters, CostModel, CostReport, Hierarchy, KernelClass, CLASS_NAMES,

@@ -35,6 +35,35 @@ pub(crate) fn kind_slot(kind: CollectiveKind) -> usize {
     }
 }
 
+/// Per-rank accounting of injected chaos (see [`crate::chaos`]): how much
+/// time each perturbation class added, plus checkpoint/failure counts.
+/// All zeros (and `enabled = false`) on a clean run, so the `chaos.*`
+/// registry entries appear only when chaos was actually switched on.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub(crate) struct ChaosStats {
+    /// Chaos was enabled on this rank (even if all intensities were zero).
+    pub enabled: bool,
+    /// Transient stalls injected at collective entries.
+    pub stalls: u64,
+    /// Seconds lost to injected stalls.
+    pub stall_time: f64,
+    /// Seconds of injected collective latency jitter (program-order:
+    /// identical on every rank).
+    pub jitter_time: f64,
+    /// Extra compute seconds from this rank's rate skew.
+    pub skew_time: f64,
+    /// Fail-stop faults injected on this rank.
+    pub failures: u64,
+    /// Seconds spent redoing the lost block plus restart overhead.
+    pub recovery_time: f64,
+    /// Block-boundary checkpoints taken (program-order).
+    pub checkpoints: u64,
+    /// Idle seconds attributable to chaos: this rank's idle under chaos
+    /// minus its idle on the clean counterfactual timeline (virtual
+    /// cluster only; the thread engine reports 0).
+    pub induced_idle_time: f64,
+}
+
 /// What one rank accumulates for telemetry while it runs: a phase table
 /// plus per-kind collective entry counts. Plain arrays, so recording adds
 /// no allocation to the engines' hot charge paths.
@@ -48,6 +77,8 @@ pub(crate) struct RankTelemetry {
     /// Seconds of in-flight `iallreduce` time this rank hid behind local
     /// computation between `start` and `wait`.
     pub hidden_time: f64,
+    /// Injected-chaos accounting (all zeros on a clean run).
+    pub chaos: ChaosStats,
 }
 
 /// Assemble the run-level registry from per-rank telemetry.
@@ -87,6 +118,37 @@ pub(crate) fn registry_from_ranks(engine: &str, ranks: &[RankTelemetry]) -> Regi
             let critical = reg.critical_rank().unwrap_or(0);
             let hidden = ranks.get(critical).map_or(0.0, |rt| rt.hidden_time);
             reg.gauge_set("comm.overlap_hidden_time", hidden);
+        }
+        // Chaos accounting (see `crate::chaos`): emitted only when chaos
+        // was enabled, so clean runs keep their exact report shape. The
+        // full set is emitted even at zero values so a chaos report's key
+        // set is independent of which perturbations happened to fire.
+        if ranks.iter().any(|rt| rt.chaos.enabled) {
+            reg.counter_add("chaos.stalls", ranks.iter().map(|rt| rt.chaos.stalls).sum());
+            reg.counter_add(
+                "chaos.failures",
+                ranks.iter().map(|rt| rt.chaos.failures).sum(),
+            );
+            // Checkpoints are program-order: every rank takes the same ones.
+            reg.counter_add("chaos.checkpoints", first.chaos.checkpoints);
+            reg.gauge_set(
+                "chaos.stall_time",
+                ranks.iter().map(|rt| rt.chaos.stall_time).sum(),
+            );
+            reg.gauge_set(
+                "chaos.skew_time",
+                ranks.iter().map(|rt| rt.chaos.skew_time).sum(),
+            );
+            // Jitter is identical on every rank (program-order draws).
+            reg.gauge_set("chaos.jitter_time", first.chaos.jitter_time);
+            reg.gauge_set(
+                "chaos.recovery_time",
+                ranks.iter().map(|rt| rt.chaos.recovery_time).sum(),
+            );
+            reg.gauge_set(
+                "chaos.induced_idle_time",
+                ranks.iter().map(|rt| rt.chaos.induced_idle_time).sum(),
+            );
         }
     }
     reg

@@ -10,6 +10,7 @@
 //! virtual engine uses, so small thread-machine runs validate the
 //! large-scale virtual runs.
 
+use crate::chaos::{ChaosPlan, ChaosSpec, RESTART_OVERHEAD_SECS};
 use crate::cost::{CollectiveKind, CostCounters, CostModel, KernelClass};
 use crate::telemetry_support::{kind_slot, registry_from_ranks, RankTelemetry};
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -31,6 +32,23 @@ pub struct IallreduceRequest {
     entry: f64,
     max_entry: f64,
     words: u64,
+    /// Injected latency jitter drawn at start (0 without chaos), settled
+    /// into the charge at wait.
+    jitter: f64,
+}
+
+/// This rank's live chaos-injection state (see [`crate::chaos`]): its
+/// fixed skew multiplier plus the per-rank counters that key the
+/// stateless schedule draws. Every rank counts its own collectives in
+/// program order, so identical SPMD code yields identical indices — the
+/// same schedule the virtual cluster replays.
+struct CommChaos {
+    plan: ChaosPlan,
+    skew: f64,
+    collective_idx: u64,
+    ckpt_idx: usize,
+    last_ckpt_clock: f64,
+    failed: bool,
 }
 
 /// One rank's handle to the machine: rank id, channels to every peer, a
@@ -45,6 +63,7 @@ pub struct Comm {
     counters: CostCounters,
     comp_by_class: [f64; 4],
     telemetry: RankTelemetry,
+    chaos: Option<CommChaos>,
 }
 
 impl Comm {
@@ -66,6 +85,80 @@ impl Comm {
     /// Current virtual time on this rank.
     pub fn clock(&self) -> f64 {
         self.clock
+    }
+
+    /// Switch on deterministic chaos injection for this rank (see
+    /// [`crate::chaos`]). Call at the top of the SPMD closure, before any
+    /// charging: every rank must enable the same spec, and the draws are
+    /// keyed by `(seed, rank, program-order index)`, so the injected
+    /// schedule is identical to the virtual cluster's for the same spec.
+    /// Chaos perturbs charged *time* only; payload data is untouched.
+    pub fn enable_chaos(&mut self, spec: &ChaosSpec) {
+        let plan = ChaosPlan::new(spec);
+        self.chaos = Some(CommChaos {
+            skew: plan.skew_mult(self.rank),
+            plan,
+            collective_idx: 0,
+            ckpt_idx: 0,
+            last_ckpt_clock: self.clock,
+            failed: false,
+        });
+        self.telemetry.chaos.enabled = true;
+    }
+
+    /// Whether chaos injection is enabled on this rank.
+    pub fn chaos_enabled(&self) -> bool {
+        self.chaos.is_some()
+    }
+
+    /// Block-boundary checkpoint: a free no-op on clean runs. With chaos
+    /// enabled it marks a recovery point; if this rank's fail-stop fault
+    /// fires at this block, the rank pays the redo time back to the
+    /// previous checkpoint plus
+    /// [`RESTART_OVERHEAD_SECS`](crate::chaos::RESTART_OVERHEAD_SECS).
+    /// Recovery recomputes deterministic work, so numerics are untouched.
+    pub fn checkpoint(&mut self) {
+        let Some(ch) = &mut self.chaos else {
+            return;
+        };
+        let step = ch.ckpt_idx;
+        ch.ckpt_idx += 1;
+        self.telemetry.chaos.checkpoints += 1;
+        if !ch.failed && ch.plan.fails_at(self.rank, step) {
+            ch.failed = true;
+            let redo = self.clock - ch.last_ckpt_clock;
+            let recovery = redo + RESTART_OVERHEAD_SECS;
+            self.clock += recovery;
+            self.counters.idle_time += recovery;
+            self.telemetry.phases.record(Phase::Idle, recovery);
+            self.telemetry.chaos.failures += 1;
+            self.telemetry.chaos.recovery_time += recovery;
+        }
+        ch.last_ckpt_clock = self.clock;
+    }
+
+    /// Per-collective chaos injection for the next collective in this
+    /// rank's program order: a transient stall advances the clock (as
+    /// idle) *before* the entry snapshot — so it propagates through the
+    /// tree's entry-clock piggyback exactly like any late arrival — and
+    /// the returned jitter joins the collective's charged cost (identical
+    /// on every rank: the draw is program-order keyed). 0 when chaos is
+    /// off.
+    fn chaos_collective_entry(&mut self) -> f64 {
+        let Some(ch) = &mut self.chaos else {
+            return 0.0;
+        };
+        let idx = ch.collective_idx;
+        ch.collective_idx += 1;
+        let stall = ch.plan.stall(self.rank, idx);
+        if stall > 0.0 {
+            self.clock += stall;
+            self.counters.idle_time += stall;
+            self.telemetry.phases.record(Phase::Idle, stall);
+            self.telemetry.chaos.stalls += 1;
+            self.telemetry.chaos.stall_time += stall;
+        }
+        ch.plan.jitter(idx)
     }
 
     /// Cost counters accumulated so far on this rank.
@@ -93,6 +186,14 @@ impl Comm {
         phase: Phase,
     ) {
         let t = self.model.compute_time(class, flops, working_set_words);
+        let t = match &self.chaos {
+            Some(ch) => {
+                let tr = t * ch.skew;
+                self.telemetry.chaos.skew_time += tr - t;
+                tr
+            }
+            None => t,
+        };
         self.clock += t;
         self.counters.comp_time += t;
         self.comp_by_class[crate::cost::class_index(class)] += t;
@@ -228,16 +329,21 @@ impl Comm {
 
     /// Account a finished collective: everyone leaves at
     /// `max_entry + cost`, having waited `max_entry − entry` and paid
-    /// `cost` of communication.
+    /// `cost` of communication. `jitter` is the injected extra latency
+    /// from [`chaos_collective_entry`](Self::chaos_collective_entry)
+    /// (0 on clean runs); it is identical on every rank, so all ranks
+    /// still leave at the same clock.
     fn account_collective(
         &mut self,
         kind: CollectiveKind,
         words: u64,
         entry_clock: f64,
         max_entry: f64,
+        jitter: f64,
     ) {
         let charge = self.model.collective_charge(kind, self.size, words);
-        let cost = charge.time;
+        let cost = charge.time + jitter;
+        self.telemetry.chaos.jitter_time += jitter;
         self.counters.messages += charge.rounds;
         self.counters.words += charge.words_moved;
         self.counters.idle_time += max_entry - entry_clock;
@@ -258,6 +364,7 @@ impl Comm {
         if self.size == 1 {
             return;
         }
+        let jitter = self.chaos_collective_entry();
         let entry = self.clock;
         let max_up = self.tree_reduce_sum(buf, entry);
         // Root now has the sum and the max entry clock; broadcast both.
@@ -279,6 +386,7 @@ impl Comm {
             buf.len() as u64,
             entry,
             max_entry,
+            jitter,
         );
     }
 
@@ -301,14 +409,20 @@ impl Comm {
     ///
     /// [`iallreduce_wait`]: Self::iallreduce_wait
     pub fn iallreduce_sum_start(&mut self, buf: &mut Vec<f64>) -> IallreduceRequest {
-        let entry = self.clock;
         if self.size == 1 {
+            let entry = self.clock;
             return IallreduceRequest {
                 entry,
                 max_entry: entry,
                 words: 0,
+                jitter: 0.0,
             };
         }
+        // Stall + jitter draw at start — entry is when ranks join — so a
+        // stalled rank's late entry piggybacks through the tree exactly
+        // like any straggler's.
+        let jitter = self.chaos_collective_entry();
+        let entry = self.clock;
         let words = buf.len() as u64;
         // Physically exchange now (the payload is fixed at start); the
         // virtual-time charge settles at wait. Same tree, same order, same
@@ -328,6 +442,7 @@ impl Comm {
             entry,
             max_entry,
             words,
+            jitter,
         }
     }
 
@@ -342,10 +457,12 @@ impl Comm {
             return;
         }
         let charge = self.model.fused_allreduce_charge(self.size, req.words);
-        let completion = req.max_entry + charge.time;
+        let cost = charge.time + req.jitter;
+        self.telemetry.chaos.jitter_time += req.jitter;
+        let completion = req.max_entry + cost;
         let arrival = self.clock;
         let visible = (completion - arrival).max(0.0);
-        let comm = charge.time.min(visible);
+        let comm = cost.min(visible);
         let idle = visible - comm;
         let hidden = (arrival.min(completion) - req.entry).max(0.0);
         self.counters.messages += charge.rounds;
@@ -395,6 +512,7 @@ impl Comm {
         if self.size == 1 {
             return v;
         }
+        let jitter = self.chaos_collective_entry();
         // Encode max-reduction as a sum-reduction on a 1-hot basis is not
         // possible; do a dedicated tree pass: reduce max to root, bcast.
         let entry = self.clock;
@@ -428,7 +546,7 @@ impl Comm {
         }
         let _ = self.tree_bcast(&mut payload);
         let max_entry = payload[1];
-        self.account_collective(CollectiveKind::Allreduce, 1, entry, max_entry);
+        self.account_collective(CollectiveKind::Allreduce, 1, entry, max_entry, jitter);
         payload[0]
     }
 
@@ -437,6 +555,7 @@ impl Comm {
         if self.size == 1 {
             return;
         }
+        let jitter = self.chaos_collective_entry();
         let entry = self.clock;
         let max_up = self.tree_reduce_sum(&mut [], entry);
         let mut payload = if self.rank == 0 {
@@ -449,7 +568,7 @@ impl Comm {
         }
         let _ = self.tree_bcast(&mut payload);
         let max_entry = payload[0];
-        self.account_collective(CollectiveKind::Barrier, 0, entry, max_entry);
+        self.account_collective(CollectiveKind::Barrier, 0, entry, max_entry, jitter);
     }
 
     /// Broadcast `buf` from `root` to all ranks (rank-rotated tree).
@@ -462,6 +581,7 @@ impl Comm {
             root, 0,
             "this machine implements root-0 broadcast; rotate ranks if needed"
         );
+        let jitter = self.chaos_collective_entry();
         let entry = self.clock;
         let mut payload = if self.rank == 0 {
             let mut p = buf.clone();
@@ -479,7 +599,13 @@ impl Comm {
         // that entered later leaves at max(entry, ...); account idle
         // relative to the root's clock.
         let max_entry = root_clock.max(entry);
-        self.account_collective(CollectiveKind::Bcast, buf.len() as u64, entry, max_entry);
+        self.account_collective(
+            CollectiveKind::Bcast,
+            buf.len() as u64,
+            entry,
+            max_entry,
+            jitter,
+        );
     }
 
     /// Gather every rank's (equal-length) contribution onto all ranks,
@@ -587,6 +713,7 @@ impl ThreadMachine {
                 counters: CostCounters::default(),
                 comp_by_class: [0.0; 4],
                 telemetry: RankTelemetry::default(),
+                chaos: None,
             })
             .collect();
 

@@ -10,6 +10,7 @@
 //! [`CostModel`] formulas. The thread engine and this engine agree by
 //! construction — a property checked by the cross-engine tests.
 
+use crate::chaos::{ChaosPlan, ChaosSpec, RESTART_OVERHEAD_SECS};
 use crate::cost::{
     CollectiveCharge, CollectiveKind, CostCounters, CostModel, CostReport, KernelClass,
 };
@@ -23,7 +24,38 @@ use saco_telemetry::{Phase, Registry};
 struct PendingFused {
     completion: f64,
     charge: CollectiveCharge,
+    /// On-path cost: `charge.time` plus any injected jitter.
+    cost: f64,
+    /// Jitter drawn at start (0 without chaos), recorded at wait.
+    jitter: f64,
+    /// Completion on the chaos-free counterfactual timeline.
+    clean_completion: f64,
     words: u64,
+}
+
+/// Live injection state for an enabled chaos plan (see [`crate::chaos`]).
+/// Alongside the schedule itself, it maintains a *clean counterfactual*
+/// timeline — per-rank clocks and idle as they would evolve with no
+/// skew/jitter/stalls/faults — so the cluster can report exactly how much
+/// idle time the injected perturbations caused (`chaos.induced_idle_time`).
+#[derive(Clone, Debug)]
+struct ChaosState {
+    plan: ChaosPlan,
+    /// Per-rank compute-rate multipliers, fixed at enable time.
+    skew: Vec<f64>,
+    /// Program-order collective counter (identical on every rank).
+    collective_idx: u64,
+    /// Outer-block checkpoint counter.
+    ckpt_idx: usize,
+    /// Per-rank clock at the last checkpoint — a failed rank redoes the
+    /// work since this point.
+    last_ckpt_clocks: Vec<f64>,
+    /// Counterfactual clocks: same charges, no chaos.
+    clean_clocks: Vec<f64>,
+    /// Counterfactual idle accumulation.
+    clean_idle: Vec<f64>,
+    /// The fail-stop fault fired already (at most one per run).
+    failed: bool,
 }
 
 /// A simulated cluster of `p` ranks with individual virtual clocks.
@@ -44,6 +76,9 @@ pub struct VirtualCluster {
     /// Per-rank entry clocks of the pending fused allreduce — a reusable
     /// buffer so starting one allocates nothing after the first outer loop.
     pending_entry: Vec<f64>,
+    /// Injection state when chaos is enabled; `None` on clean runs, which
+    /// then take exactly the pre-chaos code paths.
+    chaos: Option<ChaosState>,
 }
 
 impl VirtualCluster {
@@ -67,7 +102,36 @@ impl VirtualCluster {
             telemetry: vec![RankTelemetry::default(); p],
             pending: None,
             pending_entry: Vec::new(),
+            chaos: None,
         }
+    }
+
+    /// Switch on deterministic chaos injection (see [`crate::chaos`]):
+    /// per-rank compute skew, per-collective jitter, transient stalls, and
+    /// an optional fail-stop fault recovered at the next
+    /// [`checkpoint`](Self::checkpoint). Chaos perturbs charged *time*
+    /// only — the caller's numerics are untouched. Call before charging
+    /// anything; enabling mid-run would split the counterfactual timeline.
+    pub fn enable_chaos(&mut self, spec: &ChaosSpec) {
+        let plan = ChaosPlan::new(spec);
+        self.chaos = Some(ChaosState {
+            skew: (0..self.p).map(|r| plan.skew_mult(r)).collect(),
+            plan,
+            collective_idx: 0,
+            ckpt_idx: 0,
+            last_ckpt_clocks: self.clocks.clone(),
+            clean_clocks: self.clocks.clone(),
+            clean_idle: self.idle.clone(),
+            failed: false,
+        });
+        for rt in &mut self.telemetry {
+            rt.chaos.enabled = true;
+        }
+    }
+
+    /// Whether chaos injection is enabled.
+    pub fn chaos_enabled(&self) -> bool {
+        self.chaos.is_some()
     }
 
     /// Number of ranks.
@@ -98,6 +162,21 @@ impl VirtualCluster {
     ) {
         let t = self.model.compute_time(class, flops, working_set_words);
         let ci = crate::cost::class_index(class);
+        if let Some(ch) = &mut self.chaos {
+            // Rank-rate skew: rank r runs its compute `skew[r]`× slower.
+            // The clean counterfactual clock advances by the unskewed t.
+            for r in 0..self.p {
+                let tr = t * ch.skew[r];
+                self.clocks[r] += tr;
+                self.comp[r] += tr;
+                self.comp_by_class[r][ci] += tr;
+                self.flops[r] += flops;
+                self.telemetry[r].phases.record_full(phase, tr, 0, flops);
+                self.telemetry[r].chaos.skew_time += tr - t;
+                ch.clean_clocks[r] += t;
+            }
+            return;
+        }
         for r in 0..self.p {
             self.clocks[r] += t;
             self.comp[r] += t;
@@ -150,6 +229,25 @@ impl VirtualCluster {
         phase: Phase,
     ) {
         let ci = crate::cost::class_index(class);
+        if let Some(ch) = &mut self.chaos {
+            // One code path under chaos (the counterfactual bookkeeping
+            // would complicate the scatter fan-out for no gain: the loop
+            // is O(p) trivial arithmetic). Skew multiplies each rank's
+            // compute time; the clean clocks advance unskewed.
+            for r in 0..self.p {
+                let (fl, ws) = f(r);
+                let t = self.model.compute_time(class, fl, ws);
+                let tr = t * ch.skew[r];
+                self.clocks[r] += tr;
+                self.comp[r] += tr;
+                self.comp_by_class[r][ci] += tr;
+                self.flops[r] += fl;
+                self.telemetry[r].phases.record_full(phase, tr, 0, fl);
+                self.telemetry[r].chaos.skew_time += tr - t;
+                ch.clean_clocks[r] += t;
+            }
+            return;
+        }
         let nthreads = saco_par::threads();
         if nthreads > 1 && self.p >= Self::PAR_RANK_MIN {
             let model = self.model;
@@ -215,19 +313,45 @@ impl VirtualCluster {
         self.charge_ranks(class, f, phase);
     }
 
+    /// Inject the per-collective perturbations for the next collective in
+    /// program order: transient stalls advance stalled ranks' clocks (as
+    /// idle — stalled time is neither compute nor transfer) before the
+    /// entry-clock max is taken, and the returned jitter is added to the
+    /// collective's cost (identical on every rank). Returns 0 when chaos
+    /// is off.
+    fn chaos_collective_entry(&mut self) -> f64 {
+        let Some(ch) = &mut self.chaos else {
+            return 0.0;
+        };
+        let idx = ch.collective_idx;
+        ch.collective_idx += 1;
+        for r in 0..self.p {
+            let stall = ch.plan.stall(r, idx);
+            if stall > 0.0 {
+                self.clocks[r] += stall;
+                self.idle[r] += stall;
+                self.telemetry[r].phases.record(Phase::Idle, stall);
+                self.telemetry[r].chaos.stalls += 1;
+                self.telemetry[r].chaos.stall_time += stall;
+            }
+        }
+        ch.plan.jitter(idx)
+    }
+
     /// Charge a collective of `words` payload: all ranks synchronize to the
     /// latest participant, wait out stragglers, then pay the α-β tree cost.
     pub fn collective(&mut self, kind: CollectiveKind, words: u64) {
         if self.p == 1 {
             return;
         }
+        let jitter = self.chaos_collective_entry();
         let max_entry = self
             .clocks
             .iter()
             .cloned()
             .fold(f64::NEG_INFINITY, f64::max);
         let charge = self.model.collective_charge(kind, self.p, words);
-        let cost = charge.time;
+        let cost = charge.time + jitter;
         self.messages += charge.rounds;
         self.words += charge.words_moved;
         for r in 0..self.p {
@@ -240,6 +364,19 @@ impl VirtualCluster {
                 .phases
                 .record_full(Phase::Comm, cost, charge.words_moved, 0);
             self.telemetry[r].phases.record(Phase::Idle, idle);
+        }
+        if let Some(ch) = &mut self.chaos {
+            // Counterfactual: the same collective on the clean timeline.
+            let clean_max = ch
+                .clean_clocks
+                .iter()
+                .cloned()
+                .fold(f64::NEG_INFINITY, f64::max);
+            for r in 0..self.p {
+                ch.clean_idle[r] += clean_max - ch.clean_clocks[r];
+                ch.clean_clocks[r] = clean_max + charge.time;
+                self.telemetry[r].chaos.jitter_time += jitter;
+            }
         }
     }
 
@@ -261,17 +398,38 @@ impl VirtualCluster {
             self.pending.is_none(),
             "one fused allreduce may be in flight at a time"
         );
+        // Stalls and the jitter draw happen at start — entry is when ranks
+        // join the collective — so the perturbed entry clocks feed the
+        // completion time exactly as in the blocking path.
+        let jitter = if self.p > 1 {
+            self.chaos_collective_entry()
+        } else {
+            0.0
+        };
         let max_entry = self
             .clocks
             .iter()
             .cloned()
             .fold(f64::NEG_INFINITY, f64::max);
         let charge = self.model.fused_allreduce_charge(self.p, words);
+        let clean_completion = match &self.chaos {
+            Some(ch) => {
+                ch.clean_clocks
+                    .iter()
+                    .cloned()
+                    .fold(f64::NEG_INFINITY, f64::max)
+                    + charge.time
+            }
+            None => 0.0,
+        };
         self.pending_entry.resize(self.p, 0.0);
         self.pending_entry.copy_from_slice(&self.clocks);
         self.pending = Some(PendingFused {
-            completion: max_entry + charge.time,
+            completion: max_entry + charge.time + jitter,
             charge,
+            cost: charge.time + jitter,
+            jitter,
+            clean_completion,
             words,
         });
     }
@@ -292,7 +450,7 @@ impl VirtualCluster {
         if self.p == 1 {
             return;
         }
-        let cost = pending.charge.time;
+        let cost = pending.cost;
         self.messages += pending.charge.rounds;
         self.words += pending.charge.words_moved;
         for r in 0..self.p {
@@ -312,6 +470,16 @@ impl VirtualCluster {
             self.telemetry[r].words_packed += pending.words;
             self.telemetry[r].hidden_time += hidden;
         }
+        if let Some(ch) = &mut self.chaos {
+            // Counterfactual completion of the same fused collective.
+            for r in 0..self.p {
+                let arrival = ch.clean_clocks[r];
+                let visible = (pending.clean_completion - arrival).max(0.0);
+                ch.clean_idle[r] += visible - pending.charge.time.min(visible);
+                ch.clean_clocks[r] = arrival.max(pending.clean_completion);
+                self.telemetry[r].chaos.jitter_time += pending.jitter;
+            }
+        }
     }
 
     /// Blocking fused allreduce: [`iallreduce_start`](Self::iallreduce_start)
@@ -321,6 +489,40 @@ impl VirtualCluster {
     pub fn iallreduce(&mut self, words: u64) {
         self.iallreduce_start(words);
         self.iallreduce_wait();
+    }
+
+    /// Block-boundary checkpoint: a free no-op on clean runs (so the
+    /// strict cross-engine equality invariants are untouched). With chaos
+    /// enabled it marks a recovery point, and if the plan's fail-stop
+    /// fault fires at this block the failed rank pays the redo time back
+    /// to the previous checkpoint plus
+    /// [`RESTART_OVERHEAD_SECS`](crate::chaos::RESTART_OVERHEAD_SECS).
+    /// Recovery is pure recomputation of deterministic work, so the
+    /// caller's numerics need no rollback — only time is charged.
+    pub fn checkpoint(&mut self) {
+        let Some(ch) = &mut self.chaos else {
+            return;
+        };
+        let step = ch.ckpt_idx;
+        ch.ckpt_idx += 1;
+        for rt in &mut self.telemetry {
+            rt.chaos.checkpoints += 1;
+        }
+        if !ch.failed {
+            if let Some((rank, _)) = ch.plan.spec().fail {
+                if rank < self.p && ch.plan.fails_at(rank, step) {
+                    ch.failed = true;
+                    let redo = self.clocks[rank] - ch.last_ckpt_clocks[rank];
+                    let recovery = redo + RESTART_OVERHEAD_SECS;
+                    self.clocks[rank] += recovery;
+                    self.idle[rank] += recovery;
+                    self.telemetry[rank].phases.record(Phase::Idle, recovery);
+                    self.telemetry[rank].chaos.failures += 1;
+                    self.telemetry[rank].chaos.recovery_time += recovery;
+                }
+            }
+        }
+        ch.last_ckpt_clocks.copy_from_slice(&self.clocks);
     }
 
     /// Current simulated time (max over rank clocks).
@@ -393,6 +595,17 @@ impl VirtualCluster {
     /// comm counter and `comp + gram + prox + sampling` equals the comp
     /// counter.
     pub fn telemetry(&self) -> Registry {
+        if let Some(ch) = &self.chaos {
+            // The analytic engine can attribute idle time exactly: it kept
+            // a clean counterfactual timeline alongside the perturbed one,
+            // so per rank the chaos-induced idle is the (clamped) excess
+            // over what the clean run would have idled anyway.
+            let mut ranks = self.telemetry.clone();
+            for (r, rt) in ranks.iter_mut().enumerate() {
+                rt.chaos.induced_idle_time = (self.idle[r] - ch.clean_idle[r]).max(0.0);
+            }
+            return registry_from_ranks("virtual_cluster", &ranks);
+        }
         registry_from_ranks("virtual_cluster", &self.telemetry)
     }
 
@@ -410,6 +623,19 @@ impl VirtualCluster {
             .iter_mut()
             .for_each(|t| *t = RankTelemetry::default());
         self.pending = None;
+        if let Some(ch) = &mut self.chaos {
+            // The plan (and its per-rank skew) survives a reset; only the
+            // run-scoped state rewinds to time zero.
+            ch.collective_idx = 0;
+            ch.ckpt_idx = 0;
+            ch.failed = false;
+            ch.last_ckpt_clocks.iter_mut().for_each(|c| *c = 0.0);
+            ch.clean_clocks.iter_mut().for_each(|c| *c = 0.0);
+            ch.clean_idle.iter_mut().for_each(|c| *c = 0.0);
+            for rt in &mut self.telemetry {
+                rt.chaos.enabled = true;
+            }
+        }
     }
 }
 
@@ -479,6 +705,121 @@ mod tests {
         assert!((t.comm_time - v.comm_time).abs() < 1e-12);
         assert!((t.comp_time - v.comp_time).abs() < 1e-12);
         assert!((t.idle_time - v.idle_time).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chaos_engines_agree_on_scripted_run() {
+        // The same SPMD script with the same chaos spec on both engines
+        // must produce identical perturbed times: the schedule draws are
+        // pure functions of (seed, rank, program-order index), shared by
+        // both engines.
+        use crate::chaos::ChaosSpec;
+        let model = CostModel::cray_xc30();
+        let p = 8;
+        let spec = ChaosSpec {
+            seed: 77,
+            skew: 0.15,
+            jitter: 5e-5,
+            straggle: 0.3,
+            fail: Some((2, 1)),
+        };
+
+        let (_, thread_report, thread_reg) =
+            ThreadMachine::run_report_telemetry(p, model, |comm| {
+                comm.enable_chaos(&spec);
+                for _ in 0..4 {
+                    comm.charge_flops(KernelClass::Dot, (comm.rank() as u64 + 1) * 100_000, 64);
+                    let mut buf = vec![1.0; 16];
+                    let req = comm.iallreduce_sum_start(&mut buf);
+                    comm.charge_flops(KernelClass::Vector, 50_000, 64);
+                    comm.iallreduce_wait(req);
+                    comm.checkpoint();
+                }
+            });
+
+        let mut vc = VirtualCluster::new(p, model);
+        vc.enable_chaos(&spec);
+        for _ in 0..4 {
+            vc.charge_per_rank(KernelClass::Dot, 64, |r| (r as u64 + 1) * 100_000);
+            vc.iallreduce_start(16);
+            vc.charge_uniform(KernelClass::Vector, 50_000, 64);
+            vc.iallreduce_wait();
+            vc.checkpoint();
+        }
+        let virtual_report = vc.report();
+        let virtual_reg = vc.telemetry();
+
+        let t = thread_report.critical;
+        let v = virtual_report.critical;
+        assert!(
+            (t.total_time() - v.total_time()).abs() < 1e-12,
+            "thread {} vs virtual {}",
+            t.total_time(),
+            v.total_time()
+        );
+        assert_eq!(t.messages, v.messages);
+        assert_eq!(t.words, v.words);
+        assert!((t.comp_time - v.comp_time).abs() < 1e-12);
+        assert!((t.comm_time - v.comm_time).abs() < 1e-12);
+        assert!((t.idle_time - v.idle_time).abs() < 1e-12);
+        // The injected schedules (not just the totals) agree.
+        for key in ["chaos.stalls", "chaos.failures", "chaos.checkpoints"] {
+            assert_eq!(thread_reg.counter(key), virtual_reg.counter(key), "{key}");
+        }
+        for key in [
+            "chaos.stall_time",
+            "chaos.skew_time",
+            "chaos.jitter_time",
+            "chaos.recovery_time",
+        ] {
+            let a = thread_reg.gauge(key).expect(key);
+            let b = virtual_reg.gauge(key).expect(key);
+            assert!((a - b).abs() < 1e-12, "{key}: thread {a} vs virtual {b}");
+        }
+        assert_eq!(virtual_reg.counter("chaos.failures"), 1, "the fault fired");
+        assert_eq!(virtual_reg.counter("chaos.checkpoints"), 4);
+        assert!(virtual_reg.gauge("chaos.recovery_time").unwrap() > RESTART_OVERHEAD_SECS);
+        // Exact induced-idle attribution exists only on the analytic
+        // engine; the chaos run idles more than its clean counterfactual.
+        assert!(virtual_reg.gauge("chaos.induced_idle_time").unwrap() > 0.0);
+        assert_eq!(thread_reg.gauge("chaos.induced_idle_time"), Some(0.0));
+    }
+
+    #[test]
+    fn chaos_off_checkpoint_is_free() {
+        let model = CostModel::cray_xc30();
+        let mut a = VirtualCluster::new(4, model);
+        let mut b = VirtualCluster::new(4, model);
+        for vc in [&mut a, &mut b] {
+            vc.charge_uniform(KernelClass::Dot, 500_000, 64);
+            vc.allreduce(8);
+        }
+        b.checkpoint();
+        assert_eq!(a.time().to_bits(), b.time().to_bits());
+        assert_eq!(a.report().critical, b.report().critical);
+    }
+
+    #[test]
+    fn zero_intensity_chaos_changes_no_times() {
+        use crate::chaos::ChaosSpec;
+        let model = CostModel::cray_xc30();
+        let script = |vc: &mut VirtualCluster| {
+            for _ in 0..3 {
+                vc.charge_per_rank(KernelClass::Dot, 64, |r| (r as u64 + 1) * 80_000);
+                vc.iallreduce(16);
+                vc.checkpoint();
+            }
+        };
+        let mut clean = VirtualCluster::new(4, model);
+        script(&mut clean);
+        let mut chaotic = VirtualCluster::new(4, model);
+        chaotic.enable_chaos(&ChaosSpec::default());
+        script(&mut chaotic);
+        assert_eq!(clean.time().to_bits(), chaotic.time().to_bits());
+        let reg = chaotic.telemetry();
+        assert_eq!(reg.counter("chaos.stalls"), 0);
+        assert_eq!(reg.counter("chaos.checkpoints"), 3);
+        assert_eq!(reg.gauge("chaos.induced_idle_time"), Some(0.0));
     }
 
     #[test]
