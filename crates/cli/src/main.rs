@@ -8,10 +8,23 @@
 //! saco path     --data train.svm [--num 16] [--ratio 0.01] [--mu 8] [--s 16]
 //! saco generate --dataset url --out file.svm [--scale 1.0] [--seed 42]
 //! saco info     --data file.svm
-//! saco simulate --data train.svm --p 1024 [--s 16] [--mu 1] [--iters 2000]
-//!               [--acc] [--balanced] [--overlap on|off]
+//! saco simulate --data train.svm --p 1024 [--engine seq|sim|dist|net]
+//!               [--s 16] [--mu 1] [--iters 2000]
+//!               [--acc] [--balanced] [--overlap on|off] [--algo tree|ring]
 //!               [--chaos seed=7,skew=0.2,jitter=1e-4,straggle=0.05,fail=3@10]
 //!               [--metrics report.json] [--threads 4]
+//! saco launch   --data train.svm --p 4 [--s 16] [--mu 1] [--iters 2000]
+//!               [--acc] [--balanced] [--overlap on|off] [--algo tree|ring]
+//!               [--rendezvous tcp:HOST:PORT] [--rundir DIR]
+//!               [--metrics merged.json]
+//!
+//! `--engine` picks the execution backend for `simulate` (default `sim`,
+//! so existing invocations are unchanged): `seq` runs the sequential
+//! reference, `sim` the modeled virtual cluster, `dist` the thread-backed
+//! message-passing machine, and `net` an in-process TCP/Unix socket mesh
+//! with *measured* wall-clock time. `launch` is the real thing: it spawns
+//! `--p` OS rank processes that rendezvous over sockets, solve, and each
+//! write a `saco-telemetry/v1` report the parent merges.
 //!
 //! `--threads N` (or `SACO_THREADS=N`) sets the intra-process worker pool
 //! used by the Gram/GEMM kernels. It is a pure throughput knob: every
@@ -36,7 +49,14 @@ mod args;
 
 use args::{ArgError, Args};
 use datagen::PaperDataset;
-use mpisim::CostModel;
+use mpisim::telemetry::report::parse_summary;
+use mpisim::telemetry::Registry;
+use mpisim::{CostModel, ThreadMachine};
+use saco::dist::{dist_sa_accbcd, dist_sa_bcd, LassoRankData};
+use saco::net::{
+    net_sa_accbcd, net_sa_bcd, record_net_stats, run_local_algo, Addr, Algo, Backoff, NetComm,
+    NetConfig,
+};
 use saco::path::lasso_path;
 use saco::prox::Lasso;
 use saco::seq::{sa_accbcd, sa_bcd, sa_svm};
@@ -48,6 +68,8 @@ use sparsela::io::{read_libsvm, write_libsvm, Dataset};
 use sparsela::vecops;
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
 
 fn main() {
     let args = match Args::parse(std::env::args().skip(1)) {
@@ -73,6 +95,8 @@ fn main() {
         "generate" => cmd_generate(&args),
         "info" => cmd_info(&args),
         "simulate" => cmd_simulate(&args),
+        "launch" => cmd_launch(&args),
+        "_netrank" => cmd_netrank(&args),
         "cv" => cmd_cv(&args),
         "help" => {
             print_usage();
@@ -96,10 +120,22 @@ subcommands:
   path      compute a warm-started regularization path
   generate  write a synthetic stand-in for a paper dataset
   info      print dataset statistics
-  simulate  run a solver on the virtual cluster and report costs
+  simulate  run a solver on a chosen execution engine and report costs
             (--metrics <path> writes a saco-telemetry/v1 JSON run report)
+  launch    spawn --p real OS rank processes over a TCP/Unix socket mesh,
+            solve, and merge the per-rank run reports (measured time)
   cv        k-fold cross-validated λ path
   help      this message
+
+`--engine seq|sim|dist|net` (simulate; default sim) picks the backend:
+seq = sequential reference, sim = modeled virtual cluster (α-β-γ cost
+model), dist = thread-backed message-passing machine, net = in-process
+socket mesh with measured wall-clock time. All engines produce the same
+iterates; `saco launch` runs engine net across real processes.
+
+`--algo tree|ring` (net engines; default tree) picks the allreduce: the
+binomial tree reproduces the simulator's combine order bitwise; the ring
+is bandwidth-optimal with a different (still deterministic) association.
 
 `--threads N` (or SACO_THREADS=N) runs the shared-memory kernels on N
 pooled workers; results are bitwise identical at any thread count.
@@ -328,12 +364,60 @@ fn cmd_info(args: &Args) -> Result<(), ArgError> {
     Ok(())
 }
 
-fn cmd_simulate(args: &Args) -> Result<(), ArgError> {
-    let ds = load(args)?;
-    let lambda = resolve_lambda(args, &ds)?;
+/// Shared `simulate`/`launch` solver options: the Lasso config with the
+/// simulate-flavored defaults (`mu` 1, `iters` 2000).
+fn sim_lasso_cfg(args: &Args, lambda: f64) -> Result<LassoConfig, ArgError> {
     let mut cfg = lasso_cfg(args, lambda)?;
     cfg.mu = args.get_or("mu", 1)?;
     cfg.max_iters = args.get_or("iters", 2_000)?;
+    Ok(cfg)
+}
+
+/// `--algo tree|ring` for the socket engines (default tree).
+fn parse_algo(args: &Args) -> Result<Algo, ArgError> {
+    Algo::parse(args.get("algo").unwrap_or("tree")).map_err(|e| ArgError(format!("--algo: {e}")))
+}
+
+/// Stamp the host-pool gauges and write the run report to `path`.
+fn write_metrics(args: &Args, telemetry: &mut Registry, path: &str) -> Result<(), ArgError> {
+    telemetry.set_meta("dataset", args.require("data")?);
+    // Pool activity gauges are host measurements: they vary with
+    // --threads (and machine load) while the deterministic sections of
+    // the report stay bitwise identical.
+    let nthreads = saco_par::threads();
+    let pool = saco_par::stats();
+    telemetry.gauge_set("par.threads", nthreads as f64);
+    telemetry.gauge_set("par.regions", pool.regions as f64);
+    telemetry.gauge_set("par.tiles", pool.tiles as f64);
+    telemetry.gauge_set("par.utilization", pool.utilization(nthreads));
+    mpisim::telemetry::write_run_report(telemetry, Path::new(path))
+        .map_err(|e| ArgError(format!("write {path}: {e}")))?;
+    println!("metrics written to {path}");
+    Ok(())
+}
+
+fn cmd_simulate(args: &Args) -> Result<(), ArgError> {
+    let engine = args.get("engine").unwrap_or("sim");
+    if engine != "sim" && args.get("chaos").is_some() {
+        return Err(ArgError(format!(
+            "--chaos injects faults into the *modeled* cluster; engine {engine:?} runs real code (use --engine sim)"
+        )));
+    }
+    match engine {
+        "sim" => simulate_sim(args),
+        "seq" => simulate_seq(args),
+        "dist" => simulate_dist(args),
+        "net" => simulate_net(args),
+        other => Err(ArgError(format!(
+            "--engine must be seq|sim|dist|net, got {other:?}"
+        ))),
+    }
+}
+
+fn simulate_sim(args: &Args) -> Result<(), ArgError> {
+    let ds = load(args)?;
+    let lambda = resolve_lambda(args, &ds)?;
+    let cfg = sim_lasso_cfg(args, lambda)?;
     let p = args.get_or("p", 1024)?;
     let reg = Lasso::new(lambda);
     let model = CostModel::cray_xc30();
@@ -377,22 +461,381 @@ fn cmd_simulate(args: &Args) -> Result<(), ArgError> {
         );
     }
     if let Some(path) = args.get("metrics") {
-        telemetry.set_meta("dataset", args.require("data")?);
+        telemetry.set_meta("cli.engine", "sim");
         telemetry.gauge_set("objective.final", res.final_value());
         telemetry.gauge_set("time.running", rep.running_time());
-        // Pool activity gauges are host measurements: they vary with
-        // --threads (and machine load) while everything else in the
-        // report stays bitwise identical.
-        let nthreads = saco_par::threads();
-        let pool = saco_par::stats();
-        telemetry.gauge_set("par.threads", nthreads as f64);
-        telemetry.gauge_set("par.regions", pool.regions as f64);
-        telemetry.gauge_set("par.tiles", pool.tiles as f64);
-        telemetry.gauge_set("par.utilization", pool.utilization(nthreads));
-        mpisim::telemetry::write_run_report(&telemetry, std::path::Path::new(path))
-            .map_err(|e| ArgError(format!("write {path}: {e}")))?;
-        println!("metrics written to {path}");
+        write_metrics(args, &mut telemetry, path)?;
     }
+    Ok(())
+}
+
+fn simulate_seq(args: &Args) -> Result<(), ArgError> {
+    let ds = load(args)?;
+    let lambda = resolve_lambda(args, &ds)?;
+    let cfg = sim_lasso_cfg(args, lambda)?;
+    let reg = Lasso::new(lambda);
+    let accel = args.flag("acc");
+    let t0 = Instant::now();
+    let res = if accel {
+        sa_accbcd(&ds, &reg, &cfg)
+    } else {
+        sa_bcd(&ds, &reg, &cfg)
+    };
+    let wall = t0.elapsed().as_secs_f64();
+    println!(
+        "sequential (engine seq), s = {}, µ = {}, H = {}:",
+        cfg.s, cfg.mu, cfg.max_iters
+    );
+    println!("  wall time: {wall:.6} s (measured)");
+    println!("  final objective {:.6e}", res.final_value());
+    if let Some(path) = args.get("metrics") {
+        let mut telemetry = Registry::new();
+        telemetry.set_meta("engine", "sequential");
+        telemetry.set_meta("cli.engine", "seq");
+        telemetry.set_meta("solver", if accel { "sa_accbcd" } else { "sa_bcd" });
+        telemetry.gauge_set("objective.final", res.final_value());
+        telemetry.gauge_set("time.wall_secs", wall);
+        write_metrics(args, &mut telemetry, path)?;
+    }
+    Ok(())
+}
+
+fn simulate_dist(args: &Args) -> Result<(), ArgError> {
+    let ds = load(args)?;
+    let lambda = resolve_lambda(args, &ds)?;
+    let cfg = sim_lasso_cfg(args, lambda)?;
+    let p = args.get_or("p", 4)?;
+    let reg = Lasso::new(lambda);
+    let accel = args.flag("acc");
+    let (_, blocks) = LassoRankData::split(&ds, p, args.flag("balanced"));
+    let (results, rep, mut telemetry) =
+        ThreadMachine::run_report_telemetry(p, CostModel::cray_xc30(), |comm| {
+            let data = &blocks[comm.rank()];
+            if accel {
+                dist_sa_accbcd(comm, data, &reg, &cfg)
+            } else {
+                dist_sa_bcd(comm, data, &reg, &cfg)
+            }
+        });
+    println!(
+        "thread machine (engine dist), {} ranks, s = {}, µ = {}, H = {}:",
+        p, cfg.s, cfg.mu, cfg.max_iters
+    );
+    let c = rep.critical;
+    println!("  running time: {:.6} s (modeled)", rep.running_time());
+    println!(
+        "  compute {:.6} s | communicate {:.6} s | idle {:.6} s",
+        c.comp_time, c.comm_time, c.idle_time
+    );
+    println!(
+        "  messages {} | words {} | flops {}",
+        c.messages, c.words, c.flops
+    );
+    println!("  final objective {:.6e}", results[0].final_value());
+    if let Some(path) = args.get("metrics") {
+        telemetry.set_meta("cli.engine", "dist");
+        telemetry.set_meta(
+            "solver",
+            if accel {
+                "dist_sa_accbcd"
+            } else {
+                "dist_sa_bcd"
+            },
+        );
+        telemetry.gauge_set("objective.final", results[0].final_value());
+        telemetry.gauge_set("time.running", rep.running_time());
+        write_metrics(args, &mut telemetry, path)?;
+    }
+    Ok(())
+}
+
+/// Fold per-rank registries into one run-level registry: counters and
+/// phase tables add, gauges keep the per-rank maximum (the critical
+/// rank's view of each measured time), meta comes from rank 0 with
+/// `net.rank` widened to `all`.
+fn merge_rank_registries<'a>(regs: impl Iterator<Item = &'a Registry>) -> Registry {
+    let mut merged = Registry::new();
+    for (i, r) in regs.enumerate() {
+        if i == 0 {
+            for (k, v) in r.meta() {
+                merged.set_meta(k, v);
+            }
+        }
+        for (k, v) in r.counters() {
+            merged.counter_add(k, *v);
+        }
+        for (k, v) in r.gauges() {
+            if merged.gauge(k).is_none_or(|cur| *v > cur) {
+                merged.gauge_set(k, *v);
+            }
+        }
+        for (&rank, table) in r.rank_tables() {
+            merged.phases_mut(rank).merge(table);
+        }
+    }
+    merged.set_meta("net.rank", "all");
+    merged
+}
+
+fn simulate_net(args: &Args) -> Result<(), ArgError> {
+    let ds = load(args)?;
+    let lambda = resolve_lambda(args, &ds)?;
+    let cfg = sim_lasso_cfg(args, lambda)?;
+    let p = args.get_or("p", 4)?;
+    if p == 0 || p > 64 {
+        return Err(ArgError(format!(
+            "--engine net runs a full in-process socket mesh; --p must be 1..=64, got {p} \
+             (use `saco launch` for real multi-process runs)"
+        )));
+    }
+    let algo = parse_algo(args)?;
+    let reg = Lasso::new(lambda);
+    let accel = args.flag("acc");
+    let (_, blocks) = LassoRankData::split(&ds, p, args.flag("balanced"));
+    let t0 = Instant::now();
+    let per_rank = run_local_algo(p, algo, |rank, comm| {
+        let t0 = Instant::now();
+        let res = if accel {
+            net_sa_accbcd(comm, &blocks[rank], &reg, &cfg)
+        } else {
+            net_sa_bcd(comm, &blocks[rank], &reg, &cfg)
+        };
+        let mut r = Registry::new();
+        record_net_stats(&mut r, comm, t0.elapsed().as_secs_f64());
+        (res, r)
+    });
+    let wall = t0.elapsed().as_secs_f64();
+    let mut telemetry = merge_rank_registries(per_rank.iter().map(|(_, r)| r));
+    let res = &per_rank[0].0;
+    println!(
+        "socket mesh (engine net), {p} ranks ({algo} allreduce), s = {}, µ = {}, H = {}:",
+        cfg.s, cfg.mu, cfg.max_iters
+    );
+    println!("  wall time: {wall:.6} s (measured)");
+    println!(
+        "  wire {:.6} s | solver wait {:.6} s | hidden by overlap {:.6} s",
+        telemetry.gauge("net.comm.wall_secs").unwrap_or(0.0),
+        telemetry.gauge("net.wait.wall_secs").unwrap_or(0.0),
+        telemetry.gauge("net.overlap.hidden_secs").unwrap_or(0.0),
+    );
+    println!(
+        "  bytes {} | frames {} | collectives {} | reconnects {}",
+        telemetry.counter("net.bytes_tx"),
+        telemetry.counter("net.frames_tx"),
+        telemetry.counter("net.collectives"),
+        telemetry.counter("net.reconnects"),
+    );
+    println!("  final objective {:.6e}", res.final_value());
+    if let Some(path) = args.get("metrics") {
+        telemetry.set_meta("engine", "socket_mesh");
+        telemetry.set_meta("cli.engine", "net");
+        telemetry.set_meta("solver", if accel { "net_sa_accbcd" } else { "net_sa_bcd" });
+        telemetry.gauge_set("objective.final", res.final_value());
+        telemetry.gauge_set("time.wall_secs", wall);
+        write_metrics(args, &mut telemetry, path)?;
+    }
+    Ok(())
+}
+
+/// `saco launch`: spawn `--p` real rank processes (each re-executing this
+/// binary with the hidden `_netrank` subcommand), wait for all of them,
+/// and merge their per-rank run reports into one summary.
+fn cmd_launch(args: &Args) -> Result<(), ArgError> {
+    if let Some(engine) = args.get("engine") {
+        if engine != "net" {
+            return Err(ArgError(format!(
+                "launch spawns real rank processes, which only the net engine supports; \
+                 got --engine {engine:?} (run `saco simulate --engine {engine}` instead)"
+            )));
+        }
+    }
+    let ds = load(args)?;
+    let lambda = resolve_lambda(args, &ds)?;
+    let cfg = sim_lasso_cfg(args, lambda)?;
+    let p = args.get_or("p", 4)?;
+    if p == 0 || p > 256 {
+        return Err(ArgError(format!("--p must be 1..=256, got {p}")));
+    }
+    parse_algo(args)?;
+    let algo = args.get("algo").unwrap_or("tree");
+    let rundir = match args.get("rundir") {
+        Some(d) => PathBuf::from(d),
+        None => std::env::temp_dir().join(format!("saco-launch-{}", std::process::id())),
+    };
+    std::fs::create_dir_all(&rundir)
+        .map_err(|e| ArgError(format!("create {}: {e}", rundir.display())))?;
+    let rendezvous = match args.get("rendezvous") {
+        Some(r) => r.to_string(),
+        None => format!("unix:{}", rundir.join("rendezvous.sock").display()),
+    };
+    Addr::parse(&rendezvous).map_err(|e| ArgError(format!("--rendezvous: {e}")))?;
+    let exe = std::env::current_exe().map_err(|e| ArgError(format!("current_exe: {e}")))?;
+    println!(
+        "launching {p} rank processes ({} × {}, rendezvous {rendezvous}, {algo} allreduce)",
+        ds.num_points(),
+        ds.num_features()
+    );
+    let mut children = Vec::with_capacity(p);
+    for rank in 0..p {
+        let mut cmd = std::process::Command::new(&exe);
+        cmd.arg("_netrank")
+            .args(["--rank", &rank.to_string(), "--p", &p.to_string()])
+            .args(["--rendezvous", &rendezvous, "--algo", algo])
+            .args(["--data", args.require("data")?])
+            // f64 Display is shortest-roundtrip, so the resolved λ
+            // survives the argv hop losslessly.
+            .args(["--lambda", &format!("{lambda}")])
+            .args(["--s", &cfg.s.to_string(), "--mu", &cfg.mu.to_string()])
+            .args(["--iters", &cfg.max_iters.to_string()])
+            .args(["--seed", &cfg.seed.to_string()])
+            .args(["--trace-every", &cfg.trace_every.to_string()])
+            .args(["--overlap", if cfg.overlap { "on" } else { "off" }])
+            .arg("--report")
+            .arg(rundir.join(format!("rank{rank}.json")));
+        if args.flag("acc") {
+            cmd.arg("--acc");
+        }
+        if args.flag("balanced") {
+            cmd.arg("--balanced");
+        }
+        if let Some(t) = args.get("threads") {
+            cmd.args(["--threads", t]);
+        }
+        if let Some(t) = args.get("io-timeout") {
+            cmd.args(["--io-timeout", t]);
+        }
+        let child = cmd
+            .spawn()
+            .map_err(|e| ArgError(format!("spawn rank {rank}: {e}")))?;
+        children.push((rank, child));
+    }
+    // Fail-stop: a dead rank closes its sockets, so surviving ranks see
+    // typed Closed/Timeout errors and exit instead of hanging — waiting
+    // in rank order cannot deadlock.
+    let mut failed = Vec::new();
+    for (rank, mut child) in children {
+        let status = child
+            .wait()
+            .map_err(|e| ArgError(format!("wait rank {rank}: {e}")))?;
+        if !status.success() {
+            failed.push(rank);
+        }
+    }
+    if !failed.is_empty() {
+        return Err(ArgError(format!(
+            "ranks {failed:?} exited nonzero (see stderr above); per-rank reports in {}",
+            rundir.display()
+        )));
+    }
+    // Merge the per-rank reports: counters add across ranks, gauges keep
+    // the per-rank maximum, meta comes from rank 0.
+    let mut merged = Registry::new();
+    for rank in 0..p {
+        let path = rundir.join(format!("rank{rank}.json"));
+        let doc = std::fs::read_to_string(&path)
+            .map_err(|e| ArgError(format!("read {}: {e}", path.display())))?;
+        let summary = parse_summary(&doc)
+            .ok_or_else(|| ArgError(format!("malformed run report {}", path.display())))?;
+        if rank == 0 {
+            for (k, v) in &summary.meta {
+                merged.set_meta(k, v);
+            }
+        }
+        for (k, v) in &summary.counters {
+            merged.counter_add(k, *v);
+        }
+        for (k, v) in &summary.gauges {
+            if merged.gauge(k).is_none_or(|cur| *v > cur) {
+                merged.gauge_set(k, *v);
+            }
+        }
+    }
+    merged.set_meta("net.rank", "all");
+    merged.set_meta("cli.engine", "net");
+    println!("all {p} ranks finished:");
+    println!(
+        "  wall time: {:.6} s (measured, max over ranks)",
+        merged.gauge("time.wall_secs").unwrap_or(0.0)
+    );
+    println!(
+        "  wire {:.6} s | solver wait {:.6} s | hidden by overlap {:.6} s",
+        merged.gauge("net.comm.wall_secs").unwrap_or(0.0),
+        merged.gauge("net.wait.wall_secs").unwrap_or(0.0),
+        merged.gauge("net.overlap.hidden_secs").unwrap_or(0.0),
+    );
+    println!(
+        "  bytes {} | frames {} | collectives {} | reconnects {}",
+        merged.counter("net.bytes_tx"),
+        merged.counter("net.frames_tx"),
+        merged.counter("net.collectives"),
+        merged.counter("net.reconnects"),
+    );
+    println!(
+        "  final objective {:.6e}",
+        merged.gauge("objective.final").unwrap_or(f64::NAN)
+    );
+    println!("per-rank reports in {}", rundir.display());
+    if let Some(path) = args.get("metrics") {
+        write_metrics(args, &mut merged, path)?;
+    }
+    Ok(())
+}
+
+/// Hidden child subcommand behind `saco launch`: one rank process. Joins
+/// the mesh at `--rendezvous`, solves its `--rank`-th partition, and
+/// writes its `saco-telemetry/v1` report to `--report`.
+fn cmd_netrank(args: &Args) -> Result<(), ArgError> {
+    let rank: usize = args
+        .require("rank")?
+        .parse()
+        .map_err(|_| ArgError("--rank: not a rank index".into()))?;
+    let p: usize = args
+        .require("p")?
+        .parse()
+        .map_err(|_| ArgError("--p: not a rank count".into()))?;
+    let rendezvous = Addr::parse(args.require("rendezvous")?)
+        .map_err(|e| ArgError(format!("--rendezvous: {e}")))?;
+    let algo = parse_algo(args)?;
+    let report = args.require("report")?;
+    let ds = load(args)?;
+    let lambda = args
+        .get_opt::<f64>("lambda")?
+        .ok_or_else(|| ArgError("missing required option --lambda".into()))?;
+    let cfg = sim_lasso_cfg(args, lambda)?;
+    let reg = Lasso::new(lambda);
+    let accel = args.flag("acc");
+    // Every rank loads the shared file and takes its own row block — the
+    // same deterministic split the in-process engines use, so `launch`
+    // reproduces their iterates exactly.
+    let (_, blocks) = LassoRankData::split(&ds, p, args.flag("balanced"));
+    let net_cfg = NetConfig {
+        rank,
+        size: p,
+        rendezvous,
+        io_timeout: Duration::from_secs(args.get_or("io-timeout", 30)?),
+        connect: Backoff::default(),
+        algo,
+    };
+    let mut comm = NetComm::establish(net_cfg)
+        .map_err(|e| ArgError(format!("rank {rank}/{p}: mesh establish: {e}")))?;
+    let t0 = Instant::now();
+    let res = if accel {
+        net_sa_accbcd(&mut comm, &blocks[rank], &reg, &cfg)
+    } else {
+        net_sa_bcd(&mut comm, &blocks[rank], &reg, &cfg)
+    };
+    let wall = t0.elapsed().as_secs_f64();
+    let mut telemetry = Registry::new();
+    telemetry.set_meta("engine", "socket_mesh");
+    telemetry.set_meta("cli.engine", "net");
+    telemetry.set_meta("solver", if accel { "net_sa_accbcd" } else { "net_sa_bcd" });
+    telemetry.set_meta("dataset", args.require("data")?);
+    record_net_stats(&mut telemetry, &comm, wall);
+    telemetry.gauge_set("objective.final", res.final_value());
+    telemetry.gauge_set("time.wall_secs", wall);
+    mpisim::telemetry::write_run_report(&telemetry, Path::new(report))
+        .map_err(|e| ArgError(format!("write {report}: {e}")))?;
+    comm.shutdown();
     Ok(())
 }
 

@@ -323,6 +323,132 @@ fn thread_count_never_changes_the_simulated_report() {
     let _ = std::fs::remove_file(&m4);
 }
 
+/// The `final objective` line of a command's stdout.
+fn objective_line(out: &std::process::Output) -> String {
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .find(|l| l.contains("final objective"))
+        .expect("an objective line")
+        .trim()
+        .to_string()
+}
+
+#[test]
+fn engine_flag_runs_every_backend_to_the_same_objective() {
+    let data = tmpfile("engines.svm");
+    assert!(saco()
+        .args([
+            "generate",
+            "--dataset",
+            "news20",
+            "--scale",
+            "0.05",
+            "--out"
+        ])
+        .arg(&data)
+        .status()
+        .expect("generate")
+        .success());
+    let run = |engine: &str| {
+        objective_line(
+            &saco()
+                .args(["simulate", "--data"])
+                .arg(&data)
+                .args([
+                    "--p", "4", "--s", "8", "--acc", "--iters", "200", "--engine", engine,
+                ])
+                .output()
+                .expect("run simulate"),
+        )
+    };
+    // seq/sim/dist replicate, dist/net share the allreduce association:
+    // every engine must print the identical objective.
+    let seq = run("seq");
+    for engine in ["sim", "dist", "net"] {
+        assert_eq!(run(engine), seq, "engine {engine} diverged from seq");
+    }
+    // --chaos is modeled-cluster-only.
+    let out = saco()
+        .args(["simulate", "--data"])
+        .arg(&data)
+        .args(["--engine", "net", "--chaos", "seed=1"])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--engine sim"));
+    let _ = std::fs::remove_file(&data);
+}
+
+#[test]
+fn launch_spawns_real_rank_processes_and_merges_reports() {
+    let data = tmpfile("launch.svm");
+    assert!(saco()
+        .args([
+            "generate",
+            "--dataset",
+            "news20",
+            "--scale",
+            "0.05",
+            "--out"
+        ])
+        .arg(&data)
+        .status()
+        .expect("generate")
+        .success());
+    // Reference: the same solve on the in-process socket mesh.
+    let reference = objective_line(
+        &saco()
+            .args(["simulate", "--data"])
+            .arg(&data)
+            .args([
+                "--p", "4", "--s", "8", "--acc", "--iters", "200", "--engine", "net",
+            ])
+            .output()
+            .expect("run simulate"),
+    );
+    let rundir = tmpfile("launchdir");
+    let merged = tmpfile("launch_merged.json");
+    let out = saco()
+        .args(["launch", "--data"])
+        .arg(&data)
+        .args([
+            "--p", "4", "--s", "8", "--acc", "--iters", "200", "--rundir",
+        ])
+        .arg(&rundir)
+        .arg("--metrics")
+        .arg(&merged)
+        .output()
+        .expect("run launch");
+    // Real OS processes over the socket mesh land on the same objective.
+    assert_eq!(objective_line(&out), reference, "launch diverged");
+    for rank in 0..4 {
+        assert!(
+            rundir.join(format!("rank{rank}.json")).exists(),
+            "rank {rank} report missing"
+        );
+    }
+    let report = std::fs::read_to_string(&merged).expect("merged report");
+    assert!(
+        report.contains("\"schema\":\"saco-telemetry/v1\""),
+        "{report}"
+    );
+    assert!(report.contains("\"cli.engine\":\"net\""), "{report}");
+    assert!(report.contains("\"net.rendezvous\":"), "{report}");
+    assert!(report.contains("\"net.reconnects\":0"), "{report}");
+    assert!(report.contains("\"solver\":\"net_sa_accbcd\""), "{report}");
+    // launch is advertised in the usage text
+    let help = saco().arg("help").output().expect("help");
+    assert!(String::from_utf8_lossy(&help.stderr).contains("launch"));
+    let _ = std::fs::remove_file(&data);
+    let _ = std::fs::remove_file(&merged);
+    let _ = std::fs::remove_dir_all(&rundir);
+}
+
 #[test]
 fn helpful_errors() {
     // unknown subcommand

@@ -12,6 +12,44 @@ use saco_telemetry::{Registry, WallSpan};
 use sparsela::gram::MajorSlices;
 use sparsela::sympack;
 
+/// Assemble the fused allreduce payload in `ws.pack`: packed Gram upper
+/// triangle, cross terms interleaved per block row, then the optional
+/// traced residual contribution. Shared by every engine that actually
+/// moves the payload (thread machine and socket mesh), so the wire
+/// layout cannot drift between them.
+pub(crate) fn pack_fused(ws: &mut KernelWorkspace, width: usize, nvecs: usize, resid: Option<f64>) {
+    sympack::pack_upper_into(&ws.gram, &mut ws.pack);
+    for k in 0..width {
+        for v in 0..nvecs {
+            ws.pack.push(ws.cross.get(k, v));
+        }
+    }
+    if let Some(rc) = resid {
+        ws.pack.push(rc);
+    }
+}
+
+/// Inverse of [`pack_fused`] after the reduction: scatter the global
+/// triangle and cross terms back into the workspace (handing the
+/// recurrence the global Gram block under the same name the replicated
+/// engines use) and return the reduced residual iff one was packed.
+pub(crate) fn unpack_fused(
+    ws: &mut KernelWorkspace,
+    width: usize,
+    nvecs: usize,
+    traced: bool,
+) -> Option<f64> {
+    let mut pos = sympack::unpack_symmetric_into(&ws.pack, 0, width, &mut ws.gram_global);
+    std::mem::swap(&mut ws.gram, &mut ws.gram_global);
+    for k in 0..width {
+        for v in 0..nvecs {
+            ws.cross.set(k, v, ws.pack[pos]);
+            pos += 1;
+        }
+    }
+    traced.then(|| ws.pack[pos])
+}
+
 /// Sequential engine: no communication, zero-cost charges, exact
 /// per-iteration traces. Optionally instrumented with wall-clock spans.
 pub(crate) struct SeqBackend<'r> {
@@ -344,33 +382,13 @@ impl<'r, 'c, 'a, M: MajorSlices + Sync> ExecBackend<'r> for DistBackend<'c, 'a, 
         resid: Option<f64>,
         overlap: Option<F>,
     ) -> Option<f64> {
-        // Fused payload: packed Gram triangle, cross terms interleaved
-        // per block row, then the optional traced residual contribution.
-        sympack::pack_upper_into(&ws.gram, &mut ws.pack);
-        for k in 0..width {
-            for v in 0..nvecs {
-                ws.pack.push(ws.cross.get(k, v));
-            }
-        }
-        if let Some(rc) = resid {
-            ws.pack.push(rc);
-        }
+        pack_fused(ws, width, nvecs, resid);
         let req = self.comm.iallreduce_sum_start(&mut ws.pack);
         if let Some(f) = overlap {
             f(self, ws);
         }
         self.comm.iallreduce_wait(req);
-        let mut pos = sympack::unpack_symmetric_into(&ws.pack, 0, width, &mut ws.gram_global);
-        // Hand the recurrence the global block under the same name the
-        // replicated engines use.
-        std::mem::swap(&mut ws.gram, &mut ws.gram_global);
-        for k in 0..width {
-            for v in 0..nvecs {
-                ws.cross.set(k, v, ws.pack[pos]);
-                pos += 1;
-            }
-        }
-        resid.map(|_| ws.pack[pos])
+        unpack_fused(ws, width, nvecs, resid.is_some())
     }
 
     fn reduce_scalar(&mut self, v: f64) -> f64 {

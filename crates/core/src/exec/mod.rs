@@ -31,10 +31,12 @@
 
 mod backends;
 mod lasso;
+mod net;
 mod svm;
 
-pub(crate) use backends::{DistBackend, SeqBackend, SimBackend};
+pub(crate) use backends::{pack_fused, unpack_fused, DistBackend, SeqBackend, SimBackend};
 pub(crate) use lasso::lasso_family;
+pub(crate) use net::NetBackend;
 pub(crate) use svm::svm_family;
 
 use crate::workspace::KernelWorkspace;

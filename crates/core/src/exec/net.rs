@@ -1,0 +1,125 @@
+//! The socket-mesh engine: real processes, real wires, measured time.
+//!
+//! [`NetBackend`] is the fourth [`ExecBackend`]: it runs the same
+//! backend-generic recurrences as the other three, but its `exchange`
+//! moves the fused `sympack` payload over an actual TCP/Unix-socket mesh
+//! (`netcomm`). Because the mesh's tree allreduce replicates `mpisim`'s
+//! combine order exactly and the wire is bit-lossless, a net solve is
+//! **bitwise identical** to the thread-machine solve on the same
+//! partitioned inputs — the engine matrix enforces it. What differs is
+//! the clock: `charge_*` hooks stay no-ops and [`ExecBackend::clock`]
+//! reads wall time, because here communication costs what the OS says it
+//! costs, not what the α-β-γ model predicts.
+//!
+//! Failure semantics are fail-stop: the solvers' recurrences cannot
+//! continue without the reduction, so a [`netcomm::NetError`] (timeout,
+//! peer death, protocol violation) panics with the rank in the message
+//! and the process exits nonzero; `saco launch` surfaces which rank died.
+//! Nothing blocks forever — every wire operation is bounded by the mesh's
+//! I/O timeout.
+
+use super::{pack_fused, unpack_fused, ExecBackend};
+use crate::workspace::KernelWorkspace;
+use mpisim::telemetry::PhaseTimes;
+use netcomm::NetComm;
+use std::time::Instant;
+
+/// Engine over a [`NetComm`] mesh. One instance per rank per solve; the
+/// borrow keeps the mesh alive across the run and hands it back for
+/// telemetry afterwards.
+pub(crate) struct NetBackend<'c> {
+    comm: &'c mut NetComm,
+    start: Instant,
+    /// Solver-visible wait seconds already accounted before this solve
+    /// (the mesh outlives solves; trace points must show this run only).
+    wait_base: f64,
+}
+
+impl<'c> NetBackend<'c> {
+    pub(crate) fn new(comm: &'c mut NetComm) -> Self {
+        let wait_base = comm.stats().wait_secs;
+        Self {
+            comm,
+            start: Instant::now(),
+            wait_base,
+        }
+    }
+
+    fn fail(&self, during: &str, e: netcomm::NetError) -> ! {
+        panic!(
+            "rank {}/{}: {during} failed on the socket mesh: {e}",
+            self.comm.rank(),
+            self.comm.size()
+        );
+    }
+}
+
+impl<'r, 'c> ExecBackend<'r> for NetBackend<'c> {
+    const TRACE_INNER: bool = false;
+    const OVERLAPS: bool = true;
+
+    // charge_* hooks keep their no-op defaults: wall time is measured,
+    // never modeled, on this engine.
+
+    fn exchange<F: FnOnce(&mut Self, &mut KernelWorkspace)>(
+        &mut self,
+        ws: &mut KernelWorkspace,
+        width: usize,
+        nvecs: usize,
+        resid: Option<f64>,
+        overlap: Option<F>,
+    ) -> Option<f64> {
+        pack_fused(ws, width, nvecs, resid);
+        let payload = std::mem::take(&mut ws.pack);
+        ws.pack = match overlap {
+            Some(f) => {
+                // Real overlap: the comm worker moves bytes while this
+                // thread forms the next block.
+                let pending = match self.comm.iallreduce_start(payload) {
+                    Ok(p) => p,
+                    Err(e) => self.fail("fused allreduce start", e),
+                };
+                f(self, ws);
+                match self.comm.iallreduce_wait(pending) {
+                    Ok(v) => v,
+                    Err(e) => self.fail("fused allreduce wait", e),
+                }
+            }
+            None => match self.comm.allreduce_sum(payload) {
+                Ok(v) => v,
+                Err(e) => self.fail("fused allreduce", e),
+            },
+        };
+        unpack_fused(ws, width, nvecs, resid.is_some())
+    }
+
+    fn reduce_scalar(&mut self, v: f64) -> f64 {
+        match self.comm.allreduce_scalar(v) {
+            Ok(x) => x,
+            Err(e) => self.fail("scalar allreduce", e),
+        }
+    }
+
+    fn gap_reduce(&mut self, buf: &mut Vec<f64>, _m: usize) {
+        let payload = std::mem::take(buf);
+        *buf = match self.comm.allreduce_sum(payload) {
+            Ok(v) => v,
+            Err(e) => self.fail("gap allreduce", e),
+        };
+    }
+
+    /// Measured wall seconds since the solve started.
+    fn clock(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// Comm = the solver-visible blocked time (what overlap failed to
+    /// hide); comp = everything else this thread did. Idle is folded into
+    /// comm: on a real wire a straggler's partner shows up as wait time,
+    /// the two are not separable without a global clock.
+    fn phases(&self) -> PhaseTimes {
+        let comm = (self.comm.stats().wait_secs - self.wait_base).max(0.0);
+        let total = self.clock();
+        PhaseTimes::new(comm, (total - comm).max(0.0), 0.0)
+    }
+}

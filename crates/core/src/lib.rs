@@ -16,6 +16,7 @@
 //! | [`seq`] | sequential reference implementations: BCD/CD, accelerated BCD/CD (paper Alg. 1), their SA variants (Alg. 2, eqs. 3–9), dual CD for linear SVM (Alg. 3) and SA-SVM (Alg. 4, eqs. 14–15) |
 //! | [`dist`] | SPMD distributed implementations over the thread-backed message-passing machine in `mpisim` |
 //! | [`sim`]  | the same algorithms instrumented against `mpisim`'s virtual cluster for paper-scale rank counts (up to 12,288) |
+//! | [`net`]  | the same SPMD solvers over a real TCP/Unix-socket mesh (`netcomm`) — measured wall-clock time instead of modeled time |
 //!
 //! # Problems
 //!
@@ -54,6 +55,7 @@ pub mod costmodel;
 pub mod crossval;
 pub mod dist;
 pub(crate) mod exec;
+pub mod net;
 pub mod path;
 pub mod problem;
 pub mod prox;

@@ -1,0 +1,152 @@
+//! Solvers over a real socket mesh: the measured counterpart of [`crate::dist`].
+//!
+//! Same layouts, same recurrences, same rank-data splits as the
+//! thread-machine solvers — [`LassoRankData`] 1D-row partitions for
+//! Lasso, [`SvmRankData`] 1D-column partitions for SVM — but the fused
+//! allreduce crosses actual TCP/Unix-socket links between OS processes
+//! (or thread-ranks in `netcomm::cluster`). The mesh's tree allreduce
+//! reproduces `mpisim`'s combine order bit for bit, so for identical
+//! partitioned inputs these entry points return **bitwise** the same
+//! iterates as their `dist_*` twins; what changes is that time, bytes and
+//! overlap are measured off the wire instead of charged to a model
+//! (`tests/engine_matrix.rs` pins the first claim, the `net_fig4` bench
+//! reports the second).
+//!
+//! Telemetry: [`record_net_stats`] turns a mesh's counters into the
+//! `net.*` namespace documented in OBSERVABILITY.md.
+
+use crate::config::{LassoConfig, SvmConfig};
+use crate::exec::{lasso_family, svm_family, NetBackend};
+use crate::prox::Regularizer;
+use crate::trace::SolveResult;
+use saco_telemetry::{Phase, Registry};
+
+pub use crate::dist::{LassoRankData, SvmRankData};
+pub use netcomm::cluster::{run_local, run_local_algo};
+pub use netcomm::{Addr, Algo, Backoff, NetComm, NetConfig};
+
+/// SA-accBCD over the socket mesh (Algorithm 2; `cfg.s = 1` is classical
+/// accBCD). Bitwise-identical to [`crate::dist::dist_sa_accbcd`] on the
+/// same rank data. Panics (fail-stop) if the mesh fails mid-solve.
+pub fn net_sa_accbcd<R: Regularizer>(
+    comm: &mut NetComm,
+    data: &LassoRankData,
+    reg: &R,
+    cfg: &LassoConfig,
+) -> SolveResult {
+    assert_eq!(data.b.len(), data.csc.rows(), "local label slice mismatch");
+    let mut backend = NetBackend::new(comm);
+    lasso_family(&data.csc, &data.b, reg, cfg, true, &mut backend)
+}
+
+/// SA-BCD (non-accelerated) over the socket mesh; `cfg.s = 1` is
+/// classical BCD.
+pub fn net_sa_bcd<R: Regularizer>(
+    comm: &mut NetComm,
+    data: &LassoRankData,
+    reg: &R,
+    cfg: &LassoConfig,
+) -> SolveResult {
+    assert_eq!(data.b.len(), data.csc.rows(), "local label slice mismatch");
+    let mut backend = NetBackend::new(comm);
+    lasso_family(&data.csc, &data.b, reg, cfg, false, &mut backend)
+}
+
+/// SA-SVM over the socket mesh (Algorithm 4; `cfg.s = 1` is classical
+/// dual CD). Returns the rank-local slice of `x`, like its `dist` twin.
+pub fn net_sa_svm(comm: &mut NetComm, data: &SvmRankData, cfg: &SvmConfig) -> SolveResult {
+    let mut backend = NetBackend::new(comm);
+    svm_family(&data.csr, &data.b, cfg, &mut backend)
+}
+
+/// Record a mesh's wire counters into `registry` under the `net.*`
+/// namespace (see OBSERVABILITY.md), attributing measured comm/wait wall
+/// time to this rank's phase table. Call once, after the solve.
+pub fn record_net_stats(registry: &mut Registry, comm: &NetComm, wall_secs: f64) {
+    let s = comm.stats();
+    registry.counter_add("net.bytes_tx", s.bytes_tx);
+    registry.counter_add("net.bytes_rx", s.bytes_rx);
+    registry.counter_add("net.frames_tx", s.frames_tx);
+    registry.counter_add("net.frames_rx", s.frames_rx);
+    registry.counter_add("net.collectives", s.collectives);
+    registry.counter_add("net.retries", s.retries);
+    registry.counter_add("net.reconnects", s.reconnects);
+    registry.counter_add("net.reordered", s.reordered);
+    registry.gauge_set("net.comm.wall_secs", s.comm_secs);
+    registry.gauge_set("net.wait.wall_secs", s.wait_secs);
+    registry.gauge_set(
+        "net.overlap.hidden_secs",
+        (s.comm_secs - s.wait_secs).max(0.0),
+    );
+    registry.set_meta("net.rank", comm.rank());
+    registry.set_meta("net.size", comm.size());
+    registry.set_meta("net.algo", comm.algo());
+    registry.set_meta("net.rendezvous", comm.rendezvous());
+    // Phase attribution for the run report: visible comm is what the
+    // solver waited; everything else on this rank is computation.
+    let rank = comm.rank();
+    let bytes = s.bytes_tx + s.bytes_rx;
+    registry.record_phase(rank, Phase::Comm, s.wait_secs, bytes / 8, 0);
+    registry.record_phase(rank, Phase::Comp, (wall_secs - s.wait_secs).max(0.0), 0, 0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prox::Lasso;
+    use sparsela::io::Dataset;
+
+    fn problem(seed: u64) -> Dataset {
+        let a = datagen::uniform_sparse(100, 50, 0.15, seed);
+        datagen::planted_regression(a, 5, 0.05, seed).dataset
+    }
+
+    fn cfg(s: usize) -> LassoConfig {
+        LassoConfig {
+            mu: 4,
+            s,
+            lambda: 0.05,
+            seed: 11,
+            max_iters: 64,
+            trace_every: 16,
+            rel_tol: None,
+            ..Default::default()
+        }
+    }
+
+    /// Smoke: four socket ranks solve and agree bitwise; the full engine
+    /// matrix (vs seq/sim/dist) lives in `tests/engine_matrix.rs`.
+    #[test]
+    fn four_socket_ranks_agree_bitwise() {
+        let ds = problem(1);
+        let c = cfg(8);
+        let (_, blocks) = LassoRankData::split(&ds, 4, false);
+        let reg = Lasso::new(c.lambda);
+        let results = run_local(4, |rank, comm| net_sa_accbcd(comm, &blocks[rank], &reg, &c));
+        for r in &results[1..] {
+            assert_eq!(r.x, results[0].x, "replicated iterates must agree");
+        }
+        assert!(results[0].final_value() < results[0].trace.initial_value());
+    }
+
+    #[test]
+    fn net_stats_land_in_registry() {
+        let ds = problem(2);
+        let c = cfg(4);
+        let (_, blocks) = LassoRankData::split(&ds, 2, false);
+        let reg = Lasso::new(c.lambda);
+        let registries = run_local(2, |rank, comm| {
+            let _ = net_sa_accbcd(comm, &blocks[rank], &reg, &c);
+            let mut r = Registry::new();
+            record_net_stats(&mut r, comm, 1.0);
+            r
+        });
+        for (rank, r) in registries.iter().enumerate() {
+            assert!(r.counter("net.bytes_tx") > 0, "rank {rank} sent nothing");
+            assert_eq!(r.counter("net.reconnects"), 0, "rank {rank}");
+            assert!(r.counter("net.collectives") > 0, "rank {rank}");
+            assert!(r.gauge("net.comm.wall_secs").expect("gauge") > 0.0);
+            assert_eq!(r.meta().get("net.size").map(String::as_str), Some("2"));
+        }
+    }
+}

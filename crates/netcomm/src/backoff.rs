@@ -1,0 +1,105 @@
+//! Capped exponential backoff for connect retries.
+//!
+//! The schedule is a pure function of the configuration — no clock, no
+//! randomness — so two ranks racing a rendezvous retry on exactly the
+//! same cadence run after run (jitter is unnecessary here: the herd is at
+//! most P−1 ranks hitting one loopback listener, and determinism is worth
+//! more than decorrelation).
+
+use std::time::Duration;
+
+/// A deterministic capped-exponential retry schedule:
+/// `delay(k) = min(base · 2ᵏ, cap)` for `k ∈ [0, max_attempts)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Backoff {
+    /// First delay.
+    pub base: Duration,
+    /// Ceiling every later delay saturates at.
+    pub cap: Duration,
+    /// Total connect attempts before giving up.
+    pub max_attempts: u32,
+}
+
+impl Default for Backoff {
+    /// 5 ms doubling to a 250 ms cap over 40 attempts ≈ 9.3 s of total
+    /// patience — generous for `saco launch` spawning sibling processes,
+    /// short enough that a genuinely absent rendezvous fails fast.
+    fn default() -> Self {
+        Backoff {
+            base: Duration::from_millis(5),
+            cap: Duration::from_millis(250),
+            max_attempts: 40,
+        }
+    }
+}
+
+impl Backoff {
+    /// A schedule with the given parameters.
+    pub fn new(base: Duration, cap: Duration, max_attempts: u32) -> Backoff {
+        Backoff {
+            base,
+            cap,
+            max_attempts,
+        }
+    }
+
+    /// The delay after failed attempt `attempt` (0-based), saturating at
+    /// the cap; `None` once the attempt budget is spent.
+    pub fn delay(&self, attempt: u32) -> Option<Duration> {
+        if attempt + 1 >= self.max_attempts {
+            return None; // the last attempt is not followed by a wait
+        }
+        let mult = 1u64.checked_shl(attempt).unwrap_or(u64::MAX);
+        let d = self
+            .base
+            .checked_mul(mult.min(u32::MAX as u64) as u32)
+            .unwrap_or(self.cap);
+        Some(d.min(self.cap))
+    }
+
+    /// The full wait schedule, in order: `max_attempts − 1` delays (the
+    /// final attempt either succeeds or the connect fails for good).
+    pub fn schedule(&self) -> impl Iterator<Item = Duration> + '_ {
+        (0..self.max_attempts.saturating_sub(1)).map_while(|k| self.delay(k))
+    }
+
+    /// Total time spent waiting if every attempt fails.
+    pub fn total_wait(&self) -> Duration {
+        self.schedule().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_doubles_then_caps() {
+        let b = Backoff::new(Duration::from_millis(10), Duration::from_millis(100), 7);
+        let sched: Vec<u64> = b.schedule().map(|d| d.as_millis() as u64).collect();
+        assert_eq!(sched, vec![10, 20, 40, 80, 100, 100]);
+    }
+
+    #[test]
+    fn schedule_is_deterministic() {
+        let b = Backoff::default();
+        let a: Vec<Duration> = b.schedule().collect();
+        let c: Vec<Duration> = b.schedule().collect();
+        assert_eq!(a, c);
+        assert_eq!(a.len(), (b.max_attempts - 1) as usize);
+    }
+
+    #[test]
+    fn single_attempt_never_waits() {
+        let b = Backoff::new(Duration::from_millis(10), Duration::from_millis(100), 1);
+        assert_eq!(b.schedule().count(), 0);
+        assert_eq!(b.total_wait(), Duration::ZERO);
+    }
+
+    #[test]
+    fn huge_attempt_index_saturates_instead_of_overflowing() {
+        let b = Backoff::new(Duration::from_millis(10), Duration::from_secs(1), u32::MAX);
+        assert_eq!(b.delay(63), Some(Duration::from_secs(1)));
+        assert_eq!(b.delay(200), Some(Duration::from_secs(1)));
+    }
+}

@@ -1,0 +1,101 @@
+//! In-process mesh harness: P thread-ranks over real loopback sockets.
+//!
+//! `saco launch` runs ranks as OS processes; this harness runs them as
+//! threads in one process, but over exactly the same socket transport,
+//! frames and collectives — so the engine matrix and the netcomm tests
+//! exercise the real wire path without process spawning. Determinism is
+//! inherited from the mesh: each thread-rank owns its `NetComm`, and the
+//! tree association is fixed regardless of OS scheduling.
+
+use crate::mesh::{Algo, NetComm, NetConfig};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A fresh per-mesh socket directory: pid + a process-wide counter keeps
+/// concurrent tests in one binary from colliding.
+fn mesh_dir() -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("saco-mesh-{}-{n}", std::process::id()))
+}
+
+/// Run `f(rank, comm)` on `p` concurrent thread-ranks joined into one
+/// Unix-socket mesh with the given collective algorithm; returns the
+/// rank-indexed results. Panics (fail-stop, with the rank in the
+/// message) if any rank cannot join the mesh — a harness for tests and
+/// `--engine net`, not a supervisor.
+pub fn run_local_algo<R, F>(p: usize, algo: Algo, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize, &mut NetComm) -> R + Sync,
+{
+    assert!(p >= 1, "a mesh needs at least one rank");
+    let dir = mesh_dir();
+    std::fs::create_dir_all(&dir).expect("create mesh socket dir");
+    let configs: Vec<NetConfig> = (0..p)
+        .map(|r| {
+            let mut c = NetConfig::unix(r, p, &dir);
+            c.algo = algo;
+            // Loopback between live threads: anything slower than this
+            // is a real bug, so fail fast instead of the 30 s default.
+            c.io_timeout = Duration::from_secs(10);
+            c
+        })
+        .collect();
+    let out = saco_par::scoped_map(configs, |rank, cfg| {
+        let mut comm = NetComm::establish(cfg)
+            .unwrap_or_else(|e| panic!("rank {rank}: failed to join mesh: {e}"));
+        let r = f(rank, &mut comm);
+        comm.shutdown();
+        r
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+    out
+}
+
+/// [`run_local_algo`] with the default tree allreduce.
+pub fn run_local<R, F>(p: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize, &mut NetComm) -> R + Sync,
+{
+    run_local_algo(p, Algo::Tree, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_thread_ranks_form_a_mesh_and_reduce() {
+        let sums = run_local(4, |rank, comm| {
+            comm.allreduce_sum(vec![rank as f64, 1.0]).expect("reduce")
+        });
+        for s in &sums {
+            assert_eq!(s, &vec![0.0 + 1.0 + 2.0 + 3.0, 4.0]);
+        }
+    }
+
+    #[test]
+    fn clean_meshes_report_zero_reconnects() {
+        let snaps = run_local(3, |rank, comm| {
+            let _ = comm.allreduce_scalar(rank as f64).expect("reduce");
+            comm.barrier().expect("barrier");
+            comm.stats()
+        });
+        for (rank, s) in snaps.iter().enumerate() {
+            assert_eq!(s.reconnects, 0, "rank {rank} reconnected on loopback");
+            assert_eq!(
+                s.reordered, 0,
+                "rank {rank} saw reordering on a stream socket"
+            );
+            // establish's barrier + scalar + barrier.
+            assert_eq!(s.collectives, 3, "rank {rank}");
+            assert!(
+                s.bytes_tx > 0 && s.bytes_rx > 0,
+                "rank {rank} moved no bytes"
+            );
+        }
+    }
+}

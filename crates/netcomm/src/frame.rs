@@ -1,0 +1,250 @@
+//! The wire format: length-prefixed, sequence-numbered frames.
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic  0x5AC0_4E54  ("SACO" ⊕ "NT")
+//!      4     1  kind   (Hello | AddrTable | Data | Bye)
+//!      5     1  reserved (0)
+//!      6     2  sender rank        (u16 LE)
+//!      8     4  collective tag     (u32 LE)
+//!     12     8  per-link sequence  (u64 LE)
+//!     20     4  payload byte count (u32 LE)
+//!     24     …  payload
+//! ```
+//!
+//! `f64` payloads are encoded value-by-value as `to_bits()` little-endian
+//! — a bijection on bit patterns, so the wire preserves signed zeros,
+//! subnormals and NaN payloads exactly. That is what lets the net engine
+//! promise *bitwise* agreement with the thread machine: the only
+//! arithmetic in a reduction is the summation itself, never the
+//! transport.
+
+use crate::NetError;
+use std::io::{Read, Write};
+
+/// Frame magic: rejects cross-talk from anything that is not a netcomm
+/// peer (e.g. a stray client poking the rendezvous port).
+pub const MAGIC: u32 = 0x5AC0_4E54;
+
+/// Fixed header size in bytes.
+pub const HEADER_LEN: usize = 24;
+
+/// Upper bound on a frame payload (256 MiB). A corrupt length prefix
+/// fails immediately instead of driving a multi-gigabyte allocation.
+pub const MAX_PAYLOAD_BYTES: u32 = 1 << 28;
+
+/// What a frame carries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameKind {
+    /// Mesh handshake: "I am rank r; my listener is at …".
+    Hello = 1,
+    /// Rendezvous reply: the rank-indexed listener address table.
+    AddrTable = 2,
+    /// A collective payload of `f64` words.
+    Data = 3,
+    /// Orderly teardown notice.
+    Bye = 4,
+}
+
+impl FrameKind {
+    fn from_u8(v: u8) -> Option<FrameKind> {
+        match v {
+            1 => Some(FrameKind::Hello),
+            2 => Some(FrameKind::AddrTable),
+            3 => Some(FrameKind::Data),
+            4 => Some(FrameKind::Bye),
+            _ => None,
+        }
+    }
+}
+
+/// One wire frame.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Frame {
+    /// Payload discriminator.
+    pub kind: FrameKind,
+    /// Sender's rank.
+    pub rank: u16,
+    /// Collective-operation tag (sanity-checks that both ends of a link
+    /// are inside the same collective).
+    pub tag: u32,
+    /// Per-link, per-direction sequence number (starts at 0).
+    pub seq: u64,
+    /// Raw payload bytes.
+    pub bytes: Vec<u8>,
+}
+
+impl Frame {
+    /// A data frame carrying `f64` words.
+    pub fn data(rank: u16, tag: u32, seq: u64, payload: &[f64]) -> Frame {
+        let mut bytes = Vec::with_capacity(payload.len() * 8);
+        encode_f64s(payload, &mut bytes);
+        Frame {
+            kind: FrameKind::Data,
+            rank,
+            tag,
+            seq,
+            bytes,
+        }
+    }
+
+    /// Decode the payload as `f64` words.
+    pub fn payload_f64(&self) -> Result<Vec<f64>, NetError> {
+        decode_f64s(&self.bytes)
+    }
+
+    /// Total on-wire size of this frame.
+    pub fn wire_len(&self) -> usize {
+        HEADER_LEN + self.bytes.len()
+    }
+
+    /// Serialize into `out` (appended).
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.reserve(self.wire_len());
+        out.extend_from_slice(&MAGIC.to_le_bytes());
+        out.push(self.kind as u8);
+        out.push(0);
+        out.extend_from_slice(&self.rank.to_le_bytes());
+        out.extend_from_slice(&self.tag.to_le_bytes());
+        out.extend_from_slice(&self.seq.to_le_bytes());
+        out.extend_from_slice(&(self.bytes.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.bytes);
+    }
+
+    /// Write the frame to `w` in one buffered write (one syscall on an
+    /// unsaturated socket — frame latency is the α the SA methods avoid,
+    /// so the layer never splits a frame across writes).
+    pub fn write_to<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        let mut buf = Vec::with_capacity(self.wire_len());
+        self.encode_into(&mut buf);
+        w.write_all(&buf)?;
+        w.flush()
+    }
+
+    /// Read one frame from `r`, validating magic, kind and payload bound.
+    /// I/O errors (including read-timeout expiry) surface as the raw
+    /// `io::Error`; the link layer maps them to typed [`NetError`]s with
+    /// peer context.
+    pub fn read_from<R: Read>(r: &mut R) -> std::io::Result<Result<Frame, NetError>> {
+        let mut header = [0u8; HEADER_LEN];
+        r.read_exact(&mut header)?;
+        let magic = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
+        if magic != MAGIC {
+            return Ok(Err(NetError::Protocol(format!(
+                "bad frame magic {magic:#010x}"
+            ))));
+        }
+        let Some(kind) = FrameKind::from_u8(header[4]) else {
+            return Ok(Err(NetError::Protocol(format!(
+                "unknown frame kind {}",
+                header[4]
+            ))));
+        };
+        let rank = u16::from_le_bytes(header[6..8].try_into().expect("2 bytes"));
+        let tag = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
+        let seq = u64::from_le_bytes(header[12..20].try_into().expect("8 bytes"));
+        let len = u32::from_le_bytes(header[20..24].try_into().expect("4 bytes"));
+        if len > MAX_PAYLOAD_BYTES {
+            return Ok(Err(NetError::Protocol(format!(
+                "frame payload of {len} bytes exceeds the {MAX_PAYLOAD_BYTES}-byte bound"
+            ))));
+        }
+        let mut bytes = vec![0u8; len as usize];
+        r.read_exact(&mut bytes)?;
+        Ok(Ok(Frame {
+            kind,
+            rank,
+            tag,
+            seq,
+            bytes,
+        }))
+    }
+}
+
+/// Append `vals` to `out` as `to_bits()` little-endian words.
+pub fn encode_f64s(vals: &[f64], out: &mut Vec<u8>) {
+    out.reserve(vals.len() * 8);
+    for v in vals {
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+}
+
+/// Inverse of [`encode_f64s`]. Errors if the byte count is not a
+/// multiple of 8.
+pub fn decode_f64s(bytes: &[u8]) -> Result<Vec<f64>, NetError> {
+    if !bytes.len().is_multiple_of(8) {
+        return Err(NetError::Protocol(format!(
+            "f64 payload of {} bytes is not word-aligned",
+            bytes.len()
+        )));
+    }
+    Ok(bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().expect("8 bytes"))))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_through_a_byte_stream() {
+        let f = Frame::data(3, 17, 42, &[1.5, -0.0, f64::MIN_POSITIVE]);
+        let mut wire = Vec::new();
+        f.encode_into(&mut wire);
+        assert_eq!(wire.len(), f.wire_len());
+        let g = Frame::read_from(&mut wire.as_slice())
+            .expect("io")
+            .expect("protocol");
+        assert_eq!(f, g);
+        assert_eq!(
+            g.payload_f64().expect("aligned"),
+            vec![1.5, -0.0, f64::MIN_POSITIVE]
+        );
+        assert!(g.payload_f64().expect("aligned")[1].is_sign_negative());
+    }
+
+    #[test]
+    fn nan_bit_patterns_survive_the_wire() {
+        let weird = f64::from_bits(0x7ff8_dead_beef_cafe);
+        let f = Frame::data(0, 0, 0, &[weird]);
+        let mut wire = Vec::new();
+        f.encode_into(&mut wire);
+        let g = Frame::read_from(&mut wire.as_slice()).unwrap().unwrap();
+        assert_eq!(g.payload_f64().unwrap()[0].to_bits(), weird.to_bits());
+    }
+
+    #[test]
+    fn bad_magic_is_a_protocol_error_not_a_panic() {
+        let mut wire = Vec::new();
+        Frame::data(0, 0, 0, &[1.0]).encode_into(&mut wire);
+        wire[0] ^= 0xff;
+        let err = Frame::read_from(&mut wire.as_slice()).unwrap().unwrap_err();
+        assert!(matches!(err, NetError::Protocol(_)), "{err}");
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocation() {
+        let mut wire = Vec::new();
+        Frame::data(0, 0, 0, &[]).encode_into(&mut wire);
+        wire[20..24].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = Frame::read_from(&mut wire.as_slice()).unwrap().unwrap_err();
+        assert!(matches!(err, NetError::Protocol(_)), "{err}");
+    }
+
+    #[test]
+    fn truncated_stream_is_an_io_error() {
+        let mut wire = Vec::new();
+        Frame::data(0, 0, 0, &[2.0, 3.0]).encode_into(&mut wire);
+        wire.truncate(wire.len() - 5);
+        assert!(Frame::read_from(&mut wire.as_slice()).is_err());
+    }
+
+    #[test]
+    fn misaligned_payload_rejected() {
+        assert!(decode_f64s(&[0u8; 7]).is_err());
+        assert_eq!(decode_f64s(&[]).unwrap(), Vec::<f64>::new());
+    }
+}

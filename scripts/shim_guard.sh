@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # Guard the execution-backend refactor: the solver recurrences live ONLY in
-# crates/core/src/exec/. The seq/sim/dist modules are thin shims that bind
-# data to an engine — if an iteration loop or a sampled-kernel call creeps
-# back into one of them, the one-recurrence-three-engines invariant (and
-# with it the cross-engine equivalence the engine matrix asserts) is gone.
+# crates/core/src/exec/. The seq/sim/dist/net modules are thin shims that
+# bind data to an engine — if an iteration loop or a sampled-kernel call
+# creeps back into one of them, the one-recurrence-four-engines invariant
+# (and with it the cross-engine equivalence the engine matrix asserts) is
+# gone. The same split holds one layer down: crates/netcomm is a pure
+# message/collective layer and must never learn about the solvers it
+# carries, and the CLI launch path must stay a spawner, not a solver.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,8 +21,36 @@ patterns=(
 
 status=0
 for pat in "${patterns[@]}"; do
-    if hits=$(grep -rnE "$pat" crates/core/src/seq crates/core/src/sim crates/core/src/dist); then
+    if hits=$(grep -rnE "$pat" crates/core/src/seq crates/core/src/sim crates/core/src/dist crates/core/src/net); then
         echo "shim_guard: solver-loop pattern '$pat' found outside crates/core/src/exec/:" >&2
+        echo "$hits" >&2
+        status=1
+    fi
+done
+
+# netcomm is solver-free: frames, ordering, mesh, collectives — nothing
+# about Lasso/SVM recurrences, kernels, or the workspace they act on.
+solver_patterns=(
+    'lasso_family'
+    'svm_family'
+    'sampled_gram'
+    'sampled_cross'
+    'KernelWorkspace'
+    'Regularizer'
+)
+for pat in "${solver_patterns[@]}"; do
+    if hits=$(grep -rnE "$pat" crates/netcomm/src crates/netcomm/tests); then
+        echo "shim_guard: solver symbol '$pat' leaked into the netcomm message layer:" >&2
+        echo "$hits" >&2
+        status=1
+    fi
+done
+
+# The launch path spawns ranks and merges reports; the solve itself must
+# route through the saco::net entry points, never the recurrence kernels.
+for pat in 'lasso_family' 'svm_family' 'sampled_gram' 'sampled_cross'; do
+    if hits=$(grep -rnE "$pat" crates/cli/src); then
+        echo "shim_guard: solver-loop pattern '$pat' found in the CLI launch path:" >&2
         echo "$hits" >&2
         status=1
     fi
@@ -28,6 +59,6 @@ done
 if [ "$status" -ne 0 ]; then
     echo "shim_guard: FAILED — move recurrence logic into crates/core/src/exec/" >&2
 else
-    echo "shim_guard: OK — seq/sim/dist contain no solver-loop logic"
+    echo "shim_guard: OK — seq/sim/dist/net shims, netcomm and the CLI contain no solver-loop logic"
 fi
 exit "$status"

@@ -16,12 +16,18 @@
 //!   counters equal exactly, simulated times to 1e-9 — in both overlap
 //!   modes (the shared-code-path guarantee of the backend refactor);
 //! * each SA method matches its classical counterpart along the whole
-//!   trace (the paper's exact-arithmetic claim, Table III).
+//!   trace (the paper's exact-arithmetic claim, Table III);
+//! * net ≡ dist **bitwise at every p** (the socket mesh's tree allreduce
+//!   replicates the thread machine's combine order and the wire is
+//!   bit-lossless), hence net ≡ seq/sim bitwise at p = 1 and to 1e-9 at
+//!   p > 1 through the dist equivalences above; all net ranks agree
+//!   bitwise; overlap on ≡ off bitwise on the real wire too.
 
 use datagen::{binary_classification, planted_regression, uniform_sparse};
 use datagen::{PaperDataset, Task};
 use mpisim::{CostModel, CostReport, ThreadMachine};
 use saco::dist::{dist_sa_accbcd, dist_sa_bcd, dist_sa_svm, LassoRankData, SvmRankData};
+use saco::net::{net_sa_accbcd, net_sa_bcd, net_sa_svm, run_local};
 use saco::prox::{ElasticNet, GroupLasso, Lasso, Regularizer};
 use saco::seq::{acc_bcd, bcd, sa_accbcd, sa_bcd, sa_svm, svm};
 use saco::sim::{sim_sa_accbcd, sim_sa_bcd, sim_sa_svm};
@@ -87,6 +93,137 @@ fn run_dist_lasso<R: Regularizer + Sync>(
     .into_iter()
     .map(|(r, _)| r)
     .collect()
+}
+
+fn run_net_lasso<R: Regularizer + Sync>(
+    ds: &Dataset,
+    reg: &R,
+    c: &LassoConfig,
+    accel: bool,
+    p: usize,
+) -> Vec<SolveResult> {
+    let (_, blocks) = LassoRankData::split(ds, p, false);
+    run_local(p, |rank, comm| {
+        if accel {
+            net_sa_accbcd(comm, &blocks[rank], reg, c)
+        } else {
+            net_sa_bcd(comm, &blocks[rank], reg, c)
+        }
+    })
+}
+
+/// The net column of the Lasso matrix: real loopback sockets, P thread-
+/// rank processes-in-miniature, {BCD, accBCD} × overlap {off, on} ×
+/// p {1, 2, 4}. The socket engine must agree with the thread machine
+/// **bitwise at every p** (shared tree association + lossless wire);
+/// p = 1 is then bitwise-equal to seq, and p > 1 inherits dist's 1e-9
+/// agreement with seq, both asserted explicitly.
+#[test]
+fn net_engine_matches_dist_bitwise_lasso() {
+    let ds = lasso_ds(1);
+    let reg = Lasso::new(0.05);
+    for accel in [false, true] {
+        for overlap in [false, true] {
+            let c = lasso_cfg(4, 8, overlap);
+            let seq_res = run_seq_lasso(&ds, &reg, &c, accel);
+            for p in [1usize, 2, 4] {
+                let what = format!("accel={accel} overlap={overlap} p={p}");
+                let dist = run_dist_lasso(&ds, &reg, &c, accel, p);
+                let net = run_net_lasso(&ds, &reg, &c, accel, p);
+                for r in &net[1..] {
+                    assert_eq!(r.x, net[0].x, "{what}: net ranks disagree");
+                }
+                for (rank, (n, d)) in net.iter().zip(&dist).enumerate() {
+                    assert_eq!(n.x, d.x, "{what} rank {rank}: net vs dist iterates");
+                    // Traced objective values reduce through the same
+                    // tree, so they are bitwise equal too (times differ:
+                    // wall-measured vs modeled).
+                    assert_eq!(n.trace.len(), d.trace.len(), "{what} rank {rank}");
+                    for (a, b) in n.trace.points().iter().zip(d.trace.points()) {
+                        assert_eq!(a.value, b.value, "{what} rank {rank}: trace values");
+                    }
+                }
+                if p == 1 {
+                    assert_eq!(net[0].x, seq_res.x, "{what}: net p=1 vs seq");
+                } else {
+                    for (a, b) in net[0].x.iter().zip(&seq_res.x) {
+                        assert!((a - b).abs() < 1e-9, "{what}: net vs seq: {a} vs {b}");
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The net column for SVM: net ≡ dist bitwise (local `x` slices and the
+/// replicated gap trace) at p ∈ {1, 2, 4}, both overlap modes.
+#[test]
+fn net_engine_matches_dist_bitwise_svm() {
+    let ds = svm_ds(2);
+    for overlap in [false, true] {
+        let c = SvmConfig {
+            loss: SvmLoss::L1,
+            lambda: 1.0,
+            s: 16,
+            seed: 71,
+            max_iters: 192,
+            trace_every: 48,
+            gap_tol: None,
+            overlap,
+        };
+        for p in [1usize, 2, 4] {
+            let what = format!("svm overlap={overlap} p={p}");
+            let (_, blocks) = SvmRankData::split(&ds, p, false);
+            let dist: Vec<SolveResult> = ThreadMachine::run(p, CostModel::cray_xc30(), |comm| {
+                dist_sa_svm(comm, &blocks[comm.rank()], &c)
+            })
+            .into_iter()
+            .map(|(r, _)| r)
+            .collect();
+            let net = run_local(p, |rank, comm| net_sa_svm(comm, &blocks[rank], &c));
+            for (rank, (n, d)) in net.iter().zip(&dist).enumerate() {
+                assert_eq!(n.x, d.x, "{what} rank {rank}: local x slices");
+                assert_eq!(n.trace.len(), d.trace.len(), "{what} rank {rank}");
+                for (a, b) in n.trace.points().iter().zip(d.trace.points()) {
+                    assert_eq!(a.value, b.value, "{what} rank {rank}: gap trace");
+                }
+            }
+        }
+    }
+}
+
+/// Overlap must not perturb numerics on the real wire either: with
+/// overlap the comm worker races the solver thread, and the bits must
+/// not care.
+#[test]
+fn net_overlap_does_not_change_iterates() {
+    let ds = lasso_ds(1);
+    let reg = Lasso::new(0.05);
+    let on = run_net_lasso(&ds, &reg, &lasso_cfg(4, 8, true), true, 4);
+    let off = run_net_lasso(&ds, &reg, &lasso_cfg(4, 8, false), true, 4);
+    assert_eq!(
+        on[0].x, off[0].x,
+        "overlap changed iterates on the socket mesh"
+    );
+    let svm_cfg = |overlap| SvmConfig {
+        loss: SvmLoss::L2,
+        lambda: 1.0,
+        s: 8,
+        seed: 72,
+        max_iters: 96,
+        trace_every: 24,
+        gap_tol: None,
+        overlap,
+    };
+    let svm_ds = svm_ds(2);
+    let (_, blocks) = SvmRankData::split(&svm_ds, 4, false);
+    let c_on = svm_cfg(true);
+    let on = run_local(4, |rank, comm| net_sa_svm(comm, &blocks[rank], &c_on));
+    let c_off = svm_cfg(false);
+    let off = run_local(4, |rank, comm| net_sa_svm(comm, &blocks[rank], &c_off));
+    for (a, b) in on.iter().zip(&off) {
+        assert_eq!(a.x, b.x, "overlap changed SVM iterates on the socket mesh");
+    }
 }
 
 /// The full lasso-family matrix: {BCD, accBCD, SA-BCD, SA-accBCD} ×
