@@ -6,7 +6,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use datagen::{powerlaw_sparse, uniform_sparse};
 use sparsela::gram::{sampled_cross, sampled_gram, sampled_gram_into, sampled_gram_parallel};
-use sparsela::{vecops, DenseMatrix, GramWorkspace};
+use sparsela::{simd, vecops, DenseMatrix, GramWorkspace};
 use std::hint::black_box;
 use xrng::{rng_from_seed, sample_without_replacement};
 
@@ -214,6 +214,65 @@ fn bench_vecops(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_simd_modes(c: &mut Criterion) {
+    // The SACO_SIMD=scalar|wide sweep over every rewritten kernel — the
+    // same arithmetic either way (bitwise identical, see the sparsela
+    // proptests); what differs is only the ISA of the build dispatched.
+    // `wide` forces the widest detected build even for the BLAS-1
+    // reductions, whose Auto preference is the portable build (the fixed
+    // 4-chain association serializes when packed into one wide register)
+    // — so expect dot/wide ≤ dot/scalar on AVX hosts while the gram and
+    // axpy rows show the win.
+    let modes = [(simd::Mode::Scalar, "scalar"), (simd::Mode::Wide, "wide")];
+    let ambient = simd::mode();
+
+    let mut rng = rng_from_seed(41);
+    let (m, n) = (256, 128);
+    let a = DenseMatrix::from_vec(m, n, (0..m * n).map(|_| rng.next_gaussian()).collect());
+    let mut group = c.benchmark_group("simd_dense_gram_256x128");
+    group.throughput(Throughput::Elements((m * n * n) as u64));
+    for (mode, label) in modes {
+        group.bench_function(label, |b| {
+            simd::set_mode(mode);
+            b.iter(|| black_box(a.gram()));
+        });
+    }
+    group.finish();
+
+    let csc = uniform_sparse(20_000, 4_000, 0.01, 42).to_csc();
+    let mut rng = rng_from_seed(43);
+    let sel = sample_without_replacement(&mut rng, 4_000, 64);
+    let mut group = c.benchmark_group("simd_sampled_gram_64");
+    for (mode, label) in modes {
+        group.bench_function(label, |b| {
+            simd::set_mode(mode);
+            b.iter(|| black_box(sampled_gram(&csc, &sel)));
+        });
+    }
+    group.finish();
+
+    let x: Vec<f64> = (0..100_000).map(|i| (i as f64).sin()).collect();
+    let y: Vec<f64> = (0..100_000).map(|i| (i as f64).cos()).collect();
+    let mut group = c.benchmark_group("simd_vecops_100k");
+    group.throughput(Throughput::Elements(100_000));
+    for (mode, label) in modes {
+        group.bench_function(&format!("dot/{label}"), |b| {
+            simd::set_mode(mode);
+            b.iter(|| black_box(vecops::dot(&x, &y)));
+        });
+        group.bench_function(&format!("axpy/{label}"), |b| {
+            simd::set_mode(mode);
+            let mut z = y.clone();
+            b.iter(|| {
+                vecops::axpy(0.5, &x, &mut z);
+                black_box(z[0])
+            })
+        });
+    }
+    group.finish();
+    simd::set_mode(ambient);
+}
+
 criterion_group!(
     benches,
     bench_sampled_gram,
@@ -225,6 +284,7 @@ criterion_group!(
     bench_spmv,
     bench_gemm,
     bench_eig,
-    bench_vecops
+    bench_vecops,
+    bench_simd_modes
 );
 criterion_main!(benches);

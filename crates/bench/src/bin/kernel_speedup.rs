@@ -1,10 +1,12 @@
-//! Single-node kernel parallelism gauges → `BENCH_baseline.json`.
+//! Single-node kernel parallelism + SIMD gauges → `BENCH_baseline.json`.
 //!
 //! Records, under `kernel.*`, the speedup of the `saco-par` kernel layer
-//! on the dense-Gram and sparse-Gram hot paths, plus the allocation
-//! saving of the workspace-reuse API.
+//! on the dense-Gram and sparse-Gram hot paths, the measured gain of the
+//! `sparsela::simd` microkernels (scalar-vs-wide per kernel, and the
+//! rewrite vs. the pre-SIMD reference kernels kept in this bin), plus the
+//! allocation saving of the workspace-reuse API.
 //!
-//! Two kinds of numbers land in the baseline:
+//! Three kinds of numbers land in the baseline:
 //!
 //! * **Modeled comp_time** (`kernel.*.modeled_*`): the deterministic
 //!   makespan of the kernel's per-tile flop weights list-scheduled onto
@@ -15,13 +17,22 @@
 //!   this host actually did. On a single-CPU container the wall speedup
 //!   is ~1×, which is exactly why the modeled numbers exist; see
 //!   docs/PERFORMANCE.md.
+//! * **SIMD gauges** (`kernel.simd.*`): the active lane width, `SACO_SIMD`
+//!   mode, Gram tile shape, and per-kernel scalar→wide wall speedups —
+//!   see docs/OBSERVABILITY.md for the taxonomy.
+//!
+//! Two regressions fail this bin outright: the dense/sparse Gram rewrite
+//! dropping below its measured floor against the pre-SIMD kernels (when a
+//! wide ISA is active), and `wall_t4` inverting above `wall_t1` again
+//! (the committed PR-2 gauges once recorded 114µs > 84µs because the
+//! tiled path's buffers outweighed a sub-dispatch-size kernel).
 
 use datagen::uniform_sparse;
 use mpisim::{CostModel, KernelClass};
 use saco_bench::baseline::Baseline;
 use saco_bench::fmt_secs;
 use sparsela::gram::{sampled_gram, sampled_gram_into, sampled_gram_parallel};
-use sparsela::{DenseMatrix, GramWorkspace};
+use sparsela::{simd, vecops, CscMatrix, DenseMatrix, GramWorkspace};
 use std::hint::black_box;
 use std::time::Instant;
 use xrng::{rng_from_seed, sample_without_replacement};
@@ -37,9 +48,82 @@ fn wall_secs<F: FnMut()>(reps: usize, mut f: F) -> f64 {
     best
 }
 
+/// Best-of-`reps` wall seconds for `f` and `g`, alternated within every
+/// rep so both sides sample the same noise environment. The vs-reference
+/// floors are ratios of these — two sequential [`wall_secs`] calls on a
+/// shared host can see different interference windows and flake a ratio
+/// by 30% even when neither kernel changed.
+fn wall_pair<F: FnMut(), G: FnMut()>(reps: usize, mut f: F, mut g: G) -> (f64, f64) {
+    let (mut bf, mut bg) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        bf = bf.min(t0.elapsed().as_secs_f64());
+        let t0 = Instant::now();
+        g();
+        bg = bg.min(t0.elapsed().as_secs_f64());
+    }
+    (bf, bg)
+}
+
 /// Modeled comp_time of tile `weights` on `t` workers under `model`.
 fn modeled(model: &CostModel, class: KernelClass, weights: &[u64], ws: u64, t: usize) -> f64 {
     model.compute_time(class, saco_par::schedule_bound(weights, t), ws)
+}
+
+/// The pre-SIMD dense Gram kernel (row-wise outer products over the upper
+/// triangle, no register blocking) — the measured reference the rewrite's
+/// ≥2× floor is asserted against on the same host, same run.
+fn dense_gram_reference(a: &DenseMatrix) -> DenseMatrix {
+    let (m, n) = (a.rows(), a.cols());
+    let data = a.as_slice();
+    let mut g = vec![0.0f64; n * n];
+    for i in 0..m {
+        let row = &data[i * n..(i + 1) * n];
+        for x in 0..n {
+            let rx = row[x];
+            if rx == 0.0 {
+                continue;
+            }
+            for y in x..n {
+                g[x * n + y] += rx * row[y];
+            }
+        }
+    }
+    for x in 0..n {
+        for y in (x + 1)..n {
+            g[y * n + x] = g[x * n + y];
+        }
+    }
+    DenseMatrix::from_vec(n, n, g)
+}
+
+/// The pre-SIMD sampled Gram kernel: one scattered column at a time, one
+/// gathered single-chain dot per pair.
+fn sparse_gram_reference(m: &CscMatrix, sel: &[usize]) -> DenseMatrix {
+    let k = sel.len();
+    let mut g = vec![0.0f64; k * k];
+    let mut work = vec![0.0f64; m.rows()];
+    for a in 0..k {
+        let sa = m.col(sel[a]);
+        for (&i, &v) in sa.indices.iter().zip(sa.values) {
+            work[i] = v;
+        }
+        g[a * k + a] = sa.norm_sq();
+        for b in a + 1..k {
+            let sb = m.col(sel[b]);
+            let mut acc = 0.0;
+            for (&i, &x) in sb.indices.iter().zip(sb.values) {
+                acc += x * work[i];
+            }
+            g[a * k + b] = acc;
+            g[b * k + a] = acc;
+        }
+        for &i in sa.indices {
+            work[i] = 0.0;
+        }
+    }
+    DenseMatrix::from_vec(k, k, g)
 }
 
 fn main() {
@@ -50,6 +134,7 @@ fn main() {
         .map(|n| n.get())
         .unwrap_or(1);
     base.set("kernel.host_cpus", host_cpus as f64);
+    let reps = if quick { 9 } else { 5 };
 
     // -- Dense Gram: G = AᵀA over triangle row tiles ---------------------
     let (m, n) = if quick { (128, 64) } else { (512, 256) };
@@ -64,10 +149,10 @@ fn main() {
     base.set("kernel.dense_gram.modeled_comp_time.t1", t1);
     base.set("kernel.dense_gram.modeled_comp_time.t4", t4);
     base.set("kernel.dense_gram.modeled_speedup.t4", dense_speedup);
-    let wall1 = wall_secs(if quick { 2 } else { 5 }, || {
+    let wall1 = wall_secs(reps, || {
         black_box(a.gram_parallel(1));
     });
-    let wall4 = wall_secs(if quick { 2 } else { 5 }, || {
+    let wall4 = wall_secs(reps, || {
         black_box(a.gram_parallel(4));
     });
     base.set("kernel.dense_gram.wall_t1", wall1);
@@ -114,10 +199,10 @@ fn main() {
     base.set("kernel.sparse_gram.modeled_comp_time.t1", s1);
     base.set("kernel.sparse_gram.modeled_comp_time.t4", s4);
     base.set("kernel.sparse_gram.modeled_speedup.t4", sparse_speedup);
-    let swall1 = wall_secs(if quick { 2 } else { 5 }, || {
+    let swall1 = wall_secs(reps, || {
         black_box(sampled_gram_parallel(&csc, &sel, 1));
     });
-    let swall4 = wall_secs(if quick { 2 } else { 5 }, || {
+    let swall4 = wall_secs(reps, || {
         black_box(sampled_gram_parallel(&csc, &sel, 4));
     });
     base.set("kernel.sparse_gram.wall_t1", swall1);
@@ -128,6 +213,122 @@ fn main() {
         fmt_secs(s4),
         fmt_secs(swall1),
         fmt_secs(swall4)
+    );
+
+    // -- SIMD microkernels: vs the pre-SIMD kernels, and scalar vs wide --
+    // The references live in this bin (dense_gram_reference /
+    // sparse_gram_reference): same host, same run, same shapes,
+    // interleaved reps — a measured floor, not a modeled one.
+    let (old_dense, new_dense) = wall_pair(
+        reps,
+        || {
+            black_box(dense_gram_reference(&a));
+        },
+        || {
+            black_box(a.gram());
+        },
+    );
+    let (old_sparse, new_sparse) = wall_pair(
+        reps,
+        || {
+            black_box(sparse_gram_reference(&csc, &sel));
+        },
+        || {
+            black_box(sampled_gram(&csc, &sel));
+        },
+    );
+    // Numerical sanity: the rewrite re-chunked the dense accumulation
+    // (canonical 64-row partials), so agreement is to round-off, not bits.
+    {
+        let g_new = a.gram();
+        let g_old = dense_gram_reference(&a);
+        let scale = g_old.max_abs().max(1.0);
+        let max_diff = g_new
+            .as_slice()
+            .iter()
+            .zip(g_old.as_slice())
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0f64, f64::max);
+        assert!(
+            max_diff <= 1e-9 * scale,
+            "dense SIMD gram deviates from reference: {max_diff:.3e}"
+        );
+        // The sparse rewrite preserves every per-entry chain exactly.
+        let s_new = sampled_gram(&csc, &sel);
+        let s_old = sparse_gram_reference(&csc, &sel);
+        assert_eq!(
+            s_new.as_slice(),
+            s_old.as_slice(),
+            "sparse SIMD gram must be bitwise the per-pair reference"
+        );
+    }
+    let dense_vs_ref = old_dense / new_dense;
+    let sparse_vs_ref = old_sparse / new_sparse;
+    base.set("kernel.simd.dense_gram.speedup_vs_ref", dense_vs_ref);
+    base.set("kernel.simd.sparse_gram.speedup_vs_ref", sparse_vs_ref);
+
+    // Scalar-vs-wide sweep: identical kernels, SACO_SIMD pinned per side.
+    let ambient = simd::mode();
+    let vlen = 100_000usize;
+    let vx: Vec<f64> = (0..vlen).map(|i| (i as f64 * 1e-3).sin()).collect();
+    let vy: Vec<f64> = (0..vlen).map(|i| (i as f64 * 7e-4).cos()).collect();
+    let mut vz = vec![0.0f64; vlen];
+    let mut sweep = |mode: simd::Mode| {
+        simd::set_mode(mode);
+        let d = wall_secs(reps, || {
+            black_box(a.gram());
+        });
+        let s = wall_secs(reps, || {
+            black_box(sampled_gram(&csc, &sel));
+        });
+        let dt = wall_secs(reps, || {
+            for _ in 0..50 {
+                black_box(vecops::dot(&vx, &vy));
+            }
+        });
+        let ax = wall_secs(reps, || {
+            for _ in 0..50 {
+                vecops::axpy(1e-6, &vx, &mut vz);
+            }
+            black_box(vz[0]);
+        });
+        (d, s, dt, ax)
+    };
+    let (d_sc, s_sc, dot_sc, axpy_sc) = sweep(simd::Mode::Scalar);
+    let (d_wd, s_wd, dot_wd, axpy_wd) = sweep(simd::Mode::Wide);
+    simd::set_mode(ambient);
+    base.set("kernel.simd.dense_gram.speedup", d_sc / d_wd);
+    base.set("kernel.simd.sparse_gram.speedup", s_sc / s_wd);
+    base.set("kernel.simd.dot.speedup", dot_sc / dot_wd);
+    base.set("kernel.simd.axpy.speedup", axpy_sc / axpy_wd);
+    base.set("kernel.simd.lanes", simd::effective_lanes() as f64);
+    base.set(
+        "kernel.simd.mode",
+        match simd::mode() {
+            simd::Mode::Scalar => 0.0,
+            simd::Mode::Wide => 1.0,
+            simd::Mode::Auto => 2.0,
+        },
+    );
+    base.set("kernel.simd.tile.mr", simd::TILE_MR as f64);
+    base.set("kernel.simd.tile.nr", simd::TILE_NR as f64);
+    base.set(
+        "kernel.simd.tile.panel_rows",
+        simd::gram_tile_rows(n) as f64,
+    );
+    println!(
+        "simd ({}, {} lanes): dense gram ref {} → {} ({dense_vs_ref:.2}×), sparse ref {} → {} \
+         ({sparse_vs_ref:.2}×); scalar→wide dense {:.2}× sparse {:.2}× dot {:.2}× axpy {:.2}×",
+        simd::mode_label(),
+        simd::effective_lanes(),
+        fmt_secs(old_dense),
+        fmt_secs(new_dense),
+        fmt_secs(old_sparse),
+        fmt_secs(new_sparse),
+        d_sc / d_wd,
+        s_sc / s_wd,
+        dot_sc / dot_wd,
+        axpy_sc / axpy_wd,
     );
 
     // -- Workspace reuse vs fresh allocation (wall only) -----------------
@@ -163,6 +364,45 @@ fn main() {
     assert!(
         dense_speedup >= 1.5,
         "modeled dense-Gram speedup at 4 threads is {dense_speedup:.2}×, want ≥ 1.5×"
+    );
+
+    // The SIMD floor, measured not modeled: with a wide ISA active the
+    // rewrite must hold ≥2× on the dense Gram and ≥1.7× on the sparse
+    // path against the pre-SIMD kernels (prototyped 2.3×/2.0× on AVX2).
+    if simd::effective_lanes() >= 4 {
+        assert!(
+            dense_vs_ref >= 2.0,
+            "dense SIMD gram is {dense_vs_ref:.2}× the reference, want ≥ 2×"
+        );
+        assert!(
+            sparse_vs_ref >= 1.7,
+            "sparse SIMD gram is {sparse_vs_ref:.2}× the reference, want ≥ 1.7×"
+        );
+    } else {
+        println!(
+            "skipping SIMD floor asserts: no wide ISA active (mode {}, {} lanes)",
+            simd::mode_label(),
+            simd::effective_lanes()
+        );
+    }
+
+    // Dispatch sanity: adding a thread budget must never cost wall time
+    // beyond noise — the PR-2 gauges shipped wall_t4 = 1.36 × wall_t1
+    // because sub-dispatch-size kernels still paid the tiled path's
+    // buffers and merges. Both Gram paths now short-circuit to the serial
+    // kernel below MIN_DISPATCH_WORK, so t4 ≈ t1 on small hosts and
+    // t4 < t1 where the pool genuinely engages.
+    assert!(
+        wall4 <= wall1 * 1.05,
+        "kernel.dense_gram.wall_t4 {} > 1.05 × wall_t1 {}",
+        fmt_secs(wall4),
+        fmt_secs(wall1)
+    );
+    assert!(
+        swall4 <= swall1 * 1.05,
+        "kernel.sparse_gram.wall_t4 {} > 1.05 × wall_t1 {}",
+        fmt_secs(swall4),
+        fmt_secs(swall1)
     );
 
     let path = base.write();

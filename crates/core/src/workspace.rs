@@ -21,7 +21,10 @@ use sparsela::{DenseMatrix, GramWorkspace};
 /// each outer iteration, so steady-state iterations allocate nothing.
 #[derive(Clone, Debug)]
 pub struct KernelWorkspace {
-    /// Scatter buffer for the sparse Gram kernels.
+    /// Scatter buffers for the sparse Gram kernels — including the
+    /// 64-byte-aligned interleaved buffer the `sparsela::simd` sampled
+    /// Gram scatters into, so the SA hot loop's SIMD path gets aligned
+    /// scratch for free by carrying this workspace across iterations.
     pub(crate) gram_ws: GramWorkspace,
     /// The sampled Gram matrix `G = YᵀY` (local contribution in dist).
     pub(crate) gram: DenseMatrix,

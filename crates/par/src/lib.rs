@@ -123,6 +123,20 @@ fn record_region(tiles: usize, busy_nanos: u64, wall_nanos: u64) {
     WALL_NANOS.fetch_add(wall_nanos, Ordering::Relaxed);
 }
 
+/// Run `f` as a *serial* pool region: counted in [`stats`] (one region,
+/// `ntiles` tiles, busy == wall) exactly like [`tiled_map_weighted`]'s
+/// own serial fallback, without spawning anything. Pooled kernels whose
+/// sub-dispatch path is a different serial core — not the tiled closure
+/// on one worker — wrap it in this so `regions` keeps meaning "pooled
+/// kernel invocations", whether or not workers engaged.
+pub fn serial_region<T>(ntiles: usize, f: impl FnOnce() -> T) -> T {
+    let t0 = Instant::now();
+    let out = f();
+    let el = t0.elapsed().as_nanos() as u64;
+    record_region(ntiles, el, el);
+    out
+}
+
 // ---------------------------------------------------------------------------
 // Deterministic tiled reduction
 // ---------------------------------------------------------------------------
@@ -135,7 +149,13 @@ fn record_region(tiles: usize, busy_nanos: u64, wall_nanos: u64) {
 /// the pool would even be assembled. Calibrated against the solver-loop
 /// Gram kernels: an `sb × sb` block Gram with a few hundred nonzeros per
 /// column clears the bar only once the tile work dwarfs the spawn cost.
-pub const MIN_DISPATCH_WORK: u64 = 1 << 17;
+/// Recalibrated upward (2¹⁷ → 2²⁰) when the SIMD microkernels multiplied
+/// serial throughput: a quick-mode dense Gram (~5·10⁵ estimated ops) now
+/// finishes in ~40µs serially — the same order as assembling the pool —
+/// so dispatching it loses on every host. The break-even moved to
+/// roughly a megaop (≈1ms of serial work), where a 2–4× win dwarfs the
+/// spawn cost.
+pub const MIN_DISPATCH_WORK: u64 = 1 << 20;
 
 /// Cached `available_parallelism` — the fan-out cap. On a single-CPU host
 /// pooled workers only contend (the committed baseline once recorded

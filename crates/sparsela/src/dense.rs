@@ -6,7 +6,7 @@
 //! small dense-matrix type with multiplication, transpose and symmetric
 //! rank-k updates.
 
-use crate::vecops;
+use crate::{simd, vecops};
 
 /// A row-major dense `rows × cols` matrix of `f64`.
 #[derive(Clone, Debug, PartialEq)]
@@ -215,21 +215,18 @@ impl DenseMatrix {
     /// mirroring it (the paper's footnote 3 trick: "G is symmetric so
     /// computing just the upper/lower triangular part reduces flops and
     /// message size by 2×").
+    ///
+    /// The triangle is produced by [`simd::gram_upper_rows`] — a
+    /// register-blocked 4×8 microkernel accumulating over canonical
+    /// 64-row chunks with L2-sized row panels — so every entry has one
+    /// fixed association at any `SACO_SIMD` mode, panel size, or (via
+    /// [`Self::gram_parallel`]) thread count.
     pub fn gram(&self) -> DenseMatrix {
         let n = self.cols;
         let mut g = DenseMatrix::zeros(n, n);
-        for i in 0..self.rows {
-            let row = self.row(i);
-            for a in 0..n {
-                let ra = row[a];
-                if ra == 0.0 {
-                    continue;
-                }
-                for b in a..n {
-                    g.data[a * n + b] += ra * row[b];
-                }
-            }
-        }
+        simd::gram_upper_rows(&self.data, self.rows, n, 0, n, &mut g.data);
+        // Mirror overwrites every below-diagonal slot, including the few
+        // the kernel's diagonal-straddling tiles touched.
         for a in 0..n {
             for b in (a + 1)..n {
                 g.data[b * n + a] = g.data[a * n + b];
@@ -300,37 +297,56 @@ impl DenseMatrix {
     }
 
     /// Multi-threaded [`gram`](Self::gram) over `saco-par`: the upper
-    /// triangle's output rows are split into tiles, and every entry
-    /// `G[a][b]` accumulates over the data rows in the same ascending
-    /// order as the serial kernel — so the result is **bitwise
-    /// identical** at any thread count. Tiles are sized unevenly (row `a`
-    /// of the triangle costs `n − a` updates) via many small tiles plus
-    /// the pool's dynamic claiming.
+    /// triangle's output rows are split into band tiles, each produced by
+    /// the same [`simd::gram_upper_rows`] microkernel. Band splits cannot
+    /// change the canonical-chunk fold behind any entry, so the result is
+    /// **bitwise identical** at any thread count. Tiles are sized
+    /// unevenly (row `a` of the triangle costs `n − a` updates) via many
+    /// small tiles plus the pool's dynamic claiming.
+    ///
+    /// Small problems short-circuit to the serial kernel through
+    /// `saco_par::dispatch_width` — the µ×µ Gram of a quick-mode solve is
+    /// far below `MIN_DISPATCH_WORK`, and the tiled path's per-tile
+    /// buffers and merge copies were what made `kernel.dense_gram.wall_t4`
+    /// slower than `wall_t1` in the PR-2 gauges.
     pub fn gram_parallel(&self, nthreads: usize) -> DenseMatrix {
         let n = self.cols;
-        if nthreads <= 1 || n < 8 {
+        // Triangle row a costs 2·m·(n − a) flops: n(n+1)·m over the block.
+        let work = (n * (n + 1) * self.rows) as u64;
+        if n < 8 || nthreads <= 1 {
             return self.gram();
         }
-        let tiles = saco_par::tile_ranges(n, 8 * nthreads);
-        // Triangle row a costs 2·m·(n − a) flops: n(n+1)·m over the block.
+        if saco_par::dispatch_width(nthreads, n, work) <= 1 {
+            // Sub-dispatch-size with a pool requested: serial kernel, but
+            // counted as a region (like tiled_map_weighted's fallback) so
+            // `par.regions` keeps tracking pooled-kernel invocations.
+            return saco_par::serial_region(n, || self.gram());
+        }
+        // Cap the tile count so every band keeps at least TILE_MR rows:
+        // thinner bands would degrade the microkernel to its scalar edge
+        // path. Band boundaries never affect bits (see gram_upper_rows).
+        let ntiles = (n / simd::TILE_MR).max(1).min(8 * nthreads);
+        let tiles = saco_par::tile_ranges(n, ntiles);
         let parts = saco_par::tiled_map_weighted(
             nthreads,
             tiles.len(),
-            (n * (n + 1) * self.rows) as u64,
+            work,
             || (),
             |_, t| {
                 let (lo, hi) = tiles[t];
-                self.gram_triangle_rows(lo, hi)
+                let mut band = vec![0.0; (hi - lo) * n];
+                simd::gram_upper_rows(&self.data, self.rows, n, lo, hi, &mut band);
+                band
             },
         );
         let mut g = DenseMatrix::zeros(n, n);
         for (t, part) in parts.into_iter().enumerate() {
             let (lo, hi) = tiles[t];
-            let mut off = 0;
             for a in lo..hi {
-                let width = n - a;
-                g.data[a * n + a..(a + 1) * n].copy_from_slice(&part[off..off + width]);
-                off += width;
+                // Keep only each band row's upper-triangle span; the
+                // mirror below fills (and overwrites) the rest.
+                g.data[a * n + a..(a + 1) * n]
+                    .copy_from_slice(&part[(a - lo) * n + a..(a - lo + 1) * n]);
             }
         }
         for a in 0..n {
@@ -339,31 +355,6 @@ impl DenseMatrix {
             }
         }
         g
-    }
-
-    /// Upper-triangle rows `[lo, hi)` of `AᵀA`, packed row-major
-    /// (`row a` contributes its `n − a` entries `G[a][a..n]`). Entry
-    /// accumulation order over data rows matches [`gram`](Self::gram).
-    fn gram_triangle_rows(&self, lo: usize, hi: usize) -> Vec<f64> {
-        let n = self.cols;
-        let len: usize = (lo..hi).map(|a| n - a).sum();
-        let mut out = vec![0.0; len];
-        for i in 0..self.rows {
-            let row = self.row(i);
-            let mut off = 0;
-            for a in lo..hi {
-                let ra = row[a];
-                let width = n - a;
-                if ra != 0.0 {
-                    let dst = &mut out[off..off + width];
-                    for (d, &rb) in dst.iter_mut().zip(&row[a..n]) {
-                        *d += ra * rb;
-                    }
-                }
-                off += width;
-            }
-        }
-        out
     }
 
     /// Frobenius norm.

@@ -10,6 +10,9 @@
 //!
 //! Two code paths:
 //! * sparse (scatter/dot over [`SparseSlice`]s) — for sparse datasets;
+//!   the serial kernel scatters [`simd::SPARSE_LANES`] selected slices
+//!   interleaved and streams each partner slice once per block, so the
+//!   per-entry gather becomes one cache-line-wide vector load;
 //! * dense (gather + blocked GEMM) — the BLAS-3 path for dense datasets,
 //!   which is also what makes computing `s` iterations of dot products at
 //!   once *faster per flop* than `s` separate BLAS-1 calls (Fig. 4e–h).
@@ -20,7 +23,7 @@
 //! and `_with_workspace`/`_into` variants that reuse caller-owned buffers
 //! so the SA hot loop allocates nothing per outer iteration.
 
-use crate::{CscMatrix, CsrMatrix, DenseMatrix, SparseSlice};
+use crate::{simd, CscMatrix, CsrMatrix, DenseMatrix, SparseSlice};
 
 /// Anything that exposes indexed sparse slices along its major axis:
 /// `CsrMatrix` (rows) for the SVM solvers, `CscMatrix` (columns) for the
@@ -58,14 +61,18 @@ impl MajorSlices for CscMatrix {
     }
 }
 
-/// Reusable scratch for the sparse Gram kernels: the dense scatter buffer
-/// of minor length. Creating one per call costs an `O(minor_len)`
-/// zero-fill *and* an allocation; holding one across calls (it is
-/// restored to all-zeros by the kernel's un-scatter pass) makes repeated
-/// `sampled_gram` calls allocation-free.
+/// Reusable scratch for the sparse Gram kernels: a dense scatter buffer
+/// of minor length (one column at a time — the pooled per-row path) and a
+/// 64-byte-aligned *interleaved* buffer holding [`simd::SPARSE_LANES`]
+/// scattered columns side by side (the serial SIMD block pass). Creating
+/// either per call costs an `O(minor_len)` zero-fill *and* an allocation;
+/// holding them across calls (both are restored to all-zeros by the
+/// kernels' un-scatter passes) makes repeated `sampled_gram` calls
+/// allocation-free.
 #[derive(Clone, Debug, Default)]
 pub struct GramWorkspace {
     scatter: Vec<f64>,
+    interleaved: simd::AlignedBuf,
 }
 
 impl GramWorkspace {
@@ -83,6 +90,14 @@ impl GramWorkspace {
             self.scatter.resize(minor_len, 0.0);
         }
         &mut self.scatter[..minor_len]
+    }
+
+    /// The interleaved scatter buffer at `SPARSE_LANES · minor_len`, all
+    /// zeros, 64-byte aligned (row `i` of all lanes is one cache line).
+    /// Same grow-only, zero-maintained contract as
+    /// [`Self::scatter_for`].
+    fn interleaved_for(&mut self, minor_len: usize) -> &mut [f64] {
+        self.interleaved.zeroed_to(simd::SPARSE_LANES * minor_len)
     }
 }
 
@@ -132,23 +147,56 @@ pub fn sampled_gram_with_workspace<M: MajorSlices>(
     g
 }
 
-/// Serial scatter-dot core: fill `out` (pre-shaped `k×k`, zeroed) row by
-/// row, mirroring as it goes.
+/// Serial scatter-dot core: [`simd::SPARSE_LANES`] selected slices are
+/// scattered *interleaved* (lane `l` of row `i` at `work[LANES·i + l]`),
+/// then one streaming pass over each partner slice `b` produces up to
+/// `LANES` Gram entries at once — the old per-entry gather becomes one
+/// contiguous cache-line-wide load per nonzero.
+///
+/// Bitwise identical to the per-row [`gram_row`] path (which the pooled
+/// variant still uses): each lane's accumulator follows exactly the
+/// single-chain order of `dot_dense` over slice `b`'s nonzeros, and
+/// diagonals are the same `norm_sq`. Only instruction scheduling differs.
 fn gram_serial_core<M: MajorSlices>(
     m: &M,
     sel: &[usize],
     ws: &mut GramWorkspace,
     out: &mut DenseMatrix,
 ) {
+    const L: usize = simd::SPARSE_LANES;
     let k = sel.len();
-    let work = ws.scatter_for(m.minor_len());
-    let mut row = Vec::new();
-    for a in 0..k {
-        gram_row(m, sel, a, work, &mut row);
-        for (off, &v) in row.iter().enumerate() {
-            out.set(a, a + off, v);
-            out.set(a + off, a, v);
+    let work = ws.interleaved_for(m.minor_len());
+    let mut a0 = 0;
+    while a0 < k {
+        let aw = (k - a0).min(L);
+        // Scatter the block's lanes and set its diagonal entries.
+        // Duplicate selections land in distinct lanes, so they coexist.
+        for l in 0..aw {
+            let sa = m.slice(sel[a0 + l]);
+            for (&i, &v) in sa.indices.iter().zip(sa.values) {
+                work[L * i + l] = v;
+            }
+            out.set(a0 + l, a0 + l, sa.norm_sq());
         }
+        // One pass per partner slice b > a0; lanes l < b − a0 are the
+        // strictly-upper entries (a0 + l, b), mirrored as we go.
+        for b in a0 + 1..k {
+            let lw = (b - a0).min(aw);
+            let sb = m.slice(sel[b]);
+            let mut lanes = [0.0f64; L];
+            simd::scatter_dot_lanes(sb.indices, sb.values, work, &mut lanes);
+            for l in 0..lw {
+                out.set(a0 + l, b, lanes[l]);
+                out.set(b, a0 + l, lanes[l]);
+            }
+        }
+        // Un-scatter: restore the workspace's all-zeros invariant.
+        for l in 0..aw {
+            for &i in m.slice(sel[a0 + l]).indices {
+                work[L * i + l] = 0.0;
+            }
+        }
+        a0 += L;
     }
 }
 
@@ -167,22 +215,31 @@ pub fn sampled_gram_into<M: MajorSlices + Sync>(
 ) {
     let k = sel.len();
     out.reshape_zeroed(k, k);
-    if nthreads <= 1 || k < 4 {
-        gram_serial_core(m, sel, ws, out);
-        return;
-    }
     // One tile per upper-triangle row: row a costs (k − a) pair-dots, so
     // fine-grained tiles plus the pool's dynamic claiming balance the
     // triangle without a static schedule. Row a scatters slice a then
     // dots it against every slice b ≥ a (~2·nnz_b each); the suffix-sum
-    // estimate below lets the pool skip dispatch when the whole triangle
-    // is cheaper than spawning workers.
+    // estimate below decides up front whether the whole triangle is
+    // cheaper than spawning workers — in which case we skip not just the
+    // pool but the tiled path's per-row buffers and merge copies, and run
+    // the serial SIMD block kernel directly.
     let mut work = 0u64;
     let mut suffix = 0u64;
     for &j in sel.iter().rev() {
         let nnz = m.slice(j).nnz() as u64;
         suffix += 2 * nnz;
         work += nnz + suffix;
+    }
+    if k < 4 || nthreads <= 1 {
+        gram_serial_core(m, sel, ws, out);
+        return;
+    }
+    if saco_par::dispatch_width(nthreads, k, work) <= 1 {
+        // Sub-dispatch-size with a pool requested: run the serial core
+        // but count the region, like tiled_map_weighted's own fallback,
+        // so `par.regions` keeps tracking pooled-kernel invocations.
+        saco_par::serial_region(k, || gram_serial_core(m, sel, ws, out));
+        return;
     }
     let rows = saco_par::tiled_map_weighted(
         nthreads,
@@ -432,6 +489,31 @@ mod tests {
     }
 
     #[test]
+    fn interleaved_serial_core_matches_gram_row_bitwise() {
+        // The serial core's SPARSE_LANES-interleaved pass must reproduce
+        // the per-row gram_row arithmetic bit for bit — that identity is
+        // what keeps the pooled path (which still uses gram_row) bitwise
+        // equal to the serial kernel. Selection includes a duplicate and
+        // a ragged tail (11 = 8 + 3 lanes).
+        let csc = random_sparse(80, 40, 0.2, 20).to_csc();
+        let sel = vec![0usize, 3, 3, 7, 11, 12, 19, 25, 31, 39, 2];
+        let g = sampled_gram(&csc, &sel);
+        let mut work = vec![0.0; 80];
+        let mut row = Vec::new();
+        for a in 0..sel.len() {
+            gram_row(&csc, &sel, a, &mut work, &mut row);
+            for (off, &v) in row.iter().enumerate() {
+                assert_eq!(
+                    g.get(a, a + off).to_bits(),
+                    v.to_bits(),
+                    "entry ({a},{})",
+                    a + off
+                );
+            }
+        }
+    }
+
+    #[test]
     fn workspace_variant_is_bitwise_identical_and_reusable() {
         let csc = random_sparse(50, 20, 0.3, 10).to_csc();
         let mut ws = GramWorkspace::new();
@@ -495,8 +577,12 @@ mod parallel_tests {
 
     #[test]
     fn parallel_gram_is_bitwise_identical() {
-        let csc = random_csc(300, 120, 0.1, 41);
-        let sel: Vec<usize> = (0..120).step_by(2).collect();
+        // Dense enough that the work estimate clears MIN_DISPATCH_WORK
+        // (~2.6M estimated ops): on multi-core hosts the pool genuinely
+        // engages (on 1-CPU hosts dispatch_width still serializes — also
+        // a valid data point).
+        let csc = random_csc(600, 120, 0.3, 41);
+        let sel: Vec<usize> = (0..120).collect();
         let seq = sampled_gram(&csc, &sel);
         for threads in [1usize, 2, 3, 7, 64] {
             let par = sampled_gram_parallel(&csc, &sel, threads);
@@ -519,9 +605,11 @@ mod parallel_tests {
 
     #[test]
     fn dense_gram_parallel_is_bitwise_identical() {
+        // 80·81·200 ≈ 1.3M estimated ops — above MIN_DISPATCH_WORK, so
+        // multi-core hosts exercise the genuinely pooled band path.
         let mut rng = rng_from_seed(43);
-        let data: Vec<f64> = (0..160 * 48).map(|_| rng.next_gaussian()).collect();
-        let a = DenseMatrix::from_vec(160, 48, data);
+        let data: Vec<f64> = (0..200 * 80).map(|_| rng.next_gaussian()).collect();
+        let a = DenseMatrix::from_vec(200, 80, data);
         let seq = a.gram();
         for threads in [1usize, 2, 4, 7, 16] {
             let par = a.gram_parallel(threads);

@@ -13,6 +13,10 @@
 //!   sparse formats with conversions; the paper stores data in "Compressed
 //!   Sparse Row format (3-array variant)".
 //! * [`vecops`] — BLAS-1 style slice kernels (dot, axpy, norms, …).
+//! * [`simd`] — explicit-width microkernels behind the hot paths
+//!   (runtime `SACO_SIMD=auto|scalar|wide` dispatch, register-blocked
+//!   dense Gram, interleaved sparse scatter-dot) under a deterministic
+//!   lane-reduction contract: every width is bitwise identical.
 //! * [`gram`] — sampled Gram matrices `Aₛᵀ Aₛ` and cross products
 //!   `Aₛᵀ [v w]`, the two reductions at the heart of Algorithms 1–4.
 //! * [`eig`] — Jacobi eigensolver and power iteration for the small
@@ -29,8 +33,10 @@
 //!   payload (only the upper triangle travels; see `docs/PERFORMANCE.md`).
 //!
 //! Everything is `f64`; determinism matters more than the last 10% of
-//! throughput here, so all reductions are sequential, fixed-order within a
-//! rank (cross-rank reductions are the simulator's job).
+//! throughput here, so all reductions use a fixed association within a
+//! rank (cross-rank reductions are the simulator's job). The SIMD builds
+//! in [`simd`] respect that: they reschedule independent accumulator
+//! lanes, never reassociate a chain, so speed costs zero reproducibility.
 
 // Index-based loops mirror the textbook formulations of the numerical
 // kernels; iterator rewrites obscure them.
@@ -47,6 +53,7 @@ pub mod gram;
 pub mod io;
 pub mod qr;
 pub mod scale;
+pub mod simd;
 pub mod svdest;
 pub mod sympack;
 pub mod vecops;
@@ -80,6 +87,12 @@ impl SparseSlice<'_> {
     }
 
     /// Dot product with a dense vector.
+    ///
+    /// Deliberately a single scalar accumulator chain: the gathered
+    /// access pattern defeats lane splitting (measured slower under both
+    /// portable and AVX2 codegen), and this chain's order is the
+    /// per-entry contract the interleaved sampled-Gram kernel in
+    /// [`gram`] reproduces lane by lane.
     pub fn dot_dense(&self, v: &[f64]) -> f64 {
         let mut acc = 0.0;
         for (&i, &x) in self.indices.iter().zip(self.values) {

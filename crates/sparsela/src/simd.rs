@@ -1,0 +1,841 @@
+//! Explicit-width SIMD microkernels with a deterministic lane-reduction
+//! contract.
+//!
+//! Every kernel here is written once, as a *portable* Rust function with a
+//! **fixed** lane structure — a fixed number of partial accumulators,
+//! combined in a fixed left-to-right order — and then compiled a second and
+//! third time behind `#[target_feature(enable = "avx2"/"avx512f")]`
+//! wrappers. Runtime dispatch picks the widest instruction set the host
+//! supports (overridable via `SACO_SIMD`, see [`Mode`]).
+//!
+//! # The determinism contract
+//!
+//! The lane structure is part of the kernel's *definition*, not its
+//! execution width: a dot product always uses [`LANES`] = 4 partial sums
+//! reduced as `(acc0 + acc1) + (acc2 + acc3) + tail`, a dense Gram entry is
+//! always the left-to-right fold of [`CHUNK`] = 64-row partial sums, and the
+//! sparse scatter-dot always keeps one accumulator chain per scattered
+//! column. Because the AVX2/AVX-512 builds execute the *same* IEEE-754
+//! operations in the *same* association (vectorization only reschedules
+//! independent lanes, it never reassociates a chain, and fused
+//! multiply-add is banned repo-wide — `scripts/shim_guard.sh`), the
+//! scalar and wide paths are **bitwise identical** by construction. The
+//! proptests in `tests/proptests.rs` pin this for every kernel, including
+//! ragged tails.
+//!
+//! The same argument makes the cache-tile size a pure throughput knob: any
+//! row-panel height that is a multiple of [`CHUNK`] folds the identical
+//! chunk partials in the identical order, so the L2-probed panel height
+//! ([`gram_tile_rows`], override `SACO_L2_KB`) cannot change a bit.
+//!
+//! This module is the only place in the numeric crates allowed to spell
+//! out raw product-accumulate inner loops; `vecops`, `dense::gram*` and
+//! `gram` route through it (enforced by `scripts/shim_guard.sh`). One
+//! deliberate exception: [`crate::SparseSlice::dot_dense`] stays a single
+//! scalar chain — its gather pattern defeats vectorization (measured
+//! slower with lane splitting), and its single-accumulator order is what
+//! the interleaved kernel below reproduces per lane.
+
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+
+/// Accumulator lanes of the BLAS-1 reductions ([`dot`], [`nrm2_sq`]).
+pub const LANES: usize = 4;
+
+/// Canonical row-chunk length of the dense Gram kernel: every `G[a][b]`
+/// is the left-to-right fold of per-64-row partial sums, whatever the
+/// cache tiling. Tile heights are constrained to multiples of this.
+pub const CHUNK: usize = 64;
+
+/// Interleaved scatter lanes of the sparse sampled-Gram kernel: that many
+/// selected columns are scattered side by side so one streaming pass over
+/// a partner column's nonzeros produces that many Gram entries with
+/// contiguous (cache-line-wide) loads instead of gathers.
+pub const SPARSE_LANES: usize = 8;
+
+/// Dense Gram micro-tile height (rows of `G` per register block).
+pub const TILE_MR: usize = 4;
+
+/// Dense Gram micro-tile width (columns of `G` per register block).
+pub const TILE_NR: usize = 8;
+
+// ---------------------------------------------------------------------------
+// Mode / ISA selection
+// ---------------------------------------------------------------------------
+
+/// Execution-width policy, resolved from `SACO_SIMD` (or [`set_mode`]).
+///
+/// A pure throughput knob: all modes produce bitwise-identical results
+/// (the lane-reduction contract above). `Scalar` forces the portable
+/// build of every kernel; `Wide`/`Auto` use the widest detected ISA.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Use the widest instruction set the host supports (default).
+    Auto,
+    /// Force the portable (baseline-codegen) build of every kernel.
+    Scalar,
+    /// Explicitly request the wide build (same behavior as `Auto`; the
+    /// distinct name exists so CI can pin both sides of the identity).
+    Wide,
+}
+
+// 0 = unresolved, 1 = Auto, 2 = Scalar, 3 = Wide.
+static MODE: AtomicU8 = AtomicU8::new(0);
+// 0 = unresolved, 1 = Portable, 2 = Avx2, 3 = Avx512.
+static DETECTED: AtomicU8 = AtomicU8::new(0);
+
+/// The active execution-width policy (cached; first call reads
+/// `SACO_SIMD=auto|scalar|wide`, unknown values fall back to `auto`).
+pub fn mode() -> Mode {
+    match MODE.load(Ordering::Relaxed) {
+        0 => {
+            let m = match std::env::var("SACO_SIMD").as_deref() {
+                Ok("scalar") => Mode::Scalar,
+                Ok("wide") => Mode::Wide,
+                _ => Mode::Auto,
+            };
+            set_mode(m);
+            m
+        }
+        2 => Mode::Scalar,
+        3 => Mode::Wide,
+        _ => Mode::Auto,
+    }
+}
+
+/// Override the execution-width policy in-process (tests and benchmarks
+/// compare `Scalar` vs `Wide` without re-execing). Safe to flip at any
+/// time: the mode never changes results, only instruction selection.
+pub fn set_mode(m: Mode) {
+    let v = match m {
+        Mode::Auto => 1,
+        Mode::Scalar => 2,
+        Mode::Wide => 3,
+    };
+    MODE.store(v, Ordering::Relaxed);
+}
+
+/// Label for telemetry/gauges: `"auto"`, `"scalar"` or `"wide"`.
+pub fn mode_label() -> &'static str {
+    match mode() {
+        Mode::Auto => "auto",
+        Mode::Scalar => "scalar",
+        Mode::Wide => "wide",
+    }
+}
+
+/// Instruction set a kernel dispatches to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Isa {
+    /// Portable build (baseline codegen — SSE2 on x86-64).
+    Portable,
+    /// AVX2 build (4 × f64 registers).
+    Avx2,
+    /// AVX-512F build (8 × f64 registers).
+    Avx512,
+}
+
+fn detected() -> Isa {
+    match DETECTED.load(Ordering::Relaxed) {
+        0 => {
+            #[allow(unused_mut)]
+            let mut isa = Isa::Portable;
+            #[cfg(target_arch = "x86_64")]
+            {
+                if std::arch::is_x86_feature_detected!("avx512f") {
+                    isa = Isa::Avx512;
+                } else if std::arch::is_x86_feature_detected!("avx2") {
+                    isa = Isa::Avx2;
+                }
+                // Undocumented tuning cap (benchmarking aid): never
+                // *enables* anything detection didn't confirm.
+                match std::env::var("SACO_SIMD_ISA").as_deref() {
+                    Ok("avx2") if isa == Isa::Avx512 => isa = Isa::Avx2,
+                    Ok("portable") => isa = Isa::Portable,
+                    _ => {}
+                }
+            }
+            DETECTED.store(
+                match isa {
+                    Isa::Portable => 1,
+                    Isa::Avx2 => 2,
+                    Isa::Avx512 => 3,
+                },
+                Ordering::Relaxed,
+            );
+            isa
+        }
+        2 => Isa::Avx2,
+        3 => Isa::Avx512,
+        _ => Isa::Portable,
+    }
+}
+
+/// The instruction set the current [`mode`] resolves to on this host.
+pub fn active_isa() -> Isa {
+    match mode() {
+        Mode::Scalar => Isa::Portable,
+        Mode::Auto | Mode::Wide => detected(),
+    }
+}
+
+/// The sparse scatter-dot kernel's ISA preference: AVX2 even on AVX-512
+/// hosts — the interleaved 8-lane pass measured *faster* under AVX2
+/// (512-bit loads gain nothing on a cache-line-bound kernel and the
+/// downclocked port layout loses). Purely a throughput choice: every ISA
+/// build is bitwise identical.
+fn sparse_isa() -> Isa {
+    match active_isa() {
+        Isa::Avx512 => Isa::Avx2,
+        isa => isa,
+    }
+}
+
+/// ISA preference of the BLAS-1 *reduction* kernels ([`dot`],
+/// [`nrm2_sq`]): portable, even on AVX hosts, under `Auto`. The fixed
+/// 4-chain association is latency-bound, and packing the four
+/// accumulator chains into one wide register fuses them into a single
+/// dependency chain — measurably slower at every vector size than the
+/// portable build's two independent SSE chains. A wider schedule would
+/// need more chains, which the determinism contract forbids. Explicit
+/// `Wide` still dispatches the wide builds (bitwise identical — that
+/// path is how CI pins the identity).
+fn reduce_isa() -> Isa {
+    match mode() {
+        Mode::Wide => detected(),
+        Mode::Auto | Mode::Scalar => Isa::Portable,
+    }
+}
+
+/// Hardware f64 lanes of the active ISA (2 for the portable SSE2
+/// baseline, 4 for AVX2, 8 for AVX-512) — recorded in `kernel.simd.*`
+/// gauges. Distinct from [`LANES`], the fixed *accumulator* lane count
+/// that defines the reduction order.
+pub fn effective_lanes() -> usize {
+    match active_isa() {
+        Isa::Portable => 2,
+        Isa::Avx2 => 4,
+        Isa::Avx512 => 8,
+    }
+}
+
+/// Defines a kernel once and re-compiles it behind AVX2/AVX-512 target
+/// features. The wrapper bodies are the portable function, so all three
+/// builds share one definition — wider builds cannot diverge.
+macro_rules! widened {
+    (fn $name:ident / $avx2:ident / $avx512:ident ($($arg:ident: $ty:ty),* $(,)?) $(-> $ret:ty)? $body:block) => {
+        #[inline(always)]
+        fn $name($($arg: $ty),*) $(-> $ret)? $body
+
+        #[cfg(target_arch = "x86_64")]
+        #[target_feature(enable = "avx2")]
+        unsafe fn $avx2($($arg: $ty),*) $(-> $ret)? { $name($($arg),*) }
+
+        #[cfg(target_arch = "x86_64")]
+        #[target_feature(enable = "avx512f")]
+        unsafe fn $avx512($($arg: $ty),*) $(-> $ret)? { $name($($arg),*) }
+    };
+}
+
+/// Dispatches to the requested build of a `widened!` kernel.
+///
+/// Safety of the `unsafe` calls: the `Isa` value comes from
+/// [`detected()`], which only reports features `is_x86_feature_detected!`
+/// confirmed on this host.
+macro_rules! dispatch {
+    ($isa:expr, $name:ident / $avx2:ident / $avx512:ident ($($arg:expr),* $(,)?)) => {{
+        #[cfg(target_arch = "x86_64")]
+        {
+            match $isa {
+                Isa::Avx512 => unsafe { $avx512($($arg),*) },
+                Isa::Avx2 => unsafe { $avx2($($arg),*) },
+                Isa::Portable => $name($($arg),*),
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let _ = $isa;
+            $name($($arg),*)
+        }
+    }};
+}
+
+// ---------------------------------------------------------------------------
+// BLAS-1 kernels
+// ---------------------------------------------------------------------------
+
+widened! {
+    fn dot_kernel / dot_avx2 / dot_avx512(x: &[f64], y: &[f64]) -> f64 {
+        // Fixed 4-lane partials reduced (0+1)+(2+3)+tail — the historic
+        // vecops::dot order, now also the contract every build honors.
+        let mut acc = [0.0f64; LANES];
+        let chunks = x.len() / LANES;
+        for c in 0..chunks {
+            let i = LANES * c;
+            acc[0] += x[i] * y[i];
+            acc[1] += x[i + 1] * y[i + 1];
+            acc[2] += x[i + 2] * y[i + 2];
+            acc[3] += x[i + 3] * y[i + 3];
+        }
+        let mut tail = 0.0;
+        for i in LANES * chunks..x.len() {
+            tail += x[i] * y[i];
+        }
+        (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+    }
+}
+
+widened! {
+    fn nrm2_sq_kernel / nrm2_sq_avx2 / nrm2_sq_avx512(x: &[f64]) -> f64 {
+        let mut acc = [0.0f64; LANES];
+        let chunks = x.len() / LANES;
+        for c in 0..chunks {
+            let i = LANES * c;
+            acc[0] += x[i] * x[i];
+            acc[1] += x[i + 1] * x[i + 1];
+            acc[2] += x[i + 2] * x[i + 2];
+            acc[3] += x[i + 3] * x[i + 3];
+        }
+        let mut tail = 0.0;
+        for i in LANES * chunks..x.len() {
+            tail += x[i] * x[i];
+        }
+        (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+    }
+}
+
+widened! {
+    fn axpy_kernel / axpy_avx2 / axpy_avx512(alpha: f64, x: &[f64], y: &mut [f64]) {
+        // Elementwise: no reduction, so width cannot matter even in
+        // principle — the wide builds exist purely for codegen.
+        for (yi, xi) in y.iter_mut().zip(x) {
+            *yi += alpha * xi;
+        }
+    }
+}
+
+widened! {
+    fn axpby_kernel / axpby_avx2 / axpby_avx512(alpha: f64, x: &[f64], beta: f64, y: &mut [f64]) {
+        for (yi, xi) in y.iter_mut().zip(x) {
+            *yi = alpha * xi + beta * *yi;
+        }
+    }
+}
+
+widened! {
+    fn scale_kernel / scale_avx2 / scale_avx512(alpha: f64, x: &mut [f64]) {
+        for xi in x {
+            *xi *= alpha;
+        }
+    }
+}
+
+/// Dot product `xᵀy` with the fixed 4-lane reduction order. Caller
+/// validates lengths (`vecops::dot` is the public entry point).
+#[inline]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    dispatch!(reduce_isa(), dot_kernel / dot_avx2 / dot_avx512(x, y))
+}
+
+/// Squared Euclidean norm with the fixed 4-lane reduction order
+/// (bitwise equal to `dot(x, x)`).
+#[inline]
+pub fn nrm2_sq(x: &[f64]) -> f64 {
+    dispatch!(
+        reduce_isa(),
+        nrm2_sq_kernel / nrm2_sq_avx2 / nrm2_sq_avx512(x)
+    )
+}
+
+/// `y ← alpha·x + y` (elementwise; lengths validated by the caller).
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    dispatch!(
+        active_isa(),
+        axpy_kernel / axpy_avx2 / axpy_avx512(alpha, x, y)
+    )
+}
+
+/// `y ← alpha·x + beta·y` (elementwise; lengths validated by the caller).
+#[inline]
+pub fn axpby(alpha: f64, x: &[f64], beta: f64, y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    dispatch!(
+        active_isa(),
+        axpby_kernel / axpby_avx2 / axpby_avx512(alpha, x, beta, y)
+    )
+}
+
+/// `x ← alpha·x` (elementwise).
+#[inline]
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    dispatch!(
+        active_isa(),
+        scale_kernel / scale_avx2 / scale_avx512(alpha, x)
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Dense Gram: register-blocked 4×8 micro-tiles over canonical row chunks
+// ---------------------------------------------------------------------------
+
+static L2_BYTES: AtomicUsize = AtomicUsize::new(0);
+
+/// The L2 working-set target for dense-Gram row panels, in bytes.
+/// Resolution order: `SACO_L2_KB` env override, the sysfs L2 size of
+/// cpu0, then a conservative 256 KiB. Cached after the first call.
+pub fn l2_target_bytes() -> usize {
+    match L2_BYTES.load(Ordering::Relaxed) {
+        0 => {
+            let bytes = std::env::var("SACO_L2_KB")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .map(|kb| kb * 1024)
+                .or_else(probe_l2_bytes)
+                .unwrap_or(256 * 1024);
+            L2_BYTES.store(bytes.max(1), Ordering::Relaxed);
+            bytes.max(1)
+        }
+        b => b,
+    }
+}
+
+/// Parse `/sys/devices/system/cpu/cpu0/cache/index2/size` (e.g. `"2048K"`).
+fn probe_l2_bytes() -> Option<usize> {
+    let s = std::fs::read_to_string("/sys/devices/system/cpu/cpu0/cache/index2/size").ok()?;
+    let s = s.trim();
+    let (num, mult) = match s.as_bytes().last()? {
+        b'K' => (&s[..s.len() - 1], 1024),
+        b'M' => (&s[..s.len() - 1], 1024 * 1024),
+        _ => (s, 1),
+    };
+    num.parse::<usize>().ok().map(|n| n * mult)
+}
+
+/// Row-panel height for the dense Gram kernel: as many rows of `A` as fit
+/// the L2 target, rounded **down to a multiple of [`CHUNK`]** (floored at
+/// one chunk) — the constraint that makes the probed tile size incapable
+/// of changing results.
+pub fn gram_tile_rows(n: usize) -> usize {
+    let rows = l2_target_bytes() / (8 * n.max(1));
+    let rows = rows.max(CHUNK);
+    rows - rows % CHUNK
+}
+
+widened! {
+    fn gram_upper_kernel / gram_upper_avx2 / gram_upper_avx512(
+        data: &[f64],
+        m: usize,
+        n: usize,
+        lo: usize,
+        hi: usize,
+        out: &mut [f64],
+    ) {
+        let panel = gram_tile_rows(n);
+        let mut p0 = 0;
+        while p0 < m {
+            let pend = (p0 + panel).min(m);
+            let mut a0 = lo;
+            while a0 < hi {
+                let aw = (hi - a0).min(TILE_MR);
+                let mut b0 = a0;
+                while b0 < n {
+                    let bw = (n - b0).min(TILE_NR);
+                    if aw == TILE_MR && bw == TILE_NR {
+                        // Full 4×8 register tile: 32 accumulators live in
+                        // registers while the panel's rows stream through.
+                        let mut c0 = p0;
+                        while c0 < pend {
+                            let cend = (c0 + CHUNK).min(pend);
+                            let mut acc = [[0.0f64; TILE_NR]; TILE_MR];
+                            for i in c0..cend {
+                                let row = &data[i * n..(i + 1) * n];
+                                let va: [f64; TILE_MR] =
+                                    row[a0..a0 + TILE_MR].try_into().unwrap();
+                                let vb: [f64; TILE_NR] =
+                                    row[b0..b0 + TILE_NR].try_into().unwrap();
+                                for r in 0..TILE_MR {
+                                    for c in 0..TILE_NR {
+                                        acc[r][c] += va[r] * vb[c];
+                                    }
+                                }
+                            }
+                            for r in 0..TILE_MR {
+                                let base = (a0 + r - lo) * n + b0;
+                                let dst = &mut out[base..base + TILE_NR];
+                                for c in 0..TILE_NR {
+                                    dst[c] += acc[r][c];
+                                }
+                            }
+                            c0 = cend;
+                        }
+                    } else {
+                        // Ragged edge: per-entry scalar chains over the
+                        // same canonical chunks.
+                        let mut c0 = p0;
+                        while c0 < pend {
+                            let cend = (c0 + CHUNK).min(pend);
+                            for r in 0..aw {
+                                let a = a0 + r;
+                                for c in 0..bw {
+                                    let b = b0 + c;
+                                    if b < a {
+                                        continue;
+                                    }
+                                    let mut acc = 0.0;
+                                    for i in c0..cend {
+                                        acc += data[i * n + a] * data[i * n + b];
+                                    }
+                                    out[(a - lo) * n + b] += acc;
+                                }
+                            }
+                            c0 = cend;
+                        }
+                    }
+                    b0 += bw;
+                }
+                a0 += aw;
+            }
+            p0 = pend;
+        }
+    }
+}
+
+/// Accumulate the upper-triangle rows `[lo, hi)` of `G = AᵀA` into the
+/// full-width row band `out` (`(hi − lo) × n`, row-major; `out[(a−lo)·n +
+/// b] += G[a][b]` for `a ≤ b`). `data` is row-major `m × n`.
+///
+/// Every entry is the left-to-right fold of canonical [`CHUNK`]-row
+/// partial sums, so this is bitwise identical at any band split `[lo,
+/// hi)`, any L2 panel height, and any ISA — the property `gram_parallel`
+/// and the serial `gram` both rest on. Tiles that straddle the diagonal
+/// also touch a few below-diagonal slots of the band; callers read only
+/// `b ≥ a` (the mirror pass owns the rest).
+pub fn gram_upper_rows(data: &[f64], m: usize, n: usize, lo: usize, hi: usize, out: &mut [f64]) {
+    assert!(lo <= hi && hi <= n, "gram_upper_rows: band out of range");
+    assert_eq!(data.len(), m * n, "gram_upper_rows: data shape mismatch");
+    assert_eq!(
+        out.len(),
+        (hi - lo) * n,
+        "gram_upper_rows: band shape mismatch"
+    );
+    if lo == hi || n == 0 || m == 0 {
+        return;
+    }
+    dispatch!(
+        active_isa(),
+        gram_upper_kernel / gram_upper_avx2 / gram_upper_avx512(data, m, n, lo, hi, out)
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Sparse sampled Gram: interleaved multi-column scatter dot
+// ---------------------------------------------------------------------------
+
+widened! {
+    fn scatter_dot_kernel / scatter_dot_avx2 / scatter_dot_avx512(
+        indices: &[usize],
+        values: &[f64],
+        work: &[f64],
+        acc: &mut [f64; SPARSE_LANES],
+    ) {
+        // One accumulator chain per scattered column: acc[l] follows
+        // exactly the single-chain order of SparseSlice::dot_dense
+        // against column l's scatter, so each Gram entry is bitwise the
+        // one-column-at-a-time kernel's. The interleaved layout turns
+        // the old per-entry gather into one contiguous 8-wide load.
+        for (&i, &x) in indices.iter().zip(values) {
+            let w = &work[SPARSE_LANES * i..SPARSE_LANES * i + SPARSE_LANES];
+            for l in 0..SPARSE_LANES {
+                acc[l] += x * w[l];
+            }
+        }
+    }
+}
+
+/// Sparse dot of one slice against [`SPARSE_LANES`] interleaved scattered
+/// columns: `acc[l] += Σ values[k] · work[SPARSE_LANES·indices[k] + l]`,
+/// each lane an independent left-to-right chain over `indices` order.
+///
+/// `work` holds the scattered columns interleaved (`work[L·i + l]` is row
+/// `i` of column `l`, 64-byte aligned via [`AlignedBuf`] so the 8-wide
+/// row load is one cache line).
+#[inline]
+pub fn scatter_dot_lanes(
+    indices: &[usize],
+    values: &[f64],
+    work: &[f64],
+    acc: &mut [f64; SPARSE_LANES],
+) {
+    dispatch!(
+        sparse_isa(),
+        scatter_dot_kernel / scatter_dot_avx2 / scatter_dot_avx512(indices, values, work, acc)
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Aligned scratch
+// ---------------------------------------------------------------------------
+
+/// A grow-only, zero-maintained `f64` scratch buffer whose payload starts
+/// on a 64-byte boundary, so the sparse kernel's [`SPARSE_LANES`]-wide
+/// interleaved row loads are single-cache-line accesses.
+///
+/// Semantics mirror `GramWorkspace`'s scatter buffer: [`Self::zeroed_to`]
+/// grows (zero-filled) and never shrinks, and kernels restore the
+/// all-zeros invariant with their un-scatter pass. Implemented as an
+/// over-allocated `Vec` plus an element offset — no `unsafe`.
+#[derive(Debug, Default)]
+pub struct AlignedBuf {
+    raw: Vec<f64>,
+    off: usize,
+    len: usize,
+}
+
+impl AlignedBuf {
+    /// Empty buffer; storage appears on first [`Self::zeroed_to`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The buffer at exactly `len` elements, 64-byte aligned, preserving
+    /// the all-zeros invariant (growth allocates fresh zeroed storage).
+    pub fn zeroed_to(&mut self, len: usize) -> &mut [f64] {
+        if self.len < len {
+            // 64 bytes = 8 f64s: over-allocate one vector's worth for
+            // the alignment offset.
+            self.raw = vec![0.0; len + 8];
+            self.off = self.raw.as_ptr().align_offset(64).min(8);
+            self.len = len;
+        }
+        &mut self.raw[self.off..self.off + len]
+    }
+
+    /// Current payload length (high-water mark of [`Self::zeroed_to`]).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer has ever been sized.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Borrow the aligned payload.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.raw[self.off..self.off + self.len]
+    }
+}
+
+impl Clone for AlignedBuf {
+    fn clone(&self) -> Self {
+        // Re-derive the alignment offset for the fresh allocation; the
+        // payload (normally all zeros between kernel calls) is copied.
+        let mut c = AlignedBuf::default();
+        if self.len > 0 {
+            c.zeroed_to(self.len).copy_from_slice(self.as_slice());
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vec_of(n: usize, seed: f64) -> Vec<f64> {
+        (0..n).map(|i| ((i as f64) + seed).sin() * 3.0).collect()
+    }
+
+    /// Reference dense Gram: per-entry canonical-chunk fold, no blocking.
+    fn gram_ref(data: &[f64], m: usize, n: usize) -> Vec<f64> {
+        let mut g = vec![0.0f64; n * n];
+        for a in 0..n {
+            for b in a..n {
+                let mut c0 = 0;
+                while c0 < m {
+                    let cend = (c0 + CHUNK).min(m);
+                    let mut acc = 0.0;
+                    for i in c0..cend {
+                        acc += data[i * n + a] * data[i * n + b];
+                    }
+                    g[a * n + b] += acc;
+                    c0 = cend;
+                }
+            }
+        }
+        g
+    }
+
+    fn with_modes<F: FnMut() -> T, T: PartialEq + std::fmt::Debug>(mut f: F) {
+        set_mode(Mode::Scalar);
+        let scalar = f();
+        set_mode(Mode::Wide);
+        let wide = f();
+        set_mode(Mode::Auto);
+        assert_eq!(scalar, wide, "scalar and wide builds disagree");
+    }
+
+    #[test]
+    fn dot_is_bitwise_across_modes_and_tails() {
+        for n in [0usize, 1, 2, 3, 4, 5, 7, 8, 63, 64, 65, 1000] {
+            let x = vec_of(n, 0.1);
+            let y = vec_of(n, 2.7);
+            with_modes(|| dot(&x, &y).to_bits());
+            with_modes(|| nrm2_sq(&x).to_bits());
+        }
+    }
+
+    #[test]
+    fn elementwise_kernels_are_bitwise_across_modes() {
+        for n in [0usize, 1, 3, 8, 17, 100] {
+            let x = vec_of(n, 1.0);
+            let y0 = vec_of(n, 4.0);
+            with_modes(|| {
+                let mut y = y0.clone();
+                axpy(0.3, &x, &mut y);
+                axpby(-1.25, &x, 0.5, &mut y);
+                scale(1.0 / 3.0, &mut y);
+                y.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            });
+        }
+    }
+
+    #[test]
+    fn gram_upper_rows_matches_canonical_reference_bitwise() {
+        for (m, n) in [
+            (1usize, 1usize),
+            (7, 5),
+            (64, 8),
+            (65, 9),
+            (130, 23),
+            (200, 40),
+        ] {
+            let data = vec_of(m * n, 0.5);
+            let reference = gram_ref(&data, m, n);
+            with_modes(|| {
+                let mut g = vec![0.0f64; n * n];
+                gram_upper_rows(&data, m, n, 0, n, &mut g);
+                // Compare the upper triangle only (diagonal tiles also
+                // touch below-diagonal slots).
+                let mut upper = Vec::new();
+                for a in 0..n {
+                    for b in a..n {
+                        upper.push(g[a * n + b].to_bits());
+                    }
+                }
+                upper
+            });
+            let mut g = vec![0.0f64; n * n];
+            gram_upper_rows(&data, m, n, 0, n, &mut g);
+            for a in 0..n {
+                for b in a..n {
+                    assert_eq!(
+                        g[a * n + b].to_bits(),
+                        reference[a * n + b].to_bits(),
+                        "entry ({a},{b}) of {m}x{n}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gram_upper_rows_band_split_is_bitwise_whole() {
+        let (m, n) = (97usize, 19usize);
+        let data = vec_of(m * n, 3.3);
+        let mut whole = vec![0.0f64; n * n];
+        gram_upper_rows(&data, m, n, 0, n, &mut whole);
+        for split in [1usize, 4, 7, 18] {
+            let mut lo = 0;
+            while lo < n {
+                let hi = (lo + split).min(n);
+                let mut band = vec![0.0f64; (hi - lo) * n];
+                gram_upper_rows(&data, m, n, lo, hi, &mut band);
+                for a in lo..hi {
+                    for b in a..n {
+                        assert_eq!(
+                            band[(a - lo) * n + b].to_bits(),
+                            whole[a * n + b].to_bits(),
+                            "split {split}, entry ({a},{b})"
+                        );
+                    }
+                }
+                lo = hi;
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_dot_lanes_matches_per_lane_chains() {
+        let rows = 50usize;
+        let mut work = vec![0.0f64; SPARSE_LANES * rows];
+        for i in 0..rows {
+            for l in 0..SPARSE_LANES {
+                work[SPARSE_LANES * i + l] = ((i * 7 + l) as f64).cos();
+            }
+        }
+        let indices: Vec<usize> = (0..rows).step_by(3).collect();
+        let values: Vec<f64> = indices.iter().map(|&i| (i as f64).sin()).collect();
+        with_modes(|| {
+            let mut acc = [0.0f64; SPARSE_LANES];
+            scatter_dot_lanes(&indices, &values, &work, &mut acc);
+            acc.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        });
+        let mut acc = [0.0f64; SPARSE_LANES];
+        scatter_dot_lanes(&indices, &values, &work, &mut acc);
+        for l in 0..SPARSE_LANES {
+            // The per-lane reference is the single-accumulator chain of
+            // SparseSlice::dot_dense against lane l's column.
+            let mut want = 0.0f64;
+            for (&i, &x) in indices.iter().zip(&values) {
+                want += x * work[SPARSE_LANES * i + l];
+            }
+            assert_eq!(acc[l].to_bits(), want.to_bits(), "lane {l}");
+        }
+    }
+
+    #[test]
+    fn tile_rows_is_a_chunk_multiple() {
+        for n in [1usize, 8, 64, 256, 4096, 1 << 20] {
+            let rows = gram_tile_rows(n);
+            assert!(rows >= CHUNK);
+            assert_eq!(rows % CHUNK, 0, "n={n}: rows={rows}");
+        }
+    }
+
+    #[test]
+    fn aligned_buf_aligns_grows_and_clones() {
+        let mut b = AlignedBuf::new();
+        assert!(b.is_empty());
+        let s = b.zeroed_to(37);
+        assert_eq!(s.len(), 37);
+        assert_eq!(s.as_ptr() as usize % 64, 0, "payload not 64-byte aligned");
+        s[5] = 2.5;
+        // Growth preserves nothing but the invariant; shrink requests
+        // return the same storage.
+        assert_eq!(b.zeroed_to(10).len(), 10);
+        assert_eq!(b.len(), 37);
+        assert_eq!(b.as_slice()[5], 2.5);
+        let c = b.clone();
+        assert_eq!(c.as_slice(), b.as_slice());
+        assert_eq!(c.as_slice().as_ptr() as usize % 64, 0);
+        let big = b.zeroed_to(1000);
+        assert_eq!(big.len(), 1000);
+        assert!(big.iter().all(|&v| v == 0.0), "growth must zero-fill");
+    }
+
+    #[test]
+    fn mode_and_isa_labels_are_consistent() {
+        set_mode(Mode::Scalar);
+        assert_eq!(mode_label(), "scalar");
+        assert_eq!(active_isa(), Isa::Portable);
+        assert_eq!(effective_lanes(), 2);
+        set_mode(Mode::Wide);
+        assert_eq!(mode_label(), "wide");
+        set_mode(Mode::Auto);
+        assert_eq!(mode_label(), "auto");
+        assert!(effective_lanes() >= 2);
+    }
+}

@@ -1,71 +1,101 @@
 //! BLAS-1 style kernels over `&[f64]` slices.
 //!
 //! These are the per-iteration scalar/vector updates of the coordinate
-//! descent methods (Fig. 1 step 5). They are deliberately simple sequential
-//! loops: within a rank the solvers need deterministic, fixed-order
-//! reductions so that simulated runs are bit-reproducible.
+//! descent methods (Fig. 1 step 5). The hot kernels (`dot`, `axpy`,
+//! `axpby`, `scale`, `nrm2_sq`) dispatch through [`crate::simd`], which
+//! compiles one fixed-lane-order definition per kernel for the portable,
+//! AVX2 and AVX-512 builds — so results are bitwise identical at every
+//! `SACO_SIMD` setting (the lane-reduction contract; see
+//! `docs/PERFORMANCE.md` § "SIMD microkernels"). The solvers need
+//! deterministic, fixed-order reductions so that simulated runs are
+//! bit-reproducible; the SIMD dispatch never relaxes that.
+
+use crate::simd;
 
 /// Dot product `xᵀy`.
+///
+/// Four fixed accumulator lanes reduced `(acc0 + acc1) + (acc2 + acc3) +
+/// tail` — the deterministic order every `SACO_SIMD` build shares.
 ///
 /// # Panics
 /// Panics if the slices have different lengths.
 #[inline]
 pub fn dot(x: &[f64], y: &[f64]) -> f64 {
-    assert_eq!(x.len(), y.len(), "dot: length mismatch");
-    // Four-way unrolled accumulation: deterministic order, lets LLVM use
-    // independent FMA chains without reassociating a single serial chain.
-    let mut acc = [0.0f64; 4];
-    let chunks = x.len() / 4;
-    for c in 0..chunks {
-        let i = 4 * c;
-        acc[0] += x[i] * y[i];
-        acc[1] += x[i + 1] * y[i + 1];
-        acc[2] += x[i + 2] * y[i + 2];
-        acc[3] += x[i + 3] * y[i + 3];
-    }
-    let mut tail = 0.0;
-    for i in 4 * chunks..x.len() {
-        tail += x[i] * y[i];
-    }
-    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+    assert_eq!(
+        x.len(),
+        y.len(),
+        "dot: length mismatch (x has {}, y has {})",
+        x.len(),
+        y.len()
+    );
+    simd::dot(x, y)
 }
 
 /// `y ← alpha·x + y`.
 #[inline]
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
-    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
-    for (yi, xi) in y.iter_mut().zip(x) {
-        *yi += alpha * xi;
-    }
+    assert_eq!(
+        x.len(),
+        y.len(),
+        "axpy: length mismatch (x has {}, y has {})",
+        x.len(),
+        y.len()
+    );
+    simd::axpy(alpha, x, y);
 }
 
 /// `y ← alpha·x + beta·y`.
 #[inline]
 pub fn axpby(alpha: f64, x: &[f64], beta: f64, y: &mut [f64]) {
-    assert_eq!(x.len(), y.len(), "axpby: length mismatch");
-    for (yi, xi) in y.iter_mut().zip(x) {
-        *yi = alpha * xi + beta * *yi;
-    }
+    assert_eq!(
+        x.len(),
+        y.len(),
+        "axpby: length mismatch (x has {}, y has {})",
+        x.len(),
+        y.len()
+    );
+    simd::axpby(alpha, x, beta, y);
 }
 
 /// `x ← alpha·x`.
 #[inline]
 pub fn scale(alpha: f64, x: &mut [f64]) {
-    for xi in x {
-        *xi *= alpha;
-    }
+    simd::scale(alpha, x);
 }
 
 /// Euclidean norm `‖x‖₂`.
+///
+/// Overflow/underflow behavior (`hypot`-free scaling): when `dot(x, x)`
+/// is a normal finite number the result is exactly `dot(x, x).sqrt()` —
+/// the historic fast path, bitwise unchanged for every well-scaled input.
+/// When the squared sum overflows to `+∞`, underflows to a subnormal, or
+/// the input is empty/all-zero, the fallback rescales by `‖x‖∞` and
+/// returns `‖x‖∞ · sqrt(Σ (xᵢ/‖x‖∞)²)`, which is finite (and nonzero for
+/// nonzero input) whenever the true norm is representable.
 #[inline]
 pub fn nrm2(x: &[f64]) -> f64 {
-    dot(x, x).sqrt()
+    let s = simd::nrm2_sq(x);
+    if s.is_normal() {
+        return s.sqrt();
+    }
+    let m = inf_norm(x);
+    if m == 0.0 {
+        return 0.0;
+    }
+    // Scaled fallback: plain serial chain (not dispatched — trivially
+    // mode-independent); only reached for extreme scales.
+    let mut acc = 0.0;
+    for &v in x {
+        let t = v / m;
+        acc += t * t;
+    }
+    acc.sqrt() * m
 }
 
-/// Squared Euclidean norm `‖x‖₂²`.
+/// Squared Euclidean norm `‖x‖₂²` (same fixed lane order as [`dot`]).
 #[inline]
 pub fn nrm2_sq(x: &[f64]) -> f64 {
-    dot(x, x)
+    simd::nrm2_sq(x)
 }
 
 /// ℓ₁ norm `‖x‖₁`.
@@ -102,13 +132,32 @@ pub fn nnz_count(x: &[f64], tol: f64) -> usize {
 }
 
 /// Gather `x[idx[k]]` for all `k` into a fresh vector.
+///
+/// # Panics
+/// Panics (in release builds too) if any index is out of bounds — checked
+/// up front so a bad selection fails loudly before partial work, the
+/// `bucket_counts` precedent.
 pub fn gather(x: &[f64], idx: &[usize]) -> Vec<f64> {
+    if let Some(&bad) = idx.iter().find(|&&i| i >= x.len()) {
+        panic!("gather: index {bad} out of bounds for length {}", x.len());
+    }
     idx.iter().map(|&i| x[i]).collect()
 }
 
 /// Scatter-add: `x[idx[k]] += vals[k]`.
+///
+/// # Panics
+/// Panics if `idx` and `vals` differ in length, or (in release builds
+/// too, checked up front) if any index is out of bounds — a bad index
+/// must not leave `x` partially updated.
 pub fn scatter_add(x: &mut [f64], idx: &[usize], vals: &[f64]) {
     assert_eq!(idx.len(), vals.len(), "scatter_add: length mismatch");
+    if let Some(&bad) = idx.iter().find(|&&i| i >= x.len()) {
+        panic!(
+            "scatter_add: index {bad} out of bounds for length {}",
+            x.len()
+        );
+    }
     for (&i, &v) in idx.iter().zip(vals) {
         x[i] += v;
     }
@@ -129,6 +178,26 @@ mod tests {
     }
 
     #[test]
+    fn dot_keeps_the_historic_lane_reduction_order() {
+        // The fixed order (acc0+acc1)+(acc2+acc3)+tail, spelled out.
+        let x: Vec<f64> = (0..11).map(|i| (i as f64 * 1.7).sin()).collect();
+        let y: Vec<f64> = (0..11).map(|i| (i as f64 * 0.3).cos()).collect();
+        let mut acc = [0.0f64; 4];
+        for c in 0..2 {
+            for l in 0..4 {
+                let i = 4 * c + l;
+                acc[l] += x[i] * y[i];
+            }
+        }
+        let mut tail = 0.0;
+        for i in 8..11 {
+            tail += x[i] * y[i];
+        }
+        let want = (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail;
+        assert_eq!(dot(&x, &y).to_bits(), want.to_bits());
+    }
+
+    #[test]
     fn axpy_and_axpby() {
         let x = vec![1.0, 2.0, 3.0];
         let mut y = vec![10.0, 20.0, 30.0];
@@ -145,6 +214,31 @@ mod tests {
         assert_eq!(nrm2_sq(&x), 25.0);
         assert_eq!(asum(&x), 7.0);
         assert_eq!(inf_norm(&x), 4.0);
+    }
+
+    #[test]
+    fn nrm2_survives_overflow_and_underflow() {
+        // dot(x,x) overflows to +inf; the scaled path stays finite.
+        let big = vec![1e200, 1e200, -1e200];
+        let n = nrm2(&big);
+        assert!(n.is_finite());
+        assert!((n / (1e200 * 3.0f64.sqrt()) - 1.0).abs() < 1e-12);
+
+        // dot(x,x) underflows to subnormal/zero; the scaled path keeps
+        // the leading digits.
+        let tiny = vec![3e-200, 4e-200];
+        let n = nrm2(&tiny);
+        assert!(n > 0.0);
+        assert!((n / 5e-200 - 1.0).abs() < 1e-12);
+
+        assert_eq!(nrm2(&[]), 0.0);
+        assert_eq!(nrm2(&[0.0, -0.0]), 0.0);
+    }
+
+    #[test]
+    fn nrm2_fast_path_is_bitwise_the_historic_formula() {
+        let x: Vec<f64> = (0..13).map(|i| (i as f64 + 0.25).cos() * 2.0).collect();
+        assert_eq!(nrm2(&x).to_bits(), dot(&x, &x).sqrt().to_bits());
     }
 
     #[test]
@@ -174,5 +268,28 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn dot_length_mismatch_panics() {
         dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "gather: index 6 out of bounds")]
+    fn gather_bounds_panic_in_release_too() {
+        gather(&[0.0; 6], &[1, 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scatter_add: index 9 out of bounds")]
+    fn scatter_add_bounds_panic_before_partial_update() {
+        let mut x = vec![0.0; 4];
+        scatter_add(&mut x, &[0, 9], &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn scatter_add_does_not_partially_update_on_bad_index() {
+        let mut x = vec![0.0; 4];
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            scatter_add(&mut x, &[0, 99], &[1.0, 1.0]);
+        }));
+        assert!(r.is_err());
+        assert_eq!(x, vec![0.0; 4], "bounds must be checked up front");
     }
 }

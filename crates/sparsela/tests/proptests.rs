@@ -253,6 +253,66 @@ proptest! {
         prop_assert_eq!(out.as_slice(), g.as_slice());
     }
 
+    /// Every SIMD microkernel build is bitwise identical: running the
+    /// whole rewritten kernel set under `SACO_SIMD=scalar` and
+    /// `SACO_SIMD=wide` produces the same bits — BLAS-1 kernels at random
+    /// lengths including ragged 4-lane tails, the register-blocked dense
+    /// Gram including ragged 64-row chunk edges and sub-tile column
+    /// remainders, and the interleaved sampled Gram including ragged
+    /// 8-lane scatter tails and duplicate selections. The lane schedule
+    /// is the contract; the ISA must not be observable. (All the
+    /// mode-crossing assertions live in this one test because the mode
+    /// switch is process-global.)
+    #[test]
+    fn simd_scalar_and_wide_are_bitwise(
+        seed in any::<u64>(),
+        len in 0usize..70,
+        m in 1usize..100,
+        n in 1usize..16,
+    ) {
+        use sparsela::simd::{self, Mode};
+        let mut rng = xrng::rng_from_seed(seed);
+        let x: Vec<f64> = (0..len).map(|_| rng.next_gaussian()).collect();
+        let y: Vec<f64> = (0..len).map(|_| rng.next_gaussian()).collect();
+        let alpha = rng.next_gaussian();
+        let beta = rng.next_gaussian();
+        let a = DenseMatrix::from_vec(m, n, (0..m * n).map(|_| rng.next_gaussian()).collect());
+        let (sm, sn) = (1 + rng.next_index(80), 1 + rng.next_index(20));
+        let mut coo = CooMatrix::new(sm, sn);
+        for _ in 0..rng.next_index(4 * sn.min(sm) + 1) {
+            coo.push(rng.next_index(sm), rng.next_index(sn), rng.next_gaussian());
+        }
+        let csc = coo.to_csc();
+        let k = 1 + rng.next_index(12);
+        let sel: Vec<usize> = (0..k).map(|_| rng.next_index(sn)).collect();
+
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
+        let run = |mode: Mode| {
+            simd::set_mode(mode);
+            let mut z = y.clone();
+            vecops::axpy(alpha, &x, &mut z);
+            let mut w = y.clone();
+            vecops::axpby(alpha, &x, beta, &mut w);
+            let mut s = x.clone();
+            vecops::scale(alpha, &mut s);
+            (
+                vecops::dot(&x, &y).to_bits(),
+                vecops::nrm2_sq(&x).to_bits(),
+                vecops::nrm2(&x).to_bits(),
+                bits(&z),
+                bits(&w),
+                bits(&s),
+                bits(a.gram().as_slice()),
+                bits(sampled_gram(&csc, &sel).as_slice()),
+            )
+        };
+        let ambient = simd::mode();
+        let scalar = run(Mode::Scalar);
+        let wide = run(Mode::Wide);
+        simd::set_mode(ambient);
+        prop_assert_eq!(scalar, wide);
+    }
+
     /// Blocked GEMM agrees with the naive reference.
     #[test]
     fn blocked_gemm_matches_naive(seed in any::<u64>(), m in 1usize..12, k in 1usize..12, n in 1usize..12) {

@@ -46,6 +46,30 @@ for pat in "${solver_patterns[@]}"; do
     fi
 done
 
+# The SIMD contract: every multiply-accumulate inner loop lives in
+# sparsela::simd, where the lane schedule is pinned. `mul_add` is banned
+# everywhere numeric code runs — a hardware FMA rounds once where the
+# contract's plain mul-then-add rounds twice, so one fused call silently
+# forks the bitstream between ISAs.
+if hits=$(grep -rnE '\bmul_add\b' crates/sparsela/src crates/par/src crates/core/src crates/mpisim/src); then
+    echo "shim_guard: mul_add found (FMA rounds once, the lane contract rounds twice):" >&2
+    echo "$hits" >&2
+    status=1
+fi
+
+# The flat-slice kernel front-ends must stay dispatch shims: a raw
+# multiply-accumulate loop creeping back into vecops.rs or gram.rs would
+# bypass sparsela::simd's lane-reduction contract. One documented
+# exception: the nrm2 extreme-scale fallback (`acc += t * t`), a plain
+# serial chain that is mode-independent by construction.
+if hits=$(grep -nE '(acc|sum)[a-z0-9_]* *\+= *[^;]*\*' \
+        crates/sparsela/src/vecops.rs crates/sparsela/src/gram.rs \
+        | grep -v 'acc += t \* t'); then
+    echo "shim_guard: raw multiply-accumulate loop outside sparsela::simd:" >&2
+    echo "$hits" >&2
+    status=1
+fi
+
 # The launch path spawns ranks and merges reports; the solve itself must
 # route through the saco::net entry points, never the recurrence kernels.
 for pat in 'lasso_family' 'svm_family' 'sampled_gram' 'sampled_cross'; do
@@ -59,6 +83,6 @@ done
 if [ "$status" -ne 0 ]; then
     echo "shim_guard: FAILED — move recurrence logic into crates/core/src/exec/" >&2
 else
-    echo "shim_guard: OK — seq/sim/dist/net shims, netcomm and the CLI contain no solver-loop logic"
+    echo "shim_guard: OK — shims are shims, netcomm/CLI are solver-free, inner loops live in sparsela::simd"
 fi
 exit "$status"

@@ -341,6 +341,39 @@ fn svm_engine_matrix() {
     }
 }
 
+/// `SACO_SIMD` must be unobservable end to end: the same solve run under
+/// the scalar and wide microkernel builds yields bitwise-identical
+/// iterates on every engine — seq, the virtual cluster, the thread
+/// machine (p = 2) and the socket mesh (p = 2), in both overlap modes.
+/// The lane schedule, not the ISA, is the numerics contract; CI runs the
+/// whole matrix again under each `SACO_SIMD` value to pin the same
+/// property through the env-var path.
+#[test]
+fn simd_mode_is_unobservable_across_engines() {
+    use sparsela::simd::{self, Mode};
+    let ds = lasso_ds(1);
+    let reg = Lasso::new(0.05);
+    let ambient = simd::mode();
+    for overlap in [false, true] {
+        let c = lasso_cfg(4, 8, overlap);
+        let run = |mode: Mode| {
+            simd::set_mode(mode);
+            let seq = run_seq_lasso(&ds, &reg, &c, true);
+            let (sim, _) = sim_sa_accbcd(&ds, &reg, &c, 2, CostModel::cray_xc30(), false);
+            let dist = run_dist_lasso(&ds, &reg, &c, true, 2);
+            let net = run_net_lasso(&ds, &reg, &c, true, 2);
+            (seq.x, sim.x, dist[0].x.clone(), net[0].x.clone())
+        };
+        let scalar = run(Mode::Scalar);
+        let wide = run(Mode::Wide);
+        assert_eq!(
+            scalar, wide,
+            "overlap={overlap}: SACO_SIMD changed engine iterates"
+        );
+    }
+    simd::set_mode(ambient);
+}
+
 fn lasso_reports(c: &LassoConfig, accel: bool, p: usize) -> (CostReport, CostReport) {
     let ds = lasso_ds(3);
     let reg = Lasso::new(c.lambda);
