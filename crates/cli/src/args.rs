@@ -29,7 +29,8 @@ impl std::error::Error for ArgError {}
 /// Option keys that are boolean flags (no value follows). Everything
 /// else — including `--metrics <path>`, which dumps a
 /// `saco-telemetry/v1` run report from `simulate` — takes a value.
-const FLAG_KEYS: &[&str] = &["acc", "balanced", "quiet", "help"];
+/// `verify` is `saco shard`'s round-trip bitwise check.
+const FLAG_KEYS: &[&str] = &["acc", "balanced", "quiet", "help", "verify"];
 
 impl Args {
     /// Parse a token stream (without the program name).
@@ -181,6 +182,13 @@ mod tests {
         assert_eq!(a.get("chaos"), Some("seed=7,jitter=1e-4,fail=3@10"));
         let err = Args::parse(toks("simulate --chaos")).expect_err("needs a spec");
         assert!(err.0.contains("--chaos"));
+    }
+
+    #[test]
+    fn verify_is_a_bare_flag() {
+        let a = Args::parse(toks("shard --data x.svm --out d --verify --shards 8")).expect("parse");
+        assert!(a.flag("verify"));
+        assert_eq!(a.get("shards"), Some("8"));
     }
 
     #[test]

@@ -7,7 +7,9 @@
 //!               [--iters 100000] [--gap-tol 0.1] [--seed 42] [--out w.txt]
 //! saco path     --data train.svm [--num 16] [--ratio 0.01] [--mu 8] [--s 16]
 //! saco generate --dataset url --out file.svm [--scale 1.0] [--seed 42]
-//! saco info     --data file.svm
+//! saco shard    --data file.svm | --dataset url [--scale F] --out DIR
+//!               [--axis csc|csr] [--shards 64] [--verify]
+//! saco info     --data file.svm | --data shard:DIR
 //! saco simulate --data train.svm --p 1024 [--engine seq|sim|dist|net]
 //!               [--s 16] [--mu 1] [--iters 2000]
 //!               [--acc] [--balanced] [--overlap on|off] [--algo tree|ring]
@@ -42,13 +44,21 @@
 //! recovered from the last block checkpoint. Chaos perturbs *time only*:
 //! the solver output is bitwise identical to the chaos-free run (see
 //! `docs/OBSERVABILITY.md` §"Fault injection & recovery").
+//!
+//! `--data shard:<dir>` (lasso, svm, info, simulate) streams the solve
+//! from a `saco shard` directory instead of loading the matrix: only the
+//! sampled shards are resident, capped at `--mem-budget` bytes (default
+//! 256M, binary K/M/G suffixes), while the background loader prefetches
+//! the next block's shards behind the current block's compute. The
+//! iterates are bitwise identical to the in-memory run (see
+//! `docs/PERFORMANCE.md` §"Out-of-core streaming").
 //! saco cv       --data train.svm [--folds 5] [--num 12] [--ratio 0.01]
 //! ```
 
 mod args;
 
 use args::{ArgError, Args};
-use datagen::PaperDataset;
+use datagen::{shard_plan, slice_nnz, PaperDataset};
 use mpisim::telemetry::report::parse_summary;
 use mpisim::telemetry::Registry;
 use mpisim::{CostModel, ThreadMachine};
@@ -63,9 +73,18 @@ use saco::seq::{sa_accbcd, sa_bcd, sa_svm};
 use saco::sim::{
     sim_sa_accbcd_chaos, sim_sa_accbcd_instrumented, sim_sa_bcd_chaos, sim_sa_bcd_instrumented,
 };
+use saco::stream::{
+    record_shard_stats, stream_dist_sa_accbcd, stream_dist_sa_bcd, stream_lasso_ranks,
+    stream_net_sa_accbcd, stream_net_sa_bcd, stream_sa_accbcd, stream_sa_bcd, stream_sa_svm,
+    stream_sim_sa_accbcd, stream_sim_sa_bcd, StreamRankData,
+};
 use saco::{LassoConfig, SvmConfig, SvmLoss};
 use sparsela::io::{read_libsvm, write_libsvm, Dataset};
+use sparsela::shard::{
+    verify_store, write_csc, write_csr, IoStats, ShardAxis, ShardStore, StreamingMatrix,
+};
 use sparsela::vecops;
+use sparsela::{MajorSlices, SliceSource};
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
@@ -93,6 +112,7 @@ fn main() {
         "svm" => cmd_svm(&args),
         "path" => cmd_path(&args),
         "generate" => cmd_generate(&args),
+        "shard" => cmd_shard(&args),
         "info" => cmd_info(&args),
         "simulate" => cmd_simulate(&args),
         "launch" => cmd_launch(&args),
@@ -119,6 +139,8 @@ subcommands:
   svm       train a linear SVM (dual coordinate descent)
   path      compute a warm-started regularization path
   generate  write a synthetic stand-in for a paper dataset
+  shard     convert a dataset into an on-disk shard directory for
+            out-of-core streaming (--verify round-trips bitwise)
   info      print dataset statistics
   simulate  run a solver on a chosen execution engine and report costs
             (--metrics <path> writes a saco-telemetry/v1 JSON run report)
@@ -150,12 +172,24 @@ the virtual cluster. Chaos perturbs time, never values: the solver
 output stays bitwise identical to the chaos-free run, and the run
 report gains `chaos.*` counters and gauges.
 
+`--data shard:<dir>` (lasso, svm, info, simulate) streams the solve
+out-of-core from a `saco shard` directory under a `--mem-budget`
+resident cap (default 256M; binary K/M/G suffixes). The sampler runs
+one block ahead so the loader prefetches behind compute; the iterates
+stay bitwise identical to the in-memory run.
+
 run `saco <subcommand>` without options to see its required flags."
     );
 }
 
 fn load(args: &Args) -> Result<Dataset, ArgError> {
     let path = args.require("data")?;
+    if path.starts_with("shard:") {
+        return Err(ArgError(format!(
+            "--data {path}: shard directories stream through lasso, svm, info, and \
+             simulate; this subcommand needs a LIBSVM file"
+        )));
+    }
     let file = File::open(path).map_err(|e| ArgError(format!("open {path}: {e}")))?;
     let ds =
         read_libsvm(BufReader::new(file), 0).map_err(|e| ArgError(format!("parse {path}: {e}")))?;
@@ -187,6 +221,306 @@ fn resolve_lambda(args: &Args, ds: &Dataset) -> Result<f64, ArgError> {
     Ok(frac * lmax)
 }
 
+// ---------------------------------------------------------------------------
+// Out-of-core data sources (`saco shard`, `--data shard:<dir>`)
+// ---------------------------------------------------------------------------
+
+/// A byte count with an optional binary K/M/G suffix (`64M` = 64·2²⁰).
+fn parse_bytes(s: &str) -> Result<u64, String> {
+    let (digits, mult) = match s.as_bytes().last() {
+        Some(b'k' | b'K') => (&s[..s.len() - 1], 1u64 << 10),
+        Some(b'm' | b'M') => (&s[..s.len() - 1], 1u64 << 20),
+        Some(b'g' | b'G') => (&s[..s.len() - 1], 1u64 << 30),
+        _ => (s, 1),
+    };
+    let n: u64 = digits
+        .parse()
+        .map_err(|_| format!("cannot parse {s:?} as a byte count"))?;
+    n.checked_mul(mult)
+        .ok_or_else(|| format!("{s:?} overflows a u64 byte count"))
+}
+
+/// `--data shard:<dir>` selects the out-of-core path: returns the shard
+/// directory plus the `--mem-budget` resident byte cap (default 256M;
+/// per view — each rank of a dist/net run gets its own budget).
+fn shard_source(args: &Args) -> Result<Option<(PathBuf, u64)>, ArgError> {
+    let Some(data) = args.get("data") else {
+        return Ok(None);
+    };
+    let Some(dir) = data.strip_prefix("shard:") else {
+        return Ok(None);
+    };
+    let budget = parse_bytes(args.get("mem-budget").unwrap_or("256M"))
+        .map_err(|e| ArgError(format!("--mem-budget: {e}")))?;
+    Ok(Some((PathBuf::from(dir), budget)))
+}
+
+/// Open a shard directory as a budgeted streaming view, checking that its
+/// axis matches what the solver samples (Lasso columns, SVM rows).
+fn open_stream(
+    dir: &Path,
+    budget: u64,
+    axis: ShardAxis,
+    what: &str,
+) -> Result<StreamingMatrix, ArgError> {
+    let mat = StreamingMatrix::open(dir, budget)
+        .map_err(|e| ArgError(format!("open shard store {}: {e}", dir.display())))?;
+    let got = mat.store().manifest().axis;
+    if got != axis {
+        let want = if axis == ShardAxis::Csc { "csc" } else { "csr" };
+        return Err(ArgError(format!(
+            "{what} streams {want}-axis shards, but {} holds {got:?} — \
+             re-shard with `saco shard --axis {want}`",
+            dir.display()
+        )));
+    }
+    Ok(mat)
+}
+
+/// The labels sidecar of a streaming view's store.
+fn read_store_labels(mat: &StreamingMatrix, dir: &Path) -> Result<Vec<f64>, ArgError> {
+    mat.store()
+        .read_labels()
+        .map_err(|e| ArgError(format!("read labels from {}: {e}", dir.display())))
+}
+
+/// λ resolution against a CSC-axis streaming view: the major slices *are*
+/// the columns, so one transient pass of [`SliceSource::major_spmv_into`]
+/// computes Aᵀb without growing the resident set.
+fn resolve_lambda_stream(args: &Args, mat: &StreamingMatrix, b: &[f64]) -> Result<f64, ArgError> {
+    if let Some(l) = args.get_opt::<f64>("lambda")? {
+        return Ok(l);
+    }
+    let frac = args.get_or("lambda-frac", 0.1)?;
+    let mut atb = vec![0.0; mat.major_len()];
+    mat.major_spmv_into(b, &mut atb);
+    Ok(frac * vecops::inf_norm(&atb))
+}
+
+/// One human line summarizing streaming I/O across views: counters add,
+/// the resident high-water mark is the per-view maximum.
+fn print_io(stats: &[IoStats]) {
+    let bytes: u64 = stats.iter().map(|s| s.bytes_read).sum();
+    let hits: u64 = stats.iter().map(|s| s.prefetch_hits).sum();
+    let misses: u64 = stats.iter().map(|s| s.prefetch_misses).sum();
+    let hidden: f64 = stats.iter().map(|s| s.hidden_secs).sum();
+    let hwm = stats
+        .iter()
+        .map(|s| s.resident_hwm_bytes)
+        .max()
+        .unwrap_or(0);
+    println!(
+        "  io: {bytes} bytes read | prefetch {hits} hits / {misses} misses | \
+         {hidden:.6} s hidden behind compute | resident hwm {hwm} bytes"
+    );
+}
+
+/// Fold every rank view's `shard.*`/`io.*` stats into `telemetry`:
+/// counters add across ranks, gauges keep the per-rank maximum.
+fn merge_shard_stats(telemetry: &mut Registry, ranks: &[StreamRankData]) {
+    for r in ranks {
+        let mut one = Registry::new();
+        record_shard_stats(&mut one, &r.mat);
+        for (k, v) in one.counters() {
+            telemetry.counter_add(k, *v);
+        }
+        for (k, v) in one.gauges() {
+            if telemetry.gauge(k).is_none_or(|cur| *v > cur) {
+                telemetry.gauge_set(k, *v);
+            }
+        }
+    }
+}
+
+/// Synthesize a paper stand-in by registry name (the `generate` source).
+fn synth_dataset(args: &Args, name: &str) -> Result<Dataset, ArgError> {
+    let ds_enum = PaperDataset::ALL
+        .iter()
+        .find(|d| d.info().name == name)
+        .copied()
+        .ok_or_else(|| {
+            let names: Vec<&str> = PaperDataset::ALL.iter().map(|d| d.info().name).collect();
+            ArgError(format!("unknown dataset {name:?}; choose from {names:?}"))
+        })?;
+    let scale = args.get_or("scale", 1.0)?;
+    let seed = args.get_or("seed", 42)?;
+    Ok(ds_enum.generate(scale, seed).dataset)
+}
+
+/// `saco shard`: convert a LIBSVM file (`--data`) or a synthetic paper
+/// stand-in (`--dataset`, as in `generate`) into an on-disk shard
+/// directory. `--axis csc` (default) feeds the Lasso solvers, `--axis
+/// csr` the SVM; the nnz-aware planner packs at most `--shards` chunks
+/// with balanced nonzeros. `--verify` re-opens the store and compares
+/// every slice and label bitwise against the source matrix.
+fn cmd_shard(args: &Args) -> Result<(), ArgError> {
+    let out = args.require("out")?;
+    let axis = match args.get("axis").unwrap_or("csc") {
+        "csc" => ShardAxis::Csc,
+        "csr" => ShardAxis::Csr,
+        other => {
+            return Err(ArgError(format!(
+                "--axis must be csc or csr, got {other:?}"
+            )))
+        }
+    };
+    let nshards = args.get_or("shards", 64)?;
+    if nshards == 0 {
+        return Err(ArgError("--shards must be at least 1".into()));
+    }
+    let ds = if args.get("data").is_some() {
+        load(args)?
+    } else if let Some(name) = args.get("dataset") {
+        synth_dataset(args, name)?
+    } else {
+        return Err(ArgError(
+            "shard needs --data <file.svm> or --dataset <name>".into(),
+        ));
+    };
+    let dir = Path::new(out);
+    let t0 = Instant::now();
+    let csc = (axis == ShardAxis::Csc).then(|| ds.a.to_csc());
+    let manifest = match &csc {
+        Some(c) => write_csc(dir, c, &shard_plan(&slice_nnz(c), nshards), Some(&ds.b)),
+        None => write_csr(
+            dir,
+            &ds.a,
+            &shard_plan(&slice_nnz(&ds.a), nshards),
+            Some(&ds.b),
+        ),
+    }
+    .map_err(|e| ArgError(format!("write shards to {out}: {e}")))?;
+    println!(
+        "sharded {} × {} ({} nnz) into {} {}-axis shards in {:.3} s",
+        ds.num_points(),
+        ds.num_features(),
+        ds.a.nnz(),
+        manifest.shards.len(),
+        if axis == ShardAxis::Csc { "csc" } else { "csr" },
+        t0.elapsed().as_secs_f64()
+    );
+    println!(
+        "  {} bytes on disk | nnz imbalance {:.4} (max/min shard)",
+        manifest.disk_bytes(),
+        manifest.nnz_imbalance()
+    );
+    if args.flag("verify") {
+        let store = ShardStore::open(dir).map_err(|e| ArgError(format!("reopen {out}: {e}")))?;
+        match &csc {
+            Some(c) => verify_store(&store, c),
+            None => verify_store(&store, &ds.a),
+        }
+        .map_err(|e| ArgError(format!("verify {out}: {e}")))?;
+        let labels = store
+            .read_labels()
+            .map_err(|e| ArgError(format!("verify {out}: {e}")))?;
+        if labels != ds.b {
+            return Err(ArgError(format!("verify {out}: labels differ")));
+        }
+        println!("  verify: OK — every slice and label round-trips bitwise");
+    }
+    let solver = if axis == ShardAxis::Csc {
+        "lasso"
+    } else {
+        "svm"
+    };
+    println!("solve out-of-core with `saco {solver} --data shard:{out}`");
+    Ok(())
+}
+
+/// Streaming `saco lasso --data shard:<dir>`: bitwise the in-memory
+/// solve, bounded resident memory.
+fn lasso_from_shards(args: &Args, dir: &Path, budget: u64) -> Result<(), ArgError> {
+    let a = open_stream(dir, budget, ShardAxis::Csc, "lasso")?;
+    let b = read_store_labels(&a, dir)?;
+    let lambda = resolve_lambda_stream(args, &a, &b)?;
+    let cfg = lasso_cfg(args, lambda)?;
+    let reg = Lasso::new(lambda);
+    let accel = args.flag("acc");
+    println!(
+        "lasso (streaming, budget {budget} bytes): {} × {}, λ = {lambda:.6e}, µ = {}, s = {}, H = {}",
+        a.minor_len(),
+        a.major_len(),
+        cfg.mu,
+        cfg.s,
+        cfg.max_iters
+    );
+    let t0 = Instant::now();
+    let res = if accel {
+        stream_sa_accbcd(&a, &b, &reg, &cfg)
+    } else {
+        stream_sa_bcd(&a, &b, &reg, &cfg)
+    };
+    let wall = t0.elapsed().as_secs_f64();
+    println!(
+        "objective: {:.6e} (from {:.6e}); nonzeros: {}/{}",
+        res.final_value(),
+        res.trace.initial_value(),
+        vecops::nnz_count(&res.x, 1e-10),
+        res.x.len()
+    );
+    print_io(&[a.io_stats()]);
+    if let Some(path) = args.get("metrics") {
+        let mut telemetry = Registry::new();
+        telemetry.set_meta("engine", "sequential");
+        telemetry.set_meta("cli.engine", "seq");
+        telemetry.set_meta("data.source", "shard");
+        telemetry.set_meta(
+            "solver",
+            if accel {
+                "stream_sa_accbcd"
+            } else {
+                "stream_sa_bcd"
+            },
+        );
+        telemetry.gauge_set("objective.final", res.final_value());
+        telemetry.gauge_set("time.wall_secs", wall);
+        record_shard_stats(&mut telemetry, &a);
+        write_metrics(args, &mut telemetry, path)?;
+    }
+    write_weights(args, &res.x)
+}
+
+/// Streaming `saco svm --data shard:<dir>` (CSR-axis store).
+fn svm_from_shards(args: &Args, dir: &Path, budget: u64) -> Result<(), ArgError> {
+    let a = open_stream(dir, budget, ShardAxis::Csr, "svm")?;
+    let b = read_store_labels(&a, dir)?;
+    if !b.iter().all(|&v| v == 1.0 || v == -1.0) {
+        return Err(ArgError("svm needs ±1 labels".into()));
+    }
+    let cfg = svm_cfg(args)?;
+    println!(
+        "svm-{:?} (streaming, budget {budget} bytes): {} × {}, λ = {}, s = {}, H ≤ {}",
+        cfg.loss,
+        a.major_len(),
+        a.minor_len(),
+        cfg.lambda,
+        cfg.s,
+        cfg.max_iters
+    );
+    let t0 = Instant::now();
+    let res = stream_sa_svm(&a, &b, &cfg);
+    let wall = t0.elapsed().as_secs_f64();
+    println!(
+        "duality gap: {:.6e} after {} iterations",
+        res.final_value(),
+        res.iters
+    );
+    print_io(&[a.io_stats()]);
+    if let Some(path) = args.get("metrics") {
+        let mut telemetry = Registry::new();
+        telemetry.set_meta("engine", "sequential");
+        telemetry.set_meta("cli.engine", "seq");
+        telemetry.set_meta("data.source", "shard");
+        telemetry.set_meta("solver", "stream_sa_svm");
+        telemetry.gauge_set("objective.final", res.final_value());
+        telemetry.gauge_set("time.wall_secs", wall);
+        record_shard_stats(&mut telemetry, &a);
+        write_metrics(args, &mut telemetry, path)?;
+    }
+    write_weights(args, &res.x)
+}
+
 /// `--overlap on|off`: overlap the fused allreduce with next-block
 /// sampling + Gram formation (default on). Purely a scheduling knob — the
 /// solver output is bitwise identical either way; only the simulated
@@ -216,6 +550,9 @@ fn lasso_cfg(args: &Args, lambda: f64) -> Result<LassoConfig, ArgError> {
 }
 
 fn cmd_lasso(args: &Args) -> Result<(), ArgError> {
+    if let Some((dir, budget)) = shard_source(args)? {
+        return lasso_from_shards(args, &dir, budget);
+    }
     let ds = load(args)?;
     let lambda = resolve_lambda(args, &ds)?;
     let cfg = lasso_cfg(args, lambda)?;
@@ -243,17 +580,14 @@ fn cmd_lasso(args: &Args) -> Result<(), ArgError> {
     write_weights(args, &res.x)
 }
 
-fn cmd_svm(args: &Args) -> Result<(), ArgError> {
-    let ds = load(args)?;
-    if !ds.b.iter().all(|&b| b == 1.0 || b == -1.0) {
-        return Err(ArgError("svm needs ±1 labels".into()));
-    }
+/// The SVM solver options shared by the in-memory and streaming paths.
+fn svm_cfg(args: &Args) -> Result<SvmConfig, ArgError> {
     let loss = match args.get("loss").unwrap_or("l1") {
         "l1" | "L1" => SvmLoss::L1,
         "l2" | "L2" => SvmLoss::L2,
         other => return Err(ArgError(format!("--loss must be l1 or l2, got {other:?}"))),
     };
-    let cfg = SvmConfig {
+    Ok(SvmConfig {
         loss,
         lambda: args.get_or("lambda", 1.0)?,
         s: args.get_or("s", 64)?,
@@ -262,7 +596,19 @@ fn cmd_svm(args: &Args) -> Result<(), ArgError> {
         trace_every: args.get_or("trace-every", 1_000)?,
         gap_tol: args.get_opt("gap-tol")?,
         overlap: parse_overlap(args)?,
-    };
+    })
+}
+
+fn cmd_svm(args: &Args) -> Result<(), ArgError> {
+    if let Some((dir, budget)) = shard_source(args)? {
+        return svm_from_shards(args, &dir, budget);
+    }
+    let ds = load(args)?;
+    if !ds.b.iter().all(|&b| b == 1.0 || b == -1.0) {
+        return Err(ArgError("svm needs ±1 labels".into()));
+    }
+    let cfg = svm_cfg(args)?;
+    let loss = cfg.loss;
     println!(
         "svm-{loss:?}: {} × {}, λ = {}, s = {}, H ≤ {}",
         ds.num_points(),
@@ -308,32 +654,44 @@ fn cmd_path(args: &Args) -> Result<(), ArgError> {
 
 fn cmd_generate(args: &Args) -> Result<(), ArgError> {
     let name = args.require("dataset")?;
-    let ds_enum = PaperDataset::ALL
-        .iter()
-        .find(|d| d.info().name == name)
-        .copied()
-        .ok_or_else(|| {
-            let names: Vec<&str> = PaperDataset::ALL.iter().map(|d| d.info().name).collect();
-            ArgError(format!("unknown dataset {name:?}; choose from {names:?}"))
-        })?;
-    let scale = args.get_or("scale", 1.0)?;
-    let seed = args.get_or("seed", 42)?;
-    let g = ds_enum.generate(scale, seed);
+    let ds = synth_dataset(args, name)?;
     let out = args.require("out")?;
     let mut w =
         BufWriter::new(File::create(out).map_err(|e| ArgError(format!("create {out}: {e}")))?);
-    write_libsvm(&mut w, &g.dataset).map_err(|e| ArgError(format!("write {out}: {e}")))?;
+    write_libsvm(&mut w, &ds).map_err(|e| ArgError(format!("write {out}: {e}")))?;
     println!(
         "wrote {} ({} × {}, {} nnz) to {out}",
         name,
-        g.dataset.num_points(),
-        g.dataset.num_features(),
-        g.dataset.a.nnz()
+        ds.num_points(),
+        ds.num_features(),
+        ds.a.nnz()
     );
     Ok(())
 }
 
 fn cmd_info(args: &Args) -> Result<(), ArgError> {
+    if let Some((dir, _)) = shard_source(args)? {
+        let store = ShardStore::open(&dir)
+            .map_err(|e| ArgError(format!("open shard store {}: {e}", dir.display())))?;
+        let man = store.manifest();
+        let (rows, cols) = match man.axis {
+            ShardAxis::Csr => (man.major, man.minor),
+            ShardAxis::Csc => (man.minor, man.major),
+        };
+        println!("shard store: {}", dir.display());
+        println!("axis:      {:?}", man.axis);
+        println!("points:    {rows}");
+        println!("features:  {cols}");
+        println!("nnz:       {}", man.nnz);
+        println!("shards:    {}", man.shards.len());
+        println!("bytes:     {}", man.disk_bytes());
+        println!("imbalance: {:.4} (max/min shard nnz)", man.nnz_imbalance());
+        println!(
+            "labels:    {}",
+            if man.has_labels { "present" } else { "absent" }
+        );
+        return Ok(());
+    }
     let ds = load(args)?;
     let a = &ds.a;
     println!("points:    {}", a.rows());
@@ -403,11 +761,211 @@ fn cmd_simulate(args: &Args) -> Result<(), ArgError> {
             "--chaos injects faults into the *modeled* cluster; engine {engine:?} runs real code (use --engine sim)"
         )));
     }
+    if let Some((dir, budget)) = shard_source(args)? {
+        if args.get("chaos").is_some() {
+            return Err(ArgError(
+                "--chaos perturbs the modeled cluster; the streaming path does real I/O \
+                 (drop shard: or --chaos)"
+                    .into(),
+            ));
+        }
+        return simulate_stream(args, engine, &dir, budget);
+    }
     match engine {
         "sim" => simulate_sim(args),
         "seq" => simulate_seq(args),
         "dist" => simulate_dist(args),
         "net" => simulate_net(args),
+        other => Err(ArgError(format!(
+            "--engine must be seq|sim|dist|net, got {other:?}"
+        ))),
+    }
+}
+
+/// `saco simulate --data shard:<dir>`: the Lasso solvers on any of the
+/// four engines, streamed from a CSC-axis shard store. Rank engines
+/// (dist/net) give every rank its own windowed view and `--mem-budget`.
+fn simulate_stream(args: &Args, engine: &str, dir: &Path, budget: u64) -> Result<(), ArgError> {
+    let a = open_stream(dir, budget, ShardAxis::Csc, "simulate")?;
+    let b = read_store_labels(&a, dir)?;
+    let lambda = resolve_lambda_stream(args, &a, &b)?;
+    let cfg = sim_lasso_cfg(args, lambda)?;
+    let reg = Lasso::new(lambda);
+    let accel = args.flag("acc");
+    let ioerr = |e: std::io::Error| ArgError(format!("stream {}: {e}", dir.display()));
+    match engine {
+        "seq" => {
+            let t0 = Instant::now();
+            let res = if accel {
+                stream_sa_accbcd(&a, &b, &reg, &cfg)
+            } else {
+                stream_sa_bcd(&a, &b, &reg, &cfg)
+            };
+            let wall = t0.elapsed().as_secs_f64();
+            println!(
+                "sequential (engine seq, streaming), s = {}, µ = {}, H = {}:",
+                cfg.s, cfg.mu, cfg.max_iters
+            );
+            println!("  wall time: {wall:.6} s (measured)");
+            print_io(&[a.io_stats()]);
+            println!("  final objective {:.6e}", res.final_value());
+            if let Some(path) = args.get("metrics") {
+                let mut telemetry = Registry::new();
+                telemetry.set_meta("engine", "sequential");
+                telemetry.set_meta("cli.engine", "seq");
+                telemetry.set_meta("data.source", "shard");
+                telemetry.set_meta(
+                    "solver",
+                    if accel {
+                        "stream_sa_accbcd"
+                    } else {
+                        "stream_sa_bcd"
+                    },
+                );
+                telemetry.gauge_set("objective.final", res.final_value());
+                telemetry.gauge_set("time.wall_secs", wall);
+                record_shard_stats(&mut telemetry, &a);
+                write_metrics(args, &mut telemetry, path)?;
+            }
+            Ok(())
+        }
+        "sim" => {
+            let p = args.get_or("p", 1024)?;
+            let balanced = args.flag("balanced");
+            let model = CostModel::cray_xc30();
+            let (res, rep) = if accel {
+                stream_sim_sa_accbcd(&a, &b, &reg, &cfg, p, model, balanced)
+            } else {
+                stream_sim_sa_bcd(&a, &b, &reg, &cfg, p, model, balanced)
+            }
+            .map_err(ioerr)?;
+            println!(
+                "simulated {} ranks (streaming), s = {}, µ = {}, H = {}:",
+                p, cfg.s, cfg.mu, cfg.max_iters
+            );
+            let c = rep.critical;
+            println!("  running time: {:.6} s", rep.running_time());
+            println!(
+                "  compute {:.6} s | communicate {:.6} s | idle {:.6} s",
+                c.comp_time, c.comm_time, c.idle_time
+            );
+            println!(
+                "  messages {} | words {} | flops {}",
+                c.messages, c.words, c.flops
+            );
+            print_io(&[a.io_stats()]);
+            println!("  final objective {:.6e}", res.final_value());
+            if let Some(path) = args.get("metrics") {
+                let mut telemetry = Registry::new();
+                telemetry.set_meta("cli.engine", "sim");
+                telemetry.set_meta("data.source", "shard");
+                telemetry.set_meta(
+                    "solver",
+                    if accel {
+                        "stream_sim_sa_accbcd"
+                    } else {
+                        "stream_sim_sa_bcd"
+                    },
+                );
+                telemetry.gauge_set("objective.final", res.final_value());
+                telemetry.gauge_set("time.running", rep.running_time());
+                record_shard_stats(&mut telemetry, &a);
+                write_metrics(args, &mut telemetry, path)?;
+            }
+            Ok(())
+        }
+        "dist" => {
+            drop(a);
+            let p = args.get_or("p", 4)?;
+            let (_, ranks) =
+                stream_lasso_ranks(dir, p, args.flag("balanced"), budget).map_err(ioerr)?;
+            let (results, rep, mut telemetry) =
+                ThreadMachine::run_report_telemetry(p, CostModel::cray_xc30(), |comm| {
+                    let data = &ranks[comm.rank()];
+                    if accel {
+                        stream_dist_sa_accbcd(comm, data, &reg, &cfg)
+                    } else {
+                        stream_dist_sa_bcd(comm, data, &reg, &cfg)
+                    }
+                });
+            println!(
+                "thread machine (engine dist, streaming), {} ranks, s = {}, µ = {}, H = {}:",
+                p, cfg.s, cfg.mu, cfg.max_iters
+            );
+            println!("  running time: {:.6} s (modeled)", rep.running_time());
+            let stats: Vec<IoStats> = ranks.iter().map(|r| r.mat.io_stats()).collect();
+            print_io(&stats);
+            println!("  final objective {:.6e}", results[0].final_value());
+            if let Some(path) = args.get("metrics") {
+                telemetry.set_meta("cli.engine", "dist");
+                telemetry.set_meta("data.source", "shard");
+                telemetry.set_meta(
+                    "solver",
+                    if accel {
+                        "stream_dist_sa_accbcd"
+                    } else {
+                        "stream_dist_sa_bcd"
+                    },
+                );
+                telemetry.gauge_set("objective.final", results[0].final_value());
+                telemetry.gauge_set("time.running", rep.running_time());
+                merge_shard_stats(&mut telemetry, &ranks);
+                write_metrics(args, &mut telemetry, path)?;
+            }
+            Ok(())
+        }
+        "net" => {
+            drop(a);
+            let p = args.get_or("p", 4)?;
+            if p == 0 || p > 64 {
+                return Err(ArgError(format!(
+                    "--engine net runs a full in-process socket mesh; --p must be 1..=64, got {p}"
+                )));
+            }
+            let algo = parse_algo(args)?;
+            let (_, ranks) =
+                stream_lasso_ranks(dir, p, args.flag("balanced"), budget).map_err(ioerr)?;
+            let t0 = Instant::now();
+            let per_rank = run_local_algo(p, algo, |rank, comm| {
+                let t0 = Instant::now();
+                let res = if accel {
+                    stream_net_sa_accbcd(comm, &ranks[rank], &reg, &cfg)
+                } else {
+                    stream_net_sa_bcd(comm, &ranks[rank], &reg, &cfg)
+                };
+                let mut r = Registry::new();
+                record_net_stats(&mut r, comm, t0.elapsed().as_secs_f64());
+                (res, r)
+            });
+            let wall = t0.elapsed().as_secs_f64();
+            let mut telemetry = merge_rank_registries(per_rank.iter().map(|(_, r)| r));
+            println!(
+                "socket mesh (engine net, streaming), {p} ranks ({algo} allreduce), s = {}, µ = {}, H = {}:",
+                cfg.s, cfg.mu, cfg.max_iters
+            );
+            println!("  wall time: {wall:.6} s (measured)");
+            let stats: Vec<IoStats> = ranks.iter().map(|r| r.mat.io_stats()).collect();
+            print_io(&stats);
+            println!("  final objective {:.6e}", per_rank[0].0.final_value());
+            if let Some(path) = args.get("metrics") {
+                telemetry.set_meta("engine", "socket_mesh");
+                telemetry.set_meta("cli.engine", "net");
+                telemetry.set_meta("data.source", "shard");
+                telemetry.set_meta(
+                    "solver",
+                    if accel {
+                        "stream_net_sa_accbcd"
+                    } else {
+                        "stream_net_sa_bcd"
+                    },
+                );
+                telemetry.gauge_set("objective.final", per_rank[0].0.final_value());
+                telemetry.gauge_set("time.wall_secs", wall);
+                merge_shard_stats(&mut telemetry, &ranks);
+                write_metrics(args, &mut telemetry, path)?;
+            }
+            Ok(())
+        }
         other => Err(ArgError(format!(
             "--engine must be seq|sim|dist|net, got {other:?}"
         ))),

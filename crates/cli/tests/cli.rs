@@ -450,6 +450,231 @@ fn launch_spawns_real_rank_processes_and_merges_reports() {
 }
 
 #[test]
+fn shard_streaming_lasso_matches_in_memory_bitwise() {
+    let data = tmpfile("shardsrc.svm");
+    assert!(saco()
+        .args([
+            "generate",
+            "--dataset",
+            "news20",
+            "--scale",
+            "0.05",
+            "--out"
+        ])
+        .arg(&data)
+        .status()
+        .expect("generate")
+        .success());
+    // Convert to a CSC shard directory and round-trip bitwise.
+    let dir = tmpfile("sharddir_csc");
+    let out = saco()
+        .args(["shard", "--data"])
+        .arg(&data)
+        .args(["--shards", "12", "--verify", "--out"])
+        .arg(&dir)
+        .output()
+        .expect("run shard");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("verify: OK"), "{text}");
+    assert!(text.contains("nnz imbalance"), "{text}");
+    // info understands the store.
+    let out = saco()
+        .arg("info")
+        .arg("--data")
+        .arg(format!("shard:{}", dir.display()))
+        .output()
+        .expect("run info");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("shards:    12"), "{text}");
+    assert!(text.contains("labels:    present"), "{text}");
+    // The streamed solve writes bit-identical weights under a small
+    // resident budget.
+    let w_mem = tmpfile("shard_w_mem.txt");
+    let w_str = tmpfile("shard_w_stream.txt");
+    let solver_args = [
+        "--lambda", "0.1", "--iters", "400", "--s", "8", "--mu", "2", "--acc",
+    ];
+    assert!(saco()
+        .args(["lasso", "--data"])
+        .arg(&data)
+        .args(solver_args)
+        .arg("--out")
+        .arg(&w_mem)
+        .status()
+        .expect("lasso mem")
+        .success());
+    let out = saco()
+        .arg("lasso")
+        .arg("--data")
+        .arg(format!("shard:{}", dir.display()))
+        .args(["--mem-budget", "4M"])
+        .args(solver_args)
+        .arg("--out")
+        .arg(&w_str)
+        .output()
+        .expect("lasso stream");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("io:"), "io summary missing: {text}");
+    let mem = std::fs::read_to_string(&w_mem).expect("in-memory weights");
+    let streamed = std::fs::read_to_string(&w_str).expect("streamed weights");
+    assert_eq!(mem, streamed, "streamed weights diverged from in-memory");
+    let _ = std::fs::remove_file(&data);
+    let _ = std::fs::remove_file(&w_mem);
+    let _ = std::fs::remove_file(&w_str);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn shard_svm_and_streamed_simulate_agree_with_in_memory() {
+    let data = tmpfile("shardsvm.svm");
+    assert!(saco()
+        .args(["generate", "--dataset", "w1a", "--out"])
+        .arg(&data)
+        .status()
+        .expect("generate")
+        .success());
+    // SVM needs a CSR-axis store.
+    let dir = tmpfile("sharddir_csr");
+    let out = saco()
+        .args(["shard", "--data"])
+        .arg(&data)
+        .args(["--axis", "csr", "--shards", "10", "--verify", "--out"])
+        .arg(&dir)
+        .output()
+        .expect("run shard");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("verify: OK"));
+    let gap_line = |out: &std::process::Output| -> String {
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout)
+            .lines()
+            .find(|l| l.contains("duality gap"))
+            .expect("a gap line")
+            .split(';')
+            .next()
+            .expect("gap fragment")
+            .trim()
+            .to_string()
+    };
+    let svm_args = ["--loss", "l2", "--iters", "8000", "--s", "32"];
+    let mem = gap_line(
+        &saco()
+            .args(["svm", "--data"])
+            .arg(&data)
+            .args(svm_args)
+            .output()
+            .expect("svm mem"),
+    );
+    let streamed = gap_line(
+        &saco()
+            .arg("svm")
+            .arg("--data")
+            .arg(format!("shard:{}", dir.display()))
+            .args(["--mem-budget", "4M"])
+            .args(svm_args)
+            .output()
+            .expect("svm stream"),
+    );
+    assert_eq!(streamed, mem, "streamed SVM gap diverged");
+    // The wrong axis is rejected with re-shard advice, not a panic.
+    let out = saco()
+        .arg("lasso")
+        .arg("--data")
+        .arg(format!("shard:{}", dir.display()))
+        .args(["--lambda", "0.1"])
+        .output()
+        .expect("run lasso on csr store");
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("saco shard --axis csc"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let _ = std::fs::remove_file(&data);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn streamed_simulate_objective_matches_every_engine() {
+    let data = tmpfile("shardsim.svm");
+    assert!(saco()
+        .args([
+            "generate",
+            "--dataset",
+            "news20",
+            "--scale",
+            "0.05",
+            "--out"
+        ])
+        .arg(&data)
+        .status()
+        .expect("generate")
+        .success());
+    let dir = tmpfile("sharddir_sim");
+    assert!(saco()
+        .args(["shard", "--data"])
+        .arg(&data)
+        .args(["--shards", "8", "--out"])
+        .arg(&dir)
+        .status()
+        .expect("shard")
+        .success());
+    let common = [
+        "--p", "4", "--s", "8", "--acc", "--iters", "200", "--lambda", "0.1",
+    ];
+    let mem = objective_line(
+        &saco()
+            .args(["simulate", "--data"])
+            .arg(&data)
+            .args(common)
+            .args(["--engine", "seq"])
+            .output()
+            .expect("simulate mem"),
+    );
+    for engine in ["seq", "sim", "dist", "net"] {
+        let out = saco()
+            .arg("simulate")
+            .arg("--data")
+            .arg(format!("shard:{}", dir.display()))
+            .args(["--mem-budget", "4M"])
+            .args(common)
+            .args(["--engine", engine])
+            .output()
+            .expect("simulate stream");
+        assert_eq!(
+            objective_line(&out),
+            mem,
+            "streamed engine {engine} diverged"
+        );
+        assert!(
+            String::from_utf8_lossy(&out.stdout).contains("io:"),
+            "engine {engine} printed no io summary"
+        );
+    }
+    let _ = std::fs::remove_file(&data);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn helpful_errors() {
     // unknown subcommand
     let out = saco().arg("frobnicate").output().expect("run");

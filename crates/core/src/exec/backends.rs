@@ -128,6 +128,21 @@ impl<'a, M: MajorSlices + Sync> SimBackend<'a, M> {
         for k in 0..mat.major_len() {
             bucket_counts(mat.slice(k).indices, &part, &mut gap_nnz);
         }
+        Self::with_gap_nnz(p, model, mat, part, gap_nnz)
+    }
+
+    /// [`Self::new`] with the per-rank nnz histogram already known —
+    /// integer-exact from a shard store's minor-axis sidecar, so streaming
+    /// sources skip the full-matrix scan (which would otherwise pull every
+    /// shard resident before the solve even starts).
+    pub(crate) fn with_gap_nnz(
+        p: usize,
+        model: CostModel,
+        mat: &'a M,
+        part: Partition,
+        gap_nnz: Vec<u64>,
+    ) -> Self {
+        assert_eq!(gap_nnz.len(), p, "per-rank nnz histogram length");
         Self {
             cluster: VirtualCluster::new(p, model),
             mat,
@@ -296,6 +311,18 @@ impl<'c, 'a, M: MajorSlices + Sync> DistBackend<'c, 'a, M> {
         let gap_nnz = (0..mat.major_len())
             .map(|k| mat.slice(k).nnz() as u64)
             .sum();
+        Self::with_gap_nnz(comm, mat, trace_rows, gap_nnz)
+    }
+
+    /// [`Self::new`] with this rank's local nnz already known (from a
+    /// shard store's minor-axis sidecar), skipping the slice scan that a
+    /// streaming source must not run eagerly.
+    pub(crate) fn with_gap_nnz(
+        comm: &'c mut Comm,
+        mat: &'a M,
+        trace_rows: usize,
+        gap_nnz: u64,
+    ) -> Self {
         Self {
             comm,
             mat,

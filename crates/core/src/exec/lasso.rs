@@ -19,7 +19,7 @@ use crate::seq::{block_lipschitz, theta_next};
 use crate::trace::{ConvergenceTrace, SolveResult};
 use crate::workspace::KernelWorkspace;
 use sparsela::gram::{sampled_cross_into, sampled_gram_into};
-use sparsela::CscMatrix;
+use sparsela::SliceSource;
 use xrng::rng_from_seed;
 
 /// Solve `min_x ½‖Ax − b‖² + g(x)` on backend `B`.
@@ -28,17 +28,23 @@ use xrng::rng_from_seed;
 /// row block for the distributed engine (every rank runs the same
 /// replicated recurrence; only the matrix products are local, made global
 /// by [`ExecBackend::exchange`]).
-pub(crate) fn lasso_family<'r, B: ExecBackend<'r>, R: Regularizer>(
-    a: &CscMatrix,
+///
+/// `a` is any column-major [`SliceSource`]: an in-memory
+/// `sparsela::CscMatrix` (where `prepare`/`prefetch` are no-ops) or an
+/// out-of-core `sparsela::shard::StreamingMatrix`. The streaming hooks
+/// never change a value, only residency, so the iterates are bitwise
+/// identical across sources.
+pub(crate) fn lasso_family<'r, B: ExecBackend<'r>, R: Regularizer, M: SliceSource + Sync>(
+    a: &M,
     b: &[f64],
     reg: &R,
     cfg: &LassoConfig,
     accel: bool,
     backend: &mut B,
 ) -> SolveResult {
-    let n = a.cols();
+    let n = a.major_len();
     cfg.validate(n);
-    assert_eq!(b.len(), a.rows(), "label length mismatch");
+    assert_eq!(b.len(), a.minor_len(), "label length mismatch");
     let mut rng = rng_from_seed(cfg.seed);
     let q = cfg.q(n);
     let mu = cfg.mu;
@@ -74,6 +80,7 @@ pub(crate) fn lasso_family<'r, B: ExecBackend<'r>, R: Regularizer>(
     let mut ws = KernelWorkspace::new();
     let nthreads = saco_par::threads();
     let mut have_next = false;
+    let mut have_sel = false;
     let mut h = 0usize;
     'outer: while h < cfg.max_iters {
         let s_block = cfg.s.min(cfg.max_iters - h);
@@ -81,20 +88,33 @@ pub(crate) fn lasso_family<'r, B: ExecBackend<'r>, R: Regularizer>(
         ws.begin_block(width);
         if have_next {
             // This block's sampling and local Gram were produced (and
-            // charged) while the previous fused allreduce was in flight.
+            // charged) while the previous fused allreduce was in flight;
+            // for a streaming source the overlap closure also made these
+            // slices resident (`prepare`), so none of that repeats here.
             std::mem::swap(&mut ws.sel, &mut ws.sel_next);
             std::mem::swap(&mut ws.gram, &mut ws.gram_next);
         } else {
             {
                 let _span = backend.span(Stage::Sampling);
-                for _ in 0..s_block {
-                    crate::seq::sample_block_into(&mut rng, n, mu, cfg.sampling, &mut ws.sel);
+                if have_sel {
+                    // Drawn one block ahead (same RNG order — see the
+                    // lookahead below) so the shards could prefetch
+                    // behind the previous block's compute.
+                    std::mem::swap(&mut ws.sel, &mut ws.sel_next);
+                } else {
+                    for _ in 0..s_block {
+                        crate::seq::sample_block_into(&mut rng, n, mu, cfg.sampling, &mut ws.sel);
+                    }
                 }
             }
+            // Residency barrier: pin this block's slices (no-op in
+            // memory). Prefetched shards are hits; the rest load here.
+            a.prepare(&ws.sel);
             let _span = backend.span(Stage::Gram);
             sampled_gram_into(a, &ws.sel, nthreads, &mut ws.gram_ws, &mut ws.gram);
             backend.charge_gram(&ws.sel, width);
         }
+        have_sel = false;
         if accel {
             // The θ sequence for the whole block, computed up front.
             ws.thetas.clear();
@@ -144,11 +164,30 @@ pub(crate) fn lasso_family<'r, B: ExecBackend<'r>, R: Regularizer>(
         let h_next = h + s_block;
         let want_overlap = B::OVERLAPS && cfg.overlap && h_next < cfg.max_iters;
         let s_next = cfg.s.min(cfg.max_iters.saturating_sub(h_next));
+        if a.lookahead() && !want_overlap && h_next < cfg.max_iters {
+            // Streaming without an overlap window: resolve the next
+            // block's selection now — the draws land in the same global
+            // RNG order as the in-memory solver's block-entry draws, so
+            // the coordinate sequence is bitwise unchanged — and hand it
+            // to the background loader. The shards stream in while this
+            // block's inner iterations run.
+            let _span = backend.span(Stage::Sampling);
+            ws.sel_next.clear();
+            for _ in 0..s_next {
+                crate::seq::sample_block_into(&mut rng, n, mu, cfg.sampling, &mut ws.sel_next);
+            }
+            a.prefetch(&ws.sel_next);
+            have_sel = true;
+        }
         let ov = |bk: &mut B, ws: &mut KernelWorkspace| {
             ws.sel_next.clear();
             for _ in 0..s_next {
                 crate::seq::sample_block_into(&mut rng, n, mu, cfg.sampling, &mut ws.sel_next);
             }
+            // Streaming: loads for the next block happen inside the
+            // in-flight allreduce — IO hides behind comm here, behind
+            // compute in the non-overlap lookahead above.
+            a.prepare(&ws.sel_next);
             sampled_gram_into(
                 a,
                 &ws.sel_next,
@@ -220,7 +259,7 @@ pub(crate) fn lasso_family<'r, B: ExecBackend<'r>, R: Regularizer>(
                         if dz != 0.0 {
                             z[c] += dz;
                             y[c] -= ycoef * dz;
-                            let col = a.col(c);
+                            let col = a.slice(c);
                             col.axpy_into(dz, &mut ztilde);
                             col.axpy_into(-ycoef * dz, &mut ytilde);
                         }
@@ -247,7 +286,7 @@ pub(crate) fn lasso_family<'r, B: ExecBackend<'r>, R: Regularizer>(
                     ws.deltas[off + ai] = dx;
                     if dx != 0.0 {
                         z[c] += dx;
-                        a.col(c).axpy_into(dx, &mut ztilde);
+                        a.slice(c).axpy_into(dx, &mut ztilde);
                     }
                 }
                 backend.charge_lasso_update(coords, mu, true);

@@ -15,23 +15,28 @@ use crate::seq::svm::projected_step;
 use crate::trace::{ConvergenceTrace, SolveResult};
 use crate::workspace::KernelWorkspace;
 use sparsela::gram::{sampled_cross_into, sampled_gram_into};
-use sparsela::CsrMatrix;
+use sparsela::SliceSource;
 use xrng::rng_from_seed;
 
 /// Duality gap through the backend's reduction: identical arithmetic to
 /// `SvmProblem::duality_gap` when the margins are already global, and to
 /// the fused distributed gap (margins + ‖x‖² in one buffer) when they are
-/// per-rank contributions.
-fn gap_of<'r, B: ExecBackend<'r>>(
+/// per-rank contributions. The margins come from
+/// [`SliceSource::major_spmv_into`], whose default is exactly
+/// `CsrMatrix::spmv` (per-row `dot_dense`), so in-memory sources are
+/// bitwise unchanged; a streaming source computes the same chains from a
+/// bounded transient shard scan.
+fn gap_of<'r, B: ExecBackend<'r>, M: SliceSource>(
     backend: &mut B,
-    a: &CsrMatrix,
+    a: &M,
     b: &[f64],
     prob: &SvmProblem,
     x: &[f64],
     alpha: &[f64],
 ) -> f64 {
-    let m = a.rows();
-    let mut buf = a.spmv(x);
+    let m = a.major_len();
+    let mut buf = vec![0.0; m];
+    a.major_spmv_into(x, &mut buf);
     buf.push(sparsela::vecops::nrm2_sq(x));
     backend.gap_reduce(&mut buf, m);
     let x_sq = buf.pop().expect("norm element");
@@ -57,14 +62,14 @@ fn gap_of<'r, B: ExecBackend<'r>>(
 /// `a`/`b` are the full problem for replicated engines; for the
 /// distributed engine `a` is this rank's column block (`x` stays local,
 /// `α` and `b` are replicated across ranks).
-pub(crate) fn svm_family<'r, B: ExecBackend<'r>>(
-    a: &CsrMatrix,
+pub(crate) fn svm_family<'r, B: ExecBackend<'r>, M: SliceSource + Sync>(
+    a: &M,
     b: &[f64],
     cfg: &SvmConfig,
     backend: &mut B,
 ) -> SolveResult {
     cfg.validate();
-    let m = a.rows();
+    let m = a.major_len();
     assert_eq!(b.len(), m, "label length mismatch");
     debug_assert!(
         b.iter().all(|&v| v == 1.0 || v == -1.0),
@@ -75,7 +80,7 @@ pub(crate) fn svm_family<'r, B: ExecBackend<'r>>(
     let mut rng = rng_from_seed(cfg.seed);
 
     let mut alpha = vec![0.0f64; m];
-    let mut x = vec![0.0f64; a.cols()];
+    let mut x = vec![0.0f64; a.minor_len()];
 
     let mut trace = ConvergenceTrace::new();
     let gap0 = gap_of(backend, a, b, &prob, &x, &alpha);
@@ -91,24 +96,35 @@ pub(crate) fn svm_family<'r, B: ExecBackend<'r>>(
     let mut ws = KernelWorkspace::new();
     let nthreads = saco_par::threads();
     let mut have_next = false;
+    let mut have_sel = false;
     let mut h = 0usize;
     'outer: while h < cfg.max_iters {
         let s_block = cfg.s.min(cfg.max_iters - h);
         ws.begin_block(0);
         if have_next {
             // Sampled (and local Gram formed/charged) in the previous
-            // allreduce's overlap window.
+            // allreduce's overlap window; for a streaming source the
+            // overlap closure also made these slices resident.
             std::mem::swap(&mut ws.sel, &mut ws.sel_next);
             std::mem::swap(&mut ws.gram, &mut ws.gram_next);
         } else {
             {
                 let _span = backend.span(Stage::Sampling);
-                ws.sel.extend((0..s_block).map(|_| rng.next_index(m)));
+                if have_sel {
+                    // Drawn one block ahead (same RNG order) so the
+                    // shards could prefetch behind this rank's compute.
+                    std::mem::swap(&mut ws.sel, &mut ws.sel_next);
+                } else {
+                    ws.sel.extend((0..s_block).map(|_| rng.next_index(m)));
+                }
             }
+            // Residency barrier: pin this block's rows (no-op in memory).
+            a.prepare(&ws.sel);
             let _span = backend.span(Stage::Gram);
             sampled_gram_into(a, &ws.sel, nthreads, &mut ws.gram_ws, &mut ws.gram);
             backend.charge_gram(&ws.sel, s_block);
         }
+        have_sel = false;
         // x′ = Yᵀ·x_sk needs the current iterate — never overlapped.
         {
             let _span = backend.span(Stage::Gram);
@@ -120,9 +136,23 @@ pub(crate) fn svm_family<'r, B: ExecBackend<'r>>(
         let h_next = h + s_block;
         let want_overlap = B::OVERLAPS && cfg.overlap && h_next < cfg.max_iters;
         let s_next = cfg.s.min(cfg.max_iters.saturating_sub(h_next));
+        if a.lookahead() && !want_overlap && h_next < cfg.max_iters {
+            // Streaming without an overlap window: draw the next block's
+            // rows now (same global RNG order as the in-memory solver)
+            // and let the background loader stream their shards in while
+            // this block's inner iterations run.
+            let _span = backend.span(Stage::Sampling);
+            ws.sel_next.clear();
+            ws.sel_next.extend((0..s_next).map(|_| rng.next_index(m)));
+            a.prefetch(&ws.sel_next);
+            have_sel = true;
+        }
         let ov = |bk: &mut B, ws: &mut KernelWorkspace| {
             ws.sel_next.clear();
             ws.sel_next.extend((0..s_next).map(|_| rng.next_index(m)));
+            // Streaming: next-block loads hide behind the in-flight
+            // allreduce.
+            a.prepare(&ws.sel_next);
             sampled_gram_into(
                 a,
                 &ws.sel_next,
@@ -162,7 +192,7 @@ pub(crate) fn svm_family<'r, B: ExecBackend<'r>>(
             );
             if theta != 0.0 {
                 alpha[i] += theta;
-                a.row(i).axpy_into(theta * b[i], &mut x);
+                a.slice(i).axpy_into(theta * b[i], &mut x);
                 backend.charge_svm_update(i);
             }
             h += 1;

@@ -61,6 +61,7 @@ pub mod problem;
 pub mod prox;
 pub mod seq;
 pub mod sim;
+pub mod stream;
 pub mod trace;
 pub mod workspace;
 

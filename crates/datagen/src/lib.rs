@@ -28,10 +28,10 @@ pub mod synth;
 
 pub use partition::{
     balanced_partition, block_partition, bucket_counts, col_partition, imbalance_factor,
-    row_partition, Partition,
+    row_partition, shard_nnz_ratio, shard_plan, slice_nnz, Partition,
 };
 pub use registry::{DatasetInfo, GeneratedDataset, PaperDataset, Task};
 pub use synth::{
-    binary_classification, dense_gaussian, planted_regression, powerlaw_sparse, uniform_sparse,
-    ClassificationData, RegressionData,
+    binary_classification, dense_gaussian, planted_regression, powerlaw_col_nnz,
+    powerlaw_column_into, powerlaw_sparse, uniform_sparse, ClassificationData, RegressionData,
 };

@@ -123,6 +123,82 @@ pub fn col_partition(a: &sparsela::CsrMatrix, p: usize, balanced: bool) -> Parti
     }
 }
 
+/// Nnz-aware shard planner: cut `[0, len)` into at most `nshards`
+/// contiguous shards whose nnz totals are as even as the slice granularity
+/// allows. This extends [`balanced_partition`]'s greedy prefix walk with
+/// *nearest-prefix rounding*: each boundary lands on whichever side of the
+/// ideal `k·Σw/nshards` target is closer, instead of always overshooting —
+/// on power-law slice lengths that halves the worst shard's excess, which
+/// is what keeps the out-of-core cache's per-block working set predictable
+/// (`saco shard` plans with this; the ratio ships as the
+/// `shard.plan.imbalance` gauge).
+///
+/// Returns writer-ready bounds (`bounds[k]..bounds[k+1]` is shard `k`):
+/// strictly increasing, starting at 0, ending at `slice_nnz.len()`. Every
+/// shard holds at least one slice, so fewer than `nshards` shards come
+/// back only when there are fewer slices than that.
+pub fn shard_plan(slice_nnz: &[u64], nshards: usize) -> Vec<usize> {
+    let n = slice_nnz.len();
+    assert!(n > 0, "cannot shard an empty matrix");
+    let p = nshards.max(1).min(n);
+    let total: u128 = slice_nnz.iter().map(|&w| w as u128).sum();
+    let mut bounds = Vec::with_capacity(p + 1);
+    bounds.push(0usize);
+    let mut acc = 0u128;
+    let mut i = 0usize;
+    for k in 1..p {
+        let target = total * k as u128 / p as u128;
+        // This shard keeps at least one slice; each remaining shard needs
+        // one too.
+        let min_i = bounds[k - 1] + 1;
+        let max_i = n - (p - k);
+        while i < min_i {
+            acc += slice_nnz[i] as u128;
+            i += 1;
+        }
+        while i < max_i {
+            let next = acc + slice_nnz[i] as u128;
+            let under = target.saturating_sub(acc);
+            let over = next.saturating_sub(target);
+            // Take slice i when that lands the prefix no further from the
+            // target than stopping short would.
+            if next <= target || over <= under {
+                acc = next;
+                i += 1;
+            } else {
+                break;
+            }
+        }
+        bounds.push(i);
+    }
+    bounds.push(n);
+    bounds
+}
+
+/// Max/min shard-nnz ratio of a planned cut (1.0 = perfectly balanced;
+/// `inf` when some shard holds zero nnz) — the figure the ≤ 1.10 planner
+/// regression pins and the `shard.plan.imbalance` gauge reports.
+pub fn shard_nnz_ratio(slice_nnz: &[u64], bounds: &[usize]) -> f64 {
+    assert!(bounds.len() >= 2, "need at least one shard");
+    let mut max_w = 0u64;
+    let mut min_w = u64::MAX;
+    for w in bounds.windows(2) {
+        let s: u64 = slice_nnz[w[0]..w[1]].iter().sum();
+        max_w = max_w.max(s);
+        min_w = min_w.min(s);
+    }
+    max_w as f64 / min_w as f64
+}
+
+/// Per-slice nnz of any major-sliced matrix — the planner's weight input
+/// (columns of a [`sparsela::CscMatrix`], rows of a
+/// [`sparsela::CsrMatrix`]).
+pub fn slice_nnz<M: sparsela::MajorSlices>(m: &M) -> Vec<u64> {
+    (0..m.major_len())
+        .map(|k| m.slice(k).nnz() as u64)
+        .collect()
+}
+
 /// Load-imbalance factor of a partition under the given weights:
 /// `max_part_weight / mean_part_weight` (1.0 = perfectly balanced).
 pub fn imbalance_factor(weights: &[u64], part: &Partition) -> f64 {
@@ -305,6 +381,53 @@ mod tests {
         assert_eq!(balanced.parts(), 4);
         // The hot column must sit alone in its part under balancing.
         assert_eq!(balanced.range(0).len(), 1);
+    }
+
+    #[test]
+    fn shard_plan_balances_powerlaw_slices_within_ten_percent() {
+        // The planner regression the out-of-core layer depends on:
+        // power-law slice lengths must shard to a max/min nnz ratio ≤ 1.10
+        // whenever that is achievable at slice granularity — i.e. the
+        // heaviest slice is well under `total/p`. (A head slice holding more
+        // than a shard's share cannot be split, so no planner could do
+        // better; the exponent here keeps the head at ~1/4 of one shard.)
+        let weights: Vec<u64> = (0..4096)
+            .map(|i| (20_000.0 / (i as f64 + 1.0).powf(0.5)).ceil() as u64)
+            .collect();
+        let bounds = shard_plan(&weights, 16);
+        assert_eq!(bounds.first(), Some(&0));
+        assert_eq!(bounds.last(), Some(&4096));
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        let ratio = shard_nnz_ratio(&weights, &bounds);
+        assert!(ratio <= 1.10, "shard nnz ratio {ratio} > 1.10");
+    }
+
+    #[test]
+    fn shard_plan_on_real_powerlaw_matrix_beats_equal_count() {
+        // End-to-end against the synthetic generator the benches use.
+        let a = crate::synth::powerlaw_sparse(2048, 1024, 0.02, 0.7, 7);
+        let csc = a.to_csc();
+        let weights = slice_nnz(&csc);
+        let bounds = shard_plan(&weights, 8);
+        let ratio = shard_nnz_ratio(&weights, &bounds);
+        assert!(ratio <= 1.10, "planned ratio {ratio} > 1.10");
+        let naive = block_partition(1024, 8);
+        let naive_ratio = shard_nnz_ratio(&weights, naive.bounds());
+        assert!(
+            ratio < naive_ratio,
+            "planned {ratio} must beat equal-count {naive_ratio}"
+        );
+    }
+
+    #[test]
+    fn shard_plan_degenerate_shapes() {
+        // More shards than slices: one slice per shard.
+        assert_eq!(shard_plan(&[5, 5], 8), vec![0, 1, 2]);
+        // One shard swallows everything.
+        assert_eq!(shard_plan(&[1, 2, 3], 1), vec![0, 3]);
+        // A dominant head slice still leaves every shard nonempty.
+        let bounds = shard_plan(&[1_000_000, 1, 1, 1], 4);
+        assert_eq!(bounds, vec![0, 1, 2, 3, 4]);
     }
 
     #[test]

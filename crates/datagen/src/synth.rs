@@ -93,6 +93,78 @@ pub fn powerlaw_sparse(rows: usize, cols: usize, density: f64, skew: f64, seed: 
     coo.to_csr()
 }
 
+/// Deterministic per-column nonzero counts for a power-law matrix that is
+/// generated column-at-a-time at out-of-core scale.
+///
+/// Column `j` receives a Zipf(`skew`) share of `rows·cols·density` total
+/// nonzeros, clamped to `[1, rows]`. This is a pure function of the shape
+/// (no RNG), so the shard planner can consume the histogram *before* any
+/// matrix data exists — the nnz-aware plan (`datagen::partition::shard_plan`)
+/// and the streamed generation pass then agree exactly on every column's
+/// length without a scan.
+pub fn powerlaw_col_nnz(rows: usize, cols: usize, density: f64, skew: f64) -> Vec<u64> {
+    assert!((0.0..=1.0).contains(&density), "density must be in [0,1]");
+    assert!(skew >= 0.0, "skew must be nonnegative");
+    if rows == 0 || cols == 0 || density == 0.0 {
+        return vec![0; cols];
+    }
+    let target = density * rows as f64 * cols as f64;
+    let weights: Vec<f64> = (0..cols)
+        .map(|j| 1.0 / ((j + 1) as f64).powf(skew))
+        .collect();
+    let total: f64 = weights.iter().sum();
+    weights
+        .iter()
+        .map(|w| ((w / total * target).round() as u64).clamp(1, rows as u64))
+        .collect()
+}
+
+/// One column of a streamed power-law matrix: `nnz` sorted distinct row
+/// indices with standard-normal values, appended into caller-owned buffers
+/// (cleared first) so a generation loop over millions of columns allocates
+/// nothing.
+///
+/// The generator is seeded per column from `(seed, col)`, so each column is
+/// a pure function of those two values: columns can be produced in any
+/// order, in parallel, or re-produced later for verification, and the
+/// result is bitwise identical every time. Distinct indices come from a
+/// batched draw→sort→dedup loop (equivalent to sequential rejection of
+/// duplicates, hence a uniform `nnz`-subset) which stays `O(nnz log nnz)`
+/// even for the clamped head columns where Floyd's quadratic duplicate
+/// scan would be intractable.
+pub fn powerlaw_column_into(
+    seed: u64,
+    rows: usize,
+    col: usize,
+    nnz: usize,
+    indices: &mut Vec<usize>,
+    values: &mut Vec<f64>,
+) {
+    indices.clear();
+    values.clear();
+    let k = nnz.min(rows);
+    if k == 0 {
+        return;
+    }
+    let mut rng = rng_from_seed(seed ^ (col as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    if k * 4 >= rows {
+        // Dense-ish column: partial Fisher–Yates beats rejection here.
+        let mut sel = sample_without_replacement(&mut rng, rows, k);
+        sel.sort_unstable();
+        indices.extend(sel);
+    } else {
+        indices.reserve(k);
+        while indices.len() < k {
+            for _ in 0..(k - indices.len()) {
+                indices.push(rng.next_index(rows));
+            }
+            indices.sort_unstable();
+            indices.dedup();
+        }
+    }
+    values.extend(indices.iter().map(|_| rng.next_gaussian()));
+}
+
 /// Fully dense Gaussian matrix in CSR form (epsilon/gisette/leu/duke class).
 pub fn dense_gaussian(rows: usize, cols: usize, seed: u64) -> CsrMatrix {
     let mut rng = rng_from_seed(seed);
@@ -274,6 +346,70 @@ mod tests {
         let frac = agree as f64 / 500.0;
         assert!(frac > 0.9, "agreement {frac}");
         assert!(cls.dataset.b.iter().all(|&b| b == 1.0 || b == -1.0));
+    }
+
+    #[test]
+    fn powerlaw_col_nnz_is_a_clamped_zipf_histogram() {
+        let nnz = powerlaw_col_nnz(1000, 400, 0.02, 0.8);
+        assert_eq!(nnz.len(), 400);
+        // Monotone nonincreasing (Zipf by column index) and clamped.
+        assert!(nnz.windows(2).all(|w| w[0] >= w[1]));
+        assert!(nnz.iter().all(|&k| (1..=1000).contains(&k)));
+        let total: u64 = nnz.iter().sum();
+        let want = 0.02 * 1000.0 * 400.0;
+        assert!(
+            (total as f64 - want).abs() < 0.1 * want,
+            "total nnz {total} vs target {want}"
+        );
+        // Head column is clamped to rows when skew concentrates hard enough.
+        let hard = powerlaw_col_nnz(100, 10_000, 0.05, 1.2);
+        assert_eq!(hard[0], 100);
+    }
+
+    #[test]
+    fn powerlaw_column_is_sorted_distinct_and_reproducible() {
+        let (mut idx, mut val) = (Vec::new(), Vec::new());
+        for &(rows, col, nnz) in &[(1000usize, 0usize, 900usize), (1000, 17, 40), (8, 3, 8)] {
+            powerlaw_column_into(42, rows, col, nnz, &mut idx, &mut val);
+            assert_eq!(idx.len(), nnz.min(rows));
+            assert_eq!(val.len(), idx.len());
+            assert!(idx.windows(2).all(|w| w[0] < w[1]), "sorted distinct");
+            assert!(idx.iter().all(|&i| i < rows));
+            let (mut idx2, mut val2) = (Vec::new(), Vec::new());
+            powerlaw_column_into(42, rows, col, nnz, &mut idx2, &mut val2);
+            assert_eq!(idx, idx2);
+            assert!(val
+                .iter()
+                .zip(&val2)
+                .all(|(a, b)| a.to_bits() == b.to_bits()));
+        }
+        // Different column or seed → different draw.
+        powerlaw_column_into(42, 1000, 17, 40, &mut idx, &mut val);
+        let (mut idx3, mut val3) = (Vec::new(), Vec::new());
+        powerlaw_column_into(42, 1000, 18, 40, &mut idx3, &mut val3);
+        assert_ne!(idx, idx3);
+        powerlaw_column_into(43, 1000, 17, 40, &mut idx3, &mut val3);
+        assert_ne!((&idx, &val), (&idx3, &val3));
+    }
+
+    #[test]
+    fn streamed_columns_assemble_into_a_valid_csc() {
+        let (rows, cols) = (300, 120);
+        let nnz = powerlaw_col_nnz(rows, cols, 0.03, 0.7);
+        let mut indptr = vec![0usize];
+        let (mut indices, mut values) = (Vec::new(), Vec::new());
+        let (mut ci, mut cv) = (Vec::new(), Vec::new());
+        for (j, &n) in nnz.iter().enumerate() {
+            powerlaw_column_into(9, rows, j, n as usize, &mut ci, &mut cv);
+            indices.extend_from_slice(&ci);
+            values.extend_from_slice(&cv);
+            indptr.push(indices.len());
+        }
+        let a = sparsela::CscMatrix::from_parts(rows, cols, indptr, indices, values);
+        assert_eq!(a.nnz() as u64, nnz.iter().sum::<u64>());
+        for (j, &n) in nnz.iter().enumerate() {
+            assert_eq!(a.col_nnz(j) as u64, n);
+        }
     }
 
     #[test]

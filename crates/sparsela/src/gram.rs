@@ -61,6 +61,60 @@ impl MajorSlices for CscMatrix {
     }
 }
 
+/// [`MajorSlices`] plus the residency protocol an *out-of-core* matrix
+/// needs: solvers announce each block's selection before touching its
+/// slices (`prepare`), may announce the *next* block's selection early
+/// (`prefetch`, served in the background), and can ask whether early
+/// announcement is worth anything (`lookahead`).
+///
+/// For resident matrices every hook is a no-op and `lookahead` is `false`,
+/// so the generic solver loops compile down to exactly the pre-streaming
+/// code — and, crucially, draw their random selections in the same order,
+/// keeping in-memory runs bitwise unchanged. `sparsela::shard`'s
+/// [`StreamingMatrix`](crate::shard::StreamingMatrix) implements the hooks
+/// for real.
+///
+/// # Contract
+///
+/// * Every major index in a kernel call must be covered by the most recent
+///   `prepare` (or fault in synchronously — correct but slow).
+/// * Slices borrowed after a `prepare` remain valid until the *second*
+///   following `prepare` (two live epochs — the overlap path computes the
+///   next block's Gram while the current block's slices are live).
+/// * None of the hooks may affect values: a streamed slice is bitwise
+///   identical to its in-memory counterpart.
+pub trait SliceSource: MajorSlices {
+    /// Make the slices in `sel` resident and pin them for the new epoch.
+    fn prepare(&self, _sel: &[usize]) {}
+
+    /// Begin loading the slices in `sel` in the background, pinned for
+    /// the epoch that the matching `prepare` will open.
+    fn prefetch(&self, _sel: &[usize]) {}
+
+    /// Whether the solver should resolve its selection one block ahead
+    /// and call [`SliceSource::prefetch`] — true only for sources with
+    /// actual load latency to hide.
+    fn lookahead(&self) -> bool {
+        false
+    }
+
+    /// `y[k] = ⟨slice(k), x⟩` for every major slice — the full-matrix
+    /// product (e.g. the SVM duality-gap pass). The default iterates
+    /// resident slices; out-of-core sources override it with a bounded
+    /// sequential scan. Implementations must keep the per-slice
+    /// `dot_dense` arithmetic so all paths agree bitwise.
+    fn major_spmv_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.minor_len(), "spmv input length");
+        assert_eq!(y.len(), self.major_len(), "spmv output length");
+        for k in 0..self.major_len() {
+            y[k] = self.slice(k).dot_dense(x);
+        }
+    }
+}
+
+impl SliceSource for CsrMatrix {}
+impl SliceSource for CscMatrix {}
+
 /// Reusable scratch for the sparse Gram kernels: a dense scatter buffer
 /// of minor length (one column at a time — the pooled per-row path) and a
 /// 64-byte-aligned *interleaved* buffer holding [`simd::SPARSE_LANES`]

@@ -53,6 +53,7 @@ pub mod gram;
 pub mod io;
 pub mod qr;
 pub mod scale;
+pub mod shard;
 pub mod simd;
 pub mod svdest;
 pub mod sympack;
@@ -62,7 +63,7 @@ pub use coo::CooMatrix;
 pub use csc::CscMatrix;
 pub use csr::CsrMatrix;
 pub use dense::DenseMatrix;
-pub use gram::GramWorkspace;
+pub use gram::{GramWorkspace, MajorSlices, SliceSource};
 pub use sympack::{pack_upper_into, packed_len, unpack_symmetric, unpack_symmetric_into};
 
 /// A borrowed view of one sparse row (CSR) or column (CSC): parallel slices

@@ -1,0 +1,1598 @@
+//! Out-of-core sharded sparse matrices: a chunked on-disk CSR/CSC format
+//! plus a bounded-memory streaming view that serves the sampled-Gram
+//! kernels.
+//!
+//! The SA solvers only ever touch `s·µ` sampled major slices per outer
+//! block (the observation that makes Algorithms 2/4 communication-avoiding
+//! also makes them *out-of-core-friendly*), so a dataset far larger than
+//! RAM can be solved from disk as long as the sampled shards are resident
+//! when the kernels run. This module provides:
+//!
+//! * the **shard directory format** (`saco-shard/v1`): one binary file per
+//!   contiguous major-axis chunk with a small versioned header, `u64`
+//!   little-endian structure arrays and **lossless `f64` bit-pattern
+//!   payloads** (values travel as `to_bits` words, so a write→read
+//!   round-trip is bitwise exact);
+//! * [`ShardWriter`] / [`ShardStore`] — a streaming writer (slices appended
+//!   one at a time, so datasets can be *generated* out-of-core too) and a
+//!   pread-windowed reader that never maps more than the requested shard;
+//! * [`StreamingMatrix`] — a [`MajorSlices`]/[`SliceSource`] implementation
+//!   over a `ShardStore` with an epoch-pinned shard cache under a hard
+//!   resident-byte budget, backed by a `saco-par` background worker that
+//!   prefetches the *next* block's shards behind the current block's
+//!   compute.
+//!
+//! # Determinism
+//!
+//! Decoded shards hand out exactly the index/value bytes that were written,
+//! and the kernels in [`gram`](crate::gram) are generic over
+//! [`MajorSlices`] — so a streamed run computes with *the same bits* as an
+//! in-memory run on the same matrix: same sample → same kernel → same
+//! result, regardless of cache hits, prefetch races, or the memory budget.
+//! I/O timing changes; output bits never do.
+//!
+//! # The two-epoch pin contract
+//!
+//! [`SliceSource::prepare`] opens an *epoch*: the shards backing the
+//! selection are faulted in (or claimed from a prefetch) and pinned.
+//! Borrowed [`SparseSlice`]s stay valid until the **second** `prepare`
+//! call after the one that pinned them — two live epochs, because the
+//! overlap path computes the *next* block's Gram (epoch `e+1`) while the
+//! current block's slices (epoch `e`) are still in use. Eviction only ever
+//! touches unpinned shards; the budget must therefore hold two epochs'
+//! working sets (see `docs/PERFORMANCE.md`, "Out-of-core streaming").
+
+use crate::gram::{MajorSlices, SliceSource};
+use crate::{CscMatrix, CsrMatrix, SparseSlice};
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{self, Read};
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// Format magic for a shard payload file.
+const SHARD_MAGIC: &[u8; 8] = b"SACOSHD1";
+/// Format magic for the labels sidecar.
+const LABEL_MAGIC: &[u8; 8] = b"SACOLBL1";
+/// Format magic for the minor-axis nnz histogram sidecar.
+const MINOR_MAGIC: &[u8; 8] = b"SACOMNZ1";
+/// First line of `manifest.txt`.
+const MANIFEST_VERSION: &str = "saco-shard/v1";
+/// Fixed byte length of a shard file header (magic + six `u64` fields).
+const HEADER_LEN: u64 = 8 + 6 * 8;
+
+/// Which axis the shards chunk: the *major* axis is the sliced one.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShardAxis {
+    /// Column-major chunks of a CSC matrix (Lasso: slices are columns).
+    Csc,
+    /// Row-major chunks of a CSR matrix (SVM: slices are rows).
+    Csr,
+}
+
+impl ShardAxis {
+    fn tag(self) -> u64 {
+        match self {
+            ShardAxis::Csc => 0,
+            ShardAxis::Csr => 1,
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            ShardAxis::Csc => "csc",
+            ShardAxis::Csr => "csr",
+        }
+    }
+
+    fn parse(s: &str) -> io::Result<ShardAxis> {
+        match s {
+            "csc" => Ok(ShardAxis::Csc),
+            "csr" => Ok(ShardAxis::Csr),
+            other => Err(bad(format!("unknown shard axis {other:?}"))),
+        }
+    }
+}
+
+/// One shard's placement: major slices `lo..hi` with `nnz` stored entries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardMeta {
+    /// Shard index (file `shard-<index:05>.bin`).
+    pub index: usize,
+    /// First major slice (inclusive).
+    pub lo: usize,
+    /// One past the last major slice.
+    pub hi: usize,
+    /// Stored entries in this shard.
+    pub nnz: u64,
+}
+
+impl ShardMeta {
+    /// Exact on-disk byte size of this shard's file.
+    pub fn disk_bytes(&self) -> u64 {
+        HEADER_LEN + (self.hi - self.lo + 1) as u64 * 8 + self.nnz * 16
+    }
+}
+
+/// Parsed `manifest.txt`: the directory's full description.
+#[derive(Clone, Debug)]
+pub struct ShardManifest {
+    /// Sliced axis.
+    pub axis: ShardAxis,
+    /// Global major-axis length (number of slices across all shards).
+    pub major: usize,
+    /// Global minor-axis (dense) length.
+    pub minor: usize,
+    /// Total stored entries.
+    pub nnz: u64,
+    /// Per-shard placement, in major order (contiguous, covering
+    /// `0..major`).
+    pub shards: Vec<ShardMeta>,
+    /// Whether `labels.bin` exists.
+    pub has_labels: bool,
+}
+
+impl ShardManifest {
+    /// Total on-disk bytes of all shard payload files (excluding sidecars).
+    pub fn disk_bytes(&self) -> u64 {
+        self.shards.iter().map(ShardMeta::disk_bytes).sum()
+    }
+
+    /// Max/min shard-nnz ratio — the planner balance figure exported as
+    /// the `shard.plan.imbalance` gauge (1.0 = perfectly balanced;
+    /// `inf` when some shard is empty).
+    pub fn nnz_imbalance(&self) -> f64 {
+        let max = self.shards.iter().map(|s| s.nnz).max().unwrap_or(0);
+        let min = self.shards.iter().map(|s| s.nnz).min().unwrap_or(0);
+        max as f64 / min as f64
+    }
+}
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+fn shard_path(dir: &Path, index: usize) -> PathBuf {
+    dir.join(format!("shard-{index:05}.bin"))
+}
+
+fn push_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn decode_u64s(bytes: &[u8]) -> Vec<u64> {
+    bytes
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("chunk of 8")))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+/// Streaming shard-directory writer: slices are appended one at a time in
+/// major order and flushed to disk whenever a planned shard boundary is
+/// reached, so the full matrix never has to be resident (the 1:1-scale
+/// generators feed this column by column).
+///
+/// `bounds` are the planned cut points (`bounds[k]..bounds[k+1]` is shard
+/// `k`), normally from `datagen`'s nnz-aware planner. [`ShardWriter::finish`]
+/// writes the sidecars and manifest; dropping without `finish` leaves an
+/// unreadable directory (no manifest).
+#[derive(Debug)]
+pub struct ShardWriter {
+    dir: PathBuf,
+    axis: ShardAxis,
+    major: usize,
+    minor: usize,
+    bounds: Vec<usize>,
+    next_major: usize,
+    cur_shard: usize,
+    indptr: Vec<u64>,
+    indices: Vec<u64>,
+    value_bits: Vec<u64>,
+    minor_nnz: Vec<u64>,
+    total_nnz: u64,
+    metas: Vec<ShardMeta>,
+    has_labels: bool,
+}
+
+impl ShardWriter {
+    /// Start a shard directory at `dir` (created if absent) for a
+    /// `major`-slice matrix with dense length `minor`, cut at `bounds`.
+    ///
+    /// `bounds` must start at 0, end at `major`, and be strictly
+    /// increasing (every shard holds at least one slice).
+    pub fn create(
+        dir: &Path,
+        axis: ShardAxis,
+        major: usize,
+        minor: usize,
+        bounds: &[usize],
+    ) -> io::Result<ShardWriter> {
+        if bounds.first() != Some(&0) || bounds.last() != Some(&major) {
+            return Err(bad(format!(
+                "shard bounds must cover 0..{major}, got {:?}..{:?}",
+                bounds.first(),
+                bounds.last()
+            )));
+        }
+        if bounds.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(bad("shard bounds must be strictly increasing"));
+        }
+        std::fs::create_dir_all(dir)?;
+        Ok(ShardWriter {
+            dir: dir.to_path_buf(),
+            axis,
+            major,
+            minor,
+            bounds: bounds.to_vec(),
+            next_major: 0,
+            cur_shard: 0,
+            indptr: vec![0],
+            indices: Vec::new(),
+            value_bits: Vec::new(),
+            minor_nnz: vec![0; minor],
+            total_nnz: 0,
+            metas: Vec::new(),
+            has_labels: false,
+        })
+    }
+
+    /// Append the next major slice (`indices` strictly increasing,
+    /// `< minor`). Flushes the current shard file when its planned
+    /// boundary is reached.
+    pub fn append_slice(&mut self, indices: &[usize], values: &[f64]) -> io::Result<()> {
+        if self.next_major >= self.major {
+            return Err(bad(format!("more than {} slices appended", self.major)));
+        }
+        if indices.len() != values.len() {
+            return Err(bad("indices/values length mismatch"));
+        }
+        let mut prev = None;
+        for &i in indices {
+            if i >= self.minor {
+                return Err(bad(format!(
+                    "index {i} out of range (minor axis {})",
+                    self.minor
+                )));
+            }
+            if prev.is_some_and(|p| p >= i) {
+                return Err(bad("slice indices must be strictly increasing"));
+            }
+            prev = Some(i);
+            self.minor_nnz[i] += 1;
+        }
+        self.indices.extend(indices.iter().map(|&i| i as u64));
+        self.value_bits.extend(values.iter().map(|v| v.to_bits()));
+        self.total_nnz += indices.len() as u64;
+        self.indptr.push(self.indices.len() as u64);
+        self.next_major += 1;
+        if self.next_major == self.bounds[self.cur_shard + 1] {
+            self.flush_shard()?;
+        }
+        Ok(())
+    }
+
+    /// Write the per-point label sidecar (`labels.bin`). Call once, any
+    /// time before [`ShardWriter::finish`].
+    pub fn write_labels(&mut self, labels: &[f64]) -> io::Result<()> {
+        let mut buf = Vec::with_capacity(16 + labels.len() * 8);
+        buf.extend_from_slice(LABEL_MAGIC);
+        push_u64(&mut buf, labels.len() as u64);
+        for v in labels {
+            push_u64(&mut buf, v.to_bits());
+        }
+        std::fs::write(self.dir.join("labels.bin"), buf)?;
+        self.has_labels = true;
+        Ok(())
+    }
+
+    fn flush_shard(&mut self) -> io::Result<()> {
+        let lo = self.bounds[self.cur_shard];
+        let hi = self.bounds[self.cur_shard + 1];
+        let nnz = self.indices.len() as u64;
+        let mut buf =
+            Vec::with_capacity(HEADER_LEN as usize + self.indptr.len() * 8 + nnz as usize * 16);
+        buf.extend_from_slice(SHARD_MAGIC);
+        for v in [
+            self.axis.tag(),
+            self.major as u64,
+            self.minor as u64,
+            lo as u64,
+            hi as u64,
+            nnz,
+        ] {
+            push_u64(&mut buf, v);
+        }
+        for &p in &self.indptr {
+            push_u64(&mut buf, p);
+        }
+        for &i in &self.indices {
+            push_u64(&mut buf, i);
+        }
+        for &v in &self.value_bits {
+            push_u64(&mut buf, v);
+        }
+        std::fs::write(shard_path(&self.dir, self.cur_shard), buf)?;
+        self.metas.push(ShardMeta {
+            index: self.cur_shard,
+            lo,
+            hi,
+            nnz,
+        });
+        self.cur_shard += 1;
+        self.indptr.clear();
+        self.indptr.push(0);
+        self.indices.clear();
+        self.value_bits.clear();
+        Ok(())
+    }
+
+    /// Flush sidecars and the manifest; returns the final manifest.
+    /// Errors if fewer slices were appended than planned.
+    pub fn finish(self) -> io::Result<ShardManifest> {
+        if self.next_major != self.major {
+            return Err(bad(format!(
+                "only {} of {} slices appended",
+                self.next_major, self.major
+            )));
+        }
+        let mut buf = Vec::with_capacity(16 + self.minor_nnz.len() * 8);
+        buf.extend_from_slice(MINOR_MAGIC);
+        push_u64(&mut buf, self.minor_nnz.len() as u64);
+        for &c in &self.minor_nnz {
+            push_u64(&mut buf, c);
+        }
+        std::fs::write(self.dir.join("minor_nnz.bin"), buf)?;
+
+        let mut m = String::new();
+        m.push_str(MANIFEST_VERSION);
+        m.push('\n');
+        m.push_str(&format!("axis {}\n", self.axis.name()));
+        m.push_str(&format!("major {}\n", self.major));
+        m.push_str(&format!("minor {}\n", self.minor));
+        m.push_str(&format!("nnz {}\n", self.total_nnz));
+        m.push_str(&format!("labels {}\n", u8::from(self.has_labels)));
+        for s in &self.metas {
+            m.push_str(&format!("shard {} {} {} {}\n", s.index, s.lo, s.hi, s.nnz));
+        }
+        std::fs::write(self.dir.join("manifest.txt"), m)?;
+        Ok(ShardManifest {
+            axis: self.axis,
+            major: self.major,
+            minor: self.minor,
+            nnz: self.total_nnz,
+            shards: self.metas,
+            has_labels: self.has_labels,
+        })
+    }
+}
+
+/// Shard any [`MajorSlices`] matrix into `dir` at the planned `bounds`,
+/// optionally with labels. `axis` must describe what the slices are
+/// (columns for [`CscMatrix`], rows for [`CsrMatrix`]); prefer
+/// [`write_csc`] / [`write_csr`] which pin that correspondence.
+pub fn write_slices<M: MajorSlices>(
+    dir: &Path,
+    axis: ShardAxis,
+    m: &M,
+    bounds: &[usize],
+    labels: Option<&[f64]>,
+) -> io::Result<ShardManifest> {
+    let mut w = ShardWriter::create(dir, axis, m.major_len(), m.minor_len(), bounds)?;
+    for k in 0..m.major_len() {
+        let s = m.slice(k);
+        w.append_slice(s.indices, s.values)?;
+    }
+    if let Some(b) = labels {
+        w.write_labels(b)?;
+    }
+    w.finish()
+}
+
+/// Shard a CSC matrix (column chunks — the Lasso layout).
+pub fn write_csc(
+    dir: &Path,
+    a: &CscMatrix,
+    bounds: &[usize],
+    labels: Option<&[f64]>,
+) -> io::Result<ShardManifest> {
+    write_slices(dir, ShardAxis::Csc, a, bounds, labels)
+}
+
+/// Shard a CSR matrix (row chunks — the SVM layout).
+pub fn write_csr(
+    dir: &Path,
+    a: &CsrMatrix,
+    bounds: &[usize],
+    labels: Option<&[f64]>,
+) -> io::Result<ShardManifest> {
+    write_slices(dir, ShardAxis::Csr, a, bounds, labels)
+}
+
+// ---------------------------------------------------------------------------
+// Store (reader)
+// ---------------------------------------------------------------------------
+
+/// A fully decoded shard: the exact sub-CSR/CSC arrays that were written,
+/// addressable by *global* major index.
+#[derive(Clone, Debug)]
+pub struct DecodedShard {
+    /// First global major slice held.
+    pub lo: usize,
+    /// One past the last global major slice held.
+    pub hi: usize,
+    indptr: Vec<usize>,
+    indices: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl DecodedShard {
+    /// Borrow global slice `k` (`lo <= k < hi`).
+    pub fn slice(&self, k: usize) -> SparseSlice<'_> {
+        let l = k - self.lo;
+        let (s, e) = (self.indptr[l], self.indptr[l + 1]);
+        SparseSlice {
+            indices: &self.indices[s..e],
+            values: &self.values[s..e],
+        }
+    }
+
+    /// Stored entries.
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Approximate decoded heap footprint — what the cache budget charges.
+    pub fn heap_bytes(&self) -> u64 {
+        (self.indptr.len() * 8 + self.indices.len() * 16) as u64
+    }
+}
+
+/// Read-side handle on a shard directory: parses the manifest once, then
+/// serves pread-windowed shard decodes on demand. Cheap to clone behind an
+/// [`Arc`]; holds no file descriptors between reads.
+#[derive(Clone, Debug)]
+pub struct ShardStore {
+    dir: PathBuf,
+    manifest: ShardManifest,
+}
+
+impl ShardStore {
+    /// Open `dir`, parsing and validating `manifest.txt`.
+    pub fn open(dir: &Path) -> io::Result<ShardStore> {
+        let text = std::fs::read_to_string(dir.join("manifest.txt"))?;
+        let mut lines = text.lines();
+        if lines.next() != Some(MANIFEST_VERSION) {
+            return Err(bad(format!(
+                "{}: not a {MANIFEST_VERSION} directory",
+                dir.display()
+            )));
+        }
+        let mut axis = None;
+        let mut major = None;
+        let mut minor = None;
+        let mut nnz = None;
+        let mut has_labels = false;
+        let mut shards: Vec<ShardMeta> = Vec::new();
+        for line in lines {
+            let mut it = line.split_ascii_whitespace();
+            let key = match it.next() {
+                Some(k) => k,
+                None => continue,
+            };
+            let mut next_usize = || -> io::Result<usize> {
+                it.next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| bad(format!("manifest: bad line {line:?}")))
+            };
+            match key {
+                "axis" => {
+                    axis = Some(ShardAxis::parse(
+                        line.split_ascii_whitespace().nth(1).unwrap_or(""),
+                    )?)
+                }
+                "major" => major = Some(next_usize()?),
+                "minor" => minor = Some(next_usize()?),
+                "nnz" => nnz = Some(next_usize()? as u64),
+                "labels" => has_labels = next_usize()? != 0,
+                "shard" => {
+                    let (index, lo, hi) = (next_usize()?, next_usize()?, next_usize()?);
+                    let nnz = next_usize()? as u64;
+                    shards.push(ShardMeta { index, lo, hi, nnz });
+                }
+                other => return Err(bad(format!("manifest: unknown key {other:?}"))),
+            }
+        }
+        let (axis, major, minor, nnz) = match (axis, major, minor, nnz) {
+            (Some(a), Some(mj), Some(mn), Some(z)) => (a, mj, mn, z),
+            _ => return Err(bad("manifest: missing axis/major/minor/nnz")),
+        };
+        // Shards must tile 0..major contiguously in order.
+        let mut at = 0;
+        for (i, s) in shards.iter().enumerate() {
+            if s.index != i || s.lo != at || s.hi <= s.lo {
+                return Err(bad(format!("manifest: shard {i} out of order")));
+            }
+            at = s.hi;
+        }
+        if at != major || shards.iter().map(|s| s.nnz).sum::<u64>() != nnz {
+            return Err(bad("manifest: shards do not tile the matrix"));
+        }
+        Ok(ShardStore {
+            dir: dir.to_path_buf(),
+            manifest: ShardManifest {
+                axis,
+                major,
+                minor,
+                nnz,
+                shards,
+                has_labels,
+            },
+        })
+    }
+
+    /// The parsed manifest.
+    pub fn manifest(&self) -> &ShardManifest {
+        &self.manifest
+    }
+
+    /// Directory this store reads from.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Index of the shard holding major slice `k`.
+    pub fn shard_of(&self, k: usize) -> usize {
+        debug_assert!(k < self.manifest.major);
+        self.manifest.shards.partition_point(|s| s.hi <= k)
+    }
+
+    /// Decode shard `index` in full, validating header and invariants.
+    pub fn read_shard(&self, index: usize) -> io::Result<DecodedShard> {
+        let meta = self.manifest.shards[index];
+        let f = File::open(shard_path(&self.dir, index))?;
+        let mut head = [0u8; HEADER_LEN as usize];
+        f.read_exact_at(&mut head, 0)?;
+        if &head[..8] != SHARD_MAGIC {
+            return Err(bad(format!("shard {index}: bad magic")));
+        }
+        let fields = decode_u64s(&head[8..]);
+        let expect = [
+            self.manifest.axis.tag(),
+            self.manifest.major as u64,
+            self.manifest.minor as u64,
+            meta.lo as u64,
+            meta.hi as u64,
+            meta.nnz,
+        ];
+        if fields != expect {
+            return Err(bad(format!(
+                "shard {index}: header {fields:?} disagrees with manifest {expect:?}"
+            )));
+        }
+        let nslices = meta.hi - meta.lo;
+        let nnz = meta.nnz as usize;
+        // One pread for the whole payload: pread-windowed access means the
+        // window is this shard — never the rest of the dataset.
+        let mut payload = vec![0u8; (nslices + 1) * 8 + nnz * 16];
+        f.read_exact_at(&mut payload, HEADER_LEN)?;
+        let indptr_end = (nslices + 1) * 8;
+        let indices_end = indptr_end + nnz * 8;
+        let indptr: Vec<usize> = decode_u64s(&payload[..indptr_end])
+            .into_iter()
+            .map(|v| v as usize)
+            .collect();
+        let indices: Vec<usize> = decode_u64s(&payload[indptr_end..indices_end])
+            .into_iter()
+            .map(|v| v as usize)
+            .collect();
+        let values: Vec<f64> = decode_u64s(&payload[indices_end..])
+            .into_iter()
+            .map(f64::from_bits)
+            .collect();
+        if indptr.first() != Some(&0) || indptr.last() != Some(&nnz) {
+            return Err(bad(format!("shard {index}: indptr endpoints corrupt")));
+        }
+        for w in indptr.windows(2) {
+            if w[0] > w[1] {
+                return Err(bad(format!("shard {index}: indptr not monotone")));
+            }
+            let sl = &indices[w[0]..w[1]];
+            for p in sl.windows(2) {
+                if p[0] >= p[1] {
+                    return Err(bad(format!(
+                        "shard {index}: slice indices not strictly increasing"
+                    )));
+                }
+            }
+            if sl.last().is_some_and(|&i| i >= self.manifest.minor) {
+                return Err(bad(format!("shard {index}: index out of minor range")));
+            }
+        }
+        Ok(DecodedShard {
+            lo: meta.lo,
+            hi: meta.hi,
+            indptr,
+            indices,
+            values,
+        })
+    }
+
+    /// Decode shard `index` restricted to minor window `wlo..whi`, with
+    /// indices rebased by `-wlo` — exactly the arithmetic of
+    /// [`CscMatrix::row_block`]/[`CsrMatrix::col_block`], so a windowed
+    /// rank view computes with the same bits as an in-memory block split.
+    pub fn read_shard_window(
+        &self,
+        index: usize,
+        wlo: usize,
+        whi: usize,
+    ) -> io::Result<DecodedShard> {
+        let full = self.read_shard(index)?;
+        let mut indptr = Vec::with_capacity(full.indptr.len());
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        indptr.push(0);
+        for w in full.indptr.windows(2) {
+            let sl = &full.indices[w[0]..w[1]];
+            let a = w[0] + sl.partition_point(|&i| i < wlo);
+            let b = w[0] + sl.partition_point(|&i| i < whi);
+            indices.extend(full.indices[a..b].iter().map(|&i| i - wlo));
+            values.extend_from_slice(&full.values[a..b]);
+            indptr.push(indices.len());
+        }
+        Ok(DecodedShard {
+            lo: full.lo,
+            hi: full.hi,
+            indptr,
+            indices,
+            values,
+        })
+    }
+
+    /// Per-major-slice nnz, read from the shard *indptr sections only*
+    /// (one small pread per shard — no index/value bytes touched). This is
+    /// what planners and cost models need without a data scan.
+    pub fn major_nnz(&self) -> io::Result<Vec<u64>> {
+        let mut out = Vec::with_capacity(self.manifest.major);
+        for meta in &self.manifest.shards {
+            let f = File::open(shard_path(&self.dir, meta.index))?;
+            let mut buf = vec![0u8; (meta.hi - meta.lo + 1) * 8];
+            f.read_exact_at(&mut buf, HEADER_LEN)?;
+            let indptr = decode_u64s(&buf);
+            out.extend(indptr.windows(2).map(|w| w[1] - w[0]));
+        }
+        Ok(out)
+    }
+
+    /// The minor-axis nnz histogram sidecar: entry `i` counts stored
+    /// entries with minor index `i`. Lets rank planners and the
+    /// simulator's `gap_nnz` tables be computed without scanning data.
+    pub fn minor_nnz(&self) -> io::Result<Vec<u64>> {
+        let bytes = std::fs::read(self.dir.join("minor_nnz.bin"))?;
+        if bytes.len() < 16 || &bytes[..8] != MINOR_MAGIC {
+            return Err(bad("minor_nnz.bin: bad magic"));
+        }
+        let len = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes")) as usize;
+        if bytes.len() != 16 + len * 8 || len != self.manifest.minor {
+            return Err(bad("minor_nnz.bin: length mismatch"));
+        }
+        Ok(decode_u64s(&bytes[16..]))
+    }
+
+    /// Read the label sidecar (bitwise-exact `f64`s).
+    pub fn read_labels(&self) -> io::Result<Vec<f64>> {
+        let mut f = File::open(self.dir.join("labels.bin"))?;
+        let mut bytes = Vec::new();
+        f.read_to_end(&mut bytes)?;
+        if bytes.len() < 16 || &bytes[..8] != LABEL_MAGIC {
+            return Err(bad("labels.bin: bad magic"));
+        }
+        let len = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes")) as usize;
+        if bytes.len() != 16 + len * 8 {
+            return Err(bad("labels.bin: length mismatch"));
+        }
+        Ok(decode_u64s(&bytes[16..])
+            .into_iter()
+            .map(f64::from_bits)
+            .collect())
+    }
+
+    fn assemble(&self) -> io::Result<(Vec<usize>, Vec<usize>, Vec<f64>)> {
+        let mut indptr = Vec::with_capacity(self.manifest.major + 1);
+        let mut indices = Vec::with_capacity(self.manifest.nnz as usize);
+        let mut values = Vec::with_capacity(self.manifest.nnz as usize);
+        indptr.push(0);
+        for meta in &self.manifest.shards {
+            let d = self.read_shard(meta.index)?;
+            for w in d.indptr.windows(2) {
+                indices.extend_from_slice(&d.indices[w[0]..w[1]]);
+                values.extend_from_slice(&d.values[w[0]..w[1]]);
+                indptr.push(indices.len());
+            }
+        }
+        Ok((indptr, indices, values))
+    }
+
+    /// Reassemble the full matrix in memory as CSC (axis must be
+    /// [`ShardAxis::Csc`]) — for verification and small datasets only.
+    pub fn assemble_csc(&self) -> io::Result<CscMatrix> {
+        if self.manifest.axis != ShardAxis::Csc {
+            return Err(bad("store axis is csr, not csc"));
+        }
+        let (indptr, indices, values) = self.assemble()?;
+        Ok(CscMatrix::from_parts(
+            self.manifest.minor,
+            self.manifest.major,
+            indptr,
+            indices,
+            values,
+        ))
+    }
+
+    /// Reassemble the full matrix in memory as CSR (axis must be
+    /// [`ShardAxis::Csr`]).
+    pub fn assemble_csr(&self) -> io::Result<CsrMatrix> {
+        if self.manifest.axis != ShardAxis::Csr {
+            return Err(bad("store axis is csc, not csr"));
+        }
+        let (indptr, indices, values) = self.assemble()?;
+        Ok(CsrMatrix::from_parts(
+            self.manifest.major,
+            self.manifest.minor,
+            indptr,
+            indices,
+            values,
+        ))
+    }
+}
+
+/// Compare a store against an in-memory matrix slice by slice, **bitwise**
+/// (`--verify` for `saco shard`): every index must match exactly and every
+/// value must match by `to_bits`. Streams one shard at a time, so the
+/// comparison itself is out-of-core.
+pub fn verify_store<M: MajorSlices>(store: &ShardStore, m: &M) -> io::Result<()> {
+    if store.manifest.major != m.major_len() || store.manifest.minor != m.minor_len() {
+        return Err(bad(format!(
+            "shape mismatch: store {}x{}, matrix {}x{}",
+            store.manifest.major,
+            store.manifest.minor,
+            m.major_len(),
+            m.minor_len()
+        )));
+    }
+    for meta in &store.manifest.shards {
+        let d = store.read_shard(meta.index)?;
+        for k in meta.lo..meta.hi {
+            let (a, b) = (d.slice(k), m.slice(k));
+            let same = a.indices == b.indices
+                && a.values.len() == b.values.len()
+                && a.values
+                    .iter()
+                    .zip(b.values)
+                    .all(|(x, y)| x.to_bits() == y.to_bits());
+            if !same {
+                return Err(bad(format!("slice {k} differs from in-memory matrix")));
+            }
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Streaming matrix
+// ---------------------------------------------------------------------------
+
+/// Snapshot of a [`StreamingMatrix`]'s I/O counters — the source of the
+/// `io.*` / `shard.*` telemetry gauges (see `docs/OBSERVABILITY.md`).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct IoStats {
+    /// Total payload bytes read from disk (foreground + background).
+    pub bytes_read: u64,
+    /// Total seconds spent reading + decoding shards, on any thread.
+    pub read_secs: f64,
+    /// Seconds the *main* thread was blocked on I/O: synchronous fault-ins
+    /// plus waits on still-in-flight prefetches.
+    pub stall_secs: f64,
+    /// Background read seconds the main thread did **not** wait for —
+    /// I/O genuinely hidden behind compute. `> 0` proves the prefetch
+    /// overlap works.
+    pub hidden_secs: f64,
+    /// Shards needed by a `prepare` that were already resident.
+    pub prefetch_hits: u64,
+    /// Shards needed by a `prepare` (or faulted by `slice`) that were
+    /// neither resident nor in flight — synchronous loads.
+    pub prefetch_misses: u64,
+    /// Shards needed by a `prepare` whose prefetch was still in flight
+    /// (partially hidden — the main thread waited out the remainder).
+    pub prefetch_waits: u64,
+    /// Unpinned shards dropped to stay under the resident budget.
+    pub evictions: u64,
+    /// Shard decode operations (any thread, including transient scans).
+    pub shard_reads: u64,
+    /// Decoded bytes currently resident in the cache.
+    pub resident_bytes: u64,
+    /// High-water mark of `resident_bytes`.
+    pub resident_hwm_bytes: u64,
+}
+
+#[derive(Default)]
+struct StatCells {
+    bytes_read: AtomicU64,
+    fg_read_nanos: AtomicU64,
+    bg_read_nanos: AtomicU64,
+    wait_nanos: AtomicU64,
+    prefetch_hits: AtomicU64,
+    prefetch_misses: AtomicU64,
+    prefetch_waits: AtomicU64,
+    evictions: AtomicU64,
+    shard_reads: AtomicU64,
+    resident_hwm: AtomicU64,
+}
+
+impl StatCells {
+    fn add_nanos(cell: &AtomicU64, d: std::time::Duration) {
+        cell.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+}
+
+enum Slot {
+    Loading,
+    Ready(Arc<DecodedShard>),
+    Failed(String),
+}
+
+struct Entry {
+    slot: Slot,
+    /// Epoch this shard is pinned for (0 = unpinned, evictable).
+    pin_epoch: u64,
+    last_use: u64,
+}
+
+struct CacheState {
+    entries: HashMap<usize, Entry>,
+    epoch: u64,
+    tick: u64,
+    resident: u64,
+}
+
+struct CacheShared {
+    state: Mutex<CacheState>,
+    loaded: Condvar,
+    stats: StatCells,
+}
+
+impl CacheShared {
+    /// Insert a finished load; evict unpinned LRU shards over `budget`.
+    fn finish_load(&self, sid: usize, result: io::Result<DecodedShard>, budget: u64) {
+        let mut st = self.state.lock().expect("shard cache poisoned");
+        let entry = st.entries.get_mut(&sid).expect("loading entry present");
+        match result {
+            Ok(d) => {
+                let bytes = d.heap_bytes();
+                entry.slot = Slot::Ready(Arc::new(d));
+                st.resident += bytes;
+                let hwm = &self.stats.resident_hwm;
+                hwm.fetch_max(st.resident, Ordering::Relaxed);
+                evict_over_budget(&mut st, &self.stats, budget);
+            }
+            Err(e) => entry.slot = Slot::Failed(e.to_string()),
+        }
+        self.loaded.notify_all();
+    }
+}
+
+/// Drop unpinned shards, least-recently-used first, until the cache is
+/// under `budget`. Pinned shards are never touched — if the pinned set
+/// alone exceeds the budget, the caller (`prepare`) panics with sizing
+/// advice rather than silently unpinning live data.
+fn evict_over_budget(st: &mut CacheState, stats: &StatCells, budget: u64) {
+    while st.resident > budget {
+        let victim = st
+            .entries
+            .iter()
+            .filter(|(_, e)| e.pin_epoch == 0 && matches!(e.slot, Slot::Ready(_)))
+            .min_by_key(|(_, e)| e.last_use)
+            .map(|(&sid, _)| sid);
+        match victim {
+            Some(sid) => {
+                if let Some(Entry {
+                    slot: Slot::Ready(d),
+                    ..
+                }) = st.entries.remove(&sid)
+                {
+                    st.resident -= d.heap_bytes();
+                    stats.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            None => break, // everything resident is pinned or in flight
+        }
+    }
+}
+
+/// A bounded-memory matrix view over a [`ShardStore`], implementing
+/// [`MajorSlices`] + [`SliceSource`] so every Gram/cross kernel and all
+/// four engines run from disk with **bitwise-identical** results to the
+/// in-memory path.
+///
+/// Shards are cached decoded under a hard `budget` (bytes); a `saco-par`
+/// [`BackgroundWorker`](saco_par::BackgroundWorker) loads prefetched
+/// shards behind the solver's compute. See the module docs for the
+/// two-epoch pin contract that makes `slice`'s borrows sound.
+///
+/// A *windowed* view (`open_window`) restricts the minor axis to
+/// `wlo..whi` with indices rebased — the per-rank view for the dist/net
+/// engines. Each view owns an independent cache and loader.
+pub struct StreamingMatrix {
+    store: Arc<ShardStore>,
+    shared: Arc<CacheShared>,
+    loader: saco_par::BackgroundWorker,
+    window: (usize, usize),
+    budget: u64,
+}
+
+impl std::fmt::Debug for StreamingMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamingMatrix")
+            .field("dir", &self.store.dir())
+            .field("window", &self.window)
+            .field("budget", &self.budget)
+            .finish_non_exhaustive()
+    }
+}
+
+impl StreamingMatrix {
+    /// Open a full-minor-axis view with a resident budget of
+    /// `budget_bytes` of decoded shard data.
+    pub fn open(dir: &Path, budget_bytes: u64) -> io::Result<StreamingMatrix> {
+        let store = ShardStore::open(dir)?;
+        let minor = store.manifest().minor;
+        Ok(Self::from_store(store, budget_bytes, (0, minor)))
+    }
+
+    /// Open a minor-axis window `wlo..whi` (a dist/net rank's share) with
+    /// its own budget, cache, and loader.
+    pub fn open_window(
+        dir: &Path,
+        budget_bytes: u64,
+        wlo: usize,
+        whi: usize,
+    ) -> io::Result<StreamingMatrix> {
+        let store = ShardStore::open(dir)?;
+        assert!(
+            wlo <= whi && whi <= store.manifest().minor,
+            "window out of range"
+        );
+        Ok(Self::from_store(store, budget_bytes, (wlo, whi)))
+    }
+
+    /// Wrap an already-open store.
+    pub fn from_store(store: ShardStore, budget_bytes: u64, window: (usize, usize)) -> Self {
+        StreamingMatrix {
+            store: Arc::new(store),
+            shared: Arc::new(CacheShared {
+                state: Mutex::new(CacheState {
+                    entries: HashMap::new(),
+                    epoch: 0,
+                    tick: 0,
+                    resident: 0,
+                }),
+                loaded: Condvar::new(),
+                stats: StatCells::default(),
+            }),
+            loader: saco_par::BackgroundWorker::spawn("saco-shard-loader"),
+            window,
+            budget: budget_bytes,
+        }
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &ShardStore {
+        &self.store
+    }
+
+    /// The configured resident budget in bytes.
+    pub fn budget_bytes(&self) -> u64 {
+        self.budget
+    }
+
+    /// Snapshot the I/O counters.
+    pub fn io_stats(&self) -> IoStats {
+        let s = &self.shared.stats;
+        let fg = s.fg_read_nanos.load(Ordering::Relaxed) as f64 * 1e-9;
+        let bg = s.bg_read_nanos.load(Ordering::Relaxed) as f64 * 1e-9;
+        let wait = s.wait_nanos.load(Ordering::Relaxed) as f64 * 1e-9;
+        let resident = self
+            .shared
+            .state
+            .lock()
+            .expect("shard cache poisoned")
+            .resident;
+        IoStats {
+            bytes_read: s.bytes_read.load(Ordering::Relaxed),
+            read_secs: fg + bg,
+            stall_secs: fg + wait,
+            hidden_secs: (bg - wait).max(0.0),
+            prefetch_hits: s.prefetch_hits.load(Ordering::Relaxed),
+            prefetch_misses: s.prefetch_misses.load(Ordering::Relaxed),
+            prefetch_waits: s.prefetch_waits.load(Ordering::Relaxed),
+            evictions: s.evictions.load(Ordering::Relaxed),
+            shard_reads: s.shard_reads.load(Ordering::Relaxed),
+            resident_bytes: resident,
+            resident_hwm_bytes: s.resident_hwm.load(Ordering::Relaxed),
+        }
+    }
+
+    fn decode(store: &ShardStore, window: (usize, usize), sid: usize) -> io::Result<DecodedShard> {
+        if window == (0, store.manifest().minor) {
+            store.read_shard(sid)
+        } else {
+            store.read_shard_window(sid, window.0, window.1)
+        }
+    }
+
+    /// Timed decode, charging `nanos_cell` (fg or bg) and the byte/read
+    /// counters.
+    fn timed_decode(
+        &self,
+        sid: usize,
+        nanos_cell: fn(&StatCells) -> &AtomicU64,
+    ) -> io::Result<DecodedShard> {
+        let stats = &self.shared.stats;
+        let t0 = Instant::now();
+        let d = Self::decode(&self.store, self.window, sid);
+        StatCells::add_nanos(nanos_cell(stats), t0.elapsed());
+        stats.bytes_read.fetch_add(
+            self.store.manifest().shards[sid].disk_bytes(),
+            Ordering::Relaxed,
+        );
+        stats.shard_reads.fetch_add(1, Ordering::Relaxed);
+        d
+    }
+
+    fn shard_ids(&self, sel: &[usize]) -> Vec<usize> {
+        let mut sids: Vec<usize> = sel.iter().map(|&k| self.store.shard_of(k)).collect();
+        sids.sort_unstable();
+        sids.dedup();
+        sids
+    }
+
+    /// Synchronously fault `sid` in (entry already marked `Loading` and
+    /// pinned by the caller under the lock).
+    fn sync_load(&self, sid: usize) {
+        let result = self.timed_decode(sid, |s| &s.fg_read_nanos);
+        self.shared.finish_load(sid, result, self.budget);
+    }
+
+    /// Block until `sid` is `Ready`, charging wait time as stall.
+    fn wait_ready(&self, sid: usize) -> Arc<DecodedShard> {
+        let mut st = self.shared.state.lock().expect("shard cache poisoned");
+        loop {
+            match &st.entries.get(&sid).expect("waited shard has entry").slot {
+                Slot::Ready(d) => return Arc::clone(d),
+                Slot::Failed(e) => panic!("shard {sid} load failed: {e}"),
+                Slot::Loading => {
+                    let t0 = Instant::now();
+                    st = self.shared.loaded.wait(st).expect("shard cache poisoned");
+                    StatCells::add_nanos(&self.shared.stats.wait_nanos, t0.elapsed());
+                }
+            }
+        }
+    }
+}
+
+impl MajorSlices for StreamingMatrix {
+    fn major_len(&self) -> usize {
+        self.store.manifest().major
+    }
+
+    fn minor_len(&self) -> usize {
+        self.window.1 - self.window.0
+    }
+
+    /// Borrow global slice `k` from the resident cache, faulting its shard
+    /// in synchronously (and pinning it for the current epoch) on a miss.
+    ///
+    /// The returned borrow is tied to `&self` but actually points into a
+    /// pinned [`DecodedShard`]; see the module docs for the two-epoch
+    /// contract under which that is sound.
+    fn slice(&self, k: usize) -> SparseSlice<'_> {
+        enum Action {
+            Have(Arc<DecodedShard>),
+            Wait,
+            Fault,
+        }
+        let sid = self.store.shard_of(k);
+        let arc = loop {
+            let action = {
+                let mut st = self.shared.state.lock().expect("shard cache poisoned");
+                st.tick += 1;
+                let tick = st.tick;
+                let epoch = st.epoch;
+                match st.entries.get_mut(&sid) {
+                    Some(e) => {
+                        e.last_use = tick;
+                        match &e.slot {
+                            Slot::Ready(d) => Action::Have(Arc::clone(d)),
+                            Slot::Failed(msg) => panic!("shard {sid} load failed: {msg}"),
+                            Slot::Loading => Action::Wait,
+                        }
+                    }
+                    None => {
+                        // Unplanned fault (e.g. a full scan outside
+                        // prepare/prefetch): load now, pinned to the
+                        // current epoch so the borrow below stays sound.
+                        self.shared
+                            .stats
+                            .prefetch_misses
+                            .fetch_add(1, Ordering::Relaxed);
+                        st.entries.insert(
+                            sid,
+                            Entry {
+                                slot: Slot::Loading,
+                                pin_epoch: epoch.max(1),
+                                last_use: tick,
+                            },
+                        );
+                        Action::Fault
+                    }
+                }
+            };
+            match action {
+                Action::Have(d) => break d,
+                Action::Wait => break self.wait_ready(sid),
+                Action::Fault => self.sync_load(sid),
+            }
+        };
+        let sl = arc.slice(k);
+        // SAFETY: `arc`'s DecodedShard is held by the cache entry for
+        // `sid`, which is pinned (by `prepare`/`prefetch`, or just above
+        // on the miss path) for at least the current epoch. Eviction
+        // skips pinned entries, and pins are only released by the second
+        // `prepare` call after the pinning one — by which point the
+        // solver contract (module docs) says no borrow from this epoch is
+        // still alive. The Vec storage inside a Ready shard is never
+        // mutated, so the pointers are stable for that whole window.
+        unsafe {
+            SparseSlice {
+                indices: std::slice::from_raw_parts(sl.indices.as_ptr(), sl.indices.len()),
+                values: std::slice::from_raw_parts(sl.values.as_ptr(), sl.values.len()),
+            }
+        }
+    }
+}
+
+impl SliceSource for StreamingMatrix {
+    /// Open the next epoch: fault in / claim every shard backing `sel`,
+    /// pin them, release pins two epochs old, evict over-budget unpinned
+    /// shards, and enforce the hard budget on the pinned set.
+    fn prepare(&self, sel: &[usize]) {
+        let sids = self.shard_ids(sel);
+        let mut need_sync: Vec<usize> = Vec::new();
+        let mut in_flight: Vec<usize> = Vec::new();
+        let cur = {
+            let mut st = self.shared.state.lock().expect("shard cache poisoned");
+            st.epoch += 1;
+            let cur = st.epoch;
+            for &sid in &sids {
+                st.tick += 1;
+                let tick = st.tick;
+                match st.entries.get_mut(&sid) {
+                    Some(e) => {
+                        e.pin_epoch = e.pin_epoch.max(cur);
+                        e.last_use = tick;
+                        match e.slot {
+                            Slot::Ready(_) => {
+                                self.shared
+                                    .stats
+                                    .prefetch_hits
+                                    .fetch_add(1, Ordering::Relaxed);
+                            }
+                            Slot::Loading => {
+                                self.shared
+                                    .stats
+                                    .prefetch_waits
+                                    .fetch_add(1, Ordering::Relaxed);
+                                in_flight.push(sid);
+                            }
+                            Slot::Failed(ref msg) => panic!("shard {sid} load failed: {msg}"),
+                        }
+                    }
+                    None => {
+                        self.shared
+                            .stats
+                            .prefetch_misses
+                            .fetch_add(1, Ordering::Relaxed);
+                        st.entries.insert(
+                            sid,
+                            Entry {
+                                slot: Slot::Loading,
+                                pin_epoch: cur,
+                                last_use: tick,
+                            },
+                        );
+                        need_sync.push(sid);
+                    }
+                }
+            }
+            cur
+        };
+        for sid in need_sync {
+            self.sync_load(sid);
+        }
+        for sid in in_flight {
+            let _ = self.wait_ready(sid);
+        }
+        let mut st = self.shared.state.lock().expect("shard cache poisoned");
+        // Release pins two epochs old; the previous epoch's slices may
+        // still be borrowed (overlap mode computes the next Gram while
+        // the current block is live), so only `cur` and `cur - 1` stay.
+        let mut pinned_bytes = 0u64;
+        for e in st.entries.values_mut() {
+            if e.pin_epoch != 0 && e.pin_epoch + 2 <= cur {
+                e.pin_epoch = 0;
+            }
+            if e.pin_epoch != 0 {
+                if let Slot::Ready(d) = &e.slot {
+                    pinned_bytes += d.heap_bytes();
+                }
+            }
+        }
+        evict_over_budget(&mut st, &self.shared.stats, self.budget);
+        assert!(
+            pinned_bytes <= self.budget,
+            "pinned shard set ({pinned_bytes} B across two epochs) exceeds the \
+             resident budget ({} B); raise --mem-budget or re-shard with more, \
+             smaller shards (shards touched per block ≈ s·µ)",
+            self.budget
+        );
+    }
+
+    /// Queue background loads for the shards backing the *next* block's
+    /// selection, pinned one epoch ahead so they survive until their
+    /// `prepare` claims them. Returns immediately; the `saco-par`
+    /// background worker does the reads behind compute.
+    fn prefetch(&self, sel: &[usize]) {
+        let sids = self.shard_ids(sel);
+        let mut to_load: Vec<usize> = Vec::new();
+        {
+            let mut st = self.shared.state.lock().expect("shard cache poisoned");
+            let target = st.epoch + 1;
+            for &sid in &sids {
+                st.tick += 1;
+                let tick = st.tick;
+                match st.entries.get_mut(&sid) {
+                    Some(e) => {
+                        e.pin_epoch = e.pin_epoch.max(target);
+                        e.last_use = tick;
+                    }
+                    None => {
+                        st.entries.insert(
+                            sid,
+                            Entry {
+                                slot: Slot::Loading,
+                                pin_epoch: target,
+                                last_use: tick,
+                            },
+                        );
+                        to_load.push(sid);
+                    }
+                }
+            }
+        }
+        for sid in to_load {
+            let store = Arc::clone(&self.store);
+            let shared = Arc::clone(&self.shared);
+            let window = self.window;
+            let budget = self.budget;
+            self.loader.submit(move || {
+                let t0 = Instant::now();
+                let result = Self::decode(&store, window, sid);
+                StatCells::add_nanos(&shared.stats.bg_read_nanos, t0.elapsed());
+                shared
+                    .stats
+                    .bytes_read
+                    .fetch_add(store.manifest().shards[sid].disk_bytes(), Ordering::Relaxed);
+                shared.stats.shard_reads.fetch_add(1, Ordering::Relaxed);
+                shared.finish_load(sid, result, budget);
+            });
+        }
+    }
+
+    fn lookahead(&self) -> bool {
+        true
+    }
+
+    /// `y[k] = ⟨slice(k), x⟩` by one bounded sequential pass over the
+    /// shards, decoding each transiently (never cached, never pinned) —
+    /// the out-of-core replacement for a full-matrix `spmv`, bitwise
+    /// identical to it because the per-slice arithmetic is the same
+    /// `dot_dense` chain.
+    fn major_spmv_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.minor_len(), "spmv input length");
+        assert_eq!(y.len(), self.major_len(), "spmv output length");
+        let stats = &self.shared.stats;
+        for meta in &self.store.manifest().shards {
+            let t0 = Instant::now();
+            let d = Self::decode(&self.store, self.window, meta.index)
+                .unwrap_or_else(|e| panic!("shard {} read failed: {e}", meta.index));
+            StatCells::add_nanos(&stats.fg_read_nanos, t0.elapsed());
+            stats
+                .bytes_read
+                .fetch_add(meta.disk_bytes(), Ordering::Relaxed);
+            stats.shard_reads.fetch_add(1, Ordering::Relaxed);
+            for k in meta.lo..meta.hi {
+                y[k] = d.slice(k).dot_dense(x);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CooMatrix;
+    use xrng::rng_from_seed;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("saco_shard_{}_{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn random_csc(rows: usize, cols: usize, density: f64, seed: u64) -> CscMatrix {
+        let mut rng = rng_from_seed(seed);
+        let mut coo = CooMatrix::new(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                if rng.next_bool(density) {
+                    coo.push(i, j, rng.next_gaussian());
+                }
+            }
+        }
+        coo.to_csc()
+    }
+
+    #[test]
+    fn roundtrip_is_bitwise_exact() {
+        let dir = tmp_dir("roundtrip");
+        let a = random_csc(37, 23, 0.2, 1);
+        let b: Vec<f64> = (0..37).map(|i| (i as f64).sin()).collect();
+        let bounds = [0usize, 5, 6, 17, 23];
+        let man = write_csc(&dir, &a, &bounds, Some(&b)).unwrap();
+        assert_eq!(man.shards.len(), 4);
+        assert_eq!(man.nnz, a.nnz() as u64);
+
+        let store = ShardStore::open(&dir).unwrap();
+        assert_eq!(store.manifest().axis, ShardAxis::Csc);
+        verify_store(&store, &a).unwrap();
+        let back = store.assemble_csc().unwrap();
+        for j in 0..23 {
+            let (x, y) = (a.col(j), back.col(j));
+            assert_eq!(x.indices, y.indices);
+            let same = x
+                .values
+                .iter()
+                .zip(y.values)
+                .all(|(p, q)| p.to_bits() == q.to_bits());
+            assert!(same, "col {j} values differ");
+        }
+        assert_eq!(
+            store
+                .read_labels()
+                .unwrap()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+            b.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sidecars_match_a_scan() {
+        let dir = tmp_dir("sidecars");
+        let a = random_csc(31, 17, 0.3, 2);
+        let bounds = [0usize, 4, 17];
+        write_csc(&dir, &a, &bounds, None).unwrap();
+        let store = ShardStore::open(&dir).unwrap();
+        let major: Vec<u64> = (0..17).map(|j| a.col(j).nnz() as u64).collect();
+        assert_eq!(store.major_nnz().unwrap(), major);
+        let mut minor = vec![0u64; 31];
+        for j in 0..17 {
+            for &i in a.col(j).indices {
+                minor[i] += 1;
+            }
+        }
+        assert_eq!(store.minor_nnz().unwrap(), minor);
+        assert!(!store.manifest().has_labels);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn windowed_decode_matches_row_block() {
+        let dir = tmp_dir("window");
+        let a = random_csc(40, 12, 0.25, 3);
+        write_csc(&dir, &a, &[0, 7, 12], None).unwrap();
+        let store = ShardStore::open(&dir).unwrap();
+        let blk = a.row_block(10, 30);
+        for (sid, meta) in store.manifest().shards.clone().iter().enumerate() {
+            let d = store.read_shard_window(sid, 10, 30).unwrap();
+            for k in meta.lo..meta.hi {
+                let (x, y) = (d.slice(k), blk.col(k));
+                assert_eq!(x.indices, y.indices, "col {k}");
+                assert!(x
+                    .values
+                    .iter()
+                    .zip(y.values)
+                    .all(|(p, q)| p.to_bits() == q.to_bits()));
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn streaming_matrix_slices_match_and_stats_track() {
+        let dir = tmp_dir("stream");
+        let a = random_csc(50, 30, 0.2, 4);
+        write_csc(&dir, &a, &[0, 8, 16, 24, 30], None).unwrap();
+        let sm = StreamingMatrix::open(&dir, u64::MAX).unwrap();
+        assert_eq!(sm.major_len(), 30);
+        assert_eq!(sm.minor_len(), 50);
+
+        let sel = vec![2usize, 9, 9, 25];
+        sm.prepare(&sel);
+        for &k in &sel {
+            let (x, y) = (sm.slice(k), a.col(k));
+            assert_eq!(x.indices, y.indices);
+            assert!(x
+                .values
+                .iter()
+                .zip(y.values)
+                .all(|(p, q)| p.to_bits() == q.to_bits()));
+        }
+        let s = sm.io_stats();
+        assert_eq!(s.prefetch_misses, 3); // shards 0, 1, 3
+        assert_eq!(s.shard_reads, 3);
+        assert!(s.resident_bytes > 0 && s.resident_hwm_bytes >= s.resident_bytes);
+
+        // Prefetch then prepare: the shard is claimed as a hit (or a wait
+        // if the background load is still in flight) — never a miss.
+        sm.prefetch(&[17, 18]);
+        sm.prepare(&[17, 18]);
+        let s = sm.io_stats();
+        assert_eq!(s.prefetch_misses, 3, "prefetched shard must not miss");
+        assert_eq!(s.prefetch_hits + s.prefetch_waits, 1);
+        assert_eq!(s.shard_reads, 4);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gram_from_stream_is_bitwise_identical() {
+        let dir = tmp_dir("gram");
+        let a = random_csc(60, 40, 0.25, 5);
+        write_csc(&dir, &a, &[0, 10, 20, 30, 40], None).unwrap();
+        let sm = StreamingMatrix::open(&dir, u64::MAX).unwrap();
+        let sel = vec![1usize, 13, 13, 22, 39, 7];
+        sm.prepare(&sel);
+        let g_mem = crate::gram::sampled_gram(&a, &sel);
+        let g_str = crate::gram::sampled_gram(&sm, &sel);
+        assert_eq!(g_mem.as_slice(), g_str.as_slice());
+        let v: Vec<f64> = (0..60).map(|i| (i as f64 * 0.37).cos()).collect();
+        let c_mem = crate::gram::sampled_cross(&a, &sel, &[&v]);
+        let c_str = crate::gram::sampled_cross(&sm, &sel, &[&v]);
+        assert_eq!(c_mem.as_slice(), c_str.as_slice());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn eviction_respects_pins_and_budget() {
+        let dir = tmp_dir("evict");
+        let a = random_csc(40, 32, 0.4, 6);
+        let bounds: Vec<usize> = (0..=8).map(|k| k * 4).collect();
+        write_csc(&dir, &a, &bounds, None).unwrap();
+        let store = ShardStore::open(&dir).unwrap();
+        let sizes: Vec<u64> = (0..8)
+            .map(|i| store.read_shard(i).unwrap().heap_bytes())
+            .collect();
+        // Budget: any two consecutive shards (= the two pinned epochs)
+        // fit, three mostly don't — so the cycle below must keep evicting
+        // the shard whose pin expired.
+        let pair_max = sizes.windows(2).map(|w| w[0] + w[1]).max().unwrap();
+        let budget = pair_max + 1;
+        let sm = StreamingMatrix::from_store(store, budget, (0, 40));
+        for step in 0..8usize {
+            sm.prepare(&[step * 4]);
+            let _ = sm.slice(step * 4);
+        }
+        let s = sm.io_stats();
+        assert!(s.evictions > 0, "tight budget must evict");
+        let max_one = *sizes.iter().max().unwrap();
+        assert!(
+            s.resident_hwm_bytes <= budget + max_one,
+            "resident high water {} beyond two pinned epochs + one incoming",
+            s.resident_hwm_bytes
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the resident budget")]
+    fn pinned_set_over_budget_panics_with_advice() {
+        let dir = tmp_dir("overbudget");
+        let a = random_csc(40, 32, 0.4, 7);
+        write_csc(&dir, &a, &[0, 16, 32], None).unwrap();
+        let sm = StreamingMatrix::open(&dir, 64).unwrap();
+        sm.prepare(&[0, 20]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn major_spmv_matches_csr_spmv_bitwise() {
+        let dir = tmp_dir("spmv");
+        let mut rng = rng_from_seed(8);
+        let mut coo = CooMatrix::new(25, 50);
+        for i in 0..25 {
+            for j in 0..50 {
+                if rng.next_bool(0.15) {
+                    coo.push(i, j, rng.next_gaussian());
+                }
+            }
+        }
+        let csr = coo.to_csr();
+        write_csr(&dir, &csr, &[0, 9, 25], None).unwrap();
+        let sm = StreamingMatrix::open(&dir, u64::MAX).unwrap();
+        let x: Vec<f64> = (0..50).map(|i| (i as f64).sqrt() - 2.0).collect();
+        let want = csr.spmv(&x);
+        let mut got = vec![0.0; 25];
+        sm.major_spmv_into(&x, &mut got);
+        assert_eq!(
+            want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            got.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_manifest_and_ragged_empty_slices() {
+        let dir = tmp_dir("corrupt");
+        // Matrix with empty columns and a very ragged shard plan.
+        let mut coo = CooMatrix::new(10, 9);
+        coo.push(3, 1, 1.5);
+        coo.push(0, 4, -2.5);
+        coo.push(9, 4, f64::MIN_POSITIVE);
+        let a = coo.to_csc();
+        write_csc(&dir, &a, &[0, 1, 2, 8, 9], None).unwrap();
+        let store = ShardStore::open(&dir).unwrap();
+        verify_store(&store, &a).unwrap();
+        // Truncate a shard: open still works (manifest ok), read fails.
+        let p = shard_path(&dir, 2);
+        let bytes = std::fs::read(&p).unwrap();
+        std::fs::write(&p, &bytes[..bytes.len() - 4]).unwrap();
+        assert!(store.read_shard(2).is_err());
+        // Break the manifest version line.
+        std::fs::write(dir.join("manifest.txt"), "bogus/v9\n").unwrap();
+        assert!(ShardStore::open(&dir).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn writer_rejects_bad_input() {
+        let dir = tmp_dir("reject");
+        assert!(ShardWriter::create(&dir, ShardAxis::Csc, 4, 5, &[0, 4, 4]).is_err());
+        assert!(ShardWriter::create(&dir, ShardAxis::Csc, 4, 5, &[1, 4]).is_err());
+        let mut w = ShardWriter::create(&dir, ShardAxis::Csc, 2, 5, &[0, 2]).unwrap();
+        assert!(w.append_slice(&[2, 1], &[1.0, 2.0]).is_err()); // not increasing
+        assert!(w.append_slice(&[5], &[1.0]).is_err()); // out of range
+        assert!(w.append_slice(&[1], &[1.0, 2.0]).is_err()); // len mismatch
+        w.append_slice(&[0, 4], &[1.0, 2.0]).unwrap();
+        assert!(w.finish().is_err()); // one slice short
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -9,9 +9,22 @@ use sparsela::gram::{
     sampled_cross, sampled_cross_into, sampled_gram, sampled_gram_into, sampled_gram_parallel,
 };
 use sparsela::io::{read_libsvm, write_libsvm, Dataset};
+use sparsela::shard::{verify_store, write_csc, write_csr, ShardStore, StreamingMatrix};
 use sparsela::GramWorkspace;
 use sparsela::{vecops, CooMatrix, DenseMatrix};
 use std::io::Cursor;
+
+/// Per-case counter so concurrent proptest cases get distinct shard dirs.
+static SHARD_CASE: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+fn shard_case_dir(axis: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "sparsela-shard-prop-{}-{}-{}",
+        std::process::id(),
+        SHARD_CASE.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+        axis
+    ))
+}
 
 /// Strategy: a random sparse matrix as (rows, cols, triplets).
 fn sparse_matrix() -> impl Strategy<Value = CooMatrix> {
@@ -311,6 +324,112 @@ proptest! {
         let wide = run(Mode::Wide);
         simd::set_mode(ambient);
         prop_assert_eq!(scalar, wide);
+    }
+
+    /// On-disk shard directories round-trip arbitrary matrices **bitwise**
+    /// on both axes — ragged shard boundaries, all-empty slices, label and
+    /// nnz sidecars, per-shard byte accounting — and a [`StreamingMatrix`]
+    /// squeezed to the tightest two-shard pin budget still serves every
+    /// slice bitwise through the prepare/evict cycle.
+    #[test]
+    fn shard_roundtrip_is_bitwise(coo in sparse_matrix(), seed in any::<u64>(), labeled in any::<bool>()) {
+        use sparsela::{MajorSlices, SliceSource};
+        let csr = coo.to_csr();
+        let csc = coo.to_csc();
+        let mut rng = xrng::rng_from_seed(seed);
+        let labels: Option<Vec<f64>> =
+            labeled.then(|| (0..csr.rows()).map(|_| rng.next_gaussian()).collect());
+
+        for axis in ["csc", "csr"] {
+            let major = if axis == "csc" { csc.cols() } else { csr.rows() };
+            // Ragged bounds: every interior cut is a coin flip, so shards
+            // of width 1 and of the whole axis both occur.
+            let mut bounds = vec![0usize];
+            for b in 1..major {
+                if rng.next_bool(0.4) {
+                    bounds.push(b);
+                }
+            }
+            bounds.push(major);
+            let dir = shard_case_dir(axis);
+            let _ = std::fs::remove_dir_all(&dir);
+            let manifest = if axis == "csc" {
+                write_csc(&dir, &csc, &bounds, labels.as_deref()).expect("write csc shards")
+            } else {
+                write_csr(&dir, &csr, &bounds, labels.as_deref()).expect("write csr shards")
+            };
+            prop_assert_eq!(manifest.nnz as usize, csr.nnz());
+            prop_assert_eq!(manifest.shards.len(), bounds.len() - 1);
+
+            let store = ShardStore::open(&dir).expect("open shard store");
+            if axis == "csc" {
+                verify_store(&store, &csc).expect("csc store must match source bitwise");
+            } else {
+                verify_store(&store, &csr).expect("csr store must match source bitwise");
+            }
+
+            // The manifest's byte accounting is the truth on disk: every
+            // shard file is exactly meta.disk_bytes() long.
+            for meta in &store.manifest().shards {
+                let f = dir.join(format!("shard-{:05}.bin", meta.index));
+                let len = std::fs::metadata(&f).expect("shard file exists").len();
+                prop_assert_eq!(len, meta.disk_bytes());
+            }
+
+            // Label sidecar round-trips bitwise (and is absent when unwritten).
+            match (&labels, store.read_labels()) {
+                (Some(want), Ok(got)) => {
+                    prop_assert_eq!(want.len(), got.len());
+                    for (w, g) in want.iter().zip(&got) {
+                        prop_assert_eq!(w.to_bits(), g.to_bits());
+                    }
+                }
+                (None, Err(_)) => {}
+                (want, got) => prop_assert!(false, "labels {:?} vs {:?}", want.is_some(), got.is_ok()),
+            }
+
+            // The minor-nnz sidecar agrees with a hand count over the source.
+            let minor_nnz = store.minor_nnz().expect("minor nnz sidecar");
+            let mut hand = vec![0u64; store.manifest().minor];
+            for k in 0..major {
+                let s = if axis == "csc" { csc.slice(k) } else { csr.slice(k) };
+                for &i in s.indices {
+                    hand[i] += 1;
+                }
+            }
+            prop_assert_eq!(minor_nnz, hand);
+
+            // Streaming under the tightest legal budget: two adjacent
+            // shards pinned (prepare pins the current epoch and releases
+            // pins two epochs back), everything else evictable.
+            let decoded: Vec<u64> = (0..store.manifest().shards.len())
+                .map(|i| store.read_shard(i).expect("decode shard").heap_bytes())
+                .collect();
+            let budget = decoded
+                .windows(2)
+                .map(|w| w[0] + w[1])
+                .max()
+                .unwrap_or(decoded[0])
+                .max(decoded[0]);
+            let a = StreamingMatrix::open(&dir, budget).expect("open streaming matrix");
+            for k in 0..major {
+                a.prepare(&[k]);
+                let got = a.slice(k);
+                let want = if axis == "csc" { csc.slice(k) } else { csr.slice(k) };
+                prop_assert_eq!(got.indices, want.indices);
+                for (g, w) in got.values.iter().zip(want.values) {
+                    prop_assert_eq!(g.to_bits(), w.to_bits());
+                }
+            }
+            let st = a.io_stats();
+            let max_shard = decoded.iter().copied().max().unwrap_or(0);
+            prop_assert!(
+                st.resident_hwm_bytes <= budget + max_shard,
+                "hwm {} over budget {} + one-shard slack {}",
+                st.resident_hwm_bytes, budget, max_shard
+            );
+            std::fs::remove_dir_all(&dir).expect("cleanup");
+        }
     }
 
     /// Blocked GEMM agrees with the naive reference.

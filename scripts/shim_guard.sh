@@ -70,6 +70,27 @@ if hits=$(grep -nE '(acc|sum)[a-z0-9_]* *\+= *[^;]*\*' \
     status=1
 fi
 
+# Dataset file I/O is confined to sparsela::{io,shard}: the solvers, the
+# exec recurrences, and datagen see matrices only through MajorSlices /
+# SliceSource. A stray File::open in core or datagen means some code path
+# reads data behind the shard cache's back — unbudgeted, uncounted by the
+# io.* gauges, and invisible to the bitwise streamed≡in-memory proof.
+io_patterns=(
+    'File::open'
+    'File::create'
+    'OpenOptions'
+    'fs::read'
+    'read_to_string'
+    'BufReader'
+)
+for pat in "${io_patterns[@]}"; do
+    if hits=$(grep -rnE "$pat" crates/core/src crates/datagen/src); then
+        echo "shim_guard: dataset file I/O '$pat' outside sparsela::{io,shard}:" >&2
+        echo "$hits" >&2
+        status=1
+    fi
+done
+
 # The launch path spawns ranks and merges reports; the solve itself must
 # route through the saco::net entry points, never the recurrence kernels.
 for pat in 'lasso_family' 'svm_family' 'sampled_gram' 'sampled_cross'; do

@@ -24,15 +24,20 @@
 //!   bitwise; overlap on ≡ off bitwise on the real wire too.
 
 use datagen::{binary_classification, planted_regression, uniform_sparse};
-use datagen::{PaperDataset, Task};
+use datagen::{shard_plan, slice_nnz, PaperDataset, Task};
 use mpisim::{CostModel, CostReport, ThreadMachine};
 use saco::dist::{dist_sa_accbcd, dist_sa_bcd, dist_sa_svm, LassoRankData, SvmRankData};
 use saco::net::{net_sa_accbcd, net_sa_bcd, net_sa_svm, run_local};
 use saco::prox::{ElasticNet, GroupLasso, Lasso, Regularizer};
 use saco::seq::{acc_bcd, bcd, sa_accbcd, sa_bcd, sa_svm, svm};
 use saco::sim::{sim_sa_accbcd, sim_sa_bcd, sim_sa_svm};
+use saco::stream::{
+    stream_sa_accbcd, stream_sa_bcd, stream_sa_svm, stream_sim_sa_accbcd, stream_sim_sa_bcd,
+    stream_sim_sa_svm, StreamingMatrix,
+};
 use saco::{LassoConfig, SolveResult, SvmConfig, SvmLoss};
 use sparsela::io::Dataset;
+use sparsela::shard::{write_csc, write_csr};
 
 fn lasso_ds(seed: u64) -> Dataset {
     let a = uniform_sparse(120, 60, 0.15, seed);
@@ -654,6 +659,118 @@ fn table_iii_machine_precision_at_s_1000() {
 fn saco_lambda(ds: &Dataset) -> f64 {
     let atb = ds.a.spmv_t(&ds.b);
     0.1 * sparsela::vecops::inf_norm(&atb)
+}
+
+// ---------------------------------------------------------------------------
+// The streamed column: an out-of-core shard directory is just another
+// `SliceSource`, so every engine that accepts one must produce **bitwise**
+// the in-memory run — iterates AND traced objectives — and, on the virtual
+// cluster, charge the identical cost sequence (the partition weights come
+// from the minor-nnz sidecar, integer-equal to the in-memory row scan).
+// ---------------------------------------------------------------------------
+
+fn shard_dir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("saco_matrix_shards_{}_{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn assert_bitwise(streamed: &SolveResult, mem: &SolveResult, what: &str) {
+    assert_eq!(streamed.x, mem.x, "{what}: streamed vs in-memory iterates");
+    assert_eq!(
+        streamed.trace.len(),
+        mem.trace.len(),
+        "{what}: trace length"
+    );
+    for (s, m) in streamed.trace.points().iter().zip(mem.trace.points()) {
+        assert_eq!(s.value, m.value, "{what}: traced objective moved a bit");
+    }
+}
+
+#[test]
+fn streamed_lasso_is_bitwise_in_memory_on_seq_and_sim() {
+    let ds = lasso_ds(1);
+    let csc = ds.a.to_csc();
+    let dir = shard_dir("lasso");
+    let bounds = shard_plan(&slice_nnz(&csc), 7);
+    write_csc(&dir, &csc, &bounds, Some(&ds.b)).expect("write shard dir");
+    let reg = Lasso::new(0.05);
+    for accel in [false, true] {
+        for overlap in [false, true] {
+            let c = lasso_cfg(4, 8, overlap);
+            let what = format!("stream lasso accel={accel} overlap={overlap}");
+
+            // Sequential: lookahead prefetch behind compute, tight budget.
+            let mem = run_seq_lasso(&ds, &reg, &c, accel);
+            let a = StreamingMatrix::open(&dir, 64 * 1024).expect("open stream");
+            let streamed = if accel {
+                stream_sa_accbcd(&a, &ds.b, &reg, &c)
+            } else {
+                stream_sa_bcd(&a, &ds.b, &reg, &c)
+            };
+            assert_bitwise(&streamed, &mem, &what);
+            let st = a.io_stats();
+            assert!(
+                st.prefetch_hits + st.prefetch_waits > 0,
+                "{what}: lookahead prefetch never engaged"
+            );
+
+            // Virtual cluster: same iterates and the identical charges.
+            let model = CostModel::cray_xc30();
+            let (sim_mem, mem_rep) = if accel {
+                sim_sa_accbcd(&ds, &reg, &c, 4, model, false)
+            } else {
+                sim_sa_bcd(&ds, &reg, &c, 4, model, false)
+            };
+            let a = StreamingMatrix::open(&dir, 64 * 1024).expect("open stream");
+            let (sim_st, st_rep) = if accel {
+                stream_sim_sa_accbcd(&a, &ds.b, &reg, &c, 4, model, false)
+            } else {
+                stream_sim_sa_bcd(&a, &ds.b, &reg, &c, 4, model, false)
+            }
+            .expect("stream sim");
+            assert_bitwise(&sim_st, &sim_mem, &format!("{what} (sim)"));
+            assert_reports_match(&st_rep, &mem_rep, &format!("{what} (sim charges)"));
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn streamed_svm_is_bitwise_in_memory_on_seq_and_sim() {
+    let ds = svm_ds(2);
+    let dir = shard_dir("svm");
+    let bounds = shard_plan(&slice_nnz(&ds.a), 5);
+    write_csr(&dir, &ds.a, &bounds, Some(&ds.b)).expect("write shard dir");
+    for loss in [SvmLoss::L1, SvmLoss::L2] {
+        for overlap in [false, true] {
+            let c = SvmConfig {
+                loss,
+                lambda: 1.0,
+                s: 16,
+                seed: 71,
+                max_iters: 192,
+                trace_every: 48,
+                gap_tol: None,
+                overlap,
+            };
+            let what = format!("stream svm {loss:?} overlap={overlap}");
+
+            let mem = sa_svm(&ds, &c);
+            let a = StreamingMatrix::open(&dir, 64 * 1024).expect("open stream");
+            let streamed = stream_sa_svm(&a, &ds.b, &c);
+            assert_bitwise(&streamed, &mem, &what);
+
+            let model = CostModel::cray_xc30();
+            let (sim_mem, mem_rep) = sim_sa_svm(&ds, &c, 4, model, false);
+            let a = StreamingMatrix::open(&dir, 64 * 1024).expect("open stream");
+            let (sim_st, st_rep) =
+                stream_sim_sa_svm(&a, &ds.b, &c, 4, model, false).expect("stream sim");
+            assert_bitwise(&sim_st, &sim_mem, &format!("{what} (sim)"));
+            assert_reports_match(&st_rep, &mem_rep, &format!("{what} (sim charges)"));
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
