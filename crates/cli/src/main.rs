@@ -5,6 +5,11 @@
 //!               [--s 16] [--iters 10000] [--seed 42] [--acc] [--out w.txt]
 //! saco svm      --data train.svm [--loss l1|l2] [--lambda 1] [--s 64]
 //!               [--iters 100000] [--gap-tol 0.1] [--seed 42] [--out w.txt]
+//! saco ksvm     --data train.svm [--kernel rbf:gamma=G|poly:d=D|linear]
+//!               [--loss l1|l2] [--lambda 1] [--s 8] [--iters 10000]
+//!               [--cache-budget 64M] [--engine seq|sim|dist|net] [--p 4]
+//!               [--overlap on|off] [--chaos spec] [--out alpha.txt]
+//! saco kridge   --data train.svm (same options, ridge dual — no --loss)
 //! saco path     --data train.svm [--num 16] [--ratio 0.01] [--mu 8] [--s 16]
 //! saco generate --dataset url --out file.svm [--scale 1.0] [--seed 42]
 //! saco shard    --data file.svm | --dataset url [--scale F] --out DIR
@@ -62,23 +67,24 @@ use datagen::{shard_plan, slice_nnz, PaperDataset};
 use mpisim::telemetry::report::parse_summary;
 use mpisim::telemetry::Registry;
 use mpisim::{CostModel, ThreadMachine};
-use saco::dist::{dist_sa_accbcd, dist_sa_bcd, LassoRankData};
+use saco::dist::{dist_kdcd, dist_sa_accbcd, dist_sa_bcd, LassoRankData, SvmRankData};
 use saco::net::{
-    net_sa_accbcd, net_sa_bcd, record_net_stats, run_local_algo, Addr, Algo, Backoff, NetComm,
-    NetConfig,
+    net_kdcd, net_sa_accbcd, net_sa_bcd, record_net_stats, run_local_algo, Addr, Algo, Backoff,
+    NetComm, NetConfig,
 };
 use saco::path::lasso_path;
 use saco::prox::Lasso;
-use saco::seq::{sa_accbcd, sa_bcd, sa_svm};
+use saco::seq::{kdcd, sa_accbcd, sa_bcd, sa_svm};
 use saco::sim::{
-    sim_sa_accbcd_chaos, sim_sa_accbcd_instrumented, sim_sa_bcd_chaos, sim_sa_bcd_instrumented,
+    record_kdcd_stats, sim_kdcd_chaos, sim_kdcd_instrumented, sim_sa_accbcd_chaos,
+    sim_sa_accbcd_instrumented, sim_sa_bcd_chaos, sim_sa_bcd_instrumented,
 };
 use saco::stream::{
-    record_shard_stats, stream_dist_sa_accbcd, stream_dist_sa_bcd, stream_lasso_ranks,
+    record_shard_stats, stream_dist_sa_accbcd, stream_dist_sa_bcd, stream_kdcd, stream_lasso_ranks,
     stream_net_sa_accbcd, stream_net_sa_bcd, stream_sa_accbcd, stream_sa_bcd, stream_sa_svm,
     stream_sim_sa_accbcd, stream_sim_sa_bcd, StreamRankData,
 };
-use saco::{LassoConfig, SvmConfig, SvmLoss};
+use saco::{KdcdConfig, KdcdStats, KdcdTask, LassoConfig, SvmConfig, SvmLoss};
 use sparsela::io::{read_libsvm, write_libsvm, Dataset};
 use sparsela::shard::{
     verify_store, write_csc, write_csr, IoStats, ShardAxis, ShardStore, StreamingMatrix,
@@ -110,6 +116,8 @@ fn main() {
     let result = match args.command.as_str() {
         "lasso" => cmd_lasso(&args),
         "svm" => cmd_svm(&args),
+        "ksvm" => cmd_kdcd(&args, true),
+        "kridge" => cmd_kdcd(&args, false),
         "path" => cmd_path(&args),
         "generate" => cmd_generate(&args),
         "shard" => cmd_shard(&args),
@@ -137,6 +145,9 @@ fn print_usage() {
 subcommands:
   lasso     train a Lasso model on a LIBSVM file
   svm       train a linear SVM (dual coordinate descent)
+  ksvm      train a kernel SVM (K-DCD: cached on-demand kernel rows,
+            any --engine; all-hit blocks skip the allreduce)
+  kridge    kernel ridge regression in the dual (K-BDCD)
   path      compute a warm-started regularization path
   generate  write a synthetic stand-in for a paper dataset
   shard     convert a dataset into an on-disk shard directory for
@@ -626,6 +637,235 @@ fn cmd_svm(args: &Args) -> Result<(), ArgError> {
         prob.accuracy(&ds.a, &ds.b, &res.x)
     );
     write_weights(args, &res.x)
+}
+
+// ---------------------------------------------------------------------------
+// Kernel dual coordinate descent (`saco ksvm` / `saco kridge`)
+// ---------------------------------------------------------------------------
+
+/// `--kernel rbf:gamma=G | poly:d=D,gamma=G,coef0=C | linear` (default
+/// `rbf:gamma=1`), parsed by `sparsela::KernelFn`.
+fn kdcd_cfg(args: &Args, ksvm: bool) -> Result<KdcdConfig, ArgError> {
+    let task = if ksvm {
+        let loss = match args.get("loss").unwrap_or("l1") {
+            "l1" | "L1" => SvmLoss::L1,
+            "l2" | "L2" => SvmLoss::L2,
+            other => return Err(ArgError(format!("--loss must be l1 or l2, got {other:?}"))),
+        };
+        KdcdTask::Svm(loss)
+    } else {
+        KdcdTask::Ridge
+    };
+    let kernel = sparsela::KernelFn::parse(args.get("kernel").unwrap_or("rbf:gamma=1"))
+        .map_err(|e| ArgError(format!("--kernel: {e}")))?;
+    let cache_budget_bytes = parse_bytes(args.get("cache-budget").unwrap_or("64M"))
+        .map_err(|e| ArgError(format!("--cache-budget: {e}")))?
+        as usize;
+    Ok(KdcdConfig {
+        task,
+        kernel,
+        lambda: args.get_or("lambda", if ksvm { 1.0 } else { 0.5 })?,
+        s: args.get_or("s", 8)?,
+        seed: args.get_or("seed", 42)?,
+        max_iters: args.get_or("iters", 10_000)?,
+        trace_every: args.get_or("trace-every", 0)?,
+        overlap: parse_overlap(args)?,
+        cache_budget_bytes,
+    })
+}
+
+fn print_kdcd_result(res: &saco::SolveResult, stats: &KdcdStats) {
+    println!(
+        "dual objective: {:.6e} after {} iterations",
+        res.final_value(),
+        res.iters
+    );
+    let total = stats.cache.hits + stats.cache.misses;
+    println!(
+        "kernel cache: {} hits / {} misses ({:.1}% hit) | {} evictions | {} resident bytes",
+        stats.cache.hits,
+        stats.cache.misses,
+        if total > 0 {
+            100.0 * stats.cache.hits as f64 / total as f64
+        } else {
+            0.0
+        },
+        stats.cache.evictions,
+        stats.cache_resident_bytes
+    );
+    println!(
+        "exchanges: {} words moved | {} all-hit rounds skipped the allreduce",
+        stats.exchange_words, stats.exchange_skipped
+    );
+}
+
+/// `saco ksvm` / `saco kridge`: s-step kernel dual coordinate descent
+/// (K-DCD / K-BDCD) on any of the four engines. The kernel matrix never
+/// materializes — rows are built on demand and held in a byte-budgeted
+/// cache, and an all-hit block skips its allreduce on every rank.
+fn cmd_kdcd(args: &Args, ksvm: bool) -> Result<(), ArgError> {
+    let name = if ksvm { "ksvm" } else { "kridge" };
+    let engine = args.get("engine").unwrap_or("seq");
+    let cfg = kdcd_cfg(args, ksvm)?;
+    if engine != "sim" && args.get("chaos").is_some() {
+        return Err(ArgError(format!(
+            "--chaos injects faults into the *modeled* cluster; engine {engine:?} runs real code (use --engine sim)"
+        )));
+    }
+    if let Some((dir, budget)) = shard_source(args)? {
+        if engine != "seq" {
+            return Err(ArgError(format!(
+                "--data shard: streams {name} on the sequential engine only (got --engine {engine})"
+            )));
+        }
+        let a = open_stream(&dir, budget, ShardAxis::Csr, name)?;
+        let b = read_store_labels(&a, &dir)?;
+        if ksvm && !b.iter().all(|&v| v == 1.0 || v == -1.0) {
+            return Err(ArgError("ksvm needs ±1 labels".into()));
+        }
+        println!(
+            "{name}-{:?} (streaming, budget {budget} bytes): {} × {}, λ = {}, s = {}, H = {}",
+            cfg.kernel,
+            a.major_len(),
+            a.minor_len(),
+            cfg.lambda,
+            cfg.s,
+            cfg.max_iters
+        );
+        let (res, stats) = stream_kdcd(&a, &b, &cfg);
+        print_kdcd_result(&res, &stats);
+        print_io(&[a.io_stats()]);
+        return write_weights(args, &res.x);
+    }
+    let ds = load(args)?;
+    if ksvm && !ds.b.iter().all(|&v| v == 1.0 || v == -1.0) {
+        return Err(ArgError("ksvm needs ±1 labels".into()));
+    }
+    println!(
+        "{name}-{:?} (engine {engine}): {} points × {} features, λ = {}, s = {}, H = {}",
+        cfg.kernel,
+        ds.num_points(),
+        ds.num_features(),
+        cfg.lambda,
+        cfg.s,
+        cfg.max_iters
+    );
+    match engine {
+        "seq" => {
+            let t0 = Instant::now();
+            let (res, stats) = kdcd(&ds, &cfg);
+            let wall = t0.elapsed().as_secs_f64();
+            println!("  wall time: {wall:.6} s (measured)");
+            print_kdcd_result(&res, &stats);
+            if let Some(path) = args.get("metrics") {
+                let mut telemetry = Registry::new();
+                telemetry.set_meta("engine", "sequential");
+                telemetry.set_meta("cli.engine", "seq");
+                telemetry.set_meta("solver", format!("seq_{name}"));
+                telemetry.gauge_set("objective.final", res.final_value());
+                telemetry.gauge_set("time.wall_secs", wall);
+                record_kdcd_stats(&mut telemetry, &stats);
+                write_metrics(args, &mut telemetry, path)?;
+            }
+            write_weights(args, &res.x)
+        }
+        "sim" => {
+            let p = args.get_or("p", 1024)?;
+            let model = CostModel::cray_xc30();
+            let balanced = args.flag("balanced");
+            let chaos = match args.get("chaos") {
+                Some(spec) => Some(
+                    mpisim::ChaosSpec::parse(spec)
+                        .map_err(|e| ArgError(format!("--chaos: {e}")))?,
+                ),
+                None => None,
+            };
+            let (res, stats, rep, mut telemetry) = match &chaos {
+                Some(spec) => sim_kdcd_chaos(&ds, &cfg, p, model, balanced, spec),
+                None => sim_kdcd_instrumented(&ds, &cfg, p, model, balanced),
+            };
+            let c = rep.critical;
+            println!(
+                "  running time: {:.6} s (simulated, {p} ranks)",
+                rep.running_time()
+            );
+            println!(
+                "  compute {:.6} s | communicate {:.6} s | idle {:.6} s",
+                c.comp_time, c.comm_time, c.idle_time
+            );
+            println!(
+                "  messages {} | words {} | flops {}",
+                c.messages, c.words, c.flops
+            );
+            print_kdcd_result(&res, &stats);
+            if let Some(path) = args.get("metrics") {
+                telemetry.set_meta("cli.engine", "sim");
+                telemetry.gauge_set("objective.final", res.final_value());
+                telemetry.gauge_set("time.running", rep.running_time());
+                write_metrics(args, &mut telemetry, path)?;
+            }
+            write_weights(args, &res.x)
+        }
+        "dist" => {
+            let p = args.get_or("p", 4)?;
+            let (_, blocks) = SvmRankData::split(&ds, p, args.flag("balanced"));
+            let (results, rep, mut telemetry) =
+                ThreadMachine::run_report_telemetry(p, CostModel::cray_xc30(), |comm| {
+                    dist_kdcd(comm, &blocks[comm.rank()], &cfg)
+                });
+            let (res, stats) = &results[0];
+            println!(
+                "  running time: {:.6} s (modeled, {p} ranks)",
+                rep.running_time()
+            );
+            print_kdcd_result(res, stats);
+            if let Some(path) = args.get("metrics") {
+                telemetry.set_meta("cli.engine", "dist");
+                telemetry.set_meta("solver", format!("dist_{name}"));
+                telemetry.gauge_set("objective.final", res.final_value());
+                telemetry.gauge_set("time.running", rep.running_time());
+                record_kdcd_stats(&mut telemetry, stats);
+                write_metrics(args, &mut telemetry, path)?;
+            }
+            write_weights(args, &res.x)
+        }
+        "net" => {
+            let p = args.get_or("p", 4)?;
+            if p == 0 || p > 64 {
+                return Err(ArgError(format!(
+                    "--engine net runs a full in-process socket mesh; --p must be 1..=64, got {p}"
+                )));
+            }
+            let algo = parse_algo(args)?;
+            let (_, blocks) = SvmRankData::split(&ds, p, args.flag("balanced"));
+            let t0 = Instant::now();
+            let per_rank = run_local_algo(p, algo, |rank, comm| {
+                let t0 = Instant::now();
+                let out = net_kdcd(comm, &blocks[rank], &cfg);
+                let mut r = Registry::new();
+                record_net_stats(&mut r, comm, t0.elapsed().as_secs_f64());
+                (out, r)
+            });
+            let wall = t0.elapsed().as_secs_f64();
+            let mut telemetry = merge_rank_registries(per_rank.iter().map(|(_, r)| r));
+            let (res, stats) = &per_rank[0].0;
+            println!("  wall time: {wall:.6} s (measured, {p} ranks, {algo} allreduce)");
+            print_kdcd_result(res, stats);
+            if let Some(path) = args.get("metrics") {
+                telemetry.set_meta("engine", "socket_mesh");
+                telemetry.set_meta("cli.engine", "net");
+                telemetry.set_meta("solver", format!("net_{name}"));
+                telemetry.gauge_set("objective.final", res.final_value());
+                telemetry.gauge_set("time.wall_secs", wall);
+                record_kdcd_stats(&mut telemetry, stats);
+                write_metrics(args, &mut telemetry, path)?;
+            }
+            write_weights(args, &res.x)
+        }
+        other => Err(ArgError(format!(
+            "--engine must be seq|sim|dist|net, got {other:?}"
+        ))),
+    }
 }
 
 fn cmd_path(args: &Args) -> Result<(), ArgError> {

@@ -160,6 +160,76 @@ impl SvmConfig {
     }
 }
 
+/// Which dual problem the kernel family solves.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum KdcdTask {
+    /// Kernel SVM dual (K-DCD): box-constrained coordinate descent on
+    /// `½αᵀQα − 1ᵀα + (γ/2)‖α‖²`, `Q = diag(b)·K·diag(b)` — the kernel
+    /// analogue of [`SvmConfig`]'s Algorithms 3/4. Labels must be ±1.
+    Svm(SvmLoss),
+    /// Kernel ridge regression dual (K-BDCD): unconstrained coordinate
+    /// descent on `½αᵀ(K + λI)α − bᵀα`, targets `b` arbitrary.
+    Ridge,
+}
+
+/// Configuration for the kernel dual coordinate-descent family
+/// (K-DCD / K-BDCD): s-step kernel SVM and kernel ridge on any engine.
+#[derive(Clone, Debug)]
+pub struct KdcdConfig {
+    /// Which dual problem (kernel SVM or kernel ridge).
+    pub task: KdcdTask,
+    /// The kernel function (linear / polynomial / RBF).
+    pub kernel: sparsela::KernelFn,
+    /// Penalty λ — the SVM hinge penalty or the ridge regularizer.
+    pub lambda: f64,
+    /// Recurrence-unrolling depth `s` (1 = classical K-DCD).
+    pub s: usize,
+    /// RNG seed (replicated on all ranks).
+    pub seed: u64,
+    /// Iteration budget H. The kernel family runs the full budget — the
+    /// dual objective is traced at block boundaries, never tested for
+    /// early exit, so every engine executes the same schedule.
+    pub max_iters: usize,
+    /// Record the dual objective every this many iterations, rounded to
+    /// block boundaries (0 = only first and last).
+    pub trace_every: usize,
+    /// Overlap the in-flight fused allreduce of missed kernel rows with
+    /// next-block sampling and the local dot tile. Bitwise identical
+    /// either way (see [`LassoConfig::overlap`]).
+    pub overlap: bool,
+    /// Byte budget for the kernel-row cache (`sparsela::KernelCache`);
+    /// soft under pinning, at least one row.
+    pub cache_budget_bytes: usize,
+}
+
+impl Default for KdcdConfig {
+    fn default() -> Self {
+        Self {
+            task: KdcdTask::Svm(SvmLoss::L1),
+            kernel: sparsela::KernelFn::Rbf { gamma: 1.0 },
+            lambda: 1.0,
+            s: 1,
+            seed: 42,
+            max_iters: 10_000,
+            trace_every: 500,
+            overlap: true,
+            cache_budget_bytes: 64 << 20,
+        }
+    }
+}
+
+impl KdcdConfig {
+    /// Validate invariants.
+    ///
+    /// # Panics
+    /// Panics if λ ≤ 0, s = 0, or the iteration budget is zero.
+    pub fn validate(&self) {
+        assert!(self.lambda > 0.0, "lambda must be positive");
+        assert!(self.s >= 1, "unrolling parameter s must be ≥ 1");
+        assert!(self.max_iters >= 1, "need at least one iteration");
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -168,6 +238,7 @@ mod tests {
     fn defaults_validate() {
         LassoConfig::default().validate(10);
         SvmConfig::default().validate();
+        KdcdConfig::default().validate();
     }
 
     #[test]

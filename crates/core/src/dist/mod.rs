@@ -18,9 +18,11 @@
 //! small thread-machine runs validate the paper-scale virtual runs.
 
 pub mod charges;
+mod kdcd;
 mod lasso;
 mod svm;
 
+pub use kdcd::dist_kdcd;
 pub use lasso::{dist_sa_accbcd, dist_sa_bcd, LassoRankData};
 pub use svm::{dist_sa_svm, SvmRankData};
 

@@ -1,7 +1,7 @@
 //! The three engines behind [`ExecBackend`]: sequential ground truth,
 //! analytic virtual cluster, and SPMD thread machine.
 
-use super::{ExecBackend, Stage};
+use super::{ExecBackend, Payload, Stage};
 use crate::dist::charges;
 use crate::sim::{per_rank_sel_nnz, phase_snapshot};
 use crate::workspace::KernelWorkspace;
@@ -12,37 +12,50 @@ use saco_telemetry::{Registry, WallSpan};
 use sparsela::gram::MajorSlices;
 use sparsela::sympack;
 
-/// Assemble the fused allreduce payload in `ws.pack`: packed Gram upper
-/// triangle, cross terms interleaved per block row, then the optional
-/// traced residual contribution. Shared by every engine that actually
-/// moves the payload (thread machine and socket mesh), so the wire
-/// layout cannot drift between them.
-pub(crate) fn pack_fused(ws: &mut KernelWorkspace, width: usize, nvecs: usize, resid: Option<f64>) {
-    sympack::pack_upper_into(&ws.gram, &mut ws.pack);
-    for k in 0..width {
-        for v in 0..nvecs {
+/// Assemble the fused allreduce payload in `ws.pack` per the family's
+/// [`Payload`] descriptor: packed Gram upper triangle (if any), cross
+/// terms interleaved per block row, then the optional traced residual
+/// contribution. Shared by every engine that actually moves the payload
+/// (thread machine and socket mesh), so the wire layout cannot drift
+/// between them; the length assert keeps a family's descriptor honest
+/// against what it actually put in the workspace.
+pub(crate) fn pack_fused(ws: &mut KernelWorkspace, p: Payload, resid: Option<f64>) {
+    let base = ws.pack.len();
+    if p.tri > 0 {
+        assert_eq!(
+            (ws.gram.rows(), ws.gram.cols()),
+            (p.tri, p.tri),
+            "payload descriptor disagrees with the workspace Gram block"
+        );
+        sympack::pack_upper_into(&ws.gram, &mut ws.pack);
+    }
+    for k in 0..p.rows {
+        for v in 0..p.cols {
             ws.pack.push(ws.cross.get(k, v));
         }
     }
     if let Some(rc) = resid {
         ws.pack.push(rc);
     }
+    assert_eq!(
+        ws.pack.len() - base,
+        p.words(resid.is_some()),
+        "packed payload length disagrees with its descriptor"
+    );
 }
 
 /// Inverse of [`pack_fused`] after the reduction: scatter the global
 /// triangle and cross terms back into the workspace (handing the
 /// recurrence the global Gram block under the same name the replicated
 /// engines use) and return the reduced residual iff one was packed.
-pub(crate) fn unpack_fused(
-    ws: &mut KernelWorkspace,
-    width: usize,
-    nvecs: usize,
-    traced: bool,
-) -> Option<f64> {
-    let mut pos = sympack::unpack_symmetric_into(&ws.pack, 0, width, &mut ws.gram_global);
-    std::mem::swap(&mut ws.gram, &mut ws.gram_global);
-    for k in 0..width {
-        for v in 0..nvecs {
+pub(crate) fn unpack_fused(ws: &mut KernelWorkspace, p: Payload, traced: bool) -> Option<f64> {
+    let mut pos = 0;
+    if p.tri > 0 {
+        pos = sympack::unpack_symmetric_into(&ws.pack, 0, p.tri, &mut ws.gram_global);
+        std::mem::swap(&mut ws.gram, &mut ws.gram_global);
+    }
+    for k in 0..p.rows {
+        for v in 0..p.cols {
             ws.cross.set(k, v, ws.pack[pos]);
             pos += 1;
         }
@@ -87,8 +100,7 @@ impl<'r> ExecBackend<'r> for SeqBackend<'r> {
     fn exchange<F: FnOnce(&mut Self, &mut KernelWorkspace)>(
         &mut self,
         _ws: &mut KernelWorkspace,
-        _width: usize,
-        _nvecs: usize,
+        _payload: Payload,
         resid: Option<f64>,
         _overlap: Option<F>,
     ) -> Option<f64> {
@@ -248,18 +260,37 @@ impl<'r, 'a, M: MajorSlices + Sync> ExecBackend<'r> for SimBackend<'a, M> {
             .charge_uniform(KernelClass::Vector, flops, ws_words);
     }
 
+    fn charge_kdcd_tile(&mut self, misses: usize, m: usize) {
+        let (mi, mw) = (misses as u64, m as u64);
+        let nnz = &self.gap_nnz;
+        self.cluster.charge_per_rank_ws_phase(
+            KernelClass::Dot,
+            |r| (2 * mi * nnz[r], mw),
+            Phase::Gram,
+        );
+    }
+
+    fn norm_reduce(&mut self, _buf: &mut Vec<f64>, m: usize) {
+        let m = m as u64;
+        let nnz = &self.gap_nnz;
+        self.cluster
+            .charge_per_rank_ws(KernelClass::Dot, |r| (2 * nnz[r], m));
+        self.cluster.iallreduce(m);
+    }
+
     fn exchange<F: FnOnce(&mut Self, &mut KernelWorkspace)>(
         &mut self,
         ws: &mut KernelWorkspace,
-        width: usize,
-        nvecs: usize,
+        payload: Payload,
         resid: Option<f64>,
         overlap: Option<F>,
     ) -> Option<f64> {
         // Numerics are already global; only the cost of the fused payload
-        // moves across the (virtual) wire.
+        // moves across the (virtual) wire — its word count comes from the
+        // same descriptor the packing engines consume, so the modeled and
+        // measured wires cannot drift apart.
         self.cluster
-            .iallreduce_start(sympack::payload_words(width, nvecs, resid.is_some()) as u64);
+            .iallreduce_start(payload.words(resid.is_some()) as u64);
         if let Some(f) = overlap {
             f(self, ws);
         }
@@ -401,21 +432,35 @@ impl<'r, 'c, 'a, M: MajorSlices + Sync> ExecBackend<'r> for DistBackend<'c, 'a, 
         self.comm.charge_flops(KernelClass::Vector, flops, ws_words);
     }
 
+    fn charge_kdcd_tile(&mut self, misses: usize, m: usize) {
+        self.comm.charge_flops_phase(
+            KernelClass::Dot,
+            2 * misses as u64 * self.gap_nnz,
+            m as u64,
+            Phase::Gram,
+        );
+    }
+
+    fn norm_reduce(&mut self, buf: &mut Vec<f64>, m: usize) {
+        self.comm
+            .charge_flops(KernelClass::Dot, 2 * self.gap_nnz, m as u64);
+        self.comm.iallreduce_sum(buf);
+    }
+
     fn exchange<F: FnOnce(&mut Self, &mut KernelWorkspace)>(
         &mut self,
         ws: &mut KernelWorkspace,
-        width: usize,
-        nvecs: usize,
+        payload: Payload,
         resid: Option<f64>,
         overlap: Option<F>,
     ) -> Option<f64> {
-        pack_fused(ws, width, nvecs, resid);
+        pack_fused(ws, payload, resid);
         let req = self.comm.iallreduce_sum_start(&mut ws.pack);
         if let Some(f) = overlap {
             f(self, ws);
         }
         self.comm.iallreduce_wait(req);
-        unpack_fused(ws, width, nvecs, resid.is_some())
+        unpack_fused(ws, payload, resid.is_some())
     }
 
     fn reduce_scalar(&mut self, v: f64) -> f64 {

@@ -1,0 +1,357 @@
+//! The family-generic s-step outer loop.
+//!
+//! Every solver family in this module tree — Lasso (`lasso.rs`), dual SVM
+//! (`svm.rs`), kernel DCD (`kdcd.rs`) — runs the *same* outer skeleton:
+//! sample a block, form a local tile, fuse it into one allreduce, run the
+//! recurrence-only inner iterations, checkpoint. What used to be three
+//! hand-rolled copies of that skeleton is now [`drive`], and a family is
+//! a [`FamilySpec`]: the per-block hooks that differ between families
+//! (what to sample, what tile to form, what rides the wire, how the inner
+//! recurrence updates state).
+//!
+//! The skeleton owns everything engine-shaped so a family cannot get it
+//! wrong:
+//!
+//! * **block lookahead** — streaming sources get next-block selections
+//!   drawn early (same global RNG order) and handed to the prefetcher;
+//! * **the `--overlap` double buffer** — next-block sampling + tile
+//!   formation run inside the in-flight allreduce, swapped in at the next
+//!   block entry;
+//! * **chaos checkpoints** — `backend.checkpoint()` at every block
+//!   boundary, skipped when a family breaks out mid-block (matching the
+//!   original solvers' `break 'outer` paths bit for bit);
+//! * **phase-tagged spans** — Sampling/Gram/Inner wall spans around the
+//!   hook calls, in the exact positions the hand-rolled loops had them.
+//!
+//! The ordering contract (DESIGN.md §6): `drive` calls the hooks in a
+//! fixed order per block — `deltas_len` → (`swap_tiles` | `sample` +
+//! `tile`) → `prepare_block` → `state_cross` → `traced_scalar` →
+//! `payload` → exchange (with `sample`+`tile(next)` inside the overlap
+//! window) → `after_exchange` → `inner` → `end_block` → `checkpoint` —
+//! and a family must keep every RNG draw and every backend charge inside
+//! the hook the original loops made it from, or the engine matrix's
+//! bitwise/charge-equality checks fail.
+
+use super::{ExecBackend, Stage};
+use crate::workspace::KernelWorkspace;
+use sparsela::gram::sampled_gram_into;
+use sparsela::{sympack, SliceSource};
+use std::ops::ControlFlow;
+use xrng::Rng;
+
+/// Wire-layout descriptor of one fused exchange: the single source of
+/// truth consumed by the pack site, the unpack site, and the simulator's
+/// words accounting, so a family cannot desync them.
+///
+/// Layout on the wire (see `sparsela::sympack`):
+///
+/// ```text
+/// [ upper triangle of tri×tri Gram | rows×cols cross block | traced scalar ]
+///   tri(tri+1)/2 words               rows·cols words          0 or 1 words
+/// ```
+///
+/// Lasso/SVM use `tri = rows = block width`, `cols = nvecs`; the kernel
+/// family ships no Gram (`tri = 0`) and a `miss × m` kernel-row block.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct Payload {
+    /// Side of the symmetric Gram block whose upper triangle travels
+    /// (0 = no Gram section).
+    pub tri: usize,
+    /// Rows of the dense cross section.
+    pub rows: usize,
+    /// Columns of the dense cross section.
+    pub cols: usize,
+}
+
+impl Payload {
+    /// Total f64 words of the fused payload, traced scalar included.
+    #[inline]
+    pub(crate) fn words(&self, traced: bool) -> usize {
+        sympack::packed_len(self.tri) + self.rows * self.cols + usize::from(traced)
+    }
+}
+
+/// The outer-loop schedule: how many inner iterations total, how many per
+/// block, and whether the engine may hide the allreduce behind next-block
+/// work.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Schedule {
+    pub max_iters: usize,
+    pub s: usize,
+    pub overlap: bool,
+}
+
+/// Position of the current block in the schedule: `h` inner iterations
+/// completed when the hook runs (so `end_block` sees this block already
+/// counted), `s` inner iterations in this block.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Block {
+    pub h: usize,
+    pub s: usize,
+}
+
+/// The borrowed engine-side context handed to every hook: the backend
+/// (charge/span/trace surface), the slice source, and the shared
+/// workspace. Reborrowed fresh per call — hooks never store it.
+pub(crate) struct Cx<'x, B, M> {
+    pub bk: &'x mut B,
+    pub a: &'x M,
+    pub ws: &'x mut KernelWorkspace,
+}
+
+/// What a solver family supplies to [`drive`]. Hooks are called in the
+/// fixed per-block order documented on the module; each hook owns the
+/// backend charges for the work it performs (and nothing else).
+///
+/// Contract (DESIGN.md §6): a family may touch its own state, the
+/// workspace, and the `charge_*`/`span` side of the backend. It must
+/// never communicate (no `exchange`/`reduce_scalar` outside the driver's
+/// collective — `gap_reduce`-style reductions inside `inner`/`end_block`
+/// are the one sanctioned exception, for families whose trace is itself
+/// distributed), never read clocks for control flow, and never perform
+/// I/O: residency is the driver's job via `prepare`/`prefetch`.
+pub(crate) trait FamilySpec<'r, B: ExecBackend<'r>, M: SliceSource + Sync> {
+    /// Length of the zeroed `ws.deltas` recurrence buffer for a block of
+    /// `s_block` inner iterations (0 when the family keeps its own).
+    fn deltas_len(&self, _s_block: usize) -> usize {
+        0
+    }
+
+    /// Side of the standard sampled-Gram tile for a block of `s_block`
+    /// inner iterations (µ coordinates each for Lasso, one row for SVM).
+    /// Drives the default `tile` and `payload`; families with a
+    /// non-Gram tile override those directly instead.
+    fn tile_width(&self, s_block: usize) -> usize {
+        s_block
+    }
+
+    /// Cross-section vector count of the default payload.
+    fn nvecs(&self) -> usize {
+        1
+    }
+
+    /// Draw one block's selection, appending to `out`. All RNG use goes
+    /// through here so current-block, lookahead, and overlap draws land
+    /// in one global order (the replicated-sampling invariant).
+    fn sample(&mut self, rng: &mut Rng, s_block: usize, out: &mut Vec<usize>);
+
+    /// Form the local tile for the current selection and charge it —
+    /// by default the sampled Gram block `YᵀY` of `tile_width` columns.
+    /// `next` selects the double-buffered destination
+    /// (`ws.sel_next`/`*_next`) — that variant runs inside the overlap
+    /// window and may only touch next-block state.
+    fn tile(&mut self, cx: Cx<'_, B, M>, s_block: usize, next: bool) {
+        let (sel, gram) = if next {
+            (&cx.ws.sel_next, &mut cx.ws.gram_next)
+        } else {
+            (&cx.ws.sel, &mut cx.ws.gram)
+        };
+        sampled_gram_into(cx.a, sel, saco_par::threads(), &mut cx.ws.gram_ws, gram);
+        cx.bk.charge_gram(sel, self.tile_width(s_block));
+    }
+
+    /// Swap the double-buffered tile produced by `tile(next = true)` into
+    /// the current-block slots (the selection swap is the driver's).
+    fn swap_tiles(&mut self, ws: &mut KernelWorkspace) {
+        std::mem::swap(&mut ws.gram, &mut ws.gram_next);
+    }
+
+    /// Per-block state computed before the cross products (e.g. the θ
+    /// sequence of the accelerated Lasso recurrence).
+    fn prepare_block(&mut self, _ws: &mut KernelWorkspace, _s_block: usize) {}
+
+    /// Iterate-dependent products that can never ride the overlap window
+    /// (Lasso residual cross terms, SVM `Yᵀx`), charged here.
+    fn state_cross(&mut self, _cx: Cx<'_, B, M>, _s_block: usize) {}
+
+    /// This rank's contribution to a trace-boundary scalar, piggybacked
+    /// on the fused allreduce (None = nothing traced this block).
+    fn traced_scalar(&mut self, _cx: Cx<'_, B, M>, _blk: Block) -> Option<f64> {
+        None
+    }
+
+    /// The wire layout of this block's exchange: by default the packed
+    /// `tile_width` Gram triangle plus `nvecs` cross vectors.
+    fn payload(&self, _ws: &KernelWorkspace, s_block: usize) -> Payload {
+        let w = self.tile_width(s_block);
+        Payload {
+            tri: w,
+            rows: w,
+            cols: self.nvecs(),
+        }
+    }
+
+    /// Runs right after the exchange: consume the now-global tile
+    /// (replicated post-processing like the SVM γ diagonal or the kernel
+    /// transform) and the reduced trace scalar, if any.
+    fn after_exchange(&mut self, _cx: Cx<'_, B, M>, _blk: Block, _rg: Option<f64>) {}
+
+    /// The `s_block` recurrence-only inner iterations, advancing `h` once
+    /// each. `Break` ends the solve immediately (tolerance hit): the
+    /// driver then skips `end_block` and the checkpoint, exactly like the
+    /// original `break 'outer` paths.
+    fn inner(&mut self, cx: Cx<'_, B, M>, s_block: usize, h: &mut usize) -> ControlFlow<()>;
+
+    /// Block epilogue before the checkpoint (boundary traces, carried
+    /// state like θ). `Break` ends the solve, skipping the checkpoint.
+    fn end_block(&mut self, _cx: Cx<'_, B, M>, _blk: Block) -> ControlFlow<()> {
+        ControlFlow::Continue(())
+    }
+}
+
+/// Run the s-step outer loop to completion (or a family `Break`),
+/// returning the number of inner iterations performed.
+pub(crate) fn drive<'r, B, M, S>(
+    a: &M,
+    sched: Schedule,
+    rng: &mut Rng,
+    ws: &mut KernelWorkspace,
+    backend: &mut B,
+    spec: &mut S,
+) -> usize
+where
+    B: ExecBackend<'r>,
+    M: SliceSource + Sync,
+    S: FamilySpec<'r, B, M>,
+{
+    let mut have_next = false;
+    let mut have_sel = false;
+    let mut h = 0usize;
+    while h < sched.max_iters {
+        let s_block = sched.s.min(sched.max_iters - h);
+        ws.begin_block(spec.deltas_len(s_block));
+        if have_next {
+            // This block's selection and local tile were produced (and
+            // charged) while the previous fused allreduce was in flight;
+            // for a streaming source the overlap closure also made these
+            // slices resident (`prepare`), so none of that repeats here.
+            std::mem::swap(&mut ws.sel, &mut ws.sel_next);
+            spec.swap_tiles(ws);
+        } else {
+            {
+                let _span = backend.span(Stage::Sampling);
+                if have_sel {
+                    // Drawn one block ahead (same RNG order — see the
+                    // lookahead below) so the shards could prefetch
+                    // behind the previous block's compute.
+                    std::mem::swap(&mut ws.sel, &mut ws.sel_next);
+                } else {
+                    spec.sample(rng, s_block, &mut ws.sel);
+                }
+            }
+            // Residency barrier: pin this block's slices (no-op in
+            // memory). Prefetched shards are hits; the rest load here.
+            a.prepare(&ws.sel);
+            let _span = backend.span(Stage::Gram);
+            spec.tile(Cx { bk: backend, a, ws }, s_block, false);
+        }
+        have_sel = false;
+        spec.prepare_block(ws, s_block);
+        // The iterate-dependent products can never ride the overlap
+        // window, so they always happen here, at block entry.
+        {
+            let _span = backend.span(Stage::Gram);
+            spec.state_cross(Cx { bk: backend, a, ws }, s_block);
+        }
+        let resid = spec.traced_scalar(Cx { bk: backend, a, ws }, Block { h, s: s_block });
+        backend.charge_outer_overhead();
+
+        let h_next = h + s_block;
+        let want_overlap = B::OVERLAPS && sched.overlap && h_next < sched.max_iters;
+        let s_next = sched.s.min(sched.max_iters.saturating_sub(h_next));
+        if a.lookahead() && !want_overlap && h_next < sched.max_iters {
+            // Streaming without an overlap window: resolve the next
+            // block's selection now — the draws land in the same global
+            // RNG order as the in-memory solver's block-entry draws, so
+            // the coordinate sequence is bitwise unchanged — and hand it
+            // to the background loader. The shards stream in while this
+            // block's inner iterations run.
+            let _span = backend.span(Stage::Sampling);
+            ws.sel_next.clear();
+            spec.sample(rng, s_next, &mut ws.sel_next);
+            a.prefetch(&ws.sel_next);
+            have_sel = true;
+        }
+        let payload = spec.payload(ws, s_block);
+        let mut ov = |bk: &mut B, ws: &mut KernelWorkspace| {
+            ws.sel_next.clear();
+            spec.sample(rng, s_next, &mut ws.sel_next);
+            // Streaming: loads for the next block happen inside the
+            // in-flight allreduce — IO hides behind comm here, behind
+            // compute in the non-overlap lookahead above.
+            a.prepare(&ws.sel_next);
+            spec.tile(Cx { bk, a, ws }, s_next, true);
+        };
+        let resid_global = if payload.words(resid.is_some()) == 0 {
+            // Nothing travels (an all-hit kernel block): skip the
+            // collective on every rank — the selection is replicated, so
+            // every rank skips together — but still run the next-block
+            // work the window would have hidden.
+            if want_overlap {
+                ov(backend, ws);
+            }
+            resid
+        } else {
+            backend.exchange(ws, payload, resid, want_overlap.then_some(ov))
+        };
+        have_next = want_overlap;
+        spec.after_exchange(
+            Cx { bk: backend, a, ws },
+            Block { h, s: s_block },
+            resid_global,
+        );
+
+        {
+            let _inner_span = backend.span(Stage::Inner);
+            if spec
+                .inner(Cx { bk: backend, a, ws }, s_block, &mut h)
+                .is_break()
+            {
+                return h;
+            }
+        }
+        if spec
+            .end_block(Cx { bk: backend, a, ws }, Block { h, s: s_block })
+            .is_break()
+        {
+            return h;
+        }
+        // Block boundary: the iterate is consistent on every rank, so
+        // this is where a failed rank can recover from (no-op without
+        // fault injection).
+        backend.checkpoint();
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_words_match_sympack_layout() {
+        // Lasso/SVM shape: triangle + cross + optional scalar.
+        let p = Payload {
+            tri: 4,
+            rows: 4,
+            cols: 2,
+        };
+        assert_eq!(p.words(false), sympack::payload_words(4, 2, false));
+        assert_eq!(p.words(true), sympack::payload_words(4, 2, true));
+        // Kernel shape: no triangle, rectangular rows block.
+        let k = Payload {
+            tri: 0,
+            rows: 3,
+            cols: 7,
+        };
+        assert_eq!(k.words(false), 21);
+        assert_eq!(k.words(true), 22);
+        // Empty exchange (all-hit kernel block).
+        let e = Payload {
+            tri: 0,
+            rows: 0,
+            cols: 7,
+        };
+        assert_eq!(e.words(false), 0);
+    }
+}

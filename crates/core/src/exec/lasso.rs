@@ -1,15 +1,14 @@
-//! The backend-generic Lasso recurrence (Algorithms 1/2 and their
-//! non-accelerated counterparts).
-//!
-//! One function covers the whole primal family: `accel` selects between
-//! the accelerated two-sequence recurrence (eq. (3): `y`/`z` with implicit
+//! The Lasso family as a [`FamilySpec`]: `accel` selects between the
+//! accelerated two-sequence recurrence (eq. (3): `y`/`z` with implicit
 //! iterate `x = θ²y + z`) and plain BCD (single sequence, `z` *is* `x`
 //! and `ztilde` *is* the residual); `cfg.s` selects classical (`s = 1`)
-//! versus s-step SA unrolling; the [`ExecBackend`] selects the engine.
-//! Every float expression below is transcribed verbatim from the original
-//! per-engine solvers, so the refactor is bitwise-neutral.
+//! versus s-step SA unrolling (Algorithms 1/2); the [`ExecBackend`]
+//! selects the engine. The block skeleton lives in
+//! [`super::driver::drive`]; every float expression below is transcribed
+//! verbatim from the original per-engine solvers (bitwise-neutral).
 
-use super::{ExecBackend, Stage};
+use super::driver::{drive, Block, Cx, FamilySpec, Schedule};
+use super::ExecBackend;
 use crate::config::LassoConfig;
 use crate::dist::charges;
 use crate::problem::lasso_objective_from_residual;
@@ -18,223 +17,166 @@ use crate::seq::accbcd::implicit_objective;
 use crate::seq::{block_lipschitz, theta_next};
 use crate::trace::{ConvergenceTrace, SolveResult};
 use crate::workspace::KernelWorkspace;
-use sparsela::gram::{sampled_cross_into, sampled_gram_into};
+use sparsela::gram::sampled_cross_into;
 use sparsela::SliceSource;
-use xrng::rng_from_seed;
+use std::ops::ControlFlow;
+use xrng::{rng_from_seed, Rng};
 
-/// Solve `min_x ½‖Ax − b‖² + g(x)` on backend `B`.
-///
-/// `a`/`b` are the full problem for replicated engines and this rank's
-/// row block for the distributed engine (every rank runs the same
-/// replicated recurrence; only the matrix products are local, made global
-/// by [`ExecBackend::exchange`]).
-///
-/// `a` is any column-major [`SliceSource`]: an in-memory
-/// `sparsela::CscMatrix` (where `prepare`/`prefetch` are no-ops) or an
-/// out-of-core `sparsela::shard::StreamingMatrix`. The streaming hooks
-/// never change a value, only residency, so the iterates are bitwise
-/// identical across sources.
-pub(crate) fn lasso_family<'r, B: ExecBackend<'r>, R: Regularizer, M: SliceSource + Sync>(
-    a: &M,
-    b: &[f64],
-    reg: &R,
-    cfg: &LassoConfig,
+/// `Σ (θ²·ỹ + z̃)²` — the implicit residual squared norm of eq. (3),
+/// shared by the piggybacked and final trace contributions.
+fn accel_resid_sq(ytilde: &[f64], ztilde: &[f64], t2: f64) -> f64 {
+    ytilde
+        .iter()
+        .zip(ztilde)
+        .map(|(yt, zt)| {
+            let r = t2 * yt + zt;
+            r * r
+        })
+        .sum()
+}
+
+/// Materialize the implicit accelerated iterate `x = θ²y + z`.
+fn implicit_x(y: &[f64], z: &[f64], t2: f64) -> Vec<f64> {
+    y.iter().zip(z).map(|(yi, zi)| t2 * yi + zi).collect()
+}
+
+/// Per-solve Lasso state: the recurrence sequences, the θ carried across
+/// blocks, and the convergence trace.
+struct LassoSpec<'p, R: Regularizer> {
+    reg: &'p R,
+    cfg: &'p LassoConfig,
     accel: bool,
-    backend: &mut B,
-) -> SolveResult {
-    let n = a.major_len();
-    cfg.validate(n);
-    assert_eq!(b.len(), a.minor_len(), "label length mismatch");
-    let mut rng = rng_from_seed(cfg.seed);
-    let q = cfg.q(n);
-    let mu = cfg.mu;
-    let nvecs = if accel { 2 } else { 1 };
+    q: f64,
+    mu: usize,
+    n: usize,
+    theta: f64,
+    y: Vec<f64>,
+    z: Vec<f64>,
+    ytilde: Vec<f64>,
+    ztilde: Vec<f64>,
+    trace: ConvergenceTrace,
+    last_traced: f64,
+}
 
-    // Accelerated state: x = θ²y + z, ỹ = Ay, z̃ = Az − b.
-    // Plain state reuses the same names: z is the iterate, z̃ the residual.
-    let mut theta = mu as f64 / n as f64;
-    let mut y = vec![0.0; if accel { n } else { 0 }];
-    let mut z = vec![0.0; n];
-    let mut ytilde = vec![0.0; if accel { b.len() } else { 0 }];
-    let mut ztilde: Vec<f64> = b.iter().map(|v| -v).collect();
-
-    let mut trace = ConvergenceTrace::new();
-    if B::TRACE_INNER {
-        let f0 = if accel {
-            implicit_objective(theta, &y, &z, &ytilde, &ztilde, reg)
-        } else {
-            lasso_objective_from_residual(&ztilde, reg, &z)
-        };
-        trace.push(0, f0, 0.0);
-    } else {
-        // ½‖b‖² on every engine: z̃ starts at −b (locally for dist, whose
-        // scalar reduction makes the squared norm global).
-        let b_sq = backend.reduce_scalar(sparsela::vecops::nrm2_sq(&ztilde));
-        trace.push_with_phases(0, 0.5 * b_sq, backend.clock(), backend.phases());
+impl<'r, 'p, B, R, M> FamilySpec<'r, B, M> for LassoSpec<'p, R>
+where
+    B: ExecBackend<'r>,
+    R: Regularizer,
+    M: SliceSource + Sync,
+{
+    fn deltas_len(&self, s_block: usize) -> usize {
+        s_block * self.mu
     }
-    let mut last_traced = trace.initial_value();
 
-    // One workspace per solve: Gram/cross/selection/recurrence buffers are
-    // reused across outer iterations (numerics untouched — the `_into`
-    // kernels are bitwise identical to their allocating counterparts).
-    let mut ws = KernelWorkspace::new();
-    let nthreads = saco_par::threads();
-    let mut have_next = false;
-    let mut have_sel = false;
-    let mut h = 0usize;
-    'outer: while h < cfg.max_iters {
-        let s_block = cfg.s.min(cfg.max_iters - h);
-        let width = s_block * mu;
-        ws.begin_block(width);
-        if have_next {
-            // This block's sampling and local Gram were produced (and
-            // charged) while the previous fused allreduce was in flight;
-            // for a streaming source the overlap closure also made these
-            // slices resident (`prepare`), so none of that repeats here.
-            std::mem::swap(&mut ws.sel, &mut ws.sel_next);
-            std::mem::swap(&mut ws.gram, &mut ws.gram_next);
-        } else {
-            {
-                let _span = backend.span(Stage::Sampling);
-                if have_sel {
-                    // Drawn one block ahead (same RNG order — see the
-                    // lookahead below) so the shards could prefetch
-                    // behind the previous block's compute.
-                    std::mem::swap(&mut ws.sel, &mut ws.sel_next);
-                } else {
-                    for _ in 0..s_block {
-                        crate::seq::sample_block_into(&mut rng, n, mu, cfg.sampling, &mut ws.sel);
-                    }
-                }
-            }
-            // Residency barrier: pin this block's slices (no-op in
-            // memory). Prefetched shards are hits; the rest load here.
-            a.prepare(&ws.sel);
-            let _span = backend.span(Stage::Gram);
-            sampled_gram_into(a, &ws.sel, nthreads, &mut ws.gram_ws, &mut ws.gram);
-            backend.charge_gram(&ws.sel, width);
+    fn sample(&mut self, rng: &mut Rng, s_block: usize, out: &mut Vec<usize>) {
+        for _ in 0..s_block {
+            crate::seq::sample_block_into(rng, self.n, self.mu, self.cfg.sampling, out);
         }
-        have_sel = false;
-        if accel {
+    }
+
+    fn tile_width(&self, s_block: usize) -> usize {
+        s_block * self.mu
+    }
+
+    fn nvecs(&self) -> usize {
+        if self.accel {
+            2
+        } else {
+            1
+        }
+    }
+
+    fn prepare_block(&mut self, ws: &mut KernelWorkspace, s_block: usize) {
+        if self.accel {
             // The θ sequence for the whole block, computed up front.
             ws.thetas.clear();
-            ws.thetas.push(theta);
+            ws.thetas.push(self.theta);
             for j in 0..s_block {
                 ws.thetas.push(theta_next(ws.thetas[j]));
             }
         }
+    }
+
+    fn state_cross(&mut self, cx: Cx<'_, B, M>, s_block: usize) {
         // The cross products need the current residual vectors, so they
         // can never ride the overlap window.
-        {
-            let _span = backend.span(Stage::Gram);
-            if accel {
-                sampled_cross_into(a, &ws.sel, &[&ytilde, &ztilde], &mut ws.cross);
-            } else {
-                sampled_cross_into(a, &ws.sel, &[&ztilde], &mut ws.cross);
-            }
-            backend.charge_cross(&ws.sel, width, nvecs);
+        if self.accel {
+            sampled_cross_into(
+                cx.a,
+                &cx.ws.sel,
+                &[&self.ytilde, &self.ztilde],
+                &mut cx.ws.cross,
+            );
+        } else {
+            sampled_cross_into(cx.a, &cx.ws.sel, &[&self.ztilde], &mut cx.ws.cross);
         }
+        cx.bk.charge_cross(
+            &cx.ws.sel,
+            s_block * self.mu,
+            if self.accel { 2 } else { 1 },
+        );
+    }
 
+    fn traced_scalar(&mut self, cx: Cx<'_, B, M>, blk: Block) -> Option<f64> {
         // Trace boundary: piggyback this rank's residual-norm contribution
         // on the fused allreduce instead of a second collective.
+        let cfg = self.cfg;
         let traced = !B::TRACE_INNER
             && cfg.trace_every > 0
-            && (h / cfg.trace_every) != ((h + s_block).min(cfg.max_iters) / cfg.trace_every);
-        let resid = if traced {
-            let val = if accel {
-                let t2 = ws.thetas[0] * ws.thetas[0];
-                ytilde
-                    .iter()
-                    .zip(&ztilde)
-                    .map(|(yt, zt)| {
-                        let r = t2 * yt + zt;
-                        r * r
-                    })
-                    .sum()
-            } else {
-                sparsela::vecops::nrm2_sq(&ztilde)
-            };
-            backend.charge_trace_prep(if accel { 3 } else { 2 });
-            Some(val)
+            && (blk.h / cfg.trace_every) != ((blk.h + blk.s).min(cfg.max_iters) / cfg.trace_every);
+        if !traced {
+            return None;
+        }
+        let val = if self.accel {
+            let t2 = cx.ws.thetas[0] * cx.ws.thetas[0];
+            accel_resid_sq(&self.ytilde, &self.ztilde, t2)
         } else {
-            None
+            sparsela::vecops::nrm2_sq(&self.ztilde)
         };
-        backend.charge_outer_overhead();
+        cx.bk.charge_trace_prep(if self.accel { 3 } else { 2 });
+        Some(val)
+    }
 
-        let h_next = h + s_block;
-        let want_overlap = B::OVERLAPS && cfg.overlap && h_next < cfg.max_iters;
-        let s_next = cfg.s.min(cfg.max_iters.saturating_sub(h_next));
-        if a.lookahead() && !want_overlap && h_next < cfg.max_iters {
-            // Streaming without an overlap window: resolve the next
-            // block's selection now — the draws land in the same global
-            // RNG order as the in-memory solver's block-entry draws, so
-            // the coordinate sequence is bitwise unchanged — and hand it
-            // to the background loader. The shards stream in while this
-            // block's inner iterations run.
-            let _span = backend.span(Stage::Sampling);
-            ws.sel_next.clear();
-            for _ in 0..s_next {
-                crate::seq::sample_block_into(&mut rng, n, mu, cfg.sampling, &mut ws.sel_next);
-            }
-            a.prefetch(&ws.sel_next);
-            have_sel = true;
-        }
-        let ov = |bk: &mut B, ws: &mut KernelWorkspace| {
-            ws.sel_next.clear();
-            for _ in 0..s_next {
-                crate::seq::sample_block_into(&mut rng, n, mu, cfg.sampling, &mut ws.sel_next);
-            }
-            // Streaming: loads for the next block happen inside the
-            // in-flight allreduce — IO hides behind comm here, behind
-            // compute in the non-overlap lookahead above.
-            a.prepare(&ws.sel_next);
-            sampled_gram_into(
-                a,
-                &ws.sel_next,
-                nthreads,
-                &mut ws.gram_ws,
-                &mut ws.gram_next,
-            );
-            bk.charge_gram(&ws.sel_next, s_next * mu);
-        };
-        let resid_global =
-            backend.exchange(&mut ws, width, nvecs, resid, want_overlap.then_some(ov));
-        have_next = want_overlap;
-
-        if let Some(rg) = resid_global {
-            let f = if accel {
-                let t2 = ws.thetas[0] * ws.thetas[0];
-                let x: Vec<f64> = y.iter().zip(&z).map(|(yi, zi)| t2 * yi + zi).collect();
-                backend.charge_obj(2 * n as u64, n as u64);
-                0.5 * rg + reg.value(&x)
+    fn after_exchange(&mut self, cx: Cx<'_, B, M>, blk: Block, rg: Option<f64>) {
+        if let Some(rg) = rg {
+            let n = self.n;
+            let f = if self.accel {
+                let t2 = self.theta * self.theta;
+                let x = implicit_x(&self.y, &self.z, t2);
+                cx.bk.charge_obj(2 * n as u64, n as u64);
+                0.5 * rg + self.reg.value(&x)
             } else {
-                backend.charge_obj(n as u64, n as u64);
-                0.5 * rg + reg.value(&z)
+                cx.bk.charge_obj(n as u64, n as u64);
+                0.5 * rg + self.reg.value(&self.z)
             };
-            trace.push_with_phases(h, f, backend.clock(), backend.phases());
+            self.trace
+                .push_with_phases(blk.h, f, cx.bk.clock(), cx.bk.phases());
         }
+    }
 
-        // Inner loop: recurrences only — no fresh matrix products.
-        let _inner_span = backend.span(Stage::Inner);
+    fn inner(&mut self, cx: Cx<'_, B, M>, s_block: usize, h: &mut usize) -> ControlFlow<()> {
+        // Recurrences only — no fresh matrix products.
+        let ws = &mut *cx.ws;
+        let (cfg, mu, q) = (self.cfg, self.mu, self.q);
         for j in 1..=s_block {
             let off = (j - 1) * mu;
             let coords = &ws.sel[off..off + mu];
             ws.gram.diag_block_into(off, off + mu, &mut ws.gjj);
             let v = block_lipschitz(&ws.gjj);
-            h += 1;
-            backend.charge_prox(
+            *h += 1;
+            cx.bk.charge_prox(
                 charges::subproblem_flops(mu as u64)
                     + charges::sa_correction_flops(j as u64, mu as u64),
                 (mu * mu) as u64,
             );
-            if accel {
+            if self.accel {
                 let theta_prev = ws.thetas[j - 1];
                 let t2 = theta_prev * theta_prev;
                 if v > 0.0 {
                     let eta = 1.0 / (q * theta_prev * v);
                     // eq. (3): r from ỹ′, z̃′ and Gram corrections.
                     ws.cand.clear();
-                    for ai in 0..mu {
+                    for (ai, &c) in coords.iter().enumerate() {
                         let row = off + ai;
                         let mut r = t2 * ws.cross.get(row, 0) + ws.cross.get(row, 1);
                         for t in 1..j {
@@ -249,27 +191,27 @@ pub(crate) fn lasso_family<'r, B: ExecBackend<'r>, R: Regularizer, M: SliceSourc
                                 r -= coef * corr;
                             }
                         }
-                        ws.cand.push(z[coords[ai]] - eta * r);
+                        ws.cand.push(self.z[c] - eta * r);
                     }
-                    reg.prox_block(&mut ws.cand, coords, eta);
+                    self.reg.prox_block(&mut ws.cand, coords, eta);
                     let ycoef = (1.0 - q * theta_prev) / t2;
                     for (ai, &c) in coords.iter().enumerate() {
-                        let dz = ws.cand[ai] - z[c];
+                        let dz = ws.cand[ai] - self.z[c];
                         ws.deltas[off + ai] = dz;
                         if dz != 0.0 {
-                            z[c] += dz;
-                            y[c] -= ycoef * dz;
-                            let col = a.slice(c);
-                            col.axpy_into(dz, &mut ztilde);
-                            col.axpy_into(-ycoef * dz, &mut ytilde);
+                            self.z[c] += dz;
+                            self.y[c] -= ycoef * dz;
+                            let col = cx.a.slice(c);
+                            col.axpy_into(dz, &mut self.ztilde);
+                            col.axpy_into(-ycoef * dz, &mut self.ytilde);
                         }
                     }
-                    backend.charge_lasso_update(coords, mu, false);
+                    cx.bk.charge_lasso_update(coords, mu, false);
                 }
             } else if v > 0.0 {
                 let eta = 1.0 / v;
                 ws.cand.clear();
-                for ai in 0..mu {
+                for (ai, &c) in coords.iter().enumerate() {
                     let row = off + ai;
                     let mut grad = ws.cross.get(row, 0);
                     for t in 1..j {
@@ -278,90 +220,162 @@ pub(crate) fn lasso_family<'r, B: ExecBackend<'r>, R: Regularizer, M: SliceSourc
                             grad += ws.gram.get(row, toff + bi) * ws.deltas[toff + bi];
                         }
                     }
-                    ws.cand.push(z[coords[ai]] - eta * grad);
+                    ws.cand.push(self.z[c] - eta * grad);
                 }
-                reg.prox_block(&mut ws.cand, coords, eta);
+                self.reg.prox_block(&mut ws.cand, coords, eta);
                 for (ai, &c) in coords.iter().enumerate() {
-                    let dx = ws.cand[ai] - z[c];
+                    let dx = ws.cand[ai] - self.z[c];
                     ws.deltas[off + ai] = dx;
                     if dx != 0.0 {
-                        z[c] += dx;
-                        a.slice(c).axpy_into(dx, &mut ztilde);
+                        self.z[c] += dx;
+                        cx.a.slice(c).axpy_into(dx, &mut self.ztilde);
                     }
                 }
-                backend.charge_lasso_update(coords, mu, true);
+                cx.bk.charge_lasso_update(coords, mu, true);
             }
             if B::TRACE_INNER
                 && ((cfg.trace_every > 0 && h.is_multiple_of(cfg.trace_every))
-                    || h == cfg.max_iters)
+                    || *h == cfg.max_iters)
             {
-                let f = if accel {
-                    implicit_objective(ws.thetas[j], &y, &z, &ytilde, &ztilde, reg)
+                let f = if self.accel {
+                    implicit_objective(
+                        ws.thetas[j],
+                        &self.y,
+                        &self.z,
+                        &self.ytilde,
+                        &self.ztilde,
+                        self.reg,
+                    )
                 } else {
-                    lasso_objective_from_residual(&ztilde, reg, &z)
+                    lasso_objective_from_residual(&self.ztilde, self.reg, &self.z)
                 };
-                trace.push(h, f, 0.0);
+                self.trace.push(*h, f, 0.0);
                 if let Some(tol) = cfg.rel_tol {
-                    if (last_traced - f).abs() <= tol * last_traced.abs().max(1e-300) {
-                        if accel {
-                            theta = ws.thetas[j];
+                    if (self.last_traced - f).abs() <= tol * self.last_traced.abs().max(1e-300) {
+                        if self.accel {
+                            self.theta = ws.thetas[j];
                         }
-                        break 'outer;
+                        return ControlFlow::Break(());
                     }
                 }
-                last_traced = f;
+                self.last_traced = f;
             }
         }
-        if accel {
-            theta = ws.thetas[s_block];
-        }
-        // Block boundary: the iterate is consistent on every rank, so this
-        // is where a failed rank can recover from (no-op without fault
-        // injection).
-        backend.checkpoint();
+        ControlFlow::Continue(())
     }
 
+    fn end_block(&mut self, cx: Cx<'_, B, M>, blk: Block) -> ControlFlow<()> {
+        if self.accel {
+            self.theta = cx.ws.thetas[blk.s];
+        }
+        ControlFlow::Continue(())
+    }
+}
+
+/// Solve `min_x ½‖Ax − b‖² + g(x)` on backend `B`.
+///
+/// `a`/`b` are the full problem for replicated engines and this rank's
+/// row block for the distributed engine (local matrix products, made
+/// global by [`ExecBackend::exchange`]). `a` is any column-major
+/// [`SliceSource`] — in-memory `CscMatrix` or out-of-core
+/// `shard::StreamingMatrix`; streaming hooks change residency, never
+/// values, so the iterates are bitwise identical across sources.
+pub(crate) fn lasso_family<'r, B: ExecBackend<'r>, R: Regularizer, M: SliceSource + Sync>(
+    a: &M,
+    b: &[f64],
+    reg: &R,
+    cfg: &LassoConfig,
+    accel: bool,
+    backend: &mut B,
+) -> SolveResult {
+    let n = a.major_len();
+    cfg.validate(n);
+    assert_eq!(b.len(), a.minor_len(), "label length mismatch");
+    let mut rng = rng_from_seed(cfg.seed);
+
+    // Accelerated state: x = θ²y + z, ỹ = Ay, z̃ = Az − b.
+    // Plain state reuses the same names: z is the iterate, z̃ the residual.
+    let mut spec = LassoSpec {
+        reg,
+        cfg,
+        accel,
+        q: cfg.q(n),
+        mu: cfg.mu,
+        n,
+        theta: cfg.mu as f64 / n as f64,
+        y: vec![0.0; if accel { n } else { 0 }],
+        z: vec![0.0; n],
+        ytilde: vec![0.0; if accel { b.len() } else { 0 }],
+        ztilde: b.iter().map(|v| -v).collect(),
+        trace: ConvergenceTrace::new(),
+        last_traced: 0.0,
+    };
+
+    if B::TRACE_INNER {
+        let f0 = if accel {
+            implicit_objective(
+                spec.theta,
+                &spec.y,
+                &spec.z,
+                &spec.ytilde,
+                &spec.ztilde,
+                reg,
+            )
+        } else {
+            lasso_objective_from_residual(&spec.ztilde, reg, &spec.z)
+        };
+        spec.trace.push(0, f0, 0.0);
+    } else {
+        // ½‖b‖² on every engine: z̃ starts at −b (locally for dist, whose
+        // scalar reduction makes the squared norm global).
+        let b_sq = backend.reduce_scalar(sparsela::vecops::nrm2_sq(&spec.ztilde));
+        spec.trace
+            .push_with_phases(0, 0.5 * b_sq, backend.clock(), backend.phases());
+    }
+    spec.last_traced = spec.trace.initial_value();
+
+    // One workspace per solve: Gram/cross/selection/recurrence buffers are
+    // reused across outer iterations (numerics untouched — the `_into`
+    // kernels are bitwise identical to their allocating counterparts).
+    let mut ws = KernelWorkspace::new();
+    let sched = Schedule {
+        max_iters: cfg.max_iters,
+        s: cfg.s,
+        overlap: cfg.overlap,
+    };
+    let h = drive(a, sched, &mut rng, &mut ws, backend, &mut spec);
+
+    let LassoSpec {
+        theta,
+        y,
+        z,
+        ytilde,
+        ztilde,
+        mut trace,
+        ..
+    } = spec;
     if !B::TRACE_INNER {
         // Final objective so the trace always ends at `iters` even when
         // `trace_every` does not divide it.
-        if accel {
-            let t2 = theta * theta;
-            let resid_contrib: f64 = ytilde
-                .iter()
-                .zip(&ztilde)
-                .map(|(yt, zt)| {
-                    let r = t2 * yt + zt;
-                    r * r
-                })
-                .sum();
+        let t2 = theta * theta;
+        let (resid_contrib, x) = if accel {
             backend.charge_trace_prep(3);
-            let rg = backend.reduce_scalar(resid_contrib);
-            let x: Vec<f64> = y.iter().zip(&z).map(|(yi, zi)| t2 * yi + zi).collect();
-            trace.push_with_phases(
-                h,
-                0.5 * rg + reg.value(&x),
-                backend.clock(),
-                backend.phases(),
-            );
-            return SolveResult { x, trace, iters: h };
-        }
-        let rg = backend.reduce_scalar(sparsela::vecops::nrm2_sq(&ztilde));
+            (accel_resid_sq(&ytilde, &ztilde, t2), implicit_x(&y, &z, t2))
+        } else {
+            (sparsela::vecops::nrm2_sq(&ztilde), z)
+        };
+        let rg = backend.reduce_scalar(resid_contrib);
         trace.push_with_phases(
             h,
-            0.5 * rg + reg.value(&z),
+            0.5 * rg + reg.value(&x),
             backend.clock(),
             backend.phases(),
         );
-        return SolveResult {
-            x: z,
-            trace,
-            iters: h,
-        };
+        return SolveResult { x, trace, iters: h };
     }
 
     let x = if accel {
-        let t2 = theta * theta;
-        y.iter().zip(&z).map(|(yi, zi)| t2 * yi + zi).collect()
+        implicit_x(&y, &z, theta * theta)
     } else {
         z
     };

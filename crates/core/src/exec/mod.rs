@@ -30,11 +30,16 @@
 //! shared-code construction (see `tests/engine_matrix.rs`).
 
 mod backends;
+mod driver;
+mod kdcd;
 mod lasso;
 mod net;
 mod svm;
 
 pub(crate) use backends::{pack_fused, unpack_fused, DistBackend, SeqBackend, SimBackend};
+pub(crate) use driver::Payload;
+pub(crate) use kdcd::kdcd_family;
+pub use kdcd::KdcdStats;
 pub(crate) use lasso::lasso_family;
 pub(crate) use net::NetBackend;
 pub(crate) use svm::svm_family;
@@ -99,20 +104,29 @@ pub(crate) trait ExecBackend<'r> {
     /// Charge the SVM `x` axpy over the sampled row's nonzeros.
     fn charge_svm_update(&mut self, _row: usize) {}
 
+    /// Charge the kernel family's local tile pass: `misses` dense-row
+    /// SpMVs over this rank's feature block (`2·local_nnz` flops each,
+    /// working set `m`).
+    fn charge_kdcd_tile(&mut self, _misses: usize, _m: usize) {}
+
+    /// Sum the replicated row-norms buffer (length `m`) across ranks,
+    /// charging the local norms pass — RBF kernel init only.
+    fn norm_reduce(&mut self, _buf: &mut Vec<f64>, _m: usize) {}
+
     /// Charge the replicated objective assembly at a trace boundary.
     fn charge_obj(&mut self, _flops: u64, _ws_words: u64) {}
 
     /// The one synchronization of an outer iteration: make `ws.gram`
-    /// (upper triangle) and `ws.cross` global, reducing the optional
-    /// traced residual scalar alongside. `overlap`, when provided, runs
-    /// while the payload is in flight and may only touch next-block
-    /// state (`sel_next`, `gram_next`, the gram scatter scratch) plus
-    /// backend charges. Returns the reduced residual iff one was passed.
+    /// (upper triangle) and `ws.cross` global per the family's
+    /// [`Payload`] descriptor, reducing the optional traced residual
+    /// scalar alongside. `overlap`, when provided, runs while the payload
+    /// is in flight and may only touch next-block state (`sel_next`,
+    /// `gram_next`/`cross_next`, the gram scatter scratch) plus backend
+    /// charges. Returns the reduced residual iff one was passed.
     fn exchange<F: FnOnce(&mut Self, &mut KernelWorkspace)>(
         &mut self,
         ws: &mut KernelWorkspace,
-        width: usize,
-        nvecs: usize,
+        payload: Payload,
         resid: Option<f64>,
         overlap: Option<F>,
     ) -> Option<f64>;

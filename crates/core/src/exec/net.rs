@@ -18,7 +18,7 @@
 //! Nothing blocks forever — every wire operation is bounded by the mesh's
 //! I/O timeout.
 
-use super::{pack_fused, unpack_fused, ExecBackend};
+use super::{pack_fused, unpack_fused, ExecBackend, Payload};
 use crate::workspace::KernelWorkspace;
 use mpisim::telemetry::PhaseTimes;
 use netcomm::NetComm;
@@ -64,18 +64,17 @@ impl<'r, 'c> ExecBackend<'r> for NetBackend<'c> {
     fn exchange<F: FnOnce(&mut Self, &mut KernelWorkspace)>(
         &mut self,
         ws: &mut KernelWorkspace,
-        width: usize,
-        nvecs: usize,
+        payload: Payload,
         resid: Option<f64>,
         overlap: Option<F>,
     ) -> Option<f64> {
-        pack_fused(ws, width, nvecs, resid);
-        let payload = std::mem::take(&mut ws.pack);
+        pack_fused(ws, payload, resid);
+        let wire = std::mem::take(&mut ws.pack);
         ws.pack = match overlap {
             Some(f) => {
                 // Real overlap: the comm worker moves bytes while this
                 // thread forms the next block.
-                let pending = match self.comm.iallreduce_start(payload) {
+                let pending = match self.comm.iallreduce_start(wire) {
                     Ok(p) => p,
                     Err(e) => self.fail("fused allreduce start", e),
                 };
@@ -85,12 +84,12 @@ impl<'r, 'c> ExecBackend<'r> for NetBackend<'c> {
                     Err(e) => self.fail("fused allreduce wait", e),
                 }
             }
-            None => match self.comm.allreduce_sum(payload) {
+            None => match self.comm.allreduce_sum(wire) {
                 Ok(v) => v,
                 Err(e) => self.fail("fused allreduce", e),
             },
         };
-        unpack_fused(ws, width, nvecs, resid.is_some())
+        unpack_fused(ws, payload, resid.is_some())
     }
 
     fn reduce_scalar(&mut self, v: f64) -> f64 {
@@ -105,6 +104,14 @@ impl<'r, 'c> ExecBackend<'r> for NetBackend<'c> {
         *buf = match self.comm.allreduce_sum(payload) {
             Ok(v) => v,
             Err(e) => self.fail("gap allreduce", e),
+        };
+    }
+
+    fn norm_reduce(&mut self, buf: &mut Vec<f64>, _m: usize) {
+        let payload = std::mem::take(buf);
+        *buf = match self.comm.allreduce_sum(payload) {
+            Ok(v) => v,
+            Err(e) => self.fail("norms allreduce", e),
         };
     }
 

@@ -1,31 +1,27 @@
-//! The backend-generic dual linear SVM recurrence (Algorithms 3/4).
+//! The dual linear SVM family as a [`FamilySpec`] (Algorithms 3/4).
 //!
-//! One function covers classical dual coordinate descent (`cfg.s = 1`)
-//! and the s-step SA unrolling (eqs. (14)–(15)); the [`ExecBackend`]
-//! selects the engine. α is maintained in place, so `α[i_j]` carries
-//! eq. (14)'s β (initial value plus all matching prior θ's). Every float
-//! expression is transcribed verbatim from the original per-engine
-//! solvers, so the refactor is bitwise-neutral.
+//! One spec covers classical dual coordinate descent (`cfg.s = 1`) and
+//! the s-step SA unrolling (eqs. (14)–(15)); the [`ExecBackend`] selects
+//! the engine. α is maintained in place, so `α[i_j]` carries eq. (14)'s β.
+//! The block skeleton lives in [`super::driver::drive`]; every float
+//! expression below is verbatim from the per-engine solvers (bitwise).
 
-use super::{ExecBackend, Stage};
+use super::driver::{drive, Block, Cx, FamilySpec, Schedule};
+use super::ExecBackend;
 use crate::config::{SvmConfig, SvmLoss};
 use crate::dist::charges;
 use crate::problem::SvmProblem;
 use crate::seq::svm::projected_step;
 use crate::trace::{ConvergenceTrace, SolveResult};
-use crate::workspace::KernelWorkspace;
-use sparsela::gram::{sampled_cross_into, sampled_gram_into};
+use sparsela::gram::sampled_cross_into;
 use sparsela::SliceSource;
-use xrng::rng_from_seed;
+use std::ops::ControlFlow;
+use xrng::{rng_from_seed, Rng};
 
 /// Duality gap through the backend's reduction: identical arithmetic to
-/// `SvmProblem::duality_gap` when the margins are already global, and to
-/// the fused distributed gap (margins + ‖x‖² in one buffer) when they are
-/// per-rank contributions. The margins come from
-/// [`SliceSource::major_spmv_into`], whose default is exactly
-/// `CsrMatrix::spmv` (per-row `dot_dense`), so in-memory sources are
-/// bitwise unchanged; a streaming source computes the same chains from a
-/// bounded transient shard scan.
+/// `SvmProblem::duality_gap` whether the [`SliceSource::major_spmv_into`]
+/// margins are already global or per-rank contributions fused with ‖x‖²
+/// in one buffer (and bitwise equal for in-memory and streamed sources).
 fn gap_of<'r, B: ExecBackend<'r>, M: SliceSource>(
     backend: &mut B,
     a: &M,
@@ -57,6 +53,109 @@ fn gap_of<'r, B: ExecBackend<'r>, M: SliceSource>(
     primal + dual
 }
 
+/// Per-solve SVM state: the dual iterate, the primal accumulator `x`
+/// (local columns on the distributed engine), and the gap trace.
+struct SvmSpec<'p> {
+    b: &'p [f64],
+    cfg: &'p SvmConfig,
+    prob: SvmProblem,
+    m: usize,
+    alpha: Vec<f64>,
+    x: Vec<f64>,
+    trace: ConvergenceTrace,
+}
+
+impl<'r, 'p, B, M> FamilySpec<'r, B, M> for SvmSpec<'p>
+where
+    B: ExecBackend<'r>,
+    M: SliceSource + Sync,
+{
+    fn sample(&mut self, rng: &mut Rng, s_block: usize, out: &mut Vec<usize>) {
+        out.extend((0..s_block).map(|_| rng.next_index(self.m)));
+    }
+
+    fn state_cross(&mut self, cx: Cx<'_, B, M>, s_block: usize) {
+        // x′ = Yᵀ·x_sk needs the current iterate — never overlapped.
+        sampled_cross_into(cx.a, &cx.ws.sel, &[&self.x], &mut cx.ws.cross);
+        cx.bk.charge_cross(&cx.ws.sel, s_block, 1);
+    }
+
+    fn after_exchange(&mut self, cx: Cx<'_, B, M>, blk: Block, _rg: Option<f64>) {
+        // γIₛ joins after the exchange: the regularizer term is replicated,
+        // not a matrix product, so it must not be summed across ranks.
+        let gamma = self.prob.gamma();
+        for j in 0..blk.s {
+            cx.ws.gram.set(j, j, cx.ws.gram.get(j, j) + gamma);
+        }
+        cx.ws.thetas.clear();
+        cx.ws.thetas.resize(blk.s, 0.0);
+    }
+
+    fn inner(&mut self, cx: Cx<'_, B, M>, s_block: usize, h: &mut usize) -> ControlFlow<()> {
+        let (cfg, ws) = (self.cfg, &mut *cx.ws);
+        let (gamma, nu) = (self.prob.gamma(), self.prob.nu());
+        for j in 1..=s_block {
+            let i = ws.sel[j - 1];
+            let beta = self.alpha[i];
+            let eta = ws.gram.get(j - 1, j - 1);
+            // eq. (15): gradient from x′ and Gram corrections.
+            let mut g = self.b[i] * ws.cross.get(j - 1, 0) - 1.0 + gamma * beta;
+            for t in 1..j {
+                if ws.thetas[t - 1] != 0.0 {
+                    g += ws.thetas[t - 1]
+                        * self.b[i]
+                        * self.b[ws.sel[t - 1]]
+                        * ws.gram.get(j - 1, t - 1);
+                }
+            }
+            let theta = projected_step(beta, g, eta, nu);
+            ws.thetas[j - 1] = theta;
+            cx.bk.charge_prox(
+                charges::ITER_OVERHEAD_FLOPS + 8 + charges::sa_correction_flops(j as u64, 1),
+                (s_block * s_block) as u64,
+            );
+            if theta != 0.0 {
+                self.alpha[i] += theta;
+                cx.a.slice(i).axpy_into(theta * self.b[i], &mut self.x);
+                cx.bk.charge_svm_update(i);
+            }
+            *h += 1;
+            if B::TRACE_INNER
+                && ((cfg.trace_every > 0 && h.is_multiple_of(cfg.trace_every))
+                    || *h == cfg.max_iters)
+            {
+                let gap = gap_of(cx.bk, cx.a, self.b, &self.prob, &self.x, &self.alpha);
+                self.trace.push(*h, gap, 0.0);
+                if let Some(tol) = cfg.gap_tol {
+                    if gap <= tol {
+                        return ControlFlow::Break(());
+                    }
+                }
+            }
+        }
+        ControlFlow::Continue(())
+    }
+
+    fn end_block(&mut self, cx: Cx<'_, B, M>, blk: Block) -> ControlFlow<()> {
+        if !B::TRACE_INNER {
+            let (cfg, h) = (self.cfg, blk.h);
+            let traced = cfg.trace_every > 0
+                && ((h - blk.s) / cfg.trace_every != h / cfg.trace_every || h >= cfg.max_iters);
+            if traced {
+                let gap = gap_of(cx.bk, cx.a, self.b, &self.prob, &self.x, &self.alpha);
+                self.trace
+                    .push_with_phases(h, gap, cx.bk.clock(), cx.bk.phases());
+                if let Some(tol) = cfg.gap_tol {
+                    if gap <= tol {
+                        return ControlFlow::Break(());
+                    }
+                }
+            }
+        }
+        ControlFlow::Continue(())
+    }
+}
+
 /// Solve the dual SVM problem on backend `B`.
 ///
 /// `a`/`b` are the full problem for replicated engines; for the
@@ -75,159 +174,44 @@ pub(crate) fn svm_family<'r, B: ExecBackend<'r>, M: SliceSource + Sync>(
         b.iter().all(|&v| v == 1.0 || v == -1.0),
         "labels must be ±1"
     );
-    let prob = SvmProblem::new(cfg.loss, cfg.lambda);
-    let (gamma, nu) = (prob.gamma(), prob.nu());
     let mut rng = rng_from_seed(cfg.seed);
 
-    let mut alpha = vec![0.0f64; m];
-    let mut x = vec![0.0f64; a.minor_len()];
+    let mut spec = SvmSpec {
+        b,
+        cfg,
+        prob: SvmProblem::new(cfg.loss, cfg.lambda),
+        m,
+        alpha: vec![0.0f64; m],
+        x: vec![0.0f64; a.minor_len()],
+        trace: ConvergenceTrace::new(),
+    };
 
-    let mut trace = ConvergenceTrace::new();
-    let gap0 = gap_of(backend, a, b, &prob, &x, &alpha);
+    let gap0 = gap_of(backend, a, b, &spec.prob, &spec.x, &spec.alpha);
     if B::TRACE_INNER {
-        trace.push(0, gap0, 0.0);
+        spec.trace.push(0, gap0, 0.0);
     } else {
-        trace.push_with_phases(0, gap0, backend.clock(), backend.phases());
+        spec.trace
+            .push_with_phases(0, gap0, backend.clock(), backend.phases());
     }
 
     // One workspace per solve: Gram/cross/selection buffers are reused
     // across outer iterations (numerics untouched — the `_into` kernels
     // are bitwise identical to their allocating counterparts).
-    let mut ws = KernelWorkspace::new();
-    let nthreads = saco_par::threads();
-    let mut have_next = false;
-    let mut have_sel = false;
-    let mut h = 0usize;
-    'outer: while h < cfg.max_iters {
-        let s_block = cfg.s.min(cfg.max_iters - h);
-        ws.begin_block(0);
-        if have_next {
-            // Sampled (and local Gram formed/charged) in the previous
-            // allreduce's overlap window; for a streaming source the
-            // overlap closure also made these slices resident.
-            std::mem::swap(&mut ws.sel, &mut ws.sel_next);
-            std::mem::swap(&mut ws.gram, &mut ws.gram_next);
-        } else {
-            {
-                let _span = backend.span(Stage::Sampling);
-                if have_sel {
-                    // Drawn one block ahead (same RNG order) so the
-                    // shards could prefetch behind this rank's compute.
-                    std::mem::swap(&mut ws.sel, &mut ws.sel_next);
-                } else {
-                    ws.sel.extend((0..s_block).map(|_| rng.next_index(m)));
-                }
-            }
-            // Residency barrier: pin this block's rows (no-op in memory).
-            a.prepare(&ws.sel);
-            let _span = backend.span(Stage::Gram);
-            sampled_gram_into(a, &ws.sel, nthreads, &mut ws.gram_ws, &mut ws.gram);
-            backend.charge_gram(&ws.sel, s_block);
-        }
-        have_sel = false;
-        // x′ = Yᵀ·x_sk needs the current iterate — never overlapped.
-        {
-            let _span = backend.span(Stage::Gram);
-            sampled_cross_into(a, &ws.sel, &[&x], &mut ws.cross);
-            backend.charge_cross(&ws.sel, s_block, 1);
-        }
-        backend.charge_outer_overhead();
+    let mut ws = crate::workspace::KernelWorkspace::new();
+    let sched = Schedule {
+        max_iters: cfg.max_iters,
+        s: cfg.s,
+        overlap: cfg.overlap,
+    };
+    let h = drive(a, sched, &mut rng, &mut ws, backend, &mut spec);
 
-        let h_next = h + s_block;
-        let want_overlap = B::OVERLAPS && cfg.overlap && h_next < cfg.max_iters;
-        let s_next = cfg.s.min(cfg.max_iters.saturating_sub(h_next));
-        if a.lookahead() && !want_overlap && h_next < cfg.max_iters {
-            // Streaming without an overlap window: draw the next block's
-            // rows now (same global RNG order as the in-memory solver)
-            // and let the background loader stream their shards in while
-            // this block's inner iterations run.
-            let _span = backend.span(Stage::Sampling);
-            ws.sel_next.clear();
-            ws.sel_next.extend((0..s_next).map(|_| rng.next_index(m)));
-            a.prefetch(&ws.sel_next);
-            have_sel = true;
-        }
-        let ov = |bk: &mut B, ws: &mut KernelWorkspace| {
-            ws.sel_next.clear();
-            ws.sel_next.extend((0..s_next).map(|_| rng.next_index(m)));
-            // Streaming: next-block loads hide behind the in-flight
-            // allreduce.
-            a.prepare(&ws.sel_next);
-            sampled_gram_into(
-                a,
-                &ws.sel_next,
-                nthreads,
-                &mut ws.gram_ws,
-                &mut ws.gram_next,
-            );
-            bk.charge_gram(&ws.sel_next, s_next);
-        };
-        backend.exchange(&mut ws, s_block, 1, None, want_overlap.then_some(ov));
-        have_next = want_overlap;
-        // γIₛ joins after the exchange: the regularizer term is replicated,
-        // not a matrix product, so it must not be summed across ranks.
-        for j in 0..s_block {
-            ws.gram.set(j, j, ws.gram.get(j, j) + gamma);
-        }
-
-        ws.thetas.clear();
-        ws.thetas.resize(s_block, 0.0);
-        let _inner_span = backend.span(Stage::Inner);
-        for j in 1..=s_block {
-            let i = ws.sel[j - 1];
-            let beta = alpha[i];
-            let eta = ws.gram.get(j - 1, j - 1);
-            // eq. (15): gradient from x′ and Gram corrections.
-            let mut g = b[i] * ws.cross.get(j - 1, 0) - 1.0 + gamma * beta;
-            for t in 1..j {
-                if ws.thetas[t - 1] != 0.0 {
-                    g += ws.thetas[t - 1] * b[i] * b[ws.sel[t - 1]] * ws.gram.get(j - 1, t - 1);
-                }
-            }
-            let theta = projected_step(beta, g, eta, nu);
-            ws.thetas[j - 1] = theta;
-            backend.charge_prox(
-                charges::ITER_OVERHEAD_FLOPS + 8 + charges::sa_correction_flops(j as u64, 1),
-                (s_block * s_block) as u64,
-            );
-            if theta != 0.0 {
-                alpha[i] += theta;
-                a.slice(i).axpy_into(theta * b[i], &mut x);
-                backend.charge_svm_update(i);
-            }
-            h += 1;
-            if B::TRACE_INNER
-                && ((cfg.trace_every > 0 && h.is_multiple_of(cfg.trace_every))
-                    || h == cfg.max_iters)
-            {
-                let gap = gap_of(backend, a, b, &prob, &x, &alpha);
-                trace.push(h, gap, 0.0);
-                if let Some(tol) = cfg.gap_tol {
-                    if gap <= tol {
-                        break 'outer;
-                    }
-                }
-            }
-        }
-
-        if !B::TRACE_INNER {
-            let traced = cfg.trace_every > 0
-                && ((h - s_block) / cfg.trace_every != h / cfg.trace_every || h >= cfg.max_iters);
-            if traced {
-                let gap = gap_of(backend, a, b, &prob, &x, &alpha);
-                trace.push_with_phases(h, gap, backend.clock(), backend.phases());
-                if let Some(tol) = cfg.gap_tol {
-                    if gap <= tol {
-                        break 'outer;
-                    }
-                }
-            }
-        }
-        // Block boundary: consistent state on every rank — the recovery
-        // point for injected fail-stop faults (no-op otherwise).
-        backend.checkpoint();
-    }
-
+    let SvmSpec {
+        prob,
+        alpha,
+        x,
+        mut trace,
+        ..
+    } = spec;
     if !B::TRACE_INNER && (trace.len() < 2 || trace.points().last().expect("nonempty").iter < h) {
         let gap = gap_of(backend, a, b, &prob, &x, &alpha);
         trace.push_with_phases(h, gap, backend.clock(), backend.phases());

@@ -65,7 +65,8 @@ pub mod stream;
 pub mod trace;
 pub mod workspace;
 
-pub use config::{LassoConfig, SvmConfig, SvmLoss};
+pub use config::{KdcdConfig, KdcdTask, LassoConfig, SvmConfig, SvmLoss};
+pub use exec::KdcdStats;
 pub use problem::{lasso_objective, SvmProblem};
 pub use prox::{ElasticNet, GroupLasso, Lasso, Regularizer};
 pub use trace::{ConvergenceTrace, SolveResult, TracePoint};

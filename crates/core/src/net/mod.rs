@@ -15,8 +15,8 @@
 //! Telemetry: [`record_net_stats`] turns a mesh's counters into the
 //! `net.*` namespace documented in OBSERVABILITY.md.
 
-use crate::config::{LassoConfig, SvmConfig};
-use crate::exec::{lasso_family, svm_family, NetBackend};
+use crate::config::{KdcdConfig, LassoConfig, SvmConfig};
+use crate::exec::{kdcd_family, lasso_family, svm_family, KdcdStats, NetBackend};
 use crate::prox::Regularizer;
 use crate::trace::SolveResult;
 use saco_telemetry::{Phase, Registry};
@@ -57,6 +57,20 @@ pub fn net_sa_bcd<R: Regularizer>(
 pub fn net_sa_svm(comm: &mut NetComm, data: &SvmRankData, cfg: &SvmConfig) -> SolveResult {
     let mut backend = NetBackend::new(comm);
     svm_family(&data.csr, &data.b, cfg, &mut backend)
+}
+
+/// S-step kernel dual coordinate descent (K-DCD/K-BDCD) over the socket
+/// mesh; `cfg.s = 1` is classical kernel CD. Bitwise-identical to
+/// [`crate::dist::dist_kdcd`] on the same rank data — including which
+/// blocks skip the collective (all-hit kernel caches are replicated, so
+/// every rank skips the same rounds and the mesh never deadlocks).
+pub fn net_kdcd(
+    comm: &mut NetComm,
+    data: &SvmRankData,
+    cfg: &KdcdConfig,
+) -> (SolveResult, KdcdStats) {
+    let mut backend = NetBackend::new(comm);
+    kdcd_family(&data.csr, &data.b, cfg, &mut backend)
 }
 
 /// Record a mesh's wire counters into `registry` under the `net.*`

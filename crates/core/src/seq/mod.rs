@@ -18,6 +18,7 @@
 
 pub(crate) mod accbcd;
 mod bcd;
+mod kdcd;
 mod sa_accbcd;
 mod sa_bcd;
 mod sa_svm;
@@ -25,6 +26,7 @@ pub(crate) mod svm;
 
 pub use accbcd::acc_bcd;
 pub use bcd::bcd;
+pub use kdcd::kdcd;
 pub use sa_accbcd::{sa_accbcd, sa_accbcd_instrumented};
 pub use sa_bcd::sa_bcd;
 pub use sa_svm::sa_svm;

@@ -13,9 +13,11 @@
 //! `dist ≡ sim` consistency tests run both engines at the same small `P`
 //! and require the virtual times to agree to round-off.
 
+mod kdcd;
 mod lasso;
 mod svm;
 
+pub use kdcd::{record_kdcd_stats, sim_kdcd, sim_kdcd_chaos, sim_kdcd_instrumented};
 pub use lasso::{
     sim_sa_accbcd, sim_sa_accbcd_chaos, sim_sa_accbcd_instrumented, sim_sa_bcd, sim_sa_bcd_chaos,
     sim_sa_bcd_instrumented,

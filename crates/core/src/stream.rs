@@ -20,8 +20,11 @@ use std::io;
 use std::ops::Range;
 use std::path::Path;
 
-use crate::config::{LassoConfig, SvmConfig};
-use crate::exec::{lasso_family, svm_family, DistBackend, NetBackend, SeqBackend, SimBackend};
+use crate::config::{KdcdConfig, LassoConfig, SvmConfig};
+use crate::exec::{
+    kdcd_family, lasso_family, svm_family, DistBackend, KdcdStats, NetBackend, SeqBackend,
+    SimBackend,
+};
 use crate::prox::Regularizer;
 use crate::trace::SolveResult;
 use datagen::{balanced_partition, block_partition, Partition};
@@ -94,6 +97,15 @@ pub fn stream_sa_bcd<R: Regularizer>(
 pub fn stream_sa_svm(a: &StreamingMatrix, b: &[f64], cfg: &SvmConfig) -> SolveResult {
     expect_axis(a, ShardAxis::Csr, "stream_sa_svm");
     svm_family(a, b, cfg, &mut SeqBackend::new())
+}
+
+/// Streaming K-DCD/K-BDCD, bitwise [`crate::seq::kdcd`]. `a` must be a
+/// CSR-axis view (kernel methods sample rows); `b` the full labels. The
+/// kernel-row cache sits *above* the shard window: a cache hit reads no
+/// shard at all, so a small trailing working set streams for free.
+pub fn stream_kdcd(a: &StreamingMatrix, b: &[f64], cfg: &KdcdConfig) -> (SolveResult, KdcdStats) {
+    expect_axis(a, ShardAxis::Csr, "stream_kdcd");
+    kdcd_family(a, b, cfg, &mut SeqBackend::new())
 }
 
 // ---------------------------------------------------------------------------
@@ -276,6 +288,18 @@ pub fn stream_dist_sa_svm(comm: &mut Comm, data: &StreamRankData, cfg: &SvmConfi
     svm_family(&data.mat, &data.b, cfg, &mut backend)
 }
 
+/// Streaming [`crate::dist::dist_kdcd`]: the replicated dual iterate
+/// from this rank's windowed column block.
+pub fn stream_dist_kdcd(
+    comm: &mut Comm,
+    data: &StreamRankData,
+    cfg: &KdcdConfig,
+) -> (SolveResult, KdcdStats) {
+    let mut backend =
+        DistBackend::with_gap_nnz(comm, &data.mat, data.mat.major_len(), data.gap_nnz);
+    kdcd_family(&data.mat, &data.b, cfg, &mut backend)
+}
+
 /// Streaming [`crate::net::net_sa_accbcd`] over the socket mesh.
 pub fn stream_net_sa_accbcd<R: Regularizer>(
     comm: &mut NetComm,
@@ -306,6 +330,16 @@ pub fn stream_net_sa_svm(
 ) -> SolveResult {
     let mut backend = NetBackend::new(comm);
     svm_family(&data.mat, &data.b, cfg, &mut backend)
+}
+
+/// Streaming [`crate::net::net_kdcd`] over the socket mesh.
+pub fn stream_net_kdcd(
+    comm: &mut NetComm,
+    data: &StreamRankData,
+    cfg: &KdcdConfig,
+) -> (SolveResult, KdcdStats) {
+    let mut backend = NetBackend::new(comm);
+    kdcd_family(&data.mat, &data.b, cfg, &mut backend)
 }
 
 // ---------------------------------------------------------------------------

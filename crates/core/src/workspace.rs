@@ -50,6 +50,9 @@ pub struct KernelWorkspace {
     /// Double-buffered local Gram for the next outer iteration, formed in
     /// the same overlap window and swapped into `gram` at block entry.
     pub(crate) gram_next: DenseMatrix,
+    /// Double-buffered cross/tile block for the next outer iteration
+    /// (kernel family: the missed kernel-row dots), same overlap window.
+    pub(crate) cross_next: DenseMatrix,
 }
 
 impl Default for KernelWorkspace {
@@ -75,6 +78,7 @@ impl KernelWorkspace {
             pack: Vec::new(),
             sel_next: Vec::new(),
             gram_next: DenseMatrix::zeros(0, 0),
+            cross_next: DenseMatrix::zeros(0, 0),
         }
     }
 

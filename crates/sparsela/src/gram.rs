@@ -110,6 +110,18 @@ pub trait SliceSource: MajorSlices {
             y[k] = self.slice(k).dot_dense(x);
         }
     }
+
+    /// `y[k] = ‖slice(k)‖²` for every major slice — the one-time norms
+    /// pass an RBF kernel needs. Defaults to resident iteration;
+    /// out-of-core sources override it with a bounded sequential scan.
+    /// All paths keep the per-slice `norm_sq` arithmetic, so they agree
+    /// bitwise.
+    fn major_norms_into(&self, y: &mut [f64]) {
+        assert_eq!(y.len(), self.major_len(), "norms output length");
+        for k in 0..self.major_len() {
+            y[k] = self.slice(k).norm_sq();
+        }
+    }
 }
 
 impl SliceSource for CsrMatrix {}

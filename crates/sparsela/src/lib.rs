@@ -19,6 +19,9 @@
 //!   lane-reduction contract: every width is bitwise identical.
 //! * [`gram`] — sampled Gram matrices `Aₛᵀ Aₛ` and cross products
 //!   `Aₛᵀ [v w]`, the two reductions at the heart of Algorithms 1–4.
+//! * [`kernel`] — kernel functions (linear/polynomial/RBF) and the
+//!   bounded kernel-row cache behind the K-DCD/K-BDCD family; the
+//!   `m × m` kernel matrix is never materialized.
 //! * [`eig`] — Jacobi eigensolver and power iteration for the small
 //!   symmetric matrices whose largest eigenvalue sets the step size.
 //! * [`chol`] — small dense Cholesky (used for SPD validation and ridge
@@ -51,6 +54,7 @@ pub mod dense;
 pub mod eig;
 pub mod gram;
 pub mod io;
+pub mod kernel;
 pub mod qr;
 pub mod scale;
 pub mod shard;
@@ -64,6 +68,7 @@ pub use csc::CscMatrix;
 pub use csr::CsrMatrix;
 pub use dense::DenseMatrix;
 pub use gram::{GramWorkspace, MajorSlices, SliceSource};
+pub use kernel::{KernelCache, KernelCacheStats, KernelFn};
 pub use sympack::{pack_upper_into, packed_len, unpack_symmetric, unpack_symmetric_into};
 
 /// A borrowed view of one sparse row (CSR) or column (CSC): parallel slices

@@ -1332,6 +1332,26 @@ impl SliceSource for StreamingMatrix {
             }
         }
     }
+
+    /// Row norms from one bounded sequential shard scan (same transient
+    /// decode discipline as [`SliceSource::major_spmv_into`]).
+    fn major_norms_into(&self, y: &mut [f64]) {
+        assert_eq!(y.len(), self.major_len(), "norms output length");
+        let stats = &self.shared.stats;
+        for meta in &self.store.manifest().shards {
+            let t0 = Instant::now();
+            let d = Self::decode(&self.store, self.window, meta.index)
+                .unwrap_or_else(|e| panic!("shard {} read failed: {e}", meta.index));
+            StatCells::add_nanos(&stats.fg_read_nanos, t0.elapsed());
+            stats
+                .bytes_read
+                .fetch_add(meta.disk_bytes(), Ordering::Relaxed);
+            stats.shard_reads.fetch_add(1, Ordering::Relaxed);
+            for k in meta.lo..meta.hi {
+                y[k] = d.slice(k).norm_sq();
+            }
+        }
+    }
 }
 
 #[cfg(test)]

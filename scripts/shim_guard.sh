@@ -10,13 +10,19 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-# Patterns that only a solver main loop contains.
+# Patterns that only a solver main loop contains. The kernel-family
+# entries (begin_epoch / fill / eval) are the K-DCD tile: building or
+# transforming kernel rows anywhere but exec/kdcd.rs would fork the
+# replicated miss set the collective-skip optimization depends on.
 patterns=(
     'while h < cfg\.max_iters'
     'for h in 1\.\.=cfg\.max_iters'
     'sampled_gram'
     'sampled_cross'
     'iallreduce'
+    'KernelCache::new'
+    'begin_epoch'
+    '\.eval\('
 )
 
 status=0
@@ -33,9 +39,12 @@ done
 solver_patterns=(
     'lasso_family'
     'svm_family'
+    'kdcd_family'
     'sampled_gram'
     'sampled_cross'
     'KernelWorkspace'
+    'KernelCache'
+    'KernelFn'
     'Regularizer'
 )
 for pat in "${solver_patterns[@]}"; do
@@ -93,7 +102,10 @@ done
 
 # The launch path spawns ranks and merges reports; the solve itself must
 # route through the saco::net entry points, never the recurrence kernels.
-for pat in 'lasso_family' 'svm_family' 'sampled_gram' 'sampled_cross'; do
+# (`KernelFn::parse` for --kernel is fine — building or transforming
+# kernel rows is not.)
+for pat in 'lasso_family' 'svm_family' 'kdcd_family' 'sampled_gram' 'sampled_cross' \
+        'KernelCache' 'begin_epoch' '\.eval\('; do
     if hits=$(grep -rnE "$pat" crates/cli/src); then
         echo "shim_guard: solver-loop pattern '$pat' found in the CLI launch path:" >&2
         echo "$hits" >&2
