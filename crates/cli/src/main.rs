@@ -58,7 +58,20 @@
 //! iterates are bitwise identical to the in-memory run (see
 //! `docs/PERFORMANCE.md` §"Out-of-core streaming").
 //! saco cv       --data train.svm [--folds 5] [--num 12] [--ratio 0.01]
+//!               [--metrics report.json]
+//! saco serve    --model m.saco --data train.svm --listen unix:/tmp/s.sock
+//!               [--slo-ms 250] [--batch-max 64] [--train-iters 512]
+//!               [--chaos spec] [--max-requests N] [--metrics report.json]
 //! ```
+//!
+//! `--model-out <path>` (lasso, svm, ksvm, kridge) writes the trained
+//! model as a `saco-model/v1` artifact. Lasso (non-`--acc`) artifacts
+//! carry the residual bits and sampling provenance, so `saco serve` can
+//! resume training bitwise; the rest are score/inspect-only. `saco serve`
+//! answers score batches, train-delta, and warm-started λ-path-point
+//! requests over the netcomm framed transport, batching admissions by
+//! the Table-I α-β-γ cost model and publishing `serve.*` latency/SLO
+//! telemetry (see `docs/OBSERVABILITY.md` §"Serving").
 
 mod args;
 
@@ -75,6 +88,7 @@ use saco::net::{
 use saco::path::lasso_path;
 use saco::prox::Lasso;
 use saco::seq::{kdcd, sa_accbcd, sa_bcd, sa_svm};
+use saco::serve::{ModelArtifact, ServeConfig};
 use saco::sim::{
     record_kdcd_stats, sim_kdcd_chaos, sim_kdcd_instrumented, sim_sa_accbcd_chaos,
     sim_sa_accbcd_instrumented, sim_sa_bcd_chaos, sim_sa_bcd_instrumented,
@@ -126,6 +140,7 @@ fn main() {
         "launch" => cmd_launch(&args),
         "_netrank" => cmd_netrank(&args),
         "cv" => cmd_cv(&args),
+        "serve" => cmd_serve(&args),
         "help" => {
             print_usage();
             Ok(())
@@ -158,7 +173,16 @@ subcommands:
   launch    spawn --p real OS rank processes over a TCP/Unix socket mesh,
             solve, and merge the per-rank run reports (measured time)
   cv        k-fold cross-validated λ path
+  serve     answer score/train-delta/λ-path requests for a trained
+            --model artifact over a TCP/Unix socket (--listen), with
+            cost-model batching and serve.* SLO telemetry
   help      this message
+
+`--model-out <path>` (lasso, svm, ksvm, kridge) writes a saco-model/v1
+artifact. A non---acc lasso artifact is resumable: it stores the
+residual bits + sampling provenance, so `saco serve` continues training
+bitwise identically to an uncut run. Other families are score-only
+(kernel duals are inspect-only — they cannot be scored linearly).
 
 `--engine seq|sim|dist|net` (simulate; default sim) picks the backend:
 seq = sequential reference, sim = modeled virtual cluster (α-β-γ cost
@@ -560,8 +584,30 @@ fn lasso_cfg(args: &Args, lambda: f64) -> Result<LassoConfig, ArgError> {
     })
 }
 
+/// Write a model artifact and say what the server can do with it.
+fn save_artifact(art: &ModelArtifact, path: &str) -> Result<(), ArgError> {
+    art.save(Path::new(path))
+        .map_err(|e| ArgError(format!("write model {path}: {e}")))?;
+    println!(
+        "model artifact ({}, {} iters) written to {path}",
+        if art.resumable() {
+            "resumable"
+        } else {
+            "score-only"
+        },
+        art.iters
+    );
+    Ok(())
+}
+
 fn cmd_lasso(args: &Args) -> Result<(), ArgError> {
     if let Some((dir, budget)) = shard_source(args)? {
+        if args.get("model-out").is_some() {
+            return Err(ArgError(
+                "--model-out fingerprints the in-memory dataset; drop shard: to write an artifact"
+                    .into(),
+            ));
+        }
         return lasso_from_shards(args, &dir, budget);
     }
     let ds = load(args)?;
@@ -576,6 +622,21 @@ fn cmd_lasso(args: &Args) -> Result<(), ArgError> {
         cfg.s,
         cfg.max_iters
     );
+    if args.get("model-out").is_some() && !args.flag("acc") {
+        // The artifact trainer is the same driver run as sa_bcd — bitwise
+        // the same solve — but it also captures the residual bits and
+        // sampling provenance the server needs to resume training.
+        let art = ModelArtifact::train_lasso(&ds, &reg, lambda, &cfg);
+        println!(
+            "objective: {:.6e} (from {:.6e}); nonzeros: {}/{}",
+            art.final_obj,
+            art.initial_obj,
+            art.nonzeros(),
+            art.x.len()
+        );
+        save_artifact(&art, args.require("model-out")?)?;
+        return write_weights(args, &art.x);
+    }
     let res = if args.flag("acc") {
         sa_accbcd(&ds, &reg, &cfg)
     } else {
@@ -588,6 +649,21 @@ fn cmd_lasso(args: &Args) -> Result<(), ArgError> {
         vecops::nnz_count(&res.x, 1e-10),
         res.x.len()
     );
+    if let Some(mpath) = args.get("model-out") {
+        // Accelerated iterates have no single warm-startable residual
+        // chain: persist the solution score-only.
+        let art = ModelArtifact::from_solution(
+            "lasso-acc",
+            &ds,
+            &cfg,
+            lambda,
+            res.x.clone(),
+            cfg.max_iters,
+            res.trace.initial_value(),
+            res.final_value(),
+        );
+        save_artifact(&art, mpath)?;
+    }
     write_weights(args, &res.x)
 }
 
@@ -636,6 +712,28 @@ fn cmd_svm(args: &Args) -> Result<(), ArgError> {
         res.iters,
         prob.accuracy(&ds.a, &ds.b, &res.x)
     );
+    if let Some(mpath) = args.get("model-out") {
+        let prov = LassoConfig {
+            mu: 1,
+            s: cfg.s,
+            lambda: cfg.lambda,
+            seed: cfg.seed,
+            max_iters: cfg.max_iters,
+            trace_every: 0,
+            ..Default::default()
+        };
+        let art = ModelArtifact::from_solution(
+            "svm",
+            &ds,
+            &prov,
+            cfg.lambda,
+            res.x.clone(),
+            res.iters,
+            res.trace.initial_value(),
+            res.final_value(),
+        );
+        save_artifact(&art, mpath)?;
+    }
     write_weights(args, &res.x)
 }
 
@@ -672,6 +770,41 @@ fn kdcd_cfg(args: &Args, ksvm: bool) -> Result<KdcdConfig, ArgError> {
         overlap: parse_overlap(args)?,
         cache_budget_bytes,
     })
+}
+
+/// `--model-out` for the kernel duals: the α vector with provenance,
+/// inspect-only (a kernel model cannot be scored linearly, and the
+/// server's score path refuses it with a typed error).
+fn save_kdcd_model(
+    args: &Args,
+    ds: &Dataset,
+    cfg: &KdcdConfig,
+    name: &str,
+    res: &saco::SolveResult,
+) -> Result<(), ArgError> {
+    let Some(mpath) = args.get("model-out") else {
+        return Ok(());
+    };
+    let prov = LassoConfig {
+        mu: 1,
+        s: cfg.s,
+        lambda: cfg.lambda,
+        seed: cfg.seed,
+        max_iters: cfg.max_iters,
+        trace_every: 0,
+        ..Default::default()
+    };
+    let art = ModelArtifact::from_solution(
+        name,
+        ds,
+        &prov,
+        cfg.lambda,
+        res.x.clone(),
+        res.iters,
+        res.trace.initial_value(),
+        res.final_value(),
+    );
+    save_artifact(&art, mpath)
 }
 
 fn print_kdcd_result(res: &saco::SolveResult, stats: &KdcdStats) {
@@ -717,6 +850,12 @@ fn cmd_kdcd(args: &Args, ksvm: bool) -> Result<(), ArgError> {
             return Err(ArgError(format!(
                 "--data shard: streams {name} on the sequential engine only (got --engine {engine})"
             )));
+        }
+        if args.get("model-out").is_some() {
+            return Err(ArgError(
+                "--model-out fingerprints the in-memory dataset; drop shard: to write an artifact"
+                    .into(),
+            ));
         }
         let a = open_stream(&dir, budget, ShardAxis::Csr, name)?;
         let b = read_store_labels(&a, &dir)?;
@@ -767,6 +906,7 @@ fn cmd_kdcd(args: &Args, ksvm: bool) -> Result<(), ArgError> {
                 record_kdcd_stats(&mut telemetry, &stats);
                 write_metrics(args, &mut telemetry, path)?;
             }
+            save_kdcd_model(args, &ds, &cfg, name, &res)?;
             write_weights(args, &res.x)
         }
         "sim" => {
@@ -804,6 +944,7 @@ fn cmd_kdcd(args: &Args, ksvm: bool) -> Result<(), ArgError> {
                 telemetry.gauge_set("time.running", rep.running_time());
                 write_metrics(args, &mut telemetry, path)?;
             }
+            save_kdcd_model(args, &ds, &cfg, name, &res)?;
             write_weights(args, &res.x)
         }
         "dist" => {
@@ -827,6 +968,7 @@ fn cmd_kdcd(args: &Args, ksvm: bool) -> Result<(), ArgError> {
                 record_kdcd_stats(&mut telemetry, stats);
                 write_metrics(args, &mut telemetry, path)?;
             }
+            save_kdcd_model(args, &ds, &cfg, name, res)?;
             write_weights(args, &res.x)
         }
         "net" => {
@@ -860,6 +1002,7 @@ fn cmd_kdcd(args: &Args, ksvm: bool) -> Result<(), ArgError> {
                 record_kdcd_stats(&mut telemetry, stats);
                 write_metrics(args, &mut telemetry, path)?;
             }
+            save_kdcd_model(args, &ds, &cfg, name, res)?;
             write_weights(args, &res.x)
         }
         other => Err(ArgError(format!(
@@ -1661,5 +1804,78 @@ fn cmd_cv(args: &Args) -> Result<(), ArgError> {
         cv.best_lambda(),
         cv.lambda_1se()
     );
+    if cv.nan_folds > 0 {
+        println!(
+            "  {} non-finite fold cells ranked last (never selected); \
+             see cv.nan_folds in the run report",
+            cv.nan_folds
+        );
+    }
+    if let Some(path) = args.get("metrics") {
+        let mut telemetry = Registry::new();
+        telemetry.set_meta("engine", "sequential");
+        telemetry.set_meta("cli.engine", "seq");
+        telemetry.set_meta("solver", "cv_lasso");
+        saco::crossval::record_cv_stats(&mut telemetry, &cv, k);
+        write_metrics(args, &mut telemetry, path)?;
+    }
+    Ok(())
+}
+
+/// `saco serve`: load a `saco-model/v1` artifact plus the dataset it was
+/// trained on, listen on `--listen`, and answer score/train-delta/λ-path
+/// requests until Shutdown (or `--max-requests`). Batching follows the
+/// Table-I α-β-γ cost model; `--chaos` injects deterministic admission
+/// stragglers for tail-latency drills.
+fn cmd_serve(args: &Args) -> Result<(), ArgError> {
+    let mpath = args.require("model")?;
+    let art = ModelArtifact::load(Path::new(mpath))
+        .map_err(|e| ArgError(format!("load model {mpath}: {e}")))?;
+    let ds = load(args)?;
+    let listen = args.require("listen")?;
+    let addr = Addr::parse(listen).map_err(|e| ArgError(format!("--listen: {e}")))?;
+    let chaos = match args.get("chaos") {
+        Some(spec) => {
+            Some(mpisim::ChaosSpec::parse(spec).map_err(|e| ArgError(format!("--chaos: {e}")))?)
+        }
+        None => None,
+    };
+    let scfg = ServeConfig {
+        slo_ms: args.get_or("slo-ms", 250.0)?,
+        batch_max: args.get_or("batch-max", 64)?,
+        default_iters: args.get_or("train-iters", 512)?,
+        cost: CostModel::cray_xc30(),
+        chaos,
+        max_requests: args.get_opt("max-requests")?,
+    };
+    let listener =
+        saco::serve::Listener::bind(&addr).map_err(|e| ArgError(format!("bind {listen}: {e}")))?;
+    println!(
+        "serving {} model ({} × {}, λ = {:.6e}, {}) on {listen} — SLO {} ms, batch ≤ {}",
+        art.family,
+        art.m,
+        art.n,
+        art.lambda,
+        if art.resumable() {
+            "resumable"
+        } else {
+            "score-only"
+        },
+        scfg.slo_ms,
+        scfg.batch_max
+    );
+    let mut telemetry = Registry::new();
+    let report = saco::serve::serve(&listener, &ds, art, &scfg, &mut telemetry)
+        .map_err(|e| ArgError(format!("serve: {e}")))?;
+    println!(
+        "served {} requests | p99 {:.3} ms | {} SLO breaches | {} protocol errors",
+        report.requests, report.p99_ms, report.slo_breaches, report.protocol_errors
+    );
+    if let Some(path) = args.get("metrics") {
+        telemetry.set_meta("engine", "serve");
+        telemetry.set_meta("cli.engine", "serve");
+        telemetry.set_meta("solver", "serve");
+        write_metrics(args, &mut telemetry, path)?;
+    }
     Ok(())
 }

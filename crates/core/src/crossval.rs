@@ -28,34 +28,66 @@ pub struct CvPoint {
 pub struct CvResult {
     /// One entry per λ, largest λ first.
     pub points: Vec<CvPoint>,
+    /// How many (λ, fold) held-out MSE cells were non-finite — a diverged
+    /// fold poisons its λ's mean, and this count is the `cv.nan_folds`
+    /// telemetry counter that makes that visible instead of a panic.
+    pub nan_folds: u64,
+}
+
+/// Total order on MSE values ranking NaN strictly last, so a diverged
+/// fold can never be *selected* (and never panics the selection): any
+/// finite mean beats NaN, and all-NaN degenerates to the first point.
+fn mse_order(a: f64, b: f64) -> std::cmp::Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => std::cmp::Ordering::Equal,
+        (true, false) => std::cmp::Ordering::Greater,
+        (false, true) => std::cmp::Ordering::Less,
+        (false, false) => a.partial_cmp(&b).expect("both finite"),
+    }
 }
 
 impl CvResult {
-    /// The λ minimizing mean held-out MSE.
-    pub fn best_lambda(&self) -> f64 {
+    fn best_point(&self) -> &CvPoint {
         self.points
             .iter()
-            .min_by(|a, b| a.mean_mse.partial_cmp(&b.mean_mse).expect("finite MSEs"))
+            .min_by(|a, b| mse_order(a.mean_mse, b.mean_mse))
             .expect("nonempty CV result")
-            .lambda
+    }
+
+    /// The λ minimizing mean held-out MSE. NaN means (diverged folds)
+    /// rank last; if *every* λ diverged this returns the largest λ (the
+    /// most regularized, hence safest, model).
+    pub fn best_lambda(&self) -> f64 {
+        self.best_point().lambda
     }
 
     /// The one-standard-error rule: the *largest* λ whose mean MSE is
     /// within one standard error of the minimum — the conventional choice
-    /// for a sparser, more conservative model.
+    /// for a sparser, more conservative model. Falls back to
+    /// [`best_lambda`](Self::best_lambda) when the cutoff is NaN (every
+    /// fold diverged).
     pub fn lambda_1se(&self) -> f64 {
-        let best = self
-            .points
-            .iter()
-            .min_by(|a, b| a.mean_mse.partial_cmp(&b.mean_mse).expect("finite MSEs"))
-            .expect("nonempty CV result");
+        let best = self.best_point();
         let cutoff = best.mean_mse + best.std_error;
+        if cutoff.is_nan() {
+            return best.lambda;
+        }
         self.points
             .iter()
             .filter(|p| p.mean_mse <= cutoff)
             .map(|p| p.lambda)
-            .fold(f64::NEG_INFINITY, f64::max)
+            .fold(best.lambda, f64::max)
     }
+}
+
+/// Publish a sweep's `cv.*` counters and gauges into a telemetry
+/// registry: fold/λ shape, the NaN-fold count, and the two selected λs.
+pub fn record_cv_stats(reg: &mut saco_telemetry::Registry, cv: &CvResult, k: usize) {
+    reg.counter_add("cv.folds", k as u64);
+    reg.counter_add("cv.lambdas", cv.points.len() as u64);
+    reg.counter_add("cv.nan_folds", cv.nan_folds);
+    reg.gauge_set("cv.best_lambda", cv.best_lambda());
+    reg.gauge_set("cv.lambda_1se", cv.lambda_1se());
 }
 
 /// Deterministic fold assignment: a seeded shuffle of row indices split
@@ -138,15 +170,22 @@ pub fn cross_validate_lasso<R: Regularizer, F: Fn(f64) -> R + Copy>(
     make_reg: F,
 ) -> CvResult {
     let m = ds.a.rows();
+    // One fold plan for the whole sweep: every λ sees the same partition,
+    // and a serve-layer CV resume can reuse it verbatim.
     let fold_of = assign_folds(m, k, cfg.seed);
     // fold_mse[l][f] = held-out MSE of λ index l on fold f
     let mut fold_mse = vec![Vec::with_capacity(k); num_lambdas];
     let mut lambda_sum = vec![0.0f64; num_lambdas];
+    let mut nan_folds = 0u64;
     for fold in 0..k {
         let (train, test) = split_fold(ds, &fold_of, fold);
         let path = lasso_path(&train, cfg, num_lambdas, ratio, make_reg);
         for (l, p) in path.points.iter().enumerate() {
-            fold_mse[l].push(mse(&test, &p.x));
+            let e = mse(&test, &p.x);
+            if !e.is_finite() {
+                nan_folds += 1;
+            }
+            fold_mse[l].push(e);
             lambda_sum[l] += p.lambda;
         }
     }
@@ -163,7 +202,7 @@ pub fn cross_validate_lasso<R: Regularizer, F: Fn(f64) -> R + Copy>(
             }
         })
         .collect();
-    CvResult { points }
+    CvResult { points, nan_folds }
 }
 
 #[cfg(test)]
@@ -255,5 +294,84 @@ mod tests {
     fn empty_test_part_is_handled() {
         let ds = problem(7);
         assert_eq!(mse(&gather_rows(&ds, &[]), &vec![0.0; 60]), 0.0);
+    }
+
+    #[test]
+    fn nan_fold_never_panics_or_wins_selection() {
+        // Regression: selection used `partial_cmp(..).expect("finite
+        // MSEs")` and panicked the moment one fold diverged to NaN. A NaN
+        // mean must rank last, not win or abort.
+        let cv = CvResult {
+            points: vec![
+                CvPoint {
+                    lambda: 1.0,
+                    mean_mse: 4.0,
+                    std_error: 0.5,
+                },
+                CvPoint {
+                    lambda: 0.1,
+                    mean_mse: f64::NAN,
+                    std_error: f64::NAN,
+                },
+                CvPoint {
+                    lambda: 0.01,
+                    mean_mse: 3.0,
+                    std_error: 0.5,
+                },
+            ],
+            nan_folds: 4,
+        };
+        assert_eq!(cv.best_lambda(), 0.01);
+        // 1-SE cutoff 3.5: only λ = 0.01 qualifies (NaN never does).
+        assert_eq!(cv.lambda_1se(), 0.01);
+        let mut reg = saco_telemetry::Registry::new();
+        record_cv_stats(&mut reg, &cv, 4);
+        assert_eq!(reg.counter("cv.nan_folds"), 4);
+    }
+
+    #[test]
+    fn all_nan_sweep_degrades_to_largest_lambda() {
+        let cv = CvResult {
+            points: vec![
+                CvPoint {
+                    lambda: 1.0,
+                    mean_mse: f64::NAN,
+                    std_error: f64::NAN,
+                },
+                CvPoint {
+                    lambda: 0.1,
+                    mean_mse: f64::NAN,
+                    std_error: f64::NAN,
+                },
+            ],
+            nan_folds: 8,
+        };
+        assert_eq!(cv.best_lambda(), 1.0);
+        assert_eq!(cv.lambda_1se(), 1.0);
+    }
+
+    #[test]
+    fn injected_nan_label_is_counted_not_fatal() {
+        // End to end: one NaN label poisons every fold containing that
+        // row (training residual or held-out MSE), the sweep still
+        // completes, counts the poisoned cells, and selects *something*.
+        let mut ds = problem(9);
+        ds.b[17] = f64::NAN;
+        let cfg = LassoConfig {
+            mu: 4,
+            s: 8,
+            max_iters: 200,
+            trace_every: 0,
+            seed: 5,
+            ..Default::default()
+        };
+        let cv = cross_validate_lasso(&ds, &cfg, 4, 4, 0.05, Lasso::new);
+        assert!(
+            cv.nan_folds > 0,
+            "the NaN row must poison at least one cell"
+        );
+        // Selection must be panic-free whatever survived.
+        let _ = cv.best_lambda();
+        let _ = cv.lambda_1se();
     }
 }

@@ -272,6 +272,91 @@ where
     }
 }
 
+/// Fast-forward a fresh RNG past the sampling draws of a completed
+/// (non-accelerated) training run: re-draw the `iters` per-iteration
+/// selections the driver drew, in the driver's order, and discard them.
+/// The returned RNG is in exactly the state training left it, which is
+/// what lets a serve-layer train-delta continue the *same* global draw
+/// sequence — `iters` trained + `k` resumed is bitwise `iters + k`
+/// trained from scratch whenever `iters` is a multiple of `s` (so the
+/// block boundaries line up).
+pub(crate) fn replay_sampling(
+    seed: u64,
+    n: usize,
+    mu: usize,
+    sampling: crate::config::BlockSampling,
+    iters: usize,
+) -> Rng {
+    let mut rng = rng_from_seed(seed);
+    let mut scratch = Vec::with_capacity(mu);
+    for _ in 0..iters {
+        scratch.clear();
+        crate::seq::sample_block_into(&mut rng, n, mu, sampling, &mut scratch);
+    }
+    rng
+}
+
+/// One warm-started segment of plain (non-accelerated) SA-BCD: resume
+/// from the caller's iterate `x` and residual `Ax − b`, advance both in
+/// place for `cfg.max_iters` further inner iterations, and return how many
+/// ran. The RNG and the kernel workspace are caller-owned, so a λ sweep
+/// (or a resumed training session) keeps *one* global draw order and one
+/// set of Gram/cross/selection buffers across every segment — which is
+/// exactly what makes path point k a nearly-free seed for point k+1.
+///
+/// Float-for-float this is [`lasso_family`] with `accel = false` and the
+/// initial state supplied instead of zeroed: same hooks, same driver, same
+/// inner recurrence. The accelerated family is deliberately not offered
+/// here — its momentum sequence is tied to the iterate and does not
+/// restart cleanly from an arbitrary point.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn lasso_family_warm<'r, B: ExecBackend<'r>, R: Regularizer, M: SliceSource + Sync>(
+    a: &M,
+    reg: &R,
+    cfg: &LassoConfig,
+    backend: &mut B,
+    rng: &mut Rng,
+    ws: &mut KernelWorkspace,
+    x: &mut Vec<f64>,
+    residual: &mut Vec<f64>,
+) -> usize {
+    let n = a.major_len();
+    cfg.validate(n);
+    assert_eq!(x.len(), n, "warm-start iterate length mismatch");
+    assert_eq!(
+        residual.len(),
+        a.minor_len(),
+        "warm-start residual length mismatch"
+    );
+    let mut spec = LassoSpec {
+        reg,
+        cfg,
+        accel: false,
+        q: cfg.q(n),
+        mu: cfg.mu,
+        n,
+        theta: cfg.mu as f64 / n as f64,
+        y: Vec::new(),
+        z: std::mem::take(x),
+        ytilde: Vec::new(),
+        ztilde: std::mem::take(residual),
+        trace: ConvergenceTrace::new(),
+        last_traced: 0.0,
+    };
+    // The rel_tol baseline is the warm objective (trace pushes inside the
+    // driver are pure — they never perturb the iterate).
+    spec.last_traced = lasso_objective_from_residual(&spec.ztilde, reg, &spec.z);
+    let sched = Schedule {
+        max_iters: cfg.max_iters,
+        s: cfg.s,
+        overlap: cfg.overlap,
+    };
+    let h = drive(a, sched, rng, ws, backend, &mut spec);
+    *x = spec.z;
+    *residual = spec.ztilde;
+    h
+}
+
 /// Solve `min_x ½‖Ax − b‖² + g(x)` on backend `B`.
 ///
 /// `a`/`b` are the full problem for replicated engines and this rank's

@@ -40,7 +40,7 @@ pub(crate) use backends::{pack_fused, unpack_fused, DistBackend, SeqBackend, Sim
 pub(crate) use driver::Payload;
 pub(crate) use kdcd::kdcd_family;
 pub use kdcd::KdcdStats;
-pub(crate) use lasso::lasso_family;
+pub(crate) use lasso::{lasso_family, lasso_family_warm, replay_sampling};
 pub(crate) use net::NetBackend;
 pub(crate) use svm::svm_family;
 

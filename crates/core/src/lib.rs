@@ -60,6 +60,7 @@ pub mod path;
 pub mod problem;
 pub mod prox;
 pub mod seq;
+pub mod serve;
 pub mod sim;
 pub mod stream;
 pub mod trace;

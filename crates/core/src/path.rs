@@ -8,18 +8,27 @@
 //! makes the whole path only a few times more expensive than a single cold
 //! solve.
 //!
+//! Each segment is one [`crate::exec::lasso_family_warm`] run on the
+//! `FamilySpec` driver — the same skeleton, workspace, and inner
+//! recurrence as every other engine entry point (no hand-rolled solver
+//! loop lives here; `scripts/shim_guard.sh` enforces that). The RNG, the
+//! iterate/residual pair, and the kernel workspace are owned by the sweep
+//! and threaded through every segment, so the whole path performs one
+//! global sequence of sampling draws and allocates its Gram/cross/
+//! selection buffers exactly once.
+//!
 //! Warm-starting an *accelerated* method is delicate (the momentum
 //! sequence is tied to the iterate), so the path solver uses the
 //! non-accelerated SA-BCD, which restarts cleanly from any point.
 
 use crate::config::LassoConfig;
+use crate::exec::{ExecBackend, SeqBackend};
 use crate::problem::lasso_objective_from_residual;
 use crate::prox::Regularizer;
-use crate::seq::{block_lipschitz, sample_block};
 use crate::trace::{ConvergenceTrace, SolveResult};
-use sparsela::gram::{sampled_cross, sampled_gram};
+use crate::workspace::KernelWorkspace;
 use sparsela::io::Dataset;
-use sparsela::vecops;
+use sparsela::{vecops, SliceSource};
 use xrng::rng_from_seed;
 
 /// One solved point on a regularization path.
@@ -58,6 +67,82 @@ impl RegularizationPath {
     }
 }
 
+/// The geometric λ grid of a path: `num_lambdas` values spanning
+/// `[ratio·λ_max, λ_max]`, largest first, with `λ_max = ‖Aᵀb‖∞` computed
+/// exactly as the sweep entry points always have (CSR transposed product,
+/// row-major accumulation order).
+pub(crate) fn lambda_grid(ds: &Dataset, num_lambdas: usize, ratio: f64) -> Vec<f64> {
+    assert!(num_lambdas >= 1, "need at least one lambda");
+    assert!(
+        (0.0..1.0).contains(&ratio) || num_lambdas == 1,
+        "ratio must be in (0,1)"
+    );
+    let atb = ds.a.spmv_t(&ds.b);
+    let lambda_max = vecops::inf_norm(&atb).max(f64::MIN_POSITIVE);
+    if num_lambdas == 1 {
+        vec![lambda_max]
+    } else {
+        (0..num_lambdas)
+            .map(|k| lambda_max * ratio.powf(k as f64 / (num_lambdas - 1) as f64))
+            .collect()
+    }
+}
+
+/// Sweep the λ grid on backend `B`: one warm-started driver segment per λ,
+/// carrying the iterate, residual, RNG, and workspace across segments.
+///
+/// `cfg.max_iters` is the per-segment budget. The per-segment config pins
+/// `trace_every = 0` and `rel_tol = None`: a path point is defined by its
+/// iteration budget, so every engine (and every serve-layer resume) runs
+/// the same number of inner iterations and stays bitwise reproducible.
+pub(crate) fn drive_path<'r, B, R, F, M>(
+    a: &M,
+    b: &[f64],
+    lambdas: &[f64],
+    cfg: &LassoConfig,
+    make_reg: F,
+    backend: &mut B,
+    ws: &mut KernelWorkspace,
+) -> RegularizationPath
+where
+    B: ExecBackend<'r>,
+    R: Regularizer,
+    F: Fn(f64) -> R,
+    M: SliceSource + Sync,
+{
+    let n = a.major_len();
+    cfg.validate(n);
+    let seg_cfg = LassoConfig {
+        trace_every: 0,
+        rel_tol: None,
+        ..cfg.clone()
+    };
+    let mut rng = rng_from_seed(cfg.seed);
+    let mut x = vec![0.0; n];
+    let mut residual: Vec<f64> = b.iter().map(|v| -v).collect();
+    let mut points = Vec::with_capacity(lambdas.len());
+    for &lambda in lambdas {
+        let reg = make_reg(lambda);
+        crate::exec::lasso_family_warm(
+            a,
+            &reg,
+            &seg_cfg,
+            backend,
+            &mut rng,
+            ws,
+            &mut x,
+            &mut residual,
+        );
+        points.push(PathPoint {
+            lambda,
+            objective: lasso_objective_from_residual(&residual, &reg, &x),
+            nonzeros: vecops::nnz_count(&x, 1e-10),
+            x: x.clone(),
+        });
+    }
+    RegularizationPath { points }
+}
+
 /// Compute a Lasso-style path with `num_lambdas` geometrically spaced
 /// values in `[ratio·λ_max, λ_max]`, each segment solved by warm-started
 /// SA-BCD with the settings in `cfg` (whose `lambda` field is ignored;
@@ -82,86 +167,18 @@ pub fn lasso_path<R: Regularizer, F: Fn(f64) -> R>(
     ratio: f64,
     make_reg: F,
 ) -> RegularizationPath {
-    assert!(num_lambdas >= 1, "need at least one lambda");
-    assert!(
-        (0.0..1.0).contains(&ratio) || num_lambdas == 1,
-        "ratio must be in (0,1)"
-    );
-    let n = ds.a.cols();
-    cfg.validate(n);
-    let atb = ds.a.spmv_t(&ds.b);
-    let lambda_max = vecops::inf_norm(&atb).max(f64::MIN_POSITIVE);
-
-    let lambdas: Vec<f64> = if num_lambdas == 1 {
-        vec![lambda_max]
-    } else {
-        (0..num_lambdas)
-            .map(|k| lambda_max * ratio.powf(k as f64 / (num_lambdas - 1) as f64))
-            .collect()
-    };
-
+    let lambdas = lambda_grid(ds, num_lambdas, ratio);
     let csc = ds.a.to_csc();
-    let mut rng = rng_from_seed(cfg.seed);
-    let mut x = vec![0.0; n];
-    let mut residual: Vec<f64> = ds.b.iter().map(|b| -b).collect();
-    let mut points = Vec::with_capacity(num_lambdas);
-
-    for &lambda in &lambdas {
-        let reg = make_reg(lambda);
-        // Warm-started SA-BCD on this segment (the residual and x carry
-        // over; only λ changes).
-        let mut h = 0usize;
-        while h < cfg.max_iters {
-            let s_block = cfg.s.min(cfg.max_iters - h);
-            let width = s_block * cfg.mu;
-            let mut sel = Vec::with_capacity(width);
-            for _ in 0..s_block {
-                sel.extend(sample_block(&mut rng, n, cfg.mu, cfg.sampling));
-            }
-            let gram = sampled_gram(&csc, &sel);
-            let cross = sampled_cross(&csc, &sel, &[&residual]);
-            let mut deltas = vec![0.0f64; width];
-            for j in 1..=s_block {
-                let off = (j - 1) * cfg.mu;
-                let coords = &sel[off..off + cfg.mu];
-                let gjj = gram.diag_block(off, off + cfg.mu);
-                let lip = block_lipschitz(&gjj);
-                h += 1;
-                if lip <= 0.0 {
-                    continue;
-                }
-                let eta = 1.0 / lip;
-                let mut cand = Vec::with_capacity(cfg.mu);
-                for a in 0..cfg.mu {
-                    let row = off + a;
-                    let mut grad = cross.get(row, 0);
-                    for t in 1..j {
-                        let toff = (t - 1) * cfg.mu;
-                        for b in 0..cfg.mu {
-                            grad += gram.get(row, toff + b) * deltas[toff + b];
-                        }
-                    }
-                    cand.push(x[coords[a]] - eta * grad);
-                }
-                reg.prox_block(&mut cand, coords, eta);
-                for (a, &c) in coords.iter().enumerate() {
-                    let dx = cand[a] - x[c];
-                    deltas[off + a] = dx;
-                    if dx != 0.0 {
-                        x[c] += dx;
-                        csc.col(c).axpy_into(dx, &mut residual);
-                    }
-                }
-            }
-        }
-        points.push(PathPoint {
-            lambda,
-            objective: lasso_objective_from_residual(&residual, &reg, &x),
-            nonzeros: vecops::nnz_count(&x, 1e-10),
-            x: x.clone(),
-        });
-    }
-    RegularizationPath { points }
+    let mut ws = KernelWorkspace::new();
+    drive_path(
+        &csc,
+        &ds.b,
+        &lambdas,
+        cfg,
+        make_reg,
+        &mut SeqBackend::new(),
+        &mut ws,
+    )
 }
 
 /// Convenience: turn the last path point into a [`SolveResult`]-shaped
@@ -266,5 +283,48 @@ mod tests {
         let res = path_as_result(&path);
         assert_eq!(res.trace.len(), 5);
         assert_eq!(res.x.len(), ds.a.cols());
+    }
+
+    #[test]
+    fn workspace_buffers_are_reused_across_segments() {
+        // PR 2's zero-alloc contract, extended to the path: one workspace
+        // serves every segment, so after the first block its buffers reach
+        // steady-state capacity and never reallocate again.
+        let ds = problem(6);
+        let c = LassoConfig {
+            mu: 4,
+            s: 8,
+            max_iters: 64,
+            trace_every: 0,
+            ..Default::default()
+        };
+        let lambdas = lambda_grid(&ds, 5, 0.05);
+        let csc = ds.a.to_csc();
+        let mut ws = KernelWorkspace::new();
+        let mut backend = SeqBackend::new();
+        // First segment grows every buffer to steady state…
+        drive_path(
+            &csc,
+            &ds.b,
+            &lambdas[..1],
+            &c,
+            Lasso::new,
+            &mut backend,
+            &mut ws,
+        );
+        let caps = (ws.sel.capacity(), ws.deltas.capacity(), ws.cand.capacity());
+        // …and the remaining segments must not grow any of them.
+        drive_path(
+            &csc,
+            &ds.b,
+            &lambdas[1..],
+            &c,
+            Lasso::new,
+            &mut backend,
+            &mut ws,
+        );
+        assert_eq!(ws.sel.capacity(), caps.0, "sel reallocated");
+        assert_eq!(ws.deltas.capacity(), caps.1, "deltas reallocated");
+        assert_eq!(ws.cand.capacity(), caps.2, "cand reallocated");
     }
 }

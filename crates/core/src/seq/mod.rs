@@ -37,6 +37,11 @@ pub use svm::svm;
 /// line 5), or whole aligned groups (for exact Group Lasso proximal
 /// steps). All solvers — sequential, distributed, simulated — share this
 /// function so their RNG streams coincide.
+///
+/// Production callers all migrated to [`sample_block_into`] (PR 10 moved
+/// the last one, the path solver, onto the driver); this wrapper stays as
+/// the reference the RNG-equivalence tests pin `_into` against.
+#[cfg(test)]
 pub(crate) fn sample_block(
     rng: &mut xrng::Rng,
     n: usize,
@@ -48,7 +53,7 @@ pub(crate) fn sample_block(
     coords
 }
 
-/// [`sample_block`] appending into a caller-owned buffer (same generator
+/// `sample_block` appending into a caller-owned buffer (same generator
 /// draws), so the SA outer loops reuse one selection vector across
 /// iterations instead of allocating per block drawn.
 pub(crate) fn sample_block_into(

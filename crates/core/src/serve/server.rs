@@ -1,0 +1,676 @@
+//! The serving loop: concurrent connections, cost-model-driven batching,
+//! warm-start caches, and per-request SLO telemetry.
+//!
+//! Architecture: the accept loop hands each connection to a reader
+//! thread; readers decode frames into jobs on one shared admission queue;
+//! a single worker thread owns all solver state and drains the queue —
+//! batching consecutive score requests up to the admission target —
+//! and answers each job through its reply channel. One worker is not a
+//! bottleneck but the *consistency contract*: train-delta and path
+//! segments mutate warm state, and a single mutation order is what keeps
+//! a resumed chain bitwise reproducible.
+//!
+//! The admission target comes from the Table-I α-β-γ cost terms: a batch
+//! of `b` rows costs `α + b·(2·nnz/dot_rate + 16·nnz·β)` — one dispatch
+//! latency amortized over `b` row services — so the policy picks the
+//! smallest `b` that keeps the α share under 10%, clamped so a full batch
+//! still fits inside half the SLO. Scoring never waits for a batch to
+//! fill: the target caps how much queued work one dispatch drains.
+
+use super::artifact::{dataset_fingerprint, ModelArtifact};
+use super::proto::{Request, Response};
+use crate::problem::lasso_objective_from_residual;
+use crate::prox::Lasso;
+use crate::workspace::KernelWorkspace;
+use mpisim::{ChaosSpec, CostModel};
+use netcomm::frame::{Frame, FrameKind};
+use netcomm::{Listener, NetError};
+use saco_telemetry::Registry;
+use sparsela::io::Dataset;
+use sparsela::{CscMatrix, SparseSlice};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+use xrng::Rng;
+
+/// Server policy knobs.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Latency SLO per request, milliseconds; responses slower than this
+    /// increment `serve.slo.breaches`.
+    pub slo_ms: f64,
+    /// Hard cap on the score batch size (the cost-model target is
+    /// clamped to this).
+    pub batch_max: usize,
+    /// Default per-segment iteration budget when a train/path request
+    /// asks for 0 iterations.
+    pub default_iters: u64,
+    /// α-β-γ machine model driving the admission/batching policy.
+    pub cost: CostModel,
+    /// Optional deterministic straggler injection: each admitted job
+    /// draws against `straggle`; stragglers sleep up to `jitter` seconds.
+    pub chaos: Option<ChaosSpec>,
+    /// Stop after this many requests (None = run until Shutdown).
+    pub max_requests: Option<u64>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            slo_ms: 250.0,
+            batch_max: 64,
+            default_iters: 512,
+            cost: CostModel::cray_xc30(),
+            chaos: None,
+            max_requests: None,
+        }
+    }
+}
+
+/// End-of-run summary (the registry carries the full `serve.*` taxonomy).
+#[derive(Clone, Debug, Default)]
+pub struct ServeReport {
+    /// Requests answered (errors included).
+    pub requests: u64,
+    /// Malformed frames / refused requests.
+    pub protocol_errors: u64,
+    /// Responses slower than the SLO.
+    pub slo_breaches: u64,
+    /// p99 latency over all answered requests, milliseconds.
+    pub p99_ms: f64,
+}
+
+struct Job {
+    req: Request,
+    enqueued: Instant,
+    reply: mpsc::Sender<Response>,
+}
+
+#[derive(Default)]
+struct Stats {
+    latencies_ms: Vec<f64>,
+    queue_depth_max: u64,
+    batch_size_max: u64,
+    batches: u64,
+    rows_scored: u64,
+    score: u64,
+    train: u64,
+    path: u64,
+    stats_reqs: u64,
+    errors: u64,
+    slo_breaches: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    straggled: u64,
+}
+
+struct Queue {
+    jobs: Mutex<VecDeque<Job>>,
+    ready: Condvar,
+    stop: AtomicBool,
+    admitted: AtomicU64,
+}
+
+impl Queue {
+    fn push(&self, job: Job, stats: &Mutex<Stats>) {
+        let mut q = self.jobs.lock().expect("queue lock");
+        q.push_back(job);
+        let depth = q.len() as u64;
+        drop(q);
+        let mut st = stats.lock().expect("stats lock");
+        st.queue_depth_max = st.queue_depth_max.max(depth);
+        drop(st);
+        self.ready.notify_one();
+    }
+}
+
+/// The worker-owned solver state: the scoring model plus the two warm
+/// chains (train resume, λ path) and their shared workspace.
+struct SolverState {
+    csc: CscMatrix,
+    n: usize,
+    artifact: ModelArtifact,
+    ws: KernelWorkspace,
+    // Train chain: restored from the artifact (iterate + residual bits +
+    // replayed RNG), advanced by TrainDelta requests.
+    train_x: Vec<f64>,
+    train_residual: Vec<f64>,
+    train_rng: Option<Rng>,
+    train_iters: u64,
+    // Path chain: cold start (x = 0, fresh RNG at the artifact seed), so
+    // a grid requested largest-λ-first reproduces `lasso_path` bitwise;
+    // point k's state seeds point k+1.
+    path_x: Vec<f64>,
+    path_residual: Vec<f64>,
+    path_rng: Rng,
+    // λ bits → (objective, nonzeros): an exact repeat is a free hit.
+    path_cache: BTreeMap<u64, (f64, usize)>,
+}
+
+impl SolverState {
+    fn new(ds: &Dataset, artifact: ModelArtifact) -> SolverState {
+        let n = ds.a.cols();
+        let resumable = artifact.resumable();
+        let (train_x, train_residual, train_rng) = if resumable {
+            (
+                artifact.x.clone(),
+                artifact.residual.clone(),
+                Some(crate::exec::replay_sampling(
+                    artifact.seed,
+                    n,
+                    artifact.mu,
+                    artifact.sampling,
+                    artifact.iters,
+                )),
+            )
+        } else {
+            (artifact.x.clone(), Vec::new(), None)
+        };
+        SolverState {
+            csc: ds.a.to_csc(),
+            n,
+            train_x,
+            train_residual,
+            train_rng,
+            train_iters: artifact.iters as u64,
+            path_x: vec![0.0; n],
+            path_residual: ds.b.iter().map(|v| -v).collect(),
+            path_rng: xrng::rng_from_seed(artifact.seed),
+            path_cache: BTreeMap::new(),
+            ws: KernelWorkspace::new(),
+            artifact,
+        }
+    }
+
+    fn score(&self, idx: &[usize], val: &[f64]) -> Result<f64, String> {
+        if self.train_x.len() != self.n {
+            return Err(format!(
+                "family {:?} model has length {}, not the feature count {} — \
+                 it cannot be scored linearly",
+                self.artifact.family,
+                self.train_x.len(),
+                self.n
+            ));
+        }
+        if let Some(&j) = idx.last() {
+            if j >= self.n {
+                return Err(format!("feature index {j} out of range (n = {})", self.n));
+            }
+        }
+        let slice = SparseSlice {
+            indices: idx,
+            values: val,
+        };
+        Ok(slice.dot_dense(&self.train_x))
+    }
+
+    fn train_delta(&mut self, lambda: f64, iters: u64) -> Result<Response, String> {
+        let rng = self
+            .train_rng
+            .as_mut()
+            .ok_or_else(|| format!("family {:?} is not resumable", self.artifact.family))?;
+        let cfg = self.artifact.lasso_config(iters as usize);
+        let reg = Lasso::new(lambda);
+        crate::exec::lasso_family_warm(
+            &self.csc,
+            &reg,
+            &cfg,
+            &mut crate::exec::SeqBackend::new(),
+            rng,
+            &mut self.ws,
+            &mut self.train_x,
+            &mut self.train_residual,
+        );
+        self.train_iters += iters;
+        Ok(Response::Train {
+            objective: lasso_objective_from_residual(&self.train_residual, &reg, &self.train_x),
+            nonzeros: sparsela::vecops::nnz_count(&self.train_x, 1e-10) as u64,
+            total_iters: self.train_iters,
+        })
+    }
+
+    fn path_point(&mut self, lambda: f64, iters: u64) -> Result<Response, String> {
+        if !self.artifact.resumable() {
+            return Err(format!(
+                "family {:?} has no warm-startable path solver",
+                self.artifact.family
+            ));
+        }
+        if !(lambda.is_finite() && lambda > 0.0) {
+            return Err(format!(
+                "path lambda must be finite and positive, got {lambda}"
+            ));
+        }
+        if let Some(&(objective, nonzeros)) = self.path_cache.get(&lambda.to_bits()) {
+            return Ok(Response::Path {
+                objective,
+                nonzeros: nonzeros as u64,
+                cached: true,
+            });
+        }
+        let cfg = self.artifact.lasso_config(iters as usize);
+        let reg = Lasso::new(lambda);
+        crate::exec::lasso_family_warm(
+            &self.csc,
+            &reg,
+            &cfg,
+            &mut crate::exec::SeqBackend::new(),
+            &mut self.path_rng,
+            &mut self.ws,
+            &mut self.path_x,
+            &mut self.path_residual,
+        );
+        let objective = lasso_objective_from_residual(&self.path_residual, &reg, &self.path_x);
+        let nonzeros = sparsela::vecops::nnz_count(&self.path_x, 1e-10);
+        self.path_cache
+            .insert(lambda.to_bits(), (objective, nonzeros));
+        Ok(Response::Path {
+            objective,
+            nonzeros: nonzeros as u64,
+            cached: false,
+        })
+    }
+}
+
+/// The Table-I admission target: smallest batch size whose α share is
+/// under 10%, clamped to `batch_max` and to half the SLO.
+fn batch_target(cfg: &ServeConfig, avg_row_nnz: f64) -> usize {
+    let alpha = cfg.cost.alpha;
+    let row_cost = 2.0 * avg_row_nnz / cfg.cost.dot_rate + 16.0 * avg_row_nnz * cfg.cost.beta;
+    // α ≤ 0.1 · b · row_cost  ⇒  b ≥ 10α / row_cost
+    let amortize = (10.0 * alpha / row_cost.max(1e-30)).ceil();
+    // α + b · row_cost ≤ slo/2  ⇒  b ≤ (slo/2 − α) / row_cost
+    let slo_s = cfg.slo_ms / 1e3;
+    let slo_cap = ((0.5 * slo_s - alpha) / row_cost.max(1e-30)).floor();
+    let b = amortize.min(slo_cap).max(1.0) as usize;
+    b.clamp(1, cfg.batch_max.max(1))
+}
+
+/// Deterministic straggler draw for admitted job number `k`: a pure
+/// function of `(chaos.seed, k)`, so a replay injects the same stalls.
+fn straggle_delay(chaos: &ChaosSpec, k: u64) -> Option<Duration> {
+    let mut rng =
+        xrng::rng_from_seed(chaos.seed ^ 0x5E87_AC4E ^ k.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    if rng.next_f64() < chaos.straggle {
+        let frac = rng.next_f64();
+        Some(Duration::from_secs_f64(chaos.jitter.max(0.0) * frac))
+    } else {
+        None
+    }
+}
+
+fn record_latency(stats: &Mutex<Stats>, slo_ms: f64, enqueued: Instant) {
+    let ms = enqueued.elapsed().as_secs_f64() * 1e3;
+    let mut st = stats.lock().expect("stats lock");
+    st.latencies_ms.push(ms);
+    if ms > slo_ms {
+        st.slo_breaches += 1;
+    }
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+fn worker_loop(queue: &Queue, stats: &Mutex<Stats>, cfg: &ServeConfig, mut state: SolverState) {
+    let avg_nnz = (state.csc.nnz() as f64 / state.csc.rows().max(1) as f64).max(1.0);
+    let target = batch_target(cfg, avg_nnz);
+    let mut admitted = 0u64;
+    loop {
+        let mut q = queue.jobs.lock().expect("queue lock");
+        while q.is_empty() && !queue.stop.load(Ordering::SeqCst) {
+            let (guard, _) = queue
+                .ready
+                .wait_timeout(q, Duration::from_millis(50))
+                .expect("queue wait");
+            q = guard;
+        }
+        let Some(job) = q.pop_front() else {
+            if queue.stop.load(Ordering::SeqCst) {
+                return;
+            }
+            continue;
+        };
+        // Admission: drain queued score work behind a score head-of-line,
+        // up to the cost-model target — one dispatch, many rows.
+        let mut batch = vec![job];
+        if matches!(batch[0].req, Request::Score { .. }) {
+            while batch.len() < target {
+                match q.front() {
+                    Some(j) if matches!(j.req, Request::Score { .. }) => {
+                        batch.push(q.pop_front().expect("checked front"));
+                    }
+                    _ => break,
+                }
+            }
+        }
+        drop(q);
+
+        if let Some(chaos) = &cfg.chaos {
+            if let Some(delay) = straggle_delay(chaos, admitted) {
+                std::thread::sleep(delay);
+                stats.lock().expect("stats lock").straggled += 1;
+            }
+        }
+        admitted += 1;
+
+        {
+            let mut st = stats.lock().expect("stats lock");
+            st.batches += 1;
+            st.batch_size_max = st.batch_size_max.max(batch.len() as u64);
+        }
+        for job in batch {
+            let resp = match &job.req {
+                Request::Score { rows } => {
+                    let mut preds = Vec::with_capacity(rows.len());
+                    let mut err = None;
+                    for (idx, val) in rows {
+                        match state.score(idx, val) {
+                            Ok(p) => preds.push(p),
+                            Err(e) => {
+                                err = Some(e);
+                                break;
+                            }
+                        }
+                    }
+                    let mut st = stats.lock().expect("stats lock");
+                    st.score += 1;
+                    st.rows_scored += preds.len() as u64;
+                    drop(st);
+                    match err {
+                        None => Response::Scores(preds),
+                        Some(e) => Response::Error(e),
+                    }
+                }
+                Request::TrainDelta { lambda, iters } => {
+                    stats.lock().expect("stats lock").train += 1;
+                    let iters = if *iters == 0 {
+                        cfg.default_iters
+                    } else {
+                        *iters
+                    };
+                    state
+                        .train_delta(*lambda, iters)
+                        .unwrap_or_else(Response::Error)
+                }
+                Request::PathPoint { lambda, iters } => {
+                    let iters = if *iters == 0 {
+                        cfg.default_iters
+                    } else {
+                        *iters
+                    };
+                    let resp = state
+                        .path_point(*lambda, iters)
+                        .unwrap_or_else(Response::Error);
+                    let mut st = stats.lock().expect("stats lock");
+                    st.path += 1;
+                    match resp {
+                        Response::Path { cached: true, .. } => st.cache_hits += 1,
+                        Response::Path { cached: false, .. } => st.cache_misses += 1,
+                        _ => {}
+                    }
+                    drop(st);
+                    resp
+                }
+                Request::Stats => {
+                    let mut snapshot = Registry::new();
+                    publish(&mut snapshot, &stats.lock().expect("stats lock"), cfg);
+                    stats.lock().expect("stats lock").stats_reqs += 1;
+                    Response::Stats(saco_telemetry::run_report_json(&snapshot))
+                }
+                Request::Shutdown => {
+                    queue.stop.store(true, Ordering::SeqCst);
+                    Response::Stats("bye".to_string())
+                }
+            };
+            if matches!(resp, Response::Error(_)) {
+                stats.lock().expect("stats lock").errors += 1;
+            }
+            record_latency(stats, cfg.slo_ms, job.enqueued);
+            let _ = job.reply.send(resp);
+            let done = queue.admitted.fetch_add(1, Ordering::SeqCst) + 1;
+            if let Some(max) = cfg.max_requests {
+                if done >= max {
+                    queue.stop.store(true, Ordering::SeqCst);
+                }
+            }
+        }
+        if queue.stop.load(Ordering::SeqCst) {
+            // Drain whatever is still queued so no client hangs, then exit.
+            let mut q = queue.jobs.lock().expect("queue lock");
+            while let Some(j) = q.pop_front() {
+                let _ = j
+                    .reply
+                    .send(Response::Error("server shutting down".to_string()));
+            }
+            return;
+        }
+    }
+}
+
+fn reader_loop(stream: netcomm::Stream, queue: &Queue, stats: &Mutex<Stats>) {
+    let _ = stream.set_io_timeout(Some(Duration::from_millis(100)));
+    let mut s = stream;
+    loop {
+        if queue.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let frame = match Frame::read_from(&mut s) {
+            Ok(Ok(f)) => f,
+            Ok(Err(_)) => {
+                stats.lock().expect("stats lock").errors += 1;
+                return;
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => return, // EOF / reset: client left
+        };
+        if frame.kind == FrameKind::Bye {
+            return;
+        }
+        let seq = frame.seq;
+        match Request::from_frame(&frame) {
+            Ok(req) => {
+                let (tx, rx) = mpsc::channel();
+                queue.push(
+                    Job {
+                        req,
+                        enqueued: Instant::now(),
+                        reply: tx,
+                    },
+                    stats,
+                );
+                match rx.recv() {
+                    Ok(resp) => {
+                        if resp.to_frame(seq).write_to(&mut s).is_err() {
+                            return;
+                        }
+                    }
+                    Err(_) => return,
+                }
+            }
+            Err(e) => {
+                stats.lock().expect("stats lock").errors += 1;
+                let _ = Response::Error(e.to_string())
+                    .to_frame(seq)
+                    .write_to(&mut s);
+            }
+        }
+    }
+}
+
+fn publish(reg: &mut Registry, st: &Stats, cfg: &ServeConfig) {
+    reg.counter_add("serve.requests.score", st.score);
+    reg.counter_add("serve.requests.train_delta", st.train);
+    reg.counter_add("serve.requests.path_point", st.path);
+    reg.counter_add("serve.requests.stats", st.stats_reqs);
+    reg.counter_add("serve.requests.errors", st.errors);
+    reg.counter_add("serve.batches", st.batches);
+    reg.counter_add("serve.rows_scored", st.rows_scored);
+    reg.counter_add("serve.slo.breaches", st.slo_breaches);
+    reg.counter_add("serve.cache.hits", st.cache_hits);
+    reg.counter_add("serve.cache.misses", st.cache_misses);
+    reg.counter_add("serve.chaos.straggled", st.straggled);
+    reg.gauge_set("serve.queue.depth.max", st.queue_depth_max as f64);
+    reg.gauge_set("serve.batch.size.max", st.batch_size_max as f64);
+    reg.gauge_set("serve.slo_ms", cfg.slo_ms);
+    let mut sorted = st.latencies_ms.clone();
+    sorted.sort_by(f64::total_cmp);
+    reg.gauge_set("serve.latency.p50_ms", percentile(&sorted, 50.0));
+    reg.gauge_set("serve.latency.p95_ms", percentile(&sorted, 95.0));
+    reg.gauge_set("serve.latency.p99_ms", percentile(&sorted, 99.0));
+    reg.gauge_set(
+        "serve.latency.max_ms",
+        sorted.last().copied().unwrap_or(0.0),
+    );
+    reg.register_histogram(
+        "serve.latency_ms",
+        &[0.5, 1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 1000.0],
+    );
+    for &v in &st.latencies_ms {
+        reg.observe("serve.latency_ms", v);
+    }
+}
+
+/// Run the server until `Shutdown` (or `max_requests`), publishing the
+/// `serve.*` taxonomy into `registry` on the way out.
+///
+/// The artifact must fingerprint-match `ds` when it is resumable: warm
+/// chains continued against different data would silently produce
+/// garbage, so that is a refused startup, not a runtime surprise.
+pub fn serve(
+    listener: &Listener,
+    ds: &Dataset,
+    artifact: ModelArtifact,
+    cfg: &ServeConfig,
+    registry: &mut Registry,
+) -> Result<ServeReport, NetError> {
+    if artifact.n != ds.a.cols() {
+        return Err(NetError::Protocol(format!(
+            "artifact is for n = {}, dataset has n = {}",
+            artifact.n,
+            ds.a.cols()
+        )));
+    }
+    if artifact.resumable() && artifact.fingerprint != dataset_fingerprint(ds) {
+        return Err(NetError::Protocol(
+            "artifact fingerprint does not match the dataset; refusing to resume training"
+                .to_string(),
+        ));
+    }
+    let state = SolverState::new(ds, artifact);
+    let queue = Arc::new(Queue {
+        jobs: Mutex::new(VecDeque::new()),
+        ready: Condvar::new(),
+        stop: AtomicBool::new(false),
+        admitted: AtomicU64::new(0),
+    });
+    let stats = Arc::new(Mutex::new(Stats::default()));
+
+    let worker = {
+        let queue = Arc::clone(&queue);
+        let stats = Arc::clone(&stats);
+        let cfg = cfg.clone();
+        std::thread::spawn(move || worker_loop(&queue, &stats, &cfg, state))
+    };
+
+    let mut readers = Vec::new();
+    while !queue.stop.load(Ordering::SeqCst) {
+        match listener.accept_deadline(Instant::now() + Duration::from_millis(100)) {
+            Ok(stream) => {
+                let queue = Arc::clone(&queue);
+                let stats = Arc::clone(&stats);
+                readers.push(std::thread::spawn(move || {
+                    reader_loop(stream, &queue, &stats)
+                }));
+            }
+            Err(NetError::Timeout { .. }) => continue,
+            Err(e) => {
+                queue.stop.store(true, Ordering::SeqCst);
+                queue.ready.notify_all();
+                let _ = worker.join();
+                return Err(e);
+            }
+        }
+    }
+    queue.ready.notify_all();
+    let _ = worker.join();
+    for r in readers {
+        let _ = r.join();
+    }
+
+    let st = stats.lock().expect("stats lock");
+    publish(registry, &st, cfg);
+    let mut sorted = st.latencies_ms.clone();
+    sorted.sort_by(f64::total_cmp);
+    Ok(ServeReport {
+        requests: st.latencies_ms.len() as u64,
+        protocol_errors: st.errors,
+        slo_breaches: st.slo_breaches,
+        p99_ms: percentile(&sorted, 99.0),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg_with(alpha: f64, slo_ms: f64, batch_max: usize) -> ServeConfig {
+        let mut cost = CostModel::cray_xc30();
+        cost.alpha = alpha;
+        ServeConfig {
+            slo_ms,
+            batch_max,
+            cost,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn batch_target_amortizes_alpha_under_the_slo() {
+        // Tiny α: no amortization pressure, batch of 1 is fine.
+        assert_eq!(batch_target(&cfg_with(1e-12, 100.0, 64), 100.0), 1);
+        // Large α: the 10% rule wants a big batch, the cap clamps it.
+        let b = batch_target(&cfg_with(1e-4, 100.0, 64), 100.0);
+        assert!(b > 1, "α must force batching, got {b}");
+        assert!(b <= 64);
+        // SLO so tight the batch shrinks back down.
+        let tight = batch_target(&cfg_with(1e-4, 0.5, 64), 1e6);
+        assert!(tight <= batch_target(&cfg_with(1e-4, 100.0, 64), 1e6));
+    }
+
+    #[test]
+    fn straggle_draws_are_deterministic_and_rate_bounded() {
+        let chaos = ChaosSpec {
+            straggle: 0.25,
+            jitter: 0.010,
+            ..Default::default()
+        };
+        let a: Vec<_> = (0..400).map(|k| straggle_delay(&chaos, k)).collect();
+        let b: Vec<_> = (0..400).map(|k| straggle_delay(&chaos, k)).collect();
+        assert_eq!(a, b, "chaos draws must replay identically");
+        let hit = a.iter().flatten().count();
+        assert!(hit > 40 && hit < 180, "~25% straggle rate, got {hit}/400");
+        assert!(a
+            .iter()
+            .flatten()
+            .all(|d| *d <= Duration::from_secs_f64(0.010)));
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0];
+        assert_eq!(percentile(&v, 50.0), 5.0);
+        assert_eq!(percentile(&v, 99.0), 10.0);
+        assert_eq!(percentile(&[], 99.0), 0.0);
+    }
+}

@@ -15,6 +15,7 @@
 
 mod kdcd;
 mod lasso;
+mod path;
 mod svm;
 
 pub use kdcd::{record_kdcd_stats, sim_kdcd, sim_kdcd_chaos, sim_kdcd_instrumented};
@@ -22,6 +23,7 @@ pub use lasso::{
     sim_sa_accbcd, sim_sa_accbcd_chaos, sim_sa_accbcd_instrumented, sim_sa_bcd, sim_sa_bcd_chaos,
     sim_sa_bcd_instrumented,
 };
+pub use path::sim_lasso_path;
 pub use svm::{sim_sa_svm, sim_sa_svm_instrumented};
 
 use datagen::{bucket_counts, Partition};

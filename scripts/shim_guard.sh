@@ -34,6 +34,30 @@ for pat in "${patterns[@]}"; do
     fi
 done
 
+# The path/CV/serve layers ride the driver through lasso_family_warm —
+# they may sweep λ and carry warm state, but the solver recurrence itself
+# (sampling, Gram tiles, Lipschitz steps, prox blocks) must never reappear
+# there. PR 10 fixed exactly this: path.rs hid a full hand-rolled SA-BCD
+# loop that silently escaped this guard because only seq/sim/dist/net were
+# scanned.
+warm_patterns=(
+    'while h < cfg\.max_iters'
+    'for h in 1\.\.=cfg\.max_iters'
+    'sampled_gram'
+    'sampled_cross'
+    'sample_block'
+    'block_lipschitz'
+    'prox_block'
+    'iallreduce'
+)
+for pat in "${warm_patterns[@]}"; do
+    if hits=$(grep -rnE "$pat" crates/core/src/path.rs crates/core/src/crossval.rs crates/core/src/serve); then
+        echo "shim_guard: solver-loop pattern '$pat' found in the path/CV/serve layer:" >&2
+        echo "$hits" >&2
+        status=1
+    fi
+done
+
 # netcomm is solver-free: frames, ordering, mesh, collectives — nothing
 # about Lasso/SVM recurrences, kernels, or the workspace they act on.
 solver_patterns=(
@@ -92,8 +116,14 @@ io_patterns=(
     'read_to_string'
     'BufReader'
 )
+# One documented exception: serve/artifact.rs reads and writes *model*
+# artifacts (saco-model/v1) — trained solutions, not datasets. They are
+# never behind the shard cache, so the budget/io.* accounting the ban
+# protects does not apply; every dataset byte the serve layer touches
+# still comes through sparsela::io.
 for pat in "${io_patterns[@]}"; do
-    if hits=$(grep -rnE "$pat" crates/core/src crates/datagen/src); then
+    if hits=$(grep -rnE "$pat" crates/core/src crates/datagen/src \
+            | grep -v '^crates/core/src/serve/artifact\.rs:'); then
         echo "shim_guard: dataset file I/O '$pat' outside sparsela::{io,shard}:" >&2
         echo "$hits" >&2
         status=1

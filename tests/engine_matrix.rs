@@ -1101,6 +1101,83 @@ fn streamed_kdcd_is_bitwise_in_memory() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+// ---------------------------------------------------------------------------
+// The warm-start column: the λ-path and CV sweeps ride the same driver as
+// the single solves, so they owe the matrix too — path on the virtual
+// cluster is bitwise the sequential path, and a CV sweep must not care
+// how many pooled worker threads run the kernels.
+// ---------------------------------------------------------------------------
+
+/// Path on sim ≡ seq **bitwise**: every segment's solution vector,
+/// objective, and support size. The path driver warm-starts segment k+1
+/// from segment k, so a single bit of drift in an early segment would
+/// cascade — equality of the *last* point is the strong form of the whole
+/// chain agreeing.
+#[test]
+fn sim_path_matches_seq_path_bitwise() {
+    let ds = lasso_ds(5);
+    let c = lasso_cfg(4, 8, true);
+    let seq_path = saco::path::lasso_path(&ds, &c, 8, 0.01, Lasso::new);
+    let (sim_path, rep) = saco::sim::sim_lasso_path(
+        &ds,
+        &c,
+        8,
+        0.01,
+        Lasso::new,
+        4,
+        CostModel::cray_xc30(),
+        false,
+    );
+    assert_eq!(seq_path.points.len(), sim_path.points.len());
+    for (k, (a, b)) in seq_path.points.iter().zip(&sim_path.points).enumerate() {
+        assert_eq!(
+            a.lambda.to_bits(),
+            b.lambda.to_bits(),
+            "segment {k}: λ grid"
+        );
+        assert_eq!(a.x, b.x, "segment {k}: seq vs sim path solution");
+        assert_eq!(
+            a.objective.to_bits(),
+            b.objective.to_bits(),
+            "segment {k}: objective"
+        );
+        assert_eq!(a.nonzeros, b.nonzeros, "segment {k}: support size");
+    }
+    // The virtual cluster also charged the sweep (one allreduce chain per
+    // segment), not just computed it.
+    assert!(rep.critical.messages > 0 && rep.running_time() > 0.0);
+}
+
+/// A CV sweep is bitwise invariant under the pooled worker-thread count:
+/// fold means, standard errors, the selected λs, and the diverged-fold
+/// count all come out identical at 1 and 4 threads (the lane-reduction
+/// contract of the SIMD kernels extends through the fold solves).
+#[test]
+fn cv_is_deterministic_across_worker_threads() {
+    let ds = lasso_ds(6);
+    let c = lasso_cfg(2, 8, false);
+    let run = |threads: usize| {
+        saco_par::set_threads(threads);
+        saco::crossval::cross_validate_lasso(&ds, &c, 4, 6, 0.01, Lasso::new)
+    };
+    let one = run(1);
+    let four = run(4);
+    saco_par::set_threads(1);
+    assert_eq!(one.points.len(), four.points.len());
+    for (k, (a, b)) in one.points.iter().zip(&four.points).enumerate() {
+        assert_eq!(a.lambda.to_bits(), b.lambda.to_bits(), "λ {k}");
+        assert_eq!(
+            a.mean_mse.to_bits(),
+            b.mean_mse.to_bits(),
+            "λ {k}: fold mean moved with the thread count"
+        );
+        assert_eq!(a.std_error.to_bits(), b.std_error.to_bits(), "λ {k}");
+    }
+    assert_eq!(one.nan_folds, four.nan_folds);
+    assert_eq!(one.best_lambda().to_bits(), four.best_lambda().to_bits());
+    assert_eq!(one.lambda_1se().to_bits(), four.lambda_1se().to_bits());
+}
+
 /// Convergence on the url-shaped stand-in (power-law sparse, the paper's
 /// widest dataset) for both dual tasks: the traced dual objective must
 /// decrease monotonically and end clearly below zero. This is the

@@ -1,0 +1,261 @@
+//! End-to-end `saco serve` round trips over a real Unix socket.
+//!
+//! Three exactness contracts, each pinned bitwise:
+//!
+//! * **Score ≡ SpMV** — a served score batch equals `CsrMatrix::spmv` on
+//!   the same rows bit for bit (both are the same serial dot chain).
+//! * **Train-delta ≡ uncut run** — resuming a `t`-iteration artifact
+//!   (`t` a multiple of `s`) for `k` more iterations lands on the exact
+//!   bits of training `t + k` from scratch: the artifact restored the
+//!   iterate, the residual bits, and the replayed RNG.
+//! * **Path serving ≡ `lasso_path`** — grid-order path-point requests
+//!   reproduce the offline path's objectives bitwise (the server's path
+//!   chain cold-starts at the artifact seed), and an exact-λ repeat is a
+//!   cache hit.
+
+use datagen::{planted_regression, uniform_sparse};
+use saco::path::lasso_path;
+use saco::prox::Lasso;
+use saco::serve::{serve, Addr, Listener, ModelArtifact, ServeClient, ServeConfig, ServeReport};
+use saco::LassoConfig;
+use saco_telemetry::Registry;
+use sparsela::io::Dataset;
+
+fn problem() -> Dataset {
+    let a = uniform_sparse(200, 60, 0.2, 11);
+    planted_regression(a, 5, 0.05, 11).dataset
+}
+
+fn train_cfg() -> LassoConfig {
+    LassoConfig {
+        mu: 4,
+        s: 8,
+        lambda: 0.1,
+        seed: 3,
+        max_iters: 160, // a multiple of s: resume lands on a block boundary
+        trace_every: 0,
+        ..Default::default()
+    }
+}
+
+fn sock_addr(tag: &str) -> Addr {
+    let path = std::env::temp_dir().join(format!("saco-serve-{}-{tag}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    Addr::Unix(path)
+}
+
+/// Boot a server on a Unix socket, hand a connected client to `f`, shut
+/// down cleanly, and return the server's report.
+fn with_server<F>(
+    tag: &str,
+    ds: Dataset,
+    art: ModelArtifact,
+    scfg: ServeConfig,
+    f: F,
+) -> ServeReport
+where
+    F: FnOnce(&Addr, &mut ServeClient),
+{
+    let addr = sock_addr(tag);
+    let listener = Listener::bind(&addr).expect("bind serve socket");
+    let server = std::thread::spawn(move || {
+        let mut reg = Registry::new();
+        serve(&listener, &ds, art, &scfg, &mut reg).expect("serve run")
+    });
+    let mut client = ServeClient::connect_default(&addr).expect("connect");
+    f(&addr, &mut client);
+    client.shutdown().expect("shutdown");
+    server.join().expect("server thread")
+}
+
+fn rows_of(ds: &Dataset) -> Vec<(Vec<usize>, Vec<f64>)> {
+    (0..ds.a.rows())
+        .map(|i| {
+            let r = ds.a.row(i);
+            (r.indices.to_vec(), r.values.to_vec())
+        })
+        .collect()
+}
+
+#[test]
+fn served_scores_match_spmv_bitwise() {
+    let ds = problem();
+    let art = ModelArtifact::train_lasso(&ds, &Lasso::new(0.1), 0.1, &train_cfg());
+    let expect = ds.a.spmv(&art.x);
+    let rows = rows_of(&ds);
+    let ds_for_server = ds.clone();
+    let report = with_server(
+        "score",
+        ds_for_server,
+        art,
+        ServeConfig::default(),
+        |_, client| {
+            // Split across two batches so the admission path sees both a
+            // full and a partial batch.
+            let mid = rows.len() / 2;
+            let mut preds = client.score(rows[..mid].to_vec()).expect("score");
+            preds.extend(client.score(rows[mid..].to_vec()).expect("score"));
+            assert_eq!(preds.len(), expect.len());
+            for (i, (p, e)) in preds.iter().zip(&expect).enumerate() {
+                assert_eq!(
+                    p.to_bits(),
+                    e.to_bits(),
+                    "served score for row {i} diverged from spmv"
+                );
+            }
+        },
+    );
+    assert_eq!(report.protocol_errors, 0);
+    assert!(report.requests >= 3); // two score batches + shutdown
+}
+
+#[test]
+fn train_delta_resumes_bitwise() {
+    let ds = problem();
+    let cfg = train_cfg();
+    let art = ModelArtifact::train_lasso(&ds, &Lasso::new(0.1), 0.1, &cfg);
+    // The uncut reference: 160 + 80 iterations in one run.
+    let full_cfg = LassoConfig {
+        max_iters: 240,
+        ..cfg.clone()
+    };
+    let direct = saco::seq::sa_bcd(&ds, &Lasso::new(0.1), &full_cfg);
+    let expect_scores = ds.a.spmv(&direct.x);
+    let rows = rows_of(&ds);
+    let ds_for_server = ds.clone();
+    let report = with_server(
+        "train",
+        ds_for_server,
+        art,
+        ServeConfig::default(),
+        |_, client| {
+            let (objective, _nnz, total_iters) = client.train_delta(0.1, 80).expect("train delta");
+            assert_eq!(total_iters, 240);
+            assert_eq!(
+                objective.to_bits(),
+                direct.final_value().to_bits(),
+                "resumed objective diverged from the uncut run"
+            );
+            // The resumed iterate itself must match: score through it.
+            let preds = client.score(rows).expect("score after delta");
+            for (p, e) in preds.iter().zip(&expect_scores) {
+                assert_eq!(p.to_bits(), e.to_bits());
+            }
+        },
+    );
+    assert_eq!(report.protocol_errors, 0);
+}
+
+#[test]
+fn path_points_match_lasso_path_and_cache_hits() {
+    let ds = problem();
+    let cfg = train_cfg();
+    let art = ModelArtifact::train_lasso(&ds, &Lasso::new(0.1), 0.1, &cfg);
+    let offline = lasso_path(&ds, &cfg, 5, 0.01, Lasso::new);
+    let budget = cfg.max_iters as u64;
+    let ds_for_server = ds.clone();
+    let report = with_server(
+        "path",
+        ds_for_server,
+        art,
+        ServeConfig::default(),
+        |_, client| {
+            for (k, p) in offline.points.iter().enumerate() {
+                let (objective, nnz, cached) =
+                    client.path_point(p.lambda, budget).expect("path point");
+                assert!(!cached, "first visit of point {k} cannot be cached");
+                assert_eq!(
+                    objective.to_bits(),
+                    p.objective.to_bits(),
+                    "served path point {k} diverged from lasso_path"
+                );
+                assert_eq!(nnz as usize, p.nonzeros);
+            }
+            // Exact-λ repeat: answered from the cache, same bits.
+            let p2 = &offline.points[2];
+            let (objective, _, cached) =
+                client.path_point(p2.lambda, budget).expect("cached point");
+            assert!(cached, "exact-λ repeat must be a cache hit");
+            assert_eq!(objective.to_bits(), p2.objective.to_bits());
+        },
+    );
+    assert_eq!(report.protocol_errors, 0);
+}
+
+#[test]
+fn score_only_artifacts_refuse_training() {
+    let ds = problem();
+    let cfg = train_cfg();
+    let lasso = ModelArtifact::train_lasso(&ds, &Lasso::new(0.1), 0.1, &cfg);
+    // Strip the residual: same solution, but no resume provenance.
+    let score_only = ModelArtifact::from_solution(
+        "svm",
+        &ds,
+        &cfg,
+        0.1,
+        lasso.x.clone(),
+        lasso.iters,
+        lasso.initial_obj,
+        lasso.final_obj,
+    );
+    assert!(!score_only.resumable());
+    let ds_for_server = ds.clone();
+    with_server(
+        "refuse",
+        ds_for_server,
+        score_only,
+        ServeConfig::default(),
+        |_, client| {
+            assert!(
+                client.train_delta(0.1, 8).is_err(),
+                "a score-only artifact must refuse train-delta"
+            );
+            assert!(client.path_point(0.1, 8).is_err());
+            // Scoring still works.
+            let preds = client.score(rows_of(&ds)).expect("score");
+            let expect = ds.a.spmv(&lasso.x);
+            for (p, e) in preds.iter().zip(&expect) {
+                assert_eq!(p.to_bits(), e.to_bits());
+            }
+        },
+    );
+}
+
+#[test]
+fn concurrent_clients_all_get_exact_answers() {
+    let ds = problem();
+    let art = ModelArtifact::train_lasso(&ds, &Lasso::new(0.1), 0.1, &train_cfg());
+    let expect = ds.a.spmv(&art.x);
+    let rows = rows_of(&ds);
+    let ds_for_server = ds.clone();
+    let report = with_server(
+        "concurrent",
+        ds_for_server,
+        art,
+        ServeConfig::default(),
+        |addr, _| {
+            let workers: Vec<_> = (0..4)
+                .map(|_| {
+                    let addr = addr.clone();
+                    let rows = rows.clone();
+                    let expect = expect.clone();
+                    std::thread::spawn(move || {
+                        let mut c = ServeClient::connect_default(&addr).expect("connect");
+                        for _ in 0..3 {
+                            let preds = c.score(rows.clone()).expect("score");
+                            for (p, e) in preds.iter().zip(&expect) {
+                                assert_eq!(p.to_bits(), e.to_bits());
+                            }
+                        }
+                        c.bye();
+                    })
+                })
+                .collect();
+            for w in workers {
+                w.join().expect("client thread");
+            }
+        },
+    );
+    assert_eq!(report.protocol_errors, 0);
+    assert!(report.requests >= 13); // 4 clients × 3 batches + shutdown
+}
